@@ -1,0 +1,756 @@
+//! The reference evaluator: executes algebra plans against local forests.
+//!
+//! "The YAT algebra is independent of any underlying physical access
+//! structure" (Section 3.1) — this evaluator gives the algebra its
+//! *semantics*. The mediator executor in `yat-mediator` produces identical
+//! results while shipping `Push` subplans to remote wrappers; equivalence
+//! of the two is asserted by integration tests, and every optimizer rule is
+//! validated by comparing `eval(rewritten)` with `eval(original)` here.
+
+use crate::error::EvalError;
+use crate::expr::{Alg, CmpOp, Operand, Pred};
+use crate::funcs::{FnRegistry, SkolemRegistry};
+use crate::tab::Tab;
+use crate::template::Template;
+use crate::value::Value;
+use std::collections::BTreeMap;
+use yat_model::{Atom, Forest, MatchOptions, Model, Node, Tree};
+
+/// Resolves the named documents plans read from (`Source` nodes) and the
+/// forest used for reference traversal.
+pub trait SourceCatalog {
+    /// The tree registered under `name` at `source` (`None` = local).
+    fn document(&self, source: Option<&str>, name: &str) -> Option<Tree>;
+
+    /// The forest used to dereference `&oid` leaves during `Bind`.
+    fn deref_forest(&self) -> Option<&Forest> {
+        None
+    }
+}
+
+impl SourceCatalog for Forest {
+    fn document(&self, _source: Option<&str>, name: &str) -> Option<Tree> {
+        self.get(name).cloned()
+    }
+
+    fn deref_forest(&self) -> Option<&Forest> {
+        Some(self)
+    }
+}
+
+/// Delegates `Push` subplans to an external executor (the mediator ships
+/// them to wrappers). Without a handler, `Push` is evaluated in place —
+/// the reference semantics.
+pub trait PushHandler {
+    /// Executes `plan` at `source` under the outer bindings `env`.
+    fn execute_push(
+        &self,
+        source: &str,
+        plan: &Alg,
+        env: &std::collections::BTreeMap<String, Value>,
+    ) -> Result<Tab, EvalError>;
+}
+
+/// Everything evaluation needs besides the plan.
+pub struct EvalCtx<'a> {
+    /// Document resolution.
+    pub catalog: &'a dyn SourceCatalog,
+    /// Optional model for resolving named patterns in filters.
+    pub model: Option<&'a Model>,
+    /// External functions (`contains`, wrapped methods).
+    pub funcs: &'a FnRegistry,
+    /// Skolem identifier registry.
+    pub skolems: &'a SkolemRegistry,
+    /// Remote execution of `Push` nodes (`None` = evaluate in place).
+    pub push: Option<&'a dyn PushHandler>,
+}
+
+impl<'a> EvalCtx<'a> {
+    /// A context over a single local forest with the built-in functions.
+    pub fn local(forest: &'a Forest, funcs: &'a FnRegistry, skolems: &'a SkolemRegistry) -> Self {
+        EvalCtx {
+            catalog: forest,
+            model: None,
+            funcs,
+            skolems,
+            push: None,
+        }
+    }
+}
+
+/// The result of evaluating a plan: frontier operators move between the
+/// two shapes (`Bind`: tree → tab; `Tree`: tab → tree).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalOut {
+    /// A binding table.
+    Tab(Tab),
+    /// A constructed or source tree.
+    Tree(Tree),
+}
+
+impl EvalOut {
+    /// The table, or a kind error mentioning `op`.
+    pub fn tab(self, op: &Alg) -> Result<Tab, EvalError> {
+        match self {
+            EvalOut::Tab(t) => Ok(t),
+            EvalOut::Tree(_) => Err(EvalError::Kind {
+                op: op.describe(),
+                expected: "Tab",
+            }),
+        }
+    }
+
+    /// The tree, or a kind error mentioning `op`.
+    pub fn tree(self, op: &Alg) -> Result<Tree, EvalError> {
+        match self {
+            EvalOut::Tree(t) => Ok(t),
+            EvalOut::Tab(_) => Err(EvalError::Kind {
+                op: op.describe(),
+                expected: "tree",
+            }),
+        }
+    }
+
+    /// Reference to the table, if this is one.
+    pub fn as_tab(&self) -> Option<&Tab> {
+        match self {
+            EvalOut::Tab(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// Outer bindings in scope (the `DJoin` information-passing environment).
+pub type Env = BTreeMap<String, Value>;
+
+/// Evaluates `plan` with an empty environment.
+pub fn eval(plan: &Alg, ctx: &EvalCtx<'_>) -> Result<EvalOut, EvalError> {
+    eval_env(plan, ctx, &Env::new())
+}
+
+/// Evaluates `plan` under outer bindings `env` (variables bound by an
+/// enclosing `DJoin`'s left side).
+pub fn eval_env(plan: &Alg, ctx: &EvalCtx<'_>, env: &Env) -> Result<EvalOut, EvalError> {
+    match plan {
+        Alg::Source { source, name } => ctx
+            .catalog
+            .document(source.as_deref(), name)
+            .map(EvalOut::Tree)
+            .ok_or_else(|| EvalError::UnknownSource {
+                source: source.clone(),
+                name: name.clone(),
+            }),
+
+        Alg::Bind {
+            input,
+            filter,
+            over,
+        } => {
+            let opts = MatchOptions {
+                model: ctx.model,
+                forest: ctx.catalog.deref_forest(),
+                closed: false,
+            };
+            let fvars = filter.variables();
+            match over {
+                None => {
+                    let tree = eval_env(input, ctx, env)?.tree(plan)?;
+                    let rows = yat_model::match_filter(&tree, filter, opts);
+                    let mut tab = Tab::from_binding_rows(fvars, rows);
+                    constrain_env(&mut tab, env);
+                    Ok(EvalOut::Tab(tab))
+                }
+                Some(col) => {
+                    let tab = eval_env(input, ctx, env)?.tab(plan)?;
+                    let ci = tab
+                        .col(col)
+                        .ok_or_else(|| EvalError::UnknownColumn(col.clone()))?;
+                    // output columns: input columns + new filter vars
+                    let mut cols: Vec<String> = tab.columns().to_vec();
+                    let new_vars: Vec<String> = fvars
+                        .iter()
+                        .filter(|v| !cols.contains(v))
+                        .cloned()
+                        .collect();
+                    let shared: Vec<String> =
+                        fvars.iter().filter(|v| cols.contains(v)).cloned().collect();
+                    cols.extend(new_vars.iter().cloned());
+                    let mut out = Tab::new(cols);
+                    for row in tab.rows() {
+                        let targets: Vec<Tree> = match &row[ci] {
+                            Value::Tree(t) => vec![t.clone()],
+                            Value::Coll(c) => {
+                                c.iter().filter_map(|v| v.as_tree().cloned()).collect()
+                            }
+                            _ => vec![],
+                        };
+                        for target in targets {
+                            for brow in yat_model::match_filter(&target, filter, opts) {
+                                let mut vals: BTreeMap<String, Value> = brow
+                                    .into_iter()
+                                    .map(|(k, v)| (k, Value::from_binding(v)))
+                                    .collect();
+                                // shared variables act as equality constraints
+                                let consistent =
+                                    shared.iter().all(|v| match (vals.get(v), tab.col(v)) {
+                                        (Some(nv), Some(i)) => nv.query_eq(&row[i]),
+                                        _ => true,
+                                    });
+                                if !consistent {
+                                    continue;
+                                }
+                                let mut newrow: Vec<Value> = row.to_vec();
+                                for v in &new_vars {
+                                    newrow.push(vals.remove(v).unwrap_or(Value::Null));
+                                }
+                                out.push(newrow);
+                            }
+                        }
+                    }
+                    constrain_env(&mut out, env);
+                    Ok(EvalOut::Tab(out))
+                }
+            }
+        }
+
+        Alg::TreeOp { input, template } => {
+            let tab = eval_env(input, ctx, env)?.tab(plan)?;
+            let all: Vec<usize> = (0..tab.len()).collect();
+            let trees = instantiate(template, &all, &tab, ctx);
+            // A template instantiation at the root yields exactly one tree
+            // for Sym roots; grouped roots may yield several, which we wrap
+            // under a collection node to keep the output a single tree.
+            let tree = match trees.len() {
+                1 => trees.into_iter().next().expect("len checked"),
+                _ => Node::sym("collection", trees),
+            };
+            Ok(EvalOut::Tree(tree))
+        }
+
+        Alg::Select { input, pred } => {
+            let tab = eval_env(input, ctx, env)?.tab(plan)?;
+            let mut out = Tab::new(tab.columns().to_vec());
+            for row in tab.rows() {
+                if eval_pred(pred, &tab, row, env, ctx)? {
+                    out.push(row.to_vec());
+                }
+            }
+            Ok(EvalOut::Tab(out))
+        }
+
+        Alg::Project { input, cols } => {
+            let tab = eval_env(input, ctx, env)?.tab(plan)?;
+            Ok(EvalOut::Tab(tab.project(cols)))
+        }
+
+        Alg::Join { left, right, pred } => {
+            let lt = eval_env(left, ctx, env)?.tab(plan)?;
+            let rt = eval_env(right, ctx, env)?.tab(plan)?;
+            Ok(EvalOut::Tab(join(&lt, &rt, pred, env, ctx)?))
+        }
+
+        Alg::DJoin { left, right } => {
+            let lt = eval_env(left, ctx, env)?.tab(plan)?;
+            let mut out: Option<Tab> = None;
+            for row in lt.rows() {
+                let mut inner_env = env.clone();
+                for (i, c) in lt.columns().iter().enumerate() {
+                    inner_env.insert(c.clone(), row[i].clone());
+                }
+                let rt = eval_env(right, ctx, &inner_env)?.tab(plan)?;
+                let out = out.get_or_insert_with(|| {
+                    let mut cols = lt.columns().to_vec();
+                    for c in rt.columns() {
+                        if !cols.contains(c) {
+                            cols.push(c.clone());
+                        }
+                    }
+                    Tab::new(cols)
+                });
+                let new_cols: Vec<(usize, usize)> = out
+                    .columns()
+                    .iter()
+                    .enumerate()
+                    .skip(lt.columns().len())
+                    .filter_map(|(oi, c)| rt.col(c).map(|ri| (oi, ri)))
+                    .collect();
+                let width = out.columns().len();
+                for rrow in rt.rows() {
+                    let mut newrow = vec![Value::Null; width];
+                    newrow[..row.len()].clone_from_slice(row);
+                    for (oi, ri) in &new_cols {
+                        newrow[*oi] = rrow[*ri].clone();
+                    }
+                    out.push(newrow);
+                }
+            }
+            // no left rows: columns are the left's alone (right was never
+            // evaluated; its columns are unknowable without evaluation)
+            Ok(EvalOut::Tab(
+                out.unwrap_or_else(|| Tab::new(lt.columns().to_vec())),
+            ))
+        }
+
+        Alg::Union { left, right } => {
+            let lt = eval_env(left, ctx, env)?.tab(plan)?;
+            let rt = eval_env(right, ctx, env)?.tab(plan)?;
+            check_compat(plan, &lt, &rt)?;
+            let mut out = lt.clone();
+            for row in rt.rows() {
+                out.push(row.to_vec());
+            }
+            out.dedup();
+            Ok(EvalOut::Tab(out))
+        }
+
+        Alg::Intersect { left, right } => {
+            let lt = eval_env(left, ctx, env)?.tab(plan)?;
+            let rt = eval_env(right, ctx, env)?.tab(plan)?;
+            check_compat(plan, &lt, &rt)?;
+            let keys: std::collections::BTreeSet<String> = rt.rows().map(row_key).collect();
+            let mut out = Tab::new(lt.columns().to_vec());
+            for row in lt.rows() {
+                if keys.contains(&row_key(row)) {
+                    out.push(row.to_vec());
+                }
+            }
+            out.dedup();
+            Ok(EvalOut::Tab(out))
+        }
+
+        Alg::Diff { left, right } => {
+            let lt = eval_env(left, ctx, env)?.tab(plan)?;
+            let rt = eval_env(right, ctx, env)?.tab(plan)?;
+            check_compat(plan, &lt, &rt)?;
+            let keys: std::collections::BTreeSet<String> = rt.rows().map(row_key).collect();
+            let mut out = Tab::new(lt.columns().to_vec());
+            for row in lt.rows() {
+                if !keys.contains(&row_key(row)) {
+                    out.push(row.to_vec());
+                }
+            }
+            out.dedup();
+            Ok(EvalOut::Tab(out))
+        }
+
+        Alg::Group { input, keys } => {
+            let tab = eval_env(input, ctx, env)?.tab(plan)?;
+            let kidx: Vec<usize> = keys
+                .iter()
+                .map(|k| {
+                    tab.col(k)
+                        .ok_or_else(|| EvalError::UnknownColumn(k.clone()))
+                })
+                .collect::<Result<_, _>>()?;
+            let rest: Vec<usize> = (0..tab.columns().len())
+                .filter(|i| !kidx.contains(i))
+                .collect();
+            let mut cols: Vec<String> = keys.clone();
+            cols.extend(rest.iter().map(|&i| tab.columns()[i].clone()));
+            let mut order: Vec<String> = Vec::new();
+            let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+            for (ri, row) in tab.rows().enumerate() {
+                let key: String = kidx.iter().map(|&i| row[i].group_key() + "\u{1}").collect();
+                if !groups.contains_key(&key) {
+                    order.push(key.clone());
+                }
+                groups.entry(key).or_default().push(ri);
+            }
+            let mut out = Tab::new(cols);
+            for key in order {
+                let members = &groups[&key];
+                let first = tab.row(members[0]);
+                let mut row: Vec<Value> = kidx.iter().map(|&i| first[i].clone()).collect();
+                for &ci in &rest {
+                    row.push(Value::Coll(
+                        members.iter().map(|&ri| tab.row(ri)[ci].clone()).collect(),
+                    ));
+                }
+                out.push(row);
+            }
+            Ok(EvalOut::Tab(out))
+        }
+
+        Alg::Sort { input, keys } => {
+            let tab = eval_env(input, ctx, env)?.tab(plan)?;
+            let kidx: Vec<(usize, crate::expr::SortDir)> = keys
+                .iter()
+                .map(|(k, d)| {
+                    tab.col(k)
+                        .map(|i| (i, *d))
+                        .ok_or_else(|| EvalError::UnknownColumn(k.clone()))
+                })
+                .collect::<Result<_, _>>()?;
+            let cols = tab.columns().to_vec();
+            let mut rows = tab.into_rows();
+            rows.sort_by(|a, b| {
+                for (i, d) in &kidx {
+                    let ord = a[*i].total_cmp(&b[*i]);
+                    let ord = match d {
+                        crate::expr::SortDir::Asc => ord,
+                        crate::expr::SortDir::Desc => ord.reverse(),
+                    };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            let mut out = Tab::new(cols);
+            for r in rows {
+                out.push(r);
+            }
+            Ok(EvalOut::Tab(out))
+        }
+
+        Alg::Map { input, col, expr } => {
+            let tab = eval_env(input, ctx, env)?.tab(plan)?;
+            let mut cols = tab.columns().to_vec();
+            cols.push(col.clone());
+            let mut out = Tab::new(cols);
+            for row in tab.rows() {
+                let v = eval_operand(expr, &tab, row, env, ctx)?;
+                let mut newrow = row.to_vec();
+                newrow.push(v);
+                out.push(newrow);
+            }
+            Ok(EvalOut::Tab(out))
+        }
+
+        // Reference semantics of Push: evaluate in place. The mediator's
+        // executor overrides this by shipping the subplan to the wrapper.
+        Alg::Push { source, plan: sub } => match ctx.push {
+            Some(handler) => Ok(EvalOut::Tab(handler.execute_push(source, sub, env)?)),
+            None => eval_env(sub, ctx, env),
+        },
+    }
+}
+
+/// Keeps only rows consistent with outer bindings: a column that is also
+/// bound in `env` must hold a query-equal value.
+fn constrain_env(tab: &mut Tab, env: &Env) {
+    if env.is_empty() {
+        return;
+    }
+    let constrained: Vec<(usize, &Value)> = tab
+        .columns()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, c)| env.get(c).map(|v| (i, v)))
+        .collect();
+    if constrained.is_empty() {
+        return;
+    }
+    let cols = tab.columns().to_vec();
+    let rows = std::mem::take(tab).into_rows();
+    let mut out = Tab::new(cols);
+    for row in rows {
+        if constrained.iter().all(|(i, v)| row[*i].query_eq(v)) {
+            out.push(row);
+        }
+    }
+    *tab = out;
+}
+
+fn row_key(row: &[Value]) -> String {
+    row.iter().map(|v| v.group_key() + "\u{1}").collect()
+}
+
+fn check_compat(op: &Alg, l: &Tab, r: &Tab) -> Result<(), EvalError> {
+    if l.columns() != r.columns() {
+        return Err(EvalError::Incompatible {
+            op: op.describe(),
+            message: format!("column mismatch: {:?} vs {:?}", l.columns(), r.columns()),
+        });
+    }
+    Ok(())
+}
+
+/// Evaluates an operand against a row (+outer env).
+pub fn eval_operand(
+    op: &Operand,
+    tab: &Tab,
+    row: &[Value],
+    env: &Env,
+    ctx: &EvalCtx<'_>,
+) -> Result<Value, EvalError> {
+    match op {
+        Operand::Var(v) => match tab.col(v) {
+            Some(i) => Ok(row[i].clone()),
+            None => env
+                .get(v)
+                .cloned()
+                .ok_or_else(|| EvalError::UnknownColumn(v.clone())),
+        },
+        Operand::Const(a) => Ok(Value::Atom(a.clone())),
+        Operand::Call { name, args } => {
+            let vals: Vec<Value> = args
+                .iter()
+                .map(|a| eval_operand(a, tab, row, env, ctx))
+                .collect::<Result<_, _>>()?;
+            ctx.funcs.call(name, &vals)
+        }
+    }
+}
+
+/// Evaluates a predicate against a row (+outer env).
+///
+/// Comparison follows the query semantics of [`Value::query_eq`]; ordered
+/// comparisons between values lacking a numeric/string interpretation are
+/// `false` (three-valued logic collapsed to false, as in SQL).
+pub fn eval_pred(
+    pred: &Pred,
+    tab: &Tab,
+    row: &[Value],
+    env: &Env,
+    ctx: &EvalCtx<'_>,
+) -> Result<bool, EvalError> {
+    match pred {
+        Pred::True => Ok(true),
+        Pred::And(a, b) => {
+            Ok(eval_pred(a, tab, row, env, ctx)? && eval_pred(b, tab, row, env, ctx)?)
+        }
+        Pred::Or(a, b) => {
+            Ok(eval_pred(a, tab, row, env, ctx)? || eval_pred(b, tab, row, env, ctx)?)
+        }
+        Pred::Not(p) => Ok(!eval_pred(p, tab, row, env, ctx)?),
+        Pred::Cmp { op, left, right } => {
+            let l = eval_operand(left, tab, row, env, ctx)?;
+            let r = eval_operand(right, tab, row, env, ctx)?;
+            Ok(match op {
+                CmpOp::Eq => l.query_eq(&r),
+                CmpOp::Ne => !l.query_eq(&r),
+                _ => match (l.atom(), r.atom()) {
+                    (Some(a), Some(b)) => {
+                        let ord = a.total_cmp(&b);
+                        match op {
+                            CmpOp::Lt => ord.is_lt(),
+                            CmpOp::Le => ord.is_le(),
+                            CmpOp::Gt => ord.is_gt(),
+                            CmpOp::Ge => ord.is_ge(),
+                            CmpOp::Eq | CmpOp::Ne => unreachable!(),
+                        }
+                    }
+                    _ => false,
+                },
+            })
+        }
+        Pred::Call { name, args } => {
+            let vals: Vec<Value> = args
+                .iter()
+                .map(|a| eval_operand(a, tab, row, env, ctx))
+                .collect::<Result<_, _>>()?;
+            match ctx.funcs.call(name, &vals)? {
+                Value::Atom(Atom::Bool(b)) => Ok(b),
+                other => Err(EvalError::Function {
+                    name: name.clone(),
+                    message: format!("predicate returned non-boolean {other}"),
+                }),
+            }
+        }
+    }
+}
+
+/// Hash join on equality conjuncts when possible, nested loops otherwise.
+fn join(lt: &Tab, rt: &Tab, pred: &Pred, env: &Env, ctx: &EvalCtx<'_>) -> Result<Tab, EvalError> {
+    let cols = Tab::joined_columns(lt, rt);
+    let joined_tab_for_pred = Tab::new(cols.clone());
+    let mut out = Tab::new(cols);
+
+    // Extract equi-join keys: conjuncts `$l = $r` with $l from the left
+    // columns and $r from the right (possibly primed) columns.
+    let mut lkeys: Vec<usize> = Vec::new();
+    let mut rkeys: Vec<usize> = Vec::new();
+    let mut residual: Vec<Pred> = Vec::new();
+    for c in pred.conjuncts() {
+        if let Pred::Cmp {
+            op: CmpOp::Eq,
+            left: Operand::Var(a),
+            right: Operand::Var(b),
+        } = c
+        {
+            let (la, rb) = (lt.col(a), right_col(rt, lt, b));
+            if let (Some(li), Some(ri)) = (la, rb) {
+                lkeys.push(li);
+                rkeys.push(ri);
+                continue;
+            }
+            let (lb, ra) = (lt.col(b), right_col(rt, lt, a));
+            if let (Some(li), Some(ri)) = (lb, ra) {
+                lkeys.push(li);
+                rkeys.push(ri);
+                continue;
+            }
+        }
+        residual.push(c.clone());
+    }
+    let residual = Pred::from_conjuncts(residual);
+
+    let emit = |out: &mut Tab, lrow: &[Value], rrow: &[Value]| {
+        let mut row = lrow.to_vec();
+        row.extend(rrow.iter().cloned());
+        out.push(row);
+    };
+
+    if lkeys.is_empty() {
+        // nested loops
+        for lrow in lt.rows() {
+            for rrow in rt.rows() {
+                let mut row = lrow.to_vec();
+                row.extend(rrow.iter().cloned());
+                if eval_pred(pred, &joined_tab_for_pred, &row, env, ctx)? {
+                    out.push(row);
+                }
+            }
+        }
+        return Ok(out);
+    }
+
+    // hash join: build on the right
+    let mut table: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (ri, rrow) in rt.rows().enumerate() {
+        let key: String = rkeys
+            .iter()
+            .map(|&i| rrow[i].group_key() + "\u{1}")
+            .collect();
+        table.entry(key).or_default().push(ri);
+    }
+    for lrow in lt.rows() {
+        let key: String = lkeys
+            .iter()
+            .map(|&i| lrow[i].group_key() + "\u{1}")
+            .collect();
+        if let Some(matches) = table.get(&key) {
+            for &ri in matches {
+                let rrow = rt.row(ri);
+                if residual == Pred::True {
+                    emit(&mut out, lrow, rrow);
+                } else {
+                    let mut row = lrow.to_vec();
+                    row.extend(rrow.iter().cloned());
+                    if eval_pred(&residual, &joined_tab_for_pred, &row, env, ctx)? {
+                        out.push(row);
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Resolves a possibly-primed variable (`t'`) to a right-side column index,
+/// refusing names that are (unprimed) left columns.
+fn right_col(rt: &Tab, lt: &Tab, name: &str) -> Option<usize> {
+    if let Some(stripped) = name.strip_suffix('\'') {
+        return rt.col(stripped);
+    }
+    if lt.col(name).is_some() {
+        return None;
+    }
+    rt.col(name)
+}
+
+/// Instantiates a template over the rows `rows` (indices into `tab`),
+/// producing the constructed forest in order.
+pub fn instantiate(tmpl: &Template, rows: &[usize], tab: &Tab, ctx: &EvalCtx<'_>) -> Vec<Tree> {
+    match tmpl {
+        Template::Text(t) => vec![Node::atom(Atom::Str(t.clone()))],
+        Template::Sym { name, children } => {
+            let kids: Vec<Tree> = children
+                .iter()
+                .flat_map(|c| instantiate(c, rows, tab, ctx))
+                .collect();
+            vec![Node::sym(name.clone(), kids)]
+        }
+        Template::Var(v) => {
+            let Some(ci) = tab.col(v) else {
+                return vec![];
+            };
+            // distinct values among the in-scope rows, first-occurrence order
+            let mut seen = std::collections::BTreeSet::new();
+            let mut out = Vec::new();
+            for &ri in rows {
+                let val = &tab.row(ri)[ci];
+                if seen.insert(val.group_key()) {
+                    out.extend(val.splice());
+                }
+            }
+            out
+        }
+        Template::LabelVar { var, children } => {
+            let Some(ci) = tab.col(var) else {
+                return vec![];
+            };
+            let mut seen = std::collections::BTreeSet::new();
+            let mut out = Vec::new();
+            for &ri in rows {
+                let val = &tab.row(ri)[ci];
+                let label = match val {
+                    Value::Label(l) => l.clone(),
+                    other => match other.atom() {
+                        Some(a) => a.to_string(),
+                        None => continue,
+                    },
+                };
+                if seen.insert(label.clone()) {
+                    let group: Vec<usize> = rows
+                        .iter()
+                        .copied()
+                        .filter(|&r| match &tab.row(r)[ci] {
+                            Value::Label(l) => *l == label,
+                            other => other
+                                .atom()
+                                .map(|a| a.to_string() == label)
+                                .unwrap_or(false),
+                        })
+                        .collect();
+                    let kids: Vec<Tree> = children
+                        .iter()
+                        .flat_map(|c| instantiate(c, &group, tab, ctx))
+                        .collect();
+                    out.push(Node::sym(label, kids));
+                }
+            }
+            out
+        }
+        Template::Group { key, skolem, body } => {
+            let kidx: Vec<Option<usize>> = key.iter().map(|k| tab.col(k)).collect();
+            let mut order: Vec<String> = Vec::new();
+            let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+            for &ri in rows {
+                let gk: String = kidx
+                    .iter()
+                    .map(|i| match i {
+                        Some(i) => tab.row(ri)[*i].group_key() + "\u{1}",
+                        None => "\u{1}".to_string(),
+                    })
+                    .collect();
+                if !groups.contains_key(&gk) {
+                    order.push(gk.clone());
+                }
+                groups.entry(gk).or_default().push(ri);
+            }
+            let mut out = Vec::new();
+            for gk in order {
+                let members = &groups[&gk];
+                let built = instantiate(body, members, tab, ctx);
+                match skolem {
+                    Some(name) => {
+                        let first = members[0];
+                        let args: Vec<Value> = kidx
+                            .iter()
+                            .map(|i| match i {
+                                Some(i) => tab.row(first)[*i].clone(),
+                                None => Value::Null,
+                            })
+                            .collect();
+                        let oid = ctx.skolems.apply(name, &args);
+                        out.push(Node::oid(oid, built));
+                    }
+                    None => out.extend(built),
+                }
+            }
+            out
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! External function registry and Skolem function registry.
+
+use crate::error::EvalError;
+use crate::value::Value;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+use yat_model::{Atom, Oid};
+
+/// The signature of a registered external function: operations a source
+/// contributes beyond the core algebra (`kind="external"` in Fig. 6) —
+/// e.g. the Wais `contains` predicate or the O2 `current_price` method.
+pub type ExternalFn = dyn Fn(&[Value]) -> Result<Value, EvalError> + Send + Sync;
+
+/// A registry of external functions, keyed by name.
+///
+/// The reference evaluator looks predicates like `contains($w, "...")` up
+/// here. Wrappers register their operations when connected; the mediator
+/// can also register *compensating* implementations so that a predicate
+/// declared by a source remains evaluable locally when it cannot be pushed.
+#[derive(Clone, Default)]
+pub struct FnRegistry {
+    funcs: BTreeMap<String, Arc<ExternalFn>>,
+}
+
+impl FnRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a function.
+    pub fn register<F>(&mut self, name: impl Into<String>, f: F)
+    where
+        F: Fn(&[Value]) -> Result<Value, EvalError> + Send + Sync + 'static,
+    {
+        self.funcs.insert(name.into(), Arc::new(f));
+    }
+
+    /// Calls a function by name.
+    pub fn call(&self, name: &str, args: &[Value]) -> Result<Value, EvalError> {
+        match self.funcs.get(name) {
+            Some(f) => f(args),
+            None => Err(EvalError::UnknownFunction(name.to_string())),
+        }
+    }
+
+    /// Whether a function is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.funcs.contains_key(name)
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.funcs.keys().map(String::as_str).collect()
+    }
+
+    /// A registry preloaded with the mediator's built-in compensations:
+    ///
+    /// * `contains(tree, needle) -> Bool` — substring search over the
+    ///   concatenated text of the subtree (the mediator-side semantics of
+    ///   the Wais predicate, used when pushdown is impossible);
+    /// * `textof(tree) -> String` — text extraction.
+    pub fn with_builtins() -> Self {
+        let mut r = Self::new();
+        r.register("contains", |args: &[Value]| {
+            let [hay, needle] = args else {
+                return Err(EvalError::Function {
+                    name: "contains".into(),
+                    message: format!("expected 2 arguments, got {}", args.len()),
+                });
+            };
+            let needle = needle
+                .atom()
+                .and_then(|a| a.as_str().map(str::to_string))
+                .ok_or_else(|| EvalError::Function {
+                    name: "contains".into(),
+                    message: "needle must be a string".into(),
+                })?;
+            let text = value_text(hay);
+            Ok(Value::Atom(Atom::Bool(
+                text.to_lowercase().contains(&needle.to_lowercase()),
+            )))
+        });
+        r.register("textof", |args: &[Value]| {
+            let [v] = args else {
+                return Err(EvalError::Function {
+                    name: "textof".into(),
+                    message: "expected 1 argument".into(),
+                });
+            };
+            Ok(Value::Atom(Atom::Str(value_text(v))))
+        });
+        r
+    }
+}
+
+impl fmt::Debug for FnRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FnRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+/// Concatenated text content of a value (whitespace-joined atoms of the
+/// subtree).
+pub fn value_text(v: &Value) -> String {
+    fn tree_text(t: &yat_model::Tree, out: &mut String) {
+        if let yat_model::Label::Atom(a) = &t.label {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(&a.to_string());
+        }
+        for c in &t.children {
+            tree_text(c, out);
+        }
+    }
+    match v {
+        Value::Tree(t) => {
+            let mut s = String::new();
+            tree_text(t, &mut s);
+            s
+        }
+        Value::Atom(a) => a.to_string(),
+        Value::Label(l) => l.clone(),
+        Value::Coll(c) => c.iter().map(value_text).collect::<Vec<_>>().join(" "),
+        Value::Null => String::new(),
+    }
+}
+
+/// The Skolem-function registry: mints one identifier per distinct
+/// `(function, argument-tuple)` pair, memoized for the lifetime of an
+/// integration session so that repeated rule evaluations converge on the
+/// same identifiers ("Skolem functions do not create values but have side
+/// effects on the integrated view", Section 3.1).
+#[derive(Debug, Default)]
+pub struct SkolemRegistry {
+    inner: Mutex<SkolemInner>,
+}
+
+#[derive(Debug, Default)]
+struct SkolemInner {
+    memo: BTreeMap<(String, String), Oid>,
+    next: u64,
+}
+
+impl SkolemRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies Skolem function `name` to `args`, returning the memoized or
+    /// freshly minted identifier.
+    pub fn apply(&self, name: &str, args: &[Value]) -> Oid {
+        let key_args: String = args.iter().map(|v| v.group_key() + "\u{1}").collect();
+        let mut inner = self.inner.lock();
+        if let Some(oid) = inner.memo.get(&(name.to_string(), key_args.clone())) {
+            return oid.clone();
+        }
+        let n = inner.next;
+        inner.next += 1;
+        let oid = Oid::new(format!("{name}:{n}"));
+        inner.memo.insert((name.to_string(), key_args), oid.clone());
+        oid
+    }
+
+    /// Number of identifiers minted.
+    pub fn len(&self) -> usize {
+        self.inner.lock().memo.len()
+    }
+
+    /// True when no identifiers have been minted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yat_model::Node;
+
+    #[test]
+    fn registry_register_and_call() {
+        let mut r = FnRegistry::new();
+        r.register("double", |args| {
+            let a = args[0].atom().and_then(|a| a.as_f64()).unwrap_or(0.0);
+            Ok(Value::Atom(Atom::Float(a * 2.0)))
+        });
+        assert!(r.contains("double"));
+        let out = r.call("double", &[Value::Atom(Atom::Int(21))]).unwrap();
+        assert_eq!(out, Value::Atom(Atom::Float(42.0)));
+        assert!(matches!(
+            r.call("nope", &[]),
+            Err(EvalError::UnknownFunction(_))
+        ));
+    }
+
+    #[test]
+    fn builtin_contains_is_case_insensitive_text_search() {
+        let r = FnRegistry::with_builtins();
+        let work = Value::Tree(Node::sym(
+            "work",
+            vec![
+                Node::elem("style", "Impressionist"),
+                Node::elem("title", "Nympheas"),
+            ],
+        ));
+        let hit = r
+            .call(
+                "contains",
+                &[work.clone(), Value::Atom(Atom::Str("impressionist".into()))],
+            )
+            .unwrap();
+        assert_eq!(hit, Value::Atom(Atom::Bool(true)));
+        let miss = r
+            .call("contains", &[work, Value::Atom(Atom::Str("cubist".into()))])
+            .unwrap();
+        assert_eq!(miss, Value::Atom(Atom::Bool(false)));
+        // arity and type errors
+        assert!(r.call("contains", &[Value::Null]).is_err());
+        assert!(r
+            .call("contains", &[Value::Null, Value::Atom(Atom::Int(3))])
+            .is_err());
+    }
+
+    #[test]
+    fn skolem_memoization() {
+        let s = SkolemRegistry::new();
+        let a1 = s.apply("artwork", &[Value::Atom(Atom::Str("Nympheas".into()))]);
+        let a2 = s.apply("artwork", &[Value::Atom(Atom::Str("Nympheas".into()))]);
+        let b = s.apply("artwork", &[Value::Atom(Atom::Str("Waterloo".into()))]);
+        assert_eq!(a1, a2, "same args → same identifier");
+        assert_ne!(a1, b);
+        // different function name, same args → different identifier
+        let c = s.apply("artist", &[Value::Atom(Atom::Str("Nympheas".into()))]);
+        assert_ne!(a1, c);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn value_text_concatenates() {
+        let t = Value::Tree(Node::sym(
+            "history",
+            vec![
+                Node::atom("Painted with"),
+                Node::elem("technique", "Oil on canvas"),
+            ],
+        ));
+        assert_eq!(value_text(&t), "Painted with Oil on canvas");
+    }
+}

@@ -1,0 +1,294 @@
+//! The `Tab` structure: a ¬1NF relation of variable bindings.
+
+use crate::value::Value;
+use std::fmt;
+use yat_model::BindingRow;
+
+/// A table of variable bindings — "comparable to a ¬1NF relation"
+/// (Section 3.1, Fig. 4). Columns are variable names; cells are
+/// [`Value`]s, possibly nested collections.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Tab {
+    columns: Vec<String>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl Tab {
+    /// An empty table with the given column names.
+    pub fn new(columns: Vec<String>) -> Self {
+        Tab {
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Builds a table from match-produced binding rows, with columns in
+    /// `columns` order (a variable missing from a row — union branches —
+    /// becomes `Null`).
+    pub fn from_binding_rows(columns: Vec<String>, rows: Vec<BindingRow>) -> Self {
+        let mut tab = Tab::new(columns);
+        for mut row in rows {
+            let values = tab
+                .columns
+                .iter()
+                .map(|c| {
+                    row.remove(c)
+                        .map(Value::from_binding)
+                        .unwrap_or(Value::Null)
+                })
+                .collect();
+            tab.rows.push(values);
+        }
+        tab
+    }
+
+    /// Column names, in order.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Index of a column.
+    pub fn col(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterates rows.
+    pub fn rows(&self) -> impl Iterator<Item = &[Value]> {
+        self.rows.iter().map(|r| r.as_slice())
+    }
+
+    /// Row by index.
+    pub fn row(&self, i: usize) -> &[Value] {
+        &self.rows[i]
+    }
+
+    /// The value at (row, column name); `None` for unknown columns.
+    pub fn get(&self, row: usize, name: &str) -> Option<&Value> {
+        self.col(name).map(|c| &self.rows[row][c])
+    }
+
+    /// Appends a row; panics if the arity differs (an internal invariant —
+    /// operators always construct rows from the table's own column list).
+    pub fn push(&mut self, row: Vec<Value>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row arity {} does not match columns {:?}",
+            row.len(),
+            self.columns
+        );
+        self.rows.push(row);
+    }
+
+    /// Takes ownership of the rows.
+    pub fn into_rows(self) -> Vec<Vec<Value>> {
+        self.rows
+    }
+
+    /// Projection with renaming: `(src, dst)` pairs. Unknown sources
+    /// project as `Null` columns — the permissive behaviour XML queries
+    /// need when a union branch lacks a variable.
+    pub fn project(&self, cols: &[(String, String)]) -> Tab {
+        let idx: Vec<Option<usize>> = cols.iter().map(|(s, _)| self.col(s)).collect();
+        let mut out = Tab::new(cols.iter().map(|(_, d)| d.clone()).collect());
+        for row in &self.rows {
+            out.rows.push(
+                idx.iter()
+                    .map(|i| i.map(|i| row[i].clone()).unwrap_or(Value::Null))
+                    .collect(),
+            );
+        }
+        out
+    }
+
+    /// Concatenates two tables column-wise for one row pair (join helper).
+    pub(crate) fn joined_columns(left: &Tab, right: &Tab) -> Vec<String> {
+        let mut cols = left.columns.clone();
+        for c in &right.columns {
+            if !cols.contains(c) {
+                cols.push(c.clone());
+            } else {
+                // disambiguate duplicate columns from the right side
+                cols.push(format!("{c}'"));
+            }
+        }
+        cols
+    }
+
+    /// Removes duplicate rows (set semantics for `Union`/`Intersect`),
+    /// preserving first occurrence order.
+    pub fn dedup(&mut self) {
+        let mut seen = std::collections::BTreeSet::new();
+        self.rows.retain(|row| {
+            let key: String = row.iter().map(|v| v.group_key() + "\u{1}").collect();
+            seen.insert(key)
+        });
+    }
+
+    /// Total size of the table in tree nodes — the transfer meter uses
+    /// this to approximate result sizes before serialization.
+    pub fn node_size(&self) -> usize {
+        self.rows
+            .iter()
+            .flat_map(|r| r.iter())
+            .map(value_size)
+            .sum()
+    }
+}
+
+fn value_size(v: &Value) -> usize {
+    match v {
+        Value::Tree(t) => t.size(),
+        Value::Coll(c) => c.iter().map(value_size).sum(),
+        Value::Null => 0,
+        _ => 1,
+    }
+}
+
+/// Renders like the Tab of Fig. 4: a header of `$`-variables and one line
+/// per row.
+impl fmt::Display for Tab {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let headers: Vec<String> = self.columns.iter().map(|c| format!("${c}")).collect();
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, " {:w$} |", c, w = widths[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &headers)?;
+        let total: usize = widths.iter().map(|w| w + 3).sum::<usize>() + 1;
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &rendered {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yat_model::{Atom, Binding, Node};
+
+    fn sample() -> Tab {
+        let mut t = Tab::new(vec!["t".into(), "a".into()]);
+        t.push(vec![
+            Value::Atom(Atom::Str("Nympheas".into())),
+            Value::Atom(Atom::Str("Monet".into())),
+        ]);
+        t.push(vec![
+            Value::Atom(Atom::Str("Waterloo Bridge".into())),
+            Value::Atom(Atom::Str("Monet".into())),
+        ]);
+        t
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let t = sample();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.col("a"), Some(1));
+        assert_eq!(t.col("zz"), None);
+        assert_eq!(
+            t.get(0, "t"),
+            Some(&Value::Atom(Atom::Str("Nympheas".into())))
+        );
+        assert!(t.get(0, "zz").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut t = sample();
+        t.push(vec![Value::Null]);
+    }
+
+    #[test]
+    fn from_binding_rows_fills_nulls() {
+        let mut r1 = BindingRow::new();
+        r1.insert("x".into(), Binding::Tree(Node::atom(1)));
+        let r2 = BindingRow::new(); // x unbound
+        let t = Tab::from_binding_rows(vec!["x".into()], vec![r1, r2]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.row(0)[0].is_null());
+        assert!(t.row(1)[0].is_null());
+    }
+
+    #[test]
+    fn projection_renames_and_nulls_unknowns() {
+        let t = sample();
+        let p = t.project(&[
+            ("a".into(), "artist".into()),
+            ("nope".into(), "gone".into()),
+        ]);
+        assert_eq!(p.columns(), &["artist".to_string(), "gone".to_string()]);
+        assert_eq!(
+            p.get(0, "artist"),
+            Some(&Value::Atom(Atom::Str("Monet".into())))
+        );
+        assert!(p.get(0, "gone").unwrap().is_null());
+    }
+
+    #[test]
+    fn dedup_uses_value_keys() {
+        let mut t = Tab::new(vec!["x".into()]);
+        t.push(vec![Value::Atom(Atom::Int(1))]);
+        t.push(vec![Value::Atom(Atom::Float(1.0))]); // query-equal
+        t.push(vec![Value::Atom(Atom::Int(2))]);
+        t.dedup();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn display_fig4_layout() {
+        let s = sample().to_string();
+        assert!(s.contains("$t"), "{s}");
+        assert!(s.contains("Nympheas"), "{s}");
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn joined_columns_disambiguates() {
+        let l = Tab::new(vec!["t".into(), "a".into()]);
+        let r = Tab::new(vec!["t".into(), "p".into()]);
+        assert_eq!(
+            Tab::joined_columns(&l, &r),
+            vec![
+                "t".to_string(),
+                "a".to_string(),
+                "t'".to_string(),
+                "p".to_string()
+            ]
+        );
+    }
+
+    #[test]
+    fn node_size_counts_trees() {
+        let mut t = Tab::new(vec!["w".into()]);
+        t.push(vec![Value::Tree(Node::sym("w", vec![Node::elem("t", 1)]))]);
+        assert_eq!(t.node_size(), 3);
+    }
+}

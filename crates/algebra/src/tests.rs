@@ -1,0 +1,741 @@
+//! Cross-operator tests for the algebra, including the Fig. 4 reproduction
+//! and property tests on operator laws.
+
+use crate::eval::{eval, EvalCtx};
+use crate::expr::{Alg, CmpOp, Operand, Pred, SortDir};
+use crate::funcs::{FnRegistry, SkolemRegistry};
+use crate::tab::Tab;
+use crate::template::Template;
+use crate::value::Value;
+use std::sync::Arc;
+use yat_model::{Edge, Forest, Label, Node, Pattern, Tree};
+
+fn work(artist: &str, title: &str, style: &str, extra: Vec<Tree>) -> Tree {
+    let mut children = vec![
+        Node::elem("artist", artist),
+        Node::elem("title", title),
+        Node::elem("style", style),
+        Node::elem("size", "21 x 61"),
+    ];
+    children.extend(extra);
+    Node::sym("work", children)
+}
+
+/// The Fig. 1 / Fig. 4 works collection.
+fn works_forest() -> Forest {
+    let mut f = Forest::new();
+    f.insert(
+        "works",
+        Node::sym(
+            "works",
+            vec![
+                work(
+                    "Claude Monet",
+                    "Nympheas",
+                    "Impressionist",
+                    vec![Node::elem("cplace", "Giverny")],
+                ),
+                work("Claude Monet", "Waterloo Bridge", "Impressionist", vec![]),
+                work("Paul Cézanne", "Card Players", "Post-Impressionist", vec![]),
+            ],
+        ),
+    );
+    f
+}
+
+fn fig4_filter() -> Pattern {
+    Pattern::sym(
+        "works",
+        vec![Edge::star(Pattern::sym(
+            "work",
+            vec![
+                Edge::one(Pattern::elem_var("title", "t")),
+                Edge::one(Pattern::elem_var("artist", "a")),
+                Edge::one(Pattern::elem_var("style", "s")),
+                Edge::one(Pattern::elem_var("size", "si")),
+                Edge::star_collect("fields", Pattern::Wildcard),
+            ],
+        ))],
+    )
+}
+
+struct Ctx {
+    forest: Forest,
+    funcs: FnRegistry,
+    skolems: SkolemRegistry,
+}
+
+impl Ctx {
+    fn new(forest: Forest) -> Self {
+        Ctx {
+            forest,
+            funcs: FnRegistry::with_builtins(),
+            skolems: SkolemRegistry::new(),
+        }
+    }
+
+    fn eval(&self, plan: &Alg) -> crate::eval::EvalOut {
+        eval(
+            plan,
+            &EvalCtx::local(&self.forest, &self.funcs, &self.skolems),
+        )
+        .unwrap_or_else(|e| panic!("eval failed: {e}\nplan:\n{plan}"))
+    }
+
+    fn eval_tab(&self, plan: &Alg) -> Tab {
+        match self.eval(plan) {
+            crate::eval::EvalOut::Tab(t) => t,
+            other => panic!("expected Tab, got {other:?}"),
+        }
+    }
+
+    fn eval_tree(&self, plan: &Alg) -> Tree {
+        match self.eval(plan) {
+            crate::eval::EvalOut::Tree(t) => t,
+            other => panic!("expected tree, got {other:?}"),
+        }
+    }
+}
+
+fn str_of(v: &Value) -> String {
+    v.atom().map(|a| a.to_string()).unwrap_or_default()
+}
+
+#[test]
+fn fig4_bind_produces_tab() {
+    let ctx = Ctx::new(works_forest());
+    let plan = Alg::bind(Alg::source("works"), fig4_filter());
+    let tab = ctx.eval_tab(&plan);
+    assert_eq!(tab.columns(), &["t", "a", "s", "si", "fields"]);
+    assert_eq!(tab.len(), 3);
+    assert_eq!(str_of(tab.get(0, "t").unwrap()), "Nympheas");
+    // $fields holds the collection of optional elements
+    match tab.get(0, "fields").unwrap() {
+        Value::Coll(c) => assert_eq!(c.len(), 1),
+        other => panic!("{other:?}"),
+    }
+    match tab.get(1, "fields").unwrap() {
+        Value::Coll(c) => assert!(c.is_empty()),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn fig4_tree_groups_by_artist() {
+    // Tree(Bind(works)): group works by artist name, one subtree per
+    // artist holding the titles (Fig. 4 right).
+    let ctx = Ctx::new(works_forest());
+    let template = Template::sym(
+        "s",
+        vec![Template::skolem_group(
+            "artist",
+            &["a"],
+            Template::sym(
+                "artist",
+                vec![
+                    Template::elem_var("name", "a"),
+                    Template::group(&["t"], Template::elem_var("title", "t")),
+                ],
+            ),
+        )],
+    );
+    let plan = Alg::tree(Alg::bind(Alg::source("works"), fig4_filter()), template);
+    let tree = ctx.eval_tree(&plan);
+    assert_eq!(tree.label.as_sym(), Some("s"));
+    assert_eq!(tree.children.len(), 2, "two distinct artists");
+    // each group is Skolem-identified
+    let monet = &tree.children[0];
+    assert!(matches!(&monet.label, Label::Oid(o) if o.as_str().starts_with("artist:")));
+    let artist = &monet.children[0];
+    assert_eq!(artist.label.as_sym(), Some("artist"));
+    assert_eq!(
+        artist
+            .child("name")
+            .unwrap()
+            .value_atom()
+            .unwrap()
+            .to_string(),
+        "Claude Monet"
+    );
+    assert_eq!(artist.children_named("title").count(), 2);
+    // skolem memoization: re-evaluating yields the same identifiers
+    let tree2 = ctx.eval_tree(&plan);
+    assert_eq!(tree, tree2);
+}
+
+#[test]
+fn select_with_comparison_and_contains() {
+    let ctx = Ctx::new(works_forest());
+    let bind = Alg::bind(Alg::source("works"), fig4_filter());
+    let sel = Alg::select(bind.clone(), Pred::eq_const("s", "Impressionist"));
+    assert_eq!(ctx.eval_tab(&sel).len(), 2);
+
+    // contains over the whole bound work: rebind trees
+    let wf = Pattern::sym("works", vec![Edge::star_iter("w", Pattern::Wildcard)]);
+    let bindw = Alg::bind(Alg::source("works"), wf);
+    let sel = Alg::select(
+        bindw,
+        Pred::Call {
+            name: "contains".into(),
+            args: vec![Operand::var("w"), Operand::cst("Giverny")],
+        },
+    );
+    assert_eq!(ctx.eval_tab(&sel).len(), 1);
+}
+
+#[test]
+fn project_renames() {
+    let ctx = Ctx::new(works_forest());
+    let bind = Alg::bind(Alg::source("works"), fig4_filter());
+    let proj = Alg::project(
+        bind,
+        vec![("t".into(), "title".into()), ("a".into(), "artist".into())],
+    );
+    let tab = ctx.eval_tab(&proj);
+    assert_eq!(tab.columns(), &["title", "artist"]);
+    assert_eq!(tab.len(), 3);
+}
+
+#[test]
+fn linear_bind_split_navigates_down() {
+    // Bind(works → $w) then Bind over $w extracting $t: the Section 5.1
+    // linear split shape.
+    let ctx = Ctx::new(works_forest());
+    let b1 = Alg::bind(
+        Alg::source("works"),
+        Pattern::sym("works", vec![Edge::star_iter("w", Pattern::Wildcard)]),
+    );
+    let b2 = Alg::bind_over(
+        b1,
+        "w",
+        Pattern::sym("work", vec![Edge::one(Pattern::elem_var("title", "t"))]),
+    );
+    let tab = ctx.eval_tab(&b2);
+    assert_eq!(tab.columns(), &["w", "t"]);
+    assert_eq!(tab.len(), 3);
+    assert_eq!(str_of(tab.get(2, "t").unwrap()), "Card Players");
+}
+
+#[test]
+fn bind_over_equals_monolithic_bind() {
+    // the linear split is an *equivalence*: same bindings as the one-shot
+    // deep filter, modulo the extra $w column
+    let ctx = Ctx::new(works_forest());
+    let deep = Alg::bind(
+        Alg::source("works"),
+        Pattern::sym(
+            "works",
+            vec![Edge::star(Pattern::sym(
+                "work",
+                vec![
+                    Edge::one(Pattern::elem_var("title", "t")),
+                    Edge::one(Pattern::elem_var("artist", "a")),
+                ],
+            ))],
+        ),
+    );
+    let split = Alg::bind_over(
+        Alg::bind(
+            Alg::source("works"),
+            Pattern::sym("works", vec![Edge::star_iter("w", Pattern::Wildcard)]),
+        ),
+        "w",
+        Pattern::sym(
+            "work",
+            vec![
+                Edge::one(Pattern::elem_var("title", "t")),
+                Edge::one(Pattern::elem_var("artist", "a")),
+            ],
+        ),
+    );
+    let d = ctx.eval_tab(&deep);
+    let s = ctx
+        .eval_tab(&split)
+        .project(&[("t".into(), "t".into()), ("a".into(), "a".into())]);
+    assert_eq!(d, s);
+}
+
+fn prices_forest() -> Forest {
+    let mut f = works_forest();
+    f.insert(
+        "prices",
+        Node::sym(
+            "prices",
+            vec![
+                Node::sym(
+                    "price",
+                    vec![
+                        Node::elem("title", "Nympheas"),
+                        Node::elem("amount", 150000),
+                    ],
+                ),
+                Node::sym(
+                    "price",
+                    vec![
+                        Node::elem("title", "Card Players"),
+                        Node::elem("amount", 250000),
+                    ],
+                ),
+            ],
+        ),
+    );
+    f
+}
+
+fn works_bind() -> Arc<Alg> {
+    Alg::bind(
+        Alg::source("works"),
+        Pattern::sym(
+            "works",
+            vec![Edge::star(Pattern::sym(
+                "work",
+                vec![Edge::one(Pattern::elem_var("title", "t"))],
+            ))],
+        ),
+    )
+}
+
+fn prices_bind() -> Arc<Alg> {
+    Alg::bind(
+        Alg::source("prices"),
+        Pattern::sym(
+            "prices",
+            vec![Edge::star(Pattern::sym(
+                "price",
+                vec![
+                    Edge::one(Pattern::elem_var("title", "t2")),
+                    Edge::one(Pattern::elem_var("amount", "p")),
+                ],
+            ))],
+        ),
+    )
+}
+
+#[test]
+fn join_hash_and_nested_agree() {
+    let ctx = Ctx::new(prices_forest());
+    // equi-join (hash path)
+    let j = Alg::join(works_bind(), prices_bind(), Pred::var_eq("t", "t2"));
+    let tab = ctx.eval_tab(&j);
+    assert_eq!(tab.len(), 2);
+    assert_eq!(tab.columns(), &["t", "t2", "p"]);
+    // non-equi (nested loop path) computing the same result
+    let j2 = Alg::join(
+        works_bind(),
+        prices_bind(),
+        Pred::Not(Box::new(Pred::cmp(
+            CmpOp::Ne,
+            Operand::var("t"),
+            Operand::var("t2"),
+        ))),
+    );
+    let tab2 = ctx.eval_tab(&j2);
+    assert_eq!(tab.len(), tab2.len());
+    let titles = |t: &Tab| -> Vec<String> {
+        let mut v: Vec<String> = t.rows().map(|r| str_of(&r[0])).collect();
+        v.sort();
+        v
+    };
+    assert_eq!(titles(&tab), titles(&tab2));
+}
+
+#[test]
+fn join_duplicate_columns_get_primed() {
+    let ctx = Ctx::new(prices_forest());
+    let l = works_bind(); // cols [t]
+    let r = works_bind(); // cols [t] again
+    let j = Alg::join(l, r, Pred::var_eq("t", "t'"));
+    let tab = ctx.eval_tab(&j);
+    assert_eq!(tab.columns(), &["t", "t'"]);
+    assert_eq!(tab.len(), 3, "self equi-join on distinct titles");
+}
+
+#[test]
+fn djoin_passes_bindings() {
+    // DJoin(works, Bind(prices) constrained by $t): information passing —
+    // the right side sees each left row's $t as an equality constraint via
+    // the shared variable name (renamed t2→t on the right to share).
+    let ctx = Ctx::new(prices_forest());
+    let right = Alg::project(
+        prices_bind(),
+        vec![("t2".into(), "t".into()), ("p".into(), "p".into())],
+    );
+    // Project keeps $t (shared) — DJoin restricts right rows by env
+    let right = Alg::select(right, Pred::var_eq("t", "t")); // no-op select keeps shape
+    let dj = Alg::djoin(works_bind(), right);
+    let tab = ctx.eval_tab(&dj);
+    // hmm: Project/Select don't constrain by env — constraint happens in
+    // Bind. Use a Bind on the right instead for the real test below.
+    assert_eq!(tab.columns(), &["t", "p"]);
+
+    // the canonical shape: right is a Bind whose filter shares $t
+    let right_bind = Alg::bind(
+        Alg::source("prices"),
+        Pattern::sym(
+            "prices",
+            vec![Edge::star(Pattern::sym(
+                "price",
+                vec![
+                    Edge::one(Pattern::elem_var("title", "t")),
+                    Edge::one(Pattern::elem_var("amount", "p")),
+                ],
+            ))],
+        ),
+    );
+    let dj = Alg::djoin(works_bind(), right_bind);
+    let tab = ctx.eval_tab(&dj);
+    assert_eq!(tab.columns(), &["t", "p"]);
+    assert_eq!(tab.len(), 2, "only titles with prices survive");
+    for row in tab.rows() {
+        assert!(!row[1].is_null());
+    }
+}
+
+#[test]
+fn djoin_equals_join_on_shared_vars() {
+    // the Fig. 7 DJoin↔Join equivalence, checked semantically
+    let ctx = Ctx::new(prices_forest());
+    let dj = Alg::djoin(
+        works_bind(),
+        Alg::bind(
+            Alg::source("prices"),
+            Pattern::sym(
+                "prices",
+                vec![Edge::star(Pattern::sym(
+                    "price",
+                    vec![
+                        Edge::one(Pattern::elem_var("title", "t")),
+                        Edge::one(Pattern::elem_var("amount", "p")),
+                    ],
+                ))],
+            ),
+        ),
+    );
+    let j = Alg::project(
+        Alg::join(works_bind(), prices_bind(), Pred::var_eq("t", "t2")),
+        vec![("t".into(), "t".into()), ("p".into(), "p".into())],
+    );
+    assert_eq!(ctx.eval_tab(&dj), ctx.eval_tab(&j));
+}
+
+#[test]
+fn union_intersect_diff() {
+    let ctx = Ctx::new(works_forest());
+    let all = works_bind();
+    let imp = Alg::bind(
+        Alg::source("works"),
+        Pattern::sym(
+            "works",
+            vec![Edge::star(Pattern::sym(
+                "work",
+                vec![
+                    Edge::one(Pattern::elem_var("title", "t")),
+                    Edge::one(Pattern::elem_const("style", "Impressionist")),
+                ],
+            ))],
+        ),
+    );
+    let union = Arc::new(Alg::Union {
+        left: all.clone(),
+        right: imp.clone(),
+    });
+    assert_eq!(ctx.eval_tab(&union).len(), 3, "dedup keeps set semantics");
+    let inter = Arc::new(Alg::Intersect {
+        left: all.clone(),
+        right: imp.clone(),
+    });
+    assert_eq!(ctx.eval_tab(&inter).len(), 2);
+    let diff = Arc::new(Alg::Diff {
+        left: all,
+        right: imp,
+    });
+    let d = ctx.eval_tab(&diff);
+    assert_eq!(d.len(), 1);
+    assert_eq!(str_of(&d.row(0)[0]), "Card Players");
+}
+
+#[test]
+fn union_incompatible_errors() {
+    let ctx = Ctx::new(prices_forest());
+    let u = Arc::new(Alg::Union {
+        left: works_bind(),
+        right: prices_bind(),
+    });
+    let err = eval(&u, &EvalCtx::local(&ctx.forest, &ctx.funcs, &ctx.skolems)).unwrap_err();
+    assert!(err.to_string().contains("column mismatch"), "{err}");
+}
+
+#[test]
+fn group_nests_non_key_columns() {
+    let ctx = Ctx::new(works_forest());
+    let bind = Alg::bind(Alg::source("works"), fig4_filter());
+    let g = Arc::new(Alg::Group {
+        input: Alg::project_keep(bind, &["a", "t"]),
+        keys: vec!["a".into()],
+    });
+    let tab = ctx.eval_tab(&g);
+    assert_eq!(tab.columns(), &["a", "t"]);
+    assert_eq!(tab.len(), 2);
+    match tab.get(0, "t").unwrap() {
+        Value::Coll(c) => assert_eq!(c.len(), 2, "Monet has two works"),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn sort_ascending_descending() {
+    let ctx = Ctx::new(works_forest());
+    let bind = Alg::project_keep(Alg::bind(Alg::source("works"), fig4_filter()), &["t"]);
+    let asc = Arc::new(Alg::Sort {
+        input: bind.clone(),
+        keys: vec![("t".into(), SortDir::Asc)],
+    });
+    let t = ctx.eval_tab(&asc);
+    assert_eq!(str_of(&t.row(0)[0]), "Card Players");
+    let desc = Arc::new(Alg::Sort {
+        input: bind,
+        keys: vec![("t".into(), SortDir::Desc)],
+    });
+    let t = ctx.eval_tab(&desc);
+    assert_eq!(str_of(&t.row(0)[0]), "Waterloo Bridge");
+}
+
+#[test]
+fn map_appends_computed_column() {
+    let ctx = Ctx::new(prices_forest());
+    let m = Arc::new(Alg::Map {
+        input: prices_bind(),
+        col: "text".into(),
+        expr: Operand::Call {
+            name: "textof".into(),
+            args: vec![Operand::var("t2")],
+        },
+    });
+    let tab = ctx.eval_tab(&m);
+    assert_eq!(tab.columns().last().map(String::as_str), Some("text"));
+    assert_eq!(str_of(tab.get(0, "text").unwrap()), "Nympheas");
+}
+
+#[test]
+fn push_is_transparent_to_reference_eval() {
+    let ctx = Ctx::new(works_forest());
+    let plain = works_bind();
+    let pushed = Alg::push("wais", works_bind());
+    assert_eq!(ctx.eval_tab(&plain), ctx.eval_tab(&pushed));
+}
+
+#[test]
+fn unknown_source_and_column_errors() {
+    let ctx = Ctx::new(works_forest());
+    let ectx = EvalCtx::local(&ctx.forest, &ctx.funcs, &ctx.skolems);
+    let bad = Alg::source("nothing");
+    assert!(matches!(
+        eval(&bad, &ectx),
+        Err(crate::EvalError::UnknownSource { .. })
+    ));
+    let sel = Alg::select(works_bind(), Pred::eq_const("zz", 1));
+    assert!(matches!(
+        eval(&sel, &ectx),
+        Err(crate::EvalError::UnknownColumn(_))
+    ));
+    let kind = Alg::select(Alg::source("works"), Pred::True);
+    assert!(matches!(
+        eval(&kind, &ectx),
+        Err(crate::EvalError::Kind { .. })
+    ));
+}
+
+#[test]
+fn tree_without_rows_builds_empty_skeleton() {
+    let ctx = Ctx::new(works_forest());
+    let empty = Alg::select(works_bind(), Pred::eq_const("t", "missing"));
+    let tree = Alg::tree(
+        empty,
+        Template::sym(
+            "doc",
+            vec![Template::group(&["t"], Template::elem_var("title", "t"))],
+        ),
+    );
+    let t = ctx.eval_tree(&tree);
+    assert_eq!(t.label.as_sym(), Some("doc"));
+    assert!(t.children.is_empty());
+}
+
+#[test]
+fn label_var_template_reconstructs_fields() {
+    // round-trip structure through a label variable: bind field names of
+    // works, then rebuild elements named by them
+    let ctx = Ctx::new(works_forest());
+    let bind = Alg::bind(
+        Alg::source("works"),
+        Pattern::sym(
+            "works",
+            vec![Edge::star(Pattern::sym(
+                "work",
+                vec![Edge::star_iter(
+                    "f",
+                    Pattern::Node {
+                        label: yat_model::PLabel::Var("n".into()),
+                        edges: vec![Edge::one(Pattern::TreeVar("v".into()))],
+                    },
+                )],
+            ))],
+        ),
+    );
+    let tree = Alg::tree(
+        bind,
+        Template::sym(
+            "names",
+            vec![Template::LabelVar {
+                var: "n".into(),
+                children: vec![],
+            }],
+        ),
+    );
+    let t = ctx.eval_tree(&tree);
+    let names: Vec<&str> = t.children.iter().filter_map(|c| c.label.as_sym()).collect();
+    assert!(
+        names.contains(&"artist") && names.contains(&"cplace"),
+        "{names:?}"
+    );
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_works(n: usize) -> impl Strategy<Value = Forest> {
+        proptest::collection::vec(("[a-c]{1,3}", "[a-f]{1,4}", 1800i64..1930), 1..n).prop_map(
+            |specs| {
+                let mut f = Forest::new();
+                let works: Vec<Tree> = specs
+                    .into_iter()
+                    .map(|(artist, title, year)| {
+                        Node::sym(
+                            "work",
+                            vec![
+                                Node::elem("artist", artist),
+                                Node::elem("title", title),
+                                Node::elem("year", year),
+                            ],
+                        )
+                    })
+                    .collect();
+                f.insert("works", Node::sym("works", works));
+                f
+            },
+        )
+    }
+
+    fn simple_bind() -> Arc<Alg> {
+        Alg::bind(
+            Alg::source("works"),
+            Pattern::sym(
+                "works",
+                vec![Edge::star(Pattern::sym(
+                    "work",
+                    vec![
+                        Edge::one(Pattern::elem_var("artist", "a")),
+                        Edge::one(Pattern::elem_var("title", "t")),
+                        Edge::one(Pattern::elem_var("year", "y")),
+                    ],
+                ))],
+            ),
+        )
+    }
+
+    proptest! {
+        /// σ_p(σ_q(x)) == σ_q(σ_p(x)) — selections commute.
+        #[test]
+        fn selections_commute(f in arb_works(12), y in 1800i64..1930) {
+            let ctx = Ctx::new(f);
+            let p = Pred::cmp(CmpOp::Gt, Operand::var("y"), Operand::cst(y));
+            let q = Pred::cmp(CmpOp::Le, Operand::var("y"), Operand::cst(y + 40));
+            let pq = Alg::select(Alg::select(simple_bind(), p.clone()), q.clone());
+            let qp = Alg::select(Alg::select(simple_bind(), q), p);
+            prop_assert_eq!(ctx.eval_tab(&pq), ctx.eval_tab(&qp));
+        }
+
+        /// π(σ(x)) == σ(π(x)) when the projection keeps the predicate vars.
+        #[test]
+        fn select_project_commute(f in arb_works(12), y in 1800i64..1930) {
+            let ctx = Ctx::new(f);
+            let p = Pred::cmp(CmpOp::Ge, Operand::var("y"), Operand::cst(y));
+            let a = Alg::project_keep(Alg::select(simple_bind(), p.clone()), &["t", "y"]);
+            let b = Alg::select(Alg::project_keep(simple_bind(), &["t", "y"]), p);
+            prop_assert_eq!(ctx.eval_tab(&a), ctx.eval_tab(&b));
+        }
+
+        /// Union is commutative and idempotent under set semantics.
+        #[test]
+        fn union_laws(f in arb_works(10)) {
+            let ctx = Ctx::new(f);
+            let x = Alg::project_keep(simple_bind(), &["t"]);
+            let sorted = |t: &Tab| {
+                let mut rows: Vec<String> = t.rows().map(|r| str_of(&r[0])).collect();
+                rows.sort();
+                rows
+            };
+            let xx = Arc::new(Alg::Union { left: x.clone(), right: x.clone() });
+            prop_assert_eq!(sorted(&ctx.eval_tab(&xx)), {
+                let mut t = ctx.eval_tab(&x);
+                t.dedup();
+                sorted(&t)
+            });
+        }
+
+        /// DJoin(l, Bind_shared) == Join(l, Bind_renamed) on shared vars —
+        /// the Fig. 7 equivalence on arbitrary data.
+        #[test]
+        fn djoin_join_equivalence(f in arb_works(10)) {
+            let ctx = Ctx::new(f);
+            let left = Alg::project_keep(simple_bind(), &["a"]);
+            let right_shared = Alg::bind(
+                Alg::source("works"),
+                Pattern::sym(
+                    "works",
+                    vec![Edge::star(Pattern::sym(
+                        "work",
+                        vec![
+                            Edge::one(Pattern::elem_var("artist", "a")),
+                            Edge::one(Pattern::elem_var("title", "t2")),
+                        ],
+                    ))],
+                ),
+            );
+            let dj = Alg::djoin(left.clone(), right_shared.clone());
+            let renamed = Alg::project(
+                right_shared,
+                vec![("a".into(), "a2".into()), ("t2".into(), "t2".into())],
+            );
+            let j = Alg::project(
+                Alg::join(left, renamed, Pred::var_eq("a", "a2")),
+                vec![("a".into(), "a".into()), ("t2".into(), "t2".into())],
+            );
+            let mut left_t = ctx.eval_tab(&dj);
+            let mut right_t = ctx.eval_tab(&j);
+            left_t.dedup();
+            right_t.dedup();
+            prop_assert_eq!(left_t, right_t);
+        }
+
+        /// Sorting is a permutation: same multiset of rows.
+        #[test]
+        fn sort_permutes(f in arb_works(12)) {
+            let ctx = Ctx::new(f);
+            let x = simple_bind();
+            let sorted = Arc::new(Alg::Sort {
+                input: x.clone(),
+                keys: vec![("t".into(), SortDir::Asc), ("y".into(), SortDir::Desc)],
+            });
+            let a = ctx.eval_tab(&x);
+            let b = ctx.eval_tab(&sorted);
+            let key = |t: &Tab| {
+                let mut v: Vec<String> = t.rows().map(|r| r.iter().map(|c| c.group_key()).collect::<String>()).collect();
+                v.sort();
+                v
+            };
+            prop_assert_eq!(key(&a), key(&b));
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Values held in `Tab` cells.
+
+use std::fmt;
+use yat_model::{Atom, Binding, Node, Tree};
+
+/// A cell value in a [`crate::Tab`].
+///
+/// `Tab` structures are ¬1NF: a cell may hold a whole subtree, an atomic
+/// value, a label, or a nested collection (Fig. 4's `$fields` column holds
+/// collections of optional elements).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A subtree, aliased (not copied) from the input document.
+    Tree(Tree),
+    /// An atomic value, e.g. produced by `Map` arithmetic.
+    Atom(Atom),
+    /// A label bound by a tag variable.
+    Label(String),
+    /// A nested collection (star-collect bindings, grouped rows).
+    Coll(Vec<Value>),
+    /// Absent — a variable bound in one `Union` branch but not another,
+    /// or an outer-join style miss.
+    Null,
+}
+
+impl Value {
+    /// Converts a match-time [`Binding`] into a table value.
+    pub fn from_binding(b: Binding) -> Value {
+        match b {
+            Binding::Tree(t) => Value::Tree(t),
+            Binding::Label(l) => Value::Label(l),
+            Binding::Coll(c) => Value::Coll(c.into_iter().map(Value::Tree).collect()),
+        }
+    }
+
+    /// The subtree, if this value holds one.
+    pub fn as_tree(&self) -> Option<&Tree> {
+        match self {
+            Value::Tree(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The atomic content of this value: an `Atom` directly, or the atom of
+    /// a `sym[atom]` / `atom` tree. This is the coercion predicates apply —
+    /// comparing `$y > 1800` works whether `$y` is bound to the `year`
+    /// element or its integer content.
+    pub fn atom(&self) -> Option<Atom> {
+        match self {
+            Value::Atom(a) => Some(a.clone()),
+            Value::Tree(t) => t.value_atom().cloned().or_else(|| match &t.label {
+                yat_model::Label::Sym(_) => None,
+                _ => None,
+            }),
+            Value::Label(l) => Some(Atom::Str(l.clone())),
+            _ => None,
+        }
+    }
+
+    /// True when the value is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Value equality used by predicates and joins: atoms compare with
+    /// numeric coercion, trees structurally, and a tree whose content is an
+    /// atom compares equal to that atom (so `$t = $t'` holds between a
+    /// bound `title` element and a bound title string).
+    pub fn query_eq(&self, other: &Value) -> bool {
+        if let (Some(a), Some(b)) = (self.atom(), other.atom()) {
+            return a.value_eq(&b);
+        }
+        match (self, other) {
+            (Value::Tree(a), Value::Tree(b)) => a == b,
+            (Value::Coll(a), Value::Coll(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.query_eq(y))
+            }
+            (Value::Null, Value::Null) => true,
+            _ => false,
+        }
+    }
+
+    /// A grouping/join key: equal keys ⟺ [`Value::query_eq`]. Uses the
+    /// atom coercion first so `title["x"]` and `"x"` group together.
+    pub fn group_key(&self) -> String {
+        match self.atom() {
+            Some(Atom::Int(i)) => format!("n{}", i as f64),
+            Some(Atom::Float(f)) => format!("n{f}"),
+            Some(Atom::Bool(b)) => format!("b{b}"),
+            Some(Atom::Str(s)) => format!("t{s}"),
+            None => match self {
+                Value::Tree(t) => format!("T{}", Node::group_key(t)),
+                Value::Coll(c) => {
+                    let mut s = String::from("C[");
+                    for v in c {
+                        s.push_str(&v.group_key());
+                        s.push(';');
+                    }
+                    s.push(']');
+                    s
+                }
+                Value::Null => "N".to_string(),
+                // Atom/Label always produce Some(atom) above
+                Value::Atom(_) | Value::Label(_) => unreachable!(),
+            },
+        }
+    }
+
+    /// Total order for `Sort`: atoms by [`Atom::total_cmp`], then trees by
+    /// display, nulls first.
+    pub fn total_cmp(&self, other: &Value) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        match (self.atom(), other.atom()) {
+            (Some(a), Some(b)) => a.total_cmp(&b),
+            (Some(_), None) => Ordering::Less,
+            (None, Some(_)) => Ordering::Greater,
+            (None, None) => match (self, other) {
+                (Value::Null, Value::Null) => Ordering::Equal,
+                (Value::Null, _) => Ordering::Less,
+                (_, Value::Null) => Ordering::Greater,
+                _ => self.group_key().cmp(&other.group_key()),
+            },
+        }
+    }
+
+    /// Renders the value into constructed XML structure: the `Tree`
+    /// operator splices cell values into templates. Collections splice
+    /// element-wise; atoms become atom leaves.
+    pub fn splice(&self) -> Vec<Tree> {
+        match self {
+            Value::Tree(t) => vec![t.clone()],
+            Value::Atom(a) => vec![Node::atom(a.clone())],
+            Value::Label(l) => vec![Node::sym(l.clone(), vec![])],
+            Value::Coll(c) => c.iter().flat_map(|v| v.splice()).collect(),
+            Value::Null => vec![],
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Tree(t) => write!(f, "{t}"),
+            Value::Atom(a) => write!(f, "{a}"),
+            Value::Label(l) => write!(f, "~{l}"),
+            Value::Coll(c) => {
+                write!(f, "{{")?;
+                for (i, v) in c.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+            Value::Null => write!(f, "⊥"),
+        }
+    }
+}
+
+impl From<Atom> for Value {
+    fn from(a: Atom) -> Self {
+        Value::Atom(a)
+    }
+}
+
+impl From<Tree> for Value {
+    fn from(t: Tree) -> Self {
+        Value::Tree(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atom_coercion_through_trees() {
+        let t = Value::Tree(Node::elem("year", 1897));
+        assert_eq!(t.atom(), Some(Atom::Int(1897)));
+        assert!(t.query_eq(&Value::Atom(Atom::Int(1897))));
+        assert!(t.query_eq(&Value::Atom(Atom::Float(1897.0))));
+        assert!(!t.query_eq(&Value::Atom(Atom::Str("1897".into()))));
+    }
+
+    #[test]
+    fn group_keys_follow_query_eq() {
+        let a = Value::Tree(Node::elem("title", "Nympheas"));
+        let b = Value::Atom(Atom::Str("Nympheas".into()));
+        assert!(a.query_eq(&b));
+        assert_eq!(a.group_key(), b.group_key());
+        let c = Value::Atom(Atom::Int(1));
+        let d = Value::Atom(Atom::Float(1.0));
+        assert_eq!(c.group_key(), d.group_key());
+    }
+
+    #[test]
+    fn structural_tree_comparison_when_no_atoms() {
+        let t1 = Value::Tree(Node::sym("w", vec![Node::elem("a", 1), Node::elem("b", 2)]));
+        let t2 = Value::Tree(Node::sym("w", vec![Node::elem("a", 1), Node::elem("b", 2)]));
+        let t3 = Value::Tree(Node::sym("w", vec![Node::elem("a", 1)]));
+        assert!(t1.query_eq(&t2));
+        assert!(!t1.query_eq(&t3));
+        assert_ne!(t1.group_key(), t3.group_key());
+    }
+
+    #[test]
+    fn splice_shapes() {
+        let coll = Value::Coll(vec![
+            Value::Tree(Node::elem("cplace", "Giverny")),
+            Value::Atom(Atom::Int(3)),
+        ]);
+        let spliced = coll.splice();
+        assert_eq!(spliced.len(), 2);
+        assert!(Value::Null.splice().is_empty());
+        assert_eq!(
+            Value::Label("title".into()).splice()[0].label.as_sym(),
+            Some("title")
+        );
+    }
+
+    #[test]
+    fn ordering_and_nulls() {
+        use std::cmp::Ordering;
+        assert_eq!(Value::Null.total_cmp(&Value::Null), Ordering::Equal);
+        assert_eq!(
+            Value::Null.total_cmp(&Value::Tree(Node::sym("x", vec![]))),
+            Ordering::Less
+        );
+        assert_eq!(
+            Value::Atom(Atom::Int(1)).total_cmp(&Value::Atom(Atom::Float(1.5))),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn binding_conversion() {
+        let b = Binding::Coll(vec![Node::atom(1), Node::atom(2)]);
+        match Value::from_binding(b) {
+            Value::Coll(c) => assert_eq!(c.len(), 2),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            Value::from_binding(Binding::Label("x".into())),
+            Value::Label("x".into())
+        );
+    }
+}

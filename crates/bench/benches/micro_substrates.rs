@@ -1,0 +1,88 @@
+//! Micro-benchmarks of the substrates every figure stands on: XML
+//! parsing/serialization (the wire), filter matching (Bind's engine),
+//! OQL evaluation (the O2 source) and the inverted index (the Wais
+//! source).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Duration;
+use yat_model::MatchOptions;
+use yat_oql::art::{art_store, ArtSpec};
+use yat_wais::{generate_works, WorksSpec};
+use yat_yatl::parse_filter;
+
+fn bench_xml(c: &mut Criterion) {
+    let works = generate_works(&WorksSpec {
+        works: 200,
+        impressionist_pct: 40,
+        optional_pct: 60,
+        giverny_pct: 30,
+        seed: 1,
+    });
+    let xml = yat_model::xml_convert::tree_to_xml(&works).to_xml();
+    let mut group = c.benchmark_group("micro/xml");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.throughput(Throughput::Bytes(xml.len() as u64));
+    group.bench_function("parse", |b| {
+        b.iter(|| yat_xml::parse_element(&xml).expect("well-formed"))
+    });
+    let doc = yat_xml::parse_element(&xml).expect("well-formed");
+    group.bench_function("serialize", |b| b.iter(|| doc.to_xml()));
+    group.bench_function("convert-to-trees", |b| {
+        b.iter(|| yat_model::xml_convert::tree_from_xml(&doc))
+    });
+    group.finish();
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let works = generate_works(&WorksSpec {
+        works: 500,
+        impressionist_pct: 40,
+        optional_pct: 60,
+        giverny_pct: 30,
+        seed: 2,
+    });
+    let filter =
+        parse_filter("works *work [ title: $t, artist: $a, style: $s, size: $si, *($fields) ]")
+            .expect("static filter parses");
+    c.bench_function("micro/match-filter-500-works", |b| {
+        b.iter(|| yat_model::match_filter(&works, &filter, MatchOptions::default()))
+    });
+}
+
+fn bench_oql(c: &mut Criterion) {
+    let store = art_store(&ArtSpec {
+        artifacts: 500,
+        persons: 100,
+        seed: 3,
+    });
+    let q = "select t: A.title, o: O.name from A in artifacts, O in A.owners \
+             where A.year > 1800";
+    c.bench_function("micro/oql-join-500-artifacts", |b| {
+        b.iter(|| yat_oql::oql::run(q, &store).expect("OQL evaluates"))
+    });
+}
+
+fn bench_index(c: &mut Criterion) {
+    let works = generate_works(&WorksSpec {
+        works: 2000,
+        impressionist_pct: 40,
+        optional_pct: 60,
+        giverny_pct: 30,
+        seed: 4,
+    });
+    let mut group = c.benchmark_group("micro/wais");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("index-build-2000", |b| {
+        b.iter(|| yat_wais::WaisSource::new("works", &works))
+    });
+    let source = yat_wais::WaisSource::new("works", &works);
+    group.bench_function("contains-lookup", |b| {
+        b.iter(|| source.contains("Impressionist").expect("open policy"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_xml, bench_matching, bench_oql, bench_index);
+criterion_main!(benches);

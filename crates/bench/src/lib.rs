@@ -1,0 +1,19 @@
+//! # yat-bench — workloads and figure reproductions
+//!
+//! The paper has no quantitative tables; its evaluation is the worked
+//! figures (algebraic translations and rewritings of Q1/Q2 over the O2
+//! and XML-Wais sources). This crate makes each figure executable and
+//! measurable:
+//!
+//! * [`workload`] — parameterized, seeded scenario builders shared by
+//!   benches, the report binary and the integration tests;
+//! * [`figures`] — per-figure plan constructors: the Fig. 4 Bind/Tree
+//!   pair, the Fig. 7 equivalence pairs (before/after of each rewriting),
+//!   and the Fig. 8/9 pipelines at every optimization level;
+//! * `benches/` — Criterion benchmarks regenerating the performance claim
+//!   behind each figure;
+//! * `src/bin/report.rs` — prints the plans, traffic and result
+//!   fingerprints per figure (the source of EXPERIMENTS.md).
+
+pub mod figures;
+pub mod workload;

@@ -1,0 +1,113 @@
+//! Seeded scenario builders for the cultural-goods federation.
+
+use yat_mediator::Mediator;
+use yat_oql::art::{art_store, fig1_store, ArtSpec};
+use yat_oql::O2Wrapper;
+use yat_wais::{fig1_works, generate_works, WaisSource, WaisWrapper, WorksSpec};
+use yat_yatl::paper;
+
+/// One end-to-end scenario configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scenario {
+    /// Artifacts in the O2 database (persons scale at 1/5).
+    pub artifacts: usize,
+    /// Works in the Wais collection.
+    pub works: usize,
+    /// Percentage of Impressionist works (Q2 full-text selectivity).
+    pub impressionist_pct: u8,
+    /// Percentage of works with optional fields.
+    pub optional_pct: u8,
+    /// Percentage of `cplace`s that are Giverny (Q1 selectivity).
+    pub giverny_pct: u8,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// A scenario with both sources at `scale` documents and the default
+    /// selectivities.
+    pub fn at_scale(scale: usize) -> Self {
+        Scenario {
+            artifacts: scale,
+            works: scale,
+            impressionist_pct: 30,
+            optional_pct: 60,
+            giverny_pct: 30,
+            seed: 42,
+        }
+    }
+
+    /// The specs for the two generators.
+    pub fn specs(&self) -> (ArtSpec, WorksSpec) {
+        (
+            ArtSpec {
+                artifacts: self.artifacts,
+                persons: (self.artifacts / 5).max(2),
+                seed: self.seed,
+            },
+            WorksSpec {
+                works: self.works,
+                impressionist_pct: self.impressionist_pct,
+                optional_pct: self.optional_pct,
+                giverny_pct: self.giverny_pct,
+                seed: self.seed,
+            },
+        )
+    }
+
+    /// Builds the full federation: O2 wrapper + Wais wrapper + view1.
+    pub fn mediator(&self) -> Mediator {
+        let (art, works) = self.specs();
+        let mut m = Mediator::new();
+        m.connect(Box::new(O2Wrapper::new("o2artifact", art_store(&art))))
+            .expect("fresh mediator accepts the O2 wrapper");
+        m.connect(Box::new(WaisWrapper::new(
+            "xmlartwork",
+            WaisSource::new("works", &generate_works(&works)),
+        )))
+        .expect("fresh mediator accepts the Wais wrapper");
+        m.load_program(paper::VIEW1).expect("view1 is well-formed");
+        m
+    }
+}
+
+/// The tiny Fig. 1 federation (two artifacts, two works, three persons).
+pub fn fig1_mediator() -> Mediator {
+    let mut m = Mediator::new();
+    m.connect(Box::new(O2Wrapper::new("o2artifact", fig1_store())))
+        .expect("fresh mediator accepts the O2 wrapper");
+    m.connect(Box::new(WaisWrapper::new(
+        "xmlartwork",
+        WaisSource::new("works", &fig1_works()),
+    )))
+    .expect("fresh mediator accepts the Wais wrapper");
+    m.load_program(paper::VIEW1).expect("view1 is well-formed");
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_build_and_answer() {
+        let m = Scenario::at_scale(30).mediator();
+        let out = m
+            .query(
+                yat_yatl::paper::Q2,
+                yat_mediator::OptimizerOptions::default(),
+            )
+            .unwrap();
+        match out {
+            yat_algebra::EvalOut::Tree(t) => assert_eq!(t.label.as_sym(), Some("answers")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn specs_are_deterministic() {
+        let a = Scenario::at_scale(10);
+        let b = Scenario::at_scale(10);
+        assert_eq!(a.specs(), b.specs());
+    }
+}

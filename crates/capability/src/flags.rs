@@ -1,0 +1,138 @@
+//! The `bind` and `inst` restriction flags of filter patterns (Fig. 6).
+
+use std::fmt;
+
+/// What kind of variable, if any, a filter may place at a position.
+///
+/// "A bind flag can be used to indicate that the corresponding node cannot
+/// contain a variable or only a tree or label variable" (Section 4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BindFlag {
+    /// No restriction (attribute absent).
+    #[default]
+    Any,
+    /// Only a tree variable may bind here (`bind="tree"`): the source can
+    /// return the whole subtree but not decompose it further at this
+    /// position.
+    Tree,
+    /// Only a label variable may bind here (`bind="label"`).
+    Label,
+    /// No variable may bind here (`bind="none"`): e.g. O2 prevents
+    /// extraction of class *schema* information (Fig. 6 line 5).
+    None,
+}
+
+impl BindFlag {
+    /// The XML attribute value (`None` when the attribute is omitted).
+    pub fn attr(self) -> Option<&'static str> {
+        match self {
+            BindFlag::Any => None,
+            BindFlag::Tree => Some("tree"),
+            BindFlag::Label => Some("label"),
+            BindFlag::None => Some("none"),
+        }
+    }
+
+    /// Parses the XML attribute value.
+    pub fn from_attr(s: &str) -> Option<Self> {
+        match s {
+            "tree" => Some(BindFlag::Tree),
+            "label" => Some(BindFlag::Label),
+            "none" => Some(BindFlag::None),
+            _ => Option::None,
+        }
+    }
+
+    /// May a tree variable appear here?
+    pub fn allows_tree(self) -> bool {
+        matches!(self, BindFlag::Any | BindFlag::Tree)
+    }
+
+    /// May a label variable appear here?
+    pub fn allows_label(self) -> bool {
+        matches!(self, BindFlag::Any | BindFlag::Label)
+    }
+}
+
+impl fmt::Display for BindFlag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.attr().unwrap_or("any"))
+    }
+}
+
+/// How instantiated a label or edge must be.
+///
+/// "An inst flag can be used to indicate that the corresponding label or
+/// edge must be completely instantiated (ground value) or left unchanged
+/// (none value)" (Section 4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InstFlag {
+    /// No restriction (attribute absent).
+    #[default]
+    Free,
+    /// Must be ground: on a label position, the filter must name a
+    /// concrete symbol (O2 requires class names instantiated, Fig. 6
+    /// line 5); on an edge, children must be addressed by concrete named
+    /// edges, not star navigation (tuple attributes, Fig. 6 line 15).
+    Ground,
+    /// Must be left unchanged: on an edge, elements can only be reached
+    /// through star navigation, never positionally (set/bag/list members,
+    /// Fig. 6 lines 19-29).
+    None,
+}
+
+impl InstFlag {
+    /// The XML attribute value (`None` when the attribute is omitted).
+    pub fn attr(self) -> Option<&'static str> {
+        match self {
+            InstFlag::Free => Option::None,
+            InstFlag::Ground => Some("ground"),
+            InstFlag::None => Some("none"),
+        }
+    }
+
+    /// Parses the XML attribute value.
+    pub fn from_attr(s: &str) -> Option<Self> {
+        match s {
+            "ground" => Some(InstFlag::Ground),
+            "none" => Some(InstFlag::None),
+            _ => Option::None,
+        }
+    }
+}
+
+impl fmt::Display for InstFlag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.attr().unwrap_or("free"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_attr_roundtrip() {
+        for b in [BindFlag::Tree, BindFlag::Label, BindFlag::None] {
+            assert_eq!(BindFlag::from_attr(b.attr().unwrap()), Some(b));
+        }
+        assert_eq!(BindFlag::Any.attr(), Option::None);
+        assert_eq!(BindFlag::from_attr("bogus"), Option::None);
+    }
+
+    #[test]
+    fn inst_attr_roundtrip() {
+        for i in [InstFlag::Ground, InstFlag::None] {
+            assert_eq!(InstFlag::from_attr(i.attr().unwrap()), Some(i));
+        }
+        assert_eq!(InstFlag::Free.attr(), Option::None);
+    }
+
+    #[test]
+    fn bind_permissions() {
+        assert!(BindFlag::Any.allows_tree() && BindFlag::Any.allows_label());
+        assert!(BindFlag::Tree.allows_tree() && !BindFlag::Tree.allows_label());
+        assert!(!BindFlag::Label.allows_tree() && BindFlag::Label.allows_label());
+        assert!(!BindFlag::None.allows_tree() && !BindFlag::None.allows_label());
+    }
+}

@@ -1,0 +1,369 @@
+//! Filter patterns (`Fpattern`s): the valid-filter specifications sources
+//! export (Fig. 6, lines 2–33).
+
+use crate::flags::{BindFlag, InstFlag};
+use std::fmt;
+use yat_model::AtomType;
+
+/// The label of an Fpattern node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FLabel {
+    /// A concrete symbol (`label="class"`).
+    Sym(String),
+    /// Any symbol (`label="Symbol"`): the position is a name the filter
+    /// may (subject to `inst`) instantiate or bind.
+    AnySym,
+}
+
+impl fmt::Display for FLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FLabel::Sym(s) => write!(f, "{s}"),
+            FLabel::AnySym => write!(f, "Symbol"),
+        }
+    }
+}
+
+/// Edge occurrence in an Fpattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FOcc {
+    /// Exactly one (`<node>`/`<value>` directly under a node).
+    One,
+    /// Zero or more (`<star>` wrapper).
+    Star,
+}
+
+/// An edge of an Fpattern node, with its own `inst` flag (Fig. 6 puts
+/// `inst` on `<star>` elements).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FEdge {
+    /// Occurrence.
+    pub occ: FOcc,
+    /// Edge instantiation restriction.
+    pub inst: InstFlag,
+    /// The child pattern.
+    pub child: FPattern,
+}
+
+impl FEdge {
+    /// A single-occurrence edge with no restriction.
+    pub fn one(child: FPattern) -> Self {
+        FEdge {
+            occ: FOcc::One,
+            inst: InstFlag::Free,
+            child,
+        }
+    }
+
+    /// A star edge with an `inst` flag.
+    pub fn star(inst: InstFlag, child: FPattern) -> Self {
+        FEdge {
+            occ: FOcc::Star,
+            inst,
+            child,
+        }
+    }
+}
+
+/// A filter pattern: the shape of filters a source accepts, annotated with
+/// binding restrictions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FPattern {
+    /// An interior node with flags.
+    Node {
+        /// Label specification.
+        label: FLabel,
+        /// Binding restriction at this node.
+        bind: BindFlag,
+        /// Label instantiation restriction.
+        inst: InstFlag,
+        /// Child edges.
+        edges: Vec<FEdge>,
+    },
+    /// Alternatives (`<union>`).
+    Union(Vec<FPattern>),
+    /// A reference to a named Fpattern (`<ref pattern="Fclass"/>` /
+    /// `<value pattern="Ftype"/>`).
+    Ref(String),
+    /// An atomic-type leaf (`<leaf label="Int"/>`). Values of this type
+    /// may always be bound or compared.
+    Leaf(AtomType),
+}
+
+impl FPattern {
+    /// A node with default flags.
+    pub fn node(label: FLabel, edges: Vec<FEdge>) -> FPattern {
+        FPattern::Node {
+            label,
+            bind: BindFlag::Any,
+            inst: InstFlag::Free,
+            edges,
+        }
+    }
+
+    /// A symbol node with default flags.
+    pub fn sym(name: impl Into<String>, edges: Vec<FEdge>) -> FPattern {
+        FPattern::node(FLabel::Sym(name.into()), edges)
+    }
+
+    /// Sets the `bind` flag (builder style).
+    pub fn with_bind(self, bind: BindFlag) -> FPattern {
+        match self {
+            FPattern::Node {
+                label, inst, edges, ..
+            } => FPattern::Node {
+                label,
+                bind,
+                inst,
+                edges,
+            },
+            other => other,
+        }
+    }
+
+    /// Sets the `inst` flag (builder style).
+    pub fn with_inst(self, inst: InstFlag) -> FPattern {
+        match self {
+            FPattern::Node {
+                label, bind, edges, ..
+            } => FPattern::Node {
+                label,
+                bind,
+                inst,
+                edges,
+            },
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for FPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FPattern::Node {
+                label,
+                bind,
+                inst,
+                edges,
+            } => {
+                write!(f, "{label}")?;
+                let mut flags = Vec::new();
+                if let Some(b) = bind.attr() {
+                    flags.push(format!("bind={b}"));
+                }
+                if let Some(i) = inst.attr() {
+                    flags.push(format!("inst={i}"));
+                }
+                if !flags.is_empty() {
+                    write!(f, "⟨{}⟩", flags.join(","))?;
+                }
+                if !edges.is_empty() {
+                    write!(f, "[")?;
+                    for (i, e) in edges.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        if e.occ == FOcc::Star {
+                            write!(f, "*")?;
+                            if let Some(x) = e.inst.attr() {
+                                write!(f, "⟨inst={x}⟩")?;
+                            }
+                        }
+                        write!(f, "{}", e.child)?;
+                    }
+                    write!(f, "]")?;
+                }
+                Ok(())
+            }
+            FPattern::Union(bs) => {
+                write!(f, "(")?;
+                for (i, b) in bs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{b}")?;
+                }
+                write!(f, ")")
+            }
+            FPattern::Ref(n) => write!(f, "&{n}"),
+            FPattern::Leaf(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+/// A named collection of Fpatterns — one source's filter grammar
+/// (`<fmodel name="o2fmodel">`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Fmodel {
+    /// Model name.
+    pub name: String,
+    /// Named patterns, in declaration order.
+    pub patterns: Vec<(String, FPattern)>,
+}
+
+impl Fmodel {
+    /// An empty Fmodel.
+    pub fn new(name: impl Into<String>) -> Self {
+        Fmodel {
+            name: name.into(),
+            patterns: Vec::new(),
+        }
+    }
+
+    /// Adds a named pattern (builder style).
+    pub fn with(mut self, name: impl Into<String>, p: FPattern) -> Self {
+        self.patterns.push((name.into(), p));
+        self
+    }
+
+    /// Looks a pattern up by name.
+    pub fn get(&self, name: &str) -> Option<&FPattern> {
+        self.patterns
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, p)| p)
+    }
+}
+
+/// The O2 Fmodel of Fig. 6 (lines 2–33): `Fclass` and `Ftype` with the
+/// paper's exact flags.
+pub fn o2_fmodel() -> Fmodel {
+    let fclass = FPattern::sym(
+        "class",
+        vec![FEdge::one(
+            FPattern::node(
+                FLabel::AnySym,
+                vec![FEdge::one(FPattern::Ref("Ftype".into()))],
+            )
+            .with_bind(BindFlag::None)
+            .with_inst(InstFlag::Ground),
+        )],
+    )
+    .with_bind(BindFlag::Tree);
+
+    let mut branches = vec![
+        FPattern::Leaf(AtomType::Int),
+        FPattern::Leaf(AtomType::Bool),
+        FPattern::Leaf(AtomType::Float),
+        FPattern::Leaf(AtomType::Str),
+    ];
+    branches.push(
+        FPattern::sym(
+            "tuple",
+            vec![FEdge::star(
+                InstFlag::Ground,
+                FPattern::node(
+                    FLabel::AnySym,
+                    vec![FEdge::one(FPattern::Ref("Ftype".into()))],
+                )
+                .with_bind(BindFlag::None),
+            )],
+        )
+        .with_bind(BindFlag::Tree),
+    );
+    for coll in ["set", "bag", "list", "array"] {
+        branches.push(
+            FPattern::sym(
+                coll,
+                vec![FEdge::star(InstFlag::None, FPattern::Ref("Ftype".into()))],
+            )
+            .with_bind(BindFlag::Tree),
+        );
+    }
+    branches.push(FPattern::Ref("Fclass".into()));
+    Fmodel::new("o2fmodel")
+        .with("Fclass", fclass)
+        .with("Ftype", FPattern::Union(branches))
+}
+
+/// The Wais Fmodel of Section 4.2: only whole `work` documents can be
+/// bound.
+pub fn wais_fmodel() -> Fmodel {
+    Fmodel::new("waisfmodel").with(
+        "Fworks",
+        FPattern::sym(
+            "works",
+            vec![FEdge::star(
+                InstFlag::None,
+                FPattern::sym("work", vec![]).with_bind(BindFlag::Tree),
+            )],
+        )
+        .with_bind(BindFlag::None)
+        .with_inst(InstFlag::Ground),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn o2_fmodel_structure() {
+        let m = o2_fmodel();
+        assert_eq!(m.name, "o2fmodel");
+        let fclass = m.get("Fclass").unwrap();
+        let FPattern::Node { bind, edges, .. } = fclass else {
+            panic!()
+        };
+        assert_eq!(*bind, BindFlag::Tree);
+        let FPattern::Node { bind, inst, .. } = &edges[0].child else {
+            panic!()
+        };
+        assert_eq!(*bind, BindFlag::None);
+        assert_eq!(*inst, InstFlag::Ground);
+        let FPattern::Union(branches) = m.get("Ftype").unwrap() else {
+            panic!()
+        };
+        assert_eq!(
+            branches.len(),
+            10,
+            "4 atoms + tuple + 4 collections + &Fclass"
+        );
+        assert!(m.get("Missing").is_none());
+    }
+
+    #[test]
+    fn wais_fmodel_is_restrictive() {
+        let m = wais_fmodel();
+        let FPattern::Node { bind, edges, .. } = m.get("Fworks").unwrap() else {
+            panic!()
+        };
+        assert_eq!(
+            *bind,
+            BindFlag::None,
+            "the works root itself cannot be bound"
+        );
+        let FPattern::Node {
+            bind,
+            edges: work_edges,
+            ..
+        } = &edges[0].child
+        else {
+            panic!()
+        };
+        assert_eq!(*bind, BindFlag::Tree, "whole work documents only");
+        assert!(work_edges.is_empty(), "no decomposition of documents");
+    }
+
+    #[test]
+    fn display_shows_flags() {
+        let s = o2_fmodel().get("Fclass").unwrap().to_string();
+        assert!(s.contains("class⟨bind=tree⟩"), "{s}");
+        assert!(s.contains("Symbol⟨bind=none,inst=ground⟩"), "{s}");
+    }
+
+    #[test]
+    fn builders() {
+        let p = FPattern::sym("x", vec![])
+            .with_bind(BindFlag::Label)
+            .with_inst(InstFlag::Ground);
+        let FPattern::Node { bind, inst, .. } = p else {
+            panic!()
+        };
+        assert_eq!(bind, BindFlag::Label);
+        assert_eq!(inst, InstFlag::Ground);
+        // flags on non-nodes are no-ops
+        let leaf = FPattern::Leaf(AtomType::Int).with_bind(BindFlag::None);
+        assert_eq!(leaf, FPattern::Leaf(AtomType::Int));
+    }
+}

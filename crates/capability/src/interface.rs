@@ -1,0 +1,297 @@
+//! Operational interfaces: what a wrapper exports to the mediator
+//! (Fig. 6, lines 35–43, plus exported documents and equivalences).
+
+use crate::fpattern::Fmodel;
+use std::fmt;
+use yat_model::{AtomType, Model};
+
+/// The kind of an exported operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// A core algebra operator the source evaluates (`bind`, `select`,
+    /// `project`, `map`, `join`...).
+    Algebra,
+    /// A boolean predicate (`eq`, `le`...).
+    Boolean,
+    /// A source-specific operation beyond the core model (`contains`,
+    /// wrapped methods like `current_price`).
+    External,
+}
+
+impl OpKind {
+    /// The XML attribute value.
+    pub fn attr(self) -> &'static str {
+        match self {
+            OpKind::Algebra => "algebra",
+            OpKind::Boolean => "boolean",
+            OpKind::External => "external",
+        }
+    }
+
+    /// Parses the XML attribute value.
+    pub fn from_attr(s: &str) -> Option<Self> {
+        match s {
+            "algebra" => Some(OpKind::Algebra),
+            "boolean" => Some(OpKind::Boolean),
+            "external" => Some(OpKind::External),
+            _ => None,
+        }
+    }
+}
+
+/// One item of an operation signature.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SigItem {
+    /// A typed value: `<value model="o2model" pattern="Type"/>`.
+    Value {
+        /// Structural model name.
+        model: String,
+        /// Pattern within it.
+        pattern: String,
+    },
+    /// A filter argument restricted to an Fpattern:
+    /// `<filter model="o2fmodel" pattern="Ftype"/>`.
+    Filter {
+        /// Fmodel name.
+        model: String,
+        /// Fpattern within it.
+        pattern: String,
+    },
+    /// An atomic leaf: `<leaf label="String"/>`.
+    Leaf(AtomType),
+}
+
+/// A declared operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperationDecl {
+    /// Operation name (`bind`, `select`, `eq`, `contains`,
+    /// `current_price`).
+    pub name: String,
+    /// Kind.
+    pub kind: OpKind,
+    /// Input signature (may be empty for unspecialized algebra ops).
+    pub input: Vec<SigItem>,
+    /// Output signature.
+    pub output: Vec<SigItem>,
+}
+
+impl OperationDecl {
+    /// An unspecialized algebra operation (`<operation name="select"
+    /// kind="algebra"/>`).
+    pub fn algebra(name: impl Into<String>) -> Self {
+        OperationDecl {
+            name: name.into(),
+            kind: OpKind::Algebra,
+            input: vec![],
+            output: vec![],
+        }
+    }
+
+    /// An unspecialized boolean predicate.
+    pub fn boolean(name: impl Into<String>) -> Self {
+        OperationDecl {
+            name: name.into(),
+            kind: OpKind::Boolean,
+            input: vec![],
+            output: vec![],
+        }
+    }
+}
+
+/// A named document the source exports, with its structural typing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExportDecl {
+    /// Document/extent name (`artifacts`, `works`).
+    pub name: String,
+    /// Structural model containing its pattern.
+    pub model: String,
+    /// The pattern describing it.
+    pub pattern: String,
+}
+
+/// A source-declared semantic connection between operations, used during
+/// capability-based rewriting (the "semantic" wrapping step of
+/// Section 4.2).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Equivalence {
+    /// The Wais connection: a mediator equality `σ_{$x = c}` over
+    /// variables bound *inside* a document `$w` implies the source
+    /// predicate `predicate($w, c)` may be inserted over the whole
+    /// document — sound because full-text search over-approximates
+    /// element equality (a post-selection still runs at the mediator).
+    EqImpliesContains {
+        /// The source predicate name (`contains`).
+        predicate: String,
+    },
+}
+
+/// A wrapper's complete exported interface.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Interface {
+    /// Interface name (`o2artifact`, `xmlartwork`).
+    pub name: String,
+    /// Structural models (schema-level metadata, Fig. 3).
+    pub models: Vec<Model>,
+    /// Filter grammars.
+    pub fmodels: Vec<Fmodel>,
+    /// Exported documents.
+    pub exports: Vec<ExportDecl>,
+    /// Declared operations.
+    pub operations: Vec<OperationDecl>,
+    /// Declared equivalences.
+    pub equivalences: Vec<Equivalence>,
+}
+
+impl Interface {
+    /// An empty interface.
+    pub fn new(name: impl Into<String>) -> Self {
+        Interface {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Looks up an operation by name.
+    pub fn operation(&self, name: &str) -> Option<&OperationDecl> {
+        self.operations.iter().find(|o| o.name == name)
+    }
+
+    /// Looks up an exported document.
+    pub fn export(&self, name: &str) -> Option<&ExportDecl> {
+        self.exports.iter().find(|e| e.name == name)
+    }
+
+    /// Looks up an Fmodel.
+    pub fn fmodel(&self, name: &str) -> Option<&Fmodel> {
+        self.fmodels.iter().find(|m| m.name == name)
+    }
+
+    /// Looks up a structural model.
+    pub fn model(&self, name: &str) -> Option<&Model> {
+        self.models.iter().find(|m| m.name == name)
+    }
+
+    /// The Fpattern governing `bind` filters, if the `bind` operation was
+    /// declared with a filter signature.
+    pub fn bind_fpattern(&self) -> Option<(&Fmodel, &crate::fpattern::FPattern)> {
+        let bind = self.operation("bind")?;
+        for item in &bind.input {
+            if let SigItem::Filter { model, pattern } = item {
+                let fm = self.fmodel(model)?;
+                let fp = fm.get(pattern)?;
+                return Some((fm, fp));
+            }
+        }
+        None
+    }
+
+    /// Whether the comparison operators are declared (a single `eq`
+    /// declaration implies the usual total-order family for structured
+    /// sources; Wais declares none).
+    pub fn supports_comparisons(&self) -> bool {
+        self.operations
+            .iter()
+            .any(|o| o.kind == OpKind::Boolean && o.name == "eq")
+    }
+}
+
+impl fmt::Display for Interface {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "interface {} {{", self.name)?;
+        for e in &self.exports {
+            writeln!(f, "  export {} : {}::{}", e.name, e.model, e.pattern)?;
+        }
+        for m in &self.fmodels {
+            writeln!(f, "  fmodel {} ({} patterns)", m.name, m.patterns.len())?;
+        }
+        for o in &self.operations {
+            writeln!(f, "  operation {} [{}]", o.name, o.kind.attr())?;
+        }
+        for eq in &self.equivalences {
+            match eq {
+                Equivalence::EqImpliesContains { predicate } => {
+                    writeln!(f, "  equivalence eq ⇒ {predicate}")?
+                }
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fpattern::{o2_fmodel, wais_fmodel};
+
+    fn o2_like_interface() -> Interface {
+        let mut i = Interface::new("o2artifact");
+        i.fmodels.push(o2_fmodel());
+        i.operations.push(OperationDecl {
+            name: "bind".into(),
+            kind: OpKind::Algebra,
+            input: vec![
+                SigItem::Value {
+                    model: "o2model".into(),
+                    pattern: "Type".into(),
+                },
+                SigItem::Filter {
+                    model: "o2fmodel".into(),
+                    pattern: "Ftype".into(),
+                },
+            ],
+            output: vec![SigItem::Value {
+                model: "yat".into(),
+                pattern: "Tab".into(),
+            }],
+        });
+        i.operations.push(OperationDecl::algebra("select"));
+        i.operations.push(OperationDecl::boolean("eq"));
+        i
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let i = o2_like_interface();
+        assert!(i.operation("bind").is_some());
+        assert!(i.operation("tree").is_none());
+        assert!(i.fmodel("o2fmodel").is_some());
+        assert!(i.supports_comparisons());
+        let (fm, fp) = i.bind_fpattern().expect("bind has a filter signature");
+        assert_eq!(fm.name, "o2fmodel");
+        assert!(matches!(fp, crate::fpattern::FPattern::Union(_)));
+    }
+
+    #[test]
+    fn wais_like_interface_has_no_comparisons() {
+        let mut i = Interface::new("xmlartwork");
+        i.fmodels.push(wais_fmodel());
+        i.operations.push(OperationDecl::algebra("select"));
+        i.operations.push(OperationDecl {
+            name: "contains".into(),
+            kind: OpKind::External,
+            input: vec![
+                SigItem::Value {
+                    model: "Artworks_Structure".into(),
+                    pattern: "Work".into(),
+                },
+                SigItem::Leaf(AtomType::Str),
+            ],
+            output: vec![SigItem::Leaf(AtomType::Bool)],
+        });
+        i.equivalences.push(Equivalence::EqImpliesContains {
+            predicate: "contains".into(),
+        });
+        assert!(!i.supports_comparisons());
+        assert!(i.bind_fpattern().is_none(), "no bind declared yet");
+        let shown = i.to_string();
+        assert!(shown.contains("equivalence eq ⇒ contains"), "{shown}");
+    }
+
+    #[test]
+    fn opkind_roundtrip() {
+        for k in [OpKind::Algebra, OpKind::Boolean, OpKind::External] {
+            assert_eq!(OpKind::from_attr(k.attr()), Some(k));
+        }
+        assert_eq!(OpKind::from_attr("weird"), None);
+    }
+}

@@ -1,0 +1,503 @@
+//! XML serialization of algebra plans: the operations half of the wrapper
+//! protocol ("wrappers and mediators communicate data, structures and
+//! operations in XML", Section 2).
+//!
+//! The mediator ships every pushed subplan as a `<plan>` document; the
+//! wrapper deserializes it and evaluates natively (O2 translates it to
+//! OQL text, Section 4.1).
+
+use crate::xml::{pattern_from_xml, pattern_to_xml, WireError};
+use std::sync::Arc;
+use yat_algebra::{Alg, CmpOp, Operand, Pred, SortDir, Template};
+use yat_model::{Atom, AtomType};
+use yat_xml::Element;
+
+fn err(msg: impl Into<String>) -> WireError {
+    WireError(msg.into())
+}
+
+/// Serializes a plan.
+pub fn plan_to_xml(plan: &Alg) -> Element {
+    match plan {
+        Alg::Source { source, name } => {
+            let mut el = Element::new("source").with_attr("name", name.clone());
+            if let Some(s) = source {
+                el.set_attr("at", s.clone());
+            }
+            el
+        }
+        Alg::Bind {
+            input,
+            filter,
+            over,
+        } => {
+            let mut el = Element::new("bind");
+            if let Some(v) = over {
+                el.set_attr("over", v.clone());
+            }
+            el.push_element(Element::new("filter").with_child(pattern_to_xml(filter)));
+            el.push_element(plan_to_xml(input));
+            el
+        }
+        Alg::TreeOp { input, template } => Element::new("tree")
+            .with_child(Element::new("template").with_child(template_to_xml(template)))
+            .with_child(plan_to_xml(input)),
+        Alg::Select { input, pred } => Element::new("select")
+            .with_child(Element::new("where").with_child(pred_to_xml(pred)))
+            .with_child(plan_to_xml(input)),
+        Alg::Project { input, cols } => {
+            let mut el = Element::new("project");
+            for (s, d) in cols {
+                el.push_element(
+                    Element::new("col")
+                        .with_attr("src", s.clone())
+                        .with_attr("as", d.clone()),
+                );
+            }
+            el.push_element(plan_to_xml(input));
+            el
+        }
+        Alg::Join { left, right, pred } => Element::new("join")
+            .with_child(Element::new("on").with_child(pred_to_xml(pred)))
+            .with_child(plan_to_xml(left))
+            .with_child(plan_to_xml(right)),
+        Alg::DJoin { left, right } => Element::new("djoin")
+            .with_child(plan_to_xml(left))
+            .with_child(plan_to_xml(right)),
+        Alg::Union { left, right } => Element::new("union")
+            .with_child(plan_to_xml(left))
+            .with_child(plan_to_xml(right)),
+        Alg::Intersect { left, right } => Element::new("intersect")
+            .with_child(plan_to_xml(left))
+            .with_child(plan_to_xml(right)),
+        Alg::Diff { left, right } => Element::new("diff")
+            .with_child(plan_to_xml(left))
+            .with_child(plan_to_xml(right)),
+        Alg::Group { input, keys } => Element::new("group")
+            .with_attr("keys", keys.join(" "))
+            .with_child(plan_to_xml(input)),
+        Alg::Sort { input, keys } => {
+            let mut el = Element::new("sort");
+            for (k, d) in keys {
+                el.push_element(Element::new("key").with_attr("col", k.clone()).with_attr(
+                    "dir",
+                    match d {
+                        SortDir::Asc => "asc",
+                        SortDir::Desc => "desc",
+                    },
+                ));
+            }
+            el.push_element(plan_to_xml(input));
+            el
+        }
+        Alg::Map { input, col, expr } => Element::new("map")
+            .with_attr("col", col.clone())
+            .with_child(Element::new("expr").with_child(operand_to_xml(expr)))
+            .with_child(plan_to_xml(input)),
+        Alg::Push { source, plan } => Element::new("push")
+            .with_attr("source", source.clone())
+            .with_child(plan_to_xml(plan)),
+    }
+}
+
+/// Parses a plan.
+pub fn plan_from_xml(el: &Element) -> Result<Arc<Alg>, WireError> {
+    let nth_plan = |el: &Element, skip: usize| -> Result<Arc<Alg>, WireError> {
+        el.elements()
+            .filter(|c| is_plan_tag(&c.name))
+            .nth(skip)
+            .ok_or_else(|| err(format!("<{}> missing input plan", el.name)))
+            .and_then(plan_from_xml)
+    };
+    match el.name.as_str() {
+        "source" => {
+            let name = el
+                .attr("name")
+                .ok_or_else(|| err("<source> missing name"))?;
+            Ok(Arc::new(Alg::Source {
+                source: el.attr("at").map(str::to_string),
+                name: name.to_string(),
+            }))
+        }
+        "bind" => {
+            let filter_el = el
+                .child("filter")
+                .and_then(|f| f.elements().next())
+                .ok_or_else(|| err("<bind> missing <filter>"))?;
+            Ok(Arc::new(Alg::Bind {
+                input: nth_plan(el, 0)?,
+                filter: pattern_from_xml(filter_el)?,
+                over: el.attr("over").map(str::to_string),
+            }))
+        }
+        "tree" => {
+            let template_el = el
+                .child("template")
+                .and_then(|t| t.elements().next())
+                .ok_or_else(|| err("<tree> missing <template>"))?;
+            Ok(Arc::new(Alg::TreeOp {
+                input: nth_plan(el, 0)?,
+                template: template_from_xml(template_el)?,
+            }))
+        }
+        "select" => {
+            let pred_el = el
+                .child("where")
+                .and_then(|w| w.elements().next())
+                .ok_or_else(|| err("<select> missing <where>"))?;
+            Ok(Arc::new(Alg::Select {
+                input: nth_plan(el, 0)?,
+                pred: pred_from_xml(pred_el)?,
+            }))
+        }
+        "project" => {
+            let cols = el
+                .children_named("col")
+                .map(|c| {
+                    let s = c.attr("src").ok_or_else(|| err("<col> missing src"))?;
+                    let d = c.attr("as").unwrap_or(s);
+                    Ok((s.to_string(), d.to_string()))
+                })
+                .collect::<Result<_, WireError>>()?;
+            Ok(Arc::new(Alg::Project {
+                input: nth_plan(el, 0)?,
+                cols,
+            }))
+        }
+        "join" => {
+            let pred_el = el
+                .child("on")
+                .and_then(|w| w.elements().next())
+                .ok_or_else(|| err("<join> missing <on>"))?;
+            Ok(Arc::new(Alg::Join {
+                left: nth_plan(el, 0)?,
+                right: nth_plan(el, 1)?,
+                pred: pred_from_xml(pred_el)?,
+            }))
+        }
+        "djoin" => Ok(Arc::new(Alg::DJoin {
+            left: nth_plan(el, 0)?,
+            right: nth_plan(el, 1)?,
+        })),
+        "union" => Ok(Arc::new(Alg::Union {
+            left: nth_plan(el, 0)?,
+            right: nth_plan(el, 1)?,
+        })),
+        "intersect" => Ok(Arc::new(Alg::Intersect {
+            left: nth_plan(el, 0)?,
+            right: nth_plan(el, 1)?,
+        })),
+        "diff" => Ok(Arc::new(Alg::Diff {
+            left: nth_plan(el, 0)?,
+            right: nth_plan(el, 1)?,
+        })),
+        "group" => {
+            let keys = el
+                .attr("keys")
+                .unwrap_or("")
+                .split_whitespace()
+                .map(str::to_string)
+                .collect();
+            Ok(Arc::new(Alg::Group {
+                input: nth_plan(el, 0)?,
+                keys,
+            }))
+        }
+        "sort" => {
+            let keys = el
+                .children_named("key")
+                .map(|k| {
+                    let col = k.attr("col").ok_or_else(|| err("<key> missing col"))?;
+                    let dir = match k.attr("dir") {
+                        Some("desc") => SortDir::Desc,
+                        _ => SortDir::Asc,
+                    };
+                    Ok((col.to_string(), dir))
+                })
+                .collect::<Result<_, WireError>>()?;
+            Ok(Arc::new(Alg::Sort {
+                input: nth_plan(el, 0)?,
+                keys,
+            }))
+        }
+        "map" => {
+            let col = el.attr("col").ok_or_else(|| err("<map> missing col"))?;
+            let expr_el = el
+                .child("expr")
+                .and_then(|x| x.elements().next())
+                .ok_or_else(|| err("<map> missing <expr>"))?;
+            Ok(Arc::new(Alg::Map {
+                input: nth_plan(el, 0)?,
+                col: col.to_string(),
+                expr: operand_from_xml(expr_el)?,
+            }))
+        }
+        "push" => {
+            let source = el
+                .attr("source")
+                .ok_or_else(|| err("<push> missing source"))?;
+            Ok(Arc::new(Alg::Push {
+                source: source.to_string(),
+                plan: nth_plan(el, 0)?,
+            }))
+        }
+        other => Err(err(format!("unknown plan element <{other}>"))),
+    }
+}
+
+fn is_plan_tag(name: &str) -> bool {
+    matches!(
+        name,
+        "source"
+            | "bind"
+            | "tree"
+            | "select"
+            | "project"
+            | "join"
+            | "djoin"
+            | "union"
+            | "intersect"
+            | "diff"
+            | "group"
+            | "sort"
+            | "map"
+            | "push"
+    )
+}
+
+// ------------------------------------------------------------- predicates
+
+/// Serializes a predicate.
+pub fn pred_to_xml(p: &Pred) -> Element {
+    match p {
+        Pred::True => Element::new("true"),
+        Pred::And(a, b) => Element::new("and")
+            .with_child(pred_to_xml(a))
+            .with_child(pred_to_xml(b)),
+        Pred::Or(a, b) => Element::new("or")
+            .with_child(pred_to_xml(a))
+            .with_child(pred_to_xml(b)),
+        Pred::Not(x) => Element::new("not").with_child(pred_to_xml(x)),
+        Pred::Cmp { op, left, right } => Element::new("cmp")
+            .with_attr(
+                "op",
+                match op {
+                    CmpOp::Eq => "eq",
+                    CmpOp::Ne => "ne",
+                    CmpOp::Lt => "lt",
+                    CmpOp::Le => "le",
+                    CmpOp::Gt => "gt",
+                    CmpOp::Ge => "ge",
+                },
+            )
+            .with_child(operand_to_xml(left))
+            .with_child(operand_to_xml(right)),
+        Pred::Call { name, args } => {
+            let mut el = Element::new("predicate").with_attr("name", name.clone());
+            for a in args {
+                el.push_element(operand_to_xml(a));
+            }
+            el
+        }
+    }
+}
+
+/// Parses a predicate.
+pub fn pred_from_xml(el: &Element) -> Result<Pred, WireError> {
+    let two = |el: &Element| -> Result<(Pred, Pred), WireError> {
+        let mut it = el.elements();
+        let a = it
+            .next()
+            .ok_or_else(|| err(format!("<{}> needs 2 operands", el.name)))?;
+        let b = it
+            .next()
+            .ok_or_else(|| err(format!("<{}> needs 2 operands", el.name)))?;
+        Ok((pred_from_xml(a)?, pred_from_xml(b)?))
+    };
+    match el.name.as_str() {
+        "true" => Ok(Pred::True),
+        "and" => {
+            let (a, b) = two(el)?;
+            Ok(Pred::And(Box::new(a), Box::new(b)))
+        }
+        "or" => {
+            let (a, b) = two(el)?;
+            Ok(Pred::Or(Box::new(a), Box::new(b)))
+        }
+        "not" => {
+            let x = el
+                .elements()
+                .next()
+                .ok_or_else(|| err("<not> needs an operand"))?;
+            Ok(Pred::Not(Box::new(pred_from_xml(x)?)))
+        }
+        "cmp" => {
+            let op = match el.attr("op") {
+                Some("eq") => CmpOp::Eq,
+                Some("ne") => CmpOp::Ne,
+                Some("lt") => CmpOp::Lt,
+                Some("le") => CmpOp::Le,
+                Some("gt") => CmpOp::Gt,
+                Some("ge") => CmpOp::Ge,
+                other => return Err(err(format!("bad cmp op {other:?}"))),
+            };
+            let mut it = el.elements();
+            let l = it.next().ok_or_else(|| err("<cmp> needs 2 operands"))?;
+            let r = it.next().ok_or_else(|| err("<cmp> needs 2 operands"))?;
+            Ok(Pred::Cmp {
+                op,
+                left: operand_from_xml(l)?,
+                right: operand_from_xml(r)?,
+            })
+        }
+        "predicate" => {
+            let name = el
+                .attr("name")
+                .ok_or_else(|| err("<predicate> missing name"))?;
+            let args = el
+                .elements()
+                .map(operand_from_xml)
+                .collect::<Result<_, _>>()?;
+            Ok(Pred::Call {
+                name: name.to_string(),
+                args,
+            })
+        }
+        other => Err(err(format!("unknown predicate element <{other}>"))),
+    }
+}
+
+fn operand_to_xml(o: &Operand) -> Element {
+    match o {
+        Operand::Var(v) => Element::new("var").with_attr("name", v.clone()),
+        Operand::Const(a) => Element::new("const")
+            .with_attr("type", a.atom_type().name())
+            .with_attr("value", a.to_string()),
+        Operand::Call { name, args } => {
+            let mut el = Element::new("call").with_attr("name", name.clone());
+            for a in args {
+                el.push_element(operand_to_xml(a));
+            }
+            el
+        }
+    }
+}
+
+fn operand_from_xml(el: &Element) -> Result<Operand, WireError> {
+    match el.name.as_str() {
+        "var" => Ok(Operand::Var(
+            el.attr("name")
+                .ok_or_else(|| err("<var> missing name"))?
+                .to_string(),
+        )),
+        "const" => {
+            let t = el
+                .attr("type")
+                .and_then(AtomType::from_name)
+                .ok_or_else(|| err("<const> with unknown type"))?;
+            let raw = el
+                .attr("value")
+                .ok_or_else(|| err("<const> missing value"))?;
+            let a = Atom::parse_typed(raw, t)
+                .ok_or_else(|| err(format!("`{raw}` is not a valid {t}")))?;
+            Ok(Operand::Const(a))
+        }
+        "call" => {
+            let name = el.attr("name").ok_or_else(|| err("<call> missing name"))?;
+            let args = el
+                .elements()
+                .map(operand_from_xml)
+                .collect::<Result<_, _>>()?;
+            Ok(Operand::Call {
+                name: name.to_string(),
+                args,
+            })
+        }
+        other => Err(err(format!("unknown operand element <{other}>"))),
+    }
+}
+
+// --------------------------------------------------------------- templates
+
+/// Serializes a construction template.
+pub fn template_to_xml(t: &Template) -> Element {
+    match t {
+        Template::Sym { name, children } => {
+            let mut el = Element::new("tsym").with_attr("name", name.clone());
+            for c in children {
+                el.push_element(template_to_xml(c));
+            }
+            el
+        }
+        Template::Var(v) => Element::new("tvar").with_attr("name", v.clone()),
+        Template::LabelVar { var, children } => {
+            let mut el = Element::new("tlabelvar").with_attr("var", var.clone());
+            for c in children {
+                el.push_element(template_to_xml(c));
+            }
+            el
+        }
+        Template::Group { key, skolem, body } => {
+            let mut el = Element::new("tgroup").with_attr("keys", key.join(" "));
+            if let Some(s) = skolem {
+                el.set_attr("skolem", s.clone());
+            }
+            el.push_element(template_to_xml(body));
+            el
+        }
+        Template::Text(s) => Element::new("ttext").with_attr("value", s.clone()),
+    }
+}
+
+/// Parses a construction template.
+pub fn template_from_xml(el: &Element) -> Result<Template, WireError> {
+    match el.name.as_str() {
+        "tsym" => Ok(Template::Sym {
+            name: el
+                .attr("name")
+                .ok_or_else(|| err("<tsym> missing name"))?
+                .to_string(),
+            children: el
+                .elements()
+                .map(template_from_xml)
+                .collect::<Result<_, _>>()?,
+        }),
+        "tvar" => Ok(Template::Var(
+            el.attr("name")
+                .ok_or_else(|| err("<tvar> missing name"))?
+                .to_string(),
+        )),
+        "tlabelvar" => Ok(Template::LabelVar {
+            var: el
+                .attr("var")
+                .ok_or_else(|| err("<tlabelvar> missing var"))?
+                .to_string(),
+            children: el
+                .elements()
+                .map(template_from_xml)
+                .collect::<Result<_, _>>()?,
+        }),
+        "tgroup" => {
+            let body = el
+                .elements()
+                .next()
+                .ok_or_else(|| err("<tgroup> missing body"))?;
+            Ok(Template::Group {
+                key: el
+                    .attr("keys")
+                    .unwrap_or("")
+                    .split_whitespace()
+                    .map(str::to_string)
+                    .collect(),
+                skolem: el.attr("skolem").map(str::to_string),
+                body: Box::new(template_from_xml(body)?),
+            })
+        }
+        "ttext" => Ok(Template::Text(
+            el.attr("value")
+                .ok_or_else(|| err("<ttext> missing value"))?
+                .to_string(),
+        )),
+        other => Err(err(format!("unknown template element <{other}>"))),
+    }
+}

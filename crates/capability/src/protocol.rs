@@ -1,0 +1,196 @@
+//! The mediator ↔ wrapper message protocol. Three requests cover the
+//! paper's interaction patterns (Section 2 / Fig. 2):
+//!
+//! * `<get-interface/>` — import structural metadata and query
+//!   capabilities (`yat> import o2artifact;`);
+//! * `<get-document name="..."/>` — fetch a whole exported document (the
+//!   naive strategy: materialize at the mediator);
+//! * `<execute>plan</execute>` — evaluate a pushed plan at the source
+//!   (capability-based evaluation, Section 5.3).
+//!
+//! Every message is an XML element; transports move the serialized bytes
+//! and account for them.
+
+use crate::interface::Interface;
+use crate::plan_xml::{plan_from_xml, plan_to_xml};
+use crate::tab_xml::{tab_from_xml, tab_to_xml};
+use crate::xml::{interface_from_xml, interface_to_xml, WireError};
+use std::sync::Arc;
+use yat_algebra::{Alg, Tab};
+use yat_model::xml_convert::{tree_from_xml, tree_to_xml};
+use yat_model::Tree;
+use yat_xml::Element;
+
+/// A request from the mediator to a wrapper.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Import the wrapper's interface.
+    GetInterface,
+    /// Fetch a whole named document.
+    GetDocument {
+        /// Exported document name.
+        name: String,
+    },
+    /// Execute a pushed plan.
+    Execute {
+        /// The plan (wrapper-local `Source` names).
+        plan: Arc<Alg>,
+    },
+}
+
+impl Request {
+    /// Serializes the request.
+    pub fn to_xml(&self) -> Element {
+        match self {
+            Request::GetInterface => Element::new("get-interface"),
+            Request::GetDocument { name } => {
+                Element::new("get-document").with_attr("name", name.clone())
+            }
+            Request::Execute { plan } => Element::new("execute").with_child(plan_to_xml(plan)),
+        }
+    }
+
+    /// Parses a request.
+    pub fn from_xml(el: &Element) -> Result<Request, WireError> {
+        match el.name.as_str() {
+            "get-interface" => Ok(Request::GetInterface),
+            "get-document" => Ok(Request::GetDocument {
+                name: el
+                    .attr("name")
+                    .ok_or_else(|| WireError("<get-document> missing name".into()))?
+                    .to_string(),
+            }),
+            "execute" => {
+                let body = el
+                    .elements()
+                    .next()
+                    .ok_or_else(|| WireError("<execute> missing plan".into()))?;
+                Ok(Request::Execute {
+                    plan: plan_from_xml(body)?,
+                })
+            }
+            other => Err(WireError(format!("unknown request <{other}>"))),
+        }
+    }
+}
+
+/// A wrapper's response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The wrapper's interface.
+    Interface(Interface),
+    /// A whole document.
+    Document {
+        /// Its exported name.
+        name: String,
+        /// The tree.
+        tree: Tree,
+    },
+    /// The result of an executed plan.
+    Result(Tab),
+    /// A failure.
+    Error(String),
+}
+
+impl Response {
+    /// Serializes the response.
+    pub fn to_xml(&self) -> Element {
+        match self {
+            Response::Interface(i) => interface_to_xml(i),
+            Response::Document { name, tree } => Element::new("document")
+                .with_attr("name", name.clone())
+                .with_child(tree_to_xml(tree)),
+            Response::Result(tab) => Element::new("result").with_child(tab_to_xml(tab)),
+            Response::Error(msg) => Element::new("error").with_attr("message", msg.clone()),
+        }
+    }
+
+    /// Parses a response.
+    pub fn from_xml(el: &Element) -> Result<Response, WireError> {
+        match el.name.as_str() {
+            "interface" => Ok(Response::Interface(interface_from_xml(el)?)),
+            "document" => {
+                let name = el
+                    .attr("name")
+                    .ok_or_else(|| WireError("<document> missing name".into()))?;
+                let body = el
+                    .elements()
+                    .next()
+                    .ok_or_else(|| WireError("<document> is empty".into()))?;
+                Ok(Response::Document {
+                    name: name.to_string(),
+                    tree: tree_from_xml(body),
+                })
+            }
+            "result" => {
+                let body = el
+                    .elements()
+                    .next()
+                    .ok_or_else(|| WireError("<result> is empty".into()))?;
+                Ok(Response::Result(tab_from_xml(body)?))
+            }
+            "error" => Ok(Response::Error(
+                el.attr("message").unwrap_or("").to_string(),
+            )),
+            other => Err(WireError(format!("unknown response <{other}>"))),
+        }
+    }
+}
+
+/// The server side of the protocol, implemented by each wrapper.
+///
+/// Kept object-safe and string-free on purpose: the transport layer in
+/// `yat-mediator` serializes [`Request`]/[`Response`] to XML text and
+/// counts the bytes, simulating the paper's networked deployment (Fig. 2).
+pub trait WrapperServer: Send + Sync {
+    /// The wrapper's advertised name (`o2artifact`).
+    fn name(&self) -> &str;
+
+    /// Handles one request.
+    fn handle(&self, request: &Request) -> Response;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yat_model::Node;
+
+    #[test]
+    fn requests_roundtrip() {
+        let reqs = vec![
+            Request::GetInterface,
+            Request::GetDocument {
+                name: "artifacts".into(),
+            },
+            Request::Execute {
+                plan: Alg::source("works"),
+            },
+        ];
+        for r in reqs {
+            let back = Request::from_xml(&r.to_xml()).unwrap();
+            assert_eq!(r, back);
+        }
+        let bad = yat_xml::parse_element("<nonsense/>").unwrap();
+        assert!(Request::from_xml(&bad).is_err());
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let mut tab = Tab::new(vec!["t".into()]);
+        tab.push(vec![yat_algebra::Value::Tree(Node::elem(
+            "title", "Nympheas",
+        ))]);
+        let resps = vec![
+            Response::Document {
+                name: "works".into(),
+                tree: Node::sym("works", vec![]),
+            },
+            Response::Result(tab),
+            Response::Error("nope".into()),
+        ];
+        for r in resps {
+            let back = Response::from_xml(&r.to_xml()).unwrap();
+            assert_eq!(r, back);
+        }
+    }
+}

@@ -1,0 +1,516 @@
+//! XML (de)serialization of interfaces, Fpatterns and structural
+//! patterns — the wire format of Fig. 6.
+
+use crate::flags::{BindFlag, InstFlag};
+use crate::fpattern::{FEdge, FLabel, FOcc, FPattern, Fmodel};
+use crate::interface::{Equivalence, ExportDecl, Interface, OpKind, OperationDecl, SigItem};
+use std::fmt;
+use yat_model::{Atom, AtomType, Edge, Model, Occ, PLabel, Pattern, StarBind};
+use yat_xml::Element;
+
+/// A malformed interface/pattern document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireError(pub String);
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire format error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn err(msg: impl Into<String>) -> WireError {
+    WireError(msg.into())
+}
+
+// ---------------------------------------------------------------- interface
+
+/// Serializes a full interface (Fig. 6 shape).
+pub fn interface_to_xml(i: &Interface) -> Element {
+    let mut el = Element::new("interface").with_attr("name", i.name.clone());
+    for m in &i.models {
+        el.push_element(model_to_xml(m));
+    }
+    for fm in &i.fmodels {
+        el.push_element(fmodel_to_xml(fm));
+    }
+    for e in &i.exports {
+        el.push_element(
+            Element::new("export")
+                .with_attr("name", e.name.clone())
+                .with_attr("model", e.model.clone())
+                .with_attr("pattern", e.pattern.clone()),
+        );
+    }
+    for o in &i.operations {
+        el.push_element(operation_to_xml(o));
+    }
+    for eq in &i.equivalences {
+        match eq {
+            Equivalence::EqImpliesContains { predicate } => el.push_element(
+                Element::new("equivalence")
+                    .with_attr("kind", "eq-implies-contains")
+                    .with_attr("predicate", predicate.clone()),
+            ),
+        }
+    }
+    el
+}
+
+/// Parses an interface document.
+pub fn interface_from_xml(el: &Element) -> Result<Interface, WireError> {
+    if el.name != "interface" {
+        return Err(err(format!("expected <interface>, found <{}>", el.name)));
+    }
+    let mut i = Interface::new(
+        el.attr("name")
+            .ok_or_else(|| err("<interface> missing name"))?,
+    );
+    for child in el.elements() {
+        match child.name.as_str() {
+            "model" => i.models.push(model_from_xml(child)?),
+            "fmodel" => i.fmodels.push(fmodel_from_xml(child)?),
+            "export" => i.exports.push(ExportDecl {
+                name: child
+                    .attr("name")
+                    .ok_or_else(|| err("<export> missing name"))?
+                    .into(),
+                model: child.attr("model").unwrap_or_default().into(),
+                pattern: child.attr("pattern").unwrap_or_default().into(),
+            }),
+            "operation" => i.operations.push(operation_from_xml(child)?),
+            "equivalence" => match child.attr("kind") {
+                Some("eq-implies-contains") => {
+                    i.equivalences.push(Equivalence::EqImpliesContains {
+                        predicate: child
+                            .attr("predicate")
+                            .ok_or_else(|| err("<equivalence> missing predicate"))?
+                            .into(),
+                    })
+                }
+                other => return Err(err(format!("unknown equivalence kind {other:?}"))),
+            },
+            other => return Err(err(format!("unexpected <{other}> in <interface>"))),
+        }
+    }
+    Ok(i)
+}
+
+fn operation_to_xml(o: &OperationDecl) -> Element {
+    let mut el = Element::new("operation")
+        .with_attr("name", o.name.clone())
+        .with_attr("kind", o.kind.attr());
+    if !o.input.is_empty() {
+        let mut input = Element::new("input");
+        for s in &o.input {
+            input.push_element(sig_to_xml(s));
+        }
+        el.push_element(input);
+    }
+    if !o.output.is_empty() {
+        let mut output = Element::new("output");
+        for s in &o.output {
+            output.push_element(sig_to_xml(s));
+        }
+        el.push_element(output);
+    }
+    el
+}
+
+fn operation_from_xml(el: &Element) -> Result<OperationDecl, WireError> {
+    let name = el
+        .attr("name")
+        .ok_or_else(|| err("<operation> missing name"))?
+        .to_string();
+    let kind = el
+        .attr("kind")
+        .and_then(OpKind::from_attr)
+        .ok_or_else(|| err(format!("operation `{name}` has a bad kind")))?;
+    let sig = |tag: &str| -> Result<Vec<SigItem>, WireError> {
+        match el.child(tag) {
+            None => Ok(vec![]),
+            Some(s) => s.elements().map(sig_from_xml).collect(),
+        }
+    };
+    Ok(OperationDecl {
+        name,
+        kind,
+        input: sig("input")?,
+        output: sig("output")?,
+    })
+}
+
+fn sig_to_xml(s: &SigItem) -> Element {
+    match s {
+        SigItem::Value { model, pattern } => Element::new("value")
+            .with_attr("model", model.clone())
+            .with_attr("pattern", pattern.clone()),
+        SigItem::Filter { model, pattern } => Element::new("filter")
+            .with_attr("model", model.clone())
+            .with_attr("pattern", pattern.clone()),
+        SigItem::Leaf(t) => Element::new("leaf").with_attr("label", t.name()),
+    }
+}
+
+fn sig_from_xml(el: &Element) -> Result<SigItem, WireError> {
+    match el.name.as_str() {
+        "value" => Ok(SigItem::Value {
+            model: el.attr("model").unwrap_or_default().into(),
+            pattern: el
+                .attr("pattern")
+                .or(el.attr("label"))
+                .unwrap_or_default()
+                .into(),
+        }),
+        "filter" => Ok(SigItem::Filter {
+            model: el.attr("model").unwrap_or_default().into(),
+            pattern: el.attr("pattern").unwrap_or_default().into(),
+        }),
+        "leaf" => {
+            let t = el
+                .attr("label")
+                .and_then(AtomType::from_name)
+                .ok_or_else(|| err("<leaf> with unknown label"))?;
+            Ok(SigItem::Leaf(t))
+        }
+        other => Err(err(format!("unexpected <{other}> in signature"))),
+    }
+}
+
+// ---------------------------------------------------------------- fpatterns
+
+/// Serializes an Fmodel (Fig. 6 lines 2–33).
+pub fn fmodel_to_xml(m: &Fmodel) -> Element {
+    let mut el = Element::new("fmodel").with_attr("name", m.name.clone());
+    for (name, p) in &m.patterns {
+        el.push_element(
+            Element::new("fpattern")
+                .with_attr("name", name.clone())
+                .with_child(fpattern_to_xml(p)),
+        );
+    }
+    el
+}
+
+/// Parses an Fmodel element.
+pub fn fmodel_from_xml(el: &Element) -> Result<Fmodel, WireError> {
+    let mut m = Fmodel::new(
+        el.attr("name")
+            .ok_or_else(|| err("<fmodel> missing name"))?,
+    );
+    for fp in el.children_named("fpattern") {
+        let name = fp
+            .attr("name")
+            .ok_or_else(|| err("<fpattern> missing name"))?;
+        let body = fp
+            .elements()
+            .next()
+            .ok_or_else(|| err(format!("<fpattern name=\"{name}\"> is empty")))?;
+        m.patterns
+            .push((name.to_string(), fpattern_from_xml(body)?));
+    }
+    Ok(m)
+}
+
+/// Serializes one Fpattern node.
+pub fn fpattern_to_xml(p: &FPattern) -> Element {
+    match p {
+        FPattern::Node {
+            label,
+            bind,
+            inst,
+            edges,
+        } => {
+            let mut el = Element::new("node").with_attr(
+                "label",
+                match label {
+                    FLabel::Sym(s) => s.clone(),
+                    FLabel::AnySym => "Symbol".to_string(),
+                },
+            );
+            if let Some(b) = bind.attr() {
+                el.set_attr("bind", b);
+            }
+            if let Some(i) = inst.attr() {
+                el.set_attr("inst", i);
+            }
+            for e in edges {
+                match e.occ {
+                    FOcc::One => el.push_element(fpattern_to_xml(&e.child)),
+                    FOcc::Star => {
+                        let mut star = Element::new("star");
+                        if let Some(i) = e.inst.attr() {
+                            star.set_attr("inst", i);
+                        }
+                        star.push_element(fpattern_to_xml(&e.child));
+                        el.push_element(star);
+                    }
+                }
+            }
+            el
+        }
+        FPattern::Union(branches) => {
+            let mut el = Element::new("union");
+            for b in branches {
+                el.push_element(fpattern_to_xml(b));
+            }
+            el
+        }
+        FPattern::Ref(name) => Element::new("ref").with_attr("pattern", name.clone()),
+        FPattern::Leaf(t) => Element::new("leaf").with_attr("label", t.name()),
+    }
+}
+
+/// Parses one Fpattern node. Accepts the Fig. 6 synonyms: `<value
+/// pattern="X"/>` and `<value label="X"/>` as references.
+pub fn fpattern_from_xml(el: &Element) -> Result<FPattern, WireError> {
+    match el.name.as_str() {
+        "node" => {
+            let label = match el.attr("label") {
+                Some("Symbol") => FLabel::AnySym,
+                Some(s) => FLabel::Sym(s.to_string()),
+                None => return Err(err("<node> missing label")),
+            };
+            let bind = match el.attr("bind") {
+                None => BindFlag::Any,
+                Some(b) => {
+                    BindFlag::from_attr(b).ok_or_else(|| err(format!("bad bind flag `{b}`")))?
+                }
+            };
+            let inst = match el.attr("inst") {
+                None => InstFlag::Free,
+                Some(i) => {
+                    InstFlag::from_attr(i).ok_or_else(|| err(format!("bad inst flag `{i}`")))?
+                }
+            };
+            let mut edges = Vec::new();
+            for c in el.elements() {
+                if c.name == "star" {
+                    let inst = match c.attr("inst") {
+                        None => InstFlag::Free,
+                        Some(i) => InstFlag::from_attr(i)
+                            .ok_or_else(|| err(format!("bad inst flag `{i}`")))?,
+                    };
+                    let body = c
+                        .elements()
+                        .next()
+                        .ok_or_else(|| err("<star> must wrap a pattern"))?;
+                    edges.push(FEdge {
+                        occ: FOcc::Star,
+                        inst,
+                        child: fpattern_from_xml(body)?,
+                    });
+                } else {
+                    edges.push(FEdge::one(fpattern_from_xml(c)?));
+                }
+            }
+            Ok(FPattern::Node {
+                label,
+                bind,
+                inst,
+                edges,
+            })
+        }
+        "union" => Ok(FPattern::Union(
+            el.elements()
+                .map(fpattern_from_xml)
+                .collect::<Result<_, _>>()?,
+        )),
+        "ref" | "value" => {
+            let name = el
+                .attr("pattern")
+                .or(el.attr("label"))
+                .ok_or_else(|| err(format!("<{}> missing pattern reference", el.name)))?;
+            Ok(FPattern::Ref(name.to_string()))
+        }
+        "leaf" => {
+            let t = el
+                .attr("label")
+                .and_then(AtomType::from_name)
+                .ok_or_else(|| err("<leaf> with unknown label"))?;
+            Ok(FPattern::Leaf(t))
+        }
+        other => Err(err(format!("unexpected <{other}> in fpattern"))),
+    }
+}
+
+// ----------------------------------------------------- structural patterns
+
+/// Serializes a structural model (Fig. 3 metadata).
+pub fn model_to_xml(m: &Model) -> Element {
+    let mut el = Element::new("model").with_attr("name", m.name.clone());
+    for (name, p) in m.defs() {
+        el.push_element(
+            Element::new("pattern")
+                .with_attr("name", name)
+                .with_child(pattern_to_xml(p)),
+        );
+    }
+    el
+}
+
+/// Parses a structural model element.
+pub fn model_from_xml(el: &Element) -> Result<Model, WireError> {
+    let mut m = Model::new(el.attr("name").ok_or_else(|| err("<model> missing name"))?);
+    for p in el.children_named("pattern") {
+        let name = p
+            .attr("name")
+            .ok_or_else(|| err("<pattern> missing name"))?;
+        let body = p
+            .elements()
+            .next()
+            .ok_or_else(|| err(format!("<pattern name=\"{name}\"> is empty")))?;
+        m.define(name, pattern_from_xml(body)?);
+    }
+    Ok(m)
+}
+
+/// Serializes a structural pattern / filter.
+pub fn pattern_to_xml(p: &Pattern) -> Element {
+    match p {
+        Pattern::Node { label, edges } => {
+            let mut el = match label {
+                PLabel::Sym(s) => Element::new("node").with_attr("label", s.clone()),
+                PLabel::Const(a) => Element::new("const")
+                    .with_attr("type", a.atom_type().name())
+                    .with_attr("value", a.to_string()),
+                PLabel::Atom(t) => Element::new("leaf").with_attr("label", t.name()),
+                PLabel::AnySym => Element::new("anysym"),
+                PLabel::Any => Element::new("anylabel"),
+                PLabel::Var(v) => Element::new("labelvar").with_attr("name", v.clone()),
+            };
+            for e in edges {
+                let child = pattern_to_xml(&e.pattern);
+                match (e.occ, &e.star_var) {
+                    (Occ::One, _) => el.push_element(child),
+                    (Occ::Opt, _) => el.push_element(Element::new("opt").with_child(child)),
+                    (Occ::Star, None) => el.push_element(Element::new("star").with_child(child)),
+                    (Occ::Star, Some((v, mode))) => el.push_element(
+                        Element::new("star")
+                            .with_attr("var", v.clone())
+                            .with_attr(
+                                "mode",
+                                match mode {
+                                    StarBind::Iterate => "iterate",
+                                    StarBind::Collect => "collect",
+                                },
+                            )
+                            .with_child(child),
+                    ),
+                }
+            }
+            el
+        }
+        Pattern::Union(branches) => {
+            let mut el = Element::new("union");
+            for b in branches {
+                el.push_element(pattern_to_xml(b));
+            }
+            el
+        }
+        Pattern::Ref(name) => Element::new("ref").with_attr("name", name.clone()),
+        Pattern::TreeVar(v) => Element::new("var").with_attr("name", v.clone()),
+        Pattern::Wildcard => Element::new("any"),
+    }
+}
+
+/// Parses a structural pattern / filter element.
+pub fn pattern_from_xml(el: &Element) -> Result<Pattern, WireError> {
+    let edges = |el: &Element| -> Result<Vec<Edge>, WireError> {
+        let mut out = Vec::new();
+        for c in el.elements() {
+            match c.name.as_str() {
+                "star" => {
+                    let body = c
+                        .elements()
+                        .next()
+                        .map(pattern_from_xml)
+                        .transpose()?
+                        .unwrap_or(Pattern::Wildcard);
+                    let star_var = match (c.attr("var"), c.attr("mode")) {
+                        (Some(v), Some("collect")) => Some((v.to_string(), StarBind::Collect)),
+                        (Some(v), _) => Some((v.to_string(), StarBind::Iterate)),
+                        (None, _) => None,
+                    };
+                    out.push(Edge {
+                        occ: Occ::Star,
+                        star_var,
+                        pattern: body,
+                    });
+                }
+                "opt" => {
+                    let body = c
+                        .elements()
+                        .next()
+                        .ok_or_else(|| err("<opt> must wrap a pattern"))?;
+                    out.push(Edge::opt(pattern_from_xml(body)?));
+                }
+                _ => out.push(Edge::one(pattern_from_xml(c)?)),
+            }
+        }
+        Ok(out)
+    };
+    match el.name.as_str() {
+        "node" => {
+            let label = el
+                .attr("label")
+                .ok_or_else(|| err("<node> missing label"))?;
+            Ok(Pattern::Node {
+                label: PLabel::Sym(label.to_string()),
+                edges: edges(el)?,
+            })
+        }
+        "anysym" => Ok(Pattern::Node {
+            label: PLabel::AnySym,
+            edges: edges(el)?,
+        }),
+        "anylabel" => Ok(Pattern::Node {
+            label: PLabel::Any,
+            edges: edges(el)?,
+        }),
+        "labelvar" => {
+            let v = el
+                .attr("name")
+                .ok_or_else(|| err("<labelvar> missing name"))?;
+            Ok(Pattern::Node {
+                label: PLabel::Var(v.to_string()),
+                edges: edges(el)?,
+            })
+        }
+        "leaf" => {
+            let t = el
+                .attr("label")
+                .and_then(AtomType::from_name)
+                .ok_or_else(|| err("<leaf> with unknown label"))?;
+            Ok(Pattern::atom(t))
+        }
+        "const" => {
+            let t = el
+                .attr("type")
+                .and_then(AtomType::from_name)
+                .ok_or_else(|| err("<const> with unknown type"))?;
+            let raw = el
+                .attr("value")
+                .ok_or_else(|| err("<const> missing value"))?;
+            let a = Atom::parse_typed(raw, t)
+                .ok_or_else(|| err(format!("`{raw}` is not a valid {t}")))?;
+            Ok(Pattern::constant(a))
+        }
+        "union" => Ok(Pattern::Union(
+            el.elements()
+                .map(pattern_from_xml)
+                .collect::<Result<_, _>>()?,
+        )),
+        "ref" => {
+            let name = el.attr("name").ok_or_else(|| err("<ref> missing name"))?;
+            Ok(Pattern::Ref(name.to_string()))
+        }
+        "var" => {
+            let v = el.attr("name").ok_or_else(|| err("<var> missing name"))?;
+            Ok(Pattern::TreeVar(v.to_string()))
+        }
+        "any" => Ok(Pattern::Wildcard),
+        other => Err(err(format!("unexpected <{other}> in pattern"))),
+    }
+}

@@ -1,0 +1,149 @@
+//! Query–view composition and source qualification.
+//!
+//! A user query `MATCH artworks WITH …` references the *view* `artworks`
+//! defined by the integration program. Composition splices the view's
+//! algebraic plan in place of the `Source` node, yielding the naive
+//! "materialize the view, then evaluate the query on the result"
+//! expression on the left of Fig. 8. Qualification then rewrites every
+//! remaining `Source` to name the wrapper exporting it.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use yat_algebra::Alg;
+
+/// Replaces `Source` nodes that name views with the corresponding view
+/// plans, recursively (views may reference other views; cycles are the
+/// caller's responsibility — YATL programs are acyclic by construction
+/// since rules only reference earlier rules or sources).
+pub fn compose(plan: &Arc<Alg>, views: &BTreeMap<String, Arc<Alg>>) -> Arc<Alg> {
+    match plan.as_ref() {
+        Alg::Source { source: None, name } => match views.get(name) {
+            Some(v) => compose(v, views),
+            None => plan.clone(),
+        },
+        _ => {
+            let kids: Vec<Arc<Alg>> = plan
+                .children()
+                .into_iter()
+                .map(|c| compose(c, views))
+                .collect();
+            if kids
+                .iter()
+                .zip(plan.children())
+                .all(|(a, b)| Arc::ptr_eq(a, b))
+            {
+                plan.clone()
+            } else {
+                Arc::new(plan.with_children(kids))
+            }
+        }
+    }
+}
+
+/// Qualifies unqualified `Source` nodes with the wrapper exporting them.
+/// Names bound by neither a view nor a source are left alone (evaluation
+/// will report them).
+pub fn qualify(plan: &Arc<Alg>, source_of: &BTreeMap<String, String>) -> Arc<Alg> {
+    match plan.as_ref() {
+        Alg::Source { source: None, name } => match source_of.get(name) {
+            Some(s) => Alg::source_at(s.clone(), name.clone()),
+            None => plan.clone(),
+        },
+        _ => {
+            let kids: Vec<Arc<Alg>> = plan
+                .children()
+                .into_iter()
+                .map(|c| qualify(c, source_of))
+                .collect();
+            Arc::new(plan.with_children(kids))
+        }
+    }
+}
+
+/// The named documents a plan reads (outside `Push` fragments — pushed
+/// sources are read by the wrapper, not the mediator).
+pub fn mediator_side_sources(plan: &Alg) -> Vec<(Option<String>, String)> {
+    let mut out = Vec::new();
+    collect_sources(plan, &mut out);
+    out
+}
+
+fn collect_sources(plan: &Alg, out: &mut Vec<(Option<String>, String)>) {
+    match plan {
+        Alg::Source { source, name } => {
+            let key = (source.clone(), name.clone());
+            if !out.contains(&key) {
+                out.push(key);
+            }
+        }
+        Alg::Push { .. } => {}
+        _ => {
+            for c in plan.children() {
+                collect_sources(c, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yat_model::Pattern;
+
+    #[test]
+    fn composition_splices_views() {
+        let view = Alg::bind(Alg::source("works"), Pattern::sym("works", vec![]));
+        let mut views = BTreeMap::new();
+        views.insert("artworks".to_string(), view.clone());
+        let q = Alg::bind(Alg::source("artworks"), Pattern::sym("doc", vec![]));
+        let composed = compose(&q, &views);
+        let Alg::Bind { input, .. } = composed.as_ref() else {
+            panic!()
+        };
+        assert_eq!(input, &view);
+        // non-view sources untouched
+        let q2 = Alg::source("works");
+        assert!(Arc::ptr_eq(&compose(&q2, &views), &q2));
+    }
+
+    #[test]
+    fn composition_is_transitive() {
+        let mut views = BTreeMap::new();
+        views.insert("v1".to_string(), Alg::source("base"));
+        views.insert(
+            "v2".to_string(),
+            Alg::bind(Alg::source("v1"), Pattern::Wildcard),
+        );
+        let composed = compose(&Alg::source("v2"), &views);
+        let Alg::Bind { input, .. } = composed.as_ref() else {
+            panic!()
+        };
+        assert!(matches!(input.as_ref(), Alg::Source { name, .. } if name == "base"));
+    }
+
+    #[test]
+    fn qualification_tags_sources() {
+        let mut source_of = BTreeMap::new();
+        source_of.insert("works".to_string(), "xmlartwork".to_string());
+        let q = Alg::bind(Alg::source("works"), Pattern::Wildcard);
+        let qualified = qualify(&q, &source_of);
+        let Alg::Bind { input, .. } = qualified.as_ref() else {
+            panic!()
+        };
+        assert!(matches!(input.as_ref(), Alg::Source { source: Some(s), .. } if s == "xmlartwork"));
+    }
+
+    #[test]
+    fn source_collection_skips_push() {
+        let plan = Alg::join(
+            Alg::bind(Alg::source_at("o2", "artifacts"), Pattern::Wildcard),
+            Alg::push("wais", Alg::source_at("wais", "works")),
+            yat_algebra::Pred::True,
+        );
+        let sources = mediator_side_sources(&plan);
+        assert_eq!(
+            sources,
+            vec![(Some("o2".to_string()), "artifacts".to_string())]
+        );
+    }
+}

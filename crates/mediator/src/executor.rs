@@ -1,0 +1,361 @@
+//! Plan execution: fetch mediator-side documents, ship `Push` fragments,
+//! substitute information-passing values, evaluate the rest locally.
+
+use crate::compose::mediator_side_sources;
+use crate::transport::Connection;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use yat_algebra::eval::{eval_env, Env, EvalCtx, PushHandler};
+use yat_algebra::{Alg, EvalError, EvalOut, FnRegistry, Operand, Pred, SkolemRegistry, Tab, Value};
+use yat_capability::interface::Interface;
+use yat_capability::protocol::{Request, Response};
+use yat_model::{Forest, Pattern, Tree};
+
+/// An execution failure.
+#[derive(Debug)]
+pub enum ExecError {
+    /// The plan reads a document no connected source exports.
+    UnknownSource(String),
+    /// A wire-level failure.
+    Wire(String),
+    /// A wrapper refused or failed a pushed plan.
+    Wrapper {
+        /// Source id.
+        source: String,
+        /// Its message.
+        message: String,
+    },
+    /// Local evaluation failed.
+    Eval(EvalError),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::UnknownSource(s) => write!(f, "no connected source provides `{s}`"),
+            ExecError::Wire(m) => write!(f, "transport failure: {m}"),
+            ExecError::Wrapper { source, message } => {
+                write!(f, "wrapper `{source}` failed: {message}")
+            }
+            ExecError::Eval(e) => write!(f, "evaluation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<EvalError> for ExecError {
+    fn from(e: EvalError) -> Self {
+        ExecError::Eval(e)
+    }
+}
+
+/// Executes a plan against the connected wrappers.
+///
+/// Mediator-side `Source` reads fetch whole documents. Because fetched
+/// data may hold references into a source's *other* documents (Fig. 1's
+/// `owners refs="p1 p2 p3"`), every export of a touched source is
+/// mirrored so references dereference — part of the naive strategy's
+/// cost that pushdown avoids.
+pub fn execute(
+    plan: &Alg,
+    connections: &BTreeMap<String, Connection>,
+    interfaces: &BTreeMap<String, Interface>,
+    funcs: &FnRegistry,
+    skolems: &SkolemRegistry,
+) -> Result<EvalOut, ExecError> {
+    let mut wanted: Vec<(String, String)> = Vec::new();
+    for (source, name) in mediator_side_sources(plan) {
+        let Some(src) = source else {
+            return Err(ExecError::UnknownSource(name));
+        };
+        wanted.push((src.clone(), name));
+        // reference closure: all other exports of the same source
+        if let Some(iface) = interfaces.get(&src) {
+            for export in &iface.exports {
+                let key = (src.clone(), export.name.clone());
+                if !wanted.contains(&key) {
+                    wanted.push(key);
+                }
+            }
+        }
+    }
+    let mut forest = Forest::new();
+    for (src, name) in wanted {
+        let conn = connections
+            .get(&src)
+            .ok_or_else(|| ExecError::UnknownSource(format!("{name}@{src}")))?;
+        let response = conn
+            .call(&Request::GetDocument { name: name.clone() })
+            .map_err(|e| ExecError::Wire(e.to_string()))?;
+        match response {
+            Response::Document { tree, .. } => forest.insert(name, tree),
+            Response::Error(m) => {
+                return Err(ExecError::Wrapper {
+                    source: src,
+                    message: m,
+                })
+            }
+            other => return Err(ExecError::Wire(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    let catalog = RemoteCatalog { forest };
+    let pusher = Pusher { connections };
+    let ctx = EvalCtx {
+        catalog: &catalog,
+        model: None,
+        funcs,
+        skolems,
+        push: Some(&pusher),
+    };
+    Ok(eval_env(plan, &ctx, &Env::new())?)
+}
+
+/// Documents fetched for this execution, addressed by name regardless of
+/// which wrapper they came from (exported names are globally unique in a
+/// YAT federation, as in the paper's example).
+struct RemoteCatalog {
+    forest: Forest,
+}
+
+impl yat_algebra::SourceCatalog for RemoteCatalog {
+    fn document(&self, _source: Option<&str>, name: &str) -> Option<Tree> {
+        self.forest.get(name).cloned()
+    }
+
+    fn deref_forest(&self) -> Option<&Forest> {
+        Some(&self.forest)
+    }
+}
+
+struct Pusher<'a> {
+    connections: &'a BTreeMap<String, Connection>,
+}
+
+impl<'a> PushHandler for Pusher<'a> {
+    fn execute_push(
+        &self,
+        source: &str,
+        plan: &Alg,
+        env: &BTreeMap<String, Value>,
+    ) -> Result<Tab, EvalError> {
+        let conn = self
+            .connections
+            .get(source)
+            .ok_or_else(|| EvalError::UnknownSource {
+                source: Some(source.to_string()),
+                name: "<push>".into(),
+            })?;
+        let plan = substitute_env(&Arc::new(plan.clone()), env);
+        let response = conn
+            .call(&Request::Execute { plan })
+            .map_err(|e| EvalError::Function {
+                name: source.to_string(),
+                message: e.to_string(),
+            })?;
+        match response {
+            Response::Result(tab) => Ok(tab),
+            Response::Error(m) => Err(EvalError::Function {
+                name: source.to_string(),
+                message: m,
+            }),
+            other => Err(EvalError::Function {
+                name: source.to_string(),
+                message: format!("unexpected response {other:?}"),
+            }),
+        }
+    }
+}
+
+/// Information passing (Section 5.3): outer bindings referenced by the
+/// pushed plan become constants before shipping — "values of variables
+/// passed from the left-hand side to the right-hand side".
+pub fn substitute_env(plan: &Arc<Alg>, env: &BTreeMap<String, Value>) -> Arc<Alg> {
+    if env.is_empty() {
+        return plan.clone();
+    }
+    match plan.as_ref() {
+        Alg::Select { input, pred } => {
+            let produced = input.out_vars().unwrap_or_default();
+            let pred = subst_pred(pred, env, &produced);
+            Alg::select(substitute_env(input, env), pred)
+        }
+        Alg::Join { left, right, pred } => {
+            let mut produced = left.out_vars().unwrap_or_default();
+            produced.extend(right.out_vars().unwrap_or_default());
+            let pred = subst_pred(pred, env, &produced);
+            Alg::join(substitute_env(left, env), substitute_env(right, env), pred)
+        }
+        Alg::Bind {
+            input,
+            filter,
+            over,
+        } => {
+            // a filter variable bound in the environment becomes an
+            // inline constant — the O2 wrapper then emits `where title =
+            // "…"` (Fig. 9's nested-loop information passing)
+            let filter = subst_filter(filter, env);
+            let input = substitute_env(input, env);
+            match over {
+                Some(col) => Alg::bind_over(input, col.clone(), filter),
+                None => Alg::bind(input, filter),
+            }
+        }
+        Alg::Map { input, col, expr } => {
+            let produced = input.out_vars().unwrap_or_default();
+            Arc::new(Alg::Map {
+                input: substitute_env(input, env),
+                col: col.clone(),
+                expr: subst_operand(expr, env, &produced),
+            })
+        }
+        _ => {
+            let kids = plan
+                .children()
+                .into_iter()
+                .map(|c| substitute_env(c, env))
+                .collect();
+            Arc::new(plan.with_children(kids))
+        }
+    }
+}
+
+fn subst_pred(pred: &Pred, env: &BTreeMap<String, Value>, produced: &[String]) -> Pred {
+    match pred {
+        Pred::True => Pred::True,
+        Pred::And(a, b) => Pred::And(
+            Box::new(subst_pred(a, env, produced)),
+            Box::new(subst_pred(b, env, produced)),
+        ),
+        Pred::Or(a, b) => Pred::Or(
+            Box::new(subst_pred(a, env, produced)),
+            Box::new(subst_pred(b, env, produced)),
+        ),
+        Pred::Not(p) => Pred::Not(Box::new(subst_pred(p, env, produced))),
+        Pred::Cmp { op, left, right } => Pred::Cmp {
+            op: *op,
+            left: subst_operand(left, env, produced),
+            right: subst_operand(right, env, produced),
+        },
+        Pred::Call { name, args } => Pred::Call {
+            name: name.clone(),
+            args: args
+                .iter()
+                .map(|a| subst_operand(a, env, produced))
+                .collect(),
+        },
+    }
+}
+
+fn subst_operand(o: &Operand, env: &BTreeMap<String, Value>, produced: &[String]) -> Operand {
+    match o {
+        Operand::Var(v) if !produced.contains(v) => match env.get(v).and_then(Value::atom) {
+            Some(a) => Operand::Const(a),
+            None => o.clone(),
+        },
+        Operand::Call { name, args } => Operand::Call {
+            name: name.clone(),
+            args: args
+                .iter()
+                .map(|a| subst_operand(a, env, produced))
+                .collect(),
+        },
+        _ => o.clone(),
+    }
+}
+
+fn subst_filter(filter: &Pattern, env: &BTreeMap<String, Value>) -> Pattern {
+    match filter {
+        Pattern::TreeVar(v) => match env.get(v).and_then(Value::atom) {
+            Some(a) => Pattern::constant(a),
+            None => filter.clone(),
+        },
+        Pattern::Node { label, edges } => Pattern::Node {
+            label: label.clone(),
+            edges: edges
+                .iter()
+                .map(|e| yat_model::Edge {
+                    occ: e.occ,
+                    star_var: e.star_var.clone(),
+                    pattern: subst_filter(&e.pattern, env),
+                })
+                .collect(),
+        },
+        Pattern::Union(bs) => Pattern::Union(bs.iter().map(|b| subst_filter(b, env)).collect()),
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yat_algebra::CmpOp;
+    use yat_model::Atom;
+    use yat_yatl::parse_filter;
+
+    fn env(pairs: &[(&str, Atom)]) -> BTreeMap<String, Value> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), Value::Atom(v.clone())))
+            .collect()
+    }
+
+    #[test]
+    fn predicates_substitute_free_vars_only() {
+        let plan = Alg::select(
+            Alg::bind(
+                Alg::source("artifacts"),
+                parse_filter("set *class: artifact: tuple [ title: $t2 ]").unwrap(),
+            ),
+            Pred::cmp(CmpOp::Eq, Operand::var("t2"), Operand::var("t")),
+        );
+        let out = substitute_env(&plan, &env(&[("t", Atom::Str("Nympheas".into()))]));
+        let Alg::Select { pred, .. } = out.as_ref() else {
+            panic!()
+        };
+        // $t2 is produced inside, $t came from the environment
+        assert_eq!(pred.to_string(), "$t2 = \"Nympheas\"");
+    }
+
+    #[test]
+    fn filters_substitute_shared_vars() {
+        let plan = Alg::bind(
+            Alg::source("artifacts"),
+            parse_filter("set *class: artifact: tuple [ title: $t ]").unwrap(),
+        );
+        let out = substitute_env(&plan, &env(&[("t", Atom::Str("X".into()))]));
+        let Alg::Bind { filter, .. } = out.as_ref() else {
+            panic!()
+        };
+        assert!(filter.to_string().contains("title[\"X\"]"), "{filter}");
+    }
+
+    #[test]
+    fn tree_valued_bindings_stay_symbolic() {
+        let plan = Alg::select(
+            Alg::bind(Alg::source("d"), parse_filter("d *$x").unwrap()),
+            Pred::var_eq("x", "w"),
+        );
+        let mut e = BTreeMap::new();
+        e.insert(
+            "w".to_string(),
+            Value::Tree(yat_model::Node::sym("work", vec![])),
+        );
+        let out = substitute_env(&plan, &e);
+        let Alg::Select { pred, .. } = out.as_ref() else {
+            panic!()
+        };
+        assert_eq!(pred.to_string(), "$x = $w", "tree values cannot inline");
+    }
+
+    #[test]
+    fn empty_env_is_identity() {
+        let plan = Alg::select(
+            Alg::bind(Alg::source("d"), parse_filter("d *$x").unwrap()),
+            Pred::eq_const("x", 1),
+        );
+        let out = substitute_env(&plan, &BTreeMap::new());
+        assert!(Arc::ptr_eq(&plan, &out));
+    }
+}

@@ -1,0 +1,216 @@
+//! The mediator façade: connect wrappers, import capabilities, load
+//! integration programs, answer queries.
+
+use crate::compose::{compose, qualify};
+use crate::executor::{execute, ExecError};
+use crate::optimizer::{optimize, OptimizerOptions, Trace};
+use crate::transport::{Connection, MeterSnapshot};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use yat_algebra::{Alg, EvalOut, FnRegistry, SkolemRegistry};
+use yat_capability::interface::Interface;
+use yat_capability::protocol::{Request, Response, WrapperServer};
+use yat_yatl::{parse_program, parse_rule, translate, Rule};
+
+/// A mediator-level failure.
+#[derive(Debug)]
+pub enum MediatorError {
+    /// The wrapper handshake failed.
+    Connect(String),
+    /// A YATL program failed to parse.
+    Parse(yat_yatl::ParseError),
+    /// Execution failed.
+    Exec(ExecError),
+    /// A name clash or missing definition.
+    Name(String),
+}
+
+impl std::fmt::Display for MediatorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MediatorError::Connect(m) => write!(f, "connect failed: {m}"),
+            MediatorError::Parse(e) => write!(f, "{e}"),
+            MediatorError::Exec(e) => write!(f, "{e}"),
+            MediatorError::Name(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for MediatorError {}
+
+impl From<yat_yatl::ParseError> for MediatorError {
+    fn from(e: yat_yatl::ParseError) -> Self {
+        MediatorError::Parse(e)
+    }
+}
+
+impl From<ExecError> for MediatorError {
+    fn from(e: ExecError) -> Self {
+        MediatorError::Exec(e)
+    }
+}
+
+/// The yat-mediator (Fig. 2): holds connections, imported interfaces,
+/// views, and the Skolem registry of the integrated view.
+#[derive(Default)]
+pub struct Mediator {
+    connections: BTreeMap<String, Connection>,
+    interfaces: BTreeMap<String, Interface>,
+    /// View name → translated (composed, qualified) plan.
+    views: BTreeMap<String, Arc<Alg>>,
+    view_rules: BTreeMap<String, Rule>,
+    /// Exported document name → source id.
+    source_of_doc: BTreeMap<String, String>,
+    funcs: FnRegistry,
+    skolems: SkolemRegistry,
+}
+
+impl Mediator {
+    /// A mediator with the built-in compensation functions registered
+    /// (`contains` evaluates locally when it cannot be pushed).
+    pub fn new() -> Self {
+        Mediator {
+            funcs: FnRegistry::with_builtins(),
+            ..Default::default()
+        }
+    }
+
+    /// Connects a wrapper and imports its interface
+    /// (`yat> connect …; yat> import …;` in Fig. 2).
+    pub fn connect(&mut self, server: Box<dyn WrapperServer>) -> Result<String, MediatorError> {
+        let conn = Connection::new(server);
+        let response = conn
+            .call(&Request::GetInterface)
+            .map_err(|e| MediatorError::Connect(e.to_string()))?;
+        let iface = match response {
+            Response::Interface(i) => i,
+            Response::Error(m) => return Err(MediatorError::Connect(m)),
+            other => {
+                return Err(MediatorError::Connect(format!(
+                    "unexpected response {other:?}"
+                )))
+            }
+        };
+        let id = iface.name.clone();
+        if self.connections.contains_key(&id) {
+            return Err(MediatorError::Name(format!(
+                "source `{id}` already connected"
+            )));
+        }
+        for export in &iface.exports {
+            if let Some(prev) = self.source_of_doc.insert(export.name.clone(), id.clone()) {
+                return Err(MediatorError::Name(format!(
+                    "document `{}` exported by both `{prev}` and `{id}`",
+                    export.name
+                )));
+            }
+        }
+        self.interfaces.insert(id.clone(), iface);
+        self.connections.insert(id.clone(), conn);
+        Ok(id)
+    }
+
+    /// Loads a YATL integration program, registering each named rule as a
+    /// view (`yat> load "view1.yat";`).
+    pub fn load_program(&mut self, src: &str) -> Result<Vec<String>, MediatorError> {
+        let program = parse_program(src)?;
+        let mut names = Vec::new();
+        for rule in program.rules {
+            let Some(name) = rule.name.clone() else {
+                return Err(MediatorError::Name(
+                    "integration programs may only contain named rules".into(),
+                ));
+            };
+            if self.source_of_doc.contains_key(&name) || self.views.contains_key(&name) {
+                return Err(MediatorError::Name(format!("`{name}` is already defined")));
+            }
+            let plan = self.plan_rule(&rule);
+            self.views.insert(name.clone(), plan);
+            self.view_rules.insert(name.clone(), rule);
+            names.push(name);
+        }
+        Ok(names)
+    }
+
+    /// Translates a rule and resolves view references and source names —
+    /// the naive plan before optimization.
+    pub fn plan_rule(&self, rule: &Rule) -> Arc<Alg> {
+        let plan = translate(rule);
+        let composed = compose(&plan, &self.views);
+        qualify(&composed, &self.source_of_doc)
+    }
+
+    /// Plans an ad-hoc query.
+    pub fn plan_query(&self, src: &str) -> Result<Arc<Alg>, MediatorError> {
+        Ok(self.plan_rule(&parse_rule(src)?))
+    }
+
+    /// Optimizes a plan against the imported capabilities.
+    pub fn optimize(&self, plan: &Arc<Alg>, options: OptimizerOptions) -> (Arc<Alg>, Trace) {
+        optimize(plan, &self.interfaces, options)
+    }
+
+    /// Executes a plan.
+    pub fn execute(&self, plan: &Alg) -> Result<EvalOut, MediatorError> {
+        Ok(execute(
+            plan,
+            &self.connections,
+            &self.interfaces,
+            &self.funcs,
+            &self.skolems,
+        )?)
+    }
+
+    /// Plan → optimize → execute, end to end.
+    pub fn query(&self, src: &str, options: OptimizerOptions) -> Result<EvalOut, MediatorError> {
+        let plan = self.plan_query(src)?;
+        let (optimized, _) = self.optimize(&plan, options);
+        self.execute(&optimized)
+    }
+
+    /// The imported interfaces.
+    pub fn interfaces(&self) -> &BTreeMap<String, Interface> {
+        &self.interfaces
+    }
+
+    /// The registered views.
+    pub fn views(&self) -> &BTreeMap<String, Arc<Alg>> {
+        &self.views
+    }
+
+    /// The YATL rules of the registered views.
+    pub fn view_rules(&self) -> &BTreeMap<String, Rule> {
+        &self.view_rules
+    }
+
+    /// Which source exports a document.
+    pub fn source_of(&self, doc: &str) -> Option<&str> {
+        self.source_of_doc.get(doc).map(String::as_str)
+    }
+
+    /// Total traffic across all connections.
+    pub fn traffic(&self) -> MeterSnapshot {
+        self.connections
+            .values()
+            .map(|c| c.meter().snapshot())
+            .fold(MeterSnapshot::default(), |a, b| a + b)
+    }
+
+    /// Traffic for one connection.
+    pub fn traffic_of(&self, source: &str) -> Option<MeterSnapshot> {
+        self.connections.get(source).map(|c| c.meter().snapshot())
+    }
+
+    /// Resets all meters (between benchmark phases).
+    pub fn reset_traffic(&self) {
+        for c in self.connections.values() {
+            c.meter().reset();
+        }
+    }
+
+    /// The mediator's external-function registry (tests may register
+    /// extra compensations).
+    pub fn funcs_mut(&mut self) -> &mut FnRegistry {
+        &mut self.funcs
+    }
+}

@@ -1,0 +1,178 @@
+//! The optimizer: "heuristics and a simple linear search strategy
+//! consisting of the three rewriting rounds presented in [Section 5]"
+//! (Section 6).
+//!
+//! * **Round 1 — composition:** Bind–Tree elimination, selection
+//!   merging/pushdown, then the needed-columns pass (projection pruning,
+//!   typed filter simplification, Fig. 8 branch elimination), then
+//!   pushdown again on the simplified plan.
+//! * **Round 2 — capabilities:** capability splitting, `contains`
+//!   introduction from declared equivalences, maximal fragment pushing.
+//! * **Round 3 — information passing:** cross-source `Join` → `DJoin`
+//!   with the join predicate absorbed into the pushed side.
+//!
+//! Every round applies its rule set to a fixpoint (with a hard iteration
+//! cap) and records a [`Trace`] of rule firings.
+
+use crate::rules::bind_tree::BindTreeElim;
+use crate::rules::capability::{CapabilitySplit, ContainsIntroduction, PushFragments};
+use crate::rules::info_passing::JoinToDJoin;
+use crate::rules::prune::{prune, PruneOptions};
+use crate::rules::pushdown::{SelectMerge, SelectPushdown};
+use crate::rules::{apply_once, RewriteRule, RuleCtx};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use yat_algebra::Alg;
+use yat_capability::interface::Interface;
+
+/// What the optimizer is allowed to do. All techniques default on except
+/// the Fig. 8 containment assumption, which changes semantics unless the
+/// administrator vouches for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptimizerOptions {
+    /// Round 1: eliminate Bind–Tree compositions.
+    pub compose_elimination: bool,
+    /// Round 1: use imported structural models to simplify filters.
+    pub use_type_info: bool,
+    /// Round 1: assume view joins are containment-complete (Fig. 8) so
+    /// unused branches can be eliminated.
+    pub assume_containment: bool,
+    /// Round 2: capability-based rewriting and fragment pushing.
+    pub capability_pushdown: bool,
+    /// Round 3: information passing.
+    pub info_passing: bool,
+    /// Fixpoint iteration cap per round.
+    pub max_steps: usize,
+}
+
+impl Default for OptimizerOptions {
+    fn default() -> Self {
+        OptimizerOptions {
+            compose_elimination: true,
+            use_type_info: true,
+            assume_containment: false,
+            capability_pushdown: true,
+            info_passing: true,
+            max_steps: 128,
+        }
+    }
+}
+
+impl OptimizerOptions {
+    /// Everything off: the naive plan passes through unchanged.
+    pub fn naive() -> Self {
+        OptimizerOptions {
+            compose_elimination: false,
+            use_type_info: false,
+            assume_containment: false,
+            capability_pushdown: false,
+            info_passing: false,
+            max_steps: 0,
+        }
+    }
+
+    /// Everything on, including the Fig. 8 containment assumption.
+    pub fn full() -> Self {
+        OptimizerOptions {
+            assume_containment: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// A record of the rewriting steps taken.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// `(round, rule name)` per firing, in order.
+    pub steps: Vec<(u8, &'static str)>,
+}
+
+impl Trace {
+    /// Number of firings of a rule.
+    pub fn count(&self, rule: &str) -> usize {
+        self.steps.iter().filter(|(_, r)| *r == rule).count()
+    }
+
+    /// All firings, rendered.
+    pub fn render(&self) -> String {
+        self.steps
+            .iter()
+            .map(|(round, rule)| format!("round {round}: {rule}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Optimizes `plan` against the imported `interfaces`.
+pub fn optimize(
+    plan: &Arc<Alg>,
+    interfaces: &BTreeMap<String, Interface>,
+    options: OptimizerOptions,
+) -> (Arc<Alg>, Trace) {
+    let ctx = RuleCtx {
+        interfaces,
+        options: &options,
+    };
+    let mut trace = Trace::default();
+    let mut plan = plan.clone();
+
+    // ---- round 1: composition and simplification ----------------------
+    if options.compose_elimination {
+        let rules: Vec<&dyn RewriteRule> = vec![&BindTreeElim, &SelectMerge, &SelectPushdown];
+        plan = fixpoint(plan, &rules, &ctx, options.max_steps, 1, &mut trace);
+        let before = plan.clone();
+        plan = prune(
+            &plan,
+            interfaces,
+            PruneOptions {
+                use_type_info: options.use_type_info,
+                assume_containment: options.assume_containment,
+            },
+        );
+        if plan != before {
+            trace.steps.push((1, "prune"));
+        }
+        let rules: Vec<&dyn RewriteRule> = vec![&SelectMerge, &SelectPushdown];
+        plan = fixpoint(plan, &rules, &ctx, options.max_steps, 1, &mut trace);
+    }
+
+    // ---- round 2: capability-based rewriting ---------------------------
+    if options.capability_pushdown {
+        let rules: Vec<&dyn RewriteRule> =
+            vec![&CapabilitySplit, &ContainsIntroduction, &PushFragments];
+        plan = fixpoint(plan, &rules, &ctx, options.max_steps, 2, &mut trace);
+    }
+
+    // ---- round 3: information passing ----------------------------------
+    if options.info_passing {
+        let rules: Vec<&dyn RewriteRule> = vec![&JoinToDJoin];
+        plan = fixpoint(plan, &rules, &ctx, options.max_steps, 3, &mut trace);
+    }
+
+    (plan, trace)
+}
+
+fn fixpoint(
+    mut plan: Arc<Alg>,
+    rules: &[&dyn RewriteRule],
+    ctx: &RuleCtx<'_>,
+    max_steps: usize,
+    round: u8,
+    trace: &mut Trace,
+) -> Arc<Alg> {
+    for _ in 0..max_steps {
+        let mut fired = false;
+        for rule in rules {
+            if let Some(next) = apply_once(&plan, *rule, ctx) {
+                trace.steps.push((round, rule.name()));
+                plan = next;
+                fired = true;
+                break;
+            }
+        }
+        if !fired {
+            break;
+        }
+    }
+    plan
+}

@@ -1,0 +1,164 @@
+//! Bind splitting (Section 5.1, Fig. 7): a complex `Bind` can be split
+//! into "a linear sequence of elementary ones, each one navigating down
+//! the result of the previous one".
+//!
+//! "Among other things, this rewriting is useful to simplify query
+//! compositions or push some evaluation to a source" — the capability
+//! round uses it to carve off exactly the prefix a source accepts
+//! (Fig. 9 step (ii): "splits the Bind to match the Wais capabilities
+//! description").
+
+use std::sync::Arc;
+use yat_algebra::Alg;
+use yat_model::{Edge, Occ, Pattern, StarBind};
+
+/// Splits `Bind(input, root[*element])` into
+/// `Bind_over(Bind(input, root *$doc), $doc, element)`.
+///
+/// The document variable is the star edge's iterate variable when
+/// present, otherwise a fresh `__doc` name. Returns `None` when the
+/// filter does not have the splittable single-star shape or is already
+/// elementary.
+pub fn split_linear(input: &Arc<Alg>, filter: &Pattern) -> Option<Arc<Alg>> {
+    let Pattern::Node { label, edges } = filter else {
+        return None;
+    };
+    let [edge] = edges.as_slice() else {
+        return None;
+    };
+    if edge.occ != Occ::Star {
+        return None;
+    }
+    let (doc_var, element) = match &edge.star_var {
+        Some((v, StarBind::Iterate)) => (v.clone(), edge.pattern.clone()),
+        Some((_, StarBind::Collect)) => return None,
+        None => (fresh_var(filter), edge.pattern.clone()),
+    };
+    // already elementary: nothing to navigate further
+    if matches!(element, Pattern::Wildcard) {
+        return None;
+    }
+    let prefix = Pattern::Node {
+        label: label.clone(),
+        edges: vec![Edge::star_iter(doc_var.clone(), Pattern::Wildcard)],
+    };
+    let first = Alg::bind(input.clone(), prefix);
+    Some(Alg::bind_over(first, doc_var, element))
+}
+
+/// A variable name free in `filter`.
+fn fresh_var(filter: &Pattern) -> String {
+    let vars = filter.variables();
+    let mut name = "__doc".to_string();
+    let mut i = 0;
+    while vars.contains(&name) {
+        i += 1;
+        name = format!("__doc{i}");
+    }
+    name
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yat_algebra::eval::{eval, EvalCtx};
+    use yat_algebra::{EvalOut, FnRegistry, SkolemRegistry};
+    use yat_model::{Forest, Node};
+    use yat_yatl::parse_filter;
+
+    fn forest() -> Forest {
+        let mut f = Forest::new();
+        f.insert(
+            "works",
+            Node::sym(
+                "works",
+                vec![
+                    Node::sym(
+                        "work",
+                        vec![
+                            Node::elem("title", "A"),
+                            Node::elem("style", "Impressionist"),
+                        ],
+                    ),
+                    Node::sym(
+                        "work",
+                        vec![Node::elem("title", "B"), Node::elem("style", "Cubist")],
+                    ),
+                ],
+            ),
+        );
+        f
+    }
+
+    fn eval_tab(plan: &Alg) -> yat_algebra::Tab {
+        let f = forest();
+        let funcs = FnRegistry::with_builtins();
+        let sk = SkolemRegistry::new();
+        match eval(plan, &EvalCtx::local(&f, &funcs, &sk)).unwrap() {
+            EvalOut::Tab(t) => t,
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn split_preserves_bindings() {
+        let filter = parse_filter("works *work [ title: $t, style: $s ]").unwrap();
+        let original = Alg::bind(Alg::source("works"), filter.clone());
+        let split = split_linear(&Alg::source("works"), &filter).expect("splittable");
+        // split introduces a fresh __doc column; project it away
+        let projected = Alg::project(
+            split.clone(),
+            vec![("t".into(), "t".into()), ("s".into(), "s".into())],
+        );
+        assert_eq!(eval_tab(&original), eval_tab(&projected));
+        // the split is a Bind over a Bind
+        let Alg::Bind {
+            input,
+            over: Some(_),
+            ..
+        } = split.as_ref()
+        else {
+            panic!("{split}")
+        };
+        assert!(matches!(input.as_ref(), Alg::Bind { over: None, .. }));
+    }
+
+    #[test]
+    fn explicit_doc_variable_is_reused() {
+        let filter = parse_filter("works *$w: work [ title: $t ]").unwrap();
+        let split = split_linear(&Alg::source("works"), &filter).unwrap();
+        let vars = split.out_vars().unwrap();
+        assert!(vars.contains(&"w".to_string()), "{vars:?}");
+        assert!(!vars.iter().any(|v| v.starts_with("__doc")), "{vars:?}");
+    }
+
+    #[test]
+    fn unsplittable_shapes() {
+        // already elementary
+        assert!(split_linear(&Alg::source("works"), &parse_filter("works *$w").unwrap()).is_none());
+        // collect star
+        assert!(split_linear(
+            &Alg::source("works"),
+            &parse_filter("works [ *($all) ]").unwrap()
+        )
+        .is_none());
+        // multiple edges
+        assert!(split_linear(
+            &Alg::source("works"),
+            &parse_filter("works [ *work, count: $c ]").unwrap()
+        )
+        .is_none());
+        // non-star edge
+        assert!(split_linear(
+            &Alg::source("works"),
+            &parse_filter("works [ work [ title: $t ] ]").unwrap()
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn fresh_var_avoids_collisions() {
+        let f = parse_filter("works *work [ a: $__doc, b: $__doc1 ]").unwrap();
+        assert_eq!(fresh_var(&f), "__doc2");
+    }
+}

@@ -1,0 +1,458 @@
+//! Bind–Tree elimination (Section 5.2): the key to efficient query
+//! composition.
+//!
+//! After composing a query with a view, the plan contains a
+//! `Bind(Tree(base))` sequence: the view's construction immediately
+//! re-matched by the query's filter. "It is very important to eliminate
+//! intermediate Tree operations resulting from the composition of queries
+//! with the view definition."
+//!
+//! The rule *unifies* the query filter with the construction template:
+//!
+//! * a filter variable meeting a template splice `Var(v)` becomes a
+//!   **renaming** (`$t' := $t` — the paper's "simple projection with
+//!   renaming");
+//! * a filter subtree descending *into* a spliced variable becomes a
+//!   **residual Bind** over that column (Q1's `cplace` lives inside the
+//!   view's `$fields` collection);
+//! * a filter constant meeting a splice becomes a **selection**;
+//! * a mandatory filter edge that no template child can produce makes
+//!   the composition **unsatisfiable**: the whole Bind yields nothing.
+//!
+//! The rewritten plan produces one row per *base* row, where the original
+//! produced one per constructed (grouped) element; YATL's constructing
+//! templates deduplicate by grouping keys, so final query results are
+//! unchanged. This is asserted semantically by the Fig. 8/9 tests.
+
+use super::{RewriteRule, RuleCtx};
+use std::sync::Arc;
+use yat_algebra::{Alg, Operand, Pred, Template};
+use yat_model::{Edge, Occ, PLabel, Pattern};
+
+/// The Bind–Tree elimination rule.
+pub struct BindTreeElim;
+
+impl RewriteRule for BindTreeElim {
+    fn name(&self) -> &'static str {
+        "bind-tree-elimination"
+    }
+
+    fn apply(&self, plan: &Arc<Alg>, _ctx: &RuleCtx<'_>) -> Option<Arc<Alg>> {
+        let Alg::Bind {
+            input,
+            filter,
+            over: None,
+        } = plan.as_ref()
+        else {
+            return None;
+        };
+        let Alg::TreeOp {
+            input: base,
+            template,
+        } = input.as_ref()
+        else {
+            return None;
+        };
+        let mut u = Unification::default();
+        match unify(filter, template, &mut u) {
+            Err(Unsupported) => None,
+            Ok(()) if !u.satisfiable => {
+                // the filter can never match the constructed document:
+                // empty result with the filter's columns
+                let qvars = filter.variables();
+                let cols = qvars.iter().map(|v| (v.clone(), v.clone())).collect();
+                Some(Alg::select(
+                    Alg::project(base.clone(), cols),
+                    Pred::Not(Box::new(Pred::True)),
+                ))
+            }
+            Ok(()) => {
+                let mut out: Arc<Alg> = base.clone();
+                if !u.selects.is_empty() {
+                    out = Alg::select(out, Pred::from_conjuncts(u.selects.clone()));
+                }
+                for (vvar, residual) in &u.residuals {
+                    out = Alg::bind_over(out, vvar.clone(), residual.clone());
+                }
+                // project to the query's variables, renaming view vars
+                let cols: Vec<(String, String)> = filter
+                    .variables()
+                    .into_iter()
+                    .map(|qv| match u.renames.iter().find(|(q, _)| *q == qv) {
+                        Some((_, vv)) => (vv.clone(), qv),
+                        None => (qv.clone(), qv),
+                    })
+                    .collect();
+                Some(Alg::project(out, cols))
+            }
+        }
+    }
+}
+
+/// Marker: the filter/template pair is outside the fragment this rule
+/// handles; fall back to naive materialization.
+struct Unsupported;
+
+#[derive(Default)]
+struct Unification {
+    /// `(query var, view var)` renamings.
+    renames: Vec<(String, String)>,
+    /// `(view column, residual query filter)` — navigation into spliced
+    /// values.
+    residuals: Vec<(String, Pattern)>,
+    /// Selections from constants meeting splices.
+    selects: Vec<Pred>,
+    /// Set to false when a mandatory filter edge cannot be produced.
+    satisfiable: bool,
+}
+
+impl Unification {
+    fn unsatisfiable(&mut self) {
+        self.satisfiable = false;
+    }
+}
+
+fn unify(filter: &Pattern, template: &Template, u: &mut Unification) -> Result<(), Unsupported> {
+    u.satisfiable = true;
+    unify_node(filter, template, u)
+}
+
+fn unify_node(
+    filter: &Pattern,
+    template: &Template,
+    u: &mut Unification,
+) -> Result<(), Unsupported> {
+    match template {
+        // grouping wrappers (and their Skolem identifiers) are transparent
+        Template::Group { body, .. } => unify_node(filter, body, u),
+        Template::Sym { name, children } => match filter {
+            Pattern::Wildcard => Ok(()),
+            Pattern::TreeVar(_) => Err(Unsupported),
+            Pattern::Union(_) | Pattern::Ref(_) => Err(Unsupported),
+            Pattern::Node { label, edges } => {
+                match label {
+                    PLabel::Sym(s) if s == name => {}
+                    PLabel::AnySym | PLabel::Any => {}
+                    PLabel::Var(_) => return Err(Unsupported),
+                    _ => {
+                        u.unsatisfiable();
+                        return Ok(());
+                    }
+                }
+                for e in edges {
+                    unify_edge(e, children, u)?;
+                    if !u.satisfiable {
+                        return Ok(());
+                    }
+                }
+                Ok(())
+            }
+        },
+        Template::Var(v) => match filter {
+            Pattern::TreeVar(q) => {
+                u.renames.push((q.clone(), v.clone()));
+                Ok(())
+            }
+            Pattern::Wildcard => Ok(()),
+            Pattern::Node {
+                label: PLabel::Const(a),
+                edges,
+            } if edges.is_empty() => {
+                u.selects.push(Pred::cmp(
+                    yat_algebra::CmpOp::Eq,
+                    Operand::Var(v.clone()),
+                    Operand::Const(a.clone()),
+                ));
+                Ok(())
+            }
+            // navigation into the spliced value: residual Bind over $v
+            deeper => {
+                u.residuals.push((v.clone(), deeper.clone()));
+                Ok(())
+            }
+        },
+        Template::Text(s) => match filter {
+            Pattern::Wildcard => Ok(()),
+            Pattern::Node {
+                label: PLabel::Const(a),
+                edges,
+            } if edges.is_empty() && a.to_string() == *s => Ok(()),
+            Pattern::TreeVar(_) => Err(Unsupported),
+            _ => {
+                u.unsatisfiable();
+                Ok(())
+            }
+        },
+        Template::LabelVar { .. } => Err(Unsupported),
+    }
+}
+
+/// Maps one filter edge onto the template's children.
+fn unify_edge(e: &Edge, children: &[Template], u: &mut Unification) -> Result<(), Unsupported> {
+    // star-iterate query variables over constructed children would bind
+    // the constructed trees themselves; handled only by materialization
+    if e.star_var.is_some() {
+        return Err(Unsupported);
+    }
+    for child in children {
+        if let Some(()) = try_child(e, child, u)? {
+            return Ok(());
+        }
+    }
+    // no child can produce this edge
+    match e.occ {
+        Occ::One => u.unsatisfiable(),
+        Occ::Opt | Occ::Star => {}
+    }
+    Ok(())
+}
+
+/// `Some(())` when the child hosts the edge (in which case unification of
+/// the subpattern has been recorded).
+fn try_child(e: &Edge, child: &Template, u: &mut Unification) -> Result<Option<()>, Unsupported> {
+    match child {
+        Template::Group { body, .. } => try_child(e, body, u),
+        Template::Sym { name, .. } => {
+            let matches_name = match &e.pattern {
+                Pattern::Node {
+                    label: PLabel::Sym(s),
+                    ..
+                } => s == name,
+                Pattern::Node {
+                    label: PLabel::AnySym | PLabel::Any,
+                    ..
+                } => true,
+                Pattern::Node {
+                    label: PLabel::Var(_),
+                    ..
+                } => return Err(Unsupported),
+                Pattern::Wildcard => true,
+                // a tree variable at edge level binds a constructed child
+                Pattern::TreeVar(_) => return Err(Unsupported),
+                _ => false,
+            };
+            if !matches_name {
+                return Ok(None);
+            }
+            unify_node(&e.pattern, child, u)?;
+            Ok(Some(()))
+        }
+        // splices can host any edge: renames/selections/residuals are
+        // decided by the subpattern's shape
+        Template::Var(_) => {
+            unify_node(&e.pattern, child, u)?;
+            Ok(Some(()))
+        }
+        Template::Text(_) => match &e.pattern {
+            Pattern::Node {
+                label: PLabel::Const(_),
+                edges,
+            } if edges.is_empty() => {
+                unify_node(&e.pattern, child, u)?;
+                Ok(Some(()))
+            }
+            Pattern::Wildcard => Ok(Some(())),
+            _ => Ok(None),
+        },
+        Template::LabelVar { .. } => Err(Unsupported),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::OptimizerOptions;
+    use std::collections::BTreeMap;
+    use yat_algebra::eval::{eval, EvalCtx};
+    use yat_algebra::{FnRegistry, SkolemRegistry};
+    use yat_model::{Forest, Node};
+    use yat_yatl::{parse_filter, parse_template, translate};
+
+    fn ctx_fixture() -> (
+        BTreeMap<String, yat_capability::Interface>,
+        OptimizerOptions,
+    ) {
+        (BTreeMap::new(), OptimizerOptions::default())
+    }
+
+    fn forest() -> Forest {
+        let mut f = Forest::new();
+        f.insert(
+            "works",
+            Node::sym(
+                "works",
+                vec![
+                    Node::sym(
+                        "work",
+                        vec![
+                            Node::elem("title", "Nympheas"),
+                            Node::elem("artist", "Claude Monet"),
+                            Node::elem("cplace", "Giverny"),
+                        ],
+                    ),
+                    Node::sym(
+                        "work",
+                        vec![
+                            Node::elem("title", "Card Players"),
+                            Node::elem("artist", "Paul Cézanne"),
+                        ],
+                    ),
+                ],
+            ),
+        );
+        f
+    }
+
+    /// A small view over `works`: doc *&aw($t): work[title:$t, artist:$a,
+    /// more: $fields].
+    fn view_plan() -> Arc<Alg> {
+        let rule = yat_yatl::parse_rule(
+            "v() := MAKE doc *&aw($t) := work [ title: $t, artist: $a, more: $fields ] \
+             MATCH works WITH works *work [ title: $t, artist: $a, *($fields) ]",
+        )
+        .unwrap();
+        translate(&rule)
+    }
+
+    fn rewrite(plan: &Arc<Alg>) -> Arc<Alg> {
+        let (ifaces, options) = ctx_fixture();
+        let ctx = RuleCtx {
+            interfaces: &ifaces,
+            options: &options,
+        };
+        super::super::apply_once(plan, &BindTreeElim, &ctx).expect("rule should fire")
+    }
+
+    fn eval_rows(plan: &Alg) -> Vec<Vec<String>> {
+        let f = forest();
+        let funcs = FnRegistry::with_builtins();
+        let sk = SkolemRegistry::new();
+        let out = eval(plan, &EvalCtx::local(&f, &funcs, &sk)).unwrap();
+        match out {
+            yat_algebra::EvalOut::Tab(t) => {
+                // elimination changes row multiplicity (base rows vs
+                // constructed elements); constructing templates absorb
+                // duplicates, so compare as sets
+                let mut rows: Vec<Vec<String>> = t
+                    .rows()
+                    .map(|r| {
+                        r.iter()
+                            .map(|v| v.atom().map(|a| a.to_string()).unwrap_or_default())
+                            .collect()
+                    })
+                    .collect();
+                rows.sort();
+                rows.dedup();
+                rows
+            }
+            yat_algebra::EvalOut::Tree(t) => vec![vec![t.to_string()]],
+        }
+    }
+
+    #[test]
+    fn renaming_only_composition() {
+        // query binds title and artist straight off the view
+        let qfilter = parse_filter("doc.work.[ title.$t2, artist.$a2 ]").unwrap();
+        let composed = Alg::bind(view_plan(), qfilter);
+        let rewritten = rewrite(&composed);
+        // no Tree operator survives
+        assert!(!has_tree(&rewritten), "{rewritten}");
+        // semantics preserved
+        assert_eq!(eval_rows(&composed), eval_rows(&rewritten));
+        // shape: a Project with renaming on top
+        assert!(
+            matches!(rewritten.as_ref(), Alg::Project { .. }),
+            "{rewritten}"
+        );
+    }
+
+    #[test]
+    fn residual_bind_into_spliced_fields() {
+        // Q1-style: cplace lives inside the view's $fields splice
+        let qfilter = parse_filter("doc.work.[ title.$t2, more.cplace.$cl ]").unwrap();
+        let composed = Alg::bind(view_plan(), qfilter);
+        let rewritten = rewrite(&composed);
+        assert!(!has_tree(&rewritten), "{rewritten}");
+        assert!(
+            has_bind_over(&rewritten),
+            "expected a residual Bind:\n{rewritten}"
+        );
+        assert_eq!(eval_rows(&composed), eval_rows(&rewritten));
+        // only the Giverny work has a cplace
+        assert_eq!(eval_rows(&rewritten).len(), 1);
+    }
+
+    #[test]
+    fn constant_meets_splice_becomes_selection() {
+        let qfilter = parse_filter("doc.work.[ title.\"Nympheas\", artist.$a2 ]").unwrap();
+        let composed = Alg::bind(view_plan(), qfilter);
+        let rewritten = rewrite(&composed);
+        assert!(
+            find(&rewritten, &|p| matches!(p, Alg::Select { .. })),
+            "{rewritten}"
+        );
+        assert_eq!(eval_rows(&composed), eval_rows(&rewritten));
+        assert_eq!(eval_rows(&rewritten).len(), 1);
+    }
+
+    #[test]
+    fn impossible_edge_is_unsatisfiable() {
+        // the view never constructs a `price` child under work
+        let qfilter = parse_filter("doc.work.[ price.$p ]").unwrap();
+        let composed = Alg::bind(view_plan(), qfilter);
+        let rewritten = rewrite(&composed);
+        assert_eq!(eval_rows(&rewritten).len(), 0);
+        assert_eq!(eval_rows(&composed), eval_rows(&rewritten));
+    }
+
+    #[test]
+    fn wrong_root_is_unsatisfiable() {
+        let qfilter = parse_filter("catalogue.work.[ title.$t2 ]").unwrap();
+        let composed = Alg::bind(view_plan(), qfilter);
+        let rewritten = rewrite(&composed);
+        assert_eq!(eval_rows(&rewritten).len(), 0);
+    }
+
+    #[test]
+    fn unsupported_shapes_decline() {
+        let (ifaces, options) = ctx_fixture();
+        let ctx = RuleCtx {
+            interfaces: &ifaces,
+            options: &options,
+        };
+        // binding a whole constructed subtree
+        let qfilter = parse_filter("doc *$w").unwrap();
+        let composed = Alg::bind(view_plan(), qfilter);
+        assert!(super::super::apply_once(&composed, &BindTreeElim, &ctx).is_none());
+    }
+
+    #[test]
+    fn template_text_children() {
+        let t = parse_template("doc [ note [ \"fixed\" ], title [ $t ] ]").unwrap();
+        let base = Alg::bind(
+            Alg::source("works"),
+            parse_filter("works *work [ title: $t ]").unwrap(),
+        );
+        let view = Alg::tree(base, t);
+        // matching the fixed text succeeds
+        let ok = Alg::bind(view.clone(), parse_filter("doc.note.\"fixed\"").unwrap());
+        let r = rewrite(&ok);
+        assert_eq!(eval_rows(&ok), eval_rows(&r));
+        // mismatching text is unsatisfiable
+        let bad = Alg::bind(view, parse_filter("doc.note.\"other\"").unwrap());
+        let r = rewrite(&bad);
+        assert_eq!(eval_rows(&r).len(), 0);
+    }
+
+    fn has_tree(p: &Alg) -> bool {
+        find(p, &|p| matches!(p, Alg::TreeOp { .. }))
+    }
+
+    fn has_bind_over(p: &Alg) -> bool {
+        find(p, &|p| matches!(p, Alg::Bind { over: Some(_), .. }))
+    }
+
+    fn find(p: &Alg, pred: &dyn Fn(&Alg) -> bool) -> bool {
+        pred(p) || p.children().iter().any(|c| find(c, pred))
+    }
+}

@@ -1,0 +1,526 @@
+//! Capability-based rewriting (Section 5.3): adapt the plan to what each
+//! source can evaluate and delegate maximal fragments.
+//!
+//! Three rules, applied in order:
+//!
+//! 1. [`CapabilitySplit`] — a `Bind` whose filter exceeds a source's
+//!    Fpattern is split (Fig. 7 linear split) so that the prefix matches
+//!    the declared capability (Fig. 9 step (ii));
+//! 2. [`ContainsIntroduction`] — an equality selection over content bound
+//!    inside a document justifies inserting the source's `contains`
+//!    predicate over the whole document, per the declared
+//!    `eq ⇒ contains` equivalence (Fig. 9 step (i)). The equality remains
+//!    as mediator-side compensation, since full text over-approximates;
+//! 3. [`PushFragments`] — every maximal single-source fragment the
+//!    capability matcher accepts is wrapped in `Push`.
+
+use super::bind_split::split_linear;
+use super::{RewriteRule, RuleCtx};
+use std::sync::Arc;
+use yat_algebra::{Alg, CmpOp, Operand, Pred};
+use yat_capability::interface::Equivalence;
+use yat_capability::matcher::{accepts_filter, pushable};
+use yat_model::{Atom, Pattern, StarBind};
+
+/// Rule 1: split binds down to source capabilities.
+pub struct CapabilitySplit;
+
+impl RewriteRule for CapabilitySplit {
+    fn name(&self) -> &'static str {
+        "capability-split"
+    }
+
+    fn apply(&self, plan: &Arc<Alg>, ctx: &RuleCtx<'_>) -> Option<Arc<Alg>> {
+        let Alg::Bind {
+            input,
+            filter,
+            over: None,
+        } = plan.as_ref()
+        else {
+            return None;
+        };
+        let Alg::Source {
+            source: Some(s), ..
+        } = input.as_ref()
+        else {
+            return None;
+        };
+        let iface = ctx.interfaces.get(s)?;
+        let (fm, fp) = iface.bind_fpattern()?;
+        // only split when the whole filter is beyond the source but the
+        // prefix would be within it
+        if accepts_filter(fm, fp, filter).is_ok() {
+            return None;
+        }
+        let split = split_linear(input, filter)?;
+        let Alg::Bind { input: first, .. } = split.as_ref() else {
+            return None;
+        };
+        let Alg::Bind { filter: prefix, .. } = first.as_ref() else {
+            return None;
+        };
+        accepts_filter(fm, fp, prefix).ok()?;
+        Some(split)
+    }
+}
+
+/// Rule 2: introduce `contains` below equality selections, following the
+/// source-declared equivalence.
+pub struct ContainsIntroduction;
+
+impl RewriteRule for ContainsIntroduction {
+    fn name(&self) -> &'static str {
+        "contains-introduction"
+    }
+
+    fn apply(&self, plan: &Arc<Alg>, ctx: &RuleCtx<'_>) -> Option<Arc<Alg>> {
+        let Alg::Select { input, pred } = plan.as_ref() else {
+            return None;
+        };
+        for conjunct in pred.conjuncts() {
+            let (x, s) = match conjunct {
+                Pred::Cmp {
+                    op: CmpOp::Eq,
+                    left: Operand::Var(x),
+                    right: Operand::Const(Atom::Str(s)),
+                } => (x, s),
+                Pred::Cmp {
+                    op: CmpOp::Eq,
+                    left: Operand::Const(Atom::Str(s)),
+                    right: Operand::Var(x),
+                } => (x, s),
+                _ => continue,
+            };
+            if let Some(new_input) = insert_contains(input, x, s, ctx) {
+                return Some(Alg::select(new_input, pred.clone()));
+            }
+        }
+        None
+    }
+}
+
+/// Walks down looking for the document variable transitively binding `x`,
+/// and wraps its source `Bind` in `Select(contains($doc, s))`.
+fn insert_contains(plan: &Arc<Alg>, x: &str, s: &str, ctx: &RuleCtx<'_>) -> Option<Arc<Alg>> {
+    match plan.as_ref() {
+        Alg::Bind {
+            input,
+            filter,
+            over: Some(col),
+        } => {
+            if filter.variables().iter().any(|v| v == x) {
+                // x is extracted from $col: chase the document variable
+                insert_contains(input, col, s, ctx)
+                    .map(|inner| Alg::bind_over(inner, col.clone(), filter.clone()))
+            } else {
+                insert_contains(input, x, s, ctx)
+                    .map(|inner| Alg::bind_over(inner, col.clone(), filter.clone()))
+            }
+        }
+        Alg::Bind {
+            input,
+            filter,
+            over: None,
+        } => {
+            let Alg::Source {
+                source: Some(src), ..
+            } = input.as_ref()
+            else {
+                return None;
+            };
+            let iface = ctx.interfaces.get(src)?;
+            let declared = iface
+                .equivalences
+                .iter()
+                .any(|e| matches!(e, Equivalence::EqImpliesContains { .. }));
+            if !declared {
+                return None;
+            }
+            // the filter must bind x as its document variable
+            let Pattern::Node { edges, .. } = filter else {
+                return None;
+            };
+            let binds_doc = edges
+                .iter()
+                .any(|e| matches!(&e.star_var, Some((v, StarBind::Iterate)) if v == x));
+            if !binds_doc {
+                return None;
+            }
+            let predicate = iface
+                .equivalences
+                .iter()
+                .map(|e| match e {
+                    Equivalence::EqImpliesContains { predicate } => predicate.clone(),
+                })
+                .next()
+                .expect("checked above");
+            Some(Alg::select(
+                plan.clone(),
+                Pred::Call {
+                    name: predicate,
+                    args: vec![Operand::Var(x.to_string()), Operand::cst(s)],
+                },
+            ))
+        }
+        Alg::Select { input, pred } => {
+            // refire guard: the contains we would insert is already here
+            let already = pred.conjuncts().iter().any(|c| match c {
+                Pred::Call { name: _, args } => {
+                    matches!(args.as_slice(),
+                        [Operand::Var(v), Operand::Const(Atom::Str(n))] if v == x && n == s)
+                }
+                _ => false,
+            });
+            if already {
+                return None;
+            }
+            insert_contains(input, x, s, ctx).map(|inner| Alg::select(inner, pred.clone()))
+        }
+        Alg::Project { input, cols } => {
+            // follow renaming dst → src
+            let target = cols
+                .iter()
+                .find(|(_, d)| d == x)
+                .map(|(src, _)| src.clone())?;
+            insert_contains(input, &target, s, ctx).map(|inner| Alg::project(inner, cols.clone()))
+        }
+        Alg::Join { left, right, pred } => {
+            if let Some(l) = insert_contains(left, x, s, ctx) {
+                return Some(Alg::join(l, right.clone(), pred.clone()));
+            }
+            insert_contains(right, x, s, ctx).map(|r| Alg::join(left.clone(), r, pred.clone()))
+        }
+        Alg::DJoin { left, right } => {
+            if let Some(l) = insert_contains(left, x, s, ctx) {
+                return Some(Alg::djoin(l, right.clone()));
+            }
+            insert_contains(right, x, s, ctx).map(|r| Alg::djoin(left.clone(), r))
+        }
+        _ => None,
+    }
+}
+
+/// Rule 3: wrap maximal pushable single-source fragments in `Push`.
+pub struct PushFragments;
+
+impl RewriteRule for PushFragments {
+    fn name(&self) -> &'static str {
+        "push-fragments"
+    }
+
+    fn apply(&self, plan: &Arc<Alg>, ctx: &RuleCtx<'_>) -> Option<Arc<Alg>> {
+        // a bare Source is fetched as a document, not pushed
+        if matches!(plan.as_ref(), Alg::Source { .. } | Alg::Push { .. }) {
+            return None;
+        }
+        let source = single_source(plan)?;
+        let iface = ctx.interfaces.get(&source)?;
+        let localized = localize(plan, &source);
+        pushable(iface, &localized).ok()?;
+        Some(Alg::push(source, localized))
+    }
+}
+
+/// The unique wrapper all `Source` leaves of `plan` read from; `None`
+/// when mixed, local, or already containing `Push`/`TreeOp` nodes.
+fn single_source(plan: &Alg) -> Option<String> {
+    fn walk(plan: &Alg, found: &mut Option<String>) -> bool {
+        match plan {
+            Alg::Source {
+                source: Some(s), ..
+            } => match found {
+                None => {
+                    *found = Some(s.clone());
+                    true
+                }
+                Some(prev) => prev == s,
+            },
+            Alg::Source { source: None, .. } | Alg::Push { .. } | Alg::TreeOp { .. } => false,
+            _ => plan.children().iter().all(|c| walk(c, found)),
+        }
+    }
+    let mut found = None;
+    if walk(plan, &mut found) {
+        found
+    } else {
+        None
+    }
+}
+
+/// Rewrites `Source{Some(s), n}` to wrapper-local `Source{None, n}`.
+fn localize(plan: &Arc<Alg>, source: &str) -> Arc<Alg> {
+    match plan.as_ref() {
+        Alg::Source {
+            source: Some(s),
+            name,
+        } if s == source => Alg::source(name.clone()),
+        _ => {
+            let kids = plan
+                .children()
+                .into_iter()
+                .map(|c| localize(c, source))
+                .collect();
+            Arc::new(plan.with_children(kids))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::OptimizerOptions;
+    use std::collections::BTreeMap;
+    use yat_capability::fpattern::{o2_fmodel, wais_fmodel};
+    use yat_capability::interface::{ExportDecl, Interface, OpKind, OperationDecl, SigItem};
+    use yat_model::AtomType;
+    use yat_yatl::parse_filter;
+
+    fn wais_iface() -> Interface {
+        let mut i = Interface::new("xmlartwork");
+        i.fmodels.push(wais_fmodel());
+        i.exports.push(ExportDecl {
+            name: "works".into(),
+            model: "Artworks_Structure".into(),
+            pattern: "Works".into(),
+        });
+        i.operations.push(OperationDecl {
+            name: "bind".into(),
+            kind: OpKind::Algebra,
+            input: vec![
+                SigItem::Value {
+                    model: "Artworks_Structure".into(),
+                    pattern: "works".into(),
+                },
+                SigItem::Filter {
+                    model: "waisfmodel".into(),
+                    pattern: "Fworks".into(),
+                },
+            ],
+            output: vec![],
+        });
+        i.operations.push(OperationDecl::algebra("select"));
+        i.operations.push(OperationDecl {
+            name: "contains".into(),
+            kind: OpKind::External,
+            input: vec![SigItem::Leaf(AtomType::Str)],
+            output: vec![SigItem::Leaf(AtomType::Bool)],
+        });
+        i.equivalences.push(Equivalence::EqImpliesContains {
+            predicate: "contains".into(),
+        });
+        i
+    }
+
+    fn o2_iface() -> Interface {
+        let mut i = Interface::new("o2artifact");
+        i.fmodels.push(o2_fmodel());
+        i.exports.push(ExportDecl {
+            name: "artifacts".into(),
+            model: "art".into(),
+            pattern: "Artifacts".into(),
+        });
+        i.operations.push(OperationDecl {
+            name: "bind".into(),
+            kind: OpKind::Algebra,
+            input: vec![SigItem::Filter {
+                model: "o2fmodel".into(),
+                pattern: "Ftype".into(),
+            }],
+            output: vec![],
+        });
+        i.operations.push(OperationDecl::algebra("select"));
+        i.operations.push(OperationDecl::algebra("project"));
+        i.operations.push(OperationDecl::boolean("eq"));
+        i
+    }
+
+    fn interfaces() -> BTreeMap<String, Interface> {
+        let mut m = BTreeMap::new();
+        m.insert("xmlartwork".to_string(), wais_iface());
+        m.insert("o2artifact".to_string(), o2_iface());
+        m
+    }
+
+    fn apply(rule: &dyn RewriteRule, plan: &Arc<Alg>) -> Option<Arc<Alg>> {
+        let ifaces = interfaces();
+        let options = OptimizerOptions::default();
+        let ctx = RuleCtx {
+            interfaces: &ifaces,
+            options: &options,
+        };
+        super::super::apply_once(plan, rule, &ctx)
+    }
+
+    #[test]
+    fn split_fires_only_beyond_capability() {
+        // decomposing filter: beyond Wais → split
+        let deep = Alg::bind(
+            Alg::source_at("xmlartwork", "works"),
+            parse_filter("works *work [ title: $t, style: $s ]").unwrap(),
+        );
+        let split = apply(&CapabilitySplit, &deep).expect("should split");
+        let Alg::Bind {
+            input,
+            over: Some(_),
+            ..
+        } = split.as_ref()
+        else {
+            panic!("{split}")
+        };
+        assert!(matches!(input.as_ref(), Alg::Bind { over: None, .. }));
+
+        // whole-document filter: within capability → no split
+        let shallow = Alg::bind(
+            Alg::source_at("xmlartwork", "works"),
+            parse_filter("works *$w").unwrap(),
+        );
+        assert!(apply(&CapabilitySplit, &shallow).is_none());
+
+        // O2 accepts its deep filter → no split
+        let o2 = Alg::bind(
+            Alg::source_at("o2artifact", "artifacts"),
+            parse_filter("set *class: artifact: tuple [ title: $t ]").unwrap(),
+        );
+        assert!(apply(&CapabilitySplit, &o2).is_none());
+    }
+
+    #[test]
+    fn contains_introduced_from_equality() {
+        // Select(s = "Impressionist") over split binds
+        let base = Alg::bind(
+            Alg::source_at("xmlartwork", "works"),
+            parse_filter("works *$w").unwrap(),
+        );
+        let over = Alg::bind_over(base, "w", parse_filter("work [ style: $s ]").unwrap());
+        let plan = Alg::select(over, Pred::eq_const("s", "Impressionist"));
+        let rewritten = apply(&ContainsIntroduction, &plan).expect("should fire");
+        let shown = rewritten.explain();
+        assert!(shown.contains("contains($w, \"Impressionist\")"), "{shown}");
+        // the equality stays above as compensation
+        assert!(shown.contains("$s = \"Impressionist\""), "{shown}");
+        // and the rule does not fire twice
+        assert!(
+            apply(&ContainsIntroduction, &rewritten).is_none(),
+            "{shown}"
+        );
+    }
+
+    #[test]
+    fn contains_follows_transitive_bindings() {
+        // $cl comes from $fields which comes from $w
+        let base = Alg::bind(
+            Alg::source_at("xmlartwork", "works"),
+            parse_filter("works *$w").unwrap(),
+        );
+        let fields = Alg::bind_over(base, "w", parse_filter("work [ *($fields) ]").unwrap());
+        let cl = Alg::bind_over(fields, "fields", parse_filter("cplace: $cl").unwrap());
+        let plan = Alg::select(cl, Pred::eq_const("cl", "Giverny"));
+        let rewritten = apply(&ContainsIntroduction, &plan).expect("should fire");
+        assert!(
+            rewritten.explain().contains("contains($w, \"Giverny\")"),
+            "{rewritten}"
+        );
+    }
+
+    #[test]
+    fn contains_requires_declared_equivalence() {
+        // O2 declares no equivalence: the rule must not fire there
+        let base = Alg::bind(
+            Alg::source_at("o2artifact", "artifacts"),
+            parse_filter("set *$x: class").unwrap(),
+        );
+        let over = Alg::bind_over(base, "x", parse_filter("class [ $v ]").unwrap());
+        let plan = Alg::select(over, Pred::eq_const("v", "something"));
+        assert!(apply(&ContainsIntroduction, &plan).is_none());
+    }
+
+    #[test]
+    fn push_wraps_maximal_fragment() {
+        let plan = Alg::select(
+            Alg::select(
+                Alg::bind(
+                    Alg::source_at("xmlartwork", "works"),
+                    parse_filter("works *$w").unwrap(),
+                ),
+                Pred::Call {
+                    name: "contains".into(),
+                    args: vec![Operand::var("w"), Operand::cst("Impressionist")],
+                },
+            ),
+            Pred::Call {
+                name: "contains".into(),
+                args: vec![Operand::var("w"), Operand::cst("Giverny")],
+            },
+        );
+        let pushed = apply(&PushFragments, &plan).expect("pushable");
+        let Alg::Push {
+            source,
+            plan: inner,
+        } = pushed.as_ref()
+        else {
+            panic!("{pushed}")
+        };
+        assert_eq!(source, "xmlartwork");
+        // maximal: both selects are inside, sources localized
+        assert_eq!(inner.explain().matches("Select").count(), 2);
+        assert!(
+            inner.explain().contains("Source works\n"),
+            "{}",
+            inner.explain()
+        );
+        // does not refire
+        assert!(apply(&PushFragments, &pushed).is_none());
+    }
+
+    #[test]
+    fn push_declines_beyond_capability() {
+        // an eq selection cannot go to Wais: the fragment boundary falls
+        // below it, and the selection stays at the mediator
+        let plan = Alg::select(
+            Alg::bind(
+                Alg::source_at("xmlartwork", "works"),
+                parse_filter("works *$w").unwrap(),
+            ),
+            Pred::eq_const("w", "x"),
+        );
+        let pushed = apply(&PushFragments, &plan).expect("the bind itself is pushable");
+        let Alg::Select { input, .. } = pushed.as_ref() else {
+            panic!("{pushed}")
+        };
+        assert!(matches!(input.as_ref(), Alg::Push { .. }), "{pushed}");
+        // mixed-source fragments cannot be pushed
+        let mixed = Alg::join(
+            Alg::bind(
+                Alg::source_at("o2artifact", "artifacts"),
+                parse_filter("set *$x").unwrap(),
+            ),
+            Alg::bind(
+                Alg::source_at("xmlartwork", "works"),
+                parse_filter("works *$w").unwrap(),
+            ),
+            Pred::True,
+        );
+        assert!(single_source(&mixed).is_none());
+    }
+
+    #[test]
+    fn push_inner_fragment_of_mixed_plan() {
+        // in a mixed join, each branch gets its own Push
+        let o2_branch = Alg::select(
+            Alg::bind(
+                Alg::source_at("o2artifact", "artifacts"),
+                parse_filter("set *class: artifact: tuple [ title: $t, year: $y ]").unwrap(),
+            ),
+            Pred::cmp(CmpOp::Gt, Operand::var("y"), Operand::cst(1800)),
+        );
+        let wais_branch = Alg::bind(
+            Alg::source_at("xmlartwork", "works"),
+            parse_filter("works *$w").unwrap(),
+        );
+        let plan = Alg::join(o2_branch, wais_branch, Pred::True);
+        let first = apply(&PushFragments, &plan).expect("o2 side pushable");
+        let second = apply(&PushFragments, &first).expect("wais side pushable");
+        assert_eq!(second.explain().matches("Push").count(), 2, "{second}");
+        assert!(apply(&PushFragments, &second).is_none());
+    }
+}

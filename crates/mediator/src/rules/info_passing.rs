@@ -1,0 +1,177 @@
+//! Information passing (Section 5.3, Fig. 9): turn a cross-source `Join`
+//! into a `DJoin` whose pushed side receives the other side's values —
+//! "a nested loop evaluation with values of variables passed from the
+//! left-hand side to the right-hand side … a classical technique in
+//! distributed query optimization".
+
+use super::{RewriteRule, RuleCtx};
+use std::sync::Arc;
+use yat_algebra::{Alg, Pred};
+use yat_capability::matcher::pushable;
+
+/// Rewrites `Join(l, Push(s, frag), p)` into
+/// `DJoin(l, Push(s, Select(frag, p)))` when the source can evaluate the
+/// selection (after the executor substitutes the passed values as
+/// constants). Falls back to the symmetric orientation when the *left*
+/// side is the pushed one — DJoin output columns are named, so swapping
+/// sides is safe.
+pub struct JoinToDJoin;
+
+impl RewriteRule for JoinToDJoin {
+    fn name(&self) -> &'static str {
+        "join-to-djoin"
+    }
+
+    fn apply(&self, plan: &Arc<Alg>, ctx: &RuleCtx<'_>) -> Option<Arc<Alg>> {
+        let Alg::Join { left, right, pred } = plan.as_ref() else {
+            return None;
+        };
+        if *pred == Pred::True {
+            return None;
+        }
+        // only simple comparisons benefit from constant substitution
+        if !pred
+            .conjuncts()
+            .iter()
+            .all(|c| matches!(c, Pred::Cmp { .. }))
+        {
+            return None;
+        }
+        if let Some(rewritten) = orient(left, right, pred, ctx) {
+            return Some(rewritten);
+        }
+        orient(right, left, pred, ctx)
+    }
+}
+
+fn orient(outer: &Arc<Alg>, pushed: &Arc<Alg>, pred: &Pred, ctx: &RuleCtx<'_>) -> Option<Arc<Alg>> {
+    let Alg::Push { source, plan: frag } = pushed.as_ref() else {
+        return None;
+    };
+    let iface = ctx.interfaces.get(source)?;
+    let inner = Alg::select(frag.clone(), pred.clone());
+    pushable(iface, &inner).ok()?;
+    Some(Alg::djoin(outer.clone(), Alg::push(source.clone(), inner)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::OptimizerOptions;
+    use std::collections::BTreeMap;
+    use yat_capability::fpattern::o2_fmodel;
+    use yat_capability::interface::{ExportDecl, Interface, OpKind, OperationDecl, SigItem};
+    use yat_yatl::parse_filter;
+
+    fn o2_iface() -> Interface {
+        let mut i = Interface::new("o2artifact");
+        i.fmodels.push(o2_fmodel());
+        i.exports.push(ExportDecl {
+            name: "artifacts".into(),
+            model: "art".into(),
+            pattern: "Artifacts".into(),
+        });
+        i.operations.push(OperationDecl {
+            name: "bind".into(),
+            kind: OpKind::Algebra,
+            input: vec![SigItem::Filter {
+                model: "o2fmodel".into(),
+                pattern: "Ftype".into(),
+            }],
+            output: vec![],
+        });
+        i.operations.push(OperationDecl::algebra("select"));
+        i.operations.push(OperationDecl::boolean("eq"));
+        i
+    }
+
+    fn wais_iface_no_eq() -> Interface {
+        let mut i = Interface::new("xmlartwork");
+        i.operations.push(OperationDecl::algebra("select"));
+        i.exports.push(ExportDecl {
+            name: "works".into(),
+            model: "m".into(),
+            pattern: "Works".into(),
+        });
+        i
+    }
+
+    fn apply(plan: &Arc<Alg>) -> Option<Arc<Alg>> {
+        let mut ifaces = BTreeMap::new();
+        ifaces.insert("o2artifact".to_string(), o2_iface());
+        ifaces.insert("xmlartwork".to_string(), wais_iface_no_eq());
+        let options = OptimizerOptions::default();
+        let ctx = RuleCtx {
+            interfaces: &ifaces,
+            options: &options,
+        };
+        super::super::apply_once(plan, &JoinToDJoin, &ctx)
+    }
+
+    fn o2_push() -> Arc<Alg> {
+        Alg::push(
+            "o2artifact",
+            Alg::bind(
+                Alg::source("artifacts"),
+                parse_filter("set *class: artifact: tuple [ title: $t2, price: $p ]").unwrap(),
+            ),
+        )
+    }
+
+    fn wais_side() -> Arc<Alg> {
+        Alg::bind(
+            Alg::source_at("xmlartwork", "works"),
+            parse_filter("works *work [ title: $t, artist: $a ]").unwrap(),
+        )
+    }
+
+    #[test]
+    fn pushed_right_side_receives_the_join() {
+        let plan = Alg::join(wais_side(), o2_push(), Pred::var_eq("t", "t2"));
+        let dj = apply(&plan).expect("should fire");
+        let Alg::DJoin { left, right } = dj.as_ref() else {
+            panic!("{dj}")
+        };
+        assert!(matches!(left.as_ref(), Alg::Bind { .. }));
+        let Alg::Push { plan: frag, .. } = right.as_ref() else {
+            panic!("{dj}")
+        };
+        let Alg::Select { pred, .. } = frag.as_ref() else {
+            panic!("{dj}")
+        };
+        assert_eq!(pred.to_string(), "$t = $t2");
+    }
+
+    #[test]
+    fn swapped_orientation_when_left_is_pushed() {
+        let plan = Alg::join(o2_push(), wais_side(), Pred::var_eq("t", "t2"));
+        let dj = apply(&plan).expect("should fire");
+        let Alg::DJoin { left, right } = dj.as_ref() else {
+            panic!("{dj}")
+        };
+        // the non-pushed side drives the loop
+        assert!(matches!(left.as_ref(), Alg::Bind { .. }), "{dj}");
+        assert!(matches!(right.as_ref(), Alg::Push { .. }));
+    }
+
+    #[test]
+    fn declines_without_pushable_selection() {
+        // Wais declares no comparisons: cannot absorb the join predicate
+        let wais_push = Alg::push("xmlartwork", Alg::source("works"));
+        let plan = Alg::join(wais_side(), wais_push, Pred::var_eq("t", "t2"));
+        assert!(apply(&plan).is_none());
+        // trivial predicate: nothing to pass
+        let plan = Alg::join(wais_side(), o2_push(), Pred::True);
+        assert!(apply(&plan).is_none());
+        // non-comparison conjunct
+        let plan = Alg::join(
+            wais_side(),
+            o2_push(),
+            Pred::Call {
+                name: "contains".into(),
+                args: vec![],
+            },
+        );
+        assert!(apply(&plan).is_none());
+    }
+}

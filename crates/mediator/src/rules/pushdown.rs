@@ -1,0 +1,319 @@
+//! Classical selection pushdown — "optimization techniques from
+//! relational and object databases can be applied directly on the
+//! corresponding operations in our algebra" (Section 5).
+
+use super::{RewriteRule, RuleCtx};
+use std::sync::Arc;
+use yat_algebra::{Alg, Pred};
+
+/// Merges stacked selections into one conjunction (canonical form for
+/// the other rules).
+pub struct SelectMerge;
+
+impl RewriteRule for SelectMerge {
+    fn name(&self) -> &'static str {
+        "select-merge"
+    }
+
+    fn apply(&self, plan: &Arc<Alg>, _ctx: &RuleCtx<'_>) -> Option<Arc<Alg>> {
+        let Alg::Select { input, pred } = plan.as_ref() else {
+            return None;
+        };
+        let Alg::Select {
+            input: inner,
+            pred: inner_pred,
+        } = input.as_ref()
+        else {
+            return None;
+        };
+        Some(Alg::select(
+            inner.clone(),
+            inner_pred.clone().and(pred.clone()),
+        ))
+    }
+}
+
+/// Pushes selection conjuncts toward their producing subplans: through
+/// `Project` (with renaming), into `Join`/`DJoin` branches, and below
+/// `Bind[over]` when the variables are available earlier.
+pub struct SelectPushdown;
+
+impl RewriteRule for SelectPushdown {
+    fn name(&self) -> &'static str {
+        "select-pushdown"
+    }
+
+    fn apply(&self, plan: &Arc<Alg>, _ctx: &RuleCtx<'_>) -> Option<Arc<Alg>> {
+        let Alg::Select { input, pred } = plan.as_ref() else {
+            return None;
+        };
+        match input.as_ref() {
+            Alg::Project { input: below, cols } => {
+                // rename predicate variables dst→src and push below
+                let mapping: Vec<(&str, &str)> =
+                    cols.iter().map(|(s, d)| (d.as_str(), s.as_str())).collect();
+                let vars = pred.vars();
+                if !vars.iter().all(|v| mapping.iter().any(|(d, _)| d == v)) {
+                    return None;
+                }
+                let renamed = rename_pred(pred, &mapping);
+                Some(Alg::project(
+                    Alg::select(below.clone(), renamed),
+                    cols.clone(),
+                ))
+            }
+            Alg::Join {
+                left,
+                right,
+                pred: jp,
+            } => {
+                let lvars = left.out_vars().unwrap_or_default();
+                let rvars = right.out_vars().unwrap_or_default();
+                let mut to_left = Vec::new();
+                let mut to_right = Vec::new();
+                let mut stay = Vec::new();
+                for c in pred.conjuncts() {
+                    let vars = c.vars();
+                    if !vars.is_empty() && vars.iter().all(|v| lvars.iter().any(|x| x == v)) {
+                        to_left.push(c.clone());
+                    } else if !vars.is_empty() && vars.iter().all(|v| rvars.iter().any(|x| x == v))
+                    {
+                        to_right.push(c.clone());
+                    } else {
+                        stay.push(c.clone());
+                    }
+                }
+                if to_left.is_empty() && to_right.is_empty() {
+                    return None;
+                }
+                let mut l = left.clone();
+                if !to_left.is_empty() {
+                    l = Alg::select(l, Pred::from_conjuncts(to_left));
+                }
+                let mut r = right.clone();
+                if !to_right.is_empty() {
+                    r = Alg::select(r, Pred::from_conjuncts(to_right));
+                }
+                let joined = Alg::join(l, r, jp.clone());
+                Some(if stay.is_empty() {
+                    joined
+                } else {
+                    Alg::select(joined, Pred::from_conjuncts(stay))
+                })
+            }
+            Alg::DJoin { left, right } => {
+                let lvars = left.out_vars().unwrap_or_default();
+                let (to_left, stay): (Vec<Pred>, Vec<Pred>) =
+                    pred.conjuncts().into_iter().cloned().partition(|c| {
+                        let vars = c.vars();
+                        !vars.is_empty() && vars.iter().all(|v| lvars.iter().any(|x| x == v))
+                    });
+                if to_left.is_empty() {
+                    return None;
+                }
+                let l = Alg::select(left.clone(), Pred::from_conjuncts(to_left));
+                let dj = Alg::djoin(l, right.clone());
+                Some(if stay.is_empty() {
+                    dj
+                } else {
+                    Alg::select(dj, Pred::from_conjuncts(stay))
+                })
+            }
+            Alg::Bind {
+                input: below,
+                filter,
+                over: Some(col),
+            } => {
+                // conjuncts not involving the freshly bound variables can
+                // run before the navigation
+                let below_vars = below.out_vars().unwrap_or_default();
+                let (early, late): (Vec<Pred>, Vec<Pred>) =
+                    pred.conjuncts().into_iter().cloned().partition(|c| {
+                        let vars = c.vars();
+                        !vars.is_empty() && vars.iter().all(|v| below_vars.iter().any(|x| x == v))
+                    });
+                if early.is_empty() {
+                    return None;
+                }
+                let inner = Alg::select(below.clone(), Pred::from_conjuncts(early));
+                let bind = Alg::bind_over(inner, col.clone(), filter.clone());
+                Some(if late.is_empty() {
+                    bind
+                } else {
+                    Alg::select(bind, Pred::from_conjuncts(late))
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+fn rename_pred(pred: &Pred, mapping: &[(&str, &str)]) -> Pred {
+    use yat_algebra::Operand;
+    fn rename_operand(o: &Operand, mapping: &[(&str, &str)]) -> Operand {
+        match o {
+            Operand::Var(v) => match mapping.iter().find(|(d, _)| d == v) {
+                Some((_, s)) => Operand::Var(s.to_string()),
+                None => o.clone(),
+            },
+            Operand::Const(_) => o.clone(),
+            Operand::Call { name, args } => Operand::Call {
+                name: name.clone(),
+                args: args.iter().map(|a| rename_operand(a, mapping)).collect(),
+            },
+        }
+    }
+    match pred {
+        Pred::True => Pred::True,
+        Pred::And(a, b) => Pred::And(
+            Box::new(rename_pred(a, mapping)),
+            Box::new(rename_pred(b, mapping)),
+        ),
+        Pred::Or(a, b) => Pred::Or(
+            Box::new(rename_pred(a, mapping)),
+            Box::new(rename_pred(b, mapping)),
+        ),
+        Pred::Not(p) => Pred::Not(Box::new(rename_pred(p, mapping))),
+        Pred::Cmp { op, left, right } => Pred::Cmp {
+            op: *op,
+            left: rename_operand(left, mapping),
+            right: rename_operand(right, mapping),
+        },
+        Pred::Call { name, args } => Pred::Call {
+            name: name.clone(),
+            args: args.iter().map(|a| rename_operand(a, mapping)).collect(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::OptimizerOptions;
+    use std::collections::BTreeMap;
+    use yat_model::Pattern;
+    use yat_yatl::parse_filter;
+
+    fn apply(rule: &dyn RewriteRule, plan: &Arc<Alg>) -> Option<Arc<Alg>> {
+        let ifaces = BTreeMap::new();
+        let options = OptimizerOptions::default();
+        let ctx = RuleCtx {
+            interfaces: &ifaces,
+            options: &options,
+        };
+        super::super::apply_once(plan, rule, &ctx)
+    }
+
+    fn bind(src: &str, filter: &str) -> Arc<Alg> {
+        Alg::bind(Alg::source(src), parse_filter(filter).unwrap())
+    }
+
+    #[test]
+    fn merge_stacked_selects() {
+        let p = Alg::select(
+            Alg::select(bind("d", "d *$x"), Pred::eq_const("x", 1)),
+            Pred::eq_const("x", 2),
+        );
+        let merged = apply(&SelectMerge, &p).unwrap();
+        let Alg::Select { pred, .. } = merged.as_ref() else {
+            panic!()
+        };
+        assert_eq!(pred.conjuncts().len(), 2);
+    }
+
+    #[test]
+    fn push_through_project_renames() {
+        let p = Alg::select(
+            Alg::project(
+                bind("d", "d *work [ title: $t ]"),
+                vec![("t".into(), "title".into())],
+            ),
+            Pred::eq_const("title", "X"),
+        );
+        let pushed = apply(&SelectPushdown, &p).unwrap();
+        let Alg::Project { input, .. } = pushed.as_ref() else {
+            panic!("{pushed}")
+        };
+        let Alg::Select { pred, .. } = input.as_ref() else {
+            panic!("{pushed}")
+        };
+        assert_eq!(pred.to_string(), "$t = \"X\"");
+    }
+
+    #[test]
+    fn push_into_join_branches() {
+        let l = bind("d1", "d1 *work [ title: $t, year: $y ]");
+        let r = bind("d2", "d2 *work [ title: $t2, style: $s ]");
+        let p = Alg::select(
+            Alg::join(l, r, Pred::var_eq("t", "t2")),
+            Pred::eq_const("y", 1800).and(Pred::eq_const("s", "Impressionist")),
+        );
+        let pushed = apply(&SelectPushdown, &p).unwrap();
+        let Alg::Join { left, right, .. } = pushed.as_ref() else {
+            panic!("{pushed}")
+        };
+        assert!(matches!(left.as_ref(), Alg::Select { .. }), "{pushed}");
+        assert!(matches!(right.as_ref(), Alg::Select { .. }), "{pushed}");
+    }
+
+    #[test]
+    fn cross_branch_conjuncts_stay() {
+        let l = bind("d1", "d1 *work [ title: $t ]");
+        let r = bind("d2", "d2 *work [ title: $t2 ]");
+        let p = Alg::select(Alg::join(l, r, Pred::True), Pred::var_eq("t", "t2"));
+        assert!(apply(&SelectPushdown, &p).is_none(), "nothing to push");
+    }
+
+    #[test]
+    fn push_below_bind_over() {
+        let base = bind("d", "d *$w: work");
+        let b2 = Alg::bind_over(base, "w", parse_filter("work [ title: $t ]").unwrap());
+        // hmm: a predicate on $w can run before the second navigation
+        let p = Alg::select(
+            b2,
+            Pred::Call {
+                name: "contains".into(),
+                args: vec![
+                    yat_algebra::Operand::var("w"),
+                    yat_algebra::Operand::cst("x"),
+                ],
+            }
+            .and(Pred::eq_const("t", "y")),
+        );
+        let pushed = apply(&SelectPushdown, &p).unwrap();
+        let Alg::Select { input, pred } = pushed.as_ref() else {
+            panic!("{pushed}")
+        };
+        assert_eq!(pred.to_string(), "$t = \"y\"");
+        assert!(
+            matches!(input.as_ref(), Alg::Bind { over: Some(_), .. }),
+            "{pushed}"
+        );
+    }
+
+    #[test]
+    fn push_into_djoin_left() {
+        let l = bind("d1", "d1 *work [ title: $t ]");
+        let r = bind("d2", "d2 *price [ title: $t, amount: $p ]");
+        let p = Alg::select(
+            Alg::djoin(l, r),
+            Pred::eq_const("t", "X").and(Pred::eq_const("p", 3)),
+        );
+        let pushed = apply(&SelectPushdown, &p).unwrap();
+        let Alg::Select { input, pred } = pushed.as_ref() else {
+            panic!("{pushed}")
+        };
+        assert_eq!(pred.to_string(), "$p = 3");
+        let Alg::DJoin { left, .. } = input.as_ref() else {
+            panic!("{pushed}")
+        };
+        assert!(matches!(left.as_ref(), Alg::Select { .. }));
+    }
+
+    #[test]
+    fn no_fire_on_plain_bind() {
+        let p = Alg::select(bind("d", "d *work [ t: $t ]"), Pred::eq_const("t", 1));
+        assert!(apply(&SelectPushdown, &p).is_none());
+        let _ = Pattern::Wildcard;
+    }
+}

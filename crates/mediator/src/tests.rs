@@ -1,0 +1,423 @@
+//! End-to-end mediator tests: the full Fig. 2 setup, the Fig. 5/8/9
+//! pipelines over real O2 and Wais wrappers, and naive-vs-optimized
+//! equivalence.
+
+use crate::mediator::Mediator;
+use crate::optimizer::OptimizerOptions;
+use crate::session::Session;
+use std::sync::Arc;
+use yat_algebra::{Alg, EvalOut};
+use yat_model::{Label, Tree};
+use yat_oql::art::{art_store, fig1_store, ArtSpec};
+use yat_oql::O2Wrapper;
+use yat_wais::{fig1_works, generate_works, WaisSource, WaisWrapper, WorksSpec};
+use yat_yatl::paper;
+
+/// A mediator over the Fig. 1 data.
+fn fig1_mediator() -> Mediator {
+    let mut m = Mediator::new();
+    m.connect(Box::new(O2Wrapper::new("o2artifact", fig1_store())))
+        .unwrap();
+    m.connect(Box::new(WaisWrapper::new(
+        "xmlartwork",
+        WaisSource::new("works", &fig1_works()),
+    )))
+    .unwrap();
+    m.load_program(paper::VIEW1).unwrap();
+    m
+}
+
+/// A mediator over generated data.
+fn generated_mediator(artifacts: usize, works: usize, seed: u64) -> Mediator {
+    let mut m = Mediator::new();
+    m.connect(Box::new(O2Wrapper::new(
+        "o2artifact",
+        art_store(&ArtSpec {
+            artifacts,
+            persons: 10,
+            seed,
+        }),
+    )))
+    .unwrap();
+    m.connect(Box::new(WaisWrapper::new(
+        "xmlartwork",
+        WaisSource::new(
+            "works",
+            &generate_works(&WorksSpec {
+                works,
+                impressionist_pct: 40,
+                optional_pct: 60,
+                giverny_pct: 30,
+                seed,
+            }),
+        ),
+    )))
+    .unwrap();
+    m.load_program(paper::VIEW1).unwrap();
+    m
+}
+
+fn tree_of(out: EvalOut) -> Tree {
+    match out {
+        EvalOut::Tree(t) => t,
+        EvalOut::Tab(t) => panic!("expected a tree, got a Tab:\n{t}"),
+    }
+}
+
+/// Sorted leaf strings of a result tree, ignoring Skolem identifiers
+/// (fresh ids differ between plans by construction order).
+fn result_fingerprint(t: &Tree) -> Vec<String> {
+    fn walk(t: &Tree, out: &mut Vec<String>) {
+        match &t.label {
+            Label::Atom(a) => out.push(a.to_string()),
+            Label::Sym(s) => out.push(format!("<{s}>")),
+            Label::Oid(_) => out.push("<id>".into()),
+            Label::Ref(_) => out.push("<ref>".into()),
+        }
+        for c in &t.children {
+            walk(c, out);
+        }
+    }
+    let mut v = Vec::new();
+    walk(t, &mut v);
+    v.sort();
+    v
+}
+
+// ------------------------------------------------------------- plumbing
+
+#[test]
+fn connect_imports_interfaces_and_exports() {
+    let m = fig1_mediator();
+    assert_eq!(m.interfaces().len(), 2);
+    assert_eq!(m.source_of("artifacts"), Some("o2artifact"));
+    assert_eq!(m.source_of("persons"), Some("o2artifact"));
+    assert_eq!(m.source_of("works"), Some("xmlartwork"));
+    assert!(m.views().contains_key("artworks"));
+    // the handshake itself was metered
+    assert!(m.traffic().round_trips >= 2);
+}
+
+#[test]
+fn duplicate_connections_and_views_rejected() {
+    let mut m = fig1_mediator();
+    let err = m
+        .connect(Box::new(O2Wrapper::new("o2artifact", fig1_store())))
+        .unwrap_err();
+    assert!(err.to_string().contains("already connected"), "{err}");
+    let err = m.load_program(paper::VIEW1).unwrap_err();
+    assert!(err.to_string().contains("already defined"), "{err}");
+    let err = m
+        .load_program("MAKE $t MATCH works WITH works *$t")
+        .unwrap_err();
+    assert!(err.to_string().contains("named rules"), "{err}");
+}
+
+#[test]
+fn fig2_session_transcript() {
+    let mut s = Session::start();
+    s.connect(
+        "logos.inria.fr",
+        Box::new(O2Wrapper::new("o2artifact", fig1_store())),
+    )
+    .unwrap();
+    s.connect(
+        "sappho.ics.forth.gr",
+        Box::new(WaisWrapper::new(
+            "xmlartwork",
+            WaisSource::new("works", &fig1_works()),
+        )),
+    )
+    .unwrap();
+    s.load("/u/cluet/YAT/view1.yat", paper::VIEW1).unwrap();
+    let t = s.transcript();
+    assert!(t.contains("yat-mediator is running"), "{t}");
+    assert!(t.contains("yat> connect o2artifact"), "{t}");
+    assert!(t.contains("yat> import xmlartwork;"), "{t}");
+    assert!(t.contains("defined view artworks()"), "{t}");
+}
+
+// --------------------------------------------------- the view (Fig. 5)
+
+#[test]
+fn view_materializes_integrated_artworks() {
+    let m = fig1_mediator();
+    let view = m.views()["artworks"].clone();
+    let doc = tree_of(m.execute(&view).unwrap());
+    assert_eq!(doc.label.as_sym(), Some("doc"));
+    // both works match artifacts (year > 1800, same creator/title)
+    assert_eq!(doc.children.len(), 2, "{doc}");
+    // each artwork is Skolem-identified and merges both sources
+    let first = &doc.children[0];
+    assert!(matches!(&first.label, Label::Oid(o) if o.as_str().starts_with("artwork:")));
+    let work = &first.children[0];
+    assert_eq!(work.label.as_sym(), Some("work"));
+    assert!(work.child("title").is_some());
+    assert!(
+        work.child("style").is_some(),
+        "style comes from Wais: {work}"
+    );
+    assert!(work.child("price").is_some(), "price comes from O2: {work}");
+    let owners = work.child("owners").unwrap();
+    assert!(!owners.children.is_empty(), "owners come from O2: {work}");
+}
+
+// ------------------------------------------------------- Q1 (Fig. 8)
+
+#[test]
+fn q1_naive_equals_optimized() {
+    let m = fig1_mediator();
+    let plan = m.plan_query(paper::Q1).unwrap();
+
+    let naive = tree_of(m.execute(&plan).unwrap());
+    let (opt, _) = m.optimize(&plan, OptimizerOptions::full());
+    let optimized = tree_of(m.execute(&opt).unwrap());
+    assert_eq!(result_fingerprint(&naive), result_fingerprint(&optimized));
+    // Nympheas is the only Giverny work
+    assert_eq!(result_fingerprint(&naive), vec!["Nympheas".to_string()]);
+}
+
+#[test]
+fn q1_optimized_plan_shape_matches_fig8() {
+    let m = fig1_mediator();
+    let plan = m.plan_query(paper::Q1).unwrap();
+    let (opt, trace) = m.optimize(&plan, OptimizerOptions::full());
+    let shown = opt.explain();
+    // the O2 branch is gone (containment assumption)
+    assert!(
+        !shown.contains("artifacts"),
+        "Fig. 8 eliminates the O2 source:\n{shown}"
+    );
+    // a single Tree remains (the query's), no view Tree
+    assert_eq!(shown.matches("Tree").count(), 1, "{shown}");
+    // contains was pushed to the Wais source
+    assert!(shown.contains("contains"), "{shown}");
+    assert!(shown.contains("Push → xmlartwork"), "{shown}");
+    assert!(
+        trace.count("bind-tree-elimination") >= 1,
+        "{}",
+        trace.render()
+    );
+    assert!(trace.count("prune") >= 1, "{}", trace.render());
+}
+
+#[test]
+fn q1_optimized_transfers_less() {
+    let m = generated_mediator(60, 60, 11);
+    let plan = m.plan_query(paper::Q1).unwrap();
+
+    m.reset_traffic();
+    let _ = m.execute(&plan).unwrap();
+    let naive = m.traffic();
+
+    let (opt, _) = m.optimize(&plan, OptimizerOptions::full());
+    m.reset_traffic();
+    let _ = m.execute(&opt).unwrap();
+    let optimized = m.traffic();
+
+    assert!(
+        optimized.total_bytes() < naive.total_bytes() / 2,
+        "optimized {} vs naive {}",
+        optimized.total_bytes(),
+        naive.total_bytes()
+    );
+    assert!(
+        optimized.documents_received < naive.documents_received,
+        "documents: optimized {} vs naive {}",
+        optimized.documents_received,
+        naive.documents_received
+    );
+    // the O2 source is not contacted at all
+    assert_eq!(m.traffic_of("o2artifact").unwrap().round_trips, 0);
+}
+
+// ------------------------------------------------------- Q2 (Fig. 9)
+
+#[test]
+fn q2_naive_equals_optimized_fig1() {
+    let m = fig1_mediator();
+    let plan = m.plan_query(paper::Q2).unwrap();
+    let naive = tree_of(m.execute(&plan).unwrap());
+    // Q2 keeps both sources: no containment assumption is needed
+    let (opt, _) = m.optimize(&plan, OptimizerOptions::default());
+    let optimized = tree_of(m.execute(&opt).unwrap());
+    assert_eq!(result_fingerprint(&naive), result_fingerprint(&optimized));
+    // Nympheas sells at 150k ≤ 200k; Waterloo Bridge at 250k is out
+    let fp = result_fingerprint(&naive);
+    assert!(fp.contains(&"Nympheas".to_string()), "{fp:?}");
+    assert!(!fp.contains(&"Waterloo Bridge".to_string()), "{fp:?}");
+}
+
+#[test]
+fn q2_naive_equals_optimized_generated() {
+    let m = generated_mediator(40, 40, 23);
+    let plan = m.plan_query(paper::Q2).unwrap();
+    let naive = tree_of(m.execute(&plan).unwrap());
+    let (opt, _) = m.optimize(&plan, OptimizerOptions::default());
+    let optimized = tree_of(m.execute(&opt).unwrap());
+    assert_eq!(result_fingerprint(&naive), result_fingerprint(&optimized));
+}
+
+#[test]
+fn q2_optimized_plan_shape_matches_fig9() {
+    let m = fig1_mediator();
+    let plan = m.plan_query(paper::Q2).unwrap();
+    let (opt, trace) = m.optimize(&plan, OptimizerOptions::default());
+    let shown = opt.explain();
+    // information passing: a DJoin with the O2 fragment pushed
+    assert!(shown.contains("DJoin"), "{shown}");
+    assert!(shown.contains("Push → o2artifact"), "{shown}");
+    // the full-text capability is exploited
+    assert!(shown.contains("contains($"), "{shown}");
+    assert!(shown.contains("Push → xmlartwork"), "{shown}");
+    // the compensation equality survives at the mediator
+    assert!(shown.contains("$s = \"Impressionist\""), "{shown}");
+    assert!(trace.count("join-to-djoin") == 1, "{}", trace.render());
+    assert!(
+        trace.count("contains-introduction") == 1,
+        "{}",
+        trace.render()
+    );
+    assert!(trace.count("capability-split") >= 1, "{}", trace.render());
+}
+
+#[test]
+fn q2_optimized_transfers_less() {
+    // Information passing costs one round trip per driving row, so its
+    // benefit appears once the driving side is selective enough for the
+    // per-request overhead to amortize — the crossover the fig9 bench
+    // sweeps. 300 documents at 10% full-text selectivity is past it.
+    let mut m = Mediator::new();
+    m.connect(Box::new(O2Wrapper::new(
+        "o2artifact",
+        art_store(&ArtSpec {
+            artifacts: 300,
+            persons: 10,
+            seed: 5,
+        }),
+    )))
+    .unwrap();
+    m.connect(Box::new(WaisWrapper::new(
+        "xmlartwork",
+        WaisSource::new(
+            "works",
+            &generate_works(&WorksSpec {
+                works: 300,
+                impressionist_pct: 10,
+                optional_pct: 60,
+                giverny_pct: 30,
+                seed: 5,
+            }),
+        ),
+    )))
+    .unwrap();
+    m.load_program(paper::VIEW1).unwrap();
+    let plan = m.plan_query(paper::Q2).unwrap();
+
+    m.reset_traffic();
+    let naive_result = tree_of(m.execute(&plan).unwrap());
+    let naive = m.traffic();
+
+    let (opt, _) = m.optimize(&plan, OptimizerOptions::default());
+    m.reset_traffic();
+    let optimized_result = tree_of(m.execute(&opt).unwrap());
+    let optimized = m.traffic();
+
+    assert_eq!(
+        result_fingerprint(&naive_result),
+        result_fingerprint(&optimized_result)
+    );
+    assert!(
+        optimized.total_bytes() < naive.total_bytes(),
+        "optimized {} vs naive {}",
+        optimized.total_bytes(),
+        naive.total_bytes()
+    );
+    assert!(optimized.documents_received < naive.documents_received);
+}
+
+// -------------------------------------------------------- odds and ends
+
+#[test]
+fn direct_source_queries_work() {
+    let m = fig1_mediator();
+    // querying an exported document directly, no view involved
+    let out = m
+        .query(
+            "MAKE titles *($t) := t [ $t ] MATCH works WITH works *work [ title: $t ]",
+            OptimizerOptions::default(),
+        )
+        .unwrap();
+    let t = tree_of(out);
+    assert_eq!(t.children.len(), 2);
+}
+
+#[test]
+fn unknown_documents_error() {
+    let m = fig1_mediator();
+    let plan: Arc<Alg> = m.plan_query("MAKE $t MATCH nothing WITH n *$t").unwrap();
+    let err = m.execute(&plan).unwrap_err();
+    assert!(err.to_string().contains("nothing"), "{err}");
+}
+
+#[test]
+fn optimizer_naive_options_are_identity() {
+    let m = fig1_mediator();
+    let plan = m.plan_query(paper::Q1).unwrap();
+    let (same, trace) = m.optimize(&plan, OptimizerOptions::naive());
+    assert_eq!(plan, same);
+    assert!(trace.steps.is_empty());
+}
+
+#[test]
+fn ablation_no_type_info_keeps_structural_edges() {
+    let m = fig1_mediator();
+    let plan = m.plan_query(paper::Q2).unwrap();
+    let with_types = m.optimize(&plan, OptimizerOptions::default()).0.explain();
+    let without_types = m
+        .optimize(
+            &plan,
+            OptimizerOptions {
+                use_type_info: false,
+                ..Default::default()
+            },
+        )
+        .0
+        .explain();
+    // with type info the unused mandatory edges (size, owners…) vanish
+    // from the filters; without it they must stay as wildcards
+    assert!(
+        without_types.len() >= with_types.len(),
+        "typed plan should not be larger"
+    );
+}
+
+#[test]
+fn compensated_contains_when_not_pushable() {
+    // a contains over O2-bound data cannot be pushed; the mediator's
+    // builtin evaluates it locally
+    let m = fig1_mediator();
+    let out = m
+        .query(
+            "MAKE names *($c) := n [ $c ] \
+             MATCH artifacts WITH set *$x: class: artifact: tuple [ creator: $c ] \
+             WHERE contains($x, \"Monet\") AND contains($x, \"1897\")",
+            OptimizerOptions::default(),
+        )
+        .unwrap();
+    let t = tree_of(out);
+    assert_eq!(t.children.len(), 1, "only a1 mentions 1897: {t}");
+    assert!(t.to_string().contains("Claude Monet"), "{t}");
+
+    let out = m
+        .query(
+            "MAKE hits *($t) := hit [ $t ] \
+             MATCH artifacts WITH set *class: artifact: tuple [ title: $t ], \
+                   works WITH works *$w \
+             WHERE contains($w, \"Giverny\") AND contains($w, $t)",
+            OptimizerOptions::default(),
+        )
+        .unwrap();
+    let t = tree_of(out);
+    assert_eq!(t.children.len(), 1, "only Nympheas painted at Giverny: {t}");
+}

@@ -1,0 +1,175 @@
+//! Forests: a source's exported data as a set of named trees plus an
+//! identity map for reference resolution.
+
+use crate::oid::Oid;
+use crate::tree::{Label, Node, Tree};
+use std::collections::BTreeMap;
+
+/// A set of named root trees (`artifacts`, `persons`, `artworks` in the
+/// paper) together with an index of identified subtrees, so that reference
+/// leaves (`&p3`) can be dereferenced.
+///
+/// The algebra's `Source` operator reads named trees out of a forest; the
+/// Skolem-function registry inserts identified trees into the mediator's
+/// result forest.
+#[derive(Debug, Clone, Default)]
+pub struct Forest {
+    roots: BTreeMap<String, Tree>,
+    by_oid: BTreeMap<Oid, Tree>,
+}
+
+impl Forest {
+    /// An empty forest.
+    pub fn new() -> Self {
+        Forest::default()
+    }
+
+    /// Registers a named root tree, indexing any identified subtrees.
+    pub fn insert(&mut self, name: impl Into<String>, tree: Tree) {
+        self.index_oids(&tree);
+        self.roots.insert(name.into(), tree);
+    }
+
+    fn index_oids(&mut self, tree: &Tree) {
+        if let Label::Oid(oid) = &tree.label {
+            self.by_oid.insert(oid.clone(), tree.clone());
+        }
+        for c in &tree.children {
+            self.index_oids(c);
+        }
+    }
+
+    /// Looks up a named root.
+    pub fn get(&self, name: &str) -> Option<&Tree> {
+        self.roots.get(name)
+    }
+
+    /// Dereferences an identifier to its tree, if known.
+    pub fn deref_oid(&self, oid: &Oid) -> Option<&Tree> {
+        self.by_oid.get(oid)
+    }
+
+    /// Resolves one level of reference: a `&o` leaf becomes the tree named
+    /// `o`; other trees pass through unchanged. Navigating through
+    /// references is how the O2 wrapper exposes `owners` (Fig. 1's
+    /// `refs="p1 p2 p3"`).
+    pub fn follow<'a>(&'a self, tree: &'a Tree) -> &'a Tree {
+        match &tree.label {
+            Label::Ref(oid) => self.deref_oid(oid).unwrap_or(tree),
+            _ => tree,
+        }
+    }
+
+    /// Root names, sorted (deterministic iteration for tests/benches).
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.roots.keys().map(String::as_str)
+    }
+
+    /// Iterates `(name, tree)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Tree)> {
+        self.roots.iter().map(|(n, t)| (n.as_str(), t))
+    }
+
+    /// Number of named roots.
+    pub fn len(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// True when no roots are registered.
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+
+    /// Number of identified subtrees indexed.
+    pub fn oid_count(&self) -> usize {
+        self.by_oid.len()
+    }
+
+    /// All identified trees, in identifier order. Used to materialize an
+    /// extent ("the persons extent" in Fig. 7's DJoin→Join rewriting).
+    pub fn identified(&self) -> impl Iterator<Item = (&Oid, &Tree)> {
+        self.by_oid.iter()
+    }
+}
+
+impl FromIterator<(String, Tree)> for Forest {
+    fn from_iter<I: IntoIterator<Item = (String, Tree)>>(iter: I) -> Self {
+        let mut f = Forest::new();
+        for (n, t) in iter {
+            f.insert(n, t);
+        }
+        f
+    }
+}
+
+/// Convenience: builds the paper's running example forests are defined in
+/// `yat-oql` / `yat-wais`; this free function only helps tests construct a
+/// tiny identified person.
+pub fn identified_person(id: &str, name: &str, auction: f64) -> Tree {
+    Node::oid(
+        Oid::new(id),
+        vec![Node::sym(
+            "person",
+            vec![Node::sym(
+                "tuple",
+                vec![Node::elem("name", name), Node::elem("auction", auction)],
+            )],
+        )],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_and_names_sorted() {
+        let mut f = Forest::new();
+        f.insert("persons", identified_person("p1", "Doctor X", 1500000.0));
+        f.insert("artifacts", Node::sym("set", vec![]));
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.names().collect::<Vec<_>>(), vec!["artifacts", "persons"]);
+        assert!(f.get("persons").is_some());
+        assert!(f.get("nothing").is_none());
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn oid_indexing_and_follow() {
+        let mut f = Forest::new();
+        let p = identified_person("p3", "Doctor X", 1500000.0);
+        f.insert("persons", Node::sym("list", vec![p.clone()]));
+        assert_eq!(f.oid_count(), 1);
+        assert_eq!(f.deref_oid(&Oid::new("p3")), Some(&p));
+
+        let r = Node::reference(Oid::new("p3"));
+        assert_eq!(f.follow(&r), &p);
+        // unknown reference passes through
+        let dangling = Node::reference(Oid::new("p99"));
+        assert!(std::sync::Arc::ptr_eq(f.follow(&dangling), &dangling));
+        // non-reference passes through
+        assert!(std::sync::Arc::ptr_eq(f.follow(&p), &p));
+    }
+
+    #[test]
+    fn nested_oids_indexed() {
+        let inner = Node::oid(Oid::new("in1"), vec![Node::atom(1)]);
+        let outer = Node::oid(Oid::new("out1"), vec![inner]);
+        let mut f = Forest::new();
+        f.insert("root", outer);
+        assert_eq!(f.oid_count(), 2);
+        let ids: Vec<_> = f.identified().map(|(o, _)| o.as_str()).collect();
+        assert_eq!(ids, vec!["in1", "out1"]);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let f: Forest = vec![
+            ("a".to_string(), Node::atom(1)),
+            ("b".to_string(), Node::atom(2)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(f.len(), 2);
+    }
+}

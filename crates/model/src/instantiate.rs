@@ -1,0 +1,616 @@
+//! The instantiation mechanism relating the levels of the YAT type system:
+//! data ⊑ schema ⊑ model (`Artifact <: ODMG <: YAT`, Fig. 3).
+//!
+//! Two relations are provided:
+//!
+//! * [`is_instance`] — a *data tree* is an instance of a pattern. This is
+//!   closed filter matching with the bindings thrown away.
+//! * [`subsumes`] — a pattern is more general than another
+//!   (`subsumes(ODMG::Class, Art::Artifact)` holds). Used by the optimizer
+//!   (the Section 5.1 "sufficient condition for the equivalence to hold is
+//!   for the type of works to be an instance of the type of the filter")
+//!   and by the capability matcher.
+//!
+//! Subsumption over recursive named patterns is decided coinductively: a
+//! pair under test is assumed to hold while its own derivation is in
+//! progress, which is sound for the greatest-fixpoint reading of recursive
+//! tree types. The greedy edge-covering strategy is complete for the
+//! *unambiguous* patterns the paper restricts itself to (Section 2, citing
+//! Beeri–Milo ICDT'99) and sound in general (no false positives on
+//! unambiguous inputs; may conservatively answer `false` on ambiguous ones).
+
+use crate::matching::{matches, MatchOptions};
+use crate::pattern::{Edge, Model, Occ, PLabel, Pattern};
+use crate::tree::Tree;
+use std::collections::BTreeSet;
+
+/// Is `tree` an instance of `pattern` (resolving names in `model`)?
+///
+/// Variables in `pattern` are permitted (a filter is a pattern); they match
+/// like wildcards here.
+pub fn is_instance(tree: &Tree, pattern: &Pattern, model: Option<&Model>) -> bool {
+    matches(
+        tree,
+        pattern,
+        MatchOptions {
+            model,
+            forest: None,
+            closed: true,
+        },
+    )
+}
+
+/// Does `general` subsume `specific` — is every instance of `specific` also
+/// an instance of `general`?
+///
+/// `gen_model` and `spec_model` resolve pattern references on each side
+/// (the two patterns may come from different wrappers).
+pub fn subsumes(
+    general: &Pattern,
+    specific: &Pattern,
+    gen_model: Option<&Model>,
+    spec_model: Option<&Model>,
+) -> bool {
+    let mut ctx = Subsume {
+        gen_model,
+        spec_model,
+        in_progress: BTreeSet::new(),
+        fuel: 1_000_000,
+        open: false,
+    };
+    ctx.pat(general, specific)
+}
+
+/// Open-matching subsumption: like [`subsumes`], but under the *open*
+/// filter semantics where extra children are ignored. `subsumes_open(f,
+/// t)` holds when every instance of type `t` open-matches filter `f` —
+/// the soundness condition for dropping a guaranteed filter edge
+/// (Section 5.1's typed Bind simplification).
+pub fn subsumes_open(
+    general: &Pattern,
+    specific: &Pattern,
+    gen_model: Option<&Model>,
+    spec_model: Option<&Model>,
+) -> bool {
+    let mut ctx = Subsume {
+        gen_model,
+        spec_model,
+        in_progress: BTreeSet::new(),
+        fuel: 1_000_000,
+        open: true,
+    };
+    ctx.pat(general, specific)
+}
+
+struct Subsume<'a> {
+    gen_model: Option<&'a Model>,
+    spec_model: Option<&'a Model>,
+    /// Coinductive hypothesis set: (general name-or-disc, specific
+    /// name-or-disc) pairs currently being derived.
+    in_progress: BTreeSet<(String, String)>,
+    fuel: u64,
+    /// Open matching: extra specific-side edges are permitted.
+    open: bool,
+}
+
+impl<'a> Subsume<'a> {
+    fn pat(&mut self, g: &Pattern, s: &Pattern) -> bool {
+        if self.fuel == 0 {
+            return false;
+        }
+        self.fuel -= 1;
+        match (g, s) {
+            // top on the general side
+            (Pattern::Wildcard | Pattern::TreeVar(_), _) => true,
+            // named patterns: unfold with coinductive memoization
+            (Pattern::Ref(gn), Pattern::Ref(sn)) => {
+                let key = (format!("g:{gn}"), format!("s:{sn}"));
+                if self.in_progress.contains(&key) {
+                    return true;
+                }
+                let (Some(gp), Some(sp)) = (
+                    self.gen_model.and_then(|m| m.get(gn)),
+                    self.spec_model.and_then(|m| m.get(sn)),
+                ) else {
+                    return false;
+                };
+                self.in_progress.insert(key.clone());
+                let r = self.pat(gp, sp);
+                self.in_progress.remove(&key);
+                r
+            }
+            (Pattern::Ref(gn), _) => {
+                match self.gen_model.and_then(|m| m.get(gn)) {
+                    Some(gp) => {
+                        // guard self-recursive unfolding against a non-Ref
+                        // specific: key on the general name + specific shape
+                        let key = (format!("g:{gn}"), format!("shape:{s}"));
+                        if self.in_progress.contains(&key) {
+                            return true;
+                        }
+                        self.in_progress.insert(key.clone());
+                        let gp = gp.clone();
+                        let r = self.pat(&gp, s);
+                        self.in_progress.remove(&key);
+                        r
+                    }
+                    None => false,
+                }
+            }
+            (_, Pattern::Ref(sn)) => match self.spec_model.and_then(|m| m.get(sn)) {
+                Some(sp) => {
+                    let key = (format!("shape:{g}"), format!("s:{sn}"));
+                    if self.in_progress.contains(&key) {
+                        return true;
+                    }
+                    self.in_progress.insert(key.clone());
+                    let sp = sp.clone();
+                    let r = self.pat(g, &sp);
+                    self.in_progress.remove(&key);
+                    r
+                }
+                None => false,
+            },
+            // unions
+            (_, Pattern::Union(ss)) => ss.iter().all(|sb| self.pat(g, sb)),
+            (Pattern::Union(gs), _) => gs.iter().any(|gb| self.pat(gb, s)),
+            // a specific-side top is only covered when the general side
+            // is itself top (e.g. the YAT metamodel `Any[*&Yat]`)
+            (_, Pattern::Wildcard | Pattern::TreeVar(_)) => {
+                let mut seen = BTreeSet::new();
+                self.is_top(g, &mut seen)
+            }
+            (
+                Pattern::Node {
+                    label: gl,
+                    edges: ge,
+                },
+                Pattern::Node {
+                    label: sl,
+                    edges: se,
+                },
+            ) => self.label(gl, sl) && self.edges(ge, se),
+        }
+    }
+
+    /// Coinductive check that `p` (general side) accepts *every* tree:
+    /// an `Any`-labeled node whose children are all covered by star edges
+    /// that are themselves top.
+    fn is_top(&mut self, p: &Pattern, seen: &mut BTreeSet<String>) -> bool {
+        match p {
+            Pattern::Wildcard | Pattern::TreeVar(_) => true,
+            Pattern::Ref(name) => {
+                if !seen.insert(name.clone()) {
+                    return true;
+                }
+                match self.gen_model.and_then(|m| m.get(name)) {
+                    Some(resolved) => {
+                        let resolved = resolved.clone();
+                        self.is_top(&resolved, seen)
+                    }
+                    None => false,
+                }
+            }
+            Pattern::Union(bs) => bs.iter().any(|b| {
+                let b = b.clone();
+                self.is_top(&b, seen)
+            }),
+            Pattern::Node {
+                label: PLabel::Any,
+                edges,
+            } => {
+                edges.iter().all(|e| e.occ == Occ::Star)
+                    && edges.iter().any(|e| {
+                        let p = e.pattern.clone();
+                        e.occ == Occ::Star && self.is_top(&p, seen)
+                    })
+            }
+            Pattern::Node { .. } => false,
+        }
+    }
+
+    fn label(&self, g: &PLabel, s: &PLabel) -> bool {
+        match (g, s) {
+            (PLabel::Any, _) => true,
+            (_, PLabel::Any) => false,
+            // symbols
+            (PLabel::AnySym | PLabel::Var(_), PLabel::Sym(_) | PLabel::AnySym | PLabel::Var(_)) => {
+                true
+            }
+            (PLabel::Sym(a), PLabel::Sym(b)) => a == b,
+            // atoms
+            (PLabel::Atom(t), PLabel::Atom(u)) => t == u,
+            (PLabel::Atom(t), PLabel::Const(c)) => *t == c.atom_type(),
+            (PLabel::Const(a), PLabel::Const(b)) => a.value_eq(b),
+            _ => false,
+        }
+    }
+
+    /// Every instance of the specific edge list must be covered by the
+    /// general edge list. Greedy: match specific One/Opt edges to general
+    /// One/Opt edges first (in order), then require each remaining specific
+    /// edge to fall under some general Star/Opt edge; finally every general
+    /// One edge must have been used (a mandatory child the specific side
+    /// lacks would admit instances the general side rejects — for
+    /// *instance* semantics the direction is: specific mandates at least
+    /// what general mandates... see note below).
+    ///
+    /// Note on direction: `subsumes(g, s)` means instances(s) ⊆
+    /// instances(g). A One edge in `g` requires a child every instance must
+    /// have; `s`'s instances all have it iff `s` also carries a One edge
+    /// covered by it. A One edge in `s` only *narrows* `s`, which is fine
+    /// for `g` as long as `g` permits such a child at all.
+    fn edges(&mut self, ge: &[Edge], se: &[Edge]) -> bool {
+        // 1. each general One edge must be satisfied by a distinct specific
+        //    One edge whose pattern it subsumes
+        let mut s_used = vec![false; se.len()];
+        for g in ge.iter().filter(|g| g.occ == Occ::One) {
+            let mut found = false;
+            for (i, s) in se.iter().enumerate() {
+                if s_used[i] || s.occ != Occ::One {
+                    continue;
+                }
+                if self.pat(&g.pattern, &s.pattern) {
+                    s_used[i] = true;
+                    found = true;
+                    break;
+                }
+            }
+            if !found {
+                return false;
+            }
+        }
+        // 2. every remaining specific edge must be permitted by some
+        //    general edge (One already consumed; Opt covers One/Opt; Star
+        //    covers anything it subsumes) — unless matching is open, in
+        //    which case extra specific structure is simply ignored
+        if self.open {
+            return true;
+        }
+        for (i, s) in se.iter().enumerate() {
+            if s_used[i] {
+                continue;
+            }
+            let permitted = ge.iter().any(|g| {
+                let occ_ok = matches!(
+                    (g.occ, s.occ),
+                    (Occ::Star, _) | (Occ::Opt, Occ::One | Occ::Opt)
+                );
+                occ_ok && self.pat(&g.pattern, &s.pattern)
+            });
+            if !permitted {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Builds the YAT metamodel of Fig. 3 (top right): the "almighty model"
+/// every pattern instantiates. `Yat := Any[*&Yat]`.
+pub fn yat_metamodel() -> Model {
+    Model::new("yat").with(
+        "Yat",
+        Pattern::Node {
+            label: PLabel::Any,
+            edges: vec![Edge::star(Pattern::Ref("Yat".into()))],
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::AtomType;
+    use crate::pattern::{Edge, Pattern};
+    use crate::tree::Node;
+
+    /// The ODMG (meta)model of Fig. 3, as YAT patterns.
+    pub(crate) fn odmg_model() -> Model {
+        let atom_branches = vec![
+            Pattern::atom(AtomType::Int),
+            Pattern::atom(AtomType::Bool),
+            Pattern::atom(AtomType::Float),
+            Pattern::atom(AtomType::Str),
+        ];
+        let mut branches = atom_branches;
+        branches.push(Pattern::sym(
+            "tuple",
+            vec![Edge::star(Pattern::Node {
+                label: PLabel::AnySym,
+                edges: vec![Edge::one(Pattern::Ref("Type".into()))],
+            })],
+        ));
+        for coll in ["set", "bag", "list", "array"] {
+            branches.push(Pattern::sym(
+                coll,
+                vec![Edge::star(Pattern::Ref("Type".into()))],
+            ));
+        }
+        branches.push(Pattern::Ref("Class".into()));
+        Model::new("odmg")
+            .with(
+                "Class",
+                Pattern::sym(
+                    "class",
+                    vec![Edge::one(Pattern::Node {
+                        label: PLabel::AnySym,
+                        edges: vec![Edge::one(Pattern::Ref("Type".into()))],
+                    })],
+                ),
+            )
+            .with("Type", Pattern::Union(branches))
+    }
+
+    /// The `art` schema of Fig. 3: Artifact and Person class patterns.
+    pub(crate) fn art_schema() -> Model {
+        Model::new("art")
+            .with(
+                "Person",
+                Pattern::sym(
+                    "class",
+                    vec![Edge::one(Pattern::sym(
+                        "person",
+                        vec![Edge::one(Pattern::sym(
+                            "tuple",
+                            vec![
+                                Edge::one(Pattern::elem_typed("name", AtomType::Str)),
+                                Edge::one(Pattern::elem_typed("auction", AtomType::Float)),
+                            ],
+                        ))],
+                    ))],
+                ),
+            )
+            .with(
+                "Artifact",
+                Pattern::sym(
+                    "class",
+                    vec![Edge::one(Pattern::sym(
+                        "artifact",
+                        vec![Edge::one(Pattern::sym(
+                            "tuple",
+                            vec![
+                                Edge::one(Pattern::elem_typed("title", AtomType::Str)),
+                                Edge::one(Pattern::elem_typed("year", AtomType::Int)),
+                                Edge::one(Pattern::elem_typed("creator", AtomType::Str)),
+                                Edge::one(Pattern::elem_typed("price", AtomType::Float)),
+                                Edge::one(Pattern::sym(
+                                    "owners",
+                                    vec![Edge::one(Pattern::sym(
+                                        "list",
+                                        vec![Edge::star(Pattern::Ref("Person".into()))],
+                                    ))],
+                                )),
+                            ],
+                        ))],
+                    ))],
+                ),
+            )
+    }
+
+    #[test]
+    fn fig3_artifact_instantiates_odmg_class() {
+        let odmg = odmg_model();
+        let art = art_schema();
+        assert!(subsumes(
+            &Pattern::Ref("Class".into()),
+            &Pattern::Ref("Artifact".into()),
+            Some(&odmg),
+            Some(&art)
+        ));
+        assert!(subsumes(
+            &Pattern::Ref("Class".into()),
+            &Pattern::Ref("Person".into()),
+            Some(&odmg),
+            Some(&art)
+        ));
+    }
+
+    #[test]
+    fn fig3_odmg_instantiates_yat() {
+        let yat = yat_metamodel();
+        let odmg = odmg_model();
+        for name in ["Class", "Type"] {
+            assert!(
+                subsumes(
+                    &Pattern::Ref("Yat".into()),
+                    &Pattern::Ref(name.into()),
+                    Some(&yat),
+                    Some(&odmg)
+                ),
+                "{name} <: Yat should hold"
+            );
+        }
+        // and transitively the schema level
+        let art = art_schema();
+        assert!(subsumes(
+            &Pattern::Ref("Yat".into()),
+            &Pattern::Ref("Artifact".into()),
+            Some(&yat),
+            Some(&art)
+        ));
+    }
+
+    #[test]
+    fn subsumption_rejects_wrong_direction() {
+        let odmg = odmg_model();
+        let art = art_schema();
+        // a specific schema does not subsume its model
+        assert!(!subsumes(
+            &Pattern::Ref("Artifact".into()),
+            &Pattern::Ref("Class".into()),
+            Some(&art),
+            Some(&odmg)
+        ));
+        // unrelated patterns
+        assert!(!subsumes(
+            &Pattern::Ref("Person".into()),
+            &Pattern::Ref("Artifact".into()),
+            Some(&art),
+            Some(&art)
+        ));
+    }
+
+    #[test]
+    fn label_subsumption_rules() {
+        // Int covers the constant 3 but not "x"
+        assert!(subsumes(
+            &Pattern::atom(AtomType::Int),
+            &Pattern::constant(3),
+            None,
+            None
+        ));
+        assert!(!subsumes(
+            &Pattern::atom(AtomType::Int),
+            &Pattern::constant("x"),
+            None,
+            None
+        ));
+        // AnySym covers symbols and label vars
+        let anysym = Pattern::Node {
+            label: PLabel::AnySym,
+            edges: vec![],
+        };
+        assert!(subsumes(
+            &anysym,
+            &Pattern::sym("title", vec![]),
+            None,
+            None
+        ));
+        assert!(subsumes(
+            &anysym,
+            &Pattern::Node {
+                label: PLabel::Var("n".into()),
+                edges: vec![]
+            },
+            None,
+            None
+        ));
+        // a symbol does not cover AnySym
+        assert!(!subsumes(
+            &Pattern::sym("title", vec![]),
+            &anysym,
+            None,
+            None
+        ));
+        // wildcard covers everything; nothing (but top) covers wildcard
+        assert!(subsumes(&Pattern::Wildcard, &anysym, None, None));
+        assert!(!subsumes(&anysym, &Pattern::Wildcard, None, None));
+        assert!(subsumes(
+            &Pattern::TreeVar("t".into()),
+            &Pattern::Wildcard,
+            None,
+            None
+        ));
+    }
+
+    #[test]
+    fn edge_occurrence_rules() {
+        let one_title = Pattern::sym("w", vec![Edge::one(Pattern::sym("t", vec![]))]);
+        let star_title = Pattern::sym("w", vec![Edge::star(Pattern::sym("t", vec![]))]);
+        let opt_title = Pattern::sym("w", vec![Edge::opt(Pattern::sym("t", vec![]))]);
+        let empty = Pattern::sym("w", vec![]);
+        // star covers one, opt, star, empty
+        assert!(subsumes(&star_title, &one_title, None, None));
+        assert!(subsumes(&star_title, &opt_title, None, None));
+        assert!(subsumes(&star_title, &empty, None, None));
+        // opt covers one and empty but not star
+        assert!(subsumes(&opt_title, &one_title, None, None));
+        assert!(subsumes(&opt_title, &empty, None, None));
+        assert!(!subsumes(&opt_title, &star_title, None, None));
+        // one requires one
+        assert!(!subsumes(&one_title, &empty, None, None));
+        assert!(!subsumes(&one_title, &star_title, None, None));
+        assert!(subsumes(&one_title, &one_title, None, None));
+    }
+
+    #[test]
+    fn union_subsumption() {
+        let int_or_str = Pattern::Union(vec![
+            Pattern::atom(AtomType::Int),
+            Pattern::atom(AtomType::Str),
+        ]);
+        assert!(subsumes(
+            &int_or_str,
+            &Pattern::atom(AtomType::Int),
+            None,
+            None
+        ));
+        assert!(!subsumes(
+            &int_or_str,
+            &Pattern::atom(AtomType::Float),
+            None,
+            None
+        ));
+        // specific union must be fully covered
+        let sub = Pattern::Union(vec![
+            Pattern::atom(AtomType::Int),
+            Pattern::atom(AtomType::Str),
+        ]);
+        assert!(subsumes(&int_or_str, &sub, None, None));
+        let sup = Pattern::Union(vec![
+            Pattern::atom(AtomType::Int),
+            Pattern::atom(AtomType::Float),
+        ]);
+        assert!(!subsumes(&int_or_str, &sup, None, None));
+    }
+
+    #[test]
+    fn is_instance_on_data() {
+        let art = art_schema();
+        let person = Node::sym(
+            "class",
+            vec![Node::sym(
+                "person",
+                vec![Node::sym(
+                    "tuple",
+                    vec![
+                        Node::elem("name", "Doctor X"),
+                        Node::elem("auction", 1500000.0),
+                    ],
+                )],
+            )],
+        );
+        assert!(is_instance(
+            &person,
+            &Pattern::Ref("Person".into()),
+            Some(&art)
+        ));
+        assert!(!is_instance(
+            &person,
+            &Pattern::Ref("Artifact".into()),
+            Some(&art)
+        ));
+        // everything instantiates the YAT metamodel
+        let yat = yat_metamodel();
+        assert!(is_instance(
+            &person,
+            &Pattern::Ref("Yat".into()),
+            Some(&yat)
+        ));
+    }
+
+    #[test]
+    fn filters_are_patterns_for_is_instance() {
+        let w = Node::sym("work", vec![Node::elem("title", "Nympheas")]);
+        let f = Pattern::sym("work", vec![Edge::one(Pattern::elem_var("title", "t"))]);
+        assert!(is_instance(&w, &f, None));
+    }
+
+    #[test]
+    fn recursive_patterns_terminate() {
+        // T := t[*&T] subsumes itself and deep instances
+        let m = Model::new("m").with(
+            "T",
+            Pattern::sym("t", vec![Edge::star(Pattern::Ref("T".into()))]),
+        );
+        assert!(subsumes(
+            &Pattern::Ref("T".into()),
+            &Pattern::Ref("T".into()),
+            Some(&m),
+            Some(&m)
+        ));
+        let deep = Node::sym("t", vec![Node::sym("t", vec![Node::sym("t", vec![])])]);
+        assert!(is_instance(&deep, &Pattern::Ref("T".into()), Some(&m)));
+    }
+}

@@ -1,0 +1,877 @@
+//! Filter matching: the pattern-matching semantics behind YATL's `MATCH`
+//! clause and the algebra's `Bind` operator.
+//!
+//! "YATL's filtering mechanism relies on instantiation: if a tree is
+//! instance of a filter, then one can deduce a mapping between node values
+//! and variables" (Section 2). [`match_filter`] implements that mapping:
+//! given a tree and a filter it produces zero or more [`BindingRow`]s —
+//! zero when the tree is not an instance, several when star edges iterate
+//! (one row per matched element, Fig. 4).
+
+use crate::forest::Forest;
+use crate::pattern::{Edge, Filter, Model, Occ, PLabel, Pattern, StarBind};
+use crate::tree::{Label, Tree};
+use std::collections::BTreeMap;
+
+/// A value bound to a variable by matching.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Binding {
+    /// A subtree (`$t` in `title: $t`).
+    Tree(Tree),
+    /// A label — tag variables over symbols (Section 5.1's
+    /// "semistructured queries over structured data").
+    Label(String),
+    /// A collection of subtrees — star-edge collect variables
+    /// (`$fields` in Fig. 4 "will contain the *collection* of such
+    /// elements").
+    Coll(Vec<Tree>),
+}
+
+impl Binding {
+    /// The bound subtree, if any.
+    pub fn as_tree(&self) -> Option<&Tree> {
+        match self {
+            Binding::Tree(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// One result row: variable name → bound value.
+pub type BindingRow = BTreeMap<String, Binding>;
+
+/// Matching context.
+#[derive(Clone, Copy, Default)]
+pub struct MatchOptions<'a> {
+    /// Resolves [`Pattern::Ref`] names. A `Ref` to an unknown name matches
+    /// nothing (strictness catches schema drift, which the paper notes the
+    /// mediator should "notify the integration administrator" about).
+    pub model: Option<&'a Model>,
+    /// When set, reference leaves (`&p3`) are followed through the forest
+    /// before matching — how filters navigate O2 object references.
+    pub forest: Option<&'a Forest>,
+    /// Closed matching requires every child of every matched node to be
+    /// claimed by some edge (type-instantiation semantics). Open matching
+    /// ignores extra children (XML filter semantics). Default: open.
+    pub closed: bool,
+}
+
+/// Matches `filter` against `tree`, returning one row per way the filter's
+/// iterating star edges embed into the tree; empty when `tree` is not an
+/// instance of the filter.
+pub fn match_filter(tree: &Tree, filter: &Filter, opts: MatchOptions<'_>) -> Vec<BindingRow> {
+    let mut m = Matcher {
+        opts,
+        fuel: FUEL_LIMIT,
+    };
+    m.node(tree, filter).unwrap_or_default()
+}
+
+/// Convenience: does `filter` match at all?
+pub fn matches(tree: &Tree, filter: &Filter, opts: MatchOptions<'_>) -> bool {
+    !match_filter(tree, filter, opts).is_empty()
+}
+
+/// A guard against pathological state explosion in ambiguous filters. The
+/// paper restricts filters to unambiguous regular expressions (matching is
+/// then polynomial, citing Beeri–Milo); we keep the general algorithm but
+/// bound the work.
+const FUEL_LIMIT: u64 = 10_000_000;
+
+/// Cap on concurrent partial match states (see [`FUEL_LIMIT`]). Filters
+/// exceeding it are treated as non-matching rather than allowed to allocate
+/// unboundedly.
+const MAX_STATES: usize = 65_536;
+
+struct Matcher<'a> {
+    opts: MatchOptions<'a>,
+    fuel: u64,
+}
+
+impl<'a> Matcher<'a> {
+    fn spend(&mut self, amount: u64) -> Option<()> {
+        self.fuel = self.fuel.checked_sub(amount)?;
+        Some(())
+    }
+
+    /// Follows a reference leaf through the forest, if configured.
+    fn resolve<'t>(&self, tree: &'t Tree) -> &'t Tree
+    where
+        'a: 't,
+    {
+        match (&tree.label, self.opts.forest) {
+            (Label::Ref(oid), Some(f)) => f.deref_oid(oid).unwrap_or(tree),
+            _ => tree,
+        }
+    }
+
+    /// `None` = not an instance. `Some(rows)` = instance, with `rows`
+    /// non-empty.
+    fn node(&mut self, tree: &Tree, pat: &Pattern) -> Option<Vec<BindingRow>> {
+        self.spend(1)?;
+        // Follow references transparently.
+        let tree: &Tree = match (&tree.label, self.opts.forest) {
+            (Label::Ref(oid), Some(f)) => f.deref_oid(oid).unwrap_or(tree),
+            _ => tree,
+        };
+        match pat {
+            Pattern::Wildcard => Some(vec![BindingRow::new()]),
+            Pattern::TreeVar(v) => {
+                let mut row = BindingRow::new();
+                row.insert(v.clone(), Binding::Tree(tree.clone()));
+                Some(vec![row])
+            }
+            Pattern::Ref(name) => {
+                let resolved = self.opts.model.and_then(|m| m.get(name))?;
+                self.node(tree, resolved)
+            }
+            Pattern::Union(branches) => {
+                // First matching branch wins: deterministic semantics for
+                // the unambiguous unions the paper allows.
+                branches.iter().find_map(|b| self.node(tree, b))
+            }
+            Pattern::Node { label, edges } => {
+                // Identified nodes are transparent: `a1[class[...]]`
+                // matches the filter `class[...]`, so object identity
+                // never blocks structural filters.
+                // (pattern labels never denote concrete identifiers, so a
+                // non-Any label can only match after descending)
+                if !matches!(label, PLabel::Any) {
+                    if let (Label::Oid(_), [only]) = (&tree.label, tree.children.as_slice()) {
+                        let only = only.clone();
+                        return self.node(&only, pat);
+                    }
+                }
+                let label_binding = self.match_label(&tree.label, label)?;
+                let mut rows = self.edges(tree, edges)?;
+                if let Some((v, sym)) = label_binding {
+                    for row in &mut rows {
+                        row.insert(v.clone(), Binding::Label(sym.clone()));
+                    }
+                }
+                Some(rows)
+            }
+        }
+    }
+
+    /// Matches a node label against a label pattern. On success returns an
+    /// optional `(var, symbol)` binding for label variables.
+    fn match_label(&mut self, label: &Label, pat: &PLabel) -> Option<Option<(String, String)>> {
+        match (pat, label) {
+            (PLabel::Any, _) => Some(None),
+            (PLabel::Sym(p), Label::Sym(s)) if p == s => Some(None),
+            (PLabel::AnySym, Label::Sym(_)) => Some(None),
+            (PLabel::Var(v), Label::Sym(s)) => Some(Some((v.clone(), s.clone()))),
+            (PLabel::Const(c), Label::Atom(a)) if c.value_eq(a) => Some(None),
+            (PLabel::Atom(t), Label::Atom(a)) if *t == a.atom_type() => Some(None),
+            _ => None,
+        }
+    }
+
+    /// Matches the edge list against the node's children.
+    ///
+    /// Edges are processed left to right over a set of partial states
+    /// (claimed-children bitmap + bindings). Single-occurrence edges have
+    /// existential semantics and iterate over every matching child;
+    /// star edges either iterate (inner variables / `*$v:`), collect
+    /// (`*($v)`), or structurally claim matches.
+    fn edges(&mut self, tree: &Tree, edges: &[Edge]) -> Option<Vec<BindingRow>> {
+        let kids = &tree.children;
+        // Fast path: a single star edge over many children — the common
+        // document-collection shape (`works[*work[...]]`). The general
+        // algorithm clones a claimed-children bitmap per partial state,
+        // which is quadratic in the collection size; here a single linear
+        // scan suffices and the semantics below are reproduced exactly.
+        if let [edge] = edges {
+            if edge.occ == Occ::Star {
+                return self.single_star(kids, edge);
+            }
+        }
+        let mut states: Vec<(Vec<bool>, BindingRow)> =
+            vec![(vec![false; kids.len()], BindingRow::new())];
+        for edge in edges {
+            self.spend(states.len() as u64)?;
+            let mut next: Vec<(Vec<bool>, BindingRow)> = Vec::new();
+            match edge.occ {
+                Occ::One | Occ::Opt => {
+                    for (claimed, row) in &states {
+                        let mut found = false;
+                        for (i, kid) in kids.iter().enumerate() {
+                            if claimed[i] {
+                                continue;
+                            }
+                            if let Some(subrows) = self.node(kid, &edge.pattern) {
+                                found = true;
+                                for sub in subrows {
+                                    if let Some(merged) = merge(row, &sub) {
+                                        let mut c = claimed.clone();
+                                        c[i] = true;
+                                        next.push((c, merged));
+                                    }
+                                }
+                            }
+                        }
+                        if !found && edge.occ == Occ::Opt {
+                            next.push((claimed.clone(), row.clone()));
+                        }
+                    }
+                }
+                Occ::Star => {
+                    let collect_var = match &edge.star_var {
+                        Some((v, StarBind::Collect)) => Some(v.clone()),
+                        _ => None,
+                    };
+                    let iter_var = match &edge.star_var {
+                        Some((v, StarBind::Iterate)) => Some(v.clone()),
+                        _ => None,
+                    };
+                    let inner_vars = !edge.pattern.variables().is_empty();
+                    if let Some(v) = collect_var {
+                        // Collect: claim every matching unclaimed child,
+                        // bind the collection. Inner bindings are not
+                        // exported (the variable denotes the collection).
+                        for (claimed, row) in &states {
+                            let mut c = claimed.clone();
+                            let mut coll = Vec::new();
+                            for (i, kid) in kids.iter().enumerate() {
+                                if c[i] {
+                                    continue;
+                                }
+                                if self.node(kid, &edge.pattern).is_some() {
+                                    c[i] = true;
+                                    coll.push(self.resolve(kid).clone());
+                                }
+                            }
+                            let mut row = row.clone();
+                            row.insert(v.clone(), Binding::Coll(coll));
+                            next.push((c, row));
+                        }
+                    } else if iter_var.is_some() || inner_vars {
+                        // Iterate: one successor state per matching child.
+                        for (claimed, row) in &states {
+                            for (i, kid) in kids.iter().enumerate() {
+                                if claimed[i] {
+                                    continue;
+                                }
+                                if let Some(subrows) = self.node(kid, &edge.pattern) {
+                                    for sub in subrows {
+                                        let mut merged = match merge(row, &sub) {
+                                            Some(m) => m,
+                                            None => continue,
+                                        };
+                                        if let Some(v) = &iter_var {
+                                            // the variable sees through
+                                            // references, like the match
+                                            merged.insert(
+                                                v.clone(),
+                                                Binding::Tree(self.resolve(kid).clone()),
+                                            );
+                                        }
+                                        let mut c = claimed.clone();
+                                        c[i] = true;
+                                        next.push((c, merged));
+                                    }
+                                }
+                            }
+                        }
+                    } else {
+                        // Structural star: claim all matching children;
+                        // always succeeds (zero matches allowed).
+                        for (claimed, row) in &states {
+                            let mut c = claimed.clone();
+                            for (i, kid) in kids.iter().enumerate() {
+                                if !c[i] && self.node(kid, &edge.pattern).is_some() {
+                                    c[i] = true;
+                                }
+                            }
+                            next.push((c, row.clone()));
+                        }
+                    }
+                }
+            }
+            states = next;
+            if states.is_empty() {
+                return None;
+            }
+            // Reject over-ambiguous filters before they exhaust memory:
+            // each subsequent edge can multiply the state count, so the cap
+            // bounds peak allocation to MAX_STATES × max fan-out.
+            if states.len() > MAX_STATES {
+                return None;
+            }
+            self.spend(states.len() as u64)?;
+        }
+        if self.opts.closed {
+            states.retain(|(claimed, _)| claimed.iter().all(|&c| c));
+        }
+        let rows: Vec<BindingRow> = states.into_iter().map(|(_, r)| r).collect();
+        if rows.is_empty() {
+            None
+        } else {
+            Some(dedup_rows(rows))
+        }
+    }
+
+    /// Linear-time handling of a node whose filter is exactly one star
+    /// edge. Mirrors the general algorithm's semantics, including closed
+    /// matching (every child must be claimed).
+    fn single_star(&mut self, kids: &[Tree], edge: &Edge) -> Option<Vec<BindingRow>> {
+        self.spend(kids.len() as u64)?;
+        let collect_var = match &edge.star_var {
+            Some((v, StarBind::Collect)) => Some(v.clone()),
+            _ => None,
+        };
+        let iter_var = match &edge.star_var {
+            Some((v, StarBind::Iterate)) => Some(v.clone()),
+            _ => None,
+        };
+        let inner_vars = !edge.pattern.variables().is_empty();
+        if let Some(v) = collect_var {
+            let mut coll = Vec::new();
+            let mut matched = 0usize;
+            for kid in kids {
+                if self.node(kid, &edge.pattern).is_some() {
+                    matched += 1;
+                    coll.push(self.resolve(kid).clone());
+                }
+            }
+            if self.opts.closed && matched != kids.len() {
+                return None;
+            }
+            let mut row = BindingRow::new();
+            row.insert(v, Binding::Coll(coll));
+            Some(vec![row])
+        } else if iter_var.is_some() || inner_vars {
+            // iterate: one row per matching child; under closed matching a
+            // state claims only its own child, so rows survive only when
+            // there is nothing else to claim
+            if self.opts.closed && kids.len() > 1 {
+                return None;
+            }
+            let mut rows = Vec::new();
+            for kid in kids {
+                if let Some(subrows) = self.node(kid, &edge.pattern) {
+                    for mut sub in subrows {
+                        if let Some(v) = &iter_var {
+                            sub.insert(v.clone(), Binding::Tree(self.resolve(kid).clone()));
+                        }
+                        rows.push(sub);
+                    }
+                }
+            }
+            if rows.is_empty() {
+                None
+            } else {
+                Some(dedup_rows(rows))
+            }
+        } else {
+            // structural: always succeeds open; closed requires all
+            // children to match
+            if self.opts.closed {
+                for kid in kids {
+                    self.node(kid, &edge.pattern)?;
+                }
+            }
+            Some(vec![BindingRow::new()])
+        }
+    }
+}
+
+/// Merges two rows; `None` when a shared variable is bound to different
+/// values (can only happen with variables repeated across union branches).
+fn merge(a: &BindingRow, b: &BindingRow) -> Option<BindingRow> {
+    let mut out = a.clone();
+    for (k, v) in b {
+        match out.get(k) {
+            Some(existing) if existing != v => return None,
+            _ => {
+                out.insert(k.clone(), v.clone());
+            }
+        }
+    }
+    Some(out)
+}
+
+fn dedup_rows(mut rows: Vec<BindingRow>) -> Vec<BindingRow> {
+    // distinct embeddings may produce identical rows (e.g. wildcard
+    // edges); keep first occurrences, preserving order. Keyed by a
+    // canonical string so dedup stays near-linear in the row count
+    // (pairwise structural comparison made large Binds quadratic).
+    if rows.len() < 2 {
+        return rows;
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    rows.retain(|r| seen.insert(row_key(r)));
+    rows
+}
+
+fn row_key(row: &BindingRow) -> String {
+    let mut out = String::new();
+    for (k, v) in row {
+        out.push_str(k);
+        out.push('\u{1}');
+        binding_key(v, &mut out);
+        out.push('\u{2}');
+    }
+    out
+}
+
+fn binding_key(b: &Binding, out: &mut String) {
+    match b {
+        Binding::Tree(t) => {
+            out.push('T');
+            out.push_str(&crate::tree::Node::group_key(t));
+        }
+        Binding::Label(l) => {
+            out.push('L');
+            out.push_str(l);
+        }
+        Binding::Coll(c) => {
+            out.push('C');
+            for t in c {
+                out.push_str(&crate::tree::Node::group_key(t));
+                out.push(';');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::{Atom, AtomType};
+    use crate::oid::Oid;
+    use crate::pattern::Edge;
+    use crate::tree::Node;
+
+    fn work(artist: &str, title: &str, extra: Vec<Tree>) -> Tree {
+        let mut children = vec![
+            Node::elem("artist", artist),
+            Node::elem("title", title),
+            Node::elem("style", "Impressionist"),
+            Node::elem("size", "21 x 61"),
+        ];
+        children.extend(extra);
+        Node::sym("work", children)
+    }
+
+    fn works() -> Tree {
+        Node::sym(
+            "works",
+            vec![
+                work(
+                    "Claude Monet",
+                    "Nympheas",
+                    vec![Node::elem("cplace", "Giverny")],
+                ),
+                work(
+                    "Claude Monet",
+                    "Waterloo Bridge",
+                    vec![Node::sym(
+                        "history",
+                        vec![
+                            Node::atom("Painted with"),
+                            Node::elem("technique", "Oil on canvas"),
+                        ],
+                    )],
+                ),
+            ],
+        )
+    }
+
+    /// The Fig. 4 filter: binds title, artist, style, size and the
+    /// collection of optional fields of every work.
+    fn fig4_filter() -> Filter {
+        Pattern::sym(
+            "works",
+            vec![Edge::star(Pattern::sym(
+                "work",
+                vec![
+                    Edge::one(Pattern::elem_var("title", "t")),
+                    Edge::one(Pattern::elem_var("artist", "a")),
+                    Edge::one(Pattern::elem_var("style", "s")),
+                    Edge::one(Pattern::elem_var("size", "si")),
+                    Edge::star_collect("fields", Pattern::Wildcard),
+                ],
+            ))],
+        )
+    }
+
+    fn tree_of(row: &BindingRow, var: &str) -> Tree {
+        match &row[var] {
+            Binding::Tree(t) => t.clone(),
+            other => panic!("expected tree binding for {var}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fig4_bind_semantics() {
+        let rows = match_filter(&works(), &fig4_filter(), MatchOptions::default());
+        assert_eq!(rows.len(), 2, "one row per work");
+        let titles: Vec<String> = rows
+            .iter()
+            .map(|r| tree_of(r, "t").value_atom().unwrap().to_string())
+            .collect();
+        assert_eq!(titles, vec!["Nympheas", "Waterloo Bridge"]);
+        // $fields holds the *collection* of optional elements
+        match &rows[0]["fields"] {
+            Binding::Coll(c) => {
+                assert_eq!(c.len(), 1);
+                assert_eq!(c[0].label.as_sym(), Some("cplace"));
+            }
+            other => panic!("expected collection, got {other:?}"),
+        }
+        match &rows[1]["fields"] {
+            Binding::Coll(c) => assert_eq!(c[0].label.as_sym(), Some("history")),
+            other => panic!("expected collection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_instance_yields_no_rows() {
+        let f = Pattern::sym(
+            "works",
+            vec![Edge::star(Pattern::sym(
+                "work",
+                vec![Edge::one(Pattern::elem_var("price", "p"))],
+            ))],
+        );
+        // no work has a price: star edge with inner vars iterates matches;
+        // zero matches means... zero rows, but the works node itself matches
+        let rows = match_filter(&works(), &f, MatchOptions::default());
+        assert!(rows.is_empty());
+
+        // wrong root label
+        let f2 = Pattern::sym("artifacts", vec![]);
+        assert!(match_filter(&works(), &f2, MatchOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn one_edge_is_existential_and_iterating() {
+        // Q1-style: navigate to works that have a cplace
+        let f = Pattern::sym(
+            "works",
+            vec![Edge::star(Pattern::sym(
+                "work",
+                vec![
+                    Edge::one(Pattern::elem_var("title", "t")),
+                    Edge::one(Pattern::elem_var("cplace", "cl")),
+                ],
+            ))],
+        );
+        let rows = match_filter(&works(), &f, MatchOptions::default());
+        assert_eq!(rows.len(), 1);
+        assert_eq!(
+            tree_of(&rows[0], "cl").value_atom().unwrap().to_string(),
+            "Giverny"
+        );
+    }
+
+    #[test]
+    fn constant_filters_select() {
+        let f = Pattern::sym(
+            "works",
+            vec![Edge::star(Pattern::sym(
+                "work",
+                vec![
+                    Edge::one(Pattern::elem_var("title", "t")),
+                    Edge::one(Pattern::elem_const("cplace", "Giverny")),
+                ],
+            ))],
+        );
+        assert_eq!(match_filter(&works(), &f, MatchOptions::default()).len(), 1);
+        // with a variable present the star edge iterates, so a constant
+        // that matches nothing yields no rows
+        let f2 = Pattern::sym(
+            "works",
+            vec![Edge::star(Pattern::sym(
+                "work",
+                vec![
+                    Edge::one(Pattern::elem_var("title", "t")),
+                    Edge::one(Pattern::elem_const("cplace", "Paris")),
+                ],
+            ))],
+        );
+        assert!(match_filter(&works(), &f2, MatchOptions::default()).is_empty());
+        // a fully variable-free star edge is structural: it never fails,
+        // it just claims matching children (zero here)
+        let f3 = Pattern::sym(
+            "works",
+            vec![Edge::star(Pattern::sym(
+                "work",
+                vec![Edge::one(Pattern::elem_const("cplace", "Paris"))],
+            ))],
+        );
+        assert_eq!(
+            match_filter(&works(), &f3, MatchOptions::default()).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn label_variables_bind_tags() {
+        // retrieve the attribute names of a person tuple (Section 5.1)
+        let person = Node::sym(
+            "tuple",
+            vec![
+                Node::elem("name", "Doctor X"),
+                Node::elem("auction", 1_500_000.0),
+            ],
+        );
+        let f = Pattern::sym(
+            "tuple",
+            vec![Edge::star_iter(
+                "field",
+                Pattern::Node {
+                    label: PLabel::Var("n".into()),
+                    edges: vec![Edge::one(Pattern::Wildcard)],
+                },
+            )],
+        );
+        let rows = match_filter(&person, &f, MatchOptions::default());
+        assert_eq!(rows.len(), 2);
+        let names: Vec<&str> = rows
+            .iter()
+            .map(|r| match &r["n"] {
+                Binding::Label(s) => s.as_str(),
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        assert_eq!(names, vec!["name", "auction"]);
+    }
+
+    #[test]
+    fn typed_and_any_labels() {
+        let t = Node::elem("year", 1897);
+        assert!(matches(
+            &t,
+            &Pattern::elem_typed("year", AtomType::Int),
+            MatchOptions::default()
+        ));
+        assert!(!matches(
+            &t,
+            &Pattern::elem_typed("year", AtomType::Str),
+            MatchOptions::default()
+        ));
+        assert!(matches(&t, &Pattern::Wildcard, MatchOptions::default()));
+        let anysym = Pattern::Node {
+            label: PLabel::AnySym,
+            edges: vec![],
+        };
+        assert!(!matches(&Node::atom(5), &anysym, MatchOptions::default()));
+        assert!(matches(
+            &Node::sym("x", vec![]),
+            &anysym,
+            MatchOptions::default()
+        ));
+    }
+
+    #[test]
+    fn union_first_match_wins() {
+        let f = Pattern::Union(vec![
+            Pattern::elem_var("year", "y"),
+            Pattern::TreeVar("other".into()),
+        ]);
+        let rows = match_filter(&Node::elem("year", 1897), &f, MatchOptions::default());
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].contains_key("y"));
+        assert!(!rows[0].contains_key("other"));
+
+        let rows = match_filter(
+            &Node::elem("style", "Impressionist"),
+            &f,
+            MatchOptions::default(),
+        );
+        assert!(rows[0].contains_key("other"));
+    }
+
+    #[test]
+    fn refs_resolve_through_model() {
+        let model = Model::new("m").with("V", Pattern::elem_var("year", "y"));
+        let f = Pattern::Ref("V".into());
+        let rows = match_filter(
+            &Node::elem("year", 1897),
+            &f,
+            MatchOptions {
+                model: Some(&model),
+                ..Default::default()
+            },
+        );
+        assert_eq!(rows.len(), 1);
+        // unknown ref matches nothing
+        let f2 = Pattern::Ref("Missing".into());
+        assert!(match_filter(
+            &Node::elem("year", 1897),
+            &f2,
+            MatchOptions {
+                model: Some(&model),
+                ..Default::default()
+            }
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn reference_following_through_forest() {
+        let mut forest = Forest::new();
+        forest.insert(
+            "persons",
+            crate::forest::identified_person("p1", "Doctor X", 10.0),
+        );
+        let owners = Node::sym("owners", vec![Node::reference(Oid::new("p1"))]);
+        let f = Pattern::sym(
+            "owners",
+            vec![Edge::star(Pattern::sym(
+                "person",
+                vec![Edge::one(Pattern::sym(
+                    "tuple",
+                    vec![
+                        Edge::one(Pattern::elem_var("name", "o")),
+                        Edge::one(Pattern::elem_var("auction", "au")),
+                    ],
+                ))],
+            ))],
+        );
+        // without forest: reference leaf does not match
+        assert!(match_filter(&owners, &f, MatchOptions::default()).is_empty());
+        // with forest: dereference, skip oid wrapper, match
+        let rows = match_filter(
+            &owners,
+            &f,
+            MatchOptions {
+                forest: Some(&forest),
+                ..Default::default()
+            },
+        );
+        assert_eq!(rows.len(), 1);
+        assert_eq!(
+            tree_of(&rows[0], "o").value_atom().unwrap().to_string(),
+            "Doctor X"
+        );
+    }
+
+    #[test]
+    fn oid_wrapper_is_transparent() {
+        let obj = Node::oid(
+            Oid::new("a1"),
+            vec![Node::sym("class", vec![Node::elem("title", "Nympheas")])],
+        );
+        let f = Pattern::sym("class", vec![Edge::one(Pattern::elem_var("title", "t"))]);
+        let rows = match_filter(&obj, &f, MatchOptions::default());
+        assert_eq!(rows.len(), 1);
+        // but a TreeVar binds the identified node itself
+        let f2 = Pattern::TreeVar("x".into());
+        let rows = match_filter(&obj, &f2, MatchOptions::default());
+        assert!(matches!(&rows[0]["x"], Binding::Tree(t) if matches!(t.label, Label::Oid(_))));
+    }
+
+    #[test]
+    fn closed_matching_requires_exhaustive_claims() {
+        let w = work("Monet", "Nympheas", vec![]);
+        let partial = Pattern::sym("work", vec![Edge::one(Pattern::elem_var("title", "t"))]);
+        assert!(matches(&w, &partial, MatchOptions::default()));
+        assert!(!matches(
+            &w,
+            &partial,
+            MatchOptions {
+                closed: true,
+                ..Default::default()
+            }
+        ));
+        let full = Pattern::sym(
+            "work",
+            vec![
+                Edge::one(Pattern::elem_var("title", "t")),
+                Edge::star_collect("rest", Pattern::Wildcard),
+            ],
+        );
+        assert!(matches(
+            &w,
+            &full,
+            MatchOptions {
+                closed: true,
+                ..Default::default()
+            }
+        ));
+    }
+
+    #[test]
+    fn opt_edges() {
+        let f = Pattern::sym(
+            "work",
+            vec![
+                Edge::one(Pattern::elem_var("title", "t")),
+                Edge::opt(Pattern::elem_var("cplace", "cl")),
+            ],
+        );
+        let with = work("Monet", "Nympheas", vec![Node::elem("cplace", "Giverny")]);
+        let without = work("Monet", "Bridge", vec![]);
+        let r1 = match_filter(&with, &f, MatchOptions::default());
+        assert_eq!(r1.len(), 1);
+        assert!(r1[0].contains_key("cl"));
+        let r2 = match_filter(&without, &f, MatchOptions::default());
+        assert_eq!(r2.len(), 1);
+        assert!(!r2[0].contains_key("cl"));
+    }
+
+    #[test]
+    fn multiple_star_iteration_is_cartesian() {
+        let t = Node::sym(
+            "pairs",
+            vec![Node::elem("a", 1), Node::elem("a", 2), Node::elem("b", 10)],
+        );
+        let f = Pattern::sym(
+            "pairs",
+            vec![
+                Edge::star_iter(
+                    "x",
+                    Pattern::sym("a", vec![Edge::one(Pattern::TreeVar("xv".into()))]),
+                ),
+                Edge::star_iter(
+                    "y",
+                    Pattern::sym("b", vec![Edge::one(Pattern::TreeVar("yv".into()))]),
+                ),
+            ],
+        );
+        let rows = match_filter(&t, &f, MatchOptions::default());
+        assert_eq!(rows.len(), 2); // (a1,b10), (a2,b10)
+    }
+
+    #[test]
+    fn duplicate_rows_are_deduped() {
+        let t = Node::sym("d", vec![Node::atom(1), Node::atom(1)]);
+        let f = Pattern::sym("d", vec![Edge::one(Pattern::constant(1))]);
+        // two embeddings, identical (empty) rows -> one row
+        let rows = match_filter(&t, &f, MatchOptions::default());
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn fuel_guard_stops_explosion() {
+        // A node with many identical children and many wildcard-var edges:
+        // (50 choose 8) embeddings — must terminate via fuel, not hang.
+        let kids: Vec<Tree> = (0..50).map(|_| Node::atom(1)).collect();
+        let t = Node::sym("blow", kids);
+        let edges: Vec<Edge> = (0..8)
+            .map(|i| Edge::one(Pattern::TreeVar(format!("v{i}"))))
+            .collect();
+        let f = Pattern::sym("blow", edges);
+        let _ = match_filter(&t, &f, MatchOptions::default()); // must return
+    }
+
+    #[test]
+    fn atom_coercion_in_const_match() {
+        let t = Node::elem("year", 1897.0);
+        assert!(matches(
+            &t,
+            &Pattern::elem_const("year", 1897),
+            MatchOptions::default()
+        ));
+        assert!(matches(
+            &t,
+            &Pattern::elem_typed("year", AtomType::Float),
+            MatchOptions::default()
+        ));
+        assert_eq!(Atom::Int(1897), Atom::Float(1897.0));
+    }
+}

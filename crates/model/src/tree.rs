@@ -1,0 +1,292 @@
+//! YAT data trees: ordered, labeled, `Arc`-shared.
+
+use crate::atom::Atom;
+use crate::oid::Oid;
+use std::fmt;
+use std::sync::Arc;
+
+/// The label of a tree node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Label {
+    /// A symbol — an element tag or attribute name (`work`, `title`).
+    Sym(String),
+    /// An atomic value — always a leaf (`"Claude Monet"`, `1897`).
+    Atom(Atom),
+    /// An identifier naming this subtree (`a1`, or Skolem-minted
+    /// `artwork:0`). Identified nodes can be the target of references.
+    Oid(Oid),
+    /// A reference to an identified tree (`&p3`) — always a leaf.
+    Ref(Oid),
+}
+
+impl Label {
+    /// The symbol text, if this is a symbol label.
+    pub fn as_sym(&self) -> Option<&str> {
+        match self {
+            Label::Sym(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The atom, if this is an atom label.
+    pub fn as_atom(&self) -> Option<&Atom> {
+        match self {
+            Label::Atom(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Label::Sym(s) => write!(f, "{s}"),
+            Label::Atom(Atom::Str(s)) => write!(f, "{s:?}"),
+            Label::Atom(a) => write!(f, "{a}"),
+            Label::Oid(o) => write!(f, "{}", o.as_str()),
+            Label::Ref(o) => write!(f, "{o}"),
+        }
+    }
+}
+
+/// A tree node. Construct through the [`Node`] builder methods, which return
+/// [`Tree`] (`Arc<Node>`) so operators can alias subtrees without copying —
+/// `Bind` extracts subtrees into tables by reference; only the `Tree`
+/// operator allocates new structure (Section 3.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// This node's label.
+    pub label: Label,
+    /// Ordered children (XML is ordered; the algebra's horizontal
+    /// navigation relies on this order).
+    pub children: Vec<Tree>,
+}
+
+/// A shared, immutable YAT tree.
+pub type Tree = Arc<Node>;
+
+impl Node {
+    /// A symbol-labeled node with children.
+    pub fn sym(name: impl Into<String>, children: Vec<Tree>) -> Tree {
+        Arc::new(Node {
+            label: Label::Sym(name.into()),
+            children,
+        })
+    }
+
+    /// A symbol-labeled leaf wrapping a single atom child:
+    /// `title["Nympheas"]`. This is the shape XML elements with character
+    /// data convert to.
+    pub fn elem(name: impl Into<String>, value: impl Into<Atom>) -> Tree {
+        Node::sym(name, vec![Node::atom(value)])
+    }
+
+    /// An atomic leaf.
+    pub fn atom(value: impl Into<Atom>) -> Tree {
+        Arc::new(Node {
+            label: Label::Atom(value.into()),
+            children: Vec::new(),
+        })
+    }
+
+    /// An identified node (`a1[...]`).
+    pub fn oid(oid: Oid, children: Vec<Tree>) -> Tree {
+        Arc::new(Node {
+            label: Label::Oid(oid),
+            children,
+        })
+    }
+
+    /// A reference leaf (`&p3`).
+    pub fn reference(oid: Oid) -> Tree {
+        Arc::new(Node {
+            label: Label::Ref(oid),
+            children: Vec::new(),
+        })
+    }
+
+    /// The first child, for the common `elem` shape.
+    pub fn first_child(&self) -> Option<&Tree> {
+        self.children.first()
+    }
+
+    /// If this node is `sym[atom]` or itself an atom, return the atom.
+    /// This is the standard "value of an element" accessor: predicates like
+    /// `$y > 1800` apply it to bound subtrees.
+    pub fn value_atom(&self) -> Option<&Atom> {
+        match &self.label {
+            Label::Atom(a) => Some(a),
+            _ => match self.children.as_slice() {
+                [only] => only.label.as_atom(),
+                _ => None,
+            },
+        }
+    }
+
+    /// Children that are symbol-labeled `name`.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Tree> + 'a {
+        self.children
+            .iter()
+            .filter(move |c| c.label.as_sym() == Some(name))
+    }
+
+    /// First child labeled `name`.
+    pub fn child(&self, name: &str) -> Option<&Tree> {
+        self.children
+            .iter()
+            .find(|c| c.label.as_sym() == Some(name))
+    }
+
+    /// Total node count of the subtree (used by transfer accounting).
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(|c| c.size()).sum::<usize>()
+    }
+
+    /// Depth of the subtree (a single node has depth 1).
+    pub fn depth(&self) -> usize {
+        1 + self.children.iter().map(|c| c.depth()).max().unwrap_or(0)
+    }
+
+    /// Structural equality on trees. `PartialEq` already provides this; the
+    /// named form documents intent at call sites (e.g. `Union` dedup).
+    pub fn tree_eq(a: &Tree, b: &Tree) -> bool {
+        a == b
+    }
+
+    /// A stable textual key for grouping/dedup, cheaper than keeping parsed
+    /// trees as map keys. Two trees have equal keys iff structurally
+    /// equal — except identified subtrees, which key on their identity
+    /// alone (ODMG object semantics: two objects are the same iff they
+    /// have the same identifier, and identity joins must not serialize
+    /// object state).
+    pub fn group_key(tree: &Tree) -> String {
+        let mut s = String::new();
+        write_key(tree, &mut s);
+        s
+    }
+}
+
+fn write_key(t: &Tree, out: &mut String) {
+    match &t.label {
+        Label::Sym(s) => {
+            out.push('s');
+            out.push_str(s);
+        }
+        Label::Atom(a) => {
+            out.push('a');
+            match a {
+                // normalize Int/Float so value-equal atoms share keys
+                Atom::Int(i) => out.push_str(&format!("n{}", *i as f64)),
+                Atom::Float(f) => out.push_str(&format!("n{f}")),
+                Atom::Bool(b) => out.push_str(&format!("b{b}")),
+                Atom::Str(s) => out.push_str(&format!("t{s}")),
+            }
+        }
+        Label::Oid(o) => {
+            // identity, not state: stop here
+            out.push('o');
+            out.push_str(o.as_str());
+            return;
+        }
+        Label::Ref(o) => {
+            out.push('r');
+            out.push_str(o.as_str());
+        }
+    }
+    out.push('(');
+    for c in &t.children {
+        write_key(c, out);
+        out.push(',');
+    }
+    out.push(')');
+}
+
+/// YAT textual syntax: `work[title["Nympheas"], year[1897]]`.
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label)?;
+        if !self.children.is_empty() {
+            write!(f, "[")?;
+            for (i, c) in self.children.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", c)?;
+            }
+            write!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monet_work() -> Tree {
+        Node::sym(
+            "work",
+            vec![
+                Node::elem("artist", "Claude Monet"),
+                Node::elem("title", "Nympheas"),
+                Node::elem("year", 1897),
+            ],
+        )
+    }
+
+    #[test]
+    fn builders_and_accessors() {
+        let w = monet_work();
+        assert_eq!(w.label.as_sym(), Some("work"));
+        assert_eq!(w.children.len(), 3);
+        assert_eq!(
+            w.child("title").unwrap().value_atom(),
+            Some(&Atom::Str("Nympheas".into()))
+        );
+        assert_eq!(
+            w.child("year").unwrap().value_atom(),
+            Some(&Atom::Int(1897))
+        );
+        assert!(w.child("price").is_none());
+    }
+
+    #[test]
+    fn size_and_depth() {
+        let w = monet_work();
+        assert_eq!(w.size(), 7); // work + 3 elems + 3 atoms
+        assert_eq!(w.depth(), 3);
+        assert_eq!(Node::atom(1).size(), 1);
+        assert_eq!(Node::atom(1).depth(), 1);
+    }
+
+    #[test]
+    fn display_yat_syntax() {
+        let w = Node::sym(
+            "t",
+            vec![Node::elem("a", 1), Node::reference(Oid::new("p1"))],
+        );
+        assert_eq!(w.to_string(), "t[a[1], &p1]");
+        let o = Node::oid(Oid::new("a1"), vec![Node::atom("x")]);
+        assert_eq!(o.to_string(), "a1[\"x\"]");
+    }
+
+    #[test]
+    fn group_key_distinguishes_structure_but_coerces_numbers() {
+        let a = Node::elem("year", 1897);
+        let b = Node::elem("year", 1897.0);
+        let c = Node::elem("year", 1898);
+        assert_eq!(Node::group_key(&a), Node::group_key(&b));
+        assert_ne!(Node::group_key(&a), Node::group_key(&c));
+        // string "1897" differs from number 1897
+        let d = Node::elem("year", "1897");
+        assert_ne!(Node::group_key(&a), Node::group_key(&d));
+    }
+
+    #[test]
+    fn subtree_sharing_is_by_pointer() {
+        let shared = Node::elem("artist", "Monet");
+        let t1 = Node::sym("w1", vec![shared.clone()]);
+        let t2 = Node::sym("w2", vec![shared.clone()]);
+        assert!(Arc::ptr_eq(&t1.children[0], &t2.children[0]));
+    }
+}

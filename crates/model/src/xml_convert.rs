@@ -1,0 +1,222 @@
+//! Conversion between XML documents and YAT trees.
+//!
+//! Wrappers "communicate data, structures and operations in XML"
+//! (Section 2). This module fixes the generic encoding:
+//!
+//! * an element becomes a symbol node; character data becomes an atom leaf
+//!   (typed by [`Atom::parse_guess`] in the absence of a schema);
+//! * an attribute `k="v"` becomes a child `@k[v]` — except the two
+//!   identity conventions from the paper's Fig. 1: `id="a1"` makes the
+//!   tree an identified node and `refs="p1 p2"` expands into reference
+//!   leaves;
+//! * the inverse direction maps symbol nodes back to elements, `@`-children
+//!   back to attributes, atoms to text, identified nodes to `id`
+//!   attributes and reference leaves to `<ref id=../>` elements.
+
+use crate::atom::Atom;
+use crate::oid::Oid;
+use crate::tree::{Label, Node, Tree};
+use yat_xml::{Content, Element};
+
+/// Prefix marking attribute-derived children.
+pub const ATTR_PREFIX: char = '@';
+
+/// Converts an XML element into a YAT tree.
+pub fn tree_from_xml(el: &Element) -> Tree {
+    let mut children: Vec<Tree> = Vec::new();
+    let mut id: Option<Oid> = None;
+    for a in &el.attributes {
+        match a.name.as_str() {
+            "id" => id = Some(Oid::new(a.value.clone())),
+            "refs" => {
+                for r in a.value.split_whitespace() {
+                    children.push(Node::reference(Oid::new(r)));
+                }
+            }
+            _ => children.push(Node::sym(
+                format!("{ATTR_PREFIX}{}", a.name),
+                vec![Node::atom(Atom::parse_guess(&a.value))],
+            )),
+        }
+    }
+    for c in &el.children {
+        match c {
+            Content::Element(e) => children.push(tree_from_xml(e)),
+            Content::Text(t) | Content::CData(t) => {
+                if !t.trim().is_empty() {
+                    children.push(Node::atom(Atom::parse_guess(t)));
+                }
+            }
+            Content::Comment(_) | Content::ProcessingInstruction { .. } => {}
+        }
+    }
+    let body = Node::sym(el.name.clone(), children);
+    match id {
+        Some(oid) => Node::oid(oid, vec![body]),
+        None => body,
+    }
+}
+
+/// Converts a YAT tree back to XML.
+///
+/// Atom leaves that are the sole child become text; atom leaves among
+/// siblings become text items in mixed content. Non-symbol roots (bare
+/// atoms, references) are wrapped in a `value`/`ref` element so the result
+/// is always well-formed.
+pub fn tree_to_xml(tree: &Tree) -> Element {
+    match &tree.label {
+        Label::Sym(name) => {
+            let mut el = Element::new(name.clone());
+            fill_children(&mut el, &tree.children);
+            el
+        }
+        Label::Oid(oid) => {
+            // identified node: id attribute on the (single) body element
+            match tree.children.as_slice() {
+                [only] => {
+                    let mut el = tree_to_xml(only);
+                    el.set_attr("id", oid.as_str());
+                    el
+                }
+                _ => {
+                    let mut el = Element::new("object");
+                    el.set_attr("id", oid.as_str());
+                    fill_children(&mut el, &tree.children);
+                    el
+                }
+            }
+        }
+        Label::Ref(oid) => Element::new("ref").with_attr("id", oid.as_str()),
+        Label::Atom(a) => Element::new("value").with_text(a.to_string()),
+    }
+}
+
+fn fill_children(el: &mut Element, children: &[Tree]) {
+    for c in children {
+        match &c.label {
+            Label::Atom(a) if c.children.is_empty() => el.push_text(a.to_string()),
+            Label::Sym(s) if s.starts_with(ATTR_PREFIX) && c.children.len() == 1 => {
+                if let Label::Atom(a) = &c.children[0].label {
+                    el.set_attr(&s[1..], a.to_string());
+                } else {
+                    el.push_element(tree_to_xml(c));
+                }
+            }
+            Label::Ref(oid) => {
+                // accumulate sibling references into a refs attribute when
+                // they are the only children (the Fig. 1 owners shape)
+                if children.iter().all(|k| matches!(k.label, Label::Ref(_))) {
+                    let joined = children
+                        .iter()
+                        .filter_map(|k| match &k.label {
+                            Label::Ref(o) => Some(o.as_str()),
+                            _ => None,
+                        })
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    el.set_attr("refs", joined);
+                    return;
+                }
+                el.push_element(Element::new("ref").with_attr("id", oid.as_str()));
+            }
+            _ => el.push_element(tree_to_xml(c)),
+        }
+    }
+}
+
+/// Parses an XML string straight into a tree.
+pub fn parse_tree(xml: &str) -> Result<Tree, yat_xml::ParseError> {
+    Ok(tree_from_xml(&yat_xml::parse_element(xml)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+
+    #[test]
+    fn fig1_object_conversion() {
+        let t = parse_tree(
+            r#"<object id="a1" class="artifact">
+                 <title> Nympheas </title>
+                 <year> 1897 </year>
+                 <creator> Claude Monet </creator>
+                 <owners refs="p1 p2 p3"/>
+               </object>"#,
+        )
+        .unwrap();
+        // identified wrapper
+        assert!(matches!(&t.label, Label::Oid(o) if o.as_str() == "a1"));
+        let body = &t.children[0];
+        assert_eq!(body.label.as_sym(), Some("object"));
+        assert_eq!(
+            body.child("@class").unwrap().value_atom().unwrap(),
+            &Atom::Str("artifact".into())
+        );
+        assert_eq!(
+            body.child("year").unwrap().value_atom().unwrap(),
+            &Atom::Int(1897)
+        );
+        let owners = body.child("owners").unwrap();
+        assert_eq!(owners.children.len(), 3);
+        assert!(matches!(&owners.children[0].label, Label::Ref(o) if o.as_str() == "p1"));
+    }
+
+    #[test]
+    fn text_typing_guesses() {
+        let t = parse_tree("<size>21.5</size>").unwrap();
+        assert_eq!(t.value_atom().unwrap(), &Atom::Float(21.5));
+        let t = parse_tree("<size>21 x 61</size>").unwrap();
+        assert_eq!(t.value_atom().unwrap(), &Atom::Str("21 x 61".into()));
+    }
+
+    #[test]
+    fn roundtrip_object_shape() {
+        let xml = r#"<object id="a1" class="artifact"><title>Nympheas</title><owners refs="p1 p2"/></object>"#;
+        let t = parse_tree(xml).unwrap();
+        let back = tree_to_xml(&t);
+        let t2 = tree_from_xml(&back);
+        assert_eq!(t, t2, "tree → xml → tree must be identity\nxml: {back}");
+    }
+
+    #[test]
+    fn roundtrip_mixed_content() {
+        let xml = "<history>Painted with<technique>Oil on canvas</technique>in ...</history>";
+        let t = parse_tree(xml).unwrap();
+        assert_eq!(t.children.len(), 3);
+        let back = tree_to_xml(&t);
+        assert_eq!(tree_from_xml(&back), t);
+    }
+
+    #[test]
+    fn non_symbol_roots_are_wrapped() {
+        let atom = Node::atom(42);
+        assert_eq!(tree_to_xml(&atom).to_xml(), "<value>42</value>");
+        let r = Node::reference(Oid::new("p1"));
+        assert_eq!(tree_to_xml(&r).to_xml(), r#"<ref id="p1"/>"#);
+    }
+
+    #[test]
+    fn identified_multi_child_uses_object_wrapper() {
+        let t = Node::oid(Oid::new("x1"), vec![Node::elem("a", 1), Node::elem("b", 2)]);
+        let el = tree_to_xml(&t);
+        assert_eq!(el.name, "object");
+        assert_eq!(el.attr("id"), Some("x1"));
+    }
+
+    #[test]
+    fn mixed_refs_and_elements_stay_elements() {
+        let t = Node::sym(
+            "owners",
+            vec![
+                Node::reference(Oid::new("p1")),
+                Node::elem("note", "primary"),
+            ],
+        );
+        let el = tree_to_xml(&t);
+        // cannot use refs= attribute: a non-ref sibling exists
+        assert!(el.attr("refs").is_none());
+        assert_eq!(el.child("ref").unwrap().attr("id"), Some("p1"));
+        assert_eq!(tree_from_xml(&el).children.len(), 2);
+    }
+}

@@ -1,0 +1,284 @@
+//! The paper's `art` schema (Fig. 3) and a seeded synthetic database
+//! generator (the substitute for the authors' O2 `art` base).
+
+use crate::store::Store;
+use crate::types::{ClassDef, MethodDef, Schema, Type};
+use crate::value::OVal;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use yat_model::Oid;
+
+/// The `art` schema: `Artifact` (extent `artifacts`) and `Person`
+/// (extent `persons`), with the wrapped method `current_price`.
+pub fn art_schema() -> Schema {
+    Schema::new()
+        .with_class(ClassDef {
+            name: "Person".into(),
+            ty: Type::tuple(vec![("name", Type::string()), ("auction", Type::float())]),
+            extent: Some("persons".into()),
+            methods: vec![],
+        })
+        .with_class(ClassDef {
+            name: "Artifact".into(),
+            ty: Type::tuple(vec![
+                ("title", Type::string()),
+                ("year", Type::int()),
+                ("creator", Type::string()),
+                ("price", Type::float()),
+                ("owners", Type::list_of_class("Person")),
+            ]),
+            extent: Some("artifacts".into()),
+            methods: vec![MethodDef {
+                name: "current_price".into(),
+                returns: Type::float(),
+            }],
+        })
+}
+
+/// Parameters of the synthetic cultural-goods workload. The same spec
+/// drives the Wais generator in `yat-wais`, so titles/artists overlap
+/// across sources exactly as the integration view expects.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArtSpec {
+    /// Number of artifacts in the O2 database.
+    pub artifacts: usize,
+    /// Number of persons (owners) in the O2 database.
+    pub persons: usize,
+    /// RNG seed (all generation is deterministic given the spec).
+    pub seed: u64,
+}
+
+impl Default for ArtSpec {
+    fn default() -> Self {
+        ArtSpec {
+            artifacts: 50,
+            persons: 20,
+            seed: 42,
+        }
+    }
+}
+
+/// The artist pool shared with the Wais generator.
+pub const ARTISTS: &[&str] = &[
+    "Claude Monet",
+    "Paul Cézanne",
+    "Berthe Morisot",
+    "Edgar Degas",
+    "Camille Pissarro",
+    "Auguste Renoir",
+    "Mary Cassatt",
+    "Alfred Sisley",
+];
+
+/// Deterministic title for artifact `i` (shared with the Wais generator:
+/// the first `min(artifacts, works)` titles coincide, giving the join its
+/// overlap).
+pub fn title_of(i: usize) -> String {
+    format!("Composition No. {i}")
+}
+
+/// Deterministic artist for artifact `i`.
+pub fn artist_of(i: usize) -> &'static str {
+    ARTISTS[i % ARTISTS.len()]
+}
+
+/// Deterministic creation year for artifact `i`: four of five artifacts
+/// are post-1800 (the view keeps `year > 1800`).
+pub fn year_of(i: usize, rng: &mut StdRng) -> i64 {
+    if i % 5 == 4 {
+        1700 + (rng.gen_range(0..100))
+    } else {
+        1801 + (rng.gen_range(0..129))
+    }
+}
+
+/// Builds and populates the `art` database.
+pub fn art_store(spec: &ArtSpec) -> Store {
+    let mut store = Store::new(art_schema());
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+
+    for p in 0..spec.persons {
+        let oid = Oid::new(format!("p{p}"));
+        let auction = 10_000.0 + rng.gen_range(0..200) as f64 * 10_000.0;
+        store
+            .insert(
+                oid,
+                "Person",
+                OVal::tuple(vec![
+                    ("name", OVal::str(format!("Collector {p}"))),
+                    ("auction", OVal::float(auction)),
+                ]),
+            )
+            .expect("Person is in the schema");
+    }
+
+    for a in 0..spec.artifacts {
+        let oid = Oid::new(format!("a{a}"));
+        let n_owners = 1 + rng.gen_range(0..3usize).min(spec.persons.saturating_sub(1));
+        let owners: Vec<OVal> = (0..n_owners)
+            .map(|_| {
+                OVal::Ref(Oid::new(format!(
+                    "p{}",
+                    rng.gen_range(0..spec.persons.max(1))
+                )))
+            })
+            .collect();
+        let price = 50_000.0 + rng.gen_range(0..100) as f64 * 5_000.0;
+        store
+            .insert(
+                oid,
+                "Artifact",
+                OVal::tuple(vec![
+                    ("title", OVal::str(title_of(a))),
+                    ("year", OVal::int(year_of(a, &mut rng))),
+                    ("creator", OVal::str(artist_of(a))),
+                    ("price", OVal::float(price)),
+                    ("owners", OVal::Coll(crate::types::CollKind::List, owners)),
+                ]),
+            )
+            .expect("Artifact is in the schema");
+    }
+
+    // current_price: the asking price marked up by 5% — a deterministic
+    // stand-in for the O2 method the paper wraps
+    store.install_method("current_price", |_, obj| {
+        let p = obj
+            .value
+            .field("price")
+            .and_then(|v| v.atom())
+            .and_then(|a| a.as_f64())
+            .unwrap_or(0.0);
+        Ok(OVal::float(p * 1.05))
+    });
+
+    store
+}
+
+/// The tiny Fig. 1 database: Nympheas (a1) owned by p1–p3.
+pub fn fig1_store() -> Store {
+    let mut store = Store::new(art_schema());
+    for (i, (name, auction)) in [
+        ("Museum Y", 0.0),
+        ("Gallery Z", 500_000.0),
+        ("Doctor X", 1_500_000.0),
+    ]
+    .iter()
+    .enumerate()
+    {
+        store
+            .insert(
+                Oid::new(format!("p{}", i + 1)),
+                "Person",
+                OVal::tuple(vec![
+                    ("name", OVal::str(*name)),
+                    ("auction", OVal::float(*auction)),
+                ]),
+            )
+            .expect("schema has Person");
+    }
+    store
+        .insert(
+            Oid::new("a1"),
+            "Artifact",
+            OVal::tuple(vec![
+                ("title", OVal::str("Nympheas")),
+                ("year", OVal::int(1897)),
+                ("creator", OVal::str("Claude Monet")),
+                ("price", OVal::float(150_000.0)),
+                ("owners", OVal::ref_list(&["p1", "p2", "p3"])),
+            ]),
+        )
+        .expect("schema has Artifact");
+    store
+        .insert(
+            Oid::new("a2"),
+            "Artifact",
+            OVal::tuple(vec![
+                ("title", OVal::str("Waterloo Bridge")),
+                ("year", OVal::int(1903)),
+                ("creator", OVal::str("Claude Monet")),
+                ("price", OVal::float(250_000.0)),
+                ("owners", OVal::ref_list(&["p2"])),
+            ]),
+        )
+        .expect("schema has Artifact");
+    store.install_method("current_price", |_, obj| {
+        let p = obj
+            .value
+            .field("price")
+            .and_then(|v| v.atom())
+            .and_then(|a| a.as_f64())
+            .unwrap_or(0.0);
+        Ok(OVal::float(p * 1.05))
+    });
+    store
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oql::run;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let spec = ArtSpec {
+            artifacts: 10,
+            persons: 5,
+            seed: 7,
+        };
+        let a = art_store(&spec);
+        let b = art_store(&spec);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), 15);
+        let oid = Oid::new("a3");
+        assert_eq!(a.object(&oid).unwrap().value, b.object(&oid).unwrap().value);
+    }
+
+    #[test]
+    fn fig1_database_answers_the_paper_query() {
+        // the Section 4.1 OQL translation, against the Fig. 1 data
+        let store = fig1_store();
+        let rows = run(
+            "select t: A.title, y: A.year, c: A.creator, p: A.price, \
+                    n: O.name, au: O.auction \
+             from A in artifacts, O in A.owners \
+             where A.year > 1800",
+            &store,
+        )
+        .unwrap();
+        // a1 has 3 owners, a2 has 1 → 4 rows
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| r["t"].atom().is_some()));
+        let names: Vec<String> = rows.iter().map(|r| r["n"].to_string()).collect();
+        assert!(names.contains(&"\"Doctor X\"".to_string()), "{names:?}");
+    }
+
+    #[test]
+    fn current_price_method() {
+        let store = fig1_store();
+        let rows = run(
+            "select t: A.title, cp: A.current_price from A in artifacts \
+             where A.current_price <= 200000.00",
+            &store,
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0]["cp"], OVal::float(157_500.0));
+    }
+
+    #[test]
+    fn year_distribution_mostly_modern() {
+        let spec = ArtSpec {
+            artifacts: 100,
+            persons: 10,
+            seed: 1,
+        };
+        let store = art_store(&spec);
+        let rows = run(
+            "select y: A.year from A in artifacts where A.year > 1800",
+            &store,
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 80, "4/5 artifacts are post-1800");
+    }
+}

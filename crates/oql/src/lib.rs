@@ -1,0 +1,36 @@
+//! # yat-oql — an ODMG object database with an OQL subset, and the O2 wrapper
+//!
+//! The paper's structured source is an O2 object database holding the `art`
+//! trading schema (Fig. 3 left) and queried through OQL. This crate is that
+//! substrate, built from scratch:
+//!
+//! * [`types`]/[`value`]/[`store`] — an in-memory ODMG-style object store:
+//!   classes with tuple types, `set`/`bag`/`list`/`array` collections,
+//!   object identity and references, named extents, and methods
+//!   (`current_price` on `Artifact`, Section 4);
+//! * [`oql`] — a `select`–`from`–`where` OQL evaluator with dependent
+//!   ranges (`O in A.owners`), path expressions through references, and
+//!   method calls;
+//! * [`art`] — the paper's `art` schema plus a seeded synthetic data
+//!   generator (replacing the authors' O2 `art` base — see DESIGN.md);
+//! * [`export`] — the generic export of O2 data and schema as YAT
+//!   trees/patterns ("it is easy to convert any data into XML, and to do
+//!   so in a generic fashion", Section 1);
+//! * [`translate`] — pushed algebra plans → OQL text (the Section 4.1
+//!   translation: `Bind`+`Select` becomes a `select ... from ... where`);
+//! * [`wrapper`] — the `o2-wrapper` program: exports the Fig. 6 interface
+//!   and answers the XML wrapper protocol.
+
+pub mod art;
+pub mod export;
+pub mod oql;
+pub mod store;
+pub mod translate;
+pub mod types;
+pub mod value;
+pub mod wrapper;
+
+pub use store::Store;
+pub use types::{ClassDef, Schema, Type};
+pub use value::OVal;
+pub use wrapper::O2Wrapper;

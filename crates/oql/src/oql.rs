@@ -1,0 +1,560 @@
+//! A `select`–`from`–`where` OQL subset: parser and evaluator.
+//!
+//! Covers what the paper's wrapper emits (Section 4.1):
+//!
+//! ```text
+//! select t: A.title, y: A.year, c: A.creator, p: A.price,
+//!        o: O.name, au: O.auction
+//! from A in artifacts, O in A.owners
+//! where A.year > 1800
+//! ```
+//!
+//! Dependent ranges (`O in A.owners`), path navigation through references
+//! and method calls (`A.current_price`) are supported. Keywords are
+//! case-insensitive, as in OQL.
+
+use crate::store::{Object, OqlError, Store};
+use crate::value::OVal;
+use std::collections::BTreeMap;
+use std::fmt;
+use yat_model::Atom;
+
+/// A path expression: `A.owners.name`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path(pub Vec<String>);
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0.join("."))
+    }
+}
+
+/// A scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A path from a range variable or extent.
+    Path(Path),
+    /// A literal.
+    Const(Atom),
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Path(p) => write!(f, "{p}"),
+            Expr::Const(Atom::Str(s)) => write!(f, "{s:?}"),
+            Expr::Const(a) => write!(f, "{a}"),
+        }
+    }
+}
+
+/// A comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// `=`
+    Eq,
+    /// `!=` / `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl Op {
+    /// Surface syntax.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Op::Eq => "=",
+            Op::Ne => "!=",
+            Op::Lt => "<",
+            Op::Le => "<=",
+            Op::Gt => ">",
+            Op::Ge => ">=",
+        }
+    }
+}
+
+/// A predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cond {
+    /// Comparison.
+    Cmp(Op, Expr, Expr),
+    /// Conjunction.
+    And(Box<Cond>, Box<Cond>),
+    /// Disjunction.
+    Or(Box<Cond>, Box<Cond>),
+    /// Negation.
+    Not(Box<Cond>),
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cond::Cmp(op, l, r) => write!(f, "{l} {} {r}", op.symbol()),
+            Cond::And(a, b) => write!(f, "{a} and {b}"),
+            Cond::Or(a, b) => write!(f, "({a} or {b})"),
+            Cond::Not(c) => write!(f, "not ({c})"),
+        }
+    }
+}
+
+/// A parsed OQL query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// `(output name, expression)` pairs of the select clause.
+    pub projections: Vec<(String, Expr)>,
+    /// `(variable, source path)` pairs of the from clause, in order;
+    /// later ranges may depend on earlier variables.
+    pub ranges: Vec<(String, Path)>,
+    /// The where clause.
+    pub cond: Option<Cond>,
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "select ")?;
+        for (i, (n, e)) in self.projections.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{n}: {e}")?;
+        }
+        write!(f, " from ")?;
+        for (i, (v, p)) in self.ranges.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v} in {p}")?;
+        }
+        if let Some(c) = &self.cond {
+            write!(f, " where {c}")?;
+        }
+        Ok(())
+    }
+}
+
+// --------------------------------------------------------------- parsing
+
+/// Parses an OQL query.
+pub fn parse(src: &str) -> Result<Query, OqlError> {
+    let toks = lex(src)?;
+    let mut p = P { toks, pos: 0 };
+    let q = p.query()?;
+    if p.pos < p.toks.len() {
+        return Err(OqlError(format!("trailing input near `{}`", p.toks[p.pos])));
+    }
+    Ok(q)
+}
+
+fn lex(src: &str) -> Result<Vec<String>, OqlError> {
+    let mut out = Vec::new();
+    let mut cs = src.chars().peekable();
+    while let Some(&c) = cs.peek() {
+        if c.is_whitespace() {
+            cs.next();
+        } else if c.is_alphabetic() || c == '_' {
+            let mut s = String::new();
+            while matches!(cs.peek(), Some(c) if c.is_alphanumeric() || *c == '_') {
+                s.push(cs.next().expect("peeked"));
+            }
+            out.push(s);
+        } else if c.is_ascii_digit() {
+            let mut s = String::new();
+            while matches!(cs.peek(), Some(c) if c.is_ascii_digit() || *c == '.') {
+                s.push(cs.next().expect("peeked"));
+            }
+            out.push(s);
+        } else if c == '"' || c == '\'' {
+            cs.next();
+            let mut s = String::from("\u{2}"); // string marker
+            loop {
+                match cs.next() {
+                    Some(q) if q == c => break,
+                    Some(x) => s.push(x),
+                    None => return Err(OqlError("unterminated string".into())),
+                }
+            }
+            out.push(s);
+        } else {
+            cs.next();
+            match c {
+                ',' | '.' | ':' | '(' | ')' | '=' => out.push(c.to_string()),
+                '<' | '>' | '!' => {
+                    if cs.peek() == Some(&'=') {
+                        cs.next();
+                        out.push(format!("{c}="));
+                    } else if c == '<' && cs.peek() == Some(&'>') {
+                        cs.next();
+                        out.push("!=".into());
+                    } else if c == '!' {
+                        return Err(OqlError("`!` must be followed by `=`".into()));
+                    } else {
+                        out.push(c.to_string());
+                    }
+                }
+                other => return Err(OqlError(format!("unexpected character `{other}`"))),
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct P {
+    toks: Vec<String>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> Option<&str> {
+        self.toks.get(self.pos).map(String::as_str)
+    }
+
+    fn kw(&mut self, k: &str) -> bool {
+        if self.peek().map(|t| t.eq_ignore_ascii_case(k)) == Some(true) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, k: &str) -> Result<(), OqlError> {
+        if self.kw(k) {
+            Ok(())
+        } else {
+            Err(OqlError(format!(
+                "expected `{k}`, found `{}`",
+                self.peek().unwrap_or("end of input")
+            )))
+        }
+    }
+
+    fn tok(&mut self, t: &str) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, OqlError> {
+        match self.peek() {
+            Some(t)
+                if t.chars().next().map(|c| c.is_alphabetic() || c == '_') == Some(true)
+                    && !is_kw(t) =>
+            {
+                let s = t.to_string();
+                self.pos += 1;
+                Ok(s)
+            }
+            other => Err(OqlError(format!(
+                "expected identifier, found `{}`",
+                other.unwrap_or("end of input")
+            ))),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, OqlError> {
+        self.expect_kw("select")?;
+        let mut projections = vec![self.projection(0)?];
+        while self.tok(",") {
+            // ranges start after `from`; commas here are projections
+            projections.push(self.projection(projections.len())?);
+        }
+        self.expect_kw("from")?;
+        let mut ranges = vec![self.range()?];
+        while self.tok(",") {
+            ranges.push(self.range()?);
+        }
+        let cond = if self.kw("where") {
+            Some(self.cond()?)
+        } else {
+            None
+        };
+        Ok(Query {
+            projections,
+            ranges,
+            cond,
+        })
+    }
+
+    fn projection(&mut self, idx: usize) -> Result<(String, Expr), OqlError> {
+        // `name: expr` or bare expr
+        if let Some(t) = self.peek() {
+            if !is_kw(t)
+                && t.chars().next().map(|c| c.is_alphabetic()) == Some(true)
+                && self.toks.get(self.pos + 1).map(String::as_str) == Some(":")
+            {
+                let name = self.ident()?;
+                self.pos += 1; // ':'
+                let e = self.expr()?;
+                return Ok((name, e));
+            }
+        }
+        Ok((format!("c{idx}"), self.expr()?))
+    }
+
+    fn range(&mut self) -> Result<(String, Path), OqlError> {
+        let var = self.ident()?;
+        self.expect_kw("in")?;
+        let p = self.path()?;
+        Ok((var, p))
+    }
+
+    fn path(&mut self) -> Result<Path, OqlError> {
+        let mut parts = vec![self.ident()?];
+        while self.tok(".") {
+            parts.push(self.ident()?);
+        }
+        Ok(Path(parts))
+    }
+
+    fn expr(&mut self) -> Result<Expr, OqlError> {
+        match self.peek() {
+            Some(t) if t.starts_with('\u{2}') => {
+                let s = t[1..].to_string();
+                self.pos += 1;
+                Ok(Expr::Const(Atom::Str(s)))
+            }
+            Some(t) if t.chars().next().map(|c| c.is_ascii_digit()) == Some(true) => {
+                let a = if t.contains('.') {
+                    Atom::Float(
+                        t.parse()
+                            .map_err(|_| OqlError(format!("bad number `{t}`")))?,
+                    )
+                } else {
+                    Atom::Int(
+                        t.parse()
+                            .map_err(|_| OqlError(format!("bad number `{t}`")))?,
+                    )
+                };
+                self.pos += 1;
+                Ok(Expr::Const(a))
+            }
+            Some("true") => {
+                self.pos += 1;
+                Ok(Expr::Const(Atom::Bool(true)))
+            }
+            Some("false") => {
+                self.pos += 1;
+                Ok(Expr::Const(Atom::Bool(false)))
+            }
+            _ => Ok(Expr::Path(self.path()?)),
+        }
+    }
+
+    fn cond(&mut self) -> Result<Cond, OqlError> {
+        let mut left = self.cond_and()?;
+        while self.kw("or") {
+            let right = self.cond_and()?;
+            left = Cond::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn cond_and(&mut self) -> Result<Cond, OqlError> {
+        let mut left = self.cond_atom()?;
+        while self.kw("and") {
+            let right = self.cond_atom()?;
+            left = Cond::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn cond_atom(&mut self) -> Result<Cond, OqlError> {
+        if self.kw("not") {
+            return Ok(Cond::Not(Box::new(self.cond_atom()?)));
+        }
+        if self.tok("(") {
+            let c = self.cond()?;
+            if !self.tok(")") {
+                return Err(OqlError("expected `)`".into()));
+            }
+            return Ok(c);
+        }
+        let l = self.expr()?;
+        let op = match self.peek() {
+            Some("=") => Op::Eq,
+            Some("!=") => Op::Ne,
+            Some("<") => Op::Lt,
+            Some("<=") => Op::Le,
+            Some(">") => Op::Gt,
+            Some(">=") => Op::Ge,
+            other => {
+                return Err(OqlError(format!(
+                    "expected comparison, found `{}`",
+                    other.unwrap_or("end of input")
+                )))
+            }
+        };
+        self.pos += 1;
+        let r = self.expr()?;
+        Ok(Cond::Cmp(op, l, r))
+    }
+}
+
+fn is_kw(t: &str) -> bool {
+    ["select", "from", "where", "in", "and", "or", "not"]
+        .iter()
+        .any(|k| t.eq_ignore_ascii_case(k))
+}
+
+// ------------------------------------------------------------- evaluation
+
+/// A result row: projection name → value.
+pub type Row = BTreeMap<String, OVal>;
+
+/// Evaluates a query against a store, returning a bag of rows.
+pub fn eval(q: &Query, store: &Store) -> Result<Vec<Row>, OqlError> {
+    let mut rows = Vec::new();
+    let mut env: BTreeMap<String, OVal> = BTreeMap::new();
+    eval_ranges(q, store, 0, &mut env, &mut rows)?;
+    Ok(rows)
+}
+
+fn eval_ranges(
+    q: &Query,
+    store: &Store,
+    depth: usize,
+    env: &mut BTreeMap<String, OVal>,
+    rows: &mut Vec<Row>,
+) -> Result<(), OqlError> {
+    if depth == q.ranges.len() {
+        if let Some(c) = &q.cond {
+            if !eval_cond(c, store, env)? {
+                return Ok(());
+            }
+        }
+        let mut row = Row::new();
+        for (name, e) in &q.projections {
+            row.insert(name.clone(), eval_expr(e, store, env)?);
+        }
+        rows.push(row);
+        return Ok(());
+    }
+    let (var, path) = &q.ranges[depth];
+    let source = eval_range_source(path, store, env)?;
+    let elements = match &source {
+        OVal::Coll(_, es) => es.clone(),
+        other => {
+            return Err(OqlError(format!(
+                "range `{var} in {path}` is not a collection (got {other})"
+            )))
+        }
+    };
+    for e in elements {
+        env.insert(var.clone(), e);
+        eval_ranges(q, store, depth + 1, env, rows)?;
+    }
+    env.remove(var);
+    Ok(())
+}
+
+/// The head of a range path is an extent name or a bound variable.
+fn eval_range_source(
+    path: &Path,
+    store: &Store,
+    env: &BTreeMap<String, OVal>,
+) -> Result<OVal, OqlError> {
+    let head = &path.0[0];
+    let start = if let Some(v) = env.get(head) {
+        v.clone()
+    } else if let Some(oids) = store.extent(head) {
+        OVal::Coll(
+            crate::types::CollKind::Set,
+            oids.iter().map(|o| OVal::Ref(o.clone())).collect(),
+        )
+    } else {
+        return Err(OqlError(format!("unknown extent or variable `{head}`")));
+    };
+    navigate(start, &path.0[1..], store)
+}
+
+fn eval_expr(e: &Expr, store: &Store, env: &BTreeMap<String, OVal>) -> Result<OVal, OqlError> {
+    match e {
+        Expr::Const(a) => Ok(OVal::Atom(a.clone())),
+        Expr::Path(p) => {
+            let head = &p.0[0];
+            let start = env
+                .get(head)
+                .cloned()
+                .ok_or_else(|| OqlError(format!("unknown variable `{head}`")))?;
+            navigate(start, &p.0[1..], store)
+        }
+    }
+}
+
+/// Follows a field/method path through tuples and references.
+fn navigate(mut v: OVal, steps: &[String], store: &Store) -> Result<OVal, OqlError> {
+    for step in steps {
+        // dereference before field access
+        if let OVal::Ref(oid) = &v {
+            let obj = store
+                .object(oid)
+                .ok_or_else(|| OqlError(format!("dangling reference {oid}")))?;
+            // method call?
+            if obj_has_method(store, obj, step) {
+                v = store.call_method(step, obj)?;
+                continue;
+            }
+            v = obj.value.clone();
+        }
+        v = match v.field(step) {
+            Some(x) => x.clone(),
+            None => {
+                return Err(OqlError(format!("no attribute `{step}` on {v}")));
+            }
+        };
+    }
+    // final deref is NOT performed: a path may denote an object
+    Ok(v)
+}
+
+fn obj_has_method(store: &Store, obj: &Object, name: &str) -> bool {
+    store
+        .schema
+        .class(&obj.class)
+        .map(|c| c.methods.iter().any(|m| m.name == name))
+        .unwrap_or(false)
+        && store.has_method(name)
+}
+
+fn eval_cond(c: &Cond, store: &Store, env: &BTreeMap<String, OVal>) -> Result<bool, OqlError> {
+    match c {
+        Cond::And(a, b) => Ok(eval_cond(a, store, env)? && eval_cond(b, store, env)?),
+        Cond::Or(a, b) => Ok(eval_cond(a, store, env)? || eval_cond(b, store, env)?),
+        Cond::Not(x) => Ok(!eval_cond(x, store, env)?),
+        Cond::Cmp(op, l, r) => {
+            let lv = eval_expr(l, store, env)?;
+            let rv = eval_expr(r, store, env)?;
+            let (Some(la), Some(ra)) = (lv.atom(), rv.atom()) else {
+                // object equality by identity
+                return match op {
+                    Op::Eq => Ok(lv == rv),
+                    Op::Ne => Ok(lv != rv),
+                    _ => Err(OqlError(format!("cannot order {lv} and {rv}"))),
+                };
+            };
+            let ord = la.total_cmp(ra);
+            Ok(match op {
+                Op::Eq => la.value_eq(ra),
+                Op::Ne => !la.value_eq(ra),
+                Op::Lt => ord.is_lt(),
+                Op::Le => ord.is_le(),
+                Op::Gt => ord.is_gt(),
+                Op::Ge => ord.is_ge(),
+            })
+        }
+    }
+}
+
+/// Convenience: parse then evaluate.
+pub fn run(src: &str, store: &Store) -> Result<Vec<Row>, OqlError> {
+    eval(&parse(src)?, store)
+}

@@ -1,0 +1,192 @@
+//! The object store: schema, objects with identity, named extents, and
+//! the method registry.
+
+use crate::types::Schema;
+use crate::value::OVal;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+use yat_model::Oid;
+
+/// A stored object: identity + class + value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Object {
+    /// Object identity.
+    pub oid: Oid,
+    /// Class name.
+    pub class: String,
+    /// The object's state.
+    pub value: OVal,
+}
+
+/// An error from store or query evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OqlError(pub String);
+
+impl fmt::Display for OqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "OQL error: {}", self.0)
+    }
+}
+
+impl std::error::Error for OqlError {}
+
+/// A method implementation.
+pub type MethodImpl = dyn Fn(&Store, &Object) -> Result<OVal, OqlError> + Send + Sync;
+
+/// The in-memory object database.
+pub struct Store {
+    /// The schema.
+    pub schema: Schema,
+    objects: BTreeMap<Oid, Object>,
+    extents: BTreeMap<String, Vec<Oid>>,
+    methods: BTreeMap<String, Arc<MethodImpl>>,
+}
+
+impl Store {
+    /// An empty store over a schema.
+    pub fn new(schema: Schema) -> Self {
+        Store {
+            schema,
+            objects: BTreeMap::new(),
+            extents: BTreeMap::new(),
+            methods: BTreeMap::new(),
+        }
+    }
+
+    /// Creates an object, adding it to its class extent (if declared).
+    pub fn insert(&mut self, oid: Oid, class: &str, value: OVal) -> Result<(), OqlError> {
+        let cls = self
+            .schema
+            .class(class)
+            .ok_or_else(|| OqlError(format!("unknown class `{class}`")))?;
+        if let Some(extent) = &cls.extent {
+            self.extents
+                .entry(extent.clone())
+                .or_default()
+                .push(oid.clone());
+        }
+        self.objects.insert(
+            oid.clone(),
+            Object {
+                oid,
+                class: class.to_string(),
+                value,
+            },
+        );
+        Ok(())
+    }
+
+    /// Installs a method body.
+    pub fn install_method<F>(&mut self, name: impl Into<String>, body: F)
+    where
+        F: Fn(&Store, &Object) -> Result<OVal, OqlError> + Send + Sync + 'static,
+    {
+        self.methods.insert(name.into(), Arc::new(body));
+    }
+
+    /// Invokes a method on an object.
+    pub fn call_method(&self, name: &str, obj: &Object) -> Result<OVal, OqlError> {
+        let m = self
+            .methods
+            .get(name)
+            .ok_or_else(|| OqlError(format!("method `{name}` has no implementation")))?;
+        m(self, obj)
+    }
+
+    /// Whether a method body is installed.
+    pub fn has_method(&self, name: &str) -> bool {
+        self.methods.contains_key(name)
+    }
+
+    /// Dereferences an object id.
+    pub fn object(&self, oid: &Oid) -> Option<&Object> {
+        self.objects.get(oid)
+    }
+
+    /// The object ids of an extent, in insertion order.
+    pub fn extent(&self, name: &str) -> Option<&[Oid]> {
+        self.extents.get(name).map(Vec::as_slice)
+    }
+
+    /// Extent names.
+    pub fn extent_names(&self) -> impl Iterator<Item = &str> {
+        self.extents.keys().map(String::as_str)
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True when no objects are stored.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+}
+
+impl fmt::Debug for Store {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Store")
+            .field("objects", &self.objects.len())
+            .field("extents", &self.extents.keys().collect::<Vec<_>>())
+            .field("methods", &self.methods.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{ClassDef, Type};
+
+    fn schema() -> Schema {
+        Schema::new().with_class(ClassDef {
+            name: "Person".into(),
+            ty: Type::tuple(vec![("name", Type::string())]),
+            extent: Some("persons".into()),
+            methods: vec![],
+        })
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut s = Store::new(schema());
+        s.insert(
+            Oid::new("p1"),
+            "Person",
+            OVal::tuple(vec![("name", OVal::str("X"))]),
+        )
+        .unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.extent("persons").unwrap().len(), 1);
+        let o = s.object(&Oid::new("p1")).unwrap();
+        assert_eq!(o.class, "Person");
+        assert!(s.object(&Oid::new("p9")).is_none());
+        assert!(s.insert(Oid::new("x"), "Nope", OVal::Nil).is_err());
+    }
+
+    #[test]
+    fn methods() {
+        let mut s = Store::new(schema());
+        s.insert(
+            Oid::new("p1"),
+            "Person",
+            OVal::tuple(vec![("name", OVal::str("X"))]),
+        )
+        .unwrap();
+        s.install_method("shout", |_, o| {
+            let n = o
+                .value
+                .field("name")
+                .and_then(|v| v.atom())
+                .unwrap()
+                .to_string();
+            Ok(OVal::str(n.to_uppercase()))
+        });
+        assert!(s.has_method("shout"));
+        let o = s.object(&Oid::new("p1")).unwrap().clone();
+        assert_eq!(s.call_method("shout", &o).unwrap(), OVal::str("X"));
+        assert!(s.call_method("whisper", &o).is_err());
+    }
+}

@@ -1,0 +1,220 @@
+//! The ODMG type system (Fig. 3, left): atomic types, tuples, collections
+//! and class references.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use yat_model::AtomType;
+
+/// Collection kinds of the ODMG model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollKind {
+    /// Unordered, no duplicates.
+    Set,
+    /// Unordered, duplicates allowed.
+    Bag,
+    /// Ordered.
+    List,
+    /// Ordered, fixed idea of indexing (treated as list here).
+    Array,
+}
+
+impl CollKind {
+    /// The type-constructor name (`set`, `bag`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            CollKind::Set => "set",
+            CollKind::Bag => "bag",
+            CollKind::List => "list",
+            CollKind::Array => "array",
+        }
+    }
+}
+
+/// An ODMG type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Type {
+    /// An atomic type.
+    Atom(AtomType),
+    /// A tuple of named attributes, in declaration order.
+    Tuple(Vec<(String, Type)>),
+    /// A collection.
+    Coll(CollKind, Box<Type>),
+    /// A reference to a class (by name).
+    Class(String),
+}
+
+impl Type {
+    /// Shorthand for an integer attribute.
+    pub fn int() -> Type {
+        Type::Atom(AtomType::Int)
+    }
+
+    /// Shorthand for a float attribute.
+    pub fn float() -> Type {
+        Type::Atom(AtomType::Float)
+    }
+
+    /// Shorthand for a string attribute.
+    pub fn string() -> Type {
+        Type::Atom(AtomType::Str)
+    }
+
+    /// A tuple type from `(name, type)` pairs.
+    pub fn tuple(fields: Vec<(&str, Type)>) -> Type {
+        Type::Tuple(
+            fields
+                .into_iter()
+                .map(|(n, t)| (n.to_string(), t))
+                .collect(),
+        )
+    }
+
+    /// A `list<class>` type.
+    pub fn list_of_class(name: &str) -> Type {
+        Type::Coll(CollKind::List, Box::new(Type::Class(name.to_string())))
+    }
+
+    /// The attribute type of a tuple field.
+    pub fn field(&self, name: &str) -> Option<&Type> {
+        match self {
+            Type::Tuple(fs) => fs.iter().find(|(n, _)| n == name).map(|(_, t)| t),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Atom(t) => write!(f, "{t}"),
+            Type::Tuple(fs) => {
+                write!(f, "tuple(")?;
+                for (i, (n, t)) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{n}: {t}")?;
+                }
+                write!(f, ")")
+            }
+            Type::Coll(k, t) => write!(f, "{}<{t}>", k.name()),
+            Type::Class(n) => write!(f, "&{n}"),
+        }
+    }
+}
+
+/// A method declaration: the part of source functionality beyond the core
+/// model that Section 4 wraps (`current_price` on `Artifact`). The body is
+/// installed separately in the [`crate::Store`]'s method registry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodDef {
+    /// Method name.
+    pub name: String,
+    /// Result type.
+    pub returns: Type,
+}
+
+/// A class: a name, a structural type, an optional extent name, methods.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassDef {
+    /// Class name (`Artifact`).
+    pub name: String,
+    /// The class's value type (a tuple for the `art` schema).
+    pub ty: Type,
+    /// Name of the class extent (`artifacts`), if maintained.
+    pub extent: Option<String>,
+    /// Declared methods.
+    pub methods: Vec<MethodDef>,
+}
+
+/// A database schema: classes by name.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Schema {
+    classes: BTreeMap<String, ClassDef>,
+    order: Vec<String>,
+}
+
+impl Schema {
+    /// An empty schema.
+    pub fn new() -> Self {
+        Schema::default()
+    }
+
+    /// Adds a class (builder style).
+    pub fn with_class(mut self, c: ClassDef) -> Self {
+        if !self.classes.contains_key(&c.name) {
+            self.order.push(c.name.clone());
+        }
+        self.classes.insert(c.name.clone(), c);
+        self
+    }
+
+    /// Looks up a class.
+    pub fn class(&self, name: &str) -> Option<&ClassDef> {
+        self.classes.get(name)
+    }
+
+    /// Classes in declaration order.
+    pub fn classes(&self) -> impl Iterator<Item = &ClassDef> {
+        self.order.iter().map(|n| &self.classes[n])
+    }
+
+    /// The class owning an extent name.
+    pub fn class_of_extent(&self, extent: &str) -> Option<&ClassDef> {
+        self.classes().find(|c| c.extent.as_deref() == Some(extent))
+    }
+
+    /// Finds the class declaring a method.
+    pub fn method(&self, name: &str) -> Option<(&ClassDef, &MethodDef)> {
+        self.classes()
+            .find_map(|c| c.methods.iter().find(|m| m.name == name).map(|m| (c, m)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn person_class() -> ClassDef {
+        ClassDef {
+            name: "Person".into(),
+            ty: Type::tuple(vec![("name", Type::string()), ("auction", Type::float())]),
+            extent: Some("persons".into()),
+            methods: vec![],
+        }
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let s = Schema::new().with_class(person_class());
+        assert!(s.class("Person").is_some());
+        assert!(s.class("Artifact").is_none());
+        assert_eq!(s.class_of_extent("persons").unwrap().name, "Person");
+        assert!(s.class_of_extent("artifacts").is_none());
+    }
+
+    #[test]
+    fn field_access_and_display() {
+        let t = Type::tuple(vec![
+            ("title", Type::string()),
+            ("owners", Type::list_of_class("Person")),
+        ]);
+        assert_eq!(t.field("title"), Some(&Type::string()));
+        assert!(t.field("nope").is_none());
+        assert_eq!(t.to_string(), "tuple(title: String, owners: list<&Person>)");
+    }
+
+    #[test]
+    fn method_lookup() {
+        let mut c = person_class();
+        c.methods.push(MethodDef {
+            name: "net_worth".into(),
+            returns: Type::float(),
+        });
+        let s = Schema::new().with_class(c);
+        let (cls, m) = s.method("net_worth").unwrap();
+        assert_eq!(cls.name, "Person");
+        assert_eq!(m.returns, Type::float());
+        assert!(s.method("nope").is_none());
+    }
+}

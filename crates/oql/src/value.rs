@@ -1,0 +1,136 @@
+//! ODMG values.
+
+use crate::types::CollKind;
+use std::fmt;
+use yat_model::{Atom, Oid};
+
+/// An ODMG value: atoms, tuples, collections, references.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OVal {
+    /// An atomic value.
+    Atom(Atom),
+    /// A tuple with named fields in declaration order.
+    Tuple(Vec<(String, OVal)>),
+    /// A collection.
+    Coll(CollKind, Vec<OVal>),
+    /// A reference to an object.
+    Ref(Oid),
+    /// The null/nil value (OQL `nil`).
+    Nil,
+}
+
+impl OVal {
+    /// String shorthand.
+    pub fn str(s: impl Into<String>) -> OVal {
+        OVal::Atom(Atom::Str(s.into()))
+    }
+
+    /// Integer shorthand.
+    pub fn int(i: i64) -> OVal {
+        OVal::Atom(Atom::Int(i))
+    }
+
+    /// Float shorthand.
+    pub fn float(f: f64) -> OVal {
+        OVal::Atom(Atom::Float(f))
+    }
+
+    /// A tuple from `(name, value)` pairs.
+    pub fn tuple(fields: Vec<(&str, OVal)>) -> OVal {
+        OVal::Tuple(
+            fields
+                .into_iter()
+                .map(|(n, v)| (n.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// A list of references to the given object ids.
+    pub fn ref_list(ids: &[&str]) -> OVal {
+        OVal::Coll(
+            CollKind::List,
+            ids.iter().map(|i| OVal::Ref(Oid::new(*i))).collect(),
+        )
+    }
+
+    /// Field of a tuple.
+    pub fn field(&self, name: &str) -> Option<&OVal> {
+        match self {
+            OVal::Tuple(fs) => fs.iter().find(|(n, _)| n == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The atom, if atomic.
+    pub fn atom(&self) -> Option<&Atom> {
+        match self {
+            OVal::Atom(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Collection elements, if a collection.
+    pub fn elements(&self) -> Option<&[OVal]> {
+        match self {
+            OVal::Coll(_, es) => Some(es),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for OVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OVal::Atom(Atom::Str(s)) => write!(f, "{s:?}"),
+            OVal::Atom(a) => write!(f, "{a}"),
+            OVal::Tuple(fs) => {
+                write!(f, "tuple(")?;
+                for (i, (n, v)) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{n}: {v}")?;
+                }
+                write!(f, ")")
+            }
+            OVal::Coll(k, es) => {
+                write!(f, "{}(", k.name())?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            OVal::Ref(o) => write!(f, "{o}"),
+            OVal::Nil => write!(f, "nil"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_and_access() {
+        let p = OVal::tuple(vec![
+            ("name", OVal::str("Doctor X")),
+            ("auction", OVal::float(1500000.0)),
+        ]);
+        assert_eq!(p.field("name"), Some(&OVal::str("Doctor X")));
+        assert!(p.field("zzz").is_none());
+        let l = OVal::ref_list(&["p1", "p2"]);
+        assert_eq!(l.elements().unwrap().len(), 2);
+        assert!(OVal::int(3).atom().is_some());
+        assert!(OVal::Nil.atom().is_none());
+    }
+
+    #[test]
+    fn display() {
+        let v = OVal::tuple(vec![("year", OVal::int(1897))]);
+        assert_eq!(v.to_string(), "tuple(year: 1897)");
+        assert_eq!(OVal::ref_list(&["p1"]).to_string(), "list(&p1)");
+    }
+}

@@ -1,0 +1,264 @@
+//! The `o2-wrapper` program (Fig. 2): exports the O2 database's structure
+//! and query capabilities, and evaluates pushed plans by translating them
+//! to OQL.
+
+use crate::export::{extent_tree, object_tree, schema_model, value_tree};
+use crate::oql;
+use crate::store::Store;
+use crate::translate::plan_to_oql;
+use crate::value::OVal;
+use yat_algebra::{Tab, Value};
+use yat_capability::fpattern::o2_fmodel;
+use yat_capability::interface::{ExportDecl, Interface, OpKind, OperationDecl, SigItem};
+use yat_capability::protocol::{Request, Response, WrapperServer};
+
+/// The O2 wrapper: a [`WrapperServer`] over an object [`Store`].
+pub struct O2Wrapper {
+    name: String,
+    store: Store,
+    model_name: String,
+}
+
+impl O2Wrapper {
+    /// Wraps a store under the interface name `name` (the paper uses
+    /// `o2artifact`).
+    pub fn new(name: impl Into<String>, store: Store) -> Self {
+        O2Wrapper {
+            name: name.into(),
+            store,
+            model_name: "art".into(),
+        }
+    }
+
+    /// Direct access to the wrapped store (tests, benches).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Builds the exported interface: the Fig. 6 Fmodel and operations,
+    /// the schema as structural metadata, one export per extent, and the
+    /// wrapped methods as external operations ("this declaration is
+    /// performed automatically by the O2 wrapper with the help of the O2
+    /// schema manager", Section 4).
+    pub fn interface(&self) -> Interface {
+        let mut i = Interface::new(self.name.clone());
+        i.models.push(schema_model(&self.store, &self.model_name));
+        i.fmodels.push(o2_fmodel());
+        for class in self.store.schema.classes() {
+            if let Some(extent) = &class.extent {
+                let mut pattern = extent.clone();
+                if let Some(first) = pattern.get_mut(0..1) {
+                    first.make_ascii_uppercase();
+                }
+                i.exports.push(ExportDecl {
+                    name: extent.clone(),
+                    model: self.model_name.clone(),
+                    pattern,
+                });
+            }
+        }
+        i.operations.push(OperationDecl {
+            name: "bind".into(),
+            kind: OpKind::Algebra,
+            input: vec![
+                SigItem::Value {
+                    model: "o2model".into(),
+                    pattern: "Type".into(),
+                },
+                SigItem::Filter {
+                    model: "o2fmodel".into(),
+                    pattern: "Ftype".into(),
+                },
+            ],
+            output: vec![SigItem::Value {
+                model: "yat".into(),
+                pattern: "Tab".into(),
+            }],
+        });
+        i.operations.push(OperationDecl::algebra("select"));
+        i.operations.push(OperationDecl::algebra("project"));
+        i.operations.push(OperationDecl::algebra("map"));
+        i.operations.push(OperationDecl::boolean("eq"));
+        for class in self.store.schema.classes() {
+            for m in &class.methods {
+                let ret = match &m.returns {
+                    crate::types::Type::Atom(t) => SigItem::Leaf(*t),
+                    other => SigItem::Value {
+                        model: self.model_name.clone(),
+                        pattern: other.to_string(),
+                    },
+                };
+                i.operations.push(OperationDecl {
+                    name: m.name.clone(),
+                    kind: OpKind::External,
+                    input: vec![SigItem::Value {
+                        model: self.model_name.clone(),
+                        pattern: class.name.clone(),
+                    }],
+                    output: vec![ret],
+                });
+            }
+        }
+        i
+    }
+
+    fn execute(&self, plan: &yat_algebra::Alg) -> Response {
+        let translated = match plan_to_oql(plan) {
+            Ok(t) => t,
+            Err(e) => return Response::Error(format!("cannot translate plan: {e}")),
+        };
+        let rows = match oql::run(&translated.oql, &self.store) {
+            Ok(r) => r,
+            Err(e) => return Response::Error(format!("OQL evaluation failed: {e}")),
+        };
+        let mut tab = Tab::new(translated.columns.clone());
+        for row in rows {
+            let values: Vec<Value> = translated
+                .columns
+                .iter()
+                .map(|c| {
+                    // sanitized name used in the OQL text
+                    let safe = c.replace('\'', "_prime");
+                    row.get(&safe)
+                        .map(|v| self.to_value(v))
+                        .unwrap_or(Value::Null)
+                })
+                .collect();
+            tab.push(values);
+        }
+        Response::Result(tab)
+    }
+
+    /// Converts an OQL result value into a `Tab` cell, exporting objects
+    /// as full YAT trees.
+    fn to_value(&self, v: &OVal) -> Value {
+        match v {
+            OVal::Atom(a) => Value::Atom(a.clone()),
+            OVal::Ref(oid) => match object_tree(&self.store, oid) {
+                Some(t) => Value::Tree(t),
+                None => Value::Null,
+            },
+            OVal::Nil => Value::Null,
+            other => Value::Tree(value_tree(other)),
+        }
+    }
+}
+
+impl WrapperServer for O2Wrapper {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn handle(&self, request: &Request) -> Response {
+        match request {
+            Request::GetInterface => Response::Interface(self.interface()),
+            Request::GetDocument { name } => match extent_tree(&self.store, name) {
+                Some(tree) => Response::Document {
+                    name: name.clone(),
+                    tree,
+                },
+                None => Response::Error(format!("no extent `{name}`")),
+            },
+            Request::Execute { plan } => self.execute(plan),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::art::fig1_store;
+    use yat_algebra::{Alg, CmpOp, Operand, Pred};
+    use yat_capability::matcher::pushable;
+    use yat_yatl::parse_filter;
+
+    fn wrapper() -> O2Wrapper {
+        O2Wrapper::new("o2artifact", fig1_store())
+    }
+
+    #[test]
+    fn interface_exports_everything() {
+        let i = wrapper().interface();
+        assert_eq!(i.name, "o2artifact");
+        assert!(i.export("artifacts").is_some());
+        assert!(i.export("persons").is_some());
+        assert!(i.fmodel("o2fmodel").is_some());
+        assert!(i.model("art").is_some());
+        assert!(i.operation("bind").is_some());
+        assert!(i.operation("current_price").is_some());
+        assert!(i.supports_comparisons());
+        // and it survives the wire
+        let xml = yat_capability::xml::interface_to_xml(&i);
+        let back = yat_capability::xml::interface_from_xml(&xml).unwrap();
+        assert_eq!(i, back);
+    }
+
+    #[test]
+    fn get_document_returns_extent() {
+        let w = wrapper();
+        match w.handle(&Request::GetDocument {
+            name: "artifacts".into(),
+        }) {
+            Response::Document { name, tree } => {
+                assert_eq!(name, "artifacts");
+                assert_eq!(tree.children.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            w.handle(&Request::GetDocument {
+                name: "nope".into()
+            }),
+            Response::Error(_)
+        ));
+    }
+
+    #[test]
+    fn execute_pushed_fig5_fragment() {
+        let w = wrapper();
+        let filter = parse_filter(
+            "set *class: artifact: tuple [ title: $t, year: $y, creator: $c, price: $p, \
+             owners: list *class: person: tuple [ name: $o, auction: $au ] ]",
+        )
+        .unwrap();
+        let plan = Alg::select(
+            Alg::bind(Alg::source("artifacts"), filter),
+            Pred::cmp(CmpOp::Gt, Operand::var("y"), Operand::cst(1800)),
+        );
+        // the capability matcher approves...
+        pushable(&w.interface(), &plan).unwrap();
+        // ...and execution produces the right Tab
+        match w.handle(&Request::Execute { plan }) {
+            Response::Result(tab) => {
+                assert_eq!(tab.columns(), &["t", "y", "c", "p", "o", "au"]);
+                assert_eq!(tab.len(), 4);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn execute_whole_object_bind_exports_trees() {
+        let w = wrapper();
+        let plan = Alg::bind(Alg::source("artifacts"), parse_filter("set *$x").unwrap());
+        match w.handle(&Request::Execute { plan }) {
+            Response::Result(tab) => {
+                assert_eq!(tab.len(), 2);
+                let v = tab.get(0, "x").unwrap();
+                let t = v.as_tree().expect("objects export as trees");
+                assert!(matches!(&t.label, yat_model::Label::Oid(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn execute_rejects_untranslatable_plans() {
+        let w = wrapper();
+        let plan = Alg::bind(Alg::source("works"), parse_filter("works *$w").unwrap());
+        assert!(matches!(
+            w.handle(&Request::Execute { plan }),
+            Response::Error(_)
+        ));
+    }
+}

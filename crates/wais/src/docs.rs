@@ -1,0 +1,234 @@
+//! The `works` document collection and its generator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use yat_model::{Node, Tree};
+use yat_oql::art::{artist_of, title_of};
+
+/// Parameters of the synthetic works collection. Titles and artists of
+/// the first `min(works, artifacts)` documents coincide with the O2
+/// generator's artifacts, giving the view join its overlap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorksSpec {
+    /// Number of work documents.
+    pub works: usize,
+    /// Percentage (0–100) of works whose style is `Impressionist`
+    /// (the Q2 full-text selectivity).
+    pub impressionist_pct: u8,
+    /// Percentage of works carrying optional fields at all.
+    pub optional_pct: u8,
+    /// Among works with a `cplace`, percentage created at `Giverny`
+    /// (the Q1 selectivity).
+    pub giverny_pct: u8,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorksSpec {
+    fn default() -> Self {
+        WorksSpec {
+            works: 50,
+            impressionist_pct: 40,
+            optional_pct: 50,
+            giverny_pct: 30,
+            seed: 42,
+        }
+    }
+}
+
+const STYLES: &[&str] = &["Post-Impressionist", "Realist", "Cubist", "Romantic"];
+const PLACES: &[&str] = &["Paris", "Aix-en-Provence", "London", "Rouen"];
+const TECHNIQUES: &[&str] = &["Oil on canvas", "Pastel", "Watercolour", "Gouache"];
+
+/// Generates one work document.
+fn work_doc(i: usize, spec: &WorksSpec, rng: &mut StdRng) -> Tree {
+    let mut children = vec![
+        Node::elem("artist", artist_of(i)),
+        Node::elem("title", title_of(i)),
+    ];
+    let style = if rng.gen_range(0..100u8) < spec.impressionist_pct {
+        "Impressionist".to_string()
+    } else {
+        STYLES[rng.gen_range(0..STYLES.len())].to_string()
+    };
+    children.push(Node::elem("style", style));
+    children.push(Node::elem(
+        "size",
+        format!(
+            "{} x {}",
+            10 + rng.gen_range(0..90),
+            10 + rng.gen_range(0..90)
+        ),
+    ));
+    if rng.gen_range(0..100u8) < spec.optional_pct {
+        // optional fields: cplace and/or history
+        if rng.gen_bool(0.6) {
+            let place = if rng.gen_range(0..100u8) < spec.giverny_pct {
+                "Giverny".to_string()
+            } else {
+                PLACES[rng.gen_range(0..PLACES.len())].to_string()
+            };
+            children.push(Node::elem("cplace", place));
+        }
+        if rng.gen_bool(0.5) {
+            children.push(Node::sym(
+                "history",
+                vec![
+                    Node::atom("Painted with"),
+                    Node::elem("technique", TECHNIQUES[rng.gen_range(0..TECHNIQUES.len())]),
+                    Node::atom("in the artist's studio"),
+                ],
+            ));
+        }
+    }
+    Node::sym("work", children)
+}
+
+/// Generates the `works` document: `works[work..]`.
+pub fn generate_works(spec: &WorksSpec) -> Tree {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let works: Vec<Tree> = (0..spec.works)
+        .map(|i| work_doc(i, spec, &mut rng))
+        .collect();
+    Node::sym("works", works)
+}
+
+/// The two works of Fig. 1 (right), literally.
+pub fn fig1_works() -> Tree {
+    Node::sym(
+        "works",
+        vec![
+            Node::sym(
+                "work",
+                vec![
+                    Node::elem("artist", "Claude Monet"),
+                    Node::elem("title", "Nympheas"),
+                    Node::elem("style", "Impressionist"),
+                    Node::elem("size", "21 x 61"),
+                    Node::elem("cplace", "Giverny"),
+                ],
+            ),
+            Node::sym(
+                "work",
+                vec![
+                    Node::elem("artist", "Claude Monet"),
+                    Node::elem("title", "Waterloo Bridge"),
+                    Node::elem("style", "Impressionist"),
+                    Node::elem("size", "29.2 x 46.4"),
+                    Node::sym(
+                        "history",
+                        vec![
+                            Node::atom("Painted with"),
+                            Node::elem("technique", "Oil on canvas"),
+                            Node::atom("in ..."),
+                        ],
+                    ),
+                ],
+            ),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_sized() {
+        let spec = WorksSpec {
+            works: 20,
+            ..Default::default()
+        };
+        let a = generate_works(&spec);
+        let b = generate_works(&spec);
+        assert_eq!(a, b);
+        assert_eq!(a.children.len(), 20);
+    }
+
+    #[test]
+    fn mandatory_fields_always_present() {
+        let t = generate_works(&WorksSpec {
+            works: 30,
+            seed: 3,
+            ..Default::default()
+        });
+        for w in &t.children {
+            for field in ["artist", "title", "style", "size"] {
+                assert!(w.child(field).is_some(), "missing {field} in {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn selectivities_respected_roughly() {
+        let spec = WorksSpec {
+            works: 400,
+            impressionist_pct: 50,
+            optional_pct: 100,
+            giverny_pct: 100,
+            seed: 9,
+        };
+        let t = generate_works(&spec);
+        let imp = t
+            .children
+            .iter()
+            .filter(|w| {
+                w.child("style")
+                    .map(|s| s.value_atom().unwrap().to_string())
+                    == Some("Impressionist".into())
+            })
+            .count();
+        assert!(
+            (120..=280).contains(&imp),
+            "~50% impressionist, got {imp}/400"
+        );
+        // all cplace values are Giverny at 100%
+        for w in &t.children {
+            if let Some(c) = w.child("cplace") {
+                assert_eq!(c.value_atom().unwrap().to_string(), "Giverny");
+            }
+        }
+    }
+
+    #[test]
+    fn titles_overlap_with_art_generator() {
+        let t = generate_works(&WorksSpec {
+            works: 5,
+            ..Default::default()
+        });
+        assert_eq!(
+            t.children[3]
+                .child("title")
+                .unwrap()
+                .value_atom()
+                .unwrap()
+                .to_string(),
+            yat_oql::art::title_of(3)
+        );
+        assert_eq!(
+            t.children[2]
+                .child("artist")
+                .unwrap()
+                .value_atom()
+                .unwrap()
+                .to_string(),
+            yat_oql::art::artist_of(2)
+        );
+    }
+
+    #[test]
+    fn fig1_works_shape() {
+        let t = fig1_works();
+        assert_eq!(t.children.len(), 2);
+        assert_eq!(
+            t.children[0]
+                .child("cplace")
+                .unwrap()
+                .value_atom()
+                .unwrap()
+                .to_string(),
+            "Giverny"
+        );
+        assert!(t.children[1].child("history").is_some());
+    }
+}

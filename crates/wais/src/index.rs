@@ -1,0 +1,181 @@
+//! The inverted index: Wais attribute/value textual queries.
+
+use std::collections::{BTreeMap, BTreeSet};
+use yat_model::{Label, Tree};
+
+/// A document id within the collection.
+pub type DocId = usize;
+
+/// A per-field inverted index over a document collection.
+///
+/// Z39.50 queries are attribute/value pairs: `field = word`. The pseudo
+/// field `""` (empty) indexes the full text of each document, which is
+/// what the bare `contains(doc, word)` predicate searches.
+#[derive(Debug, Default, Clone)]
+pub struct InvertedIndex {
+    /// field → token → documents.
+    postings: BTreeMap<String, BTreeMap<String, BTreeSet<DocId>>>,
+    size: usize,
+}
+
+impl InvertedIndex {
+    /// Builds the index over a document collection.
+    pub fn build(docs: &[Tree]) -> Self {
+        let mut idx = InvertedIndex::default();
+        for (id, doc) in docs.iter().enumerate() {
+            idx.add(id, doc);
+        }
+        idx.size = docs.len();
+        idx
+    }
+
+    fn add(&mut self, id: DocId, doc: &Tree) {
+        // full-text: every token anywhere in the document
+        index_tree(doc, id, "", &mut self.postings);
+        // per-field: every descendant element indexes its subtree under
+        // its own tag (Z39.50 attributes address nested structure too —
+        // `technique` lives inside `history` in Fig. 1)
+        fn fields(t: &Tree, id: DocId, postings: &mut Postings) {
+            for child in &t.children {
+                if let Label::Sym(field) = &child.label {
+                    index_tree(child, id, field, postings);
+                    fields(child, id, postings);
+                }
+            }
+        }
+        fields(doc, id, &mut self.postings);
+    }
+
+    /// Documents whose full text contains `word` (case-insensitive,
+    /// token-level).
+    pub fn contains(&self, word: &str) -> BTreeSet<DocId> {
+        self.lookup("", word)
+    }
+
+    /// Documents whose `field` contains `word`.
+    pub fn lookup(&self, field: &str, word: &str) -> BTreeSet<DocId> {
+        let mut result: Option<BTreeSet<DocId>> = None;
+        for token in tokenize(word) {
+            let hits = self
+                .postings
+                .get(field)
+                .and_then(|p| p.get(&token))
+                .cloned()
+                .unwrap_or_default();
+            result = Some(match result {
+                None => hits,
+                Some(prev) => prev.intersection(&hits).copied().collect(),
+            });
+        }
+        result.unwrap_or_default()
+    }
+
+    /// Number of indexed documents.
+    pub fn len(&self) -> usize {
+        self.size
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// Number of distinct (field, token) postings — index footprint, used
+    /// in reports.
+    pub fn posting_count(&self) -> usize {
+        self.postings.values().map(|p| p.len()).sum()
+    }
+}
+
+type Postings = BTreeMap<String, BTreeMap<String, BTreeSet<DocId>>>;
+
+fn index_tree(t: &Tree, id: DocId, field: &str, postings: &mut Postings) {
+    if let Label::Atom(a) = &t.label {
+        for token in tokenize(&a.to_string()) {
+            postings
+                .entry(field.to_string())
+                .or_default()
+                .entry(token)
+                .or_default()
+                .insert(id);
+        }
+    }
+    for c in &t.children {
+        index_tree(c, id, field, postings);
+    }
+}
+
+/// Lowercased alphanumeric tokens.
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|w| !w.is_empty())
+        .map(str::to_lowercase)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::docs::fig1_works;
+
+    fn index() -> InvertedIndex {
+        let works = fig1_works();
+        InvertedIndex::build(&works.children)
+    }
+
+    #[test]
+    fn full_text_contains() {
+        let idx = index();
+        assert_eq!(idx.len(), 2);
+        // both works are impressionist
+        assert_eq!(idx.contains("Impressionist").len(), 2);
+        // case-insensitive
+        assert_eq!(idx.contains("impressionist").len(), 2);
+        // only the first was painted at Giverny
+        let hits = idx.contains("Giverny");
+        assert_eq!(hits.into_iter().collect::<Vec<_>>(), vec![0]);
+        // tokens inside mixed content are found
+        assert_eq!(
+            idx.contains("canvas").into_iter().collect::<Vec<_>>(),
+            vec![1]
+        );
+        assert!(idx.contains("cubist").is_empty());
+    }
+
+    #[test]
+    fn multi_word_queries_intersect() {
+        let idx = index();
+        assert_eq!(idx.contains("Claude Monet").len(), 2);
+        assert_eq!(idx.contains("Monet Giverny").len(), 1);
+        assert!(idx.contains("Monet cubist").is_empty());
+        // empty needle matches nothing (no tokens)
+        assert!(idx.contains("").is_empty());
+    }
+
+    #[test]
+    fn field_scoped_lookup() {
+        let idx = index();
+        // "Monet" appears in artist but not title
+        assert_eq!(idx.lookup("artist", "Monet").len(), 2);
+        assert!(idx.lookup("title", "Monet").is_empty());
+        assert_eq!(idx.lookup("title", "Waterloo").len(), 1);
+        assert_eq!(idx.lookup("cplace", "Giverny").len(), 1);
+        // nested fields are addressable (technique inside history)
+        assert_eq!(idx.lookup("technique", "canvas").len(), 1);
+        assert_eq!(idx.lookup("history", "canvas").len(), 1);
+        assert!(idx.lookup("nosuchfield", "x").is_empty());
+    }
+
+    #[test]
+    fn tokenizer() {
+        assert_eq!(tokenize("Oil on canvas!"), vec!["oil", "on", "canvas"]);
+        assert_eq!(tokenize("29.2 x 46.4"), vec!["29", "2", "x", "46", "4"]);
+        assert!(tokenize("  ,;  ").is_empty());
+    }
+
+    #[test]
+    fn posting_count_positive() {
+        assert!(index().posting_count() > 10);
+        assert!(InvertedIndex::default().is_empty());
+    }
+}

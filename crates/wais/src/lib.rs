@@ -1,0 +1,30 @@
+//! # yat-wais — an XML full-text source and the xmlwais wrapper
+//!
+//! The paper's second source is "a partially structured document
+//! repository supporting full-text queries" — XML documents indexed by
+//! the Wais retrieval engine over the Z39.50 protocol (Sections 2 and
+//! 4.2). This crate is that substrate, built from scratch:
+//!
+//! * [`docs`] — the `works` document collection: partially structured
+//!   XML (mandatory `artist`/`title`/`style`/`size`, optional `cplace`,
+//!   `history`, `technique` — Fig. 1 right), with a seeded generator that
+//!   shares titles/artists with the `yat-oql` art database so the
+//!   integration view joins the two sources;
+//! * [`index`] — a per-field inverted index implementing the Wais
+//!   attribute/value textual queries and the `contains` predicate;
+//! * [`source`] — the retrieval engine: `contains` lookups, field
+//!   restrictions (Z39.50 separates "what you may retrieve" from "what
+//!   you may query", Section 4.2);
+//! * [`wrapper`] — the `xmlwais-wrapper` program: exports the restricted
+//!   interface of Section 4.2 (bind whole `work` documents only, push
+//!   `select` with `contains`, the `eq ⇒ contains` equivalence) and
+//!   evaluates pushed plans against the index.
+
+pub mod docs;
+pub mod index;
+pub mod source;
+pub mod wrapper;
+
+pub use docs::{fig1_works, generate_works, WorksSpec};
+pub use source::WaisSource;
+pub use wrapper::WaisWrapper;

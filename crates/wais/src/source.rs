@@ -1,0 +1,173 @@
+//! The Wais retrieval engine: documents + index + field policy.
+
+use crate::index::{DocId, InvertedIndex};
+use std::collections::BTreeSet;
+use yat_model::{Node, Tree};
+
+/// The Z39.50-style field policy: "a clear separation between what you
+/// may retrieve and what you may query" (Section 4.2). `None` means
+/// unrestricted.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FieldPolicy {
+    /// Fields that appear in retrieved documents (others are stripped).
+    pub retrievable: Option<BTreeSet<String>>,
+    /// Fields textual queries may target (full-text always allowed when
+    /// `None`).
+    pub queryable: Option<BTreeSet<String>>,
+}
+
+impl FieldPolicy {
+    /// An unrestricted policy.
+    pub fn open() -> Self {
+        FieldPolicy::default()
+    }
+
+    /// The Section 4.2 example: "only the artist and style elements can
+    /// be exported from our XML documents while allowing queries only on
+    /// the optional fields".
+    pub fn aquarelle_example() -> Self {
+        FieldPolicy {
+            retrievable: Some(["artist".to_string(), "style".to_string()].into()),
+            queryable: Some(
+                [
+                    "cplace".to_string(),
+                    "history".to_string(),
+                    "technique".to_string(),
+                ]
+                .into(),
+            ),
+        }
+    }
+}
+
+/// The full-text source: a document collection with its inverted index.
+#[derive(Debug, Clone)]
+pub struct WaisSource {
+    /// The collection name (`works`).
+    pub collection: String,
+    docs: Vec<Tree>,
+    index: InvertedIndex,
+    policy: FieldPolicy,
+}
+
+impl WaisSource {
+    /// Indexes a `works[work..]` document under the given collection
+    /// name.
+    pub fn new(collection: impl Into<String>, root: &Tree) -> Self {
+        let docs: Vec<Tree> = root.children.to_vec();
+        let index = InvertedIndex::build(&docs);
+        WaisSource {
+            collection: collection.into(),
+            docs,
+            index,
+            policy: FieldPolicy::open(),
+        }
+    }
+
+    /// Installs a field policy (builder style).
+    pub fn with_policy(mut self, policy: FieldPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True when the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// The whole collection as one tree, with the retrieval policy
+    /// applied.
+    pub fn document(&self) -> Tree {
+        Node::sym(
+            self.collection.clone(),
+            (0..self.docs.len()).filter_map(|i| self.fetch(i)).collect(),
+        )
+    }
+
+    /// One document by id, policy applied.
+    pub fn fetch(&self, id: DocId) -> Option<Tree> {
+        let doc = self.docs.get(id)?;
+        match &self.policy.retrievable {
+            None => Some(doc.clone()),
+            Some(allowed) => Some(Node::sym(
+                doc.label.as_sym().unwrap_or("work").to_string(),
+                doc.children
+                    .iter()
+                    .filter(|c| {
+                        c.label
+                            .as_sym()
+                            .map(|s| allowed.contains(s))
+                            .unwrap_or(false)
+                    })
+                    .cloned()
+                    .collect(),
+            )),
+        }
+    }
+
+    /// Full-text search: ids of documents containing `needle`.
+    /// Returns an error when the policy restricts queries to fields and
+    /// full-text search is therefore unavailable.
+    pub fn contains(&self, needle: &str) -> Result<BTreeSet<DocId>, String> {
+        if self.policy.queryable.is_some() {
+            return Err(format!(
+                "collection `{}` only supports field-scoped queries",
+                self.collection
+            ));
+        }
+        Ok(self.index.contains(needle))
+    }
+
+    /// Field-scoped search, honouring the queryable policy.
+    pub fn search_field(&self, field: &str, needle: &str) -> Result<BTreeSet<DocId>, String> {
+        if let Some(allowed) = &self.policy.queryable {
+            if !allowed.contains(field) {
+                return Err(format!("field `{field}` is not queryable"));
+            }
+        }
+        Ok(self.index.lookup(field, needle))
+    }
+
+    /// Index statistics (for reports).
+    pub fn posting_count(&self) -> usize {
+        self.index.posting_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::docs::fig1_works;
+
+    #[test]
+    fn open_policy_contains_and_fetch() {
+        let s = WaisSource::new("works", &fig1_works());
+        assert_eq!(s.len(), 2);
+        let hits = s.contains("Giverny").unwrap();
+        assert_eq!(hits.len(), 1);
+        let doc = s.fetch(0).unwrap();
+        assert!(doc.child("cplace").is_some());
+        assert_eq!(s.document().children.len(), 2);
+    }
+
+    #[test]
+    fn restricted_policy_strips_and_limits() {
+        let s =
+            WaisSource::new("works", &fig1_works()).with_policy(FieldPolicy::aquarelle_example());
+        // retrieval strips everything but artist and style
+        let doc = s.fetch(0).unwrap();
+        assert!(doc.child("artist").is_some());
+        assert!(doc.child("style").is_some());
+        assert!(doc.child("title").is_none());
+        assert!(doc.child("cplace").is_none());
+        // full-text queries are refused; optional-field queries allowed
+        assert!(s.contains("Giverny").is_err());
+        assert_eq!(s.search_field("cplace", "Giverny").unwrap().len(), 1);
+        assert!(s.search_field("artist", "Monet").is_err());
+    }
+}

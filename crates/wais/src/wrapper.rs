@@ -1,0 +1,409 @@
+//! The `xmlwais-wrapper` program (Fig. 2): exports the restricted
+//! interface of Section 4.2 and evaluates pushed plans against the
+//! full-text index.
+
+use crate::source::WaisSource;
+use std::collections::BTreeSet;
+use yat_algebra::{Alg, Operand, Pred, Tab, Value};
+use yat_capability::fpattern::wais_fmodel;
+use yat_capability::interface::{
+    Equivalence, ExportDecl, Interface, OpKind, OperationDecl, SigItem,
+};
+use yat_capability::protocol::{Request, Response, WrapperServer};
+use yat_model::{AtomType, Edge, Model, Occ, PLabel, Pattern, StarBind};
+
+/// The xmlwais wrapper: a [`WrapperServer`] over a [`WaisSource`].
+pub struct WaisWrapper {
+    name: String,
+    source: WaisSource,
+}
+
+impl WaisWrapper {
+    /// Wraps a source under the interface name `name` (the paper uses
+    /// `xmlartwork`).
+    pub fn new(name: impl Into<String>, source: WaisSource) -> Self {
+        WaisWrapper {
+            name: name.into(),
+            source,
+        }
+    }
+
+    /// Access to the underlying source (tests, benches).
+    pub fn source(&self) -> &WaisSource {
+        &self.source
+    }
+
+    /// The exported structural metadata: the `Artworks_Structure` of
+    /// Fig. 3 (mandatory fields plus arbitrary extra `Field`s).
+    pub fn structure(&self) -> Model {
+        let work = Pattern::sym(
+            "work",
+            vec![
+                Edge::one(Pattern::elem_typed("artist", AtomType::Str)),
+                Edge::one(Pattern::elem_typed("title", AtomType::Str)),
+                Edge::one(Pattern::elem_typed("style", AtomType::Str)),
+                Edge::one(Pattern::elem_typed("size", AtomType::Str)),
+                Edge::star(Pattern::Ref("Field".into())),
+            ],
+        );
+        Model::new("Artworks_Structure")
+            .with("Work", work)
+            .with(
+                "Field",
+                Pattern::Node {
+                    label: PLabel::AnySym,
+                    edges: vec![Edge::star(Pattern::Wildcard)],
+                },
+            )
+            .with(
+                "Works",
+                Pattern::sym(
+                    self.source.collection.clone(),
+                    vec![Edge::star(Pattern::Ref("Work".into()))],
+                ),
+            )
+    }
+
+    /// The exported interface of Section 4.2: the restrictive `Fworks`
+    /// pattern, `bind`/`select`, the external `contains` predicate, and
+    /// the `eq ⇒ contains` equivalence declaration.
+    pub fn interface(&self) -> Interface {
+        let mut i = Interface::new(self.name.clone());
+        i.models.push(self.structure());
+        i.fmodels.push(wais_fmodel());
+        i.exports.push(ExportDecl {
+            name: self.source.collection.clone(),
+            model: "Artworks_Structure".into(),
+            pattern: "Works".into(),
+        });
+        i.operations.push(OperationDecl {
+            name: "bind".into(),
+            kind: OpKind::Algebra,
+            input: vec![
+                SigItem::Value {
+                    model: "Artworks_Structure".into(),
+                    pattern: "works".into(),
+                },
+                SigItem::Filter {
+                    model: "waisfmodel".into(),
+                    pattern: "Fworks".into(),
+                },
+            ],
+            output: vec![SigItem::Value {
+                model: "yat".into(),
+                pattern: "Tab".into(),
+            }],
+        });
+        i.operations.push(OperationDecl::algebra("select"));
+        i.operations.push(OperationDecl {
+            name: "contains".into(),
+            kind: OpKind::External,
+            input: vec![
+                SigItem::Value {
+                    model: "Artworks_Structure".into(),
+                    pattern: "Work".into(),
+                },
+                SigItem::Leaf(AtomType::Str),
+            ],
+            output: vec![SigItem::Leaf(AtomType::Bool)],
+        });
+        i.equivalences.push(Equivalence::EqImpliesContains {
+            predicate: "contains".into(),
+        });
+        i
+    }
+
+    /// Evaluates a pushed plan: `Select*(Bind(Source))` where every
+    /// selection predicate is a `contains($w, "…")` conjunct.
+    fn execute(&self, plan: &Alg) -> Response {
+        let mut needles: Vec<String> = Vec::new();
+        let doc_var: String;
+        let mut cursor = plan;
+        loop {
+            match cursor {
+                Alg::Select { input, pred } => {
+                    for c in pred.conjuncts() {
+                        match c {
+                            Pred::Call { name, args } if name == "contains" => {
+                                match args.as_slice() {
+                                    [Operand::Var(_), Operand::Const(a)] => {
+                                        needles.push(a.to_string())
+                                    }
+                                    _ => {
+                                        return Response::Error(
+                                            "contains takes a document variable and a string"
+                                                .into(),
+                                        )
+                                    }
+                                }
+                            }
+                            other => {
+                                return Response::Error(format!(
+                                    "predicate `{other}` is beyond Wais capabilities"
+                                ))
+                            }
+                        }
+                    }
+                    cursor = input;
+                }
+                Alg::Bind {
+                    input,
+                    filter,
+                    over: None,
+                } => {
+                    let Alg::Source { name, .. } = input.as_ref() else {
+                        return Response::Error("Bind must read the works collection".into());
+                    };
+                    if *name != self.source.collection {
+                        return Response::Error(format!("no collection `{name}`"));
+                    }
+                    match doc_binding_var(filter, &self.source.collection) {
+                        Some(v) => doc_var = v,
+                        None => {
+                            return Response::Error(format!(
+                                "filter `{filter}` exceeds Wais binding capabilities"
+                            ))
+                        }
+                    }
+                    break;
+                }
+                other => {
+                    return Response::Error(format!(
+                        "operator beyond Wais capabilities: {}",
+                        other.describe()
+                    ))
+                }
+            }
+        }
+        let var = doc_var;
+
+        // resolve candidates through the index
+        let mut ids: Option<BTreeSet<usize>> = None;
+        for needle in &needles {
+            let hits = match self.source.contains(needle) {
+                Ok(h) => h,
+                Err(e) => return Response::Error(e),
+            };
+            ids = Some(match ids {
+                None => hits,
+                Some(prev) => prev.intersection(&hits).copied().collect(),
+            });
+        }
+        let ids: Vec<usize> = match ids {
+            Some(set) => set.into_iter().collect(),
+            None => (0..self.source.len()).collect(),
+        };
+
+        let mut tab = Tab::new(vec![var]);
+        for id in ids {
+            if let Some(doc) = self.source.fetch(id) {
+                tab.push(vec![Value::Tree(doc)]);
+            }
+        }
+        Response::Result(tab)
+    }
+}
+
+/// Checks the filter is within the declared capability — `works *$w`
+/// (possibly with a structural `work` subpattern) — and returns the
+/// document variable.
+fn doc_binding_var(filter: &Pattern, collection: &str) -> Option<String> {
+    let Pattern::Node {
+        label: PLabel::Sym(root),
+        edges,
+    } = filter
+    else {
+        return None;
+    };
+    if root != collection || edges.len() != 1 {
+        return None;
+    }
+    let edge = &edges[0];
+    if edge.occ != Occ::Star {
+        return None;
+    }
+    let (var, mode) = edge.star_var.as_ref()?;
+    if *mode != StarBind::Iterate {
+        return None;
+    }
+    match &edge.pattern {
+        Pattern::Wildcard => Some(var.clone()),
+        Pattern::Node {
+            label: PLabel::Sym(s),
+            edges,
+        } if s == "work" && edges.is_empty() => Some(var.clone()),
+        _ => None,
+    }
+}
+
+impl WrapperServer for WaisWrapper {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn handle(&self, request: &Request) -> Response {
+        match request {
+            Request::GetInterface => Response::Interface(self.interface()),
+            Request::GetDocument { name } => {
+                if *name == self.source.collection {
+                    Response::Document {
+                        name: name.clone(),
+                        tree: self.source.document(),
+                    }
+                } else {
+                    Response::Error(format!("no collection `{name}`"))
+                }
+            }
+            Request::Execute { plan } => self.execute(plan),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::docs::fig1_works;
+    use yat_capability::matcher::pushable;
+    use yat_yatl::parse_filter;
+
+    fn wrapper() -> WaisWrapper {
+        WaisWrapper::new("xmlartwork", WaisSource::new("works", &fig1_works()))
+    }
+
+    #[test]
+    fn interface_matches_section_4_2() {
+        let i = wrapper().interface();
+        assert_eq!(i.name, "xmlartwork");
+        assert!(i.export("works").is_some());
+        assert!(i.operation("contains").is_some());
+        assert!(!i.supports_comparisons());
+        assert_eq!(
+            i.equivalences,
+            vec![Equivalence::EqImpliesContains {
+                predicate: "contains".into()
+            }]
+        );
+        // wire round-trip
+        let xml = yat_capability::xml::interface_to_xml(&i);
+        let back = yat_capability::xml::interface_from_xml(&xml).unwrap();
+        assert_eq!(i, back);
+    }
+
+    #[test]
+    fn execute_contains_pushdown() {
+        let w = wrapper();
+        let plan = Alg::select(
+            Alg::bind(Alg::source("works"), parse_filter("works *$w").unwrap()),
+            Pred::Call {
+                name: "contains".into(),
+                args: vec![Operand::var("w"), Operand::cst("Giverny")],
+            },
+        );
+        pushable(&w.interface(), &plan).unwrap();
+        match w.handle(&Request::Execute { plan }) {
+            Response::Result(tab) => {
+                assert_eq!(tab.columns(), &["w"]);
+                assert_eq!(tab.len(), 1);
+                let doc = tab.get(0, "w").unwrap().as_tree().unwrap();
+                assert_eq!(
+                    doc.child("title")
+                        .unwrap()
+                        .value_atom()
+                        .unwrap()
+                        .to_string(),
+                    "Nympheas"
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn execute_multiple_contains_intersect() {
+        let w = wrapper();
+        let plan = Alg::select(
+            Alg::select(
+                Alg::bind(
+                    Alg::source("works"),
+                    parse_filter("works *$w: work").unwrap(),
+                ),
+                Pred::Call {
+                    name: "contains".into(),
+                    args: vec![Operand::var("w"), Operand::cst("Impressionist")],
+                },
+            ),
+            Pred::Call {
+                name: "contains".into(),
+                args: vec![Operand::var("w"), Operand::cst("canvas")],
+            },
+        );
+        match w.handle(&Request::Execute { plan }) {
+            Response::Result(tab) => assert_eq!(tab.len(), 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn execute_without_predicates_scans() {
+        let w = wrapper();
+        let plan = Alg::bind(Alg::source("works"), parse_filter("works *$w").unwrap());
+        match w.handle(&Request::Execute { plan }) {
+            Response::Result(tab) => assert_eq!(tab.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn execute_rejects_beyond_capability() {
+        let w = wrapper();
+        // decomposing filter
+        let plan = Alg::bind(
+            Alg::source("works"),
+            parse_filter("works *work [ title: $t ]").unwrap(),
+        );
+        assert!(matches!(
+            w.handle(&Request::Execute { plan }),
+            Response::Error(_)
+        ));
+        // comparison predicate
+        let plan = Alg::select(
+            Alg::bind(Alg::source("works"), parse_filter("works *$w").unwrap()),
+            Pred::eq_const("w", "x"),
+        );
+        assert!(matches!(
+            w.handle(&Request::Execute { plan }),
+            Response::Error(_)
+        ));
+        // unknown collection
+        let plan = Alg::bind(Alg::source("artifacts"), parse_filter("works *$w").unwrap());
+        assert!(matches!(
+            w.handle(&Request::Execute { plan }),
+            Response::Error(_)
+        ));
+    }
+
+    #[test]
+    fn get_document_returns_collection() {
+        let w = wrapper();
+        match w.handle(&Request::GetDocument {
+            name: "works".into(),
+        }) {
+            Response::Document { tree, .. } => assert_eq!(tree.children.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn structure_instantiates_works() {
+        // Fig. 3: the exported Artworks structure matches the data
+        let w = wrapper();
+        let model = w.structure();
+        let doc = w.source().document();
+        for work in &doc.children {
+            assert!(
+                yat_model::instantiate::is_instance(work, model.get("Work").unwrap(), Some(&model)),
+                "{work} should instantiate Work"
+            );
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! The XML document model: ordered trees of [`Element`]s and [`Content`].
+
+use std::fmt;
+
+/// A single `name="value"` attribute on an element.
+///
+/// Attribute order is preserved (the paper's interface documents, e.g.
+/// Fig. 6, rely on readable, stable output) but equality is
+/// order-insensitive per the XML specification.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Attribute {
+    /// Attribute name (no namespace processing is performed).
+    pub name: String,
+    /// Unescaped attribute value.
+    pub value: String,
+}
+
+impl Attribute {
+    /// Creates an attribute from anything string-like.
+    pub fn new(name: impl Into<String>, value: impl Into<String>) -> Self {
+        Attribute {
+            name: name.into(),
+            value: value.into(),
+        }
+    }
+}
+
+/// A child item of an element.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// A nested element.
+    Element(Element),
+    /// Character data. Stored unescaped; escaped on output.
+    Text(String),
+    /// A `<![CDATA[..]]>` section. Kept distinct from [`Content::Text`] so
+    /// documents round-trip, but [`Element::text`] treats both as text.
+    CData(String),
+    /// A `<!-- .. -->` comment.
+    Comment(String),
+    /// A `<?target data?>` processing instruction.
+    ProcessingInstruction {
+        /// The PI target (e.g. `xml-stylesheet`).
+        target: String,
+        /// Everything between the target and `?>`, unparsed.
+        data: String,
+    },
+}
+
+impl Content {
+    /// Returns the nested element, if this content item is one.
+    pub fn as_element(&self) -> Option<&Element> {
+        match self {
+            Content::Element(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Returns the character data if this is text or CDATA.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Content::Text(t) | Content::CData(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// True if this is whitespace-only text (ignorable between elements).
+    pub fn is_ws(&self) -> bool {
+        matches!(self, Content::Text(t) if t.chars().all(char::is_whitespace))
+    }
+}
+
+/// An XML element: a name, attributes, and an ordered list of children.
+///
+/// This is the unit wrappers and mediators exchange: YAT data
+/// (Fig. 1), structural metadata (Fig. 3) and operation interfaces
+/// (Fig. 6) are all `Element` trees.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Element {
+    /// Tag name.
+    pub name: String,
+    /// Attributes in document order.
+    pub attributes: Vec<Attribute>,
+    /// Children in document order.
+    pub children: Vec<Content>,
+}
+
+impl Element {
+    /// Creates an empty element with the given tag name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Element {
+            name: name.into(),
+            attributes: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Builder-style: adds an attribute and returns `self`.
+    pub fn with_attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attributes.push(Attribute::new(name, value));
+        self
+    }
+
+    /// Builder-style: appends a child element and returns `self`.
+    pub fn with_child(mut self, child: Element) -> Self {
+        self.children.push(Content::Element(child));
+        self
+    }
+
+    /// Builder-style: appends a text child and returns `self`.
+    pub fn with_text(mut self, text: impl Into<String>) -> Self {
+        self.children.push(Content::Text(text.into()));
+        self
+    }
+
+    /// Appends a child element in place.
+    pub fn push_element(&mut self, child: Element) {
+        self.children.push(Content::Element(child));
+    }
+
+    /// Appends a text child in place.
+    pub fn push_text(&mut self, text: impl Into<String>) {
+        self.children.push(Content::Text(text.into()));
+    }
+
+    /// Sets (replacing if present) an attribute value.
+    pub fn set_attr(&mut self, name: &str, value: impl Into<String>) {
+        if let Some(a) = self.attributes.iter_mut().find(|a| a.name == name) {
+            a.value = value.into();
+        } else {
+            self.attributes.push(Attribute::new(name, value.into()));
+        }
+    }
+
+    /// Looks up an attribute value by name.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|a| a.name == name)
+            .map(|a| a.value.as_str())
+    }
+
+    /// Iterates over child elements, skipping text/comments/PIs.
+    pub fn elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(Content::as_element)
+    }
+
+    /// First child element with the given tag name.
+    pub fn child(&self, name: &str) -> Option<&Element> {
+        self.elements().find(|e| e.name == name)
+    }
+
+    /// All child elements with the given tag name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.elements().filter(move |e| e.name == name)
+    }
+
+    /// Concatenated character data of all text/CDATA descendants,
+    /// with surrounding whitespace trimmed.
+    ///
+    /// `<title> Nympheas </title>` has text `"Nympheas"` — matching how the
+    /// paper's sample data (Fig. 1) formats values with padding whitespace.
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        self.collect_text(&mut out);
+        out.trim().to_string()
+    }
+
+    fn collect_text(&self, out: &mut String) {
+        for c in &self.children {
+            match c {
+                Content::Text(t) | Content::CData(t) => out.push_str(t),
+                Content::Element(e) => e.collect_text(out),
+                _ => {}
+            }
+        }
+    }
+
+    /// True if the element has no children at all.
+    pub fn is_empty(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// Number of element children.
+    pub fn element_count(&self) -> usize {
+        self.elements().count()
+    }
+
+    /// Total number of nodes (elements + text items) in this subtree,
+    /// counting this element. Used by the transfer meter to report document
+    /// sizes independently of serialization details.
+    pub fn node_count(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(|c| match c {
+                Content::Element(e) => e.node_count(),
+                _ => 1,
+            })
+            .sum::<usize>()
+    }
+
+    /// Serializes compactly (no added whitespace). Round-trips via
+    /// [`crate::parse_element`].
+    pub fn to_xml(&self) -> String {
+        let mut s = String::new();
+        crate::writer::write_xml(self, &mut s);
+        s
+    }
+
+    /// Serializes with indentation for human consumption (session
+    /// transcripts, EXPLAIN output).
+    pub fn to_pretty_xml(&self) -> String {
+        let mut s = String::new();
+        crate::writer::write_pretty(self, &mut s, 0);
+        s
+    }
+
+    /// Removes whitespace-only text children, recursively. The parser keeps
+    /// them for fidelity; structural consumers (yat-model conversion, the
+    /// capability reader) call this first.
+    pub fn trim_ws(&mut self) {
+        self.children.retain(|c| !c.is_ws());
+        for c in &mut self.children {
+            if let Content::Element(e) = c {
+                e.trim_ws();
+            }
+        }
+    }
+}
+
+impl fmt::Display for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_xml())
+    }
+}

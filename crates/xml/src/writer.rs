@@ -1,0 +1,107 @@
+//! Serializers: compact (wire format, round-trips exactly) and pretty
+//! (indented, for transcripts and EXPLAIN output).
+
+use crate::escape::{escape_attr, escape_text};
+use crate::node::{Content, Element};
+
+/// Writes `el` compactly onto `out`. No whitespace is introduced, so
+/// `parse(write(el)) == el`.
+pub fn write_xml(el: &Element, out: &mut String) {
+    out.push('<');
+    out.push_str(&el.name);
+    for a in &el.attributes {
+        out.push(' ');
+        out.push_str(&a.name);
+        out.push_str("=\"");
+        out.push_str(&escape_attr(&a.value));
+        out.push('"');
+    }
+    if el.children.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    for c in &el.children {
+        write_content(c, out);
+    }
+    out.push_str("</");
+    out.push_str(&el.name);
+    out.push('>');
+}
+
+fn write_content(c: &Content, out: &mut String) {
+    match c {
+        Content::Element(e) => write_xml(e, out),
+        Content::Text(t) => out.push_str(&escape_text(t)),
+        Content::CData(t) => {
+            out.push_str("<![CDATA[");
+            out.push_str(t);
+            out.push_str("]]>");
+        }
+        Content::Comment(t) => {
+            out.push_str("<!--");
+            out.push_str(t);
+            out.push_str("-->");
+        }
+        Content::ProcessingInstruction { target, data } => {
+            out.push_str("<?");
+            out.push_str(target);
+            if !data.is_empty() {
+                out.push(' ');
+                out.push_str(data);
+            }
+            out.push_str("?>");
+        }
+    }
+}
+
+/// Writes `el` with two-space indentation.
+///
+/// Elements whose children are text-only are kept on one line
+/// (`<title>Nympheas</title>`), matching the layout of the paper's figures.
+/// Mixed content is emitted compactly to avoid changing its meaning.
+pub fn write_pretty(el: &Element, out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+    let has_el = el.children.iter().any(|c| matches!(c, Content::Element(_)));
+    let has_text = el
+        .children
+        .iter()
+        .any(|c| matches!(c, Content::Text(_) | Content::CData(_)) && !c.is_ws());
+    if !has_el || has_text {
+        // leaf-ish or mixed: one line
+        write_xml(el, out);
+        out.push('\n');
+        return;
+    }
+    out.push('<');
+    out.push_str(&el.name);
+    for a in &el.attributes {
+        out.push(' ');
+        out.push_str(&a.name);
+        out.push_str("=\"");
+        out.push_str(&escape_attr(&a.value));
+        out.push('"');
+    }
+    out.push_str(">\n");
+    for c in &el.children {
+        match c {
+            Content::Element(e) => write_pretty(e, out, indent + 1),
+            other if other.is_ws() => {}
+            other => {
+                for _ in 0..=indent {
+                    out.push_str("  ");
+                }
+                write_content(other, out);
+                out.push('\n');
+            }
+        }
+    }
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+    out.push_str("</");
+    out.push_str(&el.name);
+    out.push_str(">\n");
+}

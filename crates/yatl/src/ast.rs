@@ -1,0 +1,90 @@
+//! The YATL abstract syntax: rules over filters (from `yat-model`),
+//! templates and predicates (from `yat-algebra`).
+
+use std::fmt;
+use yat_algebra::{Pred, Template};
+use yat_model::Filter;
+
+/// One `source WITH filter` clause of a `MATCH`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchClause {
+    /// The named document/extent/view matched against.
+    pub source: String,
+    /// The filter applied to it.
+    pub filter: Filter,
+}
+
+/// A YATL rule: `name() := MAKE t MATCH m... WHERE p`.
+///
+/// A *query* is an anonymous rule (`name == None`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// The rule's name, defining a view/document, or `None` for ad-hoc
+    /// queries.
+    pub name: Option<String>,
+    /// The construction template of the `MAKE` clause.
+    pub make: Template,
+    /// The `MATCH` clauses, in order.
+    pub matches: Vec<MatchClause>,
+    /// The `WHERE` predicate (`Pred::True` when absent).
+    pub where_pred: Pred,
+}
+
+impl Rule {
+    /// Names of the documents this rule reads.
+    pub fn inputs(&self) -> Vec<&str> {
+        self.matches.iter().map(|m| m.source.as_str()).collect()
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(n) = &self.name {
+            writeln!(f, "{n}() :=")?;
+        }
+        writeln!(f, "MAKE {}", self.make)?;
+        for (i, m) in self.matches.iter().enumerate() {
+            let kw = if i == 0 { "MATCH" } else { "     " };
+            let sep = if i + 1 < self.matches.len() { "," } else { "" };
+            writeln!(f, "{kw} {} WITH {}{sep}", m.source, m.filter)?;
+        }
+        if self.where_pred != Pred::True {
+            writeln!(f, "WHERE {}", yatl_pred(&self.where_pred))?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders a predicate in YATL surface syntax (`AND`/`OR`/`NOT` instead of
+/// the algebra's `∧`/`∨`/`¬`), so printed rules re-parse.
+pub fn yatl_pred(p: &Pred) -> String {
+    match p {
+        Pred::And(a, b) => format!("{} AND {}", yatl_pred(a), yatl_pred(b)),
+        Pred::Or(a, b) => format!("({} OR {})", yatl_pred(a), yatl_pred(b)),
+        Pred::Not(x) => format!("NOT ({})", yatl_pred(x)),
+        other => other.to_string(),
+    }
+}
+
+/// A YATL integration program: a sequence of rules (`view1.yat`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// The rules, in source order.
+    pub rules: Vec<Rule>,
+}
+
+impl Program {
+    /// Finds a named rule.
+    pub fn rule(&self, name: &str) -> Option<&Rule> {
+        self.rules.iter().find(|r| r.name.as_deref() == Some(name))
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rules {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}

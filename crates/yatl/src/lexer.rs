@@ -1,0 +1,479 @@
+//! Tokenizer for YATL.
+
+use std::fmt;
+
+/// A YATL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Keywords: `MAKE`, `MATCH`, `WITH`, `WHERE`, `AND`, `OR`, `NOT`.
+    Make,
+    /// `MATCH`
+    Match,
+    /// `WITH`
+    With,
+    /// `WHERE`
+    Where,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `NOT`
+    Not,
+    /// An identifier (element name, source name, function name).
+    Ident(String),
+    /// A variable `$t`, `$t'` (primes kept in the name).
+    Var(String),
+    /// A string literal.
+    Str(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// `:=`
+    Assign,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `[`
+    LBrack,
+    /// `]`
+    RBrack,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `?`
+    Quest,
+    /// `_`
+    Underscore,
+    /// `&`
+    Amp,
+    /// `~`
+    Tilde,
+    /// `|`
+    Pipe,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Make => write!(f, "MAKE"),
+            Tok::Match => write!(f, "MATCH"),
+            Tok::With => write!(f, "WITH"),
+            Tok::Where => write!(f, "WHERE"),
+            Tok::And => write!(f, "AND"),
+            Tok::Or => write!(f, "OR"),
+            Tok::Not => write!(f, "NOT"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Var(v) => write!(f, "${v}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::Float(x) => write!(f, "{x}"),
+            Tok::Assign => write!(f, ":="),
+            Tok::Colon => write!(f, ":"),
+            Tok::Dot => write!(f, "."),
+            Tok::Comma => write!(f, ","),
+            Tok::Semi => write!(f, ";"),
+            Tok::LBrack => write!(f, "["),
+            Tok::RBrack => write!(f, "]"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::Star => write!(f, "*"),
+            Tok::Quest => write!(f, "?"),
+            Tok::Underscore => write!(f, "_"),
+            Tok::Amp => write!(f, "&"),
+            Tok::Tilde => write!(f, "~"),
+            Tok::Pipe => write!(f, "|"),
+            Tok::Eq => write!(f, "="),
+            Tok::Ne => write!(f, "!="),
+            Tok::Lt => write!(f, "<"),
+            Tok::Le => write!(f, "<="),
+            Tok::Gt => write!(f, ">"),
+            Tok::Ge => write!(f, ">="),
+        }
+    }
+}
+
+/// A token plus its source line (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A lexical error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// 1-based source line.
+    pub line: u32,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lexical error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes YATL source. `--` and `//` start line comments.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line: u32 = 1;
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '-' | '/' => {
+                // comment or error
+                let first = chars.next().expect("peeked");
+                match (first, chars.peek()) {
+                    ('-', Some('-')) | ('/', Some('/')) => {
+                        for c in chars.by_ref() {
+                            if c == '\n' {
+                                line += 1;
+                                break;
+                            }
+                        }
+                    }
+                    _ => {
+                        return Err(LexError {
+                            line,
+                            message: format!("unexpected character `{first}`"),
+                        })
+                    }
+                }
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some('\\') => match chars.next() {
+                            Some('n') => s.push('\n'),
+                            Some('t') => s.push('\t'),
+                            Some(c @ ('"' | '\\')) => s.push(c),
+                            other => {
+                                return Err(LexError {
+                                    line,
+                                    message: format!("bad escape `\\{other:?}`"),
+                                })
+                            }
+                        },
+                        Some('\n') => {
+                            return Err(LexError {
+                                line,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(c) => s.push(c),
+                        None => {
+                            return Err(LexError {
+                                line,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                    }
+                }
+                out.push(Spanned {
+                    tok: Tok::Str(s),
+                    line,
+                });
+            }
+            '$' => {
+                chars.next();
+                let mut v = String::new();
+                while matches!(chars.peek(), Some(c) if c.is_alphanumeric() || *c == '_') {
+                    v.push(chars.next().expect("peeked"));
+                }
+                while matches!(chars.peek(), Some('\'')) {
+                    v.push(chars.next().expect("peeked"));
+                }
+                if v.is_empty() {
+                    return Err(LexError {
+                        line,
+                        message: "`$` must start a variable".into(),
+                    });
+                }
+                out.push(Spanned {
+                    tok: Tok::Var(v),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let mut n = String::new();
+                while matches!(chars.peek(), Some(c) if c.is_ascii_digit() || *c == '_') {
+                    let c = chars.next().expect("peeked");
+                    if c != '_' {
+                        n.push(c);
+                    }
+                }
+                // a fraction only if digit follows the dot (else `.` is the
+                // path operator)
+                let mut cl = chars.clone();
+                if cl.next() == Some('.') && matches!(cl.next(), Some(d) if d.is_ascii_digit()) {
+                    chars.next(); // consume '.'
+                    n.push('.');
+                    while matches!(chars.peek(), Some(c) if c.is_ascii_digit() || *c == '_') {
+                        let c = chars.next().expect("peeked");
+                        if c != '_' {
+                            n.push(c);
+                        }
+                    }
+                    let x: f64 = n.parse().map_err(|_| LexError {
+                        line,
+                        message: format!("bad float literal `{n}`"),
+                    })?;
+                    out.push(Spanned {
+                        tok: Tok::Float(x),
+                        line,
+                    });
+                } else {
+                    let x: i64 = n.parse().map_err(|_| LexError {
+                        line,
+                        message: format!("bad integer literal `{n}`"),
+                    })?;
+                    out.push(Spanned {
+                        tok: Tok::Int(x),
+                        line,
+                    });
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while matches!(chars.peek(), Some(c) if c.is_alphanumeric() || *c == '_' || *c == '-')
+                {
+                    s.push(chars.next().expect("peeked"));
+                }
+                let tok = match s.as_str() {
+                    "MAKE" => Tok::Make,
+                    "MATCH" => Tok::Match,
+                    "WITH" => Tok::With,
+                    "WHERE" => Tok::Where,
+                    "AND" => Tok::And,
+                    "OR" => Tok::Or,
+                    "NOT" => Tok::Not,
+                    "_" => Tok::Underscore,
+                    _ => Tok::Ident(s),
+                };
+                out.push(Spanned { tok, line });
+            }
+            _ => {
+                chars.next();
+                let tok = match c {
+                    ':' => {
+                        if chars.peek() == Some(&'=') {
+                            chars.next();
+                            Tok::Assign
+                        } else {
+                            Tok::Colon
+                        }
+                    }
+                    '.' => Tok::Dot,
+                    ',' => Tok::Comma,
+                    ';' => Tok::Semi,
+                    '[' => Tok::LBrack,
+                    ']' => Tok::RBrack,
+                    '(' => Tok::LParen,
+                    ')' => Tok::RParen,
+                    '*' => Tok::Star,
+                    '?' => Tok::Quest,
+                    '&' => Tok::Amp,
+                    '~' => Tok::Tilde,
+                    '|' => Tok::Pipe,
+                    '=' => Tok::Eq,
+                    '!' => {
+                        if chars.peek() == Some(&'=') {
+                            chars.next();
+                            Tok::Ne
+                        } else {
+                            return Err(LexError {
+                                line,
+                                message: "`!` must be followed by `=`".into(),
+                            });
+                        }
+                    }
+                    '<' => {
+                        if chars.peek() == Some(&'=') {
+                            chars.next();
+                            Tok::Le
+                        } else {
+                            Tok::Lt
+                        }
+                    }
+                    '>' => {
+                        if chars.peek() == Some(&'=') {
+                            chars.next();
+                            Tok::Ge
+                        } else {
+                            Tok::Gt
+                        }
+                    }
+                    other => {
+                        return Err(LexError {
+                            line,
+                            message: format!("unexpected character `{other}`"),
+                        })
+                    }
+                };
+                out.push(Spanned { tok, line });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_idents_vars() {
+        assert_eq!(
+            toks("MAKE $t MATCH artworks WITH doc WHERE $y > 1800"),
+            vec![
+                Tok::Make,
+                Tok::Var("t".into()),
+                Tok::Match,
+                Tok::Ident("artworks".into()),
+                Tok::With,
+                Tok::Ident("doc".into()),
+                Tok::Where,
+                Tok::Var("y".into()),
+                Tok::Gt,
+                Tok::Int(1800),
+            ]
+        );
+    }
+
+    #[test]
+    fn primed_variables() {
+        assert_eq!(
+            toks("$t' $t''"),
+            vec![Tok::Var("t'".into()), Tok::Var("t''".into())]
+        );
+    }
+
+    #[test]
+    fn assign_vs_colon() {
+        assert_eq!(
+            toks("artworks() := a: $b"),
+            vec![
+                Tok::Ident("artworks".into()),
+                Tok::LParen,
+                Tok::RParen,
+                Tok::Assign,
+                Tok::Ident("a".into()),
+                Tok::Colon,
+                Tok::Var("b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_dots() {
+        // 200_000.00 is a float; doc.work uses Dot tokens
+        assert_eq!(toks("200000.00"), vec![Tok::Float(200000.0)]);
+        assert_eq!(
+            toks("doc.work.1"),
+            vec![
+                Tok::Ident("doc".into()),
+                Tok::Dot,
+                Tok::Ident("work".into()),
+                Tok::Dot,
+                Tok::Int(1)
+            ]
+        );
+        assert_eq!(
+            toks("10.1500.000"),
+            vec![Tok::Float(10.15), Tok::Dot, Tok::Int(0)]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            toks(r#""Giverny" "a\"b\\c""#),
+            vec![Tok::Str("Giverny".into()), Tok::Str("a\"b\\c".into())]
+        );
+        assert!(lex("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let ts = lex("a -- comment\nb // another\nc").unwrap();
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts[1].line, 2);
+        assert_eq!(ts[2].line, 3);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("= != < <= > >="),
+            vec![Tok::Eq, Tok::Ne, Tok::Lt, Tok::Le, Tok::Gt, Tok::Ge]
+        );
+        assert!(lex("!x").is_err());
+    }
+
+    #[test]
+    fn punctuation() {
+        assert_eq!(
+            toks("[ ] ( ) * ? & ~ | , ;"),
+            vec![
+                Tok::LBrack,
+                Tok::RBrack,
+                Tok::LParen,
+                Tok::RParen,
+                Tok::Star,
+                Tok::Quest,
+                Tok::Amp,
+                Tok::Tilde,
+                Tok::Pipe,
+                Tok::Comma,
+                Tok::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_chars_rejected() {
+        assert!(lex("a # b").is_err());
+        assert!(lex("$").is_err());
+        assert!(lex("-x").is_err());
+    }
+}

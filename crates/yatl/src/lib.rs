@@ -1,0 +1,42 @@
+//! # yat-yatl — the YATL integration language (Section 2)
+//!
+//! YATL is the declarative rule language of the YAT system: integration
+//! programs are sequences of rules whose partial results are connected by
+//! Skolem functions. A rule has three clauses:
+//!
+//! * **MATCH** — pattern matching: filters navigate source documents and
+//!   bind variables (`title: $t`, star edges, collection variables);
+//! * **WHERE** — the usual predicate clause (`$y > 1800 AND $c = $a`);
+//! * **MAKE** — construction: a template with grouping and Skolem
+//!   functions (`doc *&artwork($t,$c): work[...]`).
+//!
+//! This crate provides the concrete syntax ([`parse_program`] /
+//! [`parse_rule`]), the AST ([`Rule`], [`MatchClause`]) and the
+//! **algebraic translation** of Section 3.2 ([`translate`]): named
+//! documents become `Source` inputs, each `MATCH` becomes a `Bind`,
+//! cross-input predicates become `Join`s, remaining predicates `Select`s,
+//! and the `MAKE` clause a `Tree` operation.
+//!
+//! The grammar follows the paper's examples, with minor normalizations
+//! documented in [`parser`]:
+//!
+//! ```text
+//! artworks() :=
+//!   MAKE doc *&artwork($t,$c): work[ title: $t, artist: $a ]
+//!   MATCH artifacts WITH set *class: artifact: tuple[ title: $t, year: $y ],
+//!         artworks  WITH works *work[ artist: $a, title: $t' ]
+//!   WHERE $y > 1800 AND $t = $t'
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod paper;
+pub mod parser;
+pub mod translate;
+
+pub use ast::{MatchClause, Program, Rule};
+pub use parser::{parse_filter, parse_program, parse_rule, parse_template, ParseError};
+pub use translate::translate;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,69 @@
+//! The paper's running example, as reusable YATL sources: the `view1.yat`
+//! integration view (Section 2), query **Q1** ("artifacts created at
+//! Giverny") and query **Q2** ("impressionist artworks sold for less than
+//! 200,000").
+//!
+//! The whole workspace reproduces figures against these exact texts:
+//! `yat-mediator` composes and optimizes them (Figs. 5, 8, 9), and
+//! `yat-bench` measures the optimizations on them.
+
+use crate::ast::Rule;
+use crate::parser::parse_rule;
+
+/// `view1.yat`: integrates the O2 `artifacts` extent with the XML-Wais
+/// `works` documents into a collection of `artwork` documents, one per
+/// known artwork (Section 2).
+///
+/// Naming note: the O2 wrapper exports `artifacts`, the Wais wrapper
+/// exports `works`, and this rule defines the integrated view `artworks`.
+pub const VIEW1: &str = r#"
+artworks() :=
+MAKE doc *&artwork($t,$c) := work [ title: $t, artist: $a,
+       year: $y, price: $p,
+       style: $s, size: $si,
+       owners *$o, more: $fields ]
+MATCH artifacts WITH
+    set *class: artifact:
+         tuple [ title: $t, year: $y,
+                 creator: $c, price: $p,
+                 owners: list *class: person:
+                    tuple [ name: $o,
+                            auction: $au ] ],
+      works WITH
+    works *work [ artist: $a,
+                  title: $t', style: $s,
+                  size: $si, *($fields) ]
+WHERE $y > 1800 AND $c = $a AND $t = $t'
+"#;
+
+/// **Q1**: "What are the artifacts created at Giverny?" — accesses the
+/// semistructured fields of the view's artwork documents.
+pub const Q1: &str = r#"
+MAKE $t
+MATCH artworks WITH doc.work.[ title.$t, more.cplace.$cl ]
+WHERE $cl = "Giverny"
+"#;
+
+/// **Q2**: "Which impressionist artworks are sold for less than
+/// 200,000.00?" — touches both the full-text source (style) and the O2
+/// source (price).
+pub const Q2: &str = r#"
+MAKE answers *($t,$a,$p) := answer [ title: $t, artist: $a, price: $p ]
+MATCH artworks WITH doc.work.[ title.$t, artist.$a, price.$p, style.$s ]
+WHERE $s = "Impressionist" AND $p <= 200000.00
+"#;
+
+/// Parses [`VIEW1`].
+pub fn view1() -> Rule {
+    parse_rule(VIEW1).expect("VIEW1 is well-formed")
+}
+
+/// Parses [`Q1`].
+pub fn q1() -> Rule {
+    parse_rule(Q1).expect("Q1 is well-formed")
+}
+
+/// Parses [`Q2`].
+pub fn q2() -> Rule {
+    parse_rule(Q2).expect("Q2 is well-formed")
+}

@@ -1,0 +1,667 @@
+//! Recursive-descent parser for YATL.
+//!
+//! The grammar follows the paper's examples with these normalizations,
+//! each preserving the figures' surface syntax:
+//!
+//! * `label: f` and `label. f` both chain vertically (the paper uses `:`
+//!   in filters and `.` in path-style queries like Q1);
+//! * `label * f` is sugar for `label [ * f ]` (`set *class: ...`,
+//!   `works *work [...]`);
+//! * after a dot, a bracket group distributes over the previous node:
+//!   `doc.work.[ title.$t, more.cplace.$cl ]`;
+//! * in `MAKE`, `*&skolem($a,$b) := body` and `*&skolem($a,$b): body` are
+//!   both accepted (the paper prints `:=`);
+//! * `Int`, `Float`, `Bool`, `String` are atomic-type leaves, and
+//!   `Symbol` is the any-symbol metamodel label, when used without
+//!   children.
+
+use crate::ast::{MatchClause, Program, Rule};
+use crate::lexer::{lex, LexError, Spanned, Tok};
+use std::fmt;
+use yat_algebra::{CmpOp, Operand, Pred, Template};
+use yat_model::{Atom, AtomType, Edge, Filter, PLabel, Pattern};
+
+/// A parse failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based source line (0 = end of input).
+    pub line: u32,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "YATL parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            line: e.line,
+            message: e.message,
+        }
+    }
+}
+
+/// Parses a whole integration program (a sequence of rules).
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let mut p = Parser::new(src)?;
+    let mut rules = Vec::new();
+    while !p.at_end() {
+        rules.push(p.rule()?);
+        while p.eat(&Tok::Semi) {}
+    }
+    Ok(Program { rules })
+}
+
+/// Parses a single rule or query.
+pub fn parse_rule(src: &str) -> Result<Rule, ParseError> {
+    let mut p = Parser::new(src)?;
+    let r = p.rule()?;
+    while p.eat(&Tok::Semi) {}
+    p.expect_end()?;
+    Ok(r)
+}
+
+/// Parses a standalone filter (used by tests and the capability layer).
+pub fn parse_filter(src: &str) -> Result<Filter, ParseError> {
+    let mut p = Parser::new(src)?;
+    let f = p.filter()?;
+    p.expect_end()?;
+    Ok(f)
+}
+
+/// Parses a standalone `MAKE` template.
+pub fn parse_template(src: &str) -> Result<Template, ParseError> {
+    let mut p = Parser::new(src)?;
+    let t = p.template()?;
+    p.expect_end()?;
+    Ok(t)
+}
+
+/// Parses a standalone predicate.
+pub fn parse_pred(src: &str) -> Result<Pred, ParseError> {
+    let mut p = Parser::new(src)?;
+    let t = p.pred()?;
+    p.expect_end()?;
+    Ok(t)
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(src: &str) -> Result<Self, ParseError> {
+        Ok(Parser {
+            toks: lex(src)?,
+            pos: 0,
+        })
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1).map(|s| &s.tok)
+    }
+
+    fn line(&self) -> u32 {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|s| s.line)
+            .unwrap_or(0)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line(),
+            message: msg.into(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|s| s.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok) -> Result<(), ParseError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected `{t}`, found {}",
+                self.peek()
+                    .map(|p| format!("`{p}`"))
+                    .unwrap_or_else(|| "end of input".into())
+            )))
+        }
+    }
+
+    fn expect_end(&self) -> Result<(), ParseError> {
+        if self.at_end() {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "unexpected trailing `{}`",
+                self.peek().expect("not at end")
+            )))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.err(format!(
+                "expected identifier, found {}",
+                other
+                    .map(|t| format!("`{t}`"))
+                    .unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+
+    fn var(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Tok::Var(v)) => Ok(v),
+            other => Err(self.err(format!(
+                "expected variable, found {}",
+                other
+                    .map(|t| format!("`{t}`"))
+                    .unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+
+    // ---- rules -----------------------------------------------------
+
+    fn rule(&mut self) -> Result<Rule, ParseError> {
+        let name =
+            if matches!(self.peek(), Some(Tok::Ident(_))) && self.peek2() == Some(&Tok::LParen) {
+                let n = self.ident()?;
+                self.expect(&Tok::LParen)?;
+                self.expect(&Tok::RParen)?;
+                self.expect(&Tok::Assign)?;
+                Some(n)
+            } else {
+                None
+            };
+        self.expect(&Tok::Make)?;
+        let make = self.template()?;
+        self.expect(&Tok::Match)?;
+        let mut matches = vec![self.match_clause()?];
+        while self.eat(&Tok::Comma) {
+            matches.push(self.match_clause()?);
+        }
+        let where_pred = if self.eat(&Tok::Where) {
+            self.pred()?
+        } else {
+            Pred::True
+        };
+        Ok(Rule {
+            name,
+            make,
+            matches,
+            where_pred,
+        })
+    }
+
+    fn match_clause(&mut self) -> Result<MatchClause, ParseError> {
+        let source = self.ident()?;
+        self.expect(&Tok::With)?;
+        let filter = self.filter()?;
+        Ok(MatchClause { source, filter })
+    }
+
+    // ---- filters ----------------------------------------------------
+
+    /// filter := chain ("|" chain)*
+    pub(crate) fn filter(&mut self) -> Result<Filter, ParseError> {
+        let first = self.chain()?;
+        if self.peek() != Some(&Tok::Pipe) {
+            return Ok(first);
+        }
+        let mut branches = vec![first];
+        while self.eat(&Tok::Pipe) {
+            branches.push(self.chain()?);
+        }
+        Ok(Pattern::Union(branches))
+    }
+
+    /// chain := prim (("." | ":") rest)?
+    fn chain(&mut self) -> Result<Filter, ParseError> {
+        let node = self.prim()?;
+        if !(self.peek() == Some(&Tok::Dot) || self.peek() == Some(&Tok::Colon)) {
+            return Ok(node);
+        }
+        self.bump();
+        let edges = if self.peek() == Some(&Tok::LBrack) {
+            // distributed group: doc.work.[a, b]
+            self.fields()?
+        } else {
+            vec![Edge::one(self.filter()?)]
+        };
+        match node {
+            Pattern::Node {
+                label,
+                edges: mut existing,
+            } => {
+                existing.extend(edges);
+                Ok(Pattern::Node {
+                    label,
+                    edges: existing,
+                })
+            }
+            other => Err(self.err(format!("cannot chain children onto `{other}`"))),
+        }
+    }
+
+    fn prim(&mut self) -> Result<Filter, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Var(_)) => {
+                let v = self.var()?;
+                Ok(Pattern::TreeVar(v))
+            }
+            Some(Tok::Underscore) => {
+                self.bump();
+                Ok(Pattern::Wildcard)
+            }
+            Some(Tok::Amp) => {
+                self.bump();
+                let n = self.ident()?;
+                Ok(Pattern::Ref(n))
+            }
+            Some(Tok::Str(s)) => {
+                self.bump();
+                Ok(Pattern::constant(s))
+            }
+            Some(Tok::Int(i)) => {
+                self.bump();
+                Ok(Pattern::constant(i))
+            }
+            Some(Tok::Float(x)) => {
+                self.bump();
+                Ok(Pattern::constant(x))
+            }
+            Some(Tok::Tilde) => {
+                self.bump();
+                let v = self.var()?;
+                let edges = self.opt_fields()?;
+                Ok(Pattern::Node {
+                    label: PLabel::Var(v),
+                    edges,
+                })
+            }
+            Some(Tok::Ident(name)) => {
+                self.bump();
+                let edges = self.opt_fields()?;
+                if edges.is_empty() {
+                    if let Some(ty) = AtomType::from_name(&name) {
+                        return Ok(Pattern::atom(ty));
+                    }
+                    if name == "Symbol" {
+                        return Ok(Pattern::Node {
+                            label: PLabel::AnySym,
+                            edges: vec![],
+                        });
+                    }
+                    if name == "Any" {
+                        return Ok(Pattern::Node {
+                            label: PLabel::Any,
+                            edges: vec![],
+                        });
+                    }
+                }
+                Ok(Pattern::sym(name, edges))
+            }
+            other => Err(self.err(format!(
+                "expected a filter, found {}",
+                other
+                    .map(|t| format!("`{t}`"))
+                    .unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+
+    /// Immediate `[fields]` or `* starfield` sugar after a label.
+    fn opt_fields(&mut self) -> Result<Vec<Edge>, ParseError> {
+        if self.peek() == Some(&Tok::LBrack) {
+            self.fields()
+        } else if self.peek() == Some(&Tok::Star) {
+            self.bump();
+            Ok(vec![self.star_field()?])
+        } else {
+            Ok(vec![])
+        }
+    }
+
+    fn fields(&mut self) -> Result<Vec<Edge>, ParseError> {
+        self.expect(&Tok::LBrack)?;
+        let mut edges = Vec::new();
+        if self.peek() != Some(&Tok::RBrack) {
+            edges.push(self.field()?);
+            while self.eat(&Tok::Comma) {
+                edges.push(self.field()?);
+            }
+        }
+        self.expect(&Tok::RBrack)?;
+        Ok(edges)
+    }
+
+    fn field(&mut self) -> Result<Edge, ParseError> {
+        if self.eat(&Tok::Star) {
+            self.star_field()
+        } else if self.eat(&Tok::Quest) {
+            Ok(Edge::opt(self.filter()?))
+        } else {
+            Ok(Edge::one(self.filter()?))
+        }
+    }
+
+    /// After a `*`: `($v)` collect, `$v` / `$v: f` iterate, or a plain
+    /// star edge.
+    fn star_field(&mut self) -> Result<Edge, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::LParen) => {
+                self.bump();
+                let v = self.var()?;
+                self.expect(&Tok::RParen)?;
+                let pat = if self.eat(&Tok::Colon) {
+                    self.filter()?
+                } else {
+                    Pattern::Wildcard
+                };
+                Ok(Edge::star_collect(v, pat))
+            }
+            Some(Tok::Var(_)) => {
+                let v = self.var()?;
+                let pat = if self.eat(&Tok::Colon) {
+                    self.filter()?
+                } else {
+                    Pattern::Wildcard
+                };
+                Ok(Edge::star_iter(v, pat))
+            }
+            _ => Ok(Edge::star(self.filter()?)),
+        }
+    }
+
+    // ---- templates ---------------------------------------------------
+
+    pub(crate) fn template(&mut self) -> Result<Template, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Var(_)) => {
+                let v = self.var()?;
+                Ok(Template::Var(v))
+            }
+            Some(Tok::Str(s)) => {
+                self.bump();
+                Ok(Template::Text(s))
+            }
+            Some(Tok::Star) => {
+                self.bump();
+                self.tgroup()
+            }
+            Some(Tok::Tilde) => {
+                self.bump();
+                let v = self.var()?;
+                let children = self.tchildren()?;
+                Ok(Template::LabelVar { var: v, children })
+            }
+            Some(Tok::Ident(name)) => {
+                self.bump();
+                let children = self.tchildren()?;
+                Ok(Template::Sym { name, children })
+            }
+            other => Err(self.err(format!(
+                "expected a template, found {}",
+                other
+                    .map(|t| format!("`{t}`"))
+                    .unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+
+    /// Children of a template node: `[items]`, `* group` sugar, or
+    /// `: template` (single child).
+    fn tchildren(&mut self) -> Result<Vec<Template>, ParseError> {
+        if self.peek() == Some(&Tok::LBrack) {
+            self.bump();
+            let mut items = Vec::new();
+            if self.peek() != Some(&Tok::RBrack) {
+                items.push(self.titem()?);
+                while self.eat(&Tok::Comma) {
+                    items.push(self.titem()?);
+                }
+            }
+            self.expect(&Tok::RBrack)?;
+            Ok(items)
+        } else if self.peek() == Some(&Tok::Star) {
+            self.bump();
+            Ok(vec![self.tgroup()?])
+        } else if self.peek() == Some(&Tok::Colon) {
+            self.bump();
+            Ok(vec![self.template()?])
+        } else {
+            Ok(vec![])
+        }
+    }
+
+    /// `title: $t` within brackets, plus nested templates and groups.
+    fn titem(&mut self) -> Result<Template, ParseError> {
+        if self.eat(&Tok::Star) {
+            return self.tgroup();
+        }
+        // `label: value` / `label * group` / `label[...]` / bare template
+        if let Some(Tok::Ident(name)) = self.peek().cloned() {
+            self.bump();
+            let children = self.tchildren()?;
+            return Ok(Template::Sym { name, children });
+        }
+        self.template()
+    }
+
+    /// After a `*` in a template: Skolem group, plain group, or variable
+    /// splice sugar (`owners *$o`).
+    fn tgroup(&mut self) -> Result<Template, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Amp) => {
+                self.bump();
+                let name = self.ident()?;
+                self.expect(&Tok::LParen)?;
+                let mut key = vec![self.var()?];
+                while self.eat(&Tok::Comma) {
+                    key.push(self.var()?);
+                }
+                self.expect(&Tok::RParen)?;
+                if !self.eat(&Tok::Assign) {
+                    self.expect(&Tok::Colon)?;
+                }
+                let body = self.template()?;
+                Ok(Template::Group {
+                    key,
+                    skolem: Some(name),
+                    body: Box::new(body),
+                })
+            }
+            Some(Tok::LParen) => {
+                self.bump();
+                let mut key = vec![self.var()?];
+                while self.eat(&Tok::Comma) {
+                    key.push(self.var()?);
+                }
+                self.expect(&Tok::RParen)?;
+                if !self.eat(&Tok::Assign) {
+                    self.expect(&Tok::Colon)?;
+                }
+                let body = self.template()?;
+                Ok(Template::Group {
+                    key,
+                    skolem: None,
+                    body: Box::new(body),
+                })
+            }
+            Some(Tok::Var(_)) => {
+                let v = self.var()?;
+                Ok(Template::Var(v))
+            }
+            _ => Err(self.err("expected a group (`&f($v): t`, `($v): t`) or variable after `*`")),
+        }
+    }
+
+    // ---- predicates ----------------------------------------------------
+
+    pub(crate) fn pred(&mut self) -> Result<Pred, ParseError> {
+        let mut left = self.pred_and()?;
+        while self.eat(&Tok::Or) {
+            let right = self.pred_and()?;
+            left = Pred::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn pred_and(&mut self) -> Result<Pred, ParseError> {
+        let mut left = self.pred_atom()?;
+        while self.eat(&Tok::And) {
+            let right = self.pred_atom()?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn pred_atom(&mut self) -> Result<Pred, ParseError> {
+        if self.eat(&Tok::Not) {
+            return Ok(Pred::Not(Box::new(self.pred_atom()?)));
+        }
+        if self.peek() == Some(&Tok::LParen) {
+            self.bump();
+            let p = self.pred()?;
+            self.expect(&Tok::RParen)?;
+            return Ok(p);
+        }
+        // function-style predicate: contains($w, "x") — unless a
+        // comparison operator follows, in which case the call is an operand
+        // (`current_price($x) <= 200000.00`)
+        if matches!(self.peek(), Some(Tok::Ident(_))) && self.peek2() == Some(&Tok::LParen) {
+            let name = self.ident()?;
+            self.expect(&Tok::LParen)?;
+            let mut args = Vec::new();
+            if self.peek() != Some(&Tok::RParen) {
+                args.push(self.operand()?);
+                while self.eat(&Tok::Comma) {
+                    args.push(self.operand()?);
+                }
+            }
+            self.expect(&Tok::RParen)?;
+            if !matches!(
+                self.peek(),
+                Some(Tok::Eq | Tok::Ne | Tok::Lt | Tok::Le | Tok::Gt | Tok::Ge)
+            ) {
+                return Ok(Pred::Call { name, args });
+            }
+            let op = match self.bump().expect("peeked") {
+                Tok::Eq => CmpOp::Eq,
+                Tok::Ne => CmpOp::Ne,
+                Tok::Lt => CmpOp::Lt,
+                Tok::Le => CmpOp::Le,
+                Tok::Gt => CmpOp::Gt,
+                Tok::Ge => CmpOp::Ge,
+                _ => unreachable!("matched above"),
+            };
+            let right = self.operand()?;
+            return Ok(Pred::Cmp {
+                op,
+                left: Operand::Call { name, args },
+                right,
+            });
+        }
+        let left = self.operand()?;
+        let op = match self.bump() {
+            Some(Tok::Eq) => CmpOp::Eq,
+            Some(Tok::Ne) => CmpOp::Ne,
+            Some(Tok::Lt) => CmpOp::Lt,
+            Some(Tok::Le) => CmpOp::Le,
+            Some(Tok::Gt) => CmpOp::Gt,
+            Some(Tok::Ge) => CmpOp::Ge,
+            other => {
+                return Err(self.err(format!(
+                    "expected comparison operator, found {}",
+                    other
+                        .map(|t| format!("`{t}`"))
+                        .unwrap_or_else(|| "end of input".into())
+                )))
+            }
+        };
+        let right = self.operand()?;
+        Ok(Pred::Cmp { op, left, right })
+    }
+
+    fn operand(&mut self) -> Result<Operand, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Var(_)) => Ok(Operand::Var(self.var()?)),
+            Some(Tok::Str(s)) => {
+                self.bump();
+                Ok(Operand::Const(Atom::Str(s)))
+            }
+            Some(Tok::Int(i)) => {
+                self.bump();
+                Ok(Operand::Const(Atom::Int(i)))
+            }
+            Some(Tok::Float(x)) => {
+                self.bump();
+                Ok(Operand::Const(Atom::Float(x)))
+            }
+            Some(Tok::Ident(name)) => {
+                self.bump();
+                if name == "true" {
+                    return Ok(Operand::Const(Atom::Bool(true)));
+                }
+                if name == "false" {
+                    return Ok(Operand::Const(Atom::Bool(false)));
+                }
+                self.expect(&Tok::LParen)?;
+                let mut args = Vec::new();
+                if self.peek() != Some(&Tok::RParen) {
+                    args.push(self.operand()?);
+                    while self.eat(&Tok::Comma) {
+                        args.push(self.operand()?);
+                    }
+                }
+                self.expect(&Tok::RParen)?;
+                Ok(Operand::Call { name, args })
+            }
+            other => Err(self.err(format!(
+                "expected an operand, found {}",
+                other
+                    .map(|t| format!("`{t}`"))
+                    .unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+}

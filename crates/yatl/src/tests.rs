@@ -1,0 +1,403 @@
+//! Parser and translation tests, including the paper's view and queries.
+
+use crate::parser::{parse_filter, parse_pred, parse_program, parse_rule, parse_template};
+use crate::{paper, translate};
+use yat_algebra::{Alg, CmpOp, Operand, Pred, Template};
+use yat_model::{AtomType, Edge, Occ, PLabel, Pattern, StarBind};
+
+// ---- filters ---------------------------------------------------------
+
+#[test]
+fn filter_elem_var() {
+    assert_eq!(
+        parse_filter("title: $t").unwrap(),
+        Pattern::elem_var("title", "t")
+    );
+    assert_eq!(
+        parse_filter("title.$t").unwrap(),
+        Pattern::elem_var("title", "t")
+    );
+}
+
+#[test]
+fn filter_bracket_fields() {
+    let f = parse_filter("work [ title: $t, artist: $a ]").unwrap();
+    assert_eq!(
+        f,
+        Pattern::sym(
+            "work",
+            vec![
+                Edge::one(Pattern::elem_var("title", "t")),
+                Edge::one(Pattern::elem_var("artist", "a")),
+            ]
+        )
+    );
+}
+
+#[test]
+fn filter_star_sugar_and_chain() {
+    // `set *class: artifact: tuple [...]` — star sugar + colon chaining
+    let f = parse_filter("set *class: artifact: tuple [ title: $t ]").unwrap();
+    let Pattern::Node { label, edges } = &f else {
+        panic!()
+    };
+    assert_eq!(label, &PLabel::Sym("set".into()));
+    assert_eq!(edges.len(), 1);
+    assert_eq!(edges[0].occ, Occ::Star);
+    let Pattern::Node { label, edges } = &edges[0].pattern else {
+        panic!()
+    };
+    assert_eq!(label, &PLabel::Sym("class".into()));
+    let Pattern::Node { label, .. } = &edges[0].pattern else {
+        panic!()
+    };
+    assert_eq!(label, &PLabel::Sym("artifact".into()));
+}
+
+#[test]
+fn filter_star_variants() {
+    // iterate with variable
+    let f = parse_filter("owners [ *$o ]").unwrap();
+    let Pattern::Node { edges, .. } = &f else {
+        panic!()
+    };
+    assert_eq!(edges[0].star_var, Some(("o".into(), StarBind::Iterate)));
+    // iterate with variable and pattern
+    let f = parse_filter("doc *$w: work").unwrap();
+    let Pattern::Node { edges, .. } = &f else {
+        panic!()
+    };
+    assert_eq!(edges[0].star_var, Some(("w".into(), StarBind::Iterate)));
+    assert_eq!(edges[0].pattern, Pattern::sym("work", vec![]));
+    // collect
+    let f = parse_filter("work [ *($fields) ]").unwrap();
+    let Pattern::Node { edges, .. } = &f else {
+        panic!()
+    };
+    assert_eq!(
+        edges[0].star_var,
+        Some(("fields".into(), StarBind::Collect))
+    );
+    // plain star edge
+    let f = parse_filter("works *work").unwrap();
+    let Pattern::Node { edges, .. } = &f else {
+        panic!()
+    };
+    assert_eq!(edges[0].star_var, None);
+    assert_eq!(edges[0].occ, Occ::Star);
+}
+
+#[test]
+fn filter_q1_path_syntax() {
+    let f = parse_filter("doc.work.[ title.$t, more.cplace.$cl ]").unwrap();
+    assert_eq!(
+        f,
+        Pattern::sym(
+            "doc",
+            vec![Edge::one(Pattern::sym(
+                "work",
+                vec![
+                    Edge::one(Pattern::elem_var("title", "t")),
+                    Edge::one(Pattern::sym(
+                        "more",
+                        vec![Edge::one(Pattern::elem_var("cplace", "cl"))]
+                    )),
+                ]
+            ))]
+        )
+    );
+}
+
+#[test]
+fn filter_specials() {
+    assert_eq!(parse_filter("_").unwrap(), Pattern::Wildcard);
+    assert_eq!(
+        parse_filter("&Person").unwrap(),
+        Pattern::Ref("Person".into())
+    );
+    assert_eq!(parse_filter("Int").unwrap(), Pattern::atom(AtomType::Int));
+    assert_eq!(
+        parse_filter("Symbol").unwrap(),
+        Pattern::Node {
+            label: PLabel::AnySym,
+            edges: vec![]
+        }
+    );
+    assert_eq!(
+        parse_filter("\"Giverny\"").unwrap(),
+        Pattern::constant("Giverny")
+    );
+    assert_eq!(parse_filter("1897").unwrap(), Pattern::constant(1897));
+    // atom-type *name* with children is a plain symbol node
+    let f = parse_filter("Int [ $x ]").unwrap();
+    assert!(matches!(&f, Pattern::Node { label: PLabel::Sym(s), .. } if s == "Int"));
+    // optional edge
+    let f = parse_filter("work [ ?cplace: $c ]").unwrap();
+    let Pattern::Node { edges, .. } = &f else {
+        panic!()
+    };
+    assert_eq!(edges[0].occ, Occ::Opt);
+    // label variable node
+    let f = parse_filter("~$n [ $v ]").unwrap();
+    assert!(matches!(&f, Pattern::Node { label: PLabel::Var(n), .. } if n == "n"));
+}
+
+#[test]
+fn filter_union() {
+    let f = parse_filter("Int | String | &Class").unwrap();
+    assert_eq!(
+        f,
+        Pattern::Union(vec![
+            Pattern::atom(AtomType::Int),
+            Pattern::atom(AtomType::Str),
+            Pattern::Ref("Class".into()),
+        ])
+    );
+}
+
+#[test]
+fn filter_errors() {
+    assert!(
+        parse_filter("$x: y").is_err(),
+        "cannot chain from a variable"
+    );
+    assert!(parse_filter("work [").is_err());
+    assert!(parse_filter("work ]").is_err());
+    assert!(parse_filter("").is_err());
+}
+
+// ---- templates ---------------------------------------------------------
+
+#[test]
+fn template_make_clause_of_view1() {
+    let t = parse_template("doc *&artwork($t,$c) := work [ title: $t, owners *$o, more: $fields ]")
+        .unwrap();
+    assert_eq!(
+        t,
+        Template::sym(
+            "doc",
+            vec![Template::skolem_group(
+                "artwork",
+                &["t", "c"],
+                Template::sym(
+                    "work",
+                    vec![
+                        Template::elem_var("title", "t"),
+                        Template::sym("owners", vec![Template::Var("o".into())]),
+                        Template::elem_var("more", "fields"),
+                    ]
+                )
+            )]
+        )
+    );
+}
+
+#[test]
+fn template_variants() {
+    assert_eq!(parse_template("$t").unwrap(), Template::Var("t".into()));
+    assert_eq!(parse_template("\"x\"").unwrap(), Template::Text("x".into()));
+    let t = parse_template("s *($a) := artist [ name: $a ]").unwrap();
+    assert_eq!(
+        t,
+        Template::sym(
+            "s",
+            vec![Template::group(
+                &["a"],
+                Template::sym("artist", vec![Template::elem_var("name", "a")])
+            )]
+        )
+    );
+    let t = parse_template("~$n [ $v ]").unwrap();
+    assert_eq!(
+        t,
+        Template::LabelVar {
+            var: "n".into(),
+            children: vec![Template::Var("v".into())]
+        }
+    );
+    assert!(parse_template("s * [x]").is_err());
+}
+
+// ---- predicates ----------------------------------------------------------
+
+#[test]
+fn pred_precedence_and_forms() {
+    let p = parse_pred("$y > 1800 AND $c = $a OR NOT $x != 3").unwrap();
+    // AND binds tighter than OR
+    assert!(matches!(p, Pred::Or(_, _)));
+    let p = parse_pred("contains($w, \"Impressionist\")").unwrap();
+    assert_eq!(
+        p,
+        Pred::Call {
+            name: "contains".into(),
+            args: vec![Operand::var("w"), Operand::Const("Impressionist".into())]
+        }
+    );
+    let p = parse_pred("current_price($x) <= 200000.00").unwrap();
+    assert_eq!(
+        p,
+        Pred::cmp(
+            CmpOp::Le,
+            Operand::Call {
+                name: "current_price".into(),
+                args: vec![Operand::var("x")]
+            },
+            Operand::cst(200000.0)
+        )
+    );
+    let p = parse_pred("( $a = $b )").unwrap();
+    assert_eq!(p, Pred::var_eq("a", "b"));
+    assert!(parse_pred("$a").is_err());
+}
+
+// ---- rules & programs ---------------------------------------------------
+
+#[test]
+fn view1_parses_with_both_sources() {
+    let r = paper::view1();
+    assert_eq!(r.name.as_deref(), Some("artworks"));
+    assert_eq!(r.inputs(), vec!["artifacts", "works"]);
+    // the filter variables of the two clauses
+    assert_eq!(
+        r.matches[0].filter.variables(),
+        vec!["t", "y", "c", "p", "o", "au"]
+    );
+    assert_eq!(
+        r.matches[1].filter.variables(),
+        vec!["a", "t'", "s", "si", "fields"]
+    );
+    // WHERE has three conjuncts
+    assert_eq!(r.where_pred.conjuncts().len(), 3);
+}
+
+#[test]
+fn q1_parses() {
+    let r = paper::q1();
+    assert_eq!(r.name, None);
+    assert_eq!(r.inputs(), vec!["artworks"]);
+    assert_eq!(r.make, Template::Var("t".into()));
+    assert_eq!(r.where_pred, Pred::eq_const("cl", "Giverny"));
+}
+
+#[test]
+fn q2_parses() {
+    let r = paper::q2();
+    assert_eq!(r.inputs(), vec!["artworks"]);
+    let Template::Sym { name, children } = &r.make else {
+        panic!()
+    };
+    assert_eq!(name, "answers");
+    assert!(
+        matches!(&children[0], Template::Group { key, skolem: None, .. } if key == &["t", "a", "p"])
+    );
+}
+
+#[test]
+fn program_with_multiple_rules() {
+    let src = format!(
+        "{}\n;\n{}",
+        paper::VIEW1,
+        "extra() := MAKE $t MATCH artworks WITH doc *$t"
+    );
+    let prog = parse_program(&src).unwrap();
+    assert_eq!(prog.rules.len(), 2);
+    assert!(prog.rule("artworks").is_some());
+    assert!(prog.rule("extra").is_some());
+    assert!(prog.rule("nope").is_none());
+}
+
+#[test]
+fn rule_display_reparses() {
+    let r = paper::view1();
+    let printed = r.to_string();
+    let again = parse_rule(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+    assert_eq!(r.matches, again.matches);
+    assert_eq!(r.where_pred, again.where_pred);
+    assert_eq!(r.make, again.make);
+}
+
+// ---- translation (Fig. 5) ------------------------------------------------
+
+#[test]
+fn fig5_view_translation_shape() {
+    // Tree( Join_{t=t'}( Select/Bind(artifacts), Bind(works) ) ) with the
+    // single-input predicate $y > 1800 in a Select — the left side of Fig. 5.
+    let plan = translate(&paper::view1());
+    let explain = plan.explain();
+    let lines: Vec<&str> = explain.lines().map(str::trim_start).collect();
+    assert!(
+        lines[0].starts_with("Tree doc[*&artwork($t,$c):"),
+        "{explain}"
+    );
+    // a Select for $y > 1800 and $c = $a? no: c=a spans both inputs → Join
+    let join_line = lines
+        .iter()
+        .find(|l| l.starts_with("Join"))
+        .expect("has a Join");
+    assert!(join_line.contains("$c = $a"), "{explain}");
+    assert!(join_line.contains("$t = $t'"), "{explain}");
+    let select_line = lines
+        .iter()
+        .find(|l| l.starts_with("Select"))
+        .expect("has a Select");
+    assert!(select_line.contains("$y > 1800"), "{explain}");
+    // both sources appear
+    assert!(
+        lines.iter().any(|l| l.starts_with("Source artifacts")),
+        "{explain}"
+    );
+    assert!(
+        lines.iter().any(|l| l.starts_with("Source works")),
+        "{explain}"
+    );
+}
+
+#[test]
+fn fig5_q1_translation_shape() {
+    let plan = translate(&paper::q1());
+    let explain = plan.explain();
+    let lines: Vec<&str> = explain.lines().map(str::trim_start).collect();
+    assert_eq!(lines.len(), 4, "{explain}");
+    assert!(lines[0].starts_with("Tree $t"));
+    assert!(lines[1].starts_with("Select $cl = \"Giverny\""));
+    assert!(lines[2].starts_with("Bind doc[work["));
+    assert!(lines[3].starts_with("Source artworks"));
+}
+
+#[test]
+fn translation_is_deterministic() {
+    let a = translate(&paper::view1());
+    let b = translate(&paper::view1());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn single_clause_rule_has_no_join() {
+    let r =
+        parse_rule("MAKE $t MATCH works WITH works *work[ title: $t ] WHERE $t = \"x\"").unwrap();
+    let plan = translate(&r);
+    fn has_join(p: &Alg) -> bool {
+        matches!(p, Alg::Join { .. }) || p.children().iter().any(|c| has_join(c))
+    }
+    assert!(!has_join(&plan));
+}
+
+#[test]
+fn three_way_join_folds_left_to_right() {
+    let r = parse_rule(
+        "MAKE o [ x: $x ] \
+         MATCH a WITH a [ v: $x ], b WITH b [ v: $y ], c WITH c [ v: $z ] \
+         WHERE $x = $y AND $y = $z",
+    )
+    .unwrap();
+    let plan = translate(&r);
+    let explain = plan.explain();
+    let joins: Vec<&str> = explain
+        .lines()
+        .map(str::trim_start)
+        .filter(|l| l.starts_with("Join"))
+        .collect();
+    assert_eq!(joins.len(), 2, "{explain}");
+    assert!(joins[0].contains("$y = $z"), "{explain}");
+    assert!(joins[1].contains("$x = $y"), "{explain}");
+}

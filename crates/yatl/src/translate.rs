@@ -1,0 +1,76 @@
+//! The algebraic translation of YATL rules (Section 3.2, Fig. 5).
+//!
+//! Translation steps, quoted from the paper:
+//!
+//! 1. named documents are the input operations of the algebraic expression;
+//! 2. each `MATCH` statement translates into a *Bind* operation;
+//! 3. predicates involving various inputs translate into *Join* operations;
+//! 4. other predicates in the `WHERE` clause translate into *Select*;
+//! 5. the `MAKE` clause translates into a *Tree* operation.
+//!
+//! The translation is deliberately naive — it produces the "before"
+//! expressions of Figs. 5, 8 and 9; all cleverness lives in the optimizer
+//! (`yat-mediator`).
+
+use crate::ast::Rule;
+use std::sync::Arc;
+use yat_algebra::{Alg, Pred};
+
+/// Translates a rule into an algebra plan following the five steps above.
+pub fn translate(rule: &Rule) -> Arc<Alg> {
+    // steps 1 + 2: one Bind(Source) per MATCH clause
+    let binds: Vec<(Arc<Alg>, Vec<String>)> = rule
+        .matches
+        .iter()
+        .map(|m| {
+            let plan = Alg::bind(Alg::source(m.source.clone()), m.filter.clone());
+            let vars = m.filter.variables();
+            (plan, vars)
+        })
+        .collect();
+
+    // partition WHERE conjuncts: a predicate "involves various inputs"
+    // when its variables span more than one MATCH clause
+    let clause_of = |v: &str| -> Option<usize> {
+        binds
+            .iter()
+            .position(|(_, vars)| vars.iter().any(|x| x == v))
+    };
+    let mut join_preds: Vec<Pred> = Vec::new();
+    let mut select_preds: Vec<Pred> = Vec::new();
+    for conj in rule.where_pred.conjuncts() {
+        let clauses: std::collections::BTreeSet<usize> =
+            conj.vars().iter().filter_map(|v| clause_of(v)).collect();
+        if clauses.len() > 1 {
+            join_preds.push(conj.clone());
+        } else {
+            select_preds.push(conj.clone());
+        }
+    }
+
+    // step 3: fold the binds left-to-right, attaching each join predicate
+    // at the first point where all its variables are in scope
+    let mut iter = binds.into_iter();
+    let (mut plan, mut in_scope) = iter.next().expect("a rule has at least one MATCH clause");
+    for (bind, vars) in iter {
+        let scope_after: Vec<String> = in_scope.iter().chain(vars.iter()).cloned().collect();
+        let (now, later): (Vec<Pred>, Vec<Pred>) = join_preds
+            .into_iter()
+            .partition(|p| p.vars().iter().all(|v| scope_after.iter().any(|s| s == v)));
+        join_preds = later;
+        plan = Alg::join(plan, bind, Pred::from_conjuncts(now));
+        in_scope = scope_after;
+    }
+    // any join predicate that never became fully scoped degrades to a
+    // selection (it will fail at evaluation if truly unresolvable)
+    select_preds.extend(join_preds);
+
+    // step 4: remaining predicates
+    let residual = Pred::from_conjuncts(select_preds);
+    if residual != Pred::True {
+        plan = Alg::select(plan, residual);
+    }
+
+    // step 5: MAKE becomes Tree
+    Alg::tree(plan, rule.make.clone())
+}

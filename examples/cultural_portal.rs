@@ -1,0 +1,119 @@
+//! The paper's full scenario: the cultural-goods Web portal
+//! (www.christies.com motivation, Section 1) built over a generated
+//! federation — the Fig. 2 session, the Fig. 5 view, and both evaluation
+//! queries Q1/Q2 at every optimization level, with traffic accounting.
+//!
+//! ```text
+//! cargo run --example cultural_portal            # default scale (200)
+//! cargo run --example cultural_portal -- 800     # bigger sources
+//! ```
+
+use std::time::Instant;
+use yat::yat_algebra::EvalOut;
+use yat::yat_mediator::{session::Session, OptimizerOptions};
+use yat::yat_oql::art::{art_store, ArtSpec};
+use yat::yat_oql::O2Wrapper;
+use yat::yat_wais::{generate_works, WaisSource, WaisWrapper, WorksSpec};
+use yat::yat_yatl::paper;
+
+fn main() {
+    let scale: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(200);
+
+    // ---- Fig. 2: install wrappers and the mediator ---------------------
+    let mut session = Session::start();
+    session
+        .connect(
+            "logos.inria.fr",
+            Box::new(O2Wrapper::new(
+                "o2artifact",
+                art_store(&ArtSpec {
+                    artifacts: scale,
+                    persons: scale / 5 + 2,
+                    seed: 2000,
+                }),
+            )),
+        )
+        .expect("o2 connects");
+    session
+        .connect(
+            "sappho.ics.forth.gr",
+            Box::new(WaisWrapper::new(
+                "xmlartwork",
+                WaisSource::new(
+                    "works",
+                    &generate_works(&WorksSpec {
+                        works: scale,
+                        impressionist_pct: 30,
+                        optional_pct: 60,
+                        giverny_pct: 30,
+                        seed: 2000,
+                    }),
+                ),
+            )),
+        )
+        .expect("wais connects");
+    session
+        .load("/u/cluet/YAT/view1.yat", paper::VIEW1)
+        .expect("view loads");
+    println!("{}", session.transcript());
+    let mediator = session.into_mediator();
+
+    // ---- the integrated view ------------------------------------------
+    let view = mediator.views()["artworks"].clone();
+    let t0 = Instant::now();
+    let doc = match mediator.execute(&view).expect("view materializes") {
+        EvalOut::Tree(t) => t,
+        other => panic!("unexpected {other:?}"),
+    };
+    println!(
+        "materialized view: {} artworks in {:?}\n",
+        doc.children.len(),
+        t0.elapsed()
+    );
+
+    // ---- Q1 and Q2 at each optimization level ---------------------------
+    for (name, query, containment) in [("Q1", paper::Q1, true), ("Q2", paper::Q2, false)] {
+        println!("---- {name} ----{}", query.trim_end());
+        let plan = mediator.plan_query(query).expect("query plans");
+        let levels: [(&str, OptimizerOptions); 3] = [
+            ("naive", OptimizerOptions::naive()),
+            (
+                "composed",
+                OptimizerOptions {
+                    capability_pushdown: false,
+                    info_passing: false,
+                    assume_containment: containment,
+                    ..Default::default()
+                },
+            ),
+            (
+                "optimized",
+                OptimizerOptions {
+                    assume_containment: containment,
+                    ..Default::default()
+                },
+            ),
+        ];
+        for (label, options) in levels {
+            let (opt, _) = mediator.optimize(&plan, options);
+            mediator.reset_traffic();
+            let t0 = Instant::now();
+            let out = mediator.execute(&opt).expect("query executes");
+            let elapsed = t0.elapsed();
+            let size = match &out {
+                EvalOut::Tree(t) => t.size(),
+                EvalOut::Tab(t) => t.len(),
+            };
+            let traffic = mediator.traffic();
+            println!(
+                "  {label:>10}: {elapsed:>12?}  transferred {:>8} bytes, {:>5} docs  (result size {size})",
+                traffic.total_bytes(),
+                traffic.documents_received,
+            );
+        }
+        println!();
+    }
+}

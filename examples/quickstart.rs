@@ -1,0 +1,66 @@
+//! Quickstart: wrap two heterogeneous sources, integrate them with a
+//! YATL view, and run a query through the optimizing mediator.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use yat::yat_mediator::{Mediator, OptimizerOptions};
+use yat::yat_oql::art::fig1_store;
+use yat::yat_oql::O2Wrapper;
+use yat::yat_wais::{fig1_works, WaisSource, WaisWrapper};
+use yat::yat_yatl::paper;
+
+fn main() {
+    // 1. wrap the structured source: an ODMG object database with OQL
+    let o2 = O2Wrapper::new("o2artifact", fig1_store());
+
+    // 2. wrap the semistructured source: full-text indexed XML documents
+    let wais = WaisWrapper::new("xmlartwork", WaisSource::new("works", &fig1_works()));
+
+    // 3. run a mediator, import both interfaces, load the integration view
+    let mut mediator = Mediator::new();
+    mediator.connect(Box::new(o2)).expect("o2 connects");
+    mediator.connect(Box::new(wais)).expect("wais connects");
+    mediator.load_program(paper::VIEW1).expect("view1 loads");
+
+    println!("connected sources:");
+    for (name, iface) in mediator.interfaces() {
+        println!(
+            "  {name}: {} exports, {} operations",
+            iface.exports.len(),
+            iface.operations.len()
+        );
+    }
+
+    // 4. ask a question that spans both sources
+    let query = r#"
+        MAKE answers *($t,$p) := answer [ title: $t, price: $p ]
+        MATCH artworks WITH doc.work.[ title.$t, price.$p, style.$s ]
+        WHERE $s = "Impressionist" AND $p <= 200000.00
+    "#;
+
+    let plan = mediator.plan_query(query).expect("query plans");
+    println!("\nnaive plan:\n{}", plan.explain());
+
+    let (optimized, trace) = mediator.optimize(&plan, OptimizerOptions::default());
+    println!(
+        "optimized plan ({} rewrites):\n{}",
+        trace.steps.len(),
+        optimized.explain()
+    );
+
+    let result = mediator.execute(&optimized).expect("query executes");
+    match result {
+        yat::yat_algebra::EvalOut::Tree(t) => println!("result:\n{t}"),
+        yat::yat_algebra::EvalOut::Tab(t) => println!("result:\n{t}"),
+    }
+
+    let traffic = mediator.traffic();
+    println!(
+        "\ntraffic: {} bytes over {} round trips ({} documents)",
+        traffic.total_bytes(),
+        traffic.round_trips,
+        traffic.documents_received
+    );
+}

@@ -1,0 +1,55 @@
+//! The Z39.50 separation of "what you may retrieve" from "what you may
+//! query" (Section 4.2): the Aquarelle-style field policy — only `artist`
+//! and `style` are exported from the documents, while queries are allowed
+//! only on the optional fields.
+//!
+//! ```text
+//! cargo run --example restricted_source
+//! ```
+
+use yat::yat_wais::source::FieldPolicy;
+use yat::yat_wais::{fig1_works, WaisSource};
+
+fn main() {
+    let open = WaisSource::new("works", &fig1_works());
+    let restricted =
+        WaisSource::new("works", &fig1_works()).with_policy(FieldPolicy::aquarelle_example());
+
+    println!("-- retrieval under the two policies --");
+    println!("open:       {}", open.fetch(0).expect("doc 0 exists"));
+    println!("restricted: {}", restricted.fetch(0).expect("doc 0 exists"));
+
+    println!("\n-- querying under the two policies --");
+    // full text works on the open source only
+    match open.contains("Giverny") {
+        Ok(hits) => println!("open contains(\"Giverny\")        → {} hit(s)", hits.len()),
+        Err(e) => println!("open contains(\"Giverny\")        → refused: {e}"),
+    }
+    match restricted.contains("Giverny") {
+        Ok(hits) => println!("restricted contains(\"Giverny\")  → {} hit(s)", hits.len()),
+        Err(e) => println!("restricted contains(\"Giverny\")  → refused: {e}"),
+    }
+    // field-scoped queries obey the queryable list
+    for (field, word) in [
+        ("cplace", "Giverny"),
+        ("technique", "canvas"),
+        ("artist", "Monet"),
+    ] {
+        match restricted.search_field(field, word) {
+            Ok(hits) => {
+                println!(
+                    "restricted {field}=\"{word}\"{pad} → {} hit(s)",
+                    hits.len(),
+                    pad = " ".repeat(14usize.saturating_sub(field.len() + word.len()))
+                )
+            }
+            Err(e) => println!("restricted {field}=\"{word}\" → refused: {e}"),
+        }
+    }
+
+    println!(
+        "\nThe mediator compensates: a query touching `title` must fetch the\n\
+         (stripped) documents and evaluate at the mediator — the wrapper's\n\
+         declared capabilities make that decision automatic."
+    );
+}

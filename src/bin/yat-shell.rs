@@ -1,0 +1,154 @@
+//! An interactive `yat>` shell over the Fig. 1 federation — the paper's
+//! Fig. 2 session, live. Type a YATL query terminated by `;`, or one of
+//! the commands below.
+//!
+//! ```text
+//! cargo run --bin yat-shell
+//! yat> MAKE $t MATCH artworks WITH doc.work.[ title.$t ] ;
+//! yat> :explain MAKE $t MATCH artworks WITH doc.work.[ title.$t, more.cplace.$cl ]
+//!      WHERE $cl = "Giverny" ;
+//! yat> :naive on
+//! yat> :views
+//! yat> :quit
+//! ```
+
+use std::io::{self, BufRead, Write};
+use yat::yat_algebra::EvalOut;
+use yat::yat_mediator::{Mediator, OptimizerOptions};
+use yat::yat_oql::art::fig1_store;
+use yat::yat_oql::O2Wrapper;
+use yat::yat_wais::{fig1_works, WaisSource, WaisWrapper};
+use yat::yat_yatl::paper;
+
+fn main() {
+    let mut mediator = Mediator::new();
+    mediator
+        .connect(Box::new(O2Wrapper::new("o2artifact", fig1_store())))
+        .expect("o2 connects");
+    mediator
+        .connect(Box::new(WaisWrapper::new(
+            "xmlartwork",
+            WaisSource::new("works", &fig1_works()),
+        )))
+        .expect("wais connects");
+    mediator.load_program(paper::VIEW1).expect("view1 loads");
+
+    println!("yat-mediator over the Fig. 1 federation (o2artifact, xmlartwork).");
+    println!("Views: artworks(). End queries with `;`. Commands: :explain <q>;,");
+    println!(":naive on|off, :views, :sources, :traffic, :quit.");
+
+    let stdin = io::stdin();
+    let mut buffer = String::new();
+    let mut naive = false;
+    prompt(&buffer);
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        buffer.push_str(&line);
+        buffer.push('\n');
+        let trimmed = buffer.trim().to_string();
+        if trimmed == ":quit" || trimmed == ":q" {
+            break;
+        }
+        if let Some(cmd) = command(&trimmed, &mediator, &mut naive) {
+            if cmd {
+                buffer.clear();
+            }
+            prompt(&buffer);
+            continue;
+        }
+        if !trimmed.ends_with(';') {
+            prompt(&buffer);
+            continue;
+        }
+        let (explain_only, query) = match trimmed.strip_prefix(":explain") {
+            Some(rest) => (true, rest.trim_end_matches(';').to_string()),
+            None => (false, trimmed.trim_end_matches(';').to_string()),
+        };
+        run_query(&mediator, &query, naive, explain_only);
+        buffer.clear();
+        prompt(&buffer);
+    }
+    println!("bye.");
+}
+
+fn prompt(buffer: &str) {
+    if buffer.trim().is_empty() {
+        print!("yat> ");
+    } else {
+        print!("...> ");
+    }
+    let _ = io::stdout().flush();
+}
+
+/// Handles `:`-commands that are complete on one line. Returns `Some(true)`
+/// when a command consumed the buffer.
+fn command(input: &str, mediator: &Mediator, naive: &mut bool) -> Option<bool> {
+    match input {
+        ":views" => {
+            for (name, rule) in mediator.view_rules() {
+                println!("{name}() :=\n{rule}");
+            }
+            Some(true)
+        }
+        ":sources" => {
+            for (name, iface) in mediator.interfaces() {
+                println!("{iface}");
+                let _ = name;
+            }
+            Some(true)
+        }
+        ":traffic" => {
+            let t = mediator.traffic();
+            println!(
+                "{} bytes over {} round trips, {} documents received",
+                t.total_bytes(),
+                t.round_trips,
+                t.documents_received
+            );
+            Some(true)
+        }
+        ":naive on" => {
+            *naive = true;
+            println!("optimizer off (naive evaluation).");
+            Some(true)
+        }
+        ":naive off" => {
+            *naive = false;
+            println!("optimizer on.");
+            Some(true)
+        }
+        _ => None,
+    }
+}
+
+fn run_query(mediator: &Mediator, query: &str, naive: bool, explain_only: bool) {
+    let plan = match mediator.plan_query(query) {
+        Ok(p) => p,
+        Err(e) => {
+            println!("error: {e}");
+            return;
+        }
+    };
+    let options = if naive {
+        OptimizerOptions::naive()
+    } else {
+        OptimizerOptions::default()
+    };
+    let (optimized, trace) = mediator.optimize(&plan, options);
+    if explain_only {
+        println!("naive plan:\n{}", plan.explain());
+        println!(
+            "optimized plan ({} rewrites):\n{}",
+            trace.steps.len(),
+            optimized.explain()
+        );
+        return;
+    }
+    let started = std::time::Instant::now();
+    match mediator.execute(&optimized) {
+        Ok(EvalOut::Tree(t)) => println!("{t}"),
+        Ok(EvalOut::Tab(t)) => println!("{t}"),
+        Err(e) => println!("error: {e}"),
+    }
+    println!("({:?}, {} rewrites)", started.elapsed(), trace.steps.len());
+}

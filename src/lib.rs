@@ -1,0 +1,25 @@
+//! # yat — reproduction of "On Wrapping Query Languages and Efficient XML
+//! Integration" (SIGMOD 2000)
+//!
+//! This façade crate re-exports the whole workspace. See the individual
+//! crates for the subsystems:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`yat_xml`] | XML parser/serializer (the wire format) |
+//! | [`yat_model`] | YAT trees, patterns, instantiation, filters |
+//! | [`yat_algebra`] | the YAT XML algebra and its evaluator |
+//! | [`yat_yatl`] | the YATL language and its algebraic translation |
+//! | [`yat_capability`] | source-capability descriptions (Fig. 6) |
+//! | [`yat_oql`] | ODMG object store + OQL + the O2 wrapper |
+//! | [`yat_wais`] | full-text XML source + the xmlwais wrapper |
+//! | [`yat_mediator`] | composition, the 3-round optimizer, execution |
+
+pub use yat_algebra;
+pub use yat_capability;
+pub use yat_mediator;
+pub use yat_model;
+pub use yat_oql;
+pub use yat_wais;
+pub use yat_xml;
+pub use yat_yatl;

@@ -1,0 +1,144 @@
+//! Cross-crate properties: optimizer soundness over generated queries and
+//! data, wire-transport transparency, and mediator-vs-local equivalence.
+
+use proptest::prelude::*;
+use yat::yat_algebra::EvalOut;
+use yat::yat_mediator::OptimizerOptions;
+use yat::yat_yatl::paper;
+use yat_bench::figures::fingerprint;
+use yat_bench::workload::Scenario;
+
+/// A pool of queries over the integrated view and the raw sources,
+/// parameterized by constants the strategy picks.
+fn query_pool(style: &str, price: i64, place: &str) -> Vec<String> {
+    vec![
+        // view navigation with selections
+        format!(
+            "MAKE out *($t) := r [ $t ] \
+             MATCH artworks WITH doc.work.[ title.$t, style.$s ] \
+             WHERE $s = \"{style}\""
+        ),
+        format!(
+            "MAKE out *($t,$p) := r [ t: $t, p: $p ] \
+             MATCH artworks WITH doc.work.[ title.$t, price.$p ] \
+             WHERE $p <= {price}.0"
+        ),
+        format!(
+            "MAKE $t \
+             MATCH artworks WITH doc.work.[ title.$t, more.cplace.$cl ] \
+             WHERE $cl = \"{place}\""
+        ),
+        // direct source queries
+        format!(
+            "MAKE out *($t) := r [ $t ] \
+             MATCH works WITH works *work [ title: $t, style: \"{style}\" ]"
+        ),
+        format!(
+            "MAKE out *($c) := r [ $c ] \
+             MATCH artifacts WITH set *class: artifact: tuple [ creator: $c, price: $p ] \
+             WHERE $p <= {price}.0"
+        ),
+        // a fresh cross-source join, not through the view
+        "MAKE out *($t) := r [ $t ] \
+         MATCH artifacts WITH set *class: artifact: tuple [ title: $t, year: $y ], \
+               works WITH works *work [ title: $t2, style: $s ] \
+         WHERE $t = $t2 AND $y > 1850 AND $s = \"Impressionist\""
+            .to_string(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `eval(optimize(q)) == eval(q)` for generated queries, scales and
+    /// seeds — the headline soundness property of the optimizer (without
+    /// the opt-in containment assumption).
+    #[test]
+    fn optimizer_is_sound(
+        seed in 0u64..500,
+        scale in 10usize..60,
+        qi in 0usize..6,
+        style in prop::sample::select(vec!["Impressionist", "Cubist", "Realist"]),
+        price in 100_000i64..500_000,
+    ) {
+        let mut sc = Scenario::at_scale(scale);
+        sc.seed = seed;
+        let m = sc.mediator();
+        let queries = query_pool(style, price, "Giverny");
+        let q = &queries[qi];
+        let plan = m.plan_query(q).unwrap();
+        let naive = m.execute(&plan).unwrap();
+        let (opt, _) = m.optimize(&plan, OptimizerOptions::default());
+        let optimized = m.execute(&opt).unwrap();
+        let fp = |o: &EvalOut| match o {
+            EvalOut::Tree(t) => fingerprint(t),
+            EvalOut::Tab(t) => {
+                let mut rows: Vec<String> = t
+                    .rows()
+                    .map(|r| r.iter().map(|v| v.group_key() + ";").collect())
+                    .collect();
+                rows.sort();
+                rows
+            }
+        };
+        prop_assert_eq!(fp(&naive), fp(&optimized), "query: {}\nplan:\n{}", q, opt.explain());
+    }
+}
+
+#[test]
+fn repeated_queries_are_deterministic() {
+    let m = Scenario::at_scale(40).mediator();
+    let a = m.query(paper::Q2, OptimizerOptions::default()).unwrap();
+    let b = m.query(paper::Q2, OptimizerOptions::default()).unwrap();
+    assert_eq!(a, b, "Skolem memoization keeps results identical");
+}
+
+#[test]
+fn two_mediators_same_seed_agree() {
+    let a = Scenario::at_scale(50).mediator();
+    let b = Scenario::at_scale(50).mediator();
+    let ra = a.query(paper::Q2, OptimizerOptions::default()).unwrap();
+    let rb = b.query(paper::Q2, OptimizerOptions::default()).unwrap();
+    match (ra, rb) {
+        (EvalOut::Tree(x), EvalOut::Tree(y)) => assert_eq!(fingerprint(&x), fingerprint(&y)),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn traffic_meters_are_consistent() {
+    let m = Scenario::at_scale(30).mediator();
+    m.reset_traffic();
+    let plan = m.plan_query(paper::Q2).unwrap();
+    m.execute(&plan).unwrap();
+    let total = m.traffic();
+    let per_source = m.traffic_of("o2artifact").unwrap() + m.traffic_of("xmlartwork").unwrap();
+    assert_eq!(
+        total, per_source,
+        "the sum of connection meters is the total"
+    );
+    assert!(total.bytes_sent > 0 && total.bytes_received > 0);
+}
+
+#[test]
+fn views_on_views_compose() {
+    let mut sc = Scenario::at_scale(30);
+    sc.seed = 9;
+    let mut m = sc.mediator();
+    m.load_program(
+        "impressionists() := \
+           MAKE gallery *&entry($t) := item [ title: $t, artist: $a ] \
+           MATCH artworks WITH doc.work.[ title.$t, artist.$a, style.$s ] \
+           WHERE $s = \"Impressionist\"",
+    )
+    .unwrap();
+    let out = m
+        .query(
+            "MAKE $a MATCH impressionists WITH gallery.item.[ artist.$a ]",
+            OptimizerOptions::default(),
+        )
+        .unwrap();
+    let EvalOut::Tree(t) = out else { panic!() };
+    // artists of impressionist works that joined with artifacts
+    assert!(t.size() >= 1);
+}

@@ -1,0 +1,135 @@
+//! Figure 1 — the sample XML data: the literal documents from the paper
+//! parse, convert to YAT trees, and round-trip through every layer.
+
+use yat::yat_model::xml_convert::{parse_tree, tree_from_xml, tree_to_xml};
+use yat::yat_model::{Atom, Label};
+use yat::yat_xml::parse_element;
+
+/// The left column of Fig. 1, verbatim (modulo the `auction` value, which
+/// the paper typesets as `10.1500.000`).
+const FIG1_OBJECTS: &str = r#"
+<objects>
+  <object id="a1" class="artifact">
+    <title> Nympheas </title>
+    <year> 1897 </year>
+    <creator> Claude Monet </creator>
+    <owners refs="p1 p2 p3"/>
+  </object>
+  <object id="p3" class="person">
+    <tuple>
+      <name> Doctor X </name>
+      <auction> 1500000 </auction>
+    </tuple>
+  </object>
+</objects>"#;
+
+/// The right column of Fig. 1, verbatim.
+const FIG1_WORKS: &str = r#"
+<works>
+  <work>
+    <artist> Claude Monet </artist>
+    <title> Nympheas </title>
+    <style> Impressionist </style>
+    <size> 21 x 61 </size>
+    <cplace>Giverny</cplace>
+  </work>
+  <work>
+    <artist> Claude Monet </artist>
+    <title> Waterloo Bridge </title>
+    <style> Impressionist </style>
+    <size> 29.2 x 46.4 </size>
+    <history>Painted with
+      <technique> Oil on canvas
+      </technique> in ...
+    </history>
+  </work>
+</works>"#;
+
+#[test]
+fn objects_parse_and_convert() {
+    let tree = parse_tree(FIG1_OBJECTS).expect("Fig. 1 objects are well-formed");
+    let a1 = &tree.children[0];
+    assert!(matches!(&a1.label, Label::Oid(o) if o.as_str() == "a1"));
+    let body = &a1.children[0];
+    assert_eq!(
+        body.child("year").unwrap().value_atom(),
+        Some(&Atom::Int(1897))
+    );
+    let owners = body.child("owners").unwrap();
+    assert_eq!(owners.children.len(), 3, "refs expand to reference leaves");
+    assert!(owners
+        .children
+        .iter()
+        .all(|c| matches!(c.label, Label::Ref(_))));
+}
+
+#[test]
+fn works_parse_with_mixed_content() {
+    let tree = parse_tree(FIG1_WORKS).expect("Fig. 1 works are well-formed");
+    assert_eq!(tree.children.len(), 2);
+    let bridge = &tree.children[1];
+    let history = bridge.child("history").unwrap();
+    assert!(
+        history.children.len() >= 3,
+        "mixed content preserved: {history}"
+    );
+    assert_eq!(
+        history
+            .child("technique")
+            .unwrap()
+            .value_atom()
+            .unwrap()
+            .to_string(),
+        "Oil on canvas"
+    );
+}
+
+#[test]
+fn conversion_round_trips() {
+    for src in [FIG1_OBJECTS, FIG1_WORKS] {
+        let tree = parse_tree(src).expect("well-formed");
+        let xml = tree_to_xml(&tree);
+        let back = tree_from_xml(&xml);
+        assert_eq!(tree, back, "tree → xml → tree identity for:\n{src}");
+    }
+}
+
+#[test]
+fn fig1_generators_match_the_figure() {
+    // the programmatic Fig. 1 stores agree with the literal documents
+    let store = yat::yat_oql::art::fig1_store();
+    let a1 = yat::yat_oql::export::object_tree(&store, &"a1".into()).unwrap();
+    let tuple = &a1.children[0].children[0].children[0];
+    assert_eq!(
+        tuple
+            .child("title")
+            .unwrap()
+            .value_atom()
+            .unwrap()
+            .to_string(),
+        "Nympheas"
+    );
+    assert_eq!(
+        tuple.child("year").unwrap().value_atom(),
+        Some(&Atom::Int(1897))
+    );
+
+    let works = yat::yat_wais::fig1_works();
+    let literal = parse_tree(FIG1_WORKS).unwrap();
+    assert_eq!(
+        works.children[0].child("cplace").unwrap().value_atom(),
+        literal.children[0].child("cplace").unwrap().value_atom()
+    );
+}
+
+#[test]
+fn pretty_printed_figures_reparse() {
+    let el = parse_element(FIG1_WORKS).unwrap();
+    let pretty = el.to_pretty_xml();
+    let mut reparsed = parse_element(&pretty).unwrap();
+    let mut original = el.clone();
+    reparsed.trim_ws();
+    original.trim_ws();
+    // whitespace normalization differs inside text; structure agrees
+    assert_eq!(original.element_count(), reparsed.element_count());
+}

@@ -1,0 +1,90 @@
+//! Figure 5 — the algebraic translation of view1 and Q1, and its
+//! evaluation over the Fig. 1 federation.
+
+use yat::yat_algebra::{Alg, EvalOut};
+use yat::yat_mediator::{Mediator, OptimizerOptions};
+use yat::yat_oql::art::fig1_store;
+use yat::yat_oql::O2Wrapper;
+use yat::yat_wais::{fig1_works, WaisSource, WaisWrapper};
+use yat::yat_yatl::{paper, translate};
+
+#[test]
+fn view_translation_has_the_figure_shape() {
+    // Tree ∘ Select ∘ Join ∘ (Bind × Bind) ∘ (Source × Source)
+    let plan = translate(&paper::view1());
+    let lines: Vec<String> = plan
+        .explain()
+        .lines()
+        .map(|l| l.split_whitespace().next().unwrap_or("").to_string())
+        .collect();
+    assert_eq!(
+        lines,
+        vec!["Tree", "Select", "Join", "Bind", "Source", "Bind", "Source"],
+        "\n{}",
+        plan.explain()
+    );
+}
+
+#[test]
+fn q1_translation_has_the_figure_shape() {
+    let plan = translate(&paper::q1());
+    let lines: Vec<String> = plan
+        .explain()
+        .lines()
+        .map(|l| l.split_whitespace().next().unwrap_or("").to_string())
+        .collect();
+    assert_eq!(lines, vec!["Tree", "Select", "Bind", "Source"]);
+}
+
+#[test]
+fn join_carries_the_cross_source_predicates() {
+    let plan = translate(&paper::view1());
+    fn find_join(p: &Alg) -> Option<String> {
+        if let Alg::Join { pred, .. } = p {
+            return Some(pred.to_string());
+        }
+        p.children().iter().find_map(|c| find_join(c))
+    }
+    let pred = find_join(&plan).expect("the view joins its sources");
+    assert!(pred.contains("$c = $a"), "{pred}");
+    assert!(pred.contains("$t = $t'"), "{pred}");
+    // the single-source predicate stays in a Select
+    assert!(plan.explain().contains("Select $y > 1800"));
+}
+
+#[test]
+fn the_view_answers_over_fig1() {
+    let mut m = Mediator::new();
+    m.connect(Box::new(O2Wrapper::new("o2artifact", fig1_store())))
+        .unwrap();
+    m.connect(Box::new(WaisWrapper::new(
+        "xmlartwork",
+        WaisSource::new("works", &fig1_works()),
+    )))
+    .unwrap();
+    m.load_program(paper::VIEW1).unwrap();
+
+    let view = m.views()["artworks"].clone();
+    let EvalOut::Tree(doc) = m.execute(&view).unwrap() else {
+        panic!()
+    };
+    assert_eq!(
+        doc.children.len(),
+        2,
+        "Nympheas and Waterloo Bridge integrate"
+    );
+    // every artwork merges fields of both sources
+    for artwork in &doc.children {
+        let work = &artwork.children[0];
+        for field in [
+            "title", "artist", "year", "price", "style", "size", "owners", "more",
+        ] {
+            assert!(work.child(field).is_some(), "missing {field} in {work}");
+        }
+    }
+
+    // Q1 over the view: Nympheas only
+    let out = m.query(paper::Q1, OptimizerOptions::default()).unwrap();
+    let EvalOut::Tree(t) = out else { panic!() };
+    assert_eq!(t.to_string(), "\"Nympheas\"");
+}

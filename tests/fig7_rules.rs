@@ -1,0 +1,69 @@
+//! Figure 7 — the algebraic equivalences hold semantically over generated
+//! data, at several scales.
+
+use yat_bench::figures::{eval_rows, fig4, fig7};
+
+#[test]
+fn navigation_and_extent_join_agree_at_scale() {
+    for n in [10usize, 100, 500] {
+        let forest = fig7::forest(n);
+        let funcs = yat::yat_algebra::FnRegistry::with_builtins();
+        let sk = yat::yat_algebra::SkolemRegistry::new();
+        let ctx = yat::yat_algebra::EvalCtx::local(&forest, &funcs, &sk);
+        let nav = yat::yat_algebra::eval(&fig7::navigation_plan_projected(), &ctx).unwrap();
+        let join = yat::yat_algebra::eval(&fig7::extent_join_plan(), &ctx).unwrap();
+        let (Some(nav), Some(join)) = (nav.as_tab(), join.as_tab()) else {
+            panic!()
+        };
+        let canon = |t: &yat::yat_algebra::Tab| {
+            let mut rows: Vec<String> = t
+                .rows()
+                .map(|r| r.iter().map(|v| v.group_key() + ";").collect())
+                .collect();
+            rows.sort();
+            rows
+        };
+        assert_eq!(canon(nav), canon(join), "n={n}");
+        assert!(!nav.is_empty());
+    }
+}
+
+#[test]
+fn linear_split_agrees_at_scale() {
+    for n in [10usize, 300] {
+        let forest = fig4::forest(n);
+        assert_eq!(
+            eval_rows(&fig7::deep_bind_plan(), &forest),
+            eval_rows(&fig7::split_bind_plan(), &forest),
+            "n={n}"
+        );
+    }
+}
+
+#[test]
+fn filter_simplifications_agree_at_scale() {
+    for n in [10usize, 300] {
+        let forest = fig4::forest(n);
+        let full = eval_rows(&fig7::full_filter_bind(), &forest);
+        assert_eq!(
+            full,
+            eval_rows(&fig7::untyped_simplified_bind(), &forest),
+            "n={n}"
+        );
+        assert_eq!(
+            full,
+            eval_rows(&fig7::typed_simplified_bind(), &forest),
+            "n={n}"
+        );
+        assert_eq!(full, n, "every generated work has the mandatory fields");
+    }
+}
+
+#[test]
+fn label_variables_bind_schema_of_structured_source() {
+    // "semistructured queries over structured data" (Section 5.1)
+    let forest = fig7::forest(25);
+    let rows = eval_rows(&fig7::label_variable_bind(), &forest);
+    // persons = max(25/5, 2) = 5, two attributes each
+    assert_eq!(rows, 10);
+}

@@ -1,0 +1,92 @@
+//! Figure 8 — the optimization of Q1, end to end: the rewritten plan has
+//! the figure's shape, results agree with the naive strategy, and the
+//! transfer/time savings the figure motivates actually materialize.
+
+use yat::yat_algebra::EvalOut;
+use yat::yat_mediator::OptimizerOptions;
+use yat::yat_yatl::paper;
+use yat_bench::figures::{fingerprint, pipeline::Level};
+use yat_bench::workload::{fig1_mediator, Scenario};
+
+fn tree(out: EvalOut) -> yat::yat_model::Tree {
+    match out {
+        EvalOut::Tree(t) => t,
+        other => panic!("expected tree, got {other:?}"),
+    }
+}
+
+#[test]
+fn optimized_q1_has_the_fig8_shape() {
+    let m = fig1_mediator();
+    let plan = m.plan_query(paper::Q1).unwrap();
+    let (opt, _) = m.optimize(&plan, Level::Full.options(true));
+    let shown = opt.explain();
+    assert!(
+        !shown.contains("artifacts"),
+        "O2 branch eliminated:\n{shown}"
+    );
+    assert!(!shown.contains("Join"), "no join remains:\n{shown}");
+    assert_eq!(
+        shown.matches("Tree").count(),
+        1,
+        "view Tree eliminated:\n{shown}"
+    );
+    assert!(shown.contains("Push → xmlartwork"), "{shown}");
+    assert!(
+        shown.contains("contains($"),
+        "full-text capability used:\n{shown}"
+    );
+    assert!(
+        shown.contains("$cl = \"Giverny\""),
+        "compensation stays:\n{shown}"
+    );
+}
+
+#[test]
+fn all_levels_agree_on_fig1() {
+    let m = fig1_mediator();
+    let plan = m.plan_query(paper::Q1).unwrap();
+    let reference = fingerprint(&tree(m.execute(&plan).unwrap()));
+    for level in yat_bench::figures::pipeline::LEVELS {
+        let (opt, _) = m.optimize(&plan, level.options(true));
+        let got = fingerprint(&tree(m.execute(&opt).unwrap()));
+        assert_eq!(reference, got, "level {}", level.name());
+    }
+    assert_eq!(reference, vec!["Nympheas".to_string()]);
+}
+
+#[test]
+fn optimization_reduces_traffic_and_contacts_one_source() {
+    let m = Scenario::at_scale(150).mediator();
+    let plan = m.plan_query(paper::Q1).unwrap();
+
+    m.reset_traffic();
+    m.execute(&plan).unwrap();
+    let naive = m.traffic();
+
+    let (opt, _) = m.optimize(&plan, Level::Full.options(true));
+    m.reset_traffic();
+    m.execute(&opt).unwrap();
+    let optimized = m.traffic();
+
+    assert!(optimized.total_bytes() * 4 < naive.total_bytes());
+    assert!(optimized.documents_received * 2 < naive.documents_received);
+    assert_eq!(
+        m.traffic_of("o2artifact").unwrap().round_trips,
+        0,
+        "Fig. 8: only Wais is contacted"
+    );
+}
+
+#[test]
+fn containment_is_opt_in() {
+    // without the administrator's containment assumption the join stays
+    let m = fig1_mediator();
+    let plan = m.plan_query(paper::Q1).unwrap();
+    let (opt, _) = m.optimize(&plan, OptimizerOptions::default());
+    assert!(opt.explain().contains("artifacts"), "{}", opt.explain());
+    // and the result still agrees (fig1 satisfies containment anyway)
+    let a = fingerprint(&tree(m.execute(&plan).unwrap()));
+    let b = fingerprint(&tree(m.execute(&opt).unwrap()));
+    assert_eq!(a, b);
+}
