@@ -15,6 +15,7 @@ use crate::template::Template;
 use crate::value::Value;
 use std::collections::BTreeMap;
 use yat_model::{Atom, Forest, MatchOptions, Model, Node, Tree};
+use yat_obs::Collector;
 
 /// Resolves the named documents plans read from (`Source` nodes) and the
 /// forest used for reference traversal.
@@ -63,6 +64,9 @@ pub struct EvalCtx<'a> {
     pub skolems: &'a SkolemRegistry,
     /// Remote execution of `Push` nodes (`None` = evaluate in place).
     pub push: Option<&'a dyn PushHandler>,
+    /// Span collector; when set, every operator evaluation records an
+    /// `operator` span (label, output cardinality, wall time).
+    pub obs: Option<&'a Collector>,
 }
 
 impl<'a> EvalCtx<'a> {
@@ -74,7 +78,14 @@ impl<'a> EvalCtx<'a> {
             funcs,
             skolems,
             push: None,
+            obs: None,
         }
+    }
+
+    /// The same context with a span collector attached.
+    pub fn with_obs(mut self, obs: &'a Collector) -> Self {
+        self.obs = Some(obs);
+        self
     }
 }
 
@@ -130,7 +141,36 @@ pub fn eval(plan: &Alg, ctx: &EvalCtx<'_>) -> Result<EvalOut, EvalError> {
 
 /// Evaluates `plan` under outer bindings `env` (variables bound by an
 /// enclosing `DJoin`'s left side).
+///
+/// When the context carries a [`Collector`], each operator evaluation is
+/// wrapped in an `operator` span labeled [`Alg::describe`], recording the
+/// output cardinality (`Tab` rows; `1` for a tree) and wall time. Spans
+/// nest with the recursion, so the collector ends up holding the dynamic
+/// operator tree — one span per *execution*, e.g. one per outer row for
+/// the right side of a `DJoin`.
 pub fn eval_env(plan: &Alg, ctx: &EvalCtx<'_>, env: &Env) -> Result<EvalOut, EvalError> {
+    let Some(obs) = ctx.obs else {
+        return eval_node(plan, ctx, env);
+    };
+    let mut span = obs.span(yat_obs::kind::OPERATOR, plan.describe());
+    match eval_node(plan, ctx, env) {
+        Ok(out) => {
+            let rows = match &out {
+                EvalOut::Tab(t) => t.len() as u64,
+                EvalOut::Tree(_) => 1,
+            };
+            span.record_u64(yat_obs::attr::ROWS_OUT, rows);
+            Ok(out)
+        }
+        Err(e) => {
+            span.record_str(yat_obs::attr::ERROR, e.to_string());
+            Err(e)
+        }
+    }
+}
+
+/// One operator step of [`eval_env`], without span bookkeeping.
+fn eval_node(plan: &Alg, ctx: &EvalCtx<'_>, env: &Env) -> Result<EvalOut, EvalError> {
     match plan {
         Alg::Source { source, name } => ctx
             .catalog

@@ -581,6 +581,28 @@ impl Alg {
             .sum::<usize>()
     }
 
+    /// The operator's bare name, independent of its arguments — the
+    /// coarse grouping key used by observability ("how much time went
+    /// into Bind overall?").
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Alg::Source { .. } => "Source",
+            Alg::Bind { .. } => "Bind",
+            Alg::TreeOp { .. } => "Tree",
+            Alg::Select { .. } => "Select",
+            Alg::Project { .. } => "Project",
+            Alg::Join { .. } => "Join",
+            Alg::DJoin { .. } => "DJoin",
+            Alg::Union { .. } => "Union",
+            Alg::Intersect { .. } => "Intersect",
+            Alg::Diff { .. } => "Diff",
+            Alg::Group { .. } => "Group",
+            Alg::Sort { .. } => "Sort",
+            Alg::Map { .. } => "Map",
+            Alg::Push { .. } => "Push",
+        }
+    }
+
     /// One-line operator description (the label shown per EXPLAIN row).
     pub fn describe(&self) -> String {
         match self {

@@ -2,10 +2,9 @@
 
 use crate::error::EvalError;
 use crate::value::Value;
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use yat_model::{Atom, Oid};
 
 /// The signature of a registered external function: operations a source
@@ -157,7 +156,7 @@ impl SkolemRegistry {
     /// freshly minted identifier.
     pub fn apply(&self, name: &str, args: &[Value]) -> Oid {
         let key_args: String = args.iter().map(|v| v.group_key() + "\u{1}").collect();
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(oid) = inner.memo.get(&(name.to_string(), key_args.clone())) {
             return oid.clone();
         }
@@ -170,7 +169,11 @@ impl SkolemRegistry {
 
     /// Number of identifiers minted.
     pub fn len(&self) -> usize {
-        self.inner.lock().memo.len()
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .memo
+            .len()
     }
 
     /// True when no identifiers have been minted.

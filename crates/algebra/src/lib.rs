@@ -22,7 +22,7 @@
 //!
 //! * [`Alg`] — the plan AST, an immutable `Arc`-shared DAG with an
 //!   `explain`-style display used throughout the figure reproductions;
-//! * [`eval`] — a reference evaluator, parameterized by a
+//! * [`eval()`] — a reference evaluator, parameterized by a
 //!   [`SourceCatalog`] (where named documents live), an [`FnRegistry`]
 //!   (external operations such as Wais `contains` or the O2
 //!   `current_price` method) and a [`SkolemRegistry`];

@@ -600,31 +600,35 @@ fn label_var_template_reconstructs_fields() {
     );
 }
 
+/// Seeded randomized law tests (deterministic: fixed seeds and counts).
 mod properties {
     use super::*;
-    use proptest::prelude::*;
+    use yat_prng::Rng;
 
-    fn arb_works(n: usize) -> impl Strategy<Value = Forest> {
-        proptest::collection::vec(("[a-c]{1,3}", "[a-f]{1,4}", 1800i64..1930), 1..n).prop_map(
-            |specs| {
-                let mut f = Forest::new();
-                let works: Vec<Tree> = specs
-                    .into_iter()
-                    .map(|(artist, title, year)| {
-                        Node::sym(
-                            "work",
-                            vec![
-                                Node::elem("artist", artist),
-                                Node::elem("title", title),
-                                Node::elem("year", year),
-                            ],
-                        )
-                    })
-                    .collect();
-                f.insert("works", Node::sym("works", works));
-                f
-            },
-        )
+    const CASES: usize = 64;
+
+    fn gen_word(rng: &mut Rng, alphabet: &[u8], max_len: usize) -> String {
+        (0..rng.gen_range(1..max_len + 1))
+            .map(|_| *rng.choose(alphabet) as char)
+            .collect()
+    }
+
+    fn gen_works(rng: &mut Rng, n: usize) -> Forest {
+        let mut f = Forest::new();
+        let works: Vec<Tree> = (0..rng.gen_range(1..n))
+            .map(|_| {
+                Node::sym(
+                    "work",
+                    vec![
+                        Node::elem("artist", gen_word(rng, b"abc", 3)),
+                        Node::elem("title", gen_word(rng, b"abcdef", 4)),
+                        Node::elem("year", rng.gen_range(1800..1930i64)),
+                    ],
+                )
+            })
+            .collect();
+        f.insert("works", Node::sym("works", works));
+        f
     }
 
     fn simple_bind() -> Arc<Alg> {
@@ -644,51 +648,66 @@ mod properties {
         )
     }
 
-    proptest! {
-        /// σ_p(σ_q(x)) == σ_q(σ_p(x)) — selections commute.
-        #[test]
-        fn selections_commute(f in arb_works(12), y in 1800i64..1930) {
-            let ctx = Ctx::new(f);
+    /// σ_p(σ_q(x)) == σ_q(σ_p(x)) — selections commute.
+    #[test]
+    fn selections_commute() {
+        let mut rng = Rng::seed_from_u64(11);
+        for _ in 0..CASES {
+            let ctx = Ctx::new(gen_works(&mut rng, 12));
+            let y = rng.gen_range(1800..1930i64);
             let p = Pred::cmp(CmpOp::Gt, Operand::var("y"), Operand::cst(y));
             let q = Pred::cmp(CmpOp::Le, Operand::var("y"), Operand::cst(y + 40));
             let pq = Alg::select(Alg::select(simple_bind(), p.clone()), q.clone());
             let qp = Alg::select(Alg::select(simple_bind(), q), p);
-            prop_assert_eq!(ctx.eval_tab(&pq), ctx.eval_tab(&qp));
+            assert_eq!(ctx.eval_tab(&pq), ctx.eval_tab(&qp));
         }
+    }
 
-        /// π(σ(x)) == σ(π(x)) when the projection keeps the predicate vars.
-        #[test]
-        fn select_project_commute(f in arb_works(12), y in 1800i64..1930) {
-            let ctx = Ctx::new(f);
+    /// π(σ(x)) == σ(π(x)) when the projection keeps the predicate vars.
+    #[test]
+    fn select_project_commute() {
+        let mut rng = Rng::seed_from_u64(12);
+        for _ in 0..CASES {
+            let ctx = Ctx::new(gen_works(&mut rng, 12));
+            let y = rng.gen_range(1800..1930i64);
             let p = Pred::cmp(CmpOp::Ge, Operand::var("y"), Operand::cst(y));
             let a = Alg::project_keep(Alg::select(simple_bind(), p.clone()), &["t", "y"]);
             let b = Alg::select(Alg::project_keep(simple_bind(), &["t", "y"]), p);
-            prop_assert_eq!(ctx.eval_tab(&a), ctx.eval_tab(&b));
+            assert_eq!(ctx.eval_tab(&a), ctx.eval_tab(&b));
         }
+    }
 
-        /// Union is commutative and idempotent under set semantics.
-        #[test]
-        fn union_laws(f in arb_works(10)) {
-            let ctx = Ctx::new(f);
+    /// Union is commutative and idempotent under set semantics.
+    #[test]
+    fn union_laws() {
+        let mut rng = Rng::seed_from_u64(13);
+        for _ in 0..CASES {
+            let ctx = Ctx::new(gen_works(&mut rng, 10));
             let x = Alg::project_keep(simple_bind(), &["t"]);
             let sorted = |t: &Tab| {
                 let mut rows: Vec<String> = t.rows().map(|r| str_of(&r[0])).collect();
                 rows.sort();
                 rows
             };
-            let xx = Arc::new(Alg::Union { left: x.clone(), right: x.clone() });
-            prop_assert_eq!(sorted(&ctx.eval_tab(&xx)), {
+            let xx = Arc::new(Alg::Union {
+                left: x.clone(),
+                right: x.clone(),
+            });
+            assert_eq!(sorted(&ctx.eval_tab(&xx)), {
                 let mut t = ctx.eval_tab(&x);
                 t.dedup();
                 sorted(&t)
             });
         }
+    }
 
-        /// DJoin(l, Bind_shared) == Join(l, Bind_renamed) on shared vars —
-        /// the Fig. 7 equivalence on arbitrary data.
-        #[test]
-        fn djoin_join_equivalence(f in arb_works(10)) {
-            let ctx = Ctx::new(f);
+    /// DJoin(l, Bind_shared) == Join(l, Bind_renamed) on shared vars —
+    /// the Fig. 7 equivalence on arbitrary data.
+    #[test]
+    fn djoin_join_equivalence() {
+        let mut rng = Rng::seed_from_u64(14);
+        for _ in 0..CASES {
+            let ctx = Ctx::new(gen_works(&mut rng, 10));
             let left = Alg::project_keep(simple_bind(), &["a"]);
             let right_shared = Alg::bind(
                 Alg::source("works"),
@@ -716,13 +735,16 @@ mod properties {
             let mut right_t = ctx.eval_tab(&j);
             left_t.dedup();
             right_t.dedup();
-            prop_assert_eq!(left_t, right_t);
+            assert_eq!(left_t, right_t);
         }
+    }
 
-        /// Sorting is a permutation: same multiset of rows.
-        #[test]
-        fn sort_permutes(f in arb_works(12)) {
-            let ctx = Ctx::new(f);
+    /// Sorting is a permutation: same multiset of rows.
+    #[test]
+    fn sort_permutes() {
+        let mut rng = Rng::seed_from_u64(15);
+        for _ in 0..CASES {
+            let ctx = Ctx::new(gen_works(&mut rng, 12));
             let x = simple_bind();
             let sorted = Arc::new(Alg::Sort {
                 input: x.clone(),
@@ -731,11 +753,14 @@ mod properties {
             let a = ctx.eval_tab(&x);
             let b = ctx.eval_tab(&sorted);
             let key = |t: &Tab| {
-                let mut v: Vec<String> = t.rows().map(|r| r.iter().map(|c| c.group_key()).collect::<String>()).collect();
+                let mut v: Vec<String> = t
+                    .rows()
+                    .map(|r| r.iter().map(|c| c.group_key()).collect::<String>())
+                    .collect();
                 v.sort();
                 v
             };
-            prop_assert_eq!(key(&a), key(&b));
+            assert_eq!(key(&a), key(&b));
         }
     }
 }

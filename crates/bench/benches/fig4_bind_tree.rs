@@ -2,46 +2,32 @@
 //! `Bind` (pattern matching into a Tab) and `Tree` (construction with
 //! grouping and Skolem functions), as collection size grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::time::Duration;
 use yat_algebra::{eval, EvalCtx, FnRegistry, SkolemRegistry};
 use yat_bench::figures::fig4;
+use yat_bench::harness;
 
-fn bench_bind(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig4/bind");
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(2));
+fn main() {
+    harness::group("fig4/bind");
     for n in [100usize, 500, 2000] {
         let forest = fig4::forest(n);
         let plan = fig4::bind_plan();
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            let funcs = FnRegistry::with_builtins();
-            let skolems = SkolemRegistry::new();
-            let ctx = EvalCtx::local(&forest, &funcs, &skolems);
-            b.iter(|| eval(&plan, &ctx).expect("bind evaluates"));
+        let funcs = FnRegistry::with_builtins();
+        let skolems = SkolemRegistry::new();
+        let ctx = EvalCtx::local(&forest, &funcs, &skolems);
+        harness::run(&format!("bind/{n}"), || {
+            eval(&plan, &ctx).expect("bind evaluates")
         });
     }
-    group.finish();
-}
 
-fn bench_tree(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig4/bind+tree");
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(2));
+    harness::group("fig4/bind+tree");
     for n in [100usize, 500, 2000] {
         let forest = fig4::forest(n);
         let plan = fig4::tree_plan();
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            let funcs = FnRegistry::with_builtins();
-            let skolems = SkolemRegistry::new();
-            let ctx = EvalCtx::local(&forest, &funcs, &skolems);
-            b.iter(|| eval(&plan, &ctx).expect("tree evaluates"));
+        let funcs = FnRegistry::with_builtins();
+        let skolems = SkolemRegistry::new();
+        let ctx = EvalCtx::local(&forest, &funcs, &skolems);
+        harness::run(&format!("bind+tree/{n}"), || {
+            eval(&plan, &ctx).expect("tree evaluates")
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_bind, bench_tree);
-criterion_main!(benches);

@@ -6,70 +6,34 @@
 //! * full filter vs projection-simplified filter, untyped vs typed
 //!   (the Section 5.1 type-information ablation).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use yat_bench::figures::{eval_rows, fig4, fig7};
+use yat_bench::harness;
 
-fn bench_navigation_vs_join(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig7/owners");
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(2));
+fn main() {
+    harness::group("fig7/owners");
     for n in [200usize, 1000] {
         let forest = fig7::wide_forest(n, 24);
-        group.bench_with_input(BenchmarkId::new("navigation", n), &n, |b, _| {
-            let plan = fig7::navigation_plan_projected();
-            b.iter(|| eval_rows(&plan, &forest));
-        });
-        group.bench_with_input(BenchmarkId::new("extent-join", n), &n, |b, _| {
-            let plan = fig7::extent_join_plan();
-            b.iter(|| eval_rows(&plan, &forest));
-        });
+        let plan = fig7::navigation_plan_projected();
+        harness::run(&format!("navigation/{n}"), || eval_rows(&plan, &forest));
+        let plan = fig7::extent_join_plan();
+        harness::run(&format!("extent-join/{n}"), || eval_rows(&plan, &forest));
     }
-    group.finish();
-}
 
-fn bench_split(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig7/split");
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(2));
+    harness::group("fig7/split");
     for n in [500usize, 2000] {
         let forest = fig4::forest(n);
-        group.bench_with_input(BenchmarkId::new("monolithic", n), &n, |b, _| {
-            let plan = fig7::deep_bind_plan();
-            b.iter(|| eval_rows(&plan, &forest));
-        });
-        group.bench_with_input(BenchmarkId::new("linear-split", n), &n, |b, _| {
-            let plan = fig7::split_bind_plan();
-            b.iter(|| eval_rows(&plan, &forest));
-        });
+        let plan = fig7::deep_bind_plan();
+        harness::run(&format!("monolithic/{n}"), || eval_rows(&plan, &forest));
+        let plan = fig7::split_bind_plan();
+        harness::run(&format!("linear-split/{n}"), || eval_rows(&plan, &forest));
     }
-    group.finish();
-}
 
-fn bench_type_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig7/typing");
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(2));
+    harness::group("fig7/typing");
     let forest = fig4::forest(1000);
-    group.bench_function("full-filter", |b| {
-        let plan = fig7::full_filter_bind();
-        b.iter(|| eval_rows(&plan, &forest));
-    });
-    group.bench_function("untyped-simplified", |b| {
-        let plan = fig7::untyped_simplified_bind();
-        b.iter(|| eval_rows(&plan, &forest));
-    });
-    group.bench_function("typed-simplified", |b| {
-        let plan = fig7::typed_simplified_bind();
-        b.iter(|| eval_rows(&plan, &forest));
-    });
-    group.finish();
+    let plan = fig7::full_filter_bind();
+    harness::run("full-filter", || eval_rows(&plan, &forest));
+    let plan = fig7::untyped_simplified_bind();
+    harness::run("untyped-simplified", || eval_rows(&plan, &forest));
+    let plan = fig7::typed_simplified_bind();
+    harness::run("typed-simplified", || eval_rows(&plan, &forest));
 }
-
-criterion_group!(
-    benches,
-    bench_navigation_vs_join,
-    bench_split,
-    bench_type_ablation
-);
-criterion_main!(benches);

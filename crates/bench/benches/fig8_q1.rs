@@ -2,38 +2,29 @@
 //! materialization vs composed (Bind–Tree eliminated, O2 branch gone) vs
 //! fully pushed (contains at the Wais source).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use yat_bench::figures::pipeline::{Level, LEVELS};
+use yat_bench::harness;
 use yat_bench::workload::Scenario;
 use yat_yatl::paper;
 
-fn bench_q1(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig8/q1");
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(2));
-    group.sample_size(20);
+fn main() {
+    harness::group("fig8/q1");
     for n in [50usize, 200] {
         let m = Scenario::at_scale(n).mediator();
         let plan = m.plan_query(paper::Q1).expect("Q1 plans");
         for level in LEVELS {
             let (opt, _) = m.optimize(&plan, level.options(true));
-            group.bench_with_input(BenchmarkId::new(level.name(), n), &n, |b, _| {
-                b.iter(|| m.execute(&opt).expect("Q1 executes"))
+            harness::run(&format!("{}/{n}", level.name()), || {
+                m.execute(&opt).expect("Q1 executes")
             });
         }
     }
-    group.finish();
-}
 
-fn bench_q1_optimize_cost(c: &mut Criterion) {
     // the optimizer itself must be cheap relative to execution
+    harness::group("fig8/optimize-cost");
     let m = Scenario::at_scale(50).mediator();
     let plan = m.plan_query(paper::Q1).expect("Q1 plans");
-    c.bench_function("fig8/optimize-cost", |b| {
-        b.iter(|| m.optimize(&plan, Level::Full.options(true)))
+    harness::run("optimize-cost", || {
+        m.optimize(&plan, Level::Full.options(true))
     });
 }
-
-criterion_group!(benches, bench_q1, bench_q1_optimize_cost);
-criterion_main!(benches);

@@ -2,35 +2,25 @@
 //! full-text selectivity sweep that locates the information-passing
 //! crossover (per-row round trips vs bulk document shipping).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use yat_bench::figures::pipeline::LEVELS;
+use yat_bench::harness;
 use yat_bench::workload::Scenario;
 use yat_yatl::paper;
 
-fn bench_q2_levels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig9/q2");
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(2));
-    group.sample_size(20);
+fn main() {
+    harness::group("fig9/q2");
     for n in [50usize, 200] {
         let m = Scenario::at_scale(n).mediator();
         let plan = m.plan_query(paper::Q2).expect("Q2 plans");
         for level in LEVELS {
             let (opt, _) = m.optimize(&plan, level.options(false));
-            group.bench_with_input(BenchmarkId::new(level.name(), n), &n, |b, _| {
-                b.iter(|| m.execute(&opt).expect("Q2 executes"))
+            harness::run(&format!("{}/{n}", level.name()), || {
+                m.execute(&opt).expect("Q2 executes")
             });
         }
     }
-    group.finish();
-}
 
-fn bench_q2_selectivity(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig9/selectivity");
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(2));
-    group.sample_size(15);
+    harness::group("fig9/selectivity");
     for pct in [5u8, 40] {
         let mut sc = Scenario::at_scale(200);
         sc.impressionist_pct = pct;
@@ -38,15 +28,11 @@ fn bench_q2_selectivity(c: &mut Criterion) {
         let plan = m.plan_query(paper::Q2).expect("Q2 plans");
         let (naive, _) = m.optimize(&plan, LEVELS[0].options(false));
         let (full, _) = m.optimize(&plan, LEVELS[3].options(false));
-        group.bench_with_input(BenchmarkId::new("naive", pct), &pct, |b, _| {
-            b.iter(|| m.execute(&naive).expect("naive executes"))
+        harness::run(&format!("naive/{pct}%"), || {
+            m.execute(&naive).expect("naive executes")
         });
-        group.bench_with_input(BenchmarkId::new("full", pct), &pct, |b, _| {
-            b.iter(|| m.execute(&full).expect("full executes"))
+        harness::run(&format!("full/{pct}%"), || {
+            m.execute(&full).expect("full executes")
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_q2_levels, bench_q2_selectivity);
-criterion_main!(benches);

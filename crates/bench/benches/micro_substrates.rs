@@ -3,14 +3,14 @@
 //! OQL evaluation (the O2 source) and the inverted index (the Wais
 //! source).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use std::time::Duration;
+use yat_bench::harness;
 use yat_model::MatchOptions;
 use yat_oql::art::{art_store, ArtSpec};
 use yat_wais::{generate_works, WorksSpec};
 use yat_yatl::parse_filter;
 
-fn bench_xml(c: &mut Criterion) {
+fn main() {
+    harness::group("micro/xml");
     let works = generate_works(&WorksSpec {
         works: 200,
         impressionist_pct: 40,
@@ -19,22 +19,16 @@ fn bench_xml(c: &mut Criterion) {
         seed: 1,
     });
     let xml = yat_model::xml_convert::tree_to_xml(&works).to_xml();
-    let mut group = c.benchmark_group("micro/xml");
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(2));
-    group.throughput(Throughput::Bytes(xml.len() as u64));
-    group.bench_function("parse", |b| {
-        b.iter(|| yat_xml::parse_element(&xml).expect("well-formed"))
+    harness::run(&format!("parse ({} bytes)", xml.len()), || {
+        yat_xml::parse_element(&xml).expect("well-formed")
     });
     let doc = yat_xml::parse_element(&xml).expect("well-formed");
-    group.bench_function("serialize", |b| b.iter(|| doc.to_xml()));
-    group.bench_function("convert-to-trees", |b| {
-        b.iter(|| yat_model::xml_convert::tree_from_xml(&doc))
+    harness::run("serialize", || doc.to_xml());
+    harness::run("convert-to-trees", || {
+        yat_model::xml_convert::tree_from_xml(&doc)
     });
-    group.finish();
-}
 
-fn bench_matching(c: &mut Criterion) {
+    harness::group("micro/match");
     let works = generate_works(&WorksSpec {
         works: 500,
         impressionist_pct: 40,
@@ -45,12 +39,11 @@ fn bench_matching(c: &mut Criterion) {
     let filter =
         parse_filter("works *work [ title: $t, artist: $a, style: $s, size: $si, *($fields) ]")
             .expect("static filter parses");
-    c.bench_function("micro/match-filter-500-works", |b| {
-        b.iter(|| yat_model::match_filter(&works, &filter, MatchOptions::default()))
+    harness::run("match-filter-500-works", || {
+        yat_model::match_filter(&works, &filter, MatchOptions::default())
     });
-}
 
-fn bench_oql(c: &mut Criterion) {
+    harness::group("micro/oql");
     let store = art_store(&ArtSpec {
         artifacts: 500,
         persons: 100,
@@ -58,12 +51,11 @@ fn bench_oql(c: &mut Criterion) {
     });
     let q = "select t: A.title, o: O.name from A in artifacts, O in A.owners \
              where A.year > 1800";
-    c.bench_function("micro/oql-join-500-artifacts", |b| {
-        b.iter(|| yat_oql::oql::run(q, &store).expect("OQL evaluates"))
+    harness::run("oql-join-500-artifacts", || {
+        yat_oql::oql::run(q, &store).expect("OQL evaluates")
     });
-}
 
-fn bench_index(c: &mut Criterion) {
+    harness::group("micro/wais");
     let works = generate_works(&WorksSpec {
         works: 2000,
         impressionist_pct: 40,
@@ -71,18 +63,11 @@ fn bench_index(c: &mut Criterion) {
         giverny_pct: 30,
         seed: 4,
     });
-    let mut group = c.benchmark_group("micro/wais");
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(2));
-    group.bench_function("index-build-2000", |b| {
-        b.iter(|| yat_wais::WaisSource::new("works", &works))
+    harness::run("index-build-2000", || {
+        yat_wais::WaisSource::new("works", &works)
     });
     let source = yat_wais::WaisSource::new("works", &works);
-    group.bench_function("contains-lookup", |b| {
-        b.iter(|| source.contains("Impressionist").expect("open policy"))
+    harness::run("contains-lookup", || {
+        source.contains("Impressionist").expect("open policy")
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_xml, bench_matching, bench_oql, bench_index);
-criterion_main!(benches);

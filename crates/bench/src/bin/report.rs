@@ -5,6 +5,7 @@
 //! ```text
 //! cargo run -p yat-bench --bin report            # all figures
 //! cargo run -p yat-bench --bin report -- fig8    # one figure
+//! cargo run -p yat-bench --bin report -- profile # EXPLAIN ANALYZE of Q1/Q2
 //! ```
 
 use std::time::Instant;
@@ -45,6 +46,9 @@ fn main() {
     }
     if want("fig9") {
         fig9();
+    }
+    if want("profile") {
+        profile_report();
     }
 }
 
@@ -279,4 +283,29 @@ fn fig9() {
         let m = sc.mediator();
         run_levels(&m, paper::Q2, false, &format!("Q2 sel={pct:>2}%"));
     }
+}
+
+fn profile_report() {
+    heading("EXPLAIN ANALYZE — per-operator profiles of Q1 and Q2");
+    let m = fig1_mediator();
+    for (name, query, containment) in [("Q1", paper::Q1, true), ("Q2", paper::Q2, false)] {
+        let plan = m.plan_query(query).expect("query plans");
+        println!("\n-- {name}, naive (view materialized) --");
+        let ex = m.explain(&plan).expect("naive plan explains");
+        print!("{}", ex.render());
+
+        println!("\n-- {name}, fully optimized --");
+        let (opt, trace) = m.optimize(&plan, pipeline::Level::Full.options(containment));
+        let ex = m
+            .explain_with_trace(&opt, Some(trace))
+            .expect("optimized plan explains");
+        print!("{}", ex.render());
+    }
+
+    // the same profile as a document, so it can be stored or diffed
+    let plan = m.plan_query(paper::Q1).expect("Q1 plans");
+    let (opt, _) = m.optimize(&plan, pipeline::Level::Full.options(true));
+    let ex = m.explain(&opt).expect("Q1 explains");
+    println!("\n-- Q1 optimized profile as XML --");
+    println!("{}", ex.to_xml().to_pretty_xml());
 }

@@ -68,9 +68,8 @@ pub mod fig4 {
 /// the exported O2 data.
 pub mod fig7 {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
     use yat_model::Oid;
+    use yat_prng::Rng;
 
     /// A local forest with the exported `artifacts` and `persons`
     /// documents (references resolvable).
@@ -100,7 +99,7 @@ pub mod fig7 {
     /// person once.
     pub fn wide_forest(artifacts: usize, extra_fields: usize) -> Forest {
         let persons = (artifacts / 10).max(2);
-        let mut rng = StdRng::seed_from_u64(77);
+        let mut rng = Rng::seed_from_u64(77);
         let mut person_trees = Vec::with_capacity(persons);
         for p in 0..persons {
             let mut fields = vec![

@@ -10,10 +10,12 @@
 //! * [`figures`] — per-figure plan constructors: the Fig. 4 Bind/Tree
 //!   pair, the Fig. 7 equivalence pairs (before/after of each rewriting),
 //!   and the Fig. 8/9 pipelines at every optimization level;
-//! * `benches/` — Criterion benchmarks regenerating the performance claim
-//!   behind each figure;
+//! * [`harness`] — a std-only timing harness;
+//! * `benches/` — `harness = false` benchmarks regenerating the
+//!   performance claim behind each figure;
 //! * `src/bin/report.rs` — prints the plans, traffic and result
 //!   fingerprints per figure (the source of EXPERIMENTS.md).
 
 pub mod figures;
+pub mod harness;
 pub mod workload;

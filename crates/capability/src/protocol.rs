@@ -39,14 +39,25 @@ pub enum Request {
 }
 
 impl Request {
+    /// The request's wire label — the XML element name it serializes to.
+    /// Stable, so traces and profiles can use it to identify round-trip
+    /// kinds.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::GetInterface => "get-interface",
+            Request::GetDocument { .. } => "get-document",
+            Request::Execute { .. } => "execute",
+        }
+    }
+
     /// Serializes the request.
     pub fn to_xml(&self) -> Element {
         match self {
-            Request::GetInterface => Element::new("get-interface"),
+            Request::GetInterface => Element::new(self.kind()),
             Request::GetDocument { name } => {
-                Element::new("get-document").with_attr("name", name.clone())
+                Element::new(self.kind()).with_attr("name", name.clone())
             }
-            Request::Execute { plan } => Element::new("execute").with_child(plan_to_xml(plan)),
+            Request::Execute { plan } => Element::new(self.kind()).with_child(plan_to_xml(plan)),
         }
     }
 
@@ -169,6 +180,7 @@ mod tests {
         for r in reqs {
             let back = Request::from_xml(&r.to_xml()).unwrap();
             assert_eq!(r, back);
+            assert_eq!(r.to_xml().name, r.kind(), "kind() is the wire label");
         }
         let bad = yat_xml::parse_element("<nonsense/>").unwrap();
         assert!(Request::from_xml(&bad).is_err());

@@ -3,13 +3,14 @@
 
 use crate::compose::mediator_side_sources;
 use crate::transport::Connection;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use yat_algebra::eval::{eval_env, Env, EvalCtx, PushHandler};
 use yat_algebra::{Alg, EvalError, EvalOut, FnRegistry, Operand, Pred, SkolemRegistry, Tab, Value};
 use yat_capability::interface::Interface;
 use yat_capability::protocol::{Request, Response};
 use yat_model::{Forest, Pattern, Tree};
+use yat_obs::Collector;
 
 /// An execution failure.
 #[derive(Debug)]
@@ -64,29 +65,51 @@ pub fn execute(
     funcs: &FnRegistry,
     skolems: &SkolemRegistry,
 ) -> Result<EvalOut, ExecError> {
+    execute_traced(plan, connections, interfaces, funcs, skolems, None)
+}
+
+/// [`execute`] with an optional span collector. When present, document
+/// prefetch runs under a `phase` span, every protocol round trip records
+/// an `rpc` span, and local evaluation records one `operator` span per
+/// operator execution — the raw material of `EXPLAIN ANALYZE`.
+pub fn execute_traced(
+    plan: &Alg,
+    connections: &BTreeMap<String, Connection>,
+    interfaces: &BTreeMap<String, Interface>,
+    funcs: &FnRegistry,
+    skolems: &SkolemRegistry,
+    obs: Option<&Collector>,
+) -> Result<EvalOut, ExecError> {
+    // insertion order drives fetch order (plan-referenced documents
+    // first); the set makes the reference-closure membership test O(log n)
+    // instead of a linear rescan of everything fetched so far
     let mut wanted: Vec<(String, String)> = Vec::new();
+    let mut seen: BTreeSet<(String, String)> = BTreeSet::new();
     for (source, name) in mediator_side_sources(plan) {
         let Some(src) = source else {
             return Err(ExecError::UnknownSource(name));
         };
-        wanted.push((src.clone(), name));
+        if seen.insert((src.clone(), name.clone())) {
+            wanted.push((src.clone(), name));
+        }
         // reference closure: all other exports of the same source
         if let Some(iface) = interfaces.get(&src) {
             for export in &iface.exports {
                 let key = (src.clone(), export.name.clone());
-                if !wanted.contains(&key) {
+                if seen.insert(key.clone()) {
                     wanted.push(key);
                 }
             }
         }
     }
+    let prefetch = obs.map(|o| o.span(yat_obs::kind::PHASE, "prefetch documents".to_string()));
     let mut forest = Forest::new();
     for (src, name) in wanted {
         let conn = connections
             .get(&src)
             .ok_or_else(|| ExecError::UnknownSource(format!("{name}@{src}")))?;
         let response = conn
-            .call(&Request::GetDocument { name: name.clone() })
+            .call_traced(&Request::GetDocument { name: name.clone() }, obs)
             .map_err(|e| ExecError::Wire(e.to_string()))?;
         match response {
             Response::Document { tree, .. } => forest.insert(name, tree),
@@ -99,15 +122,17 @@ pub fn execute(
             other => return Err(ExecError::Wire(format!("unexpected response {other:?}"))),
         }
     }
+    drop(prefetch);
 
     let catalog = RemoteCatalog { forest };
-    let pusher = Pusher { connections };
+    let pusher = Pusher { connections, obs };
     let ctx = EvalCtx {
         catalog: &catalog,
         model: None,
         funcs,
         skolems,
         push: Some(&pusher),
+        obs,
     };
     Ok(eval_env(plan, &ctx, &Env::new())?)
 }
@@ -131,6 +156,7 @@ impl yat_algebra::SourceCatalog for RemoteCatalog {
 
 struct Pusher<'a> {
     connections: &'a BTreeMap<String, Connection>,
+    obs: Option<&'a Collector>,
 }
 
 impl<'a> PushHandler for Pusher<'a> {
@@ -149,7 +175,7 @@ impl<'a> PushHandler for Pusher<'a> {
             })?;
         let plan = substitute_env(&Arc::new(plan.clone()), env);
         let response = conn
-            .call(&Request::Execute { plan })
+            .call_traced(&Request::Execute { plan }, self.obs)
             .map_err(|e| EvalError::Function {
                 name: source.to_string(),
                 message: e.to_string(),

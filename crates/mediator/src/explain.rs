@@ -1,0 +1,145 @@
+//! `EXPLAIN ANALYZE`: execute a plan with the span collector attached and
+//! return the annotated operator tree.
+//!
+//! The profile shows, per plan position, how many times the operator ran,
+//! its total output cardinality and wall time, and — inclusively — the
+//! wire traffic its subtree caused. That makes the paper's optimization
+//! story directly visible: at the capability level Q1's `Push → wais` row
+//! carries the whole Wais-side cost (one `execute` round trip, measured
+//! bytes and documents) while the O2 branch is simply absent.
+
+use crate::optimizer::Trace;
+use crate::transport::MeterSnapshot;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use yat_algebra::{Alg, EvalOut};
+use yat_obs::profile::{fmt_duration, ProfileNode};
+use yat_xml::Element;
+
+/// The result of [`crate::Mediator::explain`]: the executed plan, its
+/// output, the aggregated per-operator profile and the per-source wire
+/// traffic the execution caused.
+#[derive(Debug, Clone)]
+pub struct Explain {
+    /// The plan that was executed (post-optimization, if the caller
+    /// optimized it).
+    pub plan: Arc<Alg>,
+    /// What the plan produced.
+    pub output: EvalOut,
+    /// Output cardinality: table rows, or 1 for a tree.
+    pub rows: u64,
+    /// The aggregated operator profile (usually a single root; document
+    /// prefetch appears as a leading `phase` node).
+    pub profile: Vec<ProfileNode>,
+    /// Wire traffic this execution caused, per source (connections that
+    /// stayed silent are omitted).
+    pub traffic: BTreeMap<String, MeterSnapshot>,
+    /// The optimizer trace, when the caller passed one through.
+    pub trace: Option<Trace>,
+}
+
+impl Explain {
+    /// Total wire traffic across all sources.
+    pub fn total_traffic(&self) -> MeterSnapshot {
+        self.traffic
+            .values()
+            .fold(MeterSnapshot::default(), |a, b| a + *b)
+    }
+
+    /// Depth-first search of the profile for a node whose label contains
+    /// `needle` (e.g. `"Push → wais"` or `"execute @wais"`).
+    pub fn find(&self, needle: &str) -> Option<&ProfileNode> {
+        self.profile.iter().find_map(|n| n.find(needle))
+    }
+
+    /// Renders the profile as indented text, with a traffic summary and —
+    /// when present — the optimizer derivation.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "EXPLAIN ANALYZE  ({} rows, {} plan nodes)\n",
+            self.rows,
+            self.plan.node_count()
+        );
+        out.push_str(&yat_obs::profile::render(&self.profile));
+        if self.traffic.is_empty() {
+            out.push_str("traffic: none\n");
+        } else {
+            out.push_str("traffic:\n");
+            for (source, m) in &self.traffic {
+                out.push_str(&format!(
+                    "  {source}: {} round trips, {}B sent, {}B received, {} documents\n",
+                    m.round_trips, m.bytes_sent, m.bytes_received, m.documents_received
+                ));
+            }
+        }
+        if let Some(trace) = &self.trace {
+            out.push_str(&format!("optimizer: {} rule firings\n", trace.steps.len()));
+            for (round, rule) in &trace.steps {
+                out.push_str(&format!("  round {round}: {rule}\n"));
+            }
+        }
+        out
+    }
+
+    /// The same information as XML — self-describing, so profiles can be
+    /// stored or diffed like any other document in the system.
+    pub fn to_xml(&self) -> Element {
+        let mut el = Element::new("explain")
+            .with_attr("rows", self.rows.to_string())
+            .with_attr("plan-nodes", self.plan.node_count().to_string());
+        let mut profile = Element::new("profile");
+        for node in &self.profile {
+            profile.push_element(profile_to_xml(node));
+        }
+        el.push_element(profile);
+        let mut traffic = Element::new("traffic");
+        for (source, m) in &self.traffic {
+            traffic.push_element(
+                Element::new("source")
+                    .with_attr("name", source.clone())
+                    .with_attr("round-trips", m.round_trips.to_string())
+                    .with_attr("bytes-sent", m.bytes_sent.to_string())
+                    .with_attr("bytes-received", m.bytes_received.to_string())
+                    .with_attr("documents", m.documents_received.to_string()),
+            );
+        }
+        el.push_element(traffic);
+        if let Some(trace) = &self.trace {
+            let mut derivation = Element::new("derivation");
+            for f in &trace.firings {
+                derivation.push_element(
+                    Element::new("firing")
+                        .with_attr("round", f.round.to_string())
+                        .with_attr("rule", f.rule)
+                        .with_attr("nodes-before", f.nodes_before.to_string())
+                        .with_attr("nodes-after", f.nodes_after.to_string()),
+                );
+            }
+            el.push_element(derivation);
+        }
+        el
+    }
+}
+
+fn profile_to_xml(node: &ProfileNode) -> Element {
+    let mut el = Element::new(node.kind.clone())
+        .with_attr("label", node.label.clone())
+        .with_attr("calls", node.calls.to_string())
+        .with_attr("time", fmt_duration(node.elapsed));
+    if let Some(rows) = node.rows {
+        el.set_attr("rows", rows.to_string());
+    }
+    if node.round_trips > 0 {
+        el.set_attr("round-trips", node.round_trips.to_string());
+        el.set_attr("bytes-sent", node.bytes_sent.to_string());
+        el.set_attr("bytes-received", node.bytes_received.to_string());
+        el.set_attr("documents", node.documents.to_string());
+    }
+    if node.errors > 0 {
+        el.set_attr("errors", node.errors.to_string());
+    }
+    for child in &node.children {
+        el.push_element(profile_to_xml(child));
+    }
+    el
+}

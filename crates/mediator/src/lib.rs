@@ -21,19 +21,25 @@
 //!   operators, ships `Push` fragments to wrappers (with DJoin
 //!   information passing via constant substitution), and compensates
 //!   source predicates locally when they could not be pushed;
+//! * [`explain`] — `EXPLAIN ANALYZE`: execution with a span collector
+//!   attached, returning the annotated operator tree with per-operator
+//!   cardinalities, wall times and wire traffic;
 //! * [`Mediator`] — the façade tying it all together
-//!   (`connect` / `load_program` / `plan` / `optimize` / `execute`).
+//!   (`connect` / `load_program` / `plan` / `optimize` / `execute` /
+//!   `explain`).
 
 pub mod compose;
 pub mod executor;
+pub mod explain;
 pub mod mediator;
 pub mod optimizer;
 pub mod rules;
 pub mod session;
 pub mod transport;
 
+pub use explain::Explain;
 pub use mediator::{Mediator, MediatorError};
-pub use optimizer::{optimize, OptimizerOptions, Trace};
+pub use optimizer::{optimize, OptimizerOptions, RuleFiring, Trace};
 pub use transport::{Connection, Meter, MeterSnapshot};
 
 #[cfg(test)]

@@ -2,7 +2,8 @@
 //! integration programs, answer queries.
 
 use crate::compose::{compose, qualify};
-use crate::executor::{execute, ExecError};
+use crate::executor::{execute, execute_traced, ExecError};
+use crate::explain::Explain;
 use crate::optimizer::{optimize, OptimizerOptions, Trace};
 use crate::transport::{Connection, MeterSnapshot};
 use std::collections::BTreeMap;
@@ -166,6 +167,70 @@ impl Mediator {
         let plan = self.plan_query(src)?;
         let (optimized, _) = self.optimize(&plan, options);
         self.execute(&optimized)
+    }
+
+    /// `EXPLAIN ANALYZE`: executes `plan` with a span collector attached
+    /// and returns the annotated operator tree — per-operator execution
+    /// counts, output cardinalities, wall times, and per-source wire
+    /// traffic (measured as meter deltas, so concurrent history on the
+    /// connections does not leak in).
+    pub fn explain(&self, plan: &Arc<Alg>) -> Result<Explain, MediatorError> {
+        self.explain_with_trace(plan, None)
+    }
+
+    /// [`Mediator::explain`], attaching the optimizer [`Trace`] that
+    /// produced `plan` so the rendering includes the rewrite derivation.
+    pub fn explain_with_trace(
+        &self,
+        plan: &Arc<Alg>,
+        trace: Option<Trace>,
+    ) -> Result<Explain, MediatorError> {
+        let before: BTreeMap<&String, MeterSnapshot> = self
+            .connections
+            .iter()
+            .map(|(id, c)| (id, c.meter().snapshot()))
+            .collect();
+        let obs = yat_obs::Collector::new();
+        let output = execute_traced(
+            plan,
+            &self.connections,
+            &self.interfaces,
+            &self.funcs,
+            &self.skolems,
+            Some(&obs),
+        )?;
+        let rows = match &output {
+            EvalOut::Tab(t) => t.len() as u64,
+            EvalOut::Tree(_) => 1,
+        };
+        let mut traffic = BTreeMap::new();
+        for (id, conn) in &self.connections {
+            let delta = conn.meter().snapshot() - before[id];
+            if delta.round_trips > 0 {
+                traffic.insert(id.clone(), delta);
+            }
+        }
+        Ok(Explain {
+            plan: plan.clone(),
+            output,
+            rows,
+            profile: yat_obs::profile::build(&obs.spans()),
+            traffic,
+            trace,
+        })
+    }
+
+    /// Plan → optimize → `EXPLAIN ANALYZE`, end to end: the profiled
+    /// equivalent of [`Mediator::query`], with the optimizer derivation
+    /// attached.
+    pub fn explain_query(
+        &self,
+        src: &str,
+        options: OptimizerOptions,
+    ) -> Result<Explain, MediatorError> {
+        let plan = self.plan_query(src)?;
+        let (optimized, trace) = self.optimize(&plan, options);
+        self.explain_with_trace(&optimized, Some(trace))
     }
 
     /// The imported interfaces.

@@ -80,26 +80,89 @@ impl OptimizerOptions {
     }
 }
 
+/// One rule application: which rule fired in which round, and what it did
+/// to the plan shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleFiring {
+    /// The rewriting round (1 = composition, 2 = capabilities, 3 =
+    /// information passing).
+    pub round: u8,
+    /// The rule's name.
+    pub rule: &'static str,
+    /// The plan before the firing, rendered by [`Alg::explain`].
+    pub before: String,
+    /// The plan after the firing.
+    pub after: String,
+    /// Node count before.
+    pub nodes_before: usize,
+    /// Node count after.
+    pub nodes_after: usize,
+}
+
 /// A record of the rewriting steps taken.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     /// `(round, rule name)` per firing, in order.
     pub steps: Vec<(u8, &'static str)>,
+    /// The same firings with before/after plan snapshots — the derivation
+    /// `EXPLAIN` and `examples/optimizer_explain.rs` print.
+    pub firings: Vec<RuleFiring>,
 }
 
 impl Trace {
+    fn record(&mut self, round: u8, rule: &'static str, before: &Alg, after: &Alg) {
+        self.steps.push((round, rule));
+        self.firings.push(RuleFiring {
+            round,
+            rule,
+            before: before.explain(),
+            after: after.explain(),
+            nodes_before: before.node_count(),
+            nodes_after: after.node_count(),
+        });
+    }
+
     /// Number of firings of a rule.
     pub fn count(&self, rule: &str) -> usize {
         self.steps.iter().filter(|(_, r)| *r == rule).count()
     }
 
-    /// All firings, rendered.
+    /// All firings, rendered one line each.
     pub fn render(&self) -> String {
         self.steps
             .iter()
             .map(|(round, rule)| format!("round {round}: {rule}"))
             .collect::<Vec<_>>()
             .join("\n")
+    }
+
+    /// The full derivation: each firing with its node-count delta and the
+    /// plan it produced, ending at the final plan.
+    pub fn render_derivation(&self) -> String {
+        let mut out = String::new();
+        for (i, f) in self.firings.iter().enumerate() {
+            if i == 0 {
+                out.push_str(&format!("plan ({} nodes):\n", f.nodes_before));
+                indent_into(&mut out, &f.before);
+            }
+            out.push_str(&format!(
+                "-- round {}: {} ({} → {} nodes) -->\n",
+                f.round, f.rule, f.nodes_before, f.nodes_after
+            ));
+            indent_into(&mut out, &f.after);
+        }
+        if self.firings.is_empty() {
+            out.push_str("(no rule fired)\n");
+        }
+        out
+    }
+}
+
+fn indent_into(out: &mut String, plan: &str) {
+    for line in plan.lines() {
+        out.push_str("    ");
+        out.push_str(line);
+        out.push('\n');
     }
 }
 
@@ -130,7 +193,7 @@ pub fn optimize(
             },
         );
         if plan != before {
-            trace.steps.push((1, "prune"));
+            trace.record(1, "prune", &before, &plan);
         }
         let rules: Vec<&dyn RewriteRule> = vec![&SelectMerge, &SelectPushdown];
         plan = fixpoint(plan, &rules, &ctx, options.max_steps, 1, &mut trace);
@@ -164,7 +227,7 @@ fn fixpoint(
         let mut fired = false;
         for rule in rules {
             if let Some(next) = apply_once(&plan, *rule, ctx) {
-                trace.steps.push((round, rule.name()));
+                trace.record(round, rule.name(), &plan, &next);
                 plan = next;
                 fired = true;
                 break;

@@ -2,6 +2,7 @@
 //! (wrappers, mediator, imports) rendered as the paper shows them.
 
 use crate::mediator::{Mediator, MediatorError};
+use crate::optimizer::OptimizerOptions;
 use std::fmt::Write as _;
 use yat_capability::protocol::WrapperServer;
 
@@ -56,6 +57,18 @@ impl Session {
         let _ = writeln!(self.transcript, "yat> load \"{path_label}\";");
         for n in names {
             let _ = writeln!(self.transcript, " defined view {n}()");
+        }
+        Ok(())
+    }
+
+    /// Runs a query as `EXPLAIN ANALYZE`, appending the profile to the
+    /// transcript (`yat> explain …;` — the observability view of what a
+    /// Fig. 2 session's query actually did).
+    pub fn explain(&mut self, src: &str, options: OptimizerOptions) -> Result<(), MediatorError> {
+        let explain = self.mediator.explain_query(src, options)?;
+        let _ = writeln!(self.transcript, "yat> explain {};", src.trim());
+        for line in explain.render().lines() {
+            let _ = writeln!(self.transcript, " {line}");
         }
         Ok(())
     }

@@ -336,6 +336,130 @@ fn q2_optimized_transfers_less() {
     assert!(optimized.documents_received < naive.documents_received);
 }
 
+// ---------------------------------------------------- EXPLAIN ANALYZE
+
+#[test]
+fn explain_q1_capability_shows_pushed_wais_fragment() {
+    let m = fig1_mediator();
+    let plan = m.plan_query(paper::Q1).unwrap();
+    let (opt, trace) = m.optimize(&plan, OptimizerOptions::full());
+    let ex = m.explain_with_trace(&opt, Some(trace)).unwrap();
+
+    // the query result rode along
+    assert_eq!(ex.rows, 1);
+    assert_eq!(
+        result_fingerprint(&tree_of(ex.output.clone())),
+        vec!["Nympheas".to_string()]
+    );
+
+    // the pushed fragment's row carries its measured wire cost:
+    // one execute round trip to the Wais wrapper, real bytes, documents
+    let push = ex
+        .find("Push → xmlartwork")
+        .expect("profile has the pushed Wais fragment");
+    assert_eq!(push.round_trips, 1, "one shipped execute");
+    assert!(push.bytes_sent > 0, "request bytes measured");
+    assert!(push.bytes_received > 0, "response bytes measured");
+    assert!(push.documents >= 1, "result rows counted");
+    assert!(ex.find("execute @xmlartwork").is_some());
+
+    // Fig. 8: the O2 branch was eliminated, so O2 sees zero round trips
+    assert!(
+        !ex.traffic.contains_key("o2artifact"),
+        "o2artifact must not be contacted: {:?}",
+        ex.traffic
+    );
+    assert!(ex.traffic["xmlartwork"].round_trips >= 1);
+
+    // the rendered profile is the same story in text form
+    let text = ex.render();
+    assert!(text.contains("EXPLAIN ANALYZE"), "{text}");
+    assert!(text.contains("Push → xmlartwork"), "{text}");
+    assert!(text.contains("xmlartwork:"), "{text}");
+    assert!(!text.contains("o2artifact:"), "{text}");
+
+    // and the XML form parses back as a document
+    let xml = ex.to_xml().to_xml();
+    let parsed = yat_xml::parse_element(&xml).unwrap();
+    assert_eq!(parsed.name, "explain");
+    assert_eq!(parsed.attr("rows"), Some("1"));
+    assert!(parsed.child("profile").is_some());
+    assert!(parsed.child("traffic").is_some());
+}
+
+#[test]
+fn explain_profile_rollup_matches_meters() {
+    let m = fig1_mediator();
+    let plan = m.plan_query(paper::Q2).unwrap();
+    let (opt, _) = m.optimize(&plan, OptimizerOptions::default());
+    let ex = m.explain(&opt).unwrap();
+
+    // the inclusive transport rollup at the profile roots accounts for
+    // exactly the traffic the meters saw during this execution
+    let total = ex.total_traffic();
+    let rolled_sent: u64 = ex.profile.iter().map(|n| n.bytes_sent).sum();
+    let rolled_recv: u64 = ex.profile.iter().map(|n| n.bytes_received).sum();
+    let rolled_trips: u64 = ex.profile.iter().map(|n| n.round_trips).sum();
+    assert_eq!(rolled_sent, total.bytes_sent);
+    assert_eq!(rolled_recv, total.bytes_received);
+    assert_eq!(rolled_trips, total.round_trips);
+    assert!(total.round_trips > 0);
+
+    // Q2's information passing is visible: the pushed O2 fragment ran
+    // once per driving row, each execution a round trip
+    let push = ex.find("Push → o2artifact").unwrap();
+    assert_eq!(push.calls, push.round_trips);
+    assert!(push.calls >= 1);
+
+    // explaining does not disturb the result
+    assert_eq!(
+        result_fingerprint(&tree_of(ex.output)),
+        result_fingerprint(&tree_of(m.execute(&opt).unwrap()))
+    );
+}
+
+#[test]
+fn explain_query_attaches_the_derivation() {
+    let m = fig1_mediator();
+    let ex = m
+        .explain_query(paper::Q1, OptimizerOptions::full())
+        .unwrap();
+    let trace = ex.trace.as_ref().expect("explain_query records the trace");
+    assert!(!trace.firings.is_empty());
+    // firings carry real before/after snapshots
+    let f = &trace.firings[0];
+    assert!(f.nodes_before > 0 && f.nodes_after > 0);
+    assert!(f.before.contains("Tree"), "{}", f.before);
+    let derivation = trace.render_derivation();
+    assert!(derivation.contains("round 1:"), "{derivation}");
+    assert!(derivation.contains("nodes)"), "{derivation}");
+    assert!(ex.render().contains("optimizer:"), "{}", ex.render());
+}
+
+#[test]
+fn session_explain_logs_the_profile() {
+    let mut s = Session::start();
+    s.connect(
+        "logos.inria.fr",
+        Box::new(O2Wrapper::new("o2artifact", fig1_store())),
+    )
+    .unwrap();
+    s.connect(
+        "sappho.ics.forth.gr",
+        Box::new(WaisWrapper::new(
+            "xmlartwork",
+            WaisSource::new("works", &fig1_works()),
+        )),
+    )
+    .unwrap();
+    s.load("/u/cluet/YAT/view1.yat", paper::VIEW1).unwrap();
+    s.explain(paper::Q1, OptimizerOptions::full()).unwrap();
+    let t = s.transcript();
+    assert!(t.contains("yat> explain"), "{t}");
+    assert!(t.contains("EXPLAIN ANALYZE"), "{t}");
+    assert!(t.contains("Push → xmlartwork"), "{t}");
+}
+
 // -------------------------------------------------------- odds and ends
 
 #[test]

@@ -7,12 +7,15 @@
 //! costs observable: every request and response crosses the boundary as
 //! serialized XML text which is parsed again on the other side — exactly
 //! the work a networked deployment would do — and a [`Meter`] accumulates
-//! the traffic.
+//! the traffic. When a [`yat_obs::Collector`] is attached
+//! ([`Connection::call_traced`]) each round trip additionally records an
+//! `rpc` span carrying the request kind and the same byte/document
+//! counts, nested under whatever operator span is currently open.
 
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 use yat_capability::protocol::{Request, Response, WrapperServer};
 use yat_capability::xml::WireError;
+use yat_obs::{attr, kind, Collector};
 
 /// Cumulative traffic statistics for one connection.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -48,6 +51,24 @@ impl std::ops::Add for MeterSnapshot {
     }
 }
 
+impl std::ops::Sub for MeterSnapshot {
+    type Output = MeterSnapshot;
+
+    /// Delta between two snapshots of the same monotonically-growing
+    /// meter (saturating, so a reset between snapshots yields zeros
+    /// rather than wrapping).
+    fn sub(self, earlier: MeterSnapshot) -> MeterSnapshot {
+        MeterSnapshot {
+            bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
+            bytes_received: self.bytes_received.saturating_sub(earlier.bytes_received),
+            round_trips: self.round_trips.saturating_sub(earlier.round_trips),
+            documents_received: self
+                .documents_received
+                .saturating_sub(earlier.documents_received),
+        }
+    }
+}
+
 /// A shared traffic meter.
 #[derive(Debug, Default, Clone)]
 pub struct Meter {
@@ -60,18 +81,22 @@ impl Meter {
         Meter::default()
     }
 
+    fn lock(&self) -> MutexGuard<'_, MeterSnapshot> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Current totals.
     pub fn snapshot(&self) -> MeterSnapshot {
-        *self.inner.lock()
+        *self.lock()
     }
 
     /// Resets to zero.
     pub fn reset(&self) {
-        *self.inner.lock() = MeterSnapshot::default();
+        *self.lock() = MeterSnapshot::default();
     }
 
     fn record(&self, sent: u64, received: u64, documents: u64) {
-        let mut m = self.inner.lock();
+        let mut m = self.lock();
         m.bytes_sent += sent;
         m.bytes_received += received;
         m.round_trips += 1;
@@ -79,10 +104,23 @@ impl Meter {
     }
 }
 
+/// Test-only wire fault injection: which leg of the round trip gets its
+/// serialized text corrupted before re-parsing.
+#[cfg(test)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Fault {
+    /// Mangle the serialized request before the wrapper parses it.
+    CorruptRequest,
+    /// Mangle the serialized response before the mediator parses it.
+    CorruptResponse,
+}
+
 /// A metered connection to a wrapper.
 pub struct Connection {
     server: Box<dyn WrapperServer>,
     meter: Meter,
+    #[cfg(test)]
+    fault: Mutex<Option<Fault>>,
 }
 
 impl Connection {
@@ -91,6 +129,8 @@ impl Connection {
         Connection {
             server,
             meter: Meter::new(),
+            #[cfg(test)]
+            fault: Mutex::new(None),
         }
     }
 
@@ -104,11 +144,65 @@ impl Connection {
         &self.meter
     }
 
+    /// Arms a one-shot wire fault for the next round trip.
+    #[cfg(test)]
+    pub(crate) fn inject_fault(&self, fault: Fault) {
+        *self.fault.lock().unwrap_or_else(|e| e.into_inner()) = Some(fault);
+    }
+
+    #[cfg(test)]
+    fn take_fault(&self) -> Option<Fault> {
+        self.fault.lock().unwrap_or_else(|e| e.into_inner()).take()
+    }
+
     /// One metered round trip: the request is serialized to XML text,
     /// re-parsed on the wrapper side, handled, and the response comes
     /// back the same way.
     pub fn call(&self, request: &Request) -> Result<Response, WireError> {
-        let request_text = request.to_xml().to_xml();
+        self.call_traced(request, None)
+    }
+
+    /// [`Connection::call`] with an optional span collector: the round
+    /// trip records an `rpc` span labeled `<request-kind> @<wrapper>`
+    /// with bytes each way and documents received, or the wire error.
+    pub fn call_traced(
+        &self,
+        request: &Request,
+        obs: Option<&Collector>,
+    ) -> Result<Response, WireError> {
+        let mut span =
+            obs.map(|c| c.span(kind::RPC, format!("{} @{}", request.kind(), self.name())));
+        match self.round_trip(request) {
+            Ok((response, sent, received, documents)) => {
+                if let Some(span) = span.as_mut() {
+                    span.record_u64(attr::BYTES_SENT, sent);
+                    span.record_u64(attr::BYTES_RECEIVED, received);
+                    span.record_u64(attr::DOCUMENTS, documents);
+                }
+                self.meter.record(sent, received, documents);
+                Ok(response)
+            }
+            Err(e) => {
+                if let Some(span) = span.as_mut() {
+                    span.record_str(attr::ERROR, e.to_string());
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// The wire itself. Nothing is metered here: a failed round trip
+    /// must leave the [`Meter`] untouched so its totals only ever count
+    /// traffic that actually produced a response.
+    fn round_trip(&self, request: &Request) -> Result<(Response, u64, u64, u64), WireError> {
+        #[allow(unused_mut)]
+        let mut request_text = request.to_xml().to_xml();
+        #[cfg(test)]
+        let fault = self.take_fault();
+        #[cfg(test)]
+        if fault == Some(Fault::CorruptRequest) {
+            corrupt(&mut request_text);
+        }
         let sent = request_text.len() as u64;
 
         // --- wrapper side -------------------------------------------------
@@ -116,9 +210,14 @@ impl Connection {
             .map_err(|e| WireError(format!("request did not survive the wire: {e}")))?;
         let request = Request::from_xml(&parsed)?;
         let response = self.server.handle(&request);
-        let response_text = response.to_xml().to_xml();
+        #[allow(unused_mut)]
+        let mut response_text = response.to_xml().to_xml();
         // -------------------------------------------------------------------
 
+        #[cfg(test)]
+        if fault == Some(Fault::CorruptResponse) {
+            corrupt(&mut response_text);
+        }
         let received = response_text.len() as u64;
         let parsed = yat_xml::parse_element(&response_text)
             .map_err(|e| WireError(format!("response did not survive the wire: {e}")))?;
@@ -130,9 +229,19 @@ impl Connection {
             Response::Result(tab) => tab.len() as u64,
             _ => 0,
         };
-        self.meter.record(sent, received, documents);
-        Ok(response)
+        Ok((response, sent, received, documents))
     }
+}
+
+/// Truncates mid-element so the text is no longer well-formed XML.
+#[cfg(test)]
+fn corrupt(text: &mut String) {
+    let cut = text.len() / 2;
+    while !text.is_char_boundary(cut) {
+        text.pop();
+    }
+    text.truncate(cut.min(text.len()));
+    text.push('<');
 }
 
 #[cfg(test)]
@@ -157,15 +266,17 @@ mod tests {
         }
     }
 
+    fn get_works() -> Request {
+        Request::GetDocument {
+            name: "works".into(),
+        }
+    }
+
     #[test]
     fn calls_are_metered_both_ways() {
         let c = Connection::new(Box::new(Echo));
         assert_eq!(c.name(), "echo");
-        let r = c
-            .call(&Request::GetDocument {
-                name: "works".into(),
-            })
-            .unwrap();
+        let r = c.call(&get_works()).unwrap();
         assert!(matches!(r, Response::Document { .. }));
         let m = c.meter().snapshot();
         assert_eq!(m.round_trips, 1);
@@ -188,5 +299,82 @@ mod tests {
         let b = a + a;
         assert_eq!(b.bytes_sent, 2);
         assert_eq!(b.documents_received, 8);
+    }
+
+    #[test]
+    fn traced_calls_record_rpc_spans() {
+        let c = Connection::new(Box::new(Echo));
+        let obs = Collector::new();
+        c.call_traced(&get_works(), Some(&obs)).unwrap();
+        let spans = obs.spans();
+        assert_eq!(spans.len(), 1);
+        let span = &spans[0];
+        assert_eq!(span.kind, kind::RPC);
+        assert_eq!(span.label, "get-document @echo");
+        let m = c.meter().snapshot();
+        assert_eq!(
+            span.attr(attr::BYTES_SENT).and_then(|v| v.as_u64()),
+            Some(m.bytes_sent)
+        );
+        assert_eq!(
+            span.attr(attr::BYTES_RECEIVED).and_then(|v| v.as_u64()),
+            Some(m.bytes_received)
+        );
+        assert_eq!(
+            span.attr(attr::DOCUMENTS).and_then(|v| v.as_u64()),
+            Some(m.documents_received)
+        );
+    }
+
+    #[test]
+    fn malformed_request_surfaces_wire_error_not_panic() {
+        let c = Connection::new(Box::new(Echo));
+        c.inject_fault(Fault::CorruptRequest);
+        let err = c.call(&get_works()).unwrap_err();
+        assert!(err.to_string().contains("request did not survive"), "{err}");
+    }
+
+    #[test]
+    fn malformed_response_surfaces_wire_error_not_panic() {
+        let c = Connection::new(Box::new(Echo));
+        c.inject_fault(Fault::CorruptResponse);
+        let err = c.call(&get_works()).unwrap_err();
+        assert!(
+            err.to_string().contains("response did not survive"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn meter_stays_consistent_after_failed_round_trips() {
+        let c = Connection::new(Box::new(Echo));
+        // a clean call to establish a baseline
+        c.call(&get_works()).unwrap();
+        let before = c.meter().snapshot();
+
+        // failed round trips must not move the meter at all: counting the
+        // request bytes of a trip that produced no response would break
+        // total_bytes/round_trips invariants downstream
+        c.inject_fault(Fault::CorruptRequest);
+        c.call(&get_works()).unwrap_err();
+        assert_eq!(c.meter().snapshot(), before);
+
+        c.inject_fault(Fault::CorruptResponse);
+        c.call(&get_works()).unwrap_err();
+        assert_eq!(c.meter().snapshot(), before);
+
+        // and the connection still works afterwards, resuming the counts
+        c.call(&get_works()).unwrap();
+        let after = c.meter().snapshot();
+        assert_eq!(after.round_trips, before.round_trips + 1);
+        assert_eq!(after.bytes_sent, before.bytes_sent * 2);
+
+        // a traced failure records the error on the span, meter unchanged
+        let obs = Collector::new();
+        c.inject_fault(Fault::CorruptResponse);
+        c.call_traced(&get_works(), Some(&obs)).unwrap_err();
+        assert_eq!(c.meter().snapshot(), after);
+        let spans = obs.spans();
+        assert!(spans[0].attr(attr::ERROR).is_some());
     }
 }

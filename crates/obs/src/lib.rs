@@ -1,0 +1,357 @@
+//! Lightweight span/event collection for the YAT mediator — the
+//! observability substrate behind `EXPLAIN ANALYZE`.
+//!
+//! The paper's optimizations exist "to minimize the communication costs
+//! between the sources and the mediator" (Section 5.3); judging them
+//! requires attributing *each* cost to the operator, rewrite or round
+//! trip that incurred it. This crate provides the collection side:
+//!
+//! * a [`Collector`] that records a tree of [`SpanData`] — one span per
+//!   algebra operator evaluated (opened by `yat-algebra`'s evaluator),
+//!   one per protocol round trip (opened by `yat-mediator`'s transport),
+//!   plus free-form phases;
+//! * [`profile`] — aggregation of the raw span tree into an annotated
+//!   operator profile (calls, cardinalities, wall time, traffic), the
+//!   data structure `Mediator::explain` renders.
+//!
+//! No external subscriber is required: spans go into a `Vec` behind a
+//! mutex and cost nothing when no collector is attached (every
+//! instrumentation site takes `Option<&Collector>`). For integration
+//! with a `tracing`-style subscriber, enable the `subscriber` cargo
+//! feature and install a `SpanSink`; the sink observes each span as it
+//! closes and can forward it to any backend.
+
+#![deny(missing_docs)]
+
+pub mod profile;
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Span kind labels used by the built-in instrumentation sites.
+pub mod kind {
+    /// An algebra operator evaluation (label = `Alg::describe()`).
+    pub const OPERATOR: &str = "operator";
+    /// A mediator↔wrapper protocol round trip (label = request kind and
+    /// connection name).
+    pub const RPC: &str = "rpc";
+    /// A coarse execution phase (document prefetch, evaluation, …).
+    pub const PHASE: &str = "phase";
+    /// An optimizer rule application.
+    pub const RULE: &str = "rule";
+}
+
+/// Attribute names recorded by the built-in instrumentation sites (the
+/// profile aggregator understands these).
+pub mod attr {
+    /// Output cardinality of an operator (`Tab` rows; `1` for a tree).
+    pub const ROWS_OUT: &str = "rows_out";
+    /// Serialized request bytes of a round trip.
+    pub const BYTES_SENT: &str = "bytes_sent";
+    /// Serialized response bytes of a round trip.
+    pub const BYTES_RECEIVED: &str = "bytes_received";
+    /// Documents (trees or result rows) received in a round trip.
+    pub const DOCUMENTS: &str = "documents";
+    /// Present (with the message) when the spanned work failed.
+    pub const ERROR: &str = "error";
+}
+
+/// An attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// An unsigned counter.
+    Uint(u64),
+    /// A signed quantity.
+    Int(i64),
+    /// Free text.
+    Str(String),
+}
+
+impl AttrValue {
+    /// The value as `u64`, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            AttrValue::Uint(v) => Some(*v),
+            AttrValue::Int(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttrValue::Uint(v) => write!(f, "{v}"),
+            AttrValue::Int(v) => write!(f, "{v}"),
+            AttrValue::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// One recorded span: a named piece of work with a parent, attributes
+/// and a wall-clock duration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanData {
+    /// Index into the collector's span list (creation order).
+    pub id: usize,
+    /// Enclosing span, `None` for roots.
+    pub parent: Option<usize>,
+    /// Coarse category (see [`kind`]).
+    pub kind: &'static str,
+    /// Human-readable label; spans with equal `(kind, label)` under the
+    /// same parent aggregate into one profile row.
+    pub label: String,
+    /// Recorded attributes, in recording order.
+    pub attrs: Vec<(&'static str, AttrValue)>,
+    /// Wall time between open and close (zero for events and unclosed
+    /// spans).
+    pub elapsed: Duration,
+    /// Whether the span was closed (guard dropped).
+    pub closed: bool,
+}
+
+impl SpanData {
+    /// The first attribute named `name`.
+    pub fn attr(&self, name: &str) -> Option<&AttrValue> {
+        self.attrs.iter().find(|(n, _)| *n == name).map(|(_, v)| v)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    spans: Vec<SpanData>,
+    stack: Vec<usize>,
+}
+
+/// A sink observing spans as they close (enable the `subscriber`
+/// feature). Implement this to bridge spans into `tracing` or any other
+/// backend; the collector still records them.
+#[cfg(feature = "subscriber")]
+pub trait SpanSink: Send + Sync {
+    /// Called exactly once per span, at close time, with the final data.
+    fn on_close(&self, span: &SpanData);
+}
+
+/// A shared, thread-safe span collector.
+///
+/// Cloning is cheap (it is an `Arc` handle); all clones feed the same
+/// span list. Spans opened while another span is open become its
+/// children, so a single-threaded execution produces a faithful call
+/// tree.
+#[derive(Clone, Default)]
+pub struct Collector {
+    inner: Arc<Mutex<Inner>>,
+    #[cfg(feature = "subscriber")]
+    sink: Arc<Mutex<Option<Arc<dyn SpanSink>>>>,
+}
+
+impl std::fmt::Debug for Collector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Collector")
+            .field("spans", &self.lock().spans.len())
+            .finish()
+    }
+}
+
+impl Collector {
+    /// A fresh, empty collector.
+    pub fn new() -> Self {
+        Collector::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Installs the sink observing span closes.
+    #[cfg(feature = "subscriber")]
+    pub fn set_sink(&self, sink: Arc<dyn SpanSink>) {
+        *self.sink.lock().unwrap_or_else(|e| e.into_inner()) = Some(sink);
+    }
+
+    /// Opens a span; it closes (and records its duration) when the
+    /// returned guard drops. Until then, newly opened spans and events
+    /// nest under it.
+    pub fn span(&self, kind: &'static str, label: impl Into<String>) -> Span<'_> {
+        let mut inner = self.lock();
+        let id = inner.spans.len();
+        let parent = inner.stack.last().copied();
+        inner.spans.push(SpanData {
+            id,
+            parent,
+            kind,
+            label: label.into(),
+            attrs: Vec::new(),
+            elapsed: Duration::ZERO,
+            closed: false,
+        });
+        inner.stack.push(id);
+        Span {
+            collector: self,
+            id,
+            start: Instant::now(),
+            buffered: Vec::new(),
+        }
+    }
+
+    /// Records an instantaneous event (a zero-duration, already-closed
+    /// span) under the currently open span.
+    pub fn event(
+        &self,
+        kind: &'static str,
+        label: impl Into<String>,
+        attrs: Vec<(&'static str, AttrValue)>,
+    ) {
+        let mut inner = self.lock();
+        let id = inner.spans.len();
+        let parent = inner.stack.last().copied();
+        inner.spans.push(SpanData {
+            id,
+            parent,
+            kind,
+            label: label.into(),
+            attrs,
+            elapsed: Duration::ZERO,
+            closed: true,
+        });
+    }
+
+    /// A snapshot of all spans recorded so far, in creation order.
+    pub fn spans(&self) -> Vec<SpanData> {
+        self.lock().spans.clone()
+    }
+
+    /// Number of spans recorded.
+    pub fn len(&self) -> usize {
+        self.lock().spans.len()
+    }
+
+    /// Whether nothing was recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all recorded spans (the open-span stack survives only if
+    /// empty; call between executions, not mid-span).
+    pub fn clear(&self) {
+        let mut inner = self.lock();
+        inner.spans.clear();
+        inner.stack.clear();
+    }
+
+    fn close(&self, id: usize, elapsed: Duration, attrs: Vec<(&'static str, AttrValue)>) {
+        let mut inner = self.lock();
+        if let Some(pos) = inner.stack.iter().rposition(|&s| s == id) {
+            inner.stack.remove(pos);
+        }
+        let span = &mut inner.spans[id];
+        span.attrs.extend(attrs);
+        span.elapsed = elapsed;
+        span.closed = true;
+        #[cfg(feature = "subscriber")]
+        {
+            let done = span.clone();
+            drop(inner);
+            if let Some(sink) = self
+                .sink
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .as_ref()
+                .cloned()
+            {
+                sink.on_close(&done);
+            }
+        }
+    }
+}
+
+/// An open span. Record attributes while it is live; dropping it closes
+/// the span and stores the measured wall time.
+pub struct Span<'a> {
+    collector: &'a Collector,
+    id: usize,
+    start: Instant,
+    // attrs buffer locally so recording does not take the lock
+    buffered: Vec<(&'static str, AttrValue)>,
+}
+
+impl Span<'_> {
+    /// This span's id (stable across the collector's lifetime).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Records an unsigned counter attribute at close time.
+    pub fn record_u64(&mut self, name: &'static str, value: u64) {
+        self.pending().push((name, AttrValue::Uint(value)));
+    }
+
+    /// Records a signed attribute at close time.
+    pub fn record_i64(&mut self, name: &'static str, value: i64) {
+        self.pending().push((name, AttrValue::Int(value)));
+    }
+
+    /// Records a text attribute at close time.
+    pub fn record_str(&mut self, name: &'static str, value: impl Into<String>) {
+        self.pending().push((name, AttrValue::Str(value.into())));
+    }
+
+    fn pending(&mut self) -> &mut Vec<(&'static str, AttrValue)> {
+        &mut self.buffered
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let attrs = std::mem::take(&mut self.buffered);
+        self.collector.close(self.id, self.start.elapsed(), attrs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_close() {
+        let c = Collector::new();
+        {
+            let mut outer = c.span(kind::PHASE, "execute");
+            outer.record_u64(attr::ROWS_OUT, 3);
+            {
+                let _inner = c.span(kind::OPERATOR, "Bind works");
+                c.event(kind::RPC, "event under inner", vec![]);
+            }
+        }
+        let spans = c.spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].parent, None);
+        assert_eq!(spans[1].parent, Some(0));
+        assert_eq!(spans[2].parent, Some(1));
+        assert!(spans.iter().all(|s| s.closed));
+        assert_eq!(spans[0].attr(attr::ROWS_OUT), Some(&AttrValue::Uint(3)));
+    }
+
+    #[test]
+    fn out_of_order_guard_drop_is_tolerated() {
+        let c = Collector::new();
+        let a = c.span(kind::PHASE, "a");
+        let b = c.span(kind::PHASE, "b");
+        drop(a); // wrong order on purpose
+        let d = c.span(kind::PHASE, "c"); // parent should be b, still open
+        drop(d);
+        drop(b);
+        let spans = c.spans();
+        assert_eq!(spans[2].parent, Some(1));
+        assert!(spans.iter().all(|s| s.closed));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let c = Collector::new();
+        c.span(kind::PHASE, "x");
+        assert!(!c.is_empty());
+        c.clear();
+        assert!(c.is_empty());
+    }
+}

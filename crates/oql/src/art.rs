@@ -4,9 +4,8 @@
 use crate::store::Store;
 use crate::types::{ClassDef, MethodDef, Schema, Type};
 use crate::value::OVal;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use yat_model::Oid;
+use yat_prng::Rng;
 
 /// The `art` schema: `Artifact` (extent `artifacts`) and `Person`
 /// (extent `persons`), with the wrapped method `current_price`.
@@ -84,7 +83,7 @@ pub fn artist_of(i: usize) -> &'static str {
 
 /// Deterministic creation year for artifact `i`: four of five artifacts
 /// are post-1800 (the view keeps `year > 1800`).
-pub fn year_of(i: usize, rng: &mut StdRng) -> i64 {
+pub fn year_of(i: usize, rng: &mut Rng) -> i64 {
     if i % 5 == 4 {
         1700 + (rng.gen_range(0..100))
     } else {
@@ -95,7 +94,7 @@ pub fn year_of(i: usize, rng: &mut StdRng) -> i64 {
 /// Builds and populates the `art` database.
 pub fn art_store(spec: &ArtSpec) -> Store {
     let mut store = Store::new(art_schema());
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = Rng::seed_from_u64(spec.seed);
 
     for p in 0..spec.persons {
         let oid = Oid::new(format!("p{p}"));

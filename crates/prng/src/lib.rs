@@ -1,0 +1,174 @@
+//! A tiny, dependency-free, deterministic pseudo-random number generator.
+//!
+//! The workload generators (`yat-oql`, `yat-wais`, `yat-bench`) and the
+//! randomized tests need *seeded, reproducible* randomness, not
+//! cryptographic quality. This crate provides exactly that: a
+//! [SplitMix64](https://prng.di.unimi.it/splitmix64.c) stream behind an
+//! API shaped like the parts of `rand` the workspace used, so the
+//! repository builds with no external dependencies.
+//!
+//! Determinism is part of the contract: for a given seed the stream is
+//! fixed forever. Changing the algorithm would silently change every
+//! seeded scenario, so don't.
+
+#![deny(missing_docs)]
+
+/// A seeded deterministic generator (SplitMix64).
+///
+/// ```
+/// use yat_prng::Rng;
+/// let mut rng = Rng::seed_from_u64(42);
+/// let a = rng.gen_range(0..100u8);
+/// let b = rng.gen_range(0..100u8);
+/// let mut again = Rng::seed_from_u64(42);
+/// assert_eq!(a, again.gen_range(0..100u8));
+/// assert_eq!(b, again.gen_range(0..100u8));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// A generator seeded with `seed`. Equal seeds give equal streams.
+    pub fn seed_from_u64(seed: u64) -> Rng {
+        Rng { state: seed }
+    }
+
+    /// The next raw 64-bit value of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        // SplitMix64: public-domain constants by Sebastiano Vigna.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        // 53 uniform mantissa bits
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// A uniform value in the half-open range `lo..hi` (`lo < hi`).
+    ///
+    /// Implemented for the integer types the generators use; see
+    /// [`SampleRange`].
+    pub fn gen_range<T: SampleRange>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample(self, range)
+    }
+
+    /// A uniformly chosen element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "choose on empty slice");
+        &items[self.gen_range(0..items.len())]
+    }
+
+    /// Uniform `u64` below `bound` (`bound > 0`), by widening
+    /// multiplication (Lemire's method — unbiased enough for workloads,
+    /// exact enough for tests).
+    fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// Integer types [`Rng::gen_range`] can sample.
+pub trait SampleRange: Sized {
+    /// Uniform sample from `range` (panics when the range is empty).
+    fn sample(rng: &mut Rng, range: std::ops::Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_unsigned {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample(rng: &mut Rng, range: std::ops::Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range");
+                let span = (range.end - range.start) as u64;
+                range.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_signed {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample(rng: &mut Rng, range: std::ops::Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range");
+                let span = range.end.wrapping_sub(range.start) as u64;
+                range.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_signed!(i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = Rng::seed_from_u64(7);
+        let mut b = Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(8);
+        assert_ne!(Rng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Rng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10..20u8);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(-5..5i64);
+            assert!((-5..5).contains(&w));
+            let u = rng.gen_range(0..3usize);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut rng = Rng::seed_from_u64(2);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = Rng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2500..3500).contains(&hits), "got {hits}/10000");
+        let mut rng = Rng::seed_from_u64(4);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn choose_picks_each_element() {
+        let mut rng = Rng::seed_from_u64(5);
+        let pool = ["a", "b", "c"];
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            seen.insert(*rng.choose(&pool));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+}

@@ -1,9 +1,8 @@
 //! The `works` document collection and its generator.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use yat_model::{Node, Tree};
 use yat_oql::art::{artist_of, title_of};
+use yat_prng::Rng;
 
 /// Parameters of the synthetic works collection. Titles and artists of
 /// the first `min(works, artifacts)` documents coincide with the O2
@@ -41,7 +40,7 @@ const PLACES: &[&str] = &["Paris", "Aix-en-Provence", "London", "Rouen"];
 const TECHNIQUES: &[&str] = &["Oil on canvas", "Pastel", "Watercolour", "Gouache"];
 
 /// Generates one work document.
-fn work_doc(i: usize, spec: &WorksSpec, rng: &mut StdRng) -> Tree {
+fn work_doc(i: usize, spec: &WorksSpec, rng: &mut Rng) -> Tree {
     let mut children = vec![
         Node::elem("artist", artist_of(i)),
         Node::elem("title", title_of(i)),
@@ -86,7 +85,7 @@ fn work_doc(i: usize, spec: &WorksSpec, rng: &mut StdRng) -> Tree {
 
 /// Generates the `works` document: `works[work..]`.
 pub fn generate_works(spec: &WorksSpec) -> Tree {
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = Rng::seed_from_u64(spec.seed);
     let works: Vec<Tree> = (0..spec.works)
         .map(|i| work_doc(i, spec, &mut rng))
         .collect();

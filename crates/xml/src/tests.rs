@@ -223,83 +223,115 @@ fn deeply_nested() {
     roundtrip(&el);
 }
 
+/// Seeded randomized tests (deterministic: fixed seeds, fixed case counts).
 mod properties {
     use super::*;
-    use proptest::prelude::*;
+    use yat_prng::Rng;
 
-    fn arb_name() -> impl Strategy<Value = String> {
-        "[a-zA-Z_][a-zA-Z0-9_.-]{0,8}"
+    const CASES: usize = 256;
+
+    fn gen_name(rng: &mut Rng) -> String {
+        const FIRST: &[u8] = b"abcXYZ_";
+        const REST: &[u8] = b"abcdefXYZ019_.-";
+        let mut s = String::new();
+        s.push(*rng.choose(FIRST) as char);
+        for _ in 0..rng.gen_range(0..9usize) {
+            s.push(*rng.choose(REST) as char);
+        }
+        s
     }
 
-    /// Text without '\r' (parser normalizes CR, so raw CR does not round-trip
-    /// by design — covered by `crlf_normalization`).
-    fn arb_text() -> impl Strategy<Value = String> {
-        "[ -~éλ]{1,20}".prop_map(|s| s.replace('\r', " "))
+    /// Printable text plus some multibyte characters, without '\r' (the
+    /// parser normalizes CR, so raw CR does not round-trip by design —
+    /// covered by `crlf_normalization`).
+    fn gen_text(rng: &mut Rng) -> String {
+        let mut s = String::new();
+        for _ in 0..rng.gen_range(1..21usize) {
+            match rng.gen_range(0..20u8) {
+                0 => s.push('é'),
+                1 => s.push('λ'),
+                _ => s.push(rng.gen_range(0x20..0x7fu8) as char),
+            }
+        }
+        s
     }
 
-    fn arb_element(depth: u32) -> impl Strategy<Value = Element> {
-        let leaf = (
-            arb_name(),
-            proptest::collection::vec((arb_name(), arb_text()), 0..3),
-        )
-            .prop_map(|(name, attrs)| {
-                let mut el = Element::new(name);
-                for (k, v) in attrs {
-                    // duplicate attribute names are invalid XML; dedupe
-                    if el.attr(&k).is_none() {
-                        el.attributes.push(Attribute::new(k, v));
-                    }
+    /// Printable ASCII without '>' (a `]]>` terminator may not appear
+    /// inside a CDATA section).
+    fn gen_cdata(rng: &mut Rng) -> String {
+        (0..rng.gen_range(0..11usize))
+            .map(|_| match rng.gen_range(0x20..0x7fu8) as char {
+                '>' => '?',
+                c => c,
+            })
+            .collect()
+    }
+
+    fn gen_element(rng: &mut Rng, depth: u32) -> Element {
+        let mut el = Element::new(gen_name(rng));
+        for _ in 0..rng.gen_range(0..3usize) {
+            let k = gen_name(rng);
+            // duplicate attribute names are invalid XML; dedupe
+            if el.attr(&k).is_none() {
+                el.attributes.push(Attribute::new(k, gen_text(rng)));
+            }
+        }
+        if depth > 0 {
+            for _ in 0..rng.gen_range(0..4usize) {
+                let c = match rng.gen_range(0..7u8) {
+                    0..=3 => Content::Element(gen_element(rng, depth - 1)),
+                    4 | 5 => Content::Text(gen_text(rng)),
+                    _ => Content::CData(gen_cdata(rng)),
+                };
+                // merge adjacent text children: the parser coalesces
+                // character data, so adjacency does not round-trip
+                match (&c, el.children.last_mut()) {
+                    (Content::Text(t), Some(Content::Text(prev))) => prev.push_str(t),
+                    _ => el.children.push(c),
                 }
-                el
-            });
-        leaf.prop_recursive(depth, 32, 4, |inner| {
-            (
-                arb_name(),
-                proptest::collection::vec(
-                    prop_oneof![
-                        4 => inner.clone().prop_map(Content::Element),
-                        2 => arb_text().prop_map(Content::Text),
-                        1 => "[ -=?-~]{0,10}".prop_map(Content::CData),
-                    ],
-                    0..4,
-                ),
-            )
-                .prop_map(|(name, children)| {
-                    let mut el = Element::new(name);
-                    // merge adjacent text children: the parser coalesces
-                    // character data, so adjacency does not round-trip
-                    for c in children {
-                        match (&c, el.children.last_mut()) {
-                            (Content::Text(t), Some(Content::Text(prev))) => prev.push_str(t),
-                            _ => el.children.push(c),
-                        }
-                    }
-                    el
-                })
-        })
+            }
+        }
+        el
     }
 
-    proptest! {
-        #[test]
-        fn print_parse_roundtrip(el in arb_element(3)) {
-            roundtrip(&el);
+    #[test]
+    fn print_parse_roundtrip() {
+        let mut rng = Rng::seed_from_u64(0xC0FFEE);
+        for _ in 0..CASES {
+            roundtrip(&gen_element(&mut rng, 3));
         }
+    }
 
-        #[test]
-        fn pretty_print_parses(el in arb_element(3)) {
+    #[test]
+    fn pretty_print_parses() {
+        let mut rng = Rng::seed_from_u64(0xBEEF);
+        for _ in 0..CASES {
             // pretty output must always be valid XML (possibly with extra ws)
-            let pretty = el.to_pretty_xml();
-            prop_assert!(parse_element(&pretty).is_ok(), "unparseable: {pretty}");
+            let pretty = gen_element(&mut rng, 3).to_pretty_xml();
+            assert!(parse_element(&pretty).is_ok(), "unparseable: {pretty}");
         }
+    }
 
-        #[test]
-        fn escape_unescape_text(s in "[ -~]{0,40}") {
+    #[test]
+    fn escape_unescape_text() {
+        let mut rng = Rng::seed_from_u64(0xE5C);
+        for _ in 0..CASES {
+            let s: String = (0..rng.gen_range(0..41usize))
+                .map(|_| rng.gen_range(0x20..0x7fu8) as char)
+                .collect();
             let esc = escape_text(&s).into_owned();
-            prop_assert_eq!(unescape(&esc).unwrap().into_owned(), s);
+            assert_eq!(unescape(&esc).unwrap().into_owned(), s);
         }
+    }
 
-        #[test]
-        fn parser_never_panics(s in "[<>a-z&;\"= /!\\[\\]-]{0,60}") {
+    #[test]
+    fn parser_never_panics() {
+        const SOUP: &[u8] = b"<>abz&;\"= /![]-";
+        let mut rng = Rng::seed_from_u64(0x5011);
+        for _ in 0..CASES {
+            let s: String = (0..rng.gen_range(0..61usize))
+                .map(|_| *rng.choose(SOUP) as char)
+                .collect();
             let _ = parse_element(&s);
         }
     }

@@ -12,7 +12,7 @@
 //!
 //! This crate provides the concrete syntax ([`parse_program`] /
 //! [`parse_rule`]), the AST ([`Rule`], [`MatchClause`]) and the
-//! **algebraic translation** of Section 3.2 ([`translate`]): named
+//! **algebraic translation** of Section 3.2 ([`translate()`]): named
 //! documents become `Source` inputs, each `MATCH` becomes a `Bind`,
 //! cross-input predicates become `Join`s, remaining predicates `Select`s,
 //! and the `MAKE` clause a `Tree` operation.

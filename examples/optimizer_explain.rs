@@ -60,6 +60,19 @@ fn main() {
         println!();
     }
 
+    // the full derivation, firing by firing: each rule with the plan
+    // shape it left behind
+    let (_, trace) = m.optimize(&plan, OptimizerOptions::default());
+    println!("════ full derivation ════");
+    println!("{}", trace.render_derivation());
+
+    // and what the winning plan actually did: EXPLAIN ANALYZE
+    let explain = m
+        .explain_query(paper::Q2, OptimizerOptions::default())
+        .expect("Q2 explains");
+    println!("════ EXPLAIN ANALYZE ════");
+    println!("{}", explain.render());
+
     // prove all stages agree
     let mut results = Vec::new();
     for (_, options) in [

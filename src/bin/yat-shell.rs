@@ -35,7 +35,8 @@ fn main() {
 
     println!("yat-mediator over the Fig. 1 federation (o2artifact, xmlartwork).");
     println!("Views: artworks(). End queries with `;`. Commands: :explain <q>;,");
-    println!(":naive on|off, :views, :sources, :traffic, :quit.");
+    println!(":profile <q>; (EXPLAIN ANALYZE), :naive on|off, :views, :sources,");
+    println!(":traffic, :quit.");
 
     let stdin = io::stdin();
     let mut buffer = String::new();
@@ -60,11 +61,14 @@ fn main() {
             prompt(&buffer);
             continue;
         }
-        let (explain_only, query) = match trimmed.strip_prefix(":explain") {
-            Some(rest) => (true, rest.trim_end_matches(';').to_string()),
-            None => (false, trimmed.trim_end_matches(';').to_string()),
+        let (mode, query) = if let Some(rest) = trimmed.strip_prefix(":explain") {
+            (Mode::Explain, rest.trim_end_matches(';').to_string())
+        } else if let Some(rest) = trimmed.strip_prefix(":profile") {
+            (Mode::Profile, rest.trim_end_matches(';').to_string())
+        } else {
+            (Mode::Run, trimmed.trim_end_matches(';').to_string())
         };
-        run_query(&mediator, &query, naive, explain_only);
+        run_query(&mediator, &query, naive, mode);
         buffer.clear();
         prompt(&buffer);
     }
@@ -121,7 +125,14 @@ fn command(input: &str, mediator: &Mediator, naive: &mut bool) -> Option<bool> {
     }
 }
 
-fn run_query(mediator: &Mediator, query: &str, naive: bool, explain_only: bool) {
+/// What to do with a parsed query.
+enum Mode {
+    Run,
+    Explain,
+    Profile,
+}
+
+fn run_query(mediator: &Mediator, query: &str, naive: bool, mode: Mode) {
     let plan = match mediator.plan_query(query) {
         Ok(p) => p,
         Err(e) => {
@@ -135,20 +146,27 @@ fn run_query(mediator: &Mediator, query: &str, naive: bool, explain_only: bool) 
         OptimizerOptions::default()
     };
     let (optimized, trace) = mediator.optimize(&plan, options);
-    if explain_only {
-        println!("naive plan:\n{}", plan.explain());
-        println!(
-            "optimized plan ({} rewrites):\n{}",
-            trace.steps.len(),
-            optimized.explain()
-        );
-        return;
+    match mode {
+        Mode::Explain => {
+            println!("naive plan:\n{}", plan.explain());
+            println!(
+                "optimized plan ({} rewrites):\n{}",
+                trace.steps.len(),
+                optimized.explain()
+            );
+        }
+        Mode::Profile => match mediator.explain_with_trace(&optimized, Some(trace)) {
+            Ok(explain) => print!("{}", explain.render()),
+            Err(e) => println!("error: {e}"),
+        },
+        Mode::Run => {
+            let started = std::time::Instant::now();
+            match mediator.execute(&optimized) {
+                Ok(EvalOut::Tree(t)) => println!("{t}"),
+                Ok(EvalOut::Tab(t)) => println!("{t}"),
+                Err(e) => println!("error: {e}"),
+            }
+            println!("({:?}, {} rewrites)", started.elapsed(), trace.steps.len());
+        }
     }
-    let started = std::time::Instant::now();
-    match mediator.execute(&optimized) {
-        Ok(EvalOut::Tree(t)) => println!("{t}"),
-        Ok(EvalOut::Tab(t)) => println!("{t}"),
-        Err(e) => println!("error: {e}"),
-    }
-    println!("({:?}, {} rewrites)", started.elapsed(), trace.steps.len());
 }

@@ -1,7 +1,6 @@
 //! Cross-crate properties: optimizer soundness over generated queries and
 //! data, wire-transport transparency, and mediator-vs-local equivalence.
 
-use proptest::prelude::*;
 use yat::yat_algebra::EvalOut;
 use yat::yat_mediator::OptimizerOptions;
 use yat::yat_yatl::paper;
@@ -47,20 +46,20 @@ fn query_pool(style: &str, price: i64, place: &str) -> Vec<String> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+/// `eval(optimize(q)) == eval(q)` for generated queries, scales and
+/// seeds — the headline soundness property of the optimizer (without
+/// the opt-in containment assumption). Deterministic randomized sweep:
+/// 12 seeded cases over scenario seed, scale, query and constants.
+#[test]
+fn optimizer_is_sound() {
+    let mut rng = yat_prng::Rng::seed_from_u64(0x50714D);
+    for _ in 0..12 {
+        let seed = rng.gen_range(0..500u64);
+        let scale = rng.gen_range(10..60usize);
+        let qi = rng.gen_range(0..6usize);
+        let style = *rng.choose(&["Impressionist", "Cubist", "Realist"]);
+        let price = rng.gen_range(100_000..500_000i64);
 
-    /// `eval(optimize(q)) == eval(q)` for generated queries, scales and
-    /// seeds — the headline soundness property of the optimizer (without
-    /// the opt-in containment assumption).
-    #[test]
-    fn optimizer_is_sound(
-        seed in 0u64..500,
-        scale in 10usize..60,
-        qi in 0usize..6,
-        style in prop::sample::select(vec!["Impressionist", "Cubist", "Realist"]),
-        price in 100_000i64..500_000,
-    ) {
         let mut sc = Scenario::at_scale(scale);
         sc.seed = seed;
         let m = sc.mediator();
@@ -81,7 +80,13 @@ proptest! {
                 rows
             }
         };
-        prop_assert_eq!(fp(&naive), fp(&optimized), "query: {}\nplan:\n{}", q, opt.explain());
+        assert_eq!(
+            fp(&naive),
+            fp(&optimized),
+            "query: {}\nplan:\n{}",
+            q,
+            opt.explain()
+        );
     }
 }
 

@@ -3,7 +3,6 @@
 //! and keyed dedup) must agree with a naive exponential reference
 //! implementation.
 
-use proptest::prelude::*;
 use std::collections::BTreeMap;
 use yat::yat_model::{
     match_filter, Binding, BindingRow, Edge, Label, MatchOptions, Node, Occ, Pattern, StarBind,
@@ -222,51 +221,77 @@ fn canon(rows: Vec<BindingRow>) -> Vec<String> {
 
 // ---------------------------------------------------------- the generators
 
-fn arb_tree() -> impl Strategy<Value = Tree> {
-    let leaf = prop_oneof![(0i64..3).prop_map(Node::atom), "[ab]".prop_map(Node::atom),];
-    leaf.prop_recursive(3, 16, 3, |inner| {
-        ("[xyz]", proptest::collection::vec(inner, 0..4))
-            .prop_map(|(name, kids)| Node::sym(name, kids))
-    })
+use yat_prng::Rng;
+
+fn sym_name(rng: &mut Rng) -> String {
+    (*rng.choose(&['x', 'y', 'z'])).to_string()
 }
 
-fn arb_filter() -> impl Strategy<Value = Pattern> {
-    let leaf = prop_oneof![
-        Just(Pattern::Wildcard),
-        "[tuv]".prop_map(Pattern::TreeVar),
-        (0i64..3).prop_map(Pattern::constant),
-    ];
-    leaf.prop_recursive(3, 12, 3, |inner| {
-        (
-            "[xyz]",
-            proptest::collection::vec(
-                (inner, 0..3u8).prop_map(|(p, kind)| match kind {
+fn gen_tree(rng: &mut Rng, depth: u32) -> Tree {
+    // at depth 0, or with some probability, a leaf atom
+    if depth == 0 || rng.gen_bool(0.3) {
+        if rng.gen_bool(0.5) {
+            Node::atom(rng.gen_range(0..3i64))
+        } else {
+            Node::atom(*rng.choose(&["a", "b"]))
+        }
+    } else {
+        let kids = (0..rng.gen_range(0..4usize))
+            .map(|_| gen_tree(rng, depth - 1))
+            .collect();
+        Node::sym(sym_name(rng), kids)
+    }
+}
+
+fn gen_filter(rng: &mut Rng, depth: u32) -> Pattern {
+    if depth == 0 || rng.gen_bool(0.3) {
+        match rng.gen_range(0..3u8) {
+            0 => Pattern::Wildcard,
+            1 => Pattern::TreeVar((*rng.choose(&['t', 'u', 'v'])).to_string()),
+            _ => Pattern::constant(rng.gen_range(0..3i64)),
+        }
+    } else {
+        let edges = (0..rng.gen_range(0..3usize))
+            .map(|_| {
+                let p = gen_filter(rng, depth - 1);
+                match rng.gen_range(0..3u8) {
                     0 => Edge::one(p),
                     1 => Edge::opt(p),
                     _ => Edge::star(p),
-                }),
-                0..3,
-            ),
-        )
-            .prop_map(|(name, edges)| Pattern::sym(name, edges))
-    })
+                }
+            })
+            .collect();
+        Pattern::sym(sym_name(rng), edges)
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(300))]
-
-    /// The production matcher agrees with the exponential oracle on the
-    /// *set* of binding rows (the matcher dedups; the oracle enumerates).
-    #[test]
-    fn matcher_agrees_with_oracle(tree in arb_tree(), filter in arb_filter()) {
+/// The production matcher agrees with the exponential oracle on the
+/// *set* of binding rows (the matcher dedups; the oracle enumerates).
+/// Deterministic randomized sweep: 300 accepted seeded cases.
+#[test]
+fn matcher_agrees_with_oracle() {
+    let mut rng = Rng::seed_from_u64(0x04AC1E);
+    let mut accepted = 0;
+    while accepted < 300 {
+        let tree = gen_tree(&mut rng, 3);
+        let filter = gen_filter(&mut rng, 3);
         // distinct-variable discipline, as YATL requires
         let vars = filter.variables();
         let mut seen = std::collections::BTreeSet::new();
-        prop_assume!(vars.iter().all(|v| seen.insert(v.clone())));
+        if !vars.iter().all(|v| seen.insert(v.clone())) {
+            continue;
+        }
+        accepted += 1;
 
         let fast = match_filter(&tree, &filter, MatchOptions::default());
         let slow = oracle(&tree, &filter);
-        prop_assert_eq!(canon(fast), canon(slow), "tree: {} filter: {}", tree, filter);
+        assert_eq!(
+            canon(fast),
+            canon(slow),
+            "tree: {} filter: {}",
+            tree,
+            filter
+        );
     }
 }
 
