@@ -135,6 +135,12 @@ pub fn value_text(v: &Value) -> String {
 /// integration session so that repeated rule evaluations converge on the
 /// same identifiers ("Skolem functions do not create values but have side
 /// effects on the integrated view", Section 3.1).
+///
+/// Identifiers are *content-derived* (an FNV-1a hash of the function
+/// name and argument keys) rather than sequence numbers, so the OID a
+/// tuple receives does not depend on how many identifiers were minted
+/// before it — two queries running concurrently on one mediator mint the
+/// same OIDs they would have minted alone, in any interleaving.
 #[derive(Debug, Default)]
 pub struct SkolemRegistry {
     inner: Mutex<SkolemInner>,
@@ -143,7 +149,6 @@ pub struct SkolemRegistry {
 #[derive(Debug, Default)]
 struct SkolemInner {
     memo: BTreeMap<(String, String), Oid>,
-    next: u64,
 }
 
 impl SkolemRegistry {
@@ -160,9 +165,14 @@ impl SkolemRegistry {
         if let Some(oid) = inner.memo.get(&(name.to_string(), key_args.clone())) {
             return oid.clone();
         }
-        let n = inner.next;
-        inner.next += 1;
-        let oid = Oid::new(format!("{name}:{n}"));
+        // FNV-1a over name and argument keys; 64 bits is plenty for the
+        // identifier populations a session mints
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes().chain([0u8]).chain(key_args.bytes()) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let oid = Oid::new(format!("{name}:{h:016x}"));
         inner.memo.insert((name.to_string(), key_args), oid.clone());
         oid
     }
@@ -243,6 +253,20 @@ mod tests {
         let c = s.apply("artist", &[Value::Atom(Atom::Str("Nympheas".into()))]);
         assert_ne!(a1, c);
         assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn skolem_oids_are_independent_of_minting_order() {
+        let forward = SkolemRegistry::new();
+        let f_a = forward.apply("artwork", &[Value::Atom(Atom::Str("A".into()))]);
+        let f_b = forward.apply("artwork", &[Value::Atom(Atom::Str("B".into()))]);
+        let backward = SkolemRegistry::new();
+        let b_b = backward.apply("artwork", &[Value::Atom(Atom::Str("B".into()))]);
+        let b_a = backward.apply("artwork", &[Value::Atom(Atom::Str("A".into()))]);
+        // content-derived identifiers: interleaving concurrent queries
+        // cannot change which OID a tuple receives
+        assert_eq!(f_a, b_a);
+        assert_eq!(f_b, b_b);
     }
 
     #[test]

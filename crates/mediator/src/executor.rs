@@ -1,16 +1,94 @@
 //! Plan execution: fetch mediator-side documents, ship `Push` fragments,
 //! substitute information-passing values, evaluate the rest locally.
+//!
+//! Execution runs in one of two [`ExecMode`]s. `Sequential` performs
+//! every round trip in plan order, one at a time. `Parallel` first
+//! performs a *dependency analysis* over the plan: document prefetch
+//! (grouped per source) and every independent `Push` fragment — one not
+//! nested under the dependent side of a `DJoin`, whose
+//! information-passing environment is therefore provably empty — become
+//! scatter jobs dispatched concurrently over a bounded pool of
+//! `std::thread::scope` worker lanes. The gather step assembles the
+//! prefetched forest and a push-result cache, then local evaluation
+//! proceeds exactly as in sequential mode, taking pushed results from
+//! the cache instead of the wire. Dependent pushes (the `DJoin`
+//! right-hand side, re-shipped once per left row with fresh bindings)
+//! still go to the wire inline, so information passing is untouched.
 
 use crate::compose::mediator_side_sources;
 use crate::transport::Connection;
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use yat_algebra::eval::{eval_env, Env, EvalCtx, PushHandler};
 use yat_algebra::{Alg, EvalError, EvalOut, FnRegistry, Operand, Pred, SkolemRegistry, Tab, Value};
 use yat_capability::interface::Interface;
 use yat_capability::protocol::{Request, Response};
 use yat_model::{Forest, Pattern, Tree};
-use yat_obs::Collector;
+use yat_obs::{attr, kind, Collector};
+
+/// How the executor dispatches independent source work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// One round trip at a time, in plan order.
+    #[default]
+    Sequential,
+    /// Scatter/gather: independent fragments run concurrently on up to
+    /// `max_in_flight` worker lanes.
+    Parallel {
+        /// Upper bound on concurrently running scatter jobs.
+        max_in_flight: usize,
+    },
+}
+
+impl ExecMode {
+    /// Default lane bound of [`ExecMode::parallel`].
+    pub const DEFAULT_LANES: usize = 8;
+
+    /// Parallel mode with the default lane bound.
+    pub fn parallel() -> Self {
+        ExecMode::Parallel {
+            max_in_flight: Self::DEFAULT_LANES,
+        }
+    }
+
+    /// True for any `Parallel` variant.
+    pub fn is_parallel(&self) -> bool {
+        matches!(self, ExecMode::Parallel { .. })
+    }
+
+    /// The mode selected by the `YAT_EXEC_MODE` environment variable
+    /// (`sequential`/`seq`, `parallel`/`par`, or `parallel:<lanes>`);
+    /// sequential when unset or unparseable.
+    pub fn from_env() -> Self {
+        std::env::var("YAT_EXEC_MODE")
+            .ok()
+            .and_then(|v| Self::parse(&v))
+            .unwrap_or_default()
+    }
+
+    /// Parses the `YAT_EXEC_MODE` syntax.
+    pub fn parse(text: &str) -> Option<Self> {
+        let text = text.trim().to_ascii_lowercase();
+        match text.as_str() {
+            "sequential" | "seq" => Some(ExecMode::Sequential),
+            "parallel" | "par" => Some(ExecMode::parallel()),
+            _ => text
+                .strip_prefix("parallel:")
+                .and_then(|n| n.parse().ok())
+                .filter(|&n| n > 0)
+                .map(|n| ExecMode::Parallel { max_in_flight: n }),
+        }
+    }
+}
+
+impl std::fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecMode::Sequential => write!(f, "sequential"),
+            ExecMode::Parallel { max_in_flight } => write!(f, "parallel({max_in_flight})"),
+        }
+    }
+}
 
 /// An execution failure.
 #[derive(Debug)]
@@ -80,6 +158,31 @@ pub fn execute_traced(
     skolems: &SkolemRegistry,
     obs: Option<&Collector>,
 ) -> Result<EvalOut, ExecError> {
+    execute_mode(
+        plan,
+        connections,
+        interfaces,
+        funcs,
+        skolems,
+        obs,
+        ExecMode::Sequential,
+    )
+}
+
+/// [`execute_traced`] with an explicit [`ExecMode`]. In `Parallel` mode
+/// the prefetch and every independent push fragment run as scatter jobs
+/// under a `scatter` phase span; each job span records the worker lane
+/// that executed it (`attr::LANE`).
+#[allow(clippy::too_many_arguments)]
+pub fn execute_mode(
+    plan: &Alg,
+    connections: &BTreeMap<String, Connection>,
+    interfaces: &BTreeMap<String, Interface>,
+    funcs: &FnRegistry,
+    skolems: &SkolemRegistry,
+    obs: Option<&Collector>,
+    mode: ExecMode,
+) -> Result<EvalOut, ExecError> {
     // insertion order drives fetch order (plan-referenced documents
     // first); the set makes the reference-closure membership test O(log n)
     // instead of a linear rescan of everything fetched so far
@@ -102,30 +205,23 @@ pub fn execute_traced(
             }
         }
     }
-    let prefetch = obs.map(|o| o.span(yat_obs::kind::PHASE, "prefetch documents".to_string()));
-    let mut forest = Forest::new();
-    for (src, name) in wanted {
-        let conn = connections
-            .get(&src)
-            .ok_or_else(|| ExecError::UnknownSource(format!("{name}@{src}")))?;
-        let response = conn
-            .call_traced(&Request::GetDocument { name: name.clone() }, obs)
-            .map_err(|e| ExecError::Wire(e.to_string()))?;
-        match response {
-            Response::Document { tree, .. } => forest.insert(name, tree),
-            Response::Error(m) => {
-                return Err(ExecError::Wrapper {
-                    source: src,
-                    message: m,
-                })
-            }
-            other => return Err(ExecError::Wire(format!("unexpected response {other:?}"))),
+
+    let (forest, pushed) = match mode {
+        ExecMode::Sequential => (
+            fetch_sequential(&wanted, connections, obs)?,
+            BTreeMap::new(),
+        ),
+        ExecMode::Parallel { max_in_flight } => {
+            scatter_gather(&wanted, plan, connections, obs, max_in_flight)?
         }
-    }
-    drop(prefetch);
+    };
 
     let catalog = RemoteCatalog { forest };
-    let pusher = Pusher { connections, obs };
+    let pusher = Pusher {
+        connections,
+        obs,
+        pushed,
+    };
     let ctx = EvalCtx {
         catalog: &catalog,
         model: None,
@@ -135,6 +231,266 @@ pub fn execute_traced(
         obs,
     };
     Ok(eval_env(plan, &ctx, &Env::new())?)
+}
+
+/// The sequential prefetch loop: one `get-document` round trip at a
+/// time, in `wanted` order, under a single `prefetch documents` span.
+fn fetch_sequential(
+    wanted: &[(String, String)],
+    connections: &BTreeMap<String, Connection>,
+    obs: Option<&Collector>,
+) -> Result<Forest, ExecError> {
+    let prefetch = obs.map(|o| o.span(kind::PHASE, "prefetch documents".to_string()));
+    let mut forest = Forest::new();
+    for (src, name) in wanted {
+        for (name, tree) in fetch_documents(src, std::slice::from_ref(name), connections, obs)? {
+            forest.insert(name, tree);
+        }
+    }
+    drop(prefetch);
+    Ok(forest)
+}
+
+/// Fetches `names` from `src` over the wire, in order.
+fn fetch_documents(
+    src: &str,
+    names: &[String],
+    connections: &BTreeMap<String, Connection>,
+    obs: Option<&Collector>,
+) -> Result<Vec<(String, Tree)>, ExecError> {
+    let mut docs = Vec::with_capacity(names.len());
+    for name in names {
+        let conn = connections
+            .get(src)
+            .ok_or_else(|| ExecError::UnknownSource(format!("{name}@{src}")))?;
+        let response = conn
+            .call_traced(&Request::GetDocument { name: name.clone() }, obs)
+            .map_err(|e| ExecError::Wire(format!("fetching `{name}` from `{src}`: {e}")))?;
+        match response {
+            Response::Document { tree, .. } => docs.push((name.clone(), tree)),
+            Response::Error(m) => {
+                return Err(ExecError::Wrapper {
+                    source: src.to_string(),
+                    message: m,
+                })
+            }
+            other => return Err(ExecError::Wire(format!("unexpected response {other:?}"))),
+        }
+    }
+    Ok(docs)
+}
+
+/// One unit of independent source work, runnable on any worker lane.
+enum Job {
+    /// All document prefetches against one source, in plan order.
+    Fetch {
+        /// The source to fetch from.
+        source: String,
+        /// Document names, in the order the sequential path would fetch.
+        names: Vec<String>,
+    },
+    /// An independent `Push` fragment (empty information-passing env).
+    Push {
+        /// The source the fragment is delegated to.
+        source: String,
+        /// The `Alg::Push` node's inner plan.
+        plan: Arc<Alg>,
+    },
+}
+
+impl Job {
+    fn label(&self) -> String {
+        match self {
+            Job::Fetch { source, .. } => format!("fetch @{source}"),
+            Job::Push { source, .. } => format!("push @{source}"),
+        }
+    }
+}
+
+/// What a completed job hands back to the gather step.
+enum JobOut {
+    Docs(Vec<(String, Tree)>),
+    Pushed {
+        /// Cache key: address of the pushed fragment's inner plan node.
+        key: usize,
+        tab: Tab,
+    },
+}
+
+/// Collects the plan's *independent* push fragments: `Push` nodes not
+/// nested under the dependent (right) side of a `DJoin`. Those are
+/// evaluated with an empty environment exactly once, so shipping them
+/// early from a worker lane is indistinguishable from the sequential
+/// order. Dependent pushes get per-row bindings and stay inline.
+fn independent_pushes<'p>(plan: &'p Alg, out: &mut Vec<(String, &'p Arc<Alg>)>) {
+    match plan {
+        Alg::Push { source, plan } => out.push((source.clone(), plan)),
+        Alg::DJoin { left, .. } => independent_pushes(left, out),
+        _ => {
+            for child in plan.children() {
+                independent_pushes(child, out);
+            }
+        }
+    }
+}
+
+/// The parallel front half of execution: build the job list, scatter it
+/// over at most `max_in_flight` worker lanes, gather the prefetched
+/// forest and the push-result cache.
+///
+/// Lane assignment is static round-robin (lane `l` runs jobs `l`,
+/// `l + lanes`, `l + 2·lanes`, …), so which lane executes which job —
+/// and therefore the recorded span tree — is deterministic. Errors are
+/// reported in job order: whichever job *earliest in the plan* failed
+/// wins, matching what the sequential path would have surfaced first.
+fn scatter_gather(
+    wanted: &[(String, String)],
+    plan: &Alg,
+    connections: &BTreeMap<String, Connection>,
+    obs: Option<&Collector>,
+    max_in_flight: usize,
+) -> Result<(Forest, BTreeMap<usize, Tab>), ExecError> {
+    let mut jobs: Vec<Job> = Vec::new();
+    // group the prefetch per source, preserving first-appearance order
+    for (src, name) in wanted {
+        match jobs.iter_mut().find_map(|j| match j {
+            Job::Fetch { source, names } if source == src => Some(names),
+            _ => None,
+        }) {
+            Some(names) => names.push(name.clone()),
+            None => jobs.push(Job::Fetch {
+                source: src.clone(),
+                names: vec![name.clone()],
+            }),
+        }
+    }
+    let mut pushes = Vec::new();
+    independent_pushes(plan, &mut pushes);
+    let mut seen_nodes = BTreeSet::new();
+    for (source, inner) in pushes {
+        // the same shared fragment node is shipped (and cached) once
+        if seen_nodes.insert(Arc::as_ptr(inner) as usize) {
+            jobs.push(Job::Push {
+                source,
+                plan: inner.clone(),
+            });
+        }
+    }
+
+    if jobs.is_empty() {
+        return Ok((Forest::new(), BTreeMap::new()));
+    }
+
+    let scatter = obs.map(|o| o.span(kind::PHASE, "scatter".to_string()));
+    let scatter_id = scatter.as_ref().map(|s| s.id());
+    let lanes = max_in_flight.max(1).min(jobs.len());
+    let results: Vec<Mutex<Option<Result<JobOut, ExecError>>>> =
+        jobs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for lane in 0..lanes {
+            let jobs = &jobs;
+            let results = &results;
+            scope.spawn(move || {
+                let mut idx = lane;
+                while idx < jobs.len() {
+                    let out = run_job(&jobs[idx], lane, connections, obs, scatter_id);
+                    *results[idx].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+                    idx += lanes;
+                }
+            });
+        }
+    });
+    drop(scatter);
+
+    let mut forest = Forest::new();
+    let mut pushed = BTreeMap::new();
+    for slot in results {
+        let out = slot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .unwrap_or_else(|| Err(ExecError::Wire("scatter job was never executed".into())));
+        match out? {
+            JobOut::Docs(docs) => {
+                for (name, tree) in docs {
+                    forest.insert(name, tree);
+                }
+            }
+            JobOut::Pushed { key, tab } => {
+                pushed.insert(key, tab);
+            }
+        }
+    }
+    Ok((forest, pushed))
+}
+
+/// Runs one scatter job on worker lane `lane`, under its own `phase`
+/// span (a child of the scatter span, tagged with the lane index).
+fn run_job(
+    job: &Job,
+    lane: usize,
+    connections: &BTreeMap<String, Connection>,
+    obs: Option<&Collector>,
+    scatter_id: Option<usize>,
+) -> Result<JobOut, ExecError> {
+    let mut span = obs.map(|o| {
+        let mut s = o.span_under(scatter_id, kind::PHASE, job.label());
+        s.record_u64(attr::LANE, lane as u64);
+        s
+    });
+    let out = match job {
+        Job::Fetch { source, names } => {
+            fetch_documents(source, names, connections, obs).map(JobOut::Docs)
+        }
+        Job::Push { source, plan } => push_fragment(source, plan, connections, obs)
+            .map(|tab| JobOut::Pushed {
+                key: Arc::as_ptr(plan) as usize,
+                tab,
+            })
+            .map_err(|e| match e {
+                EvalError::Function { name, message } => ExecError::Wrapper {
+                    source: name,
+                    message,
+                },
+                other => ExecError::Eval(other),
+            }),
+    };
+    if let (Some(span), Err(e)) = (span.as_mut(), &out) {
+        span.record_str(attr::ERROR, e.to_string());
+    }
+    out
+}
+
+/// Ships one already-substituted fragment to its source.
+fn push_fragment(
+    source: &str,
+    plan: &Arc<Alg>,
+    connections: &BTreeMap<String, Connection>,
+    obs: Option<&Collector>,
+) -> Result<Tab, EvalError> {
+    let conn = connections
+        .get(source)
+        .ok_or_else(|| EvalError::UnknownSource {
+            source: Some(source.to_string()),
+            name: "<push>".into(),
+        })?;
+    let response = conn
+        .call_traced(&Request::Execute { plan: plan.clone() }, obs)
+        .map_err(|e| EvalError::Function {
+            name: source.to_string(),
+            message: e.to_string(),
+        })?;
+    match response {
+        Response::Result(tab) => Ok(tab),
+        Response::Error(m) => Err(EvalError::Function {
+            name: source.to_string(),
+            message: m,
+        }),
+        other => Err(EvalError::Function {
+            name: source.to_string(),
+            message: format!("unexpected response {other:?}"),
+        }),
+    }
 }
 
 /// Documents fetched for this execution, addressed by name regardless of
@@ -157,6 +513,11 @@ impl yat_algebra::SourceCatalog for RemoteCatalog {
 struct Pusher<'a> {
     connections: &'a BTreeMap<String, Connection>,
     obs: Option<&'a Collector>,
+    /// Results of independent fragments already shipped by the scatter
+    /// step, keyed by the fragment node's address (`Alg` nodes are
+    /// `Arc`-shared and immutable, so the address is stable for the
+    /// plan's lifetime). Empty in sequential mode.
+    pushed: BTreeMap<usize, Tab>,
 }
 
 impl<'a> PushHandler for Pusher<'a> {
@@ -166,31 +527,15 @@ impl<'a> PushHandler for Pusher<'a> {
         plan: &Alg,
         env: &BTreeMap<String, Value>,
     ) -> Result<Tab, EvalError> {
-        let conn = self
-            .connections
-            .get(source)
-            .ok_or_else(|| EvalError::UnknownSource {
-                source: Some(source.to_string()),
-                name: "<push>".into(),
-            })?;
-        let plan = substitute_env(&Arc::new(plan.clone()), env);
-        let response = conn
-            .call_traced(&Request::Execute { plan }, self.obs)
-            .map_err(|e| EvalError::Function {
-                name: source.to_string(),
-                message: e.to_string(),
-            })?;
-        match response {
-            Response::Result(tab) => Ok(tab),
-            Response::Error(m) => Err(EvalError::Function {
-                name: source.to_string(),
-                message: m,
-            }),
-            other => Err(EvalError::Function {
-                name: source.to_string(),
-                message: format!("unexpected response {other:?}"),
-            }),
+        // an independent fragment (no information passing) may already
+        // have been shipped by a scatter lane
+        if env.is_empty() {
+            if let Some(tab) = self.pushed.get(&(plan as *const Alg as usize)) {
+                return Ok(tab.clone());
+            }
         }
+        let plan = substitute_env(&Arc::new(plan.clone()), env);
+        push_fragment(source, &plan, self.connections, self.obs)
     }
 }
 
@@ -373,6 +718,49 @@ mod tests {
             panic!()
         };
         assert_eq!(pred.to_string(), "$x = $w", "tree values cannot inline");
+    }
+
+    #[test]
+    fn exec_mode_parses_the_env_syntax() {
+        assert_eq!(ExecMode::parse("sequential"), Some(ExecMode::Sequential));
+        assert_eq!(ExecMode::parse(" SEQ "), Some(ExecMode::Sequential));
+        assert_eq!(ExecMode::parse("parallel"), Some(ExecMode::parallel()));
+        assert_eq!(
+            ExecMode::parse("parallel:3"),
+            Some(ExecMode::Parallel { max_in_flight: 3 })
+        );
+        assert_eq!(ExecMode::parse("parallel:0"), None, "zero lanes rejected");
+        assert_eq!(ExecMode::parse("warp-speed"), None);
+        assert_eq!(ExecMode::parallel().to_string(), "parallel(8)");
+        assert_eq!(ExecMode::Sequential.to_string(), "sequential");
+        assert!(ExecMode::parallel().is_parallel() && !ExecMode::Sequential.is_parallel());
+    }
+
+    #[test]
+    fn dependency_analysis_skips_djoin_right() {
+        let filter = parse_filter("works *$w").unwrap();
+        let wais = Alg::push("wais", Alg::bind(Alg::source("works"), filter.clone()));
+        let o2 = Alg::push("o2", Alg::bind(Alg::source("artifacts"), filter.clone()));
+        let dependent = Alg::push("o2", Alg::bind(Alg::source("persons"), filter));
+
+        // Join(wais, o2): both sides independent
+        let plan = Alg::join(wais.clone(), o2.clone(), Pred::True);
+        let mut found = Vec::new();
+        independent_pushes(&plan, &mut found);
+        assert_eq!(
+            found.iter().map(|(s, _)| s.as_str()).collect::<Vec<_>>(),
+            ["wais", "o2"]
+        );
+
+        // DJoin(left: wais, right: dependent): the right side needs
+        // per-row bindings and must not be scattered
+        let plan = Alg::djoin(wais, dependent);
+        let mut found = Vec::new();
+        independent_pushes(&plan, &mut found);
+        assert_eq!(
+            found.iter().map(|(s, _)| s.as_str()).collect::<Vec<_>>(),
+            ["wais"]
+        );
     }
 
     #[test]

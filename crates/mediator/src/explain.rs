@@ -8,13 +8,28 @@
 //! carries the whole Wais-side cost (one `execute` round trip, measured
 //! bytes and documents) while the O2 branch is simply absent.
 
+use crate::executor::ExecMode;
 use crate::optimizer::Trace;
 use crate::transport::MeterSnapshot;
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::Duration;
 use yat_algebra::{Alg, EvalOut};
 use yat_obs::profile::{fmt_duration, ProfileNode};
 use yat_xml::Element;
+
+/// One scatter job as `EXPLAIN ANALYZE` reports it: what ran, on which
+/// worker lane, and for how long. The longest job is the critical path
+/// of the scatter phase — the wall time parallel execution cannot beat.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneJob {
+    /// Worker lane index (statically assigned round-robin).
+    pub lane: u64,
+    /// Job label, `fetch @<source>` or `push @<source>`.
+    pub label: String,
+    /// Wall time of the job.
+    pub elapsed: Duration,
+}
 
 /// The result of [`crate::Mediator::explain`]: the executed plan, its
 /// output, the aggregated per-operator profile and the per-source wire
@@ -34,6 +49,11 @@ pub struct Explain {
     /// Wire traffic this execution caused, per source (connections that
     /// stayed silent are omitted).
     pub traffic: BTreeMap<String, MeterSnapshot>,
+    /// The execution mode the plan ran under.
+    pub mode: ExecMode,
+    /// The scatter jobs of a parallel execution (empty when sequential
+    /// or when the plan had no independent source work).
+    pub lanes: Vec<LaneJob>,
     /// The optimizer trace, when the caller passed one through.
     pub trace: Option<Trace>,
 }
@@ -50,6 +70,22 @@ impl Explain {
     /// `needle` (e.g. `"Push → wais"` or `"execute @wais"`).
     pub fn find(&self, needle: &str) -> Option<&ProfileNode> {
         self.profile.iter().find_map(|n| n.find(needle))
+    }
+
+    /// The scatter phase's critical path: the wall time of its slowest
+    /// job (zero when nothing was scattered).
+    pub fn critical_path(&self) -> Duration {
+        self.lanes
+            .iter()
+            .map(|j| j.elapsed)
+            .max()
+            .unwrap_or_default()
+    }
+
+    /// Total busy time across all scatter jobs — what a sequential
+    /// execution would have spent on the same round trips.
+    pub fn scatter_busy(&self) -> Duration {
+        self.lanes.iter().map(|j| j.elapsed).sum()
     }
 
     /// Renders the profile as indented text, with a traffic summary and —
@@ -72,6 +108,34 @@ impl Explain {
                 ));
             }
         }
+        if self.mode.is_parallel() {
+            out.push_str(&format!("execution: {}\n", self.mode));
+            if self.lanes.is_empty() {
+                out.push_str("scatter: no independent jobs\n");
+            } else {
+                let lanes_used = self
+                    .lanes
+                    .iter()
+                    .map(|j| j.lane)
+                    .collect::<std::collections::BTreeSet<_>>()
+                    .len();
+                out.push_str(&format!(
+                    "scatter: {} jobs on {} lanes, critical path {}, busy {}\n",
+                    self.lanes.len(),
+                    lanes_used,
+                    fmt_duration(self.critical_path()),
+                    fmt_duration(self.scatter_busy()),
+                ));
+                for job in &self.lanes {
+                    out.push_str(&format!(
+                        "  lane {}: {}  [{}]\n",
+                        job.lane,
+                        job.label,
+                        fmt_duration(job.elapsed)
+                    ));
+                }
+            }
+        }
         if let Some(trace) = &self.trace {
             out.push_str(&format!("optimizer: {} rule firings\n", trace.steps.len()));
             for (round, rule) in &trace.steps {
@@ -86,7 +150,8 @@ impl Explain {
     pub fn to_xml(&self) -> Element {
         let mut el = Element::new("explain")
             .with_attr("rows", self.rows.to_string())
-            .with_attr("plan-nodes", self.plan.node_count().to_string());
+            .with_attr("plan-nodes", self.plan.node_count().to_string())
+            .with_attr("mode", self.mode.to_string());
         let mut profile = Element::new("profile");
         for node in &self.profile {
             profile.push_element(profile_to_xml(node));
@@ -104,6 +169,21 @@ impl Explain {
             );
         }
         el.push_element(traffic);
+        if self.mode.is_parallel() {
+            let mut scatter = Element::new("scatter")
+                .with_attr("jobs", self.lanes.len().to_string())
+                .with_attr("critical-path", fmt_duration(self.critical_path()))
+                .with_attr("busy", fmt_duration(self.scatter_busy()));
+            for job in &self.lanes {
+                scatter.push_element(
+                    Element::new("job")
+                        .with_attr("lane", job.lane.to_string())
+                        .with_attr("label", job.label.clone())
+                        .with_attr("time", fmt_duration(job.elapsed)),
+                );
+            }
+            el.push_element(scatter);
+        }
         if let Some(trace) = &self.trace {
             let mut derivation = Element::new("derivation");
             for f in &trace.firings {

@@ -20,7 +20,9 @@
 //! * [`executor`] — plan evaluation: fetches documents for mediator-side
 //!   operators, ships `Push` fragments to wrappers (with DJoin
 //!   information passing via constant substitution), and compensates
-//!   source predicates locally when they could not be pushed;
+//!   source predicates locally when they could not be pushed; under
+//!   [`ExecMode::Parallel`] independent fragments and the prefetch
+//!   scatter across `std::thread::scope` worker lanes;
 //! * [`explain`] — `EXPLAIN ANALYZE`: execution with a span collector
 //!   attached, returning the annotated operator tree with per-operator
 //!   cardinalities, wall times and wire traffic;
@@ -37,10 +39,12 @@ pub mod rules;
 pub mod session;
 pub mod transport;
 
-pub use explain::Explain;
+pub use executor::{ExecError, ExecMode};
+pub use explain::{Explain, LaneJob};
 pub use mediator::{Mediator, MediatorError};
 pub use optimizer::{optimize, OptimizerOptions, RuleFiring, Trace};
-pub use transport::{Connection, Meter, MeterSnapshot};
+pub use session::Session;
+pub use transport::{Connection, Latency, Meter, MeterSnapshot};
 
 #[cfg(test)]
 mod tests;

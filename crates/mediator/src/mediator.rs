@@ -2,8 +2,8 @@
 //! integration programs, answer queries.
 
 use crate::compose::{compose, qualify};
-use crate::executor::{execute, execute_traced, ExecError};
-use crate::explain::Explain;
+use crate::executor::{execute_mode, ExecError, ExecMode};
+use crate::explain::{Explain, LaneJob};
 use crate::optimizer::{optimize, OptimizerOptions, Trace};
 use crate::transport::{Connection, MeterSnapshot};
 use std::collections::BTreeMap;
@@ -64,16 +64,36 @@ pub struct Mediator {
     source_of_doc: BTreeMap<String, String>,
     funcs: FnRegistry,
     skolems: SkolemRegistry,
+    exec_mode: ExecMode,
 }
 
 impl Mediator {
     /// A mediator with the built-in compensation functions registered
-    /// (`contains` evaluates locally when it cannot be pushed).
+    /// (`contains` evaluates locally when it cannot be pushed). The
+    /// execution mode defaults to whatever `YAT_EXEC_MODE` selects
+    /// (sequential when unset).
     pub fn new() -> Self {
         Mediator {
             funcs: FnRegistry::with_builtins(),
+            exec_mode: ExecMode::from_env(),
             ..Default::default()
         }
+    }
+
+    /// The current execution mode.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
+    }
+
+    /// Selects how [`Mediator::execute`] dispatches source work.
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.exec_mode = mode;
+    }
+
+    /// The connection to a source, e.g. to configure simulated
+    /// [`crate::Latency`] or read its meter directly.
+    pub fn connection(&self, source: &str) -> Option<&Connection> {
+        self.connections.get(source)
     }
 
     /// Connects a wrapper and imports its interface
@@ -151,14 +171,16 @@ impl Mediator {
         optimize(plan, &self.interfaces, options)
     }
 
-    /// Executes a plan.
+    /// Executes a plan under the current [`ExecMode`].
     pub fn execute(&self, plan: &Alg) -> Result<EvalOut, MediatorError> {
-        Ok(execute(
+        Ok(execute_mode(
             plan,
             &self.connections,
             &self.interfaces,
             &self.funcs,
             &self.skolems,
+            None,
+            self.exec_mode,
         )?)
     }
 
@@ -172,8 +194,9 @@ impl Mediator {
     /// `EXPLAIN ANALYZE`: executes `plan` with a span collector attached
     /// and returns the annotated operator tree — per-operator execution
     /// counts, output cardinalities, wall times, and per-source wire
-    /// traffic (measured as meter deltas, so concurrent history on the
-    /// connections does not leak in).
+    /// traffic. Traffic is derived from *this execution's* `rpc` spans
+    /// rather than from meter deltas, so concurrent queries on the same
+    /// mediator cannot leak into each other's reports.
     pub fn explain(&self, plan: &Arc<Alg>) -> Result<Explain, MediatorError> {
         self.explain_with_trace(plan, None)
     }
@@ -185,37 +208,57 @@ impl Mediator {
         plan: &Arc<Alg>,
         trace: Option<Trace>,
     ) -> Result<Explain, MediatorError> {
-        let before: BTreeMap<&String, MeterSnapshot> = self
-            .connections
-            .iter()
-            .map(|(id, c)| (id, c.meter().snapshot()))
-            .collect();
         let obs = yat_obs::Collector::new();
-        let output = execute_traced(
+        let output = execute_mode(
             plan,
             &self.connections,
             &self.interfaces,
             &self.funcs,
             &self.skolems,
             Some(&obs),
+            self.exec_mode,
         )?;
         let rows = match &output {
             EvalOut::Tab(t) => t.len() as u64,
             EvalOut::Tree(_) => 1,
         };
-        let mut traffic = BTreeMap::new();
-        for (id, conn) in &self.connections {
-            let delta = conn.meter().snapshot() - before[id];
-            if delta.round_trips > 0 {
-                traffic.insert(id.clone(), delta);
+        let spans = obs.spans();
+        let mut traffic: BTreeMap<String, MeterSnapshot> = BTreeMap::new();
+        let mut lanes = Vec::new();
+        for span in &spans {
+            // rpc spans are labeled "<request-kind> @<source>"; a span
+            // carrying an error moved no meter, so it adds no traffic
+            if span.kind == yat_obs::kind::RPC && span.attr(yat_obs::attr::ERROR).is_none() {
+                let Some(source) = span.label.split(" @").nth(1) else {
+                    continue;
+                };
+                let counter = |name| span.attr(name).and_then(|v| v.as_u64()).unwrap_or(0);
+                let m = traffic.entry(source.to_string()).or_default();
+                m.round_trips += 1;
+                m.bytes_sent += counter(yat_obs::attr::BYTES_SENT);
+                m.bytes_received += counter(yat_obs::attr::BYTES_RECEIVED);
+                m.documents_received += counter(yat_obs::attr::DOCUMENTS);
+            }
+            // scatter jobs are the phase spans tagged with a lane index
+            if span.kind == yat_obs::kind::PHASE {
+                if let Some(lane) = span.attr(yat_obs::attr::LANE).and_then(|v| v.as_u64()) {
+                    lanes.push(LaneJob {
+                        lane,
+                        label: span.label.clone(),
+                        elapsed: span.elapsed,
+                    });
+                }
             }
         }
+        lanes.sort_by(|a, b| (a.lane, &a.label).cmp(&(b.lane, &b.label)));
         Ok(Explain {
             plan: plan.clone(),
             output,
             rows,
-            profile: yat_obs::profile::build(&obs.spans()),
+            profile: yat_obs::profile::build(&spans),
             traffic,
+            mode: self.exec_mode,
+            lanes,
             trace,
         })
     }

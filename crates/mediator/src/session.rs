@@ -1,6 +1,7 @@
 //! A Fig. 2-style session transcript: the three installation steps
 //! (wrappers, mediator, imports) rendered as the paper shows them.
 
+use crate::executor::ExecMode;
 use crate::mediator::{Mediator, MediatorError};
 use crate::optimizer::OptimizerOptions;
 use std::fmt::Write as _;
@@ -71,6 +72,13 @@ impl Session {
             let _ = writeln!(self.transcript, " {line}");
         }
         Ok(())
+    }
+
+    /// Selects the execution mode for subsequent queries, logging the
+    /// step (`yat> set execution parallel(8);`).
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.mediator.set_exec_mode(mode);
+        let _ = writeln!(self.transcript, "yat> set execution {mode};");
     }
 
     /// The transcript so far.

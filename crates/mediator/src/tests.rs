@@ -2,10 +2,13 @@
 //! pipelines over real O2 and Wais wrappers, and naive-vs-optimized
 //! equivalence.
 
+use crate::executor::ExecMode;
 use crate::mediator::Mediator;
 use crate::optimizer::OptimizerOptions;
 use crate::session::Session;
+use crate::transport::Latency;
 use std::sync::Arc;
+use std::time::Duration;
 use yat_algebra::{Alg, EvalOut};
 use yat_model::{Label, Tree};
 use yat_oql::art::{art_store, fig1_store, ArtSpec};
@@ -340,7 +343,10 @@ fn q2_optimized_transfers_less() {
 
 #[test]
 fn explain_q1_capability_shows_pushed_wais_fragment() {
-    let m = fig1_mediator();
+    let mut m = fig1_mediator();
+    // this test pins the *sequential* profile shape (the rpc nests under
+    // the Push operator); the parallel shape has its own golden tests
+    m.set_exec_mode(ExecMode::Sequential);
     let plan = m.plan_query(paper::Q1).unwrap();
     let (opt, trace) = m.optimize(&plan, OptimizerOptions::full());
     let ex = m.explain_with_trace(&opt, Some(trace)).unwrap();
@@ -544,4 +550,373 @@ fn compensated_contains_when_not_pushable() {
         .unwrap();
     let t = tree_of(out);
     assert_eq!(t.children.len(), 1, "only Nympheas painted at Giverny: {t}");
+}
+
+// ------------------------------------------- parallel scatter/gather
+
+use yat_capability::protocol::{Request, Response, WrapperServer};
+
+/// A wrapper that forwards to `inner` but panics on one request kind —
+/// the "source process crashed mid-call" fault.
+struct PanicOn {
+    inner: Box<dyn WrapperServer>,
+    kind: &'static str,
+}
+
+impl WrapperServer for PanicOn {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn handle(&self, request: &Request) -> Response {
+        if request.kind() == self.kind {
+            panic!("injected fault");
+        }
+        self.inner.handle(request)
+    }
+}
+
+fn wais_fig1() -> WaisWrapper {
+    WaisWrapper::new("xmlartwork", WaisSource::new("works", &fig1_works()))
+}
+
+#[test]
+fn parallel_execution_matches_sequential() {
+    let mut m = fig1_mediator();
+    for (query, options) in [
+        (paper::Q1, OptimizerOptions::full()),
+        (paper::Q1, OptimizerOptions::default()),
+        (paper::Q2, OptimizerOptions::default()),
+        (paper::Q2, OptimizerOptions::full()),
+    ] {
+        let plan = m.plan_query(query).unwrap();
+        let (opt, _) = m.optimize(&plan, options);
+
+        m.set_exec_mode(ExecMode::Sequential);
+        let before = m.traffic();
+        let seq = m.execute(&opt);
+        let seq_traffic = m.traffic() - before;
+
+        m.set_exec_mode(ExecMode::parallel());
+        let before = m.traffic();
+        let par = m.execute(&opt);
+        let par_traffic = m.traffic() - before;
+
+        match (seq, par) {
+            (Ok(seq), Ok(par)) => {
+                assert_eq!(seq, par, "results must be mode-independent");
+                assert_eq!(seq_traffic, par_traffic, "and so must the wire traffic");
+            }
+            // some (query, options) pairs ship a fragment the wrapper
+            // rejects — then both modes must reject it
+            (Err(seq), Err(par)) => {
+                let (seq, par) = (seq.to_string(), par.to_string());
+                assert_eq!(
+                    seq.contains("o2artifact"),
+                    par.contains("o2artifact"),
+                    "{seq} vs {par}"
+                );
+            }
+            (seq, par) => panic!("modes disagree: {seq:?} vs {par:?}"),
+        }
+    }
+}
+
+#[test]
+fn parallel_wrapper_panic_fails_the_query_naming_the_source() {
+    let mut m = Mediator::new();
+    m.connect(Box::new(O2Wrapper::new("o2artifact", fig1_store())))
+        .unwrap();
+    m.connect(Box::new(PanicOn {
+        inner: Box::new(wais_fig1()),
+        kind: "execute",
+    }))
+    .unwrap();
+    m.load_program(paper::VIEW1).unwrap();
+    m.set_exec_mode(ExecMode::parallel());
+    let wais_before = m.traffic_of("xmlartwork").unwrap();
+
+    // Q1 at full optimization is a single pushed Wais fragment: the
+    // scatter job's round trip hits the panicking handler
+    let plan = m.plan_query(paper::Q1).unwrap();
+    let (opt, _) = m.optimize(&plan, OptimizerOptions::full());
+    let err = m.execute(&opt).unwrap_err().to_string();
+    assert!(
+        err.contains("xmlartwork") && err.contains("panicked"),
+        "error must name the crashed source: {err}"
+    );
+
+    // no hang (we got here), no poisoned meter, nothing counted for the
+    // trip that never answered
+    assert_eq!(m.traffic_of("xmlartwork").unwrap(), wais_before);
+
+    // the mediator is still serviceable for plans avoiding the source
+    let out = m
+        .query(
+            "MAKE names *($n) := n [ $n ] MATCH persons WITH set *class: person: tuple [ name: $n ]",
+            OptimizerOptions::naive(),
+        )
+        .unwrap();
+    assert_eq!(tree_of(out).children.len(), 3);
+}
+
+#[test]
+fn parallel_prefetch_panic_fails_the_query_naming_the_source() {
+    let mut m = Mediator::new();
+    m.connect(Box::new(PanicOn {
+        inner: Box::new(O2Wrapper::new("o2artifact", fig1_store())),
+        kind: "get-document",
+    }))
+    .unwrap();
+    m.connect(Box::new(wais_fig1())).unwrap();
+    m.load_program(paper::VIEW1).unwrap();
+    m.set_exec_mode(ExecMode::parallel());
+
+    // the naive Q1 plan prefetches artifacts/persons from O2 — that
+    // fetch job dies on the injected panic
+    let plan = m.plan_query(paper::Q1).unwrap();
+    let err = m.execute(&plan).unwrap_err().to_string();
+    assert!(
+        err.contains("o2artifact") && err.contains("panicked"),
+        "error must name the crashed source: {err}"
+    );
+}
+
+#[test]
+fn parallel_timeout_fails_the_query_naming_the_source() {
+    let mut m = fig1_mediator();
+    m.set_exec_mode(ExecMode::parallel());
+    let conn = m.connection("xmlartwork").unwrap();
+    conn.set_latency(Some(Latency::fixed(Duration::from_millis(60))));
+    conn.set_timeout(Some(Duration::from_millis(2)));
+    let before = m.traffic_of("xmlartwork").unwrap();
+
+    let plan = m.plan_query(paper::Q1).unwrap();
+    let (opt, _) = m.optimize(&plan, OptimizerOptions::full());
+    let err = m.execute(&opt).unwrap_err().to_string();
+    assert!(
+        err.contains("xmlartwork") && err.contains("timed out"),
+        "{err}"
+    );
+    assert_eq!(m.traffic_of("xmlartwork").unwrap(), before);
+
+    // lifting the deadline restores service and the meter resumes
+    let conn = m.connection("xmlartwork").unwrap();
+    conn.set_latency(None);
+    conn.set_timeout(None);
+    let out = m.execute(&opt).unwrap();
+    assert_eq!(
+        result_fingerprint(&tree_of(out)),
+        vec!["Nympheas".to_string()]
+    );
+    assert!(m.traffic_of("xmlartwork").unwrap().round_trips > before.round_trips);
+}
+
+#[test]
+fn parallel_malformed_response_fails_the_query_cleanly() {
+    let mut m = fig1_mediator();
+    m.set_exec_mode(ExecMode::parallel());
+    let plan = m.plan_query(paper::Q1).unwrap();
+    let (opt, _) = m.optimize(&plan, OptimizerOptions::full());
+    let before = m.traffic_of("xmlartwork").unwrap();
+
+    m.connection("xmlartwork")
+        .unwrap()
+        .inject_fault(crate::transport::Fault::CorruptResponse);
+    let err = m.execute(&opt).unwrap_err().to_string();
+    assert!(
+        err.contains("xmlartwork") && err.contains("did not survive the wire"),
+        "{err}"
+    );
+    assert_eq!(
+        m.traffic_of("xmlartwork").unwrap(),
+        before,
+        "meter untouched"
+    );
+
+    // the one-shot fault is consumed; the same plan now runs fine
+    let out = m.execute(&opt).unwrap();
+    assert_eq!(
+        result_fingerprint(&tree_of(out)),
+        vec!["Nympheas".to_string()]
+    );
+}
+
+#[test]
+fn parallel_profile_rollup_matches_meter_deltas_across_threads() {
+    let mut m = fig1_mediator();
+    m.set_exec_mode(ExecMode::parallel());
+    // Q2 at the capability level has two *independent* pushed fragments
+    // (O2 and Wais), so its rpc spans genuinely come from two threads
+    let plan = m.plan_query(paper::Q2).unwrap();
+    let (opt, _) = m.optimize(
+        &plan,
+        OptimizerOptions {
+            info_passing: false,
+            ..OptimizerOptions::default()
+        },
+    );
+    let before: std::collections::BTreeMap<String, crate::transport::MeterSnapshot> =
+        ["o2artifact", "xmlartwork"]
+            .iter()
+            .map(|s| (s.to_string(), m.traffic_of(s).unwrap()))
+            .collect();
+    let ex = m.explain(&opt).unwrap();
+    assert!(
+        ex.lanes.len() >= 2,
+        "expected a real scatter: {:?}",
+        ex.lanes
+    );
+
+    // span-derived traffic == meter deltas, per source
+    for (source, b) in &before {
+        let delta = m.traffic_of(source).unwrap() - *b;
+        let reported = ex.traffic.get(source).copied().unwrap_or_default();
+        assert_eq!(reported, delta, "traffic for {source}");
+    }
+    // and the profile rollup still accounts for every byte even though
+    // the spans were recorded from multiple worker threads
+    let total = ex.total_traffic();
+    assert_eq!(
+        ex.profile.iter().map(|n| n.bytes_sent).sum::<u64>(),
+        total.bytes_sent
+    );
+    assert_eq!(
+        ex.profile.iter().map(|n| n.bytes_received).sum::<u64>(),
+        total.bytes_received
+    );
+    assert_eq!(
+        ex.profile.iter().map(|n| n.round_trips).sum::<u64>(),
+        total.round_trips
+    );
+    assert!(total.round_trips >= 2);
+}
+
+#[test]
+fn concurrent_queries_do_not_interleave_meters_or_oids() {
+    // solo baselines, each on its own mediator
+    let solo = |query: &str, options: OptimizerOptions| {
+        let mut m = fig1_mediator();
+        m.set_exec_mode(ExecMode::parallel());
+        let ex = m.explain_query(query, options).unwrap();
+        (ex.output, ex.traffic)
+    };
+    let (q1_out, q1_traffic) = solo(paper::Q1, OptimizerOptions::full());
+    let (q2_out, q2_traffic) = solo(paper::Q2, OptimizerOptions::default());
+
+    // now both queries at once, on one shared mediator
+    let mut m = fig1_mediator();
+    m.set_exec_mode(ExecMode::parallel());
+    let m = &m;
+    let (r1, r2) = std::thread::scope(|s| {
+        let t1 = s.spawn(move || {
+            m.explain_query(paper::Q1, OptimizerOptions::full())
+                .unwrap()
+        });
+        let t2 = s.spawn(move || {
+            m.explain_query(paper::Q2, OptimizerOptions::default())
+                .unwrap()
+        });
+        (t1.join().unwrap(), t2.join().unwrap())
+    });
+
+    // per-query traffic reports match the solo runs exactly — span-based
+    // accounting keeps the other query's bytes out
+    assert_eq!(r1.traffic, q1_traffic);
+    assert_eq!(r2.traffic, q2_traffic);
+    // outputs — *including Skolem OIDs* — are what the solo runs minted:
+    // content-derived identifiers make interleaving irrelevant
+    assert_eq!(r1.output, q1_out);
+    assert_eq!(r2.output, q2_out);
+}
+
+#[test]
+fn session_logs_exec_mode_and_scatter_report() {
+    let mut s = Session::start();
+    s.connect(
+        "logos.inria.fr",
+        Box::new(O2Wrapper::new("o2artifact", fig1_store())),
+    )
+    .unwrap();
+    s.connect("sappho.ics.forth.gr", Box::new(wais_fig1()))
+        .unwrap();
+    s.load("/u/cluet/YAT/view1.yat", paper::VIEW1).unwrap();
+    s.set_exec_mode(ExecMode::Parallel { max_in_flight: 2 });
+    s.explain(paper::Q1, OptimizerOptions::full()).unwrap();
+    let t = s.transcript();
+    assert!(t.contains("yat> set execution parallel(2);"), "{t}");
+    assert!(t.contains("execution: parallel(2)"), "{t}");
+    assert!(t.contains("scatter: 1 jobs on 1 lanes"), "{t}");
+    assert!(t.contains("lane 0: push @xmlartwork"), "{t}");
+}
+
+/// Replaces duration tokens (`13.4µs`, `2ms`, …) with `_` so wall-time
+/// noise does not break golden comparisons.
+fn scrub_durations(text: &str) -> String {
+    let mut out = String::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.') {
+                i += 1;
+            }
+            let rest = &text[i..];
+            let unit = ["ns", "µs", "ms", "s"].iter().find(|u| {
+                rest.starts_with(**u)
+                    && !rest[u.len()..].starts_with(|c: char| c.is_ascii_alphanumeric())
+            });
+            match unit {
+                Some(u) => {
+                    out.push('_');
+                    i += u.len();
+                }
+                None => out.push_str(&text[start..i]),
+            }
+        } else {
+            out.push(c);
+            i += c.len_utf8();
+        }
+    }
+    out
+}
+
+#[test]
+fn golden_explain_analyze_under_parallel_mode() {
+    let mut m = fig1_mediator();
+    m.set_exec_mode(ExecMode::Parallel { max_in_flight: 2 });
+    for (query, options, text_golden, xml_golden) in [
+        (
+            paper::Q1,
+            OptimizerOptions::full(),
+            include_str!("testdata/q1_parallel.txt"),
+            include_str!("testdata/q1_parallel.xml"),
+        ),
+        (
+            paper::Q2,
+            OptimizerOptions::default(),
+            include_str!("testdata/q2_parallel.txt"),
+            include_str!("testdata/q2_parallel.xml"),
+        ),
+    ] {
+        let plan = m.plan_query(query).unwrap();
+        let (opt, _) = m.optimize(&plan, options);
+        let ex = m.explain(&opt).unwrap();
+        assert_eq!(
+            scrub_durations(&ex.render()),
+            text_golden,
+            "text golden for {query}"
+        );
+        assert_eq!(
+            scrub_durations(&ex.to_xml().to_pretty_xml()),
+            xml_golden,
+            "xml golden for {query}"
+        );
+        // the XML stays a well-formed, parseable document
+        let parsed = yat_xml::parse_element(&ex.to_xml().to_xml()).unwrap();
+        assert_eq!(parsed.attr("mode"), Some("parallel(2)"));
+        assert!(parsed.child("scatter").is_some());
+    }
 }

@@ -12,7 +12,9 @@
 //! `rpc` span carrying the request kind and the same byte/document
 //! counts, nested under whatever operator span is currently open.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
 use yat_capability::protocol::{Request, Response, WrapperServer};
 use yat_capability::xml::WireError;
 use yat_obs::{attr, kind, Collector};
@@ -104,6 +106,55 @@ impl Meter {
     }
 }
 
+/// Simulated per-connection network delay, applied to every round trip.
+///
+/// The delay for one request is `base` plus a `jitter` fraction drawn
+/// from a [`yat_prng::Rng`] seeded with `seed` *and a hash of the
+/// serialized request text*. That makes the delay a pure function of the
+/// request — independent of call order, thread interleaving or how many
+/// other requests are in flight — so a parallel execution observes
+/// exactly the per-request delays a sequential one would, and benchmark
+/// comparisons between [`crate::ExecMode`]s are deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Latency {
+    /// Fixed delay added to every round trip.
+    pub base: Duration,
+    /// Upper bound of the additional uniformly-drawn jitter.
+    pub jitter: Duration,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Latency {
+    /// A fixed delay with no jitter.
+    pub fn fixed(base: Duration) -> Self {
+        Latency {
+            base,
+            jitter: Duration::ZERO,
+            seed: 0,
+        }
+    }
+
+    /// The simulated delay for one serialized request.
+    fn delay_for(&self, request_text: &str) -> Duration {
+        if self.jitter.is_zero() {
+            return self.base;
+        }
+        let frac = yat_prng::Rng::seed_from_u64(self.seed ^ fnv1a(request_text)).gen_f64();
+        self.base + self.jitter.mul_f64(frac)
+    }
+}
+
+/// FNV-1a over the text, the repo's stock content hash.
+fn fnv1a(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// Test-only wire fault injection: which leg of the round trip gets its
 /// serialized text corrupted before re-parsing.
 #[cfg(test)]
@@ -119,6 +170,8 @@ pub(crate) enum Fault {
 pub struct Connection {
     server: Box<dyn WrapperServer>,
     meter: Meter,
+    latency: Mutex<Option<Latency>>,
+    timeout: Mutex<Option<Duration>>,
     #[cfg(test)]
     fault: Mutex<Option<Fault>>,
 }
@@ -129,6 +182,8 @@ impl Connection {
         Connection {
             server,
             meter: Meter::new(),
+            latency: Mutex::new(None),
+            timeout: Mutex::new(None),
             #[cfg(test)]
             fault: Mutex::new(None),
         }
@@ -142,6 +197,25 @@ impl Connection {
     /// The connection's meter.
     pub fn meter(&self) -> &Meter {
         &self.meter
+    }
+
+    /// Installs (or clears) the simulated network delay for this
+    /// connection.
+    pub fn set_latency(&self, latency: Option<Latency>) {
+        *self.latency.lock().unwrap_or_else(|e| e.into_inner()) = latency;
+    }
+
+    /// The currently configured simulated delay.
+    pub fn latency(&self) -> Option<Latency> {
+        *self.latency.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Installs (or clears) a round-trip deadline. A round trip whose
+    /// simulated delay exceeds the deadline fails with a [`WireError`]
+    /// naming this connection; the meter stays untouched, exactly as for
+    /// any other failed trip.
+    pub fn set_timeout(&self, timeout: Option<Duration>) {
+        *self.timeout.lock().unwrap_or_else(|e| e.into_inner()) = timeout;
     }
 
     /// Arms a one-shot wire fault for the next round trip.
@@ -205,11 +279,39 @@ impl Connection {
         }
         let sent = request_text.len() as u64;
 
+        // Simulated network: the configured delay covers the whole round
+        // trip. It is a pure function of the request text, so it does not
+        // depend on which lane or in which order the request is sent.
+        if let Some(latency) = self.latency() {
+            let delay = latency.delay_for(&request_text);
+            let timeout = *self.timeout.lock().unwrap_or_else(|e| e.into_inner());
+            match timeout {
+                Some(deadline) if delay > deadline => {
+                    std::thread::sleep(deadline);
+                    return Err(WireError(format!(
+                        "request to `{}` timed out after {deadline:?}",
+                        self.name()
+                    )));
+                }
+                _ => std::thread::sleep(delay),
+            }
+        }
+
         // --- wrapper side -------------------------------------------------
         let parsed = yat_xml::parse_element(&request_text)
             .map_err(|e| WireError(format!("request did not survive the wire: {e}")))?;
         let request = Request::from_xml(&parsed)?;
-        let response = self.server.handle(&request);
+        // A wrapper crash must surface as a wire error naming the source,
+        // not take down the calling (possibly worker) thread.
+        let response =
+            catch_unwind(AssertUnwindSafe(|| self.server.handle(&request))).map_err(|payload| {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic".into());
+                WireError(format!("wrapper `{}` panicked: {msg}", self.name()))
+            })?;
         #[allow(unused_mut)]
         let mut response_text = response.to_xml().to_xml();
         // -------------------------------------------------------------------
@@ -343,6 +445,82 @@ mod tests {
             err.to_string().contains("response did not survive"),
             "{err}"
         );
+    }
+
+    #[test]
+    fn latency_delay_is_a_pure_function_of_the_request() {
+        let lat = Latency {
+            base: Duration::from_millis(10),
+            jitter: Duration::from_millis(10),
+            seed: 42,
+        };
+        let a1 = lat.delay_for("<get-document name='works'/>");
+        let a2 = lat.delay_for("<get-document name='works'/>");
+        let b = lat.delay_for("<get-document name='persons'/>");
+        assert_eq!(a1, a2, "same request → same delay, regardless of order");
+        assert_ne!(a1, b, "jitter differs across requests");
+        assert!(a1 >= lat.base && a1 <= lat.base + lat.jitter);
+        assert_eq!(
+            Latency::fixed(Duration::from_millis(5)).delay_for("anything"),
+            Duration::from_millis(5)
+        );
+    }
+
+    #[test]
+    fn simulated_latency_delays_but_still_answers() {
+        let c = Connection::new(Box::new(Echo));
+        c.set_latency(Some(Latency::fixed(Duration::from_millis(5))));
+        let t0 = std::time::Instant::now();
+        c.call(&get_works()).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+        assert_eq!(c.meter().snapshot().round_trips, 1);
+    }
+
+    #[test]
+    fn timeout_fails_the_trip_naming_the_source_and_leaves_the_meter() {
+        let c = Connection::new(Box::new(Echo));
+        c.set_latency(Some(Latency::fixed(Duration::from_millis(50))));
+        c.set_timeout(Some(Duration::from_millis(2)));
+        let t0 = std::time::Instant::now();
+        let err = c.call(&get_works()).unwrap_err();
+        assert!(
+            t0.elapsed() < Duration::from_millis(50),
+            "gives up at the deadline instead of sleeping the full delay"
+        );
+        assert!(err.to_string().contains("`echo` timed out"), "{err}");
+        assert_eq!(c.meter().snapshot(), MeterSnapshot::default());
+
+        // raising the deadline above the delay lets calls through again
+        c.set_timeout(Some(Duration::from_millis(200)));
+        c.call(&get_works()).unwrap();
+        assert_eq!(c.meter().snapshot().round_trips, 1);
+    }
+
+    struct Grenade;
+
+    impl WrapperServer for Grenade {
+        fn name(&self) -> &str {
+            "grenade"
+        }
+
+        fn handle(&self, _request: &Request) -> Response {
+            panic!("pulled the pin");
+        }
+    }
+
+    #[test]
+    fn wrapper_panic_becomes_a_wire_error_naming_the_source() {
+        let c = Connection::new(Box::new(Grenade));
+        let err = c.call(&get_works()).unwrap_err();
+        assert!(
+            err.to_string().contains("wrapper `grenade` panicked")
+                && err.to_string().contains("pulled the pin"),
+            "{err}"
+        );
+        // the failed trip never moved the meter and the connection object
+        // (its mutexes included) is still healthy
+        assert_eq!(c.meter().snapshot(), MeterSnapshot::default());
+        c.call(&get_works()).unwrap_err();
     }
 
     #[test]

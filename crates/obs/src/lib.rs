@@ -25,7 +25,9 @@
 
 pub mod profile;
 
+use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
+use std::thread::ThreadId;
 use std::time::{Duration, Instant};
 
 /// Span kind labels used by the built-in instrumentation sites.
@@ -54,6 +56,8 @@ pub mod attr {
     pub const DOCUMENTS: &str = "documents";
     /// Present (with the message) when the spanned work failed.
     pub const ERROR: &str = "error";
+    /// Index of the worker lane a scatter/gather job executed on.
+    pub const LANE: &str = "lane";
 }
 
 /// An attribute value.
@@ -120,7 +124,16 @@ impl SpanData {
 #[derive(Debug, Default)]
 struct Inner {
     spans: Vec<SpanData>,
-    stack: Vec<usize>,
+    /// Open-span stacks, one per thread: a span opened on a worker thread
+    /// nests under the innermost span *of that thread*, never under
+    /// whatever another thread happens to have open at the same instant.
+    stacks: HashMap<ThreadId, Vec<usize>>,
+}
+
+impl Inner {
+    fn stack(&mut self) -> &mut Vec<usize> {
+        self.stacks.entry(std::thread::current().id()).or_default()
+    }
 }
 
 /// A sink observing spans as they close (enable the `subscriber`
@@ -135,9 +148,10 @@ pub trait SpanSink: Send + Sync {
 /// A shared, thread-safe span collector.
 ///
 /// Cloning is cheap (it is an `Arc` handle); all clones feed the same
-/// span list. Spans opened while another span is open become its
-/// children, so a single-threaded execution produces a faithful call
-/// tree.
+/// span list. Spans opened while another span is open *on the same
+/// thread* become its children, so each thread contributes a faithful
+/// call tree; [`Collector::span_under`] stitches the per-thread trees
+/// together when work fans out to workers.
 #[derive(Clone, Default)]
 pub struct Collector {
     inner: Arc<Mutex<Inner>>,
@@ -171,21 +185,42 @@ impl Collector {
 
     /// Opens a span; it closes (and records its duration) when the
     /// returned guard drops. Until then, newly opened spans and events
-    /// nest under it.
+    /// *on the same thread* nest under it.
     pub fn span(&self, kind: &'static str, label: impl Into<String>) -> Span<'_> {
+        self.open(kind, label.into(), None)
+    }
+
+    /// Opens a span with an explicit parent instead of the current
+    /// thread's innermost open span. The scatter/gather executor uses this
+    /// to hang worker-lane job spans under the phase span that dispatched
+    /// them, even though the jobs open on other threads. Spans opened
+    /// afterwards on the same thread still nest under the new span.
+    pub fn span_under(
+        &self,
+        parent: Option<usize>,
+        kind: &'static str,
+        label: impl Into<String>,
+    ) -> Span<'_> {
+        self.open(kind, label.into(), Some(parent))
+    }
+
+    fn open(&self, kind: &'static str, label: String, explicit: Option<Option<usize>>) -> Span<'_> {
         let mut inner = self.lock();
         let id = inner.spans.len();
-        let parent = inner.stack.last().copied();
+        let parent = match explicit {
+            Some(parent) => parent,
+            None => inner.stack().last().copied(),
+        };
         inner.spans.push(SpanData {
             id,
             parent,
             kind,
-            label: label.into(),
+            label,
             attrs: Vec::new(),
             elapsed: Duration::ZERO,
             closed: false,
         });
-        inner.stack.push(id);
+        inner.stack().push(id);
         Span {
             collector: self,
             id,
@@ -204,7 +239,7 @@ impl Collector {
     ) {
         let mut inner = self.lock();
         let id = inner.spans.len();
-        let parent = inner.stack.last().copied();
+        let parent = inner.stack().last().copied();
         inner.spans.push(SpanData {
             id,
             parent,
@@ -231,18 +266,36 @@ impl Collector {
         self.len() == 0
     }
 
-    /// Drops all recorded spans (the open-span stack survives only if
+    /// Drops all recorded spans (the open-span stacks survive only if
     /// empty; call between executions, not mid-span).
     pub fn clear(&self) {
         let mut inner = self.lock();
         inner.spans.clear();
-        inner.stack.clear();
+        inner.stacks.clear();
     }
 
     fn close(&self, id: usize, elapsed: Duration, attrs: Vec<(&'static str, AttrValue)>) {
         let mut inner = self.lock();
-        if let Some(pos) = inner.stack.iter().rposition(|&s| s == id) {
-            inner.stack.remove(pos);
+        // Usually the span closes on the thread that opened it, but a
+        // guard may legally move; search that stack first, then the rest.
+        let current = std::thread::current().id();
+        let owner = if inner.stacks.get(&current).is_some_and(|s| s.contains(&id)) {
+            Some(current)
+        } else {
+            inner
+                .stacks
+                .iter()
+                .find(|(_, s)| s.contains(&id))
+                .map(|(t, _)| *t)
+        };
+        if let Some(thread) = owner {
+            let stack = inner.stacks.get_mut(&thread).expect("stack exists");
+            if let Some(pos) = stack.iter().rposition(|&s| s == id) {
+                stack.remove(pos);
+            }
+            if stack.is_empty() {
+                inner.stacks.remove(&thread);
+            }
         }
         let span = &mut inner.spans[id];
         span.attrs.extend(attrs);
@@ -344,6 +397,71 @@ mod tests {
         let spans = c.spans();
         assert_eq!(spans[2].parent, Some(1));
         assert!(spans.iter().all(|s| s.closed));
+    }
+
+    #[test]
+    fn threads_get_independent_stacks() {
+        let c = Collector::new();
+        let _outer = c.span(kind::PHASE, "main-thread work");
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                // no explicit parent and nothing open on *this* thread:
+                // the span must become a root, not a child of `outer`
+                let _w = c.span(kind::PHASE, "worker root");
+                c.event(kind::RPC, "under worker", vec![]);
+            })
+            .join()
+            .unwrap();
+        });
+        let spans = c.spans();
+        let worker = spans.iter().find(|s| s.label == "worker root").unwrap();
+        assert_eq!(worker.parent, None);
+        let nested = spans.iter().find(|s| s.label == "under worker").unwrap();
+        assert_eq!(nested.parent, Some(worker.id));
+    }
+
+    #[test]
+    fn span_under_stitches_cross_thread_trees() {
+        let c = Collector::new();
+        let scatter_id = {
+            let scatter = c.span(kind::PHASE, "scatter");
+            let id = scatter.id();
+            std::thread::scope(|s| {
+                for lane in 0..2u64 {
+                    let c = &c;
+                    s.spawn(move || {
+                        let mut job = c.span_under(Some(id), kind::PHASE, format!("job {lane}"));
+                        job.record_u64(attr::LANE, lane);
+                        c.event(kind::RPC, format!("rpc of job {lane}"), vec![]);
+                    });
+                }
+            });
+            id
+        };
+        let spans = c.spans();
+        assert!(spans.iter().all(|s| s.closed));
+        for lane in 0..2u64 {
+            let job = spans
+                .iter()
+                .find(|s| s.label == format!("job {lane}"))
+                .unwrap();
+            assert_eq!(job.parent, Some(scatter_id));
+            assert_eq!(job.attr(attr::LANE), Some(&AttrValue::Uint(lane)));
+            let rpc = spans
+                .iter()
+                .find(|s| s.label == format!("rpc of job {lane}"))
+                .unwrap();
+            assert_eq!(
+                rpc.parent,
+                Some(job.id),
+                "rpc nests under its own lane's job"
+            );
+        }
+        // profile aggregation sees one scatter root with both jobs under it
+        let profile = profile::build(&spans);
+        let scatter = &profile[0];
+        assert_eq!(scatter.label, "scatter");
+        assert_eq!(scatter.children.len(), 2);
     }
 
     #[test]
