@@ -1,0 +1,104 @@
+//! Answer-cache payoff — Q1 and Q2 executed repeatedly against sources
+//! with ~25 ms of simulated wire latency, cold vs warm, under both
+//! execution modes. A cold cache pays full wire cost; a warm one answers
+//! every fetch and push from memory, so warm latency collapses to the
+//! mediator-side evaluation time regardless of execution mode. A final
+//! selectivity sweep rotates a Q2-shaped query through several price
+//! thresholds (each a distinct plan signature) and reports the hit rate
+//! and bytes saved the cache accumulates across the workload.
+
+use std::time::Duration;
+use yat_bench::harness;
+use yat_bench::workload::Scenario;
+use yat_mediator::{CachePolicy, ExecMode, Latency, Mediator, OptimizerOptions};
+use yat_yatl::paper;
+
+/// Per-source simulated wire latency: 25 ms base + up to 5 ms of
+/// deterministic per-request jitter (same shape as `fig_parallel`).
+fn add_latency(m: &Mediator) {
+    for (i, src) in ["o2artifact", "xmlartwork"].iter().enumerate() {
+        m.connection(src)
+            .expect("scenario connects both sources")
+            .set_latency(Some(Latency {
+                base: Duration::from_millis(25),
+                jitter: Duration::from_millis(5),
+                seed: 0xBE7C + i as u64,
+            }));
+    }
+}
+
+fn main() {
+    let scenario = Scenario::at_scale(60);
+    let cases = [
+        ("q1", paper::Q1, OptimizerOptions::full()),
+        ("q2", paper::Q2, OptimizerOptions::default()),
+    ];
+    let modes = [
+        ("sequential", ExecMode::Sequential),
+        ("parallel/4", ExecMode::Parallel { max_in_flight: 4 }),
+    ];
+
+    for (mode_name, mode) in modes {
+        harness::group(&format!("fig_cache/{mode_name}"));
+        for (name, query, options) in cases {
+            let mut m = scenario.mediator();
+            add_latency(&m);
+            m.set_exec_mode(mode);
+            m.set_cache_policy(CachePolicy::bounded());
+            let plan = m.plan_query(query).expect("paper query plans");
+            let (opt, _) = m.optimize(&plan, options);
+
+            // cold: every iteration starts from an empty cache and pays
+            // the full wire latency
+            harness::run(&format!("{name}/cold"), || {
+                m.cache().clear();
+                m.execute(&opt).expect("query executes")
+            });
+
+            // warm: the answers stay cached between iterations
+            m.execute(&opt).expect("query executes");
+            harness::run(&format!("{name}/warm"), || {
+                m.execute(&opt).expect("query executes")
+            });
+            let stats = m.cache_stats();
+            println!(
+                "{:<48} hit rate {:>5.1}%   {} B saved   ({} lookups)",
+                format!("{name}/stats"),
+                100.0 * stats.hit_rate(),
+                stats.bytes_saved,
+                stats.lookups,
+            );
+        }
+
+        // Selectivity sweep: a Q2-shaped workload rotating through four
+        // price thresholds. Each threshold is a distinct signature, so
+        // the first round misses four times and every later round hits.
+        harness::group(&format!("fig_cache/{mode_name}/selectivity"));
+        let mut m = scenario.mediator();
+        add_latency(&m);
+        m.set_exec_mode(mode);
+        m.set_cache_policy(CachePolicy::bounded());
+        let thresholds = [50_000, 100_000, 200_000, 400_000];
+        const ROUNDS: usize = 8;
+        for _ in 0..ROUNDS {
+            for k in thresholds {
+                let q = format!(
+                    "MAKE answers *($t,$a,$p) := answer [ title: $t, artist: $a, price: $p ] \
+                     MATCH artworks WITH doc.work.[ title.$t, artist.$a, price.$p, style.$s ] \
+                     WHERE $s = \"Impressionist\" AND $p <= {k}.00"
+                );
+                m.query(&q, OptimizerOptions::default())
+                    .expect("sweep query executes");
+            }
+        }
+        let stats = m.cache_stats();
+        println!(
+            "{:<48} hit rate {:>5.1}%   {} B saved   ({} lookups, {} insertions)",
+            format!("{ROUNDS} rounds x {} thresholds", thresholds.len()),
+            100.0 * stats.hit_rate(),
+            stats.bytes_saved,
+            stats.lookups,
+            stats.insertions,
+        );
+    }
+}

@@ -21,6 +21,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, Mutex};
 use yat_algebra::eval::{eval_env, Env, EvalCtx, PushHandler};
 use yat_algebra::{Alg, EvalError, EvalOut, FnRegistry, Operand, Pred, SkolemRegistry, Tab, Value};
+use yat_cache::{AnswerCache, CachedAnswer, Signature};
 use yat_capability::interface::Interface;
 use yat_capability::protocol::{Request, Response};
 use yat_model::{Forest, Pattern, Tree};
@@ -166,13 +167,21 @@ pub fn execute_traced(
         skolems,
         obs,
         ExecMode::Sequential,
+        &AnswerCache::off(),
     )
 }
 
-/// [`execute_traced`] with an explicit [`ExecMode`]. In `Parallel` mode
-/// the prefetch and every independent push fragment run as scatter jobs
-/// under a `scatter` phase span; each job span records the worker lane
-/// that executed it (`attr::LANE`).
+/// [`execute_traced`] with an explicit [`ExecMode`] and answer cache. In
+/// `Parallel` mode the prefetch and every independent push fragment run
+/// as scatter jobs under a `scatter` phase span; each job span records
+/// the worker lane that executed it (`attr::LANE`).
+///
+/// When the cache is enabled, every unit of source work — a document
+/// fetch or a pushed fragment, dependent ones included — is looked up
+/// first (against the source's *live* epoch, so an epoch bump during a
+/// long execution stops stale answers immediately) and inserted after a
+/// fully successful round trip. In parallel mode lookups happen at
+/// scheduling time: a hit removes the job from the lane schedule.
 #[allow(clippy::too_many_arguments)]
 pub fn execute_mode(
     plan: &Alg,
@@ -182,6 +191,7 @@ pub fn execute_mode(
     skolems: &SkolemRegistry,
     obs: Option<&Collector>,
     mode: ExecMode,
+    cache: &AnswerCache,
 ) -> Result<EvalOut, ExecError> {
     // insertion order drives fetch order (plan-referenced documents
     // first); the set makes the reference-closure membership test O(log n)
@@ -208,11 +218,11 @@ pub fn execute_mode(
 
     let (forest, pushed) = match mode {
         ExecMode::Sequential => (
-            fetch_sequential(&wanted, connections, obs)?,
+            fetch_sequential(&wanted, connections, cache, obs)?,
             BTreeMap::new(),
         ),
         ExecMode::Parallel { max_in_flight } => {
-            scatter_gather(&wanted, plan, connections, obs, max_in_flight)?
+            scatter_gather(&wanted, plan, connections, cache, obs, max_in_flight)?
         }
     };
 
@@ -220,6 +230,7 @@ pub fn execute_mode(
     let pusher = Pusher {
         connections,
         obs,
+        cache,
         pushed,
     };
     let ctx = EvalCtx {
@@ -235,15 +246,24 @@ pub fn execute_mode(
 
 /// The sequential prefetch loop: one `get-document` round trip at a
 /// time, in `wanted` order, under a single `prefetch documents` span.
+/// Each document is looked up in the answer cache first (against the
+/// source's live epoch) and only fetched on a miss.
 fn fetch_sequential(
     wanted: &[(String, String)],
     connections: &BTreeMap<String, Connection>,
+    cache: &AnswerCache,
     obs: Option<&Collector>,
 ) -> Result<Forest, ExecError> {
     let prefetch = obs.map(|o| o.span(kind::PHASE, "prefetch documents".to_string()));
     let mut forest = Forest::new();
     for (src, name) in wanted {
-        for (name, tree) in fetch_documents(src, std::slice::from_ref(name), connections, obs)? {
+        if let Some(tree) = cached_document(src, name, connections, cache, obs) {
+            forest.insert(name.clone(), tree);
+            continue;
+        }
+        for (name, tree) in
+            fetch_documents(src, std::slice::from_ref(name), connections, cache, obs)?
+        {
             forest.insert(name, tree);
         }
     }
@@ -251,11 +271,31 @@ fn fetch_sequential(
     Ok(forest)
 }
 
-/// Fetches `names` from `src` over the wire, in order.
+/// Cache lookup for one document, keyed by its canonical signature and
+/// validated against the source's *live* epoch.
+fn cached_document(
+    src: &str,
+    name: &str,
+    connections: &BTreeMap<String, Connection>,
+    cache: &AnswerCache,
+    obs: Option<&Collector>,
+) -> Option<Tree> {
+    let conn = connections.get(src)?;
+    match cache.lookup(Signature::document(src, name), src, conn.epoch(), obs) {
+        Some(CachedAnswer::Document { tree, .. }) => Some(tree),
+        _ => None,
+    }
+}
+
+/// Fetches `names` from `src` over the wire, in order. Every fully
+/// received document is inserted into the answer cache, tagged with the
+/// source epoch read *before* its round trip — data that changes
+/// mid-flight lands under the old epoch, which the next bump retires.
 fn fetch_documents(
     src: &str,
     names: &[String],
     connections: &BTreeMap<String, Connection>,
+    cache: &AnswerCache,
     obs: Option<&Collector>,
 ) -> Result<Vec<(String, Tree)>, ExecError> {
     let mut docs = Vec::with_capacity(names.len());
@@ -263,11 +303,24 @@ fn fetch_documents(
         let conn = connections
             .get(src)
             .ok_or_else(|| ExecError::UnknownSource(format!("{name}@{src}")))?;
+        let epoch = conn.epoch();
         let response = conn
             .call_traced(&Request::GetDocument { name: name.clone() }, obs)
             .map_err(|e| ExecError::Wire(format!("fetching `{name}` from `{src}`: {e}")))?;
         match response {
-            Response::Document { tree, .. } => docs.push((name.clone(), tree)),
+            Response::Document { tree, .. } => {
+                cache.insert(
+                    Signature::document(src, name),
+                    src,
+                    epoch,
+                    CachedAnswer::Document {
+                        name: name.clone(),
+                        tree: tree.clone(),
+                    },
+                    obs,
+                );
+                docs.push((name.clone(), tree));
+            }
             Response::Error(m) => {
                 return Err(ExecError::Wrapper {
                     source: src.to_string(),
@@ -295,6 +348,9 @@ enum Job {
         source: String,
         /// The `Alg::Push` node's inner plan.
         plan: Arc<Alg>,
+        /// The fragment's canonical signature — the memo key its result
+        /// is gathered under, and the answer-cache key it is stored at.
+        sig: Signature,
     },
 }
 
@@ -311,8 +367,8 @@ impl Job {
 enum JobOut {
     Docs(Vec<(String, Tree)>),
     Pushed {
-        /// Cache key: address of the pushed fragment's inner plan node.
-        key: usize,
+        /// Memo key: the fragment's canonical signature.
+        sig: Signature,
         tab: Tab,
     },
 }
@@ -347,12 +403,22 @@ fn scatter_gather(
     wanted: &[(String, String)],
     plan: &Alg,
     connections: &BTreeMap<String, Connection>,
+    cache: &AnswerCache,
     obs: Option<&Collector>,
     max_in_flight: usize,
-) -> Result<(Forest, BTreeMap<usize, Tab>), ExecError> {
+) -> Result<(Forest, BTreeMap<Signature, Tab>), ExecError> {
+    // answer-cache hits are resolved at scheduling time and never enter
+    // the lane schedule at all
+    let mut forest = Forest::new();
+    let mut pushed: BTreeMap<Signature, Tab> = BTreeMap::new();
+
     let mut jobs: Vec<Job> = Vec::new();
     // group the prefetch per source, preserving first-appearance order
     for (src, name) in wanted {
+        if let Some(tree) = cached_document(src, name, connections, cache, obs) {
+            forest.insert(name.clone(), tree);
+            continue;
+        }
         match jobs.iter_mut().find_map(|j| match j {
             Job::Fetch { source, names } if source == src => Some(names),
             _ => None,
@@ -369,16 +435,25 @@ fn scatter_gather(
     let mut seen_nodes = BTreeSet::new();
     for (source, inner) in pushes {
         // the same shared fragment node is shipped (and cached) once
-        if seen_nodes.insert(Arc::as_ptr(inner) as usize) {
-            jobs.push(Job::Push {
-                source,
-                plan: inner.clone(),
-            });
+        if !seen_nodes.insert(Arc::as_ptr(inner) as usize) {
+            continue;
         }
+        let sig = Signature::execute(&source, inner);
+        if let Some(conn) = connections.get(&source) {
+            if let Some(CachedAnswer::Result(tab)) = cache.lookup(sig, &source, conn.epoch(), obs) {
+                pushed.insert(sig, tab);
+                continue;
+            }
+        }
+        jobs.push(Job::Push {
+            source,
+            plan: inner.clone(),
+            sig,
+        });
     }
 
     if jobs.is_empty() {
-        return Ok((Forest::new(), BTreeMap::new()));
+        return Ok((forest, pushed));
     }
 
     let scatter = obs.map(|o| o.span(kind::PHASE, "scatter".to_string()));
@@ -393,7 +468,7 @@ fn scatter_gather(
             scope.spawn(move || {
                 let mut idx = lane;
                 while idx < jobs.len() {
-                    let out = run_job(&jobs[idx], lane, connections, obs, scatter_id);
+                    let out = run_job(&jobs[idx], lane, connections, cache, obs, scatter_id);
                     *results[idx].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
                     idx += lanes;
                 }
@@ -402,8 +477,6 @@ fn scatter_gather(
     });
     drop(scatter);
 
-    let mut forest = Forest::new();
-    let mut pushed = BTreeMap::new();
     for slot in results {
         let out = slot
             .lock()
@@ -416,8 +489,8 @@ fn scatter_gather(
                     forest.insert(name, tree);
                 }
             }
-            JobOut::Pushed { key, tab } => {
-                pushed.insert(key, tab);
+            JobOut::Pushed { sig, tab } => {
+                pushed.insert(sig, tab);
             }
         }
     }
@@ -430,6 +503,7 @@ fn run_job(
     job: &Job,
     lane: usize,
     connections: &BTreeMap<String, Connection>,
+    cache: &AnswerCache,
     obs: Option<&Collector>,
     scatter_id: Option<usize>,
 ) -> Result<JobOut, ExecError> {
@@ -440,20 +514,23 @@ fn run_job(
     });
     let out = match job {
         Job::Fetch { source, names } => {
-            fetch_documents(source, names, connections, obs).map(JobOut::Docs)
+            fetch_documents(source, names, connections, cache, obs).map(JobOut::Docs)
         }
-        Job::Push { source, plan } => push_fragment(source, plan, connections, obs)
-            .map(|tab| JobOut::Pushed {
-                key: Arc::as_ptr(plan) as usize,
-                tab,
-            })
-            .map_err(|e| match e {
-                EvalError::Function { name, message } => ExecError::Wrapper {
-                    source: name,
-                    message,
-                },
-                other => ExecError::Eval(other),
-            }),
+        Job::Push { source, plan, sig } => {
+            let epoch = connections.get(source).map(|c| c.epoch()).unwrap_or(0);
+            push_fragment(source, plan, connections, obs)
+                .map(|tab| {
+                    cache.insert(*sig, source, epoch, CachedAnswer::Result(tab.clone()), obs);
+                    JobOut::Pushed { sig: *sig, tab }
+                })
+                .map_err(|e| match e {
+                    EvalError::Function { name, message } => ExecError::Wrapper {
+                        source: name,
+                        message,
+                    },
+                    other => ExecError::Eval(other),
+                })
+        }
     };
     if let (Some(span), Err(e)) = (span.as_mut(), &out) {
         span.record_str(attr::ERROR, e.to_string());
@@ -513,11 +590,14 @@ impl yat_algebra::SourceCatalog for RemoteCatalog {
 struct Pusher<'a> {
     connections: &'a BTreeMap<String, Connection>,
     obs: Option<&'a Collector>,
+    /// The cross-query answer cache (disabled unless the mediator's
+    /// policy enables it).
+    cache: &'a AnswerCache,
     /// Results of independent fragments already shipped by the scatter
-    /// step, keyed by the fragment node's address (`Alg` nodes are
-    /// `Arc`-shared and immutable, so the address is stable for the
-    /// plan's lifetime). Empty in sequential mode.
-    pushed: BTreeMap<usize, Tab>,
+    /// step, keyed by the fragment's canonical [`Signature`] — the same
+    /// scheme the cross-query cache uses, so one canonicalization serves
+    /// both layers. Empty in sequential mode.
+    pushed: BTreeMap<Signature, Tab>,
 }
 
 impl<'a> PushHandler for Pusher<'a> {
@@ -527,15 +607,41 @@ impl<'a> PushHandler for Pusher<'a> {
         plan: &Alg,
         env: &BTreeMap<String, Value>,
     ) -> Result<Tab, EvalError> {
-        // an independent fragment (no information passing) may already
-        // have been shipped by a scatter lane
-        if env.is_empty() {
-            if let Some(tab) = self.pushed.get(&(plan as *const Alg as usize)) {
-                return Ok(tab.clone());
+        // information passing first: bindings inline as constants, so the
+        // shipped form (which the signature hashes) carries their values
+        let plan = substitute_env(&Arc::new(plan.clone()), env);
+        // signatures cost a serialization — skip when no consumer exists
+        let sig = (self.cache.policy().is_enabled() || !self.pushed.is_empty())
+            .then(|| Signature::execute(source, &plan));
+        if let Some(sig) = sig {
+            // an independent fragment (no information passing) may
+            // already have been shipped by a scatter lane
+            if env.is_empty() {
+                if let Some(tab) = self.pushed.get(&sig) {
+                    return Ok(tab.clone());
+                }
+            }
+            // then the cross-query cache, against the live source epoch
+            if let Some(conn) = self.connections.get(source) {
+                if let Some(CachedAnswer::Result(tab)) =
+                    self.cache.lookup(sig, source, conn.epoch(), self.obs)
+                {
+                    return Ok(tab);
+                }
             }
         }
-        let plan = substitute_env(&Arc::new(plan.clone()), env);
-        push_fragment(source, &plan, self.connections, self.obs)
+        let epoch = self.connections.get(source).map(|c| c.epoch()).unwrap_or(0);
+        let tab = push_fragment(source, &plan, self.connections, self.obs)?;
+        if let Some(sig) = sig {
+            self.cache.insert(
+                sig,
+                source,
+                epoch,
+                CachedAnswer::Result(tab.clone()),
+                self.obs,
+            );
+        }
+        Ok(tab)
     }
 }
 

@@ -15,6 +15,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
 use yat_algebra::{Alg, EvalOut};
+use yat_cache::CachePolicy;
 use yat_obs::profile::{fmt_duration, ProfileNode};
 use yat_xml::Element;
 
@@ -29,6 +30,20 @@ pub struct LaneJob {
     pub label: String,
     /// Wall time of the job.
     pub elapsed: Duration,
+}
+
+/// Per-source answer-cache activity of one execution, aggregated from
+/// the `cache` events the lookup/insert path emitted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheLine {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that went to the wire.
+    pub misses: u64,
+    /// Entries evicted under the byte budget during this execution.
+    pub evictions: u64,
+    /// Response bytes hits kept off the wire.
+    pub bytes_saved: u64,
 }
 
 /// The result of [`crate::Mediator::explain`]: the executed plan, its
@@ -54,6 +69,11 @@ pub struct Explain {
     /// The scatter jobs of a parallel execution (empty when sequential
     /// or when the plan had no independent source work).
     pub lanes: Vec<LaneJob>,
+    /// Per-source answer-cache activity (empty when the cache is off or
+    /// stayed silent).
+    pub cache: BTreeMap<String, CacheLine>,
+    /// The answer-cache policy the execution ran under.
+    pub cache_policy: CachePolicy,
     /// The optimizer trace, when the caller passed one through.
     pub trace: Option<Trace>,
 }
@@ -64,6 +84,18 @@ impl Explain {
         self.traffic
             .values()
             .fold(MeterSnapshot::default(), |a, b| a + *b)
+    }
+
+    /// Total answer-cache activity across all sources.
+    pub fn cache_totals(&self) -> CacheLine {
+        self.cache
+            .values()
+            .fold(CacheLine::default(), |a, b| CacheLine {
+                hits: a.hits + b.hits,
+                misses: a.misses + b.misses,
+                evictions: a.evictions + b.evictions,
+                bytes_saved: a.bytes_saved + b.bytes_saved,
+            })
     }
 
     /// Depth-first search of the profile for a node whose label contains
@@ -105,6 +137,18 @@ impl Explain {
                 out.push_str(&format!(
                     "  {source}: {} round trips, {}B sent, {}B received, {} documents\n",
                     m.round_trips, m.bytes_sent, m.bytes_received, m.documents_received
+                ));
+            }
+        }
+        if self.cache_policy.is_enabled() {
+            out.push_str(&format!("cache: {}\n", self.cache_policy));
+            if self.cache.is_empty() {
+                out.push_str("  no cacheable source work\n");
+            }
+            for (source, line) in &self.cache {
+                out.push_str(&format!(
+                    "  {source}: {} hits, {} misses, {} evictions, {}B saved\n",
+                    line.hits, line.misses, line.evictions, line.bytes_saved
                 ));
             }
         }
@@ -169,6 +213,21 @@ impl Explain {
             );
         }
         el.push_element(traffic);
+        if self.cache_policy.is_enabled() {
+            let mut cache =
+                Element::new("cache").with_attr("policy", self.cache_policy.to_string());
+            for (source, line) in &self.cache {
+                cache.push_element(
+                    Element::new("source")
+                        .with_attr("name", source.clone())
+                        .with_attr("hits", line.hits.to_string())
+                        .with_attr("misses", line.misses.to_string())
+                        .with_attr("evictions", line.evictions.to_string())
+                        .with_attr("bytes-saved", line.bytes_saved.to_string()),
+                );
+            }
+            el.push_element(cache);
+        }
         if self.mode.is_parallel() {
             let mut scatter = Element::new("scatter")
                 .with_attr("jobs", self.lanes.len().to_string())

@@ -40,11 +40,12 @@ pub mod session;
 pub mod transport;
 
 pub use executor::{ExecError, ExecMode};
-pub use explain::{Explain, LaneJob};
+pub use explain::{CacheLine, Explain, LaneJob};
 pub use mediator::{Mediator, MediatorError};
 pub use optimizer::{optimize, OptimizerOptions, RuleFiring, Trace};
 pub use session::Session;
 pub use transport::{Connection, Latency, Meter, MeterSnapshot};
+pub use yat_cache::{AnswerCache, CachePolicy, CacheStats, CachedAnswer, Signature, SourceStats};
 
 #[cfg(test)]
 mod tests;

@@ -3,12 +3,13 @@
 
 use crate::compose::{compose, qualify};
 use crate::executor::{execute_mode, ExecError, ExecMode};
-use crate::explain::{Explain, LaneJob};
+use crate::explain::{CacheLine, Explain, LaneJob};
 use crate::optimizer::{optimize, OptimizerOptions, Trace};
 use crate::transport::{Connection, MeterSnapshot};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use yat_algebra::{Alg, EvalOut, FnRegistry, SkolemRegistry};
+use yat_cache::{AnswerCache, CachePolicy, CacheStats};
 use yat_capability::interface::Interface;
 use yat_capability::protocol::{Request, Response, WrapperServer};
 use yat_yatl::{parse_program, parse_rule, translate, Rule};
@@ -65,17 +66,20 @@ pub struct Mediator {
     funcs: FnRegistry,
     skolems: SkolemRegistry,
     exec_mode: ExecMode,
+    cache: AnswerCache,
 }
 
 impl Mediator {
     /// A mediator with the built-in compensation functions registered
     /// (`contains` evaluates locally when it cannot be pushed). The
     /// execution mode defaults to whatever `YAT_EXEC_MODE` selects
-    /// (sequential when unset).
+    /// (sequential when unset); the answer-cache policy to whatever
+    /// `YAT_CACHE` selects (off when unset).
     pub fn new() -> Self {
         Mediator {
             funcs: FnRegistry::with_builtins(),
             exec_mode: ExecMode::from_env(),
+            cache: AnswerCache::new(CachePolicy::from_env()),
             ..Default::default()
         }
     }
@@ -88,6 +92,35 @@ impl Mediator {
     /// Selects how [`Mediator::execute`] dispatches source work.
     pub fn set_exec_mode(&mut self, mode: ExecMode) {
         self.exec_mode = mode;
+    }
+
+    /// The current answer-cache policy.
+    pub fn cache_policy(&self) -> CachePolicy {
+        self.cache.policy()
+    }
+
+    /// Replaces the answer cache with a fresh one under `policy`
+    /// (existing entries are dropped, statistics restart).
+    pub fn set_cache_policy(&mut self, policy: CachePolicy) {
+        self.cache = AnswerCache::new(policy);
+    }
+
+    /// The answer cache itself (to inspect entries or clear it).
+    pub fn cache(&self) -> &AnswerCache {
+        &self.cache
+    }
+
+    /// Cumulative answer-cache statistics.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Declares that `source`'s data changed: bumps its epoch so cached
+    /// answers recorded before the bump stop being served (per the
+    /// policy's `ttl_epochs` window). Returns the new epoch, or `None`
+    /// for an unknown source.
+    pub fn bump_source_epoch(&self, source: &str) -> Option<u64> {
+        self.connections.get(source).map(|c| c.bump_epoch())
     }
 
     /// The connection to a source, e.g. to configure simulated
@@ -171,7 +204,7 @@ impl Mediator {
         optimize(plan, &self.interfaces, options)
     }
 
-    /// Executes a plan under the current [`ExecMode`].
+    /// Executes a plan under the current [`ExecMode`] and cache policy.
     pub fn execute(&self, plan: &Alg) -> Result<EvalOut, MediatorError> {
         Ok(execute_mode(
             plan,
@@ -181,6 +214,7 @@ impl Mediator {
             &self.skolems,
             None,
             self.exec_mode,
+            &self.cache,
         )?)
     }
 
@@ -217,6 +251,7 @@ impl Mediator {
             &self.skolems,
             Some(&obs),
             self.exec_mode,
+            &self.cache,
         )?;
         let rows = match &output {
             EvalOut::Tab(t) => t.len() as u64,
@@ -225,6 +260,7 @@ impl Mediator {
         let spans = obs.spans();
         let mut traffic: BTreeMap<String, MeterSnapshot> = BTreeMap::new();
         let mut lanes = Vec::new();
+        let mut cache: BTreeMap<String, CacheLine> = BTreeMap::new();
         for span in &spans {
             // rpc spans are labeled "<request-kind> @<source>"; a span
             // carrying an error moved no meter, so it adds no traffic
@@ -249,6 +285,25 @@ impl Mediator {
                     });
                 }
             }
+            // cache events are labeled "<outcome> @<source>"
+            if span.kind == yat_obs::kind::CACHE {
+                let Some((outcome, source)) = span.label.split_once(" @") else {
+                    continue;
+                };
+                let line = cache.entry(source.to_string()).or_default();
+                match outcome {
+                    "hit" => {
+                        line.hits += 1;
+                        line.bytes_saved += span
+                            .attr(yat_obs::attr::BYTES_SAVED)
+                            .and_then(|v| v.as_u64())
+                            .unwrap_or(0);
+                    }
+                    "miss" => line.misses += 1,
+                    "evict" => line.evictions += 1,
+                    _ => {}
+                }
+            }
         }
         lanes.sort_by(|a, b| (a.lane, &a.label).cmp(&(b.lane, &b.label)));
         Ok(Explain {
@@ -259,6 +314,8 @@ impl Mediator {
             traffic,
             mode: self.exec_mode,
             lanes,
+            cache,
+            cache_policy: self.cache.policy(),
             trace,
         })
     }

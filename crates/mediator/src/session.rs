@@ -5,6 +5,7 @@ use crate::executor::ExecMode;
 use crate::mediator::{Mediator, MediatorError};
 use crate::optimizer::OptimizerOptions;
 use std::fmt::Write as _;
+use yat_cache::CachePolicy;
 use yat_capability::protocol::WrapperServer;
 
 /// Builds a mediator while recording a transcript in the style of Fig. 2.
@@ -79,6 +80,13 @@ impl Session {
     pub fn set_exec_mode(&mut self, mode: ExecMode) {
         self.mediator.set_exec_mode(mode);
         let _ = writeln!(self.transcript, "yat> set execution {mode};");
+    }
+
+    /// Selects the answer-cache policy for subsequent queries, logging
+    /// the step (`yat> set cache bounded(67108864B, ttl 1);`).
+    pub fn set_cache_policy(&mut self, policy: CachePolicy) {
+        self.mediator.set_cache_policy(policy);
+        let _ = writeln!(self.transcript, "yat> set cache {policy};");
     }
 
     /// The transcript so far.

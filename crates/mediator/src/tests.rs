@@ -10,6 +10,7 @@ use crate::transport::Latency;
 use std::sync::Arc;
 use std::time::Duration;
 use yat_algebra::{Alg, EvalOut};
+use yat_cache::{CachePolicy, Signature};
 use yat_model::{Label, Tree};
 use yat_oql::art::{art_store, fig1_store, ArtSpec};
 use yat_oql::O2Wrapper;
@@ -583,6 +584,10 @@ fn wais_fig1() -> WaisWrapper {
 #[test]
 fn parallel_execution_matches_sequential() {
     let mut m = fig1_mediator();
+    // this test reruns the SAME plan in both modes and asserts equal
+    // traffic — an enabled answer cache (YAT_CACHE in the environment)
+    // would serve the second run from memory
+    m.set_cache_policy(CachePolicy::Off);
     for (query, options) in [
         (paper::Q1, OptimizerOptions::full()),
         (paper::Q1, OptimizerOptions::default()),
@@ -887,6 +892,10 @@ fn scrub_durations(text: &str) -> String {
 fn golden_explain_analyze_under_parallel_mode() {
     let mut m = fig1_mediator();
     m.set_exec_mode(ExecMode::Parallel { max_in_flight: 2 });
+    // the goldens pin exact byte counts per round trip; a YAT_CACHE
+    // environment override would remove trips (see the cached golden
+    // test for the enabled-cache rendering)
+    m.set_cache_policy(CachePolicy::Off);
     for (query, options, text_golden, xml_golden) in [
         (
             paper::Q1,
@@ -919,4 +928,341 @@ fn golden_explain_analyze_under_parallel_mode() {
         assert_eq!(parsed.attr("mode"), Some("parallel(2)"));
         assert!(parsed.child("scatter").is_some());
     }
+}
+
+// ------------------------------------------- cross-query answer cache
+
+#[test]
+fn warm_cache_removes_repeat_traffic_in_both_modes() {
+    for mode in [ExecMode::Sequential, ExecMode::parallel()] {
+        let mut m = fig1_mediator();
+        m.set_exec_mode(mode);
+        for (query, options) in [
+            (paper::Q1, OptimizerOptions::full()),
+            (paper::Q2, OptimizerOptions::default()),
+        ] {
+            let plan = m.plan_query(query).unwrap();
+            let (opt, _) = m.optimize(&plan, options);
+
+            // baseline without caching
+            m.set_cache_policy(CachePolicy::Off);
+            let before = m.traffic();
+            let base = m.execute(&opt).unwrap();
+            let base_traffic = m.traffic() - before;
+            assert!(base_traffic.round_trips > 0);
+
+            // cold: the cache is fresh, every trip still goes out
+            m.set_cache_policy(CachePolicy::bounded());
+            let before = m.traffic();
+            let cold = m.execute(&opt).unwrap();
+            let cold_traffic = m.traffic() - before;
+            assert_eq!(base, cold, "caching must not change results ({mode})");
+            assert_eq!(
+                cold_traffic, base_traffic,
+                "a cold cache ships exactly the uncached traffic ({mode})"
+            );
+
+            // warm: every fetch and push — dependent ones included — is
+            // answered from memory
+            let before = m.traffic();
+            let warm = m.execute(&opt).unwrap();
+            let warm_traffic = m.traffic() - before;
+            assert_eq!(base, warm, "a warm cache must not change results ({mode})");
+            assert_eq!(
+                warm_traffic.round_trips, 0,
+                "warm {query} under {mode} still shipped {warm_traffic:?}"
+            );
+            let stats = m.cache_stats();
+            assert!(stats.hits > 0 && stats.bytes_saved > 0, "{stats:?}");
+        }
+    }
+}
+
+#[test]
+fn epoch_bump_forces_reload_and_restores_caching() {
+    let mut m = fig1_mediator();
+    m.set_cache_policy(CachePolicy::bounded());
+    let plan = m.plan_query(paper::Q1).unwrap();
+    let (opt, _) = m.optimize(&plan, OptimizerOptions::full());
+
+    let cold = m.execute(&opt).unwrap();
+    let before = m.traffic();
+    assert_eq!(m.execute(&opt).unwrap(), cold);
+    assert_eq!((m.traffic() - before).round_trips, 0, "warm");
+
+    // the source announces new data: cached answers stop being served
+    assert_eq!(m.bump_source_epoch("xmlartwork"), Some(1));
+    let before = m.traffic();
+    assert_eq!(m.execute(&opt).unwrap(), cold);
+    assert!(
+        (m.traffic() - before).round_trips > 0,
+        "the bump must force a re-ship"
+    );
+
+    // and the refetched answer is cached under the new epoch
+    let before = m.traffic();
+    m.execute(&opt).unwrap();
+    assert_eq!((m.traffic() - before).round_trips, 0, "warm again");
+    assert_eq!(m.bump_source_epoch("no-such-source"), None);
+}
+
+#[test]
+fn negative_caching_remembers_empty_results() {
+    let mut m = fig1_mediator();
+    m.set_cache_policy(CachePolicy::bounded());
+    // nothing was created at Nowhere: the pushed fragment selects nothing
+    let nowhere = r#"
+MAKE $t
+MATCH artworks WITH doc.work.[ title.$t, more.cplace.$cl ]
+WHERE $cl = "Nowhere"
+"#;
+    let plan = m.plan_query(nowhere).unwrap();
+    let (opt, _) = m.optimize(&plan, OptimizerOptions::full());
+    let cold = m.execute(&opt).unwrap();
+    assert_eq!(tree_of(cold).children.len(), 0);
+    let before = m.traffic();
+    m.execute(&opt).unwrap();
+    assert_eq!(
+        (m.traffic() - before).round_trips,
+        0,
+        "the empty answer is served from the negative entry"
+    );
+}
+
+#[test]
+fn failed_round_trips_never_poison_the_cache() {
+    use crate::transport::Fault;
+
+    // a timeout mid-query leaves no partial entries behind
+    let mut m = fig1_mediator();
+    m.set_cache_policy(CachePolicy::bounded());
+    let plan = m.plan_query(paper::Q1).unwrap();
+    let (opt, _) = m.optimize(&plan, OptimizerOptions::full());
+    let wais = m.connection("xmlartwork").unwrap();
+    wais.set_latency(Some(Latency::fixed(Duration::from_millis(30))));
+    wais.set_timeout(Some(Duration::from_millis(1)));
+    m.execute(&opt).unwrap_err();
+    assert!(m.cache().is_empty(), "no entry for a trip that timed out");
+
+    // lifting the timeout lets the query (and the cache) work again
+    let wais = m.connection("xmlartwork").unwrap();
+    wais.set_latency(None);
+    wais.set_timeout(None);
+    let out = m.execute(&opt).unwrap();
+    assert_eq!(m.cache().len(), 1);
+
+    // a corrupted response is discarded before it can be stored
+    m.cache().clear();
+    m.connection("xmlartwork")
+        .unwrap()
+        .inject_fault(Fault::CorruptResponse);
+    m.execute(&opt).unwrap_err();
+    assert!(m.cache().is_empty(), "no entry for a corrupted response");
+
+    // a wrapper panic mid-parallel-run likewise stores nothing
+    let mut crashing = Mediator::new();
+    crashing
+        .connect(Box::new(O2Wrapper::new("o2artifact", fig1_store())))
+        .unwrap();
+    crashing
+        .connect(Box::new(PanicOn {
+            inner: Box::new(wais_fig1()),
+            kind: "execute",
+        }))
+        .unwrap();
+    crashing.load_program(paper::VIEW1).unwrap();
+    crashing.set_exec_mode(ExecMode::parallel());
+    crashing.set_cache_policy(CachePolicy::bounded());
+    crashing.execute(&opt).unwrap_err();
+    assert!(
+        crashing.cache().is_empty(),
+        "no entry from the crashed push"
+    );
+
+    // the healthy mediator still answers, and re-warms
+    assert_eq!(m.execute(&opt).unwrap(), out);
+    assert_eq!(m.cache().len(), 1);
+}
+
+/// A wrapper that forwards to `inner` but bumps an epoch cell whenever
+/// it handles one request kind — models a source whose *handling* of a
+/// query coincides with a data change another source observes.
+struct BumpOn {
+    inner: Box<dyn WrapperServer>,
+    kind: &'static str,
+    epoch: std::sync::Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl WrapperServer for BumpOn {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn handle(&self, request: &Request) -> Response {
+        if request.kind() == self.kind {
+            self.epoch.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        }
+        self.inner.handle(request)
+    }
+}
+
+#[test]
+fn epoch_bump_during_a_parallel_run_is_seen_by_later_jobs() {
+    // o2artifact's epoch bumps every time the wais wrapper handles an
+    // `execute` — i.e. *mid-run*, after scheduling but before the
+    // DJoin-dependent o2 pushes evaluate. Those later lookups must see
+    // the live epoch and refuse the (now stale) o2 entries; an executor
+    // that snapshotted epochs at run start would serve them.
+    let mut m = Mediator::new();
+    m.connect(Box::new(O2Wrapper::new("o2artifact", fig1_store())))
+        .unwrap();
+    let o2_epoch = m.connection("o2artifact").unwrap().epoch_cell();
+    m.connect(Box::new(BumpOn {
+        inner: Box::new(wais_fig1()),
+        kind: "execute",
+        epoch: o2_epoch,
+    }))
+    .unwrap();
+    m.load_program(paper::VIEW1).unwrap();
+    m.set_exec_mode(ExecMode::parallel());
+    m.set_cache_policy(CachePolicy::bounded());
+
+    // Q2 at the capability level: one independent wais push, then one
+    // dependent o2 push per row of its result
+    let plan = m.plan_query(paper::Q2).unwrap();
+    let (opt, _) = m.optimize(&plan, OptimizerOptions::default());
+    let o2_before = m.traffic_of("o2artifact").unwrap();
+    let cold = m.execute(&opt).unwrap();
+    let cold_o2 = m.traffic_of("o2artifact").unwrap() - o2_before;
+    assert_eq!(cold_o2.round_trips, 2, "two dependent pushes shipped cold");
+
+    // force the wais fragment back to the wire: its round trip bumps
+    // o2's epoch while this very execution is in flight
+    m.bump_source_epoch("xmlartwork").unwrap();
+    let wais_before = m.traffic_of("xmlartwork").unwrap();
+    let o2_before = m.traffic_of("o2artifact").unwrap();
+    let rerun = m.execute(&opt).unwrap();
+    assert_eq!(rerun, cold);
+    assert_eq!(
+        m.traffic_of("xmlartwork").unwrap().round_trips,
+        wais_before.round_trips + 1,
+        "the stale wais fragment re-shipped"
+    );
+    let rerun_o2 = m.traffic_of("o2artifact").unwrap() - o2_before;
+    assert_eq!(
+        rerun_o2.round_trips, 2,
+        "the mid-run bump stops both stale o2 answers"
+    );
+}
+
+#[test]
+fn executor_memo_and_cache_share_one_signature_scheme() {
+    // two structurally identical fragments against the same source get
+    // one signature (content addressing), a differently-bound fragment
+    // another — the property both the scatter memo and the cross-query
+    // cache key on
+    let m = fig1_mediator();
+    let plan = m.plan_query(paper::Q1).unwrap();
+    let (opt, _) = m.optimize(&plan, OptimizerOptions::full());
+    let (opt2, _) = m.optimize(&plan, OptimizerOptions::full());
+    assert!(!Arc::ptr_eq(&opt, &opt2), "distinct nodes");
+    assert_eq!(
+        Signature::execute("xmlartwork", &opt),
+        Signature::execute("xmlartwork", &opt2),
+        "identical wire form, identical signature"
+    );
+    assert_ne!(
+        Signature::execute("xmlartwork", &opt),
+        Signature::execute("elsewhere", &opt),
+    );
+    // a document fetch can never collide with a push
+    assert_ne!(
+        Signature::execute("xmlartwork", &opt).as_u64(),
+        Signature::document("xmlartwork", "works").as_u64()
+    );
+}
+
+#[test]
+fn session_logs_the_cache_policy() {
+    let mut s = Session::start();
+    s.connect("cosmos.inria.fr", Box::new(wais_fig1())).unwrap();
+    s.set_cache_policy(CachePolicy::bounded());
+    assert!(
+        s.transcript()
+            .contains("yat> set cache bounded(67108864B, ttl 1);"),
+        "{}",
+        s.transcript()
+    );
+    assert_eq!(s.mediator().cache_policy(), CachePolicy::bounded());
+}
+
+#[test]
+fn explain_reports_cache_activity() {
+    let mut m = fig1_mediator();
+    m.set_cache_policy(CachePolicy::bounded());
+    let plan = m.plan_query(paper::Q1).unwrap();
+    let (opt, _) = m.optimize(&plan, OptimizerOptions::full());
+
+    let cold = m.explain(&opt).unwrap();
+    let line = cold.cache["xmlartwork"];
+    assert_eq!((line.hits, line.misses), (0, 1));
+    assert!(
+        cold.render().contains("0 hits, 1 misses"),
+        "{}",
+        cold.render()
+    );
+
+    let warm = m.explain(&opt).unwrap();
+    let line = warm.cache["xmlartwork"];
+    assert_eq!((line.hits, line.misses), (1, 0));
+    assert!(line.bytes_saved > 0);
+    assert!(warm.traffic.is_empty(), "nothing crossed the wire");
+    let totals = warm.cache_totals();
+    assert_eq!((totals.hits, totals.bytes_saved), (1, line.bytes_saved));
+    // the text render carries the cache section, the XML a cache element
+    let text = warm.render();
+    assert!(text.contains("cache: bounded("), "{text}");
+    assert!(text.contains("B saved"), "{text}");
+    let xml = warm.to_xml();
+    let cache_el = xml.child("cache").expect("cache element");
+    assert_eq!(
+        cache_el
+            .children_named("source")
+            .next()
+            .unwrap()
+            .attr("hits"),
+        Some("1")
+    );
+
+    // with the cache off the report stays exactly as before
+    m.set_cache_policy(CachePolicy::Off);
+    let off = m.explain(&opt).unwrap();
+    assert!(off.cache.is_empty());
+    assert!(!off.render().contains("cache:"), "{}", off.render());
+    assert!(off.to_xml().child("cache").is_none());
+}
+
+#[test]
+fn golden_explain_analyze_with_a_warm_cache() {
+    let mut m = fig1_mediator();
+    m.set_exec_mode(ExecMode::Parallel { max_in_flight: 2 });
+    m.set_cache_policy(CachePolicy::bounded());
+    let plan = m.plan_query(paper::Q1).unwrap();
+    let (opt, _) = m.optimize(&plan, OptimizerOptions::full());
+    m.execute(&opt).unwrap(); // warm the cache
+
+    let ex = m.explain(&opt).unwrap();
+    assert_eq!(
+        scrub_durations(&ex.render()),
+        include_str!("testdata/q1_cached.txt"),
+        "text golden"
+    );
+    assert_eq!(
+        scrub_durations(&ex.to_xml().to_pretty_xml()),
+        include_str!("testdata/q1_cached.xml"),
+        "xml golden"
+    );
+    let parsed = yat_xml::parse_element(&ex.to_xml().to_xml()).unwrap();
+    let cache = parsed.child("cache").expect("cache element");
+    assert_eq!(cache.attr("policy"), Some("bounded(67108864B, ttl 1)"));
 }

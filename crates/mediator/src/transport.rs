@@ -13,6 +13,7 @@
 //! counts, nested under whatever operator span is currently open.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 use yat_capability::protocol::{Request, Response, WrapperServer};
@@ -172,6 +173,11 @@ pub struct Connection {
     meter: Meter,
     latency: Mutex<Option<Latency>>,
     timeout: Mutex<Option<Duration>>,
+    /// The source's data version. Bumps when the underlying data is
+    /// known (or suspected) to have changed; the answer cache records
+    /// the epoch an answer was produced at and refuses entries older
+    /// than its freshness window.
+    epoch: Arc<AtomicU64>,
     #[cfg(test)]
     fault: Mutex<Option<Fault>>,
 }
@@ -184,6 +190,7 @@ impl Connection {
             meter: Meter::new(),
             latency: Mutex::new(None),
             timeout: Mutex::new(None),
+            epoch: Arc::new(AtomicU64::new(0)),
             #[cfg(test)]
             fault: Mutex::new(None),
         }
@@ -197,6 +204,25 @@ impl Connection {
     /// The connection's meter.
     pub fn meter(&self) -> &Meter {
         &self.meter
+    }
+
+    /// The source's current data epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Declares the source's data changed: subsequent cache lookups see
+    /// the new epoch and drop answers recorded before it (per the cache
+    /// policy's `ttl_epochs` window). Returns the new epoch.
+    pub fn bump_epoch(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// The shared epoch cell itself — wrappers that learn about source
+    /// changes out-of-band (replication feeds, tests) can hold a clone
+    /// and bump it directly.
+    pub fn epoch_cell(&self) -> Arc<AtomicU64> {
+        self.epoch.clone()
     }
 
     /// Installs (or clears) the simulated network delay for this
@@ -388,6 +414,16 @@ mod tests {
 
         c.meter().reset();
         assert_eq!(c.meter().snapshot(), MeterSnapshot::default());
+    }
+
+    #[test]
+    fn epochs_start_at_zero_and_bump_through_the_shared_cell() {
+        let c = Connection::new(Box::new(Echo));
+        assert_eq!(c.epoch(), 0);
+        assert_eq!(c.bump_epoch(), 1);
+        let cell = c.epoch_cell();
+        cell.fetch_add(1, Ordering::SeqCst);
+        assert_eq!(c.epoch(), 2, "out-of-band bumps are visible");
     }
 
     #[test]

@@ -41,6 +41,10 @@ pub mod kind {
     pub const PHASE: &str = "phase";
     /// An optimizer rule application.
     pub const RULE: &str = "rule";
+    /// An answer-cache event (`hit @src` / `miss @src` / `evict @src`).
+    /// Excluded from [`crate::profile::build`]: `EXPLAIN ANALYZE`
+    /// reports cache activity in its own section, not as operator rows.
+    pub const CACHE: &str = "cache";
 }
 
 /// Attribute names recorded by the built-in instrumentation sites (the
@@ -58,6 +62,9 @@ pub mod attr {
     pub const ERROR: &str = "error";
     /// Index of the worker lane a scatter/gather job executed on.
     pub const LANE: &str = "lane";
+    /// Response bytes a cache hit kept off the wire (or an eviction
+    /// freed).
+    pub const BYTES_SAVED: &str = "bytes_saved";
 }
 
 /// An attribute value.

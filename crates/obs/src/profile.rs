@@ -99,6 +99,11 @@ pub fn build(spans: &[SpanData]) -> Vec<ProfileNode> {
     let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
     let mut roots: Vec<usize> = Vec::new();
     for span in spans {
+        // cache events are bookkeeping, not plan work: EXPLAIN reports
+        // them in a dedicated cache section instead of as profile rows
+        if span.kind == kind::CACHE {
+            continue;
+        }
         match span.parent {
             Some(p) => children[p].push(span.id),
             None => roots.push(span.id),
@@ -244,6 +249,24 @@ mod tests {
         let profile = build(&sample().spans());
         assert!(profile[0].find("execute @wais").is_some());
         assert!(profile[0].find("absent").is_none());
+    }
+
+    #[test]
+    fn cache_events_stay_out_of_the_profile() {
+        let c = Collector::new();
+        {
+            let _op = c.span(kind::OPERATOR, "Push -> wais");
+            c.event(
+                kind::CACHE,
+                "hit @wais",
+                vec![(attr::BYTES_SAVED, AttrValue::Uint(209))],
+            );
+        }
+        c.event(kind::CACHE, "miss @o2", vec![]);
+        let profile = build(&c.spans());
+        assert_eq!(profile.len(), 1, "the root-level miss event is excluded");
+        assert_eq!(profile[0].label, "Push -> wais");
+        assert!(profile[0].children.is_empty(), "the hit event is excluded");
     }
 
     #[test]

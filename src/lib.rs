@@ -13,9 +13,11 @@
 //! | [`yat_capability`] | source-capability descriptions (Fig. 6) |
 //! | [`yat_oql`] | ODMG object store + OQL + the O2 wrapper |
 //! | [`yat_wais`] | full-text XML source + the xmlwais wrapper |
+//! | [`yat_cache`] | cross-query semantic answer cache |
 //! | [`yat_mediator`] | composition, the 3-round optimizer, execution |
 
 pub use yat_algebra;
+pub use yat_cache;
 pub use yat_capability;
 pub use yat_mediator;
 pub use yat_model;

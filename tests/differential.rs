@@ -11,7 +11,7 @@
 //! and reports the master seed plus the smallest failing query.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use yat::yat_mediator::{ExecMode, MediatorError, OptimizerOptions};
+use yat::yat_mediator::{CachePolicy, ExecMode, MediatorError, OptimizerOptions};
 use yat_bench::workload::Scenario;
 use yat_prng::Rng;
 
@@ -182,13 +182,17 @@ impl Case {
         sc.seed = self.scenario_seed;
 
         // identically-seeded federations, one per mode, so the meters
-        // observe exactly one execution each
+        // observe exactly one execution each. The answer cache is pinned
+        // off: traffic equality between the modes only holds without
+        // cross-query reuse (the cache axis has its own sweep below).
         let mut seq = sc.mediator();
         seq.set_exec_mode(ExecMode::Sequential);
+        seq.set_cache_policy(CachePolicy::Off);
         let mut par = sc.mediator();
         par.set_exec_mode(ExecMode::Parallel {
             max_in_flight: self.lanes,
         });
+        par.set_cache_policy(CachePolicy::Off);
         seq.reset_traffic();
         par.reset_traffic();
 
@@ -230,20 +234,105 @@ impl Case {
         }
     }
 
-    /// Halves the predicate list while the case keeps failing, returning
-    /// the smallest failing variant.
-    fn shrink(&self) -> Case {
+    /// Runs the case under {cache off, cold, warm} in both exec modes on
+    /// one federation each: all three must return identical answers, and
+    /// the warm rerun must ship no more per-source traffic than the cold
+    /// run did.
+    fn run_cache_axis(&self) -> Result<(), String> {
+        let q = self.query_text();
+        let mut sc = Scenario::at_scale(self.scale);
+        sc.seed = self.scenario_seed;
+
+        for mode in [
+            ExecMode::Sequential,
+            ExecMode::Parallel {
+                max_in_flight: self.lanes,
+            },
+        ] {
+            let mut off = sc.mediator();
+            off.set_exec_mode(mode);
+            off.set_cache_policy(CachePolicy::Off);
+            let mut cached = sc.mediator();
+            cached.set_exec_mode(mode);
+            cached.set_cache_policy(CachePolicy::bounded());
+            off.reset_traffic();
+            cached.reset_traffic();
+
+            let r_off = off.query(&q, self.options());
+            let r_cold = cached.query(&q, self.options());
+            let cold_traffic: Vec<_> = ["o2artifact", "xmlartwork"]
+                .map(|src| cached.traffic_of(src).expect("source is connected"))
+                .into();
+            let r_warm = cached.query(&q, self.options());
+
+            match (r_off, r_cold, r_warm) {
+                (Ok(a), Ok(cold), Ok(warm)) => {
+                    if a != cold || a != warm {
+                        return Err(format!(
+                            "caching changed the answer under {mode}:\n  off: {a:?}\n  \
+                             cold: {cold:?}\n  warm: {warm:?}"
+                        ));
+                    }
+                    for (i, src) in ["o2artifact", "xmlartwork"].into_iter().enumerate() {
+                        let cold_t = cold_traffic[i];
+                        let warm_t = cached.traffic_of(src).expect("source is connected") - cold_t;
+                        if warm_t.round_trips > cold_t.round_trips {
+                            return Err(format!(
+                                "warm rerun shipped more than cold at `{src}` under {mode}: \
+                                 warm {} trips vs cold {} trips",
+                                warm_t.round_trips, cold_t.round_trips
+                            ));
+                        }
+                    }
+                }
+                // all three attempts reject the query alike: acceptable
+                (
+                    Err(MediatorError::Exec(_)),
+                    Err(MediatorError::Exec(_)),
+                    Err(MediatorError::Exec(_)),
+                ) => {
+                    REJECTED.fetch_add(1, Ordering::Relaxed);
+                }
+                (a, cold, warm) => {
+                    return Err(format!(
+                        "cache axis disagrees on success under {mode}:\n  off: {}\n  \
+                         cold: {}\n  warm: {}",
+                        outcome(&a),
+                        outcome(&cold),
+                        outcome(&warm)
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Halves the predicate list while the case keeps failing under
+    /// `run`, returning the smallest failing variant.
+    fn shrink_by(&self, run: &dyn Fn(&Case) -> Result<(), String>) -> Case {
         let mut current = self.clone();
         while !current.preds.is_empty() {
             let mut candidate = current.clone();
             candidate.preds.truncate(candidate.preds.len() / 2);
-            if candidate.run().is_err() {
+            if run(&candidate).is_err() {
                 current = candidate;
             } else {
                 break;
             }
         }
         current
+    }
+
+    fn shrink(&self) -> Case {
+        self.shrink_by(&Case::run)
+    }
+}
+
+/// Short ok/err tag for divergence reports.
+fn outcome<T: std::fmt::Debug>(r: &Result<T, MediatorError>) -> String {
+    match r {
+        Ok(v) => format!("ok({v:?})"),
+        Err(e) => format!("err({e})"),
     }
 }
 
@@ -280,6 +369,41 @@ fn sequential_and_parallel_agree_on_random_plans() {
         rejected < CASES / 2,
         "generator degenerated: {rejected}/{CASES} cases never produced an answer"
     );
+}
+
+/// The cache axis of the same sweep: {off, cold, warm} on both exec
+/// modes must agree on every answer, and a warm cache never ships more
+/// traffic than a cold one. Fewer cases than the mode sweep because each
+/// case runs six executions.
+#[test]
+fn cache_off_cold_and_warm_agree_on_random_plans() {
+    let master = std::env::var("YAT_DIFF_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
+    // offset the stream so this sweep sees different cases than the
+    // mode sweep while remaining pinned by the same seed
+    let mut rng = Rng::seed_from_u64(master ^ 0xCAC4E);
+    let cases = CASES / 2;
+    for i in 0..cases {
+        let case = Case::generate(&mut rng);
+        if let Err(msg) = case.run_cache_axis() {
+            let minimal = case.shrink_by(&Case::run_cache_axis);
+            panic!(
+                "cache differential case {i}/{cases} (YAT_DIFF_SEED={master}) failed: {msg}\n\
+                 query: {}\n\
+                 shrunk query: {}\n\
+                 knobs: {:?} lanes={} opt_level={} scale={} scenario_seed={}",
+                case.query_text(),
+                minimal.query_text(),
+                case.shape,
+                case.lanes,
+                case.opt_level,
+                case.scale,
+                case.scenario_seed
+            );
+        }
+    }
 }
 
 /// The same harness must be stable across reruns: the default seed plus
