@@ -347,10 +347,10 @@ fn eval_node(plan: &Alg, ctx: &EvalCtx<'_>, env: &Env) -> Result<EvalOut, EvalEr
             let lt = eval_env(left, ctx, env)?.tab(plan)?;
             let rt = eval_env(right, ctx, env)?.tab(plan)?;
             check_compat(plan, &lt, &rt)?;
-            let keys: std::collections::BTreeSet<String> = rt.rows().map(row_key).collect();
+            let member = row_set(&rt);
             let mut out = Tab::new(lt.columns().to_vec());
             for row in lt.rows() {
-                if keys.contains(&row_key(row)) {
+                if member(row) {
                     out.push(row.to_vec());
                 }
             }
@@ -362,10 +362,10 @@ fn eval_node(plan: &Alg, ctx: &EvalCtx<'_>, env: &Env) -> Result<EvalOut, EvalEr
             let lt = eval_env(left, ctx, env)?.tab(plan)?;
             let rt = eval_env(right, ctx, env)?.tab(plan)?;
             check_compat(plan, &lt, &rt)?;
-            let keys: std::collections::BTreeSet<String> = rt.rows().map(row_key).collect();
+            let member = row_set(&rt);
             let mut out = Tab::new(lt.columns().to_vec());
             for row in lt.rows() {
-                if !keys.contains(&row_key(row)) {
+                if !member(row) {
                     out.push(row.to_vec());
                 }
             }
@@ -387,18 +387,11 @@ fn eval_node(plan: &Alg, ctx: &EvalCtx<'_>, env: &Env) -> Result<EvalOut, EvalEr
                 .collect();
             let mut cols: Vec<String> = keys.clone();
             cols.extend(rest.iter().map(|&i| tab.columns()[i].clone()));
-            let mut order: Vec<String> = Vec::new();
-            let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
-            for (ri, row) in tab.rows().enumerate() {
-                let key: String = kidx.iter().map(|&i| row[i].group_key() + "\u{1}").collect();
-                if !groups.contains_key(&key) {
-                    order.push(key.clone());
-                }
-                groups.entry(key).or_default().push(ri);
-            }
+            // hashed grouping, first-occurrence order of groups (see
+            // crate::keys for the confirm-on-hash-hit discipline)
+            let groups = crate::keys::group_indices(tab.raw_rows(), &kidx);
             let mut out = Tab::new(cols);
-            for key in order {
-                let members = &groups[&key];
+            for members in &groups {
                 let first = tab.row(members[0]);
                 let mut row: Vec<Value> = kidx.iter().map(|&i| first[i].clone()).collect();
                 for &ci in &rest {
@@ -492,8 +485,23 @@ fn constrain_env(tab: &mut Tab, env: &Env) {
     *tab = out;
 }
 
-fn row_key(row: &[Value]) -> String {
-    row.iter().map(|v| v.group_key() + "\u{1}").collect()
+/// Builds a hashed membership test over a table's rows (Intersect/Diff).
+/// Hash hits are confirmed with [`crate::keys::row_key_eq`], so collisions
+/// cannot claim spurious membership.
+fn row_set(tab: &Tab) -> impl Fn(&[Value]) -> bool + '_ {
+    let mut buckets: std::collections::HashMap<u64, Vec<usize>> =
+        std::collections::HashMap::with_capacity(tab.len());
+    for (i, row) in tab.rows().enumerate() {
+        buckets
+            .entry(crate::keys::row_hash(row))
+            .or_default()
+            .push(i);
+    }
+    move |row: &[Value]| {
+        buckets
+            .get(&crate::keys::row_hash(row))
+            .is_some_and(|b| b.iter().any(|&i| crate::keys::row_key_eq(tab.row(i), row)))
+    }
 }
 
 fn check_compat(op: &Alg, l: &Tab, r: &Tab) -> Result<(), EvalError> {
@@ -646,32 +654,18 @@ fn join(lt: &Tab, rt: &Tab, pred: &Pred, env: &Env, ctx: &EvalCtx<'_>) -> Result
         return Ok(out);
     }
 
-    // hash join: build on the right
-    let mut table: BTreeMap<String, Vec<usize>> = BTreeMap::new();
-    for (ri, rrow) in rt.rows().enumerate() {
-        let key: String = rkeys
-            .iter()
-            .map(|&i| rrow[i].group_key() + "\u{1}")
-            .collect();
-        table.entry(key).or_default().push(ri);
-    }
-    for lrow in lt.rows() {
-        let key: String = lkeys
-            .iter()
-            .map(|&i| lrow[i].group_key() + "\u{1}")
-            .collect();
-        if let Some(matches) = table.get(&key) {
-            for &ri in matches {
-                let rrow = rt.row(ri);
-                if residual == Pred::True {
-                    emit(&mut out, lrow, rrow);
-                } else {
-                    let mut row = lrow.to_vec();
-                    row.extend(rrow.iter().cloned());
-                    if eval_pred(&residual, &joined_tab_for_pred, &row, env, ctx)? {
-                        out.push(row);
-                    }
-                }
+    // Hash join: key columns were resolved once above (outside the row
+    // loops); the kernel builds on the right and probes with 64-bit
+    // structural hashes — no per-row key strings on either side.
+    for (li, ri) in crate::keys::join_pairs(lt.raw_rows(), rt.raw_rows(), &lkeys, &rkeys) {
+        let (lrow, rrow) = (lt.row(li), rt.row(ri));
+        if residual == Pred::True {
+            emit(&mut out, lrow, rrow);
+        } else {
+            let mut row = lrow.to_vec();
+            row.extend(rrow.iter().cloned());
+            if eval_pred(&residual, &joined_tab_for_pred, &row, env, ctx)? {
+                out.push(row);
             }
         }
     }
@@ -706,14 +700,19 @@ pub fn instantiate(tmpl: &Template, rows: &[usize], tab: &Tab, ctx: &EvalCtx<'_>
             let Some(ci) = tab.col(v) else {
                 return vec![];
             };
-            // distinct values among the in-scope rows, first-occurrence order
-            let mut seen = std::collections::BTreeSet::new();
+            // distinct values among the in-scope rows, first-occurrence
+            // order; keyed by structural hash, confirmed by key_eq
+            let mut seen: std::collections::HashMap<u64, Vec<usize>> =
+                std::collections::HashMap::new();
             let mut out = Vec::new();
             for &ri in rows {
                 let val = &tab.row(ri)[ci];
-                if seen.insert(val.group_key()) {
-                    out.extend(val.splice());
+                let bucket = seen.entry(val.key_hash()).or_default();
+                if bucket.iter().any(|&k| tab.row(k)[ci].key_eq(val)) {
+                    continue;
                 }
+                bucket.push(ri);
+                out.extend(val.splice());
             }
             out
         }
@@ -755,24 +754,45 @@ pub fn instantiate(tmpl: &Template, rows: &[usize], tab: &Tab, ctx: &EvalCtx<'_>
         }
         Template::Group { key, skolem, body } => {
             let kidx: Vec<Option<usize>> = key.iter().map(|k| tab.col(k)).collect();
-            let mut order: Vec<String> = Vec::new();
-            let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
-            for &ri in rows {
-                let gk: String = kidx
-                    .iter()
-                    .map(|i| match i {
-                        Some(i) => tab.row(ri)[*i].group_key() + "\u{1}",
-                        None => "\u{1}".to_string(),
-                    })
-                    .collect();
-                if !groups.contains_key(&gk) {
-                    order.push(gk.clone());
+            // hashed grouping over the (possibly missing) key columns;
+            // first-occurrence order, hash hits confirmed against the
+            // group's first member
+            let gk_hash = |ri: usize| {
+                use std::hash::Hasher;
+                let mut h = yat_model::hash::Fnv64::new();
+                h.write_u64(kidx.len() as u64);
+                for i in &kidx {
+                    match i {
+                        Some(i) => {
+                            h.write_u8(1);
+                            tab.row(ri)[*i].key_hash_into(&mut h);
+                        }
+                        None => h.write_u8(0),
+                    }
                 }
-                groups.entry(gk).or_default().push(ri);
+                h.finish()
+            };
+            let gk_eq = |a: usize, b: usize| {
+                kidx.iter().all(|i| match i {
+                    Some(i) => tab.row(a)[*i].key_eq(&tab.row(b)[*i]),
+                    None => true,
+                })
+            };
+            let mut buckets: std::collections::HashMap<u64, Vec<usize>> =
+                std::collections::HashMap::with_capacity(rows.len());
+            let mut groups: Vec<Vec<usize>> = Vec::new();
+            for &ri in rows {
+                let bucket = buckets.entry(gk_hash(ri)).or_default();
+                match bucket.iter().copied().find(|&g| gk_eq(groups[g][0], ri)) {
+                    Some(g) => groups[g].push(ri),
+                    None => {
+                        bucket.push(groups.len());
+                        groups.push(vec![ri]);
+                    }
+                }
             }
             let mut out = Vec::new();
-            for gk in order {
-                let members = &groups[&gk];
+            for members in &groups {
                 let built = instantiate(body, members, tab, ctx);
                 match skolem {
                     Some(name) => {

@@ -7,7 +7,7 @@ use yat_model::{Atom, Filter};
 
 /// Comparison operators of the core algebra (the predicates O2/SQL
 /// understand, Section 4.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CmpOp {
     /// `=`
     Eq,
@@ -38,7 +38,7 @@ impl CmpOp {
 }
 
 /// A scalar operand inside predicates and `Map` expressions.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub enum Operand {
     /// A column/variable reference (`$y`).
     Var(String),
@@ -96,7 +96,7 @@ impl fmt::Display for Operand {
 }
 
 /// A selection/join predicate.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub enum Pred {
     /// Comparison between two operands.
     Cmp {
@@ -211,7 +211,7 @@ impl fmt::Display for Pred {
 }
 
 /// Sort direction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SortDir {
     /// Ascending.
     Asc,
@@ -222,7 +222,7 @@ pub enum SortDir {
 /// An algebraic plan node. Plans are immutable `Arc`-shared DAGs; the
 /// optimizer rewrites them functionally (a rewritten plan shares unchanged
 /// subtrees with the original).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub enum Alg {
     /// A named input document/extent ("named documents are the input
     /// operations of the algebraic expression", Section 3.2). `source`

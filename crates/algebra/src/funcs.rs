@@ -160,18 +160,28 @@ impl SkolemRegistry {
     /// Applies Skolem function `name` to `args`, returning the memoized or
     /// freshly minted identifier.
     pub fn apply(&self, name: &str, args: &[Value]) -> Oid {
-        let key_args: String = args.iter().map(|v| v.group_key() + "\u{1}").collect();
+        // Length-prefix each argument key: a bare separator would let
+        // adversarial strings re-split the concatenation (f("a\u{1}b")
+        // aliasing f("a","b")) and merge identities that should differ.
+        let key_args: String = args
+            .iter()
+            .map(|v| {
+                let k = v.group_key();
+                format!("{}\u{1}{}\u{2}", k.len(), k)
+            })
+            .collect();
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(oid) = inner.memo.get(&(name.to_string(), key_args.clone())) {
             return oid.clone();
         }
         // FNV-1a over name and argument keys; 64 bits is plenty for the
         // identifier populations a session mints
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in name.bytes().chain([0u8]).chain(key_args.bytes()) {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
+        use std::hash::Hasher;
+        let mut h = yat_model::hash::Fnv64::new();
+        h.write(name.as_bytes());
+        h.write_u8(0);
+        h.write(key_args.as_bytes());
+        let h = h.finish();
         let oid = Oid::new(format!("{name}:{h:016x}"));
         inner.memo.insert((name.to_string(), key_args), oid.clone());
         oid

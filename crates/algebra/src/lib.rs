@@ -37,6 +37,7 @@ pub mod error;
 pub mod eval;
 pub mod expr;
 pub mod funcs;
+pub mod keys;
 pub mod tab;
 pub mod template;
 pub mod value;

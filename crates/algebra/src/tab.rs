@@ -95,6 +95,11 @@ impl Tab {
         self.rows
     }
 
+    /// The raw row store (the `crate::keys` kernels index into it).
+    pub fn raw_rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
     /// Projection with renaming: `(src, dst)` pairs. Unknown sources
     /// project as `Null` columns — the permissive behaviour XML queries
     /// need when a union branch lacks a variable.
@@ -126,13 +131,26 @@ impl Tab {
     }
 
     /// Removes duplicate rows (set semantics for `Union`/`Intersect`),
-    /// preserving first occurrence order.
+    /// preserving first occurrence order. Rows are keyed by structural
+    /// hash with a [`Value::key_eq`] confirmation on hash hits, so hash
+    /// collisions cannot drop distinct rows.
     pub fn dedup(&mut self) {
-        let mut seen = std::collections::BTreeSet::new();
-        self.rows.retain(|row| {
-            let key: String = row.iter().map(|v| v.group_key() + "\u{1}").collect();
-            seen.insert(key)
-        });
+        let mut seen: std::collections::HashMap<u64, Vec<usize>> =
+            std::collections::HashMap::with_capacity(self.rows.len());
+        let mut out: Vec<Vec<Value>> = Vec::with_capacity(self.rows.len());
+        for row in self.rows.drain(..) {
+            let h = crate::keys::row_hash(&row);
+            let bucket = seen.entry(h).or_default();
+            if bucket
+                .iter()
+                .any(|&i| crate::keys::row_key_eq(&out[i], &row))
+            {
+                continue;
+            }
+            bucket.push(out.len());
+            out.push(row);
+        }
+        self.rows = out;
     }
 
     /// Total size of the table in tree nodes — the transfer meter uses
@@ -258,6 +276,24 @@ mod tests {
         t.push(vec![Value::Atom(Atom::Int(1))]);
         t.push(vec![Value::Atom(Atom::Float(1.0))]); // query-equal
         t.push(vec![Value::Atom(Atom::Int(2))]);
+        t.dedup();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn dedup_is_immune_to_separator_aliasing() {
+        // Regression: the old implementation concatenated group_key
+        // strings with a bare "\u{1}" separator, so these two distinct
+        // rows shared the key "tx\u{1}ty\u{1}tz\u{1}" and one was lost.
+        let mut t = Tab::new(vec!["a".into(), "b".into()]);
+        t.push(vec![
+            Value::Atom(Atom::Str("x\u{1}ty".into())),
+            Value::Atom(Atom::Str("z".into())),
+        ]);
+        t.push(vec![
+            Value::Atom(Atom::Str("x".into())),
+            Value::Atom(Atom::Str("y\u{1}tz".into())),
+        ]);
         t.dedup();
         assert_eq!(t.len(), 2);
     }

@@ -10,7 +10,7 @@
 use std::fmt;
 
 /// A construction template, instantiated over a set of `Tab` rows.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub enum Template {
     /// A node with a fixed symbol label and child templates, instantiated
     /// once in the current row context.

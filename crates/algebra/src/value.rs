@@ -1,6 +1,8 @@
 //! Values held in `Tab` cells.
 
 use std::fmt;
+use std::hash::Hasher;
+use yat_model::hash::{write_len_str, Fnv64};
 use yat_model::{Atom, Binding, Node, Tree};
 
 /// A cell value in a [`crate::Tab`].
@@ -106,6 +108,76 @@ impl Value {
         }
     }
 
+    /// Borrowed view of the atomic content this value coerces to — the
+    /// same coercion as [`Value::atom`], but without cloning strings.
+    fn key_atom_view(&self) -> Option<AtomView<'_>> {
+        match self {
+            Value::Atom(a) => Some(AtomView::Atom(a)),
+            Value::Tree(t) => t.value_atom().map(AtomView::Atom),
+            Value::Label(l) => Some(AtomView::Str(l)),
+            _ => None,
+        }
+    }
+
+    /// 64-bit structural hash of this value's grouping key. Consistent
+    /// with [`Value::key_eq`] (and hence with [`Value::group_key`]
+    /// equality): values with equal keys hash identically. Tree content
+    /// reuses the per-node cached [`Node::key_hash`], so hashing a cell a
+    /// second time is O(1) in the subtree size.
+    pub fn key_hash(&self) -> u64 {
+        let mut h = Fnv64::new();
+        self.key_hash_into(&mut h);
+        h.finish()
+    }
+
+    /// Writes this value's grouping key into `h` (see [`Value::key_hash`]).
+    pub fn key_hash_into(&self, h: &mut impl Hasher) {
+        match self.key_atom_view() {
+            Some(AtomView::Atom(a)) => a.key_hash_into(h),
+            // a Label coerces to a Str atom; mirror Atom's encoding so
+            // Label("x"), Atom::Str("x") and title["x"] share one key
+            Some(AtomView::Str(s)) => {
+                h.write_u8(b't');
+                write_len_str(h, s);
+            }
+            None => match self {
+                Value::Tree(t) => {
+                    h.write_u8(b'T');
+                    h.write_u64(t.key_hash());
+                }
+                Value::Coll(c) => {
+                    h.write_u8(b'C');
+                    h.write_u64(c.len() as u64);
+                    for v in c {
+                        v.key_hash_into(h);
+                    }
+                }
+                Value::Null => h.write_u8(b'N'),
+                // Atom/Label always produce a view above
+                Value::Atom(_) | Value::Label(_) => unreachable!(),
+            },
+        }
+    }
+
+    /// Grouping-key equality: the equality [`Value::key_hash`] is
+    /// consistent with. Same coercions as [`Value::query_eq`] but total on
+    /// floats (see [`Atom::key_eq`]); used to confirm candidate matches
+    /// after a hash hit in the set-based operators.
+    pub fn key_eq(&self, other: &Value) -> bool {
+        match (self.key_atom_view(), other.key_atom_view()) {
+            (Some(a), Some(b)) => a.key_eq(&b),
+            (None, None) => match (self, other) {
+                (Value::Tree(a), Value::Tree(b)) => Node::key_eq(a, b),
+                (Value::Coll(a), Value::Coll(b)) => {
+                    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.key_eq(y))
+                }
+                (Value::Null, Value::Null) => true,
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+
     /// Total order for `Sort`: atoms by [`Atom::total_cmp`], then trees by
     /// display, nulls first.
     pub fn total_cmp(&self, other: &Value) -> std::cmp::Ordering {
@@ -133,6 +205,25 @@ impl Value {
             Value::Label(l) => vec![Node::sym(l.clone(), vec![])],
             Value::Coll(c) => c.iter().flat_map(|v| v.splice()).collect(),
             Value::Null => vec![],
+        }
+    }
+}
+
+/// Borrowed atomic coercion (see [`Value::key_atom_view`]).
+enum AtomView<'a> {
+    Atom(&'a Atom),
+    /// A label, coerced to its text (an implicit `Str` atom).
+    Str(&'a str),
+}
+
+impl AtomView<'_> {
+    fn key_eq(&self, other: &AtomView<'_>) -> bool {
+        match (self, other) {
+            (AtomView::Atom(a), AtomView::Atom(b)) => a.key_eq(b),
+            (AtomView::Str(a), AtomView::Str(b)) => a == b,
+            (AtomView::Atom(a), AtomView::Str(s)) | (AtomView::Str(s), AtomView::Atom(a)) => {
+                a.as_str() == Some(s)
+            }
         }
     }
 }
@@ -202,6 +293,39 @@ mod tests {
         assert!(t1.query_eq(&t2));
         assert!(!t1.query_eq(&t3));
         assert_ne!(t1.group_key(), t3.group_key());
+    }
+
+    #[test]
+    fn key_hash_agrees_with_group_key() {
+        let cases = vec![
+            Value::Atom(Atom::Int(1)),
+            Value::Atom(Atom::Float(1.0)),
+            Value::Atom(Atom::Str("x".into())),
+            Value::Label("x".into()),
+            Value::Tree(Node::elem("title", "x")),
+            Value::Tree(Node::sym("w", vec![Node::elem("a", 1)])),
+            Value::Coll(vec![Value::Atom(Atom::Int(1))]),
+            Value::Coll(vec![]),
+            Value::Null,
+        ];
+        for a in &cases {
+            for b in &cases {
+                let keys_eq = a.group_key() == b.group_key();
+                assert_eq!(keys_eq, a.key_eq(b), "{a} vs {b}");
+                if keys_eq {
+                    assert_eq!(a.key_hash(), b.key_hash(), "{a} vs {b}");
+                }
+            }
+        }
+        // the explicit coercion triangle: label, atom, element content
+        assert_eq!(
+            Value::Label("x".into()).key_hash(),
+            Value::Atom(Atom::Str("x".into())).key_hash()
+        );
+        assert_eq!(
+            Value::Label("x".into()).key_hash(),
+            Value::Tree(Node::elem("title", "x")).key_hash()
+        );
     }
 
     #[test]

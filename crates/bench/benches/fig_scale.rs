@@ -1,0 +1,296 @@
+//! Scaling sweep of the hashed-key data plane: the dedup / group / join
+//! keying kernels on Q1-shaped binding tables at increasing row counts,
+//! each timed against the string-key reference implementation, plus
+//! end-to-end Q1/Q2 over the mediator at increasing document sizes.
+//!
+//! The timed closures are the *kernels* — which rows survive DupElim,
+//! how rows partition into groups, which (left, right) pairs join — on
+//! both sides; output construction is identical row-cloning either way
+//! (asserted below) and would only add the same constant to both
+//! measurements.
+//!
+//! Unlike the other figure benches this one is machine-readable: besides
+//! the usual console lines it writes `BENCH_scale.json` (override the
+//! path with `YAT_SCALE_OUT`) with one entry per (operator, n):
+//!
+//! ```json
+//! {"name": "dedup", "n": 8000, "hashed_ns": ..., "baseline_ns": ..., "speedup": ...}
+//! ```
+//!
+//! End-to-end entries have no string-key counterpart (the tree no longer
+//! contains one); they carry `baseline_ns: 0, speedup: 1.0` and are
+//! tracked for wall-clock context only. CI compares the *speedup* column
+//! against the checked-in baseline via `report bench-diff` — ratios are
+//! machine-independent, absolute times are not.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use yat_algebra::{keys, Tab, Value};
+use yat_bench::{baseline, harness, workload::Scenario};
+use yat_mediator::OptimizerOptions;
+use yat_model::{match_filter, MatchOptions};
+use yat_wais::{generate_works, WorksSpec};
+use yat_yatl::parse_filter;
+
+struct Entry {
+    name: &'static str,
+    n: usize,
+    hashed_ns: u128,
+    baseline_ns: u128,
+}
+
+impl Entry {
+    fn speedup(&self) -> f64 {
+        if self.baseline_ns == 0 {
+            1.0
+        } else {
+            self.baseline_ns as f64 / self.hashed_ns.max(1) as f64
+        }
+    }
+}
+
+/// A Q1-shaped binding table: one row per work with title/artist/style/
+/// size columns (trees, exercising the coercion path) — what `Bind` over
+/// the works collection actually feeds the set-based operators.
+fn bind_tab(works: usize) -> Tab {
+    let doc = generate_works(&WorksSpec {
+        works,
+        impressionist_pct: 30,
+        optional_pct: 60,
+        giverny_pct: 30,
+        seed: 7,
+    });
+    let filter =
+        parse_filter("works *work [ title: $t, artist: $a, style: $s, size: $si, *($fields) ]")
+            .expect("static filter parses");
+    let rows = match_filter(&doc, &filter, MatchOptions::default());
+    let cols = vec![
+        "t".to_string(),
+        "a".to_string(),
+        "s".to_string(),
+        "si".to_string(),
+        "fields".to_string(),
+    ];
+    Tab::from_binding_rows(cols, rows)
+}
+
+/// The hashed dedup kernel: kept-row indices, first-occurrence order —
+/// the loop inside `Tab::dedup`, expressed over the shared
+/// `yat_algebra::keys` primitives so the measurement and the shipped
+/// operator share their keying code.
+fn hashed_dedup_indices(tab: &Tab) -> Vec<usize> {
+    let mut seen: HashMap<u64, Vec<usize>> = HashMap::with_capacity(tab.len());
+    let mut keep = Vec::new();
+    for (i, row) in tab.rows().enumerate() {
+        let h = keys::row_hash(row);
+        let bucket = seen.entry(h).or_default();
+        if bucket.iter().any(|&k| keys::row_key_eq(tab.row(k), row)) {
+            continue;
+        }
+        bucket.push(i);
+        keep.push(i);
+    }
+    keep
+}
+
+/// Stacks `copies` clones of the table (duplicate-heavy dedup input).
+fn replicate(tab: &Tab, copies: usize) -> Tab {
+    let mut out = Tab::new(tab.columns().to_vec());
+    for _ in 0..copies {
+        for row in tab.rows() {
+            out.push(row.to_vec());
+        }
+    }
+    out
+}
+
+/// Builds the hashed `Group` output from the shared kernel — the same
+/// construction `eval` performs, so baseline and hashed sides do equal
+/// output-building work and the measured difference is the keying.
+fn hashed_group(tab: &Tab, kidx: &[usize]) -> Tab {
+    let rest: Vec<usize> = (0..tab.columns().len())
+        .filter(|i| !kidx.contains(i))
+        .collect();
+    let mut cols: Vec<String> = kidx.iter().map(|&i| tab.columns()[i].clone()).collect();
+    cols.extend(rest.iter().map(|&i| tab.columns()[i].clone()));
+    let mut out = Tab::new(cols);
+    for members in keys::group_indices(tab.raw_rows(), kidx) {
+        let first = tab.row(members[0]);
+        let mut row: Vec<Value> = kidx.iter().map(|&i| first[i].clone()).collect();
+        for &ci in &rest {
+            row.push(Value::Coll(
+                members.iter().map(|&ri| tab.row(ri)[ci].clone()).collect(),
+            ));
+        }
+        out.push(row);
+    }
+    out
+}
+
+/// Builds the hashed join output from the shared kernel (columns primed
+/// like the algebra's join).
+fn hashed_join(lt: &Tab, rt: &Tab, lkeys: &[usize], rkeys: &[usize]) -> Tab {
+    let mut cols = lt.columns().to_vec();
+    for c in rt.columns() {
+        if cols.contains(c) {
+            cols.push(format!("{c}'"));
+        } else {
+            cols.push(c.clone());
+        }
+    }
+    let mut out = Tab::new(cols);
+    for (li, ri) in keys::join_pairs(lt.raw_rows(), rt.raw_rows(), lkeys, rkeys) {
+        let mut row = lt.row(li).to_vec();
+        row.extend(rt.row(ri).iter().cloned());
+        out.push(row);
+    }
+    out
+}
+
+fn main() {
+    let mut entries: Vec<Entry> = Vec::new();
+
+    harness::group("fig_scale/row-count sweeps (hashed vs string keys)");
+    for &n in &[500usize, 2000, 8000] {
+        let tab = bind_tab(n);
+
+        // DupElim over a duplicate-heavy table
+        let dup = replicate(&tab, 4);
+        let hashed = harness::measure(|| hashed_dedup_indices(&dup));
+        let base = harness::measure(|| baseline::dedup_indices(&dup));
+        {
+            let mut t = dup.clone();
+            t.dedup();
+            assert_eq!(
+                t.len(),
+                baseline::dedup(&dup).len(),
+                "dedup implementations must agree"
+            );
+        }
+        println!(
+            "dedup   n={:<6} hashed {:>12?}  string {:>12?}  ({:.2}x)",
+            dup.len(),
+            hashed,
+            base,
+            base.as_nanos() as f64 / hashed.as_nanos().max(1) as f64
+        );
+        entries.push(Entry {
+            name: "dedup",
+            n: dup.len(),
+            hashed_ns: hashed.as_nanos(),
+            baseline_ns: base.as_nanos(),
+        });
+
+        // GroupBy (artist, style, size) — a compound key over tree cells,
+        // where the string side re-serializes three subtrees per row and
+        // the hashed side reads three cached hashes
+        let kidx = [
+            tab.col("a").expect("artist column"),
+            tab.col("s").expect("style column"),
+            tab.col("si").expect("size column"),
+        ];
+        let gkeys = vec!["a".to_string(), "s".to_string(), "si".to_string()];
+        let hashed = harness::measure(|| keys::group_indices(tab.raw_rows(), &kidx));
+        let base = harness::measure(|| baseline::group_indices(&tab, &kidx));
+        assert_eq!(
+            hashed_group(&tab, &kidx).len(),
+            baseline::group(&tab, &gkeys).len(),
+            "group implementations must agree"
+        );
+        println!(
+            "group   n={:<6} hashed {:>12?}  string {:>12?}  ({:.2}x)",
+            tab.len(),
+            hashed,
+            base,
+            base.as_nanos() as f64 / hashed.as_nanos().max(1) as f64
+        );
+        entries.push(Entry {
+            name: "group",
+            n: tab.len(),
+            hashed_ns: hashed.as_nanos(),
+            baseline_ns: base.as_nanos(),
+        });
+
+        // Equi-join on title between two differently-seeded tables:
+        // titles are per-index and shared across seeds, so the join is
+        // 1:1 and the measurement is the build/probe keying, not output
+        // explosion. Both sides are narrow (title, artist) tables so the
+        // identical output construction does not drown the keying.
+        let narrow = |seed: u64, tv: &str, av: &str| {
+            let doc = generate_works(&WorksSpec {
+                works: n,
+                impressionist_pct: 30,
+                optional_pct: 60,
+                giverny_pct: 30,
+                seed,
+            });
+            let filter = parse_filter(&format!("works *work [ title: ${tv}, artist: ${av} ]"))
+                .expect("static filter parses");
+            let rows = match_filter(&doc, &filter, MatchOptions::default());
+            Tab::from_binding_rows(vec![tv.to_string(), av.to_string()], rows)
+        };
+        let lt = narrow(7, "t", "a");
+        let rt = narrow(8, "t2", "a2");
+        let (lk, rk) = ([lt.col("t").unwrap()], [rt.col("t2").unwrap()]);
+        let hashed = harness::measure(|| keys::join_pairs(lt.raw_rows(), rt.raw_rows(), &lk, &rk));
+        let base = harness::measure(|| baseline::join_pairs(&lt, &rt, &lk, &rk));
+        assert_eq!(
+            hashed_join(&lt, &rt, &lk, &rk).len(),
+            baseline::join(&lt, &rt, &lk, &rk).len(),
+            "join implementations must agree"
+        );
+        println!(
+            "join    n={:<6} hashed {:>12?}  string {:>12?}  ({:.2}x)",
+            lt.len(),
+            hashed,
+            base,
+            base.as_nanos() as f64 / hashed.as_nanos().max(1) as f64
+        );
+        entries.push(Entry {
+            name: "join",
+            n: lt.len(),
+            hashed_ns: hashed.as_nanos(),
+            baseline_ns: base.as_nanos(),
+        });
+    }
+
+    harness::group("fig_scale/document-size sweeps (end-to-end)");
+    for &scale in &[50usize, 200, 800] {
+        let m = Scenario::at_scale(scale).mediator();
+        for (name, query) in [
+            ("q1 e2e", yat_yatl::paper::Q1),
+            ("q2 e2e", yat_yatl::paper::Q2),
+        ] {
+            let t = harness::measure(|| {
+                m.query(query, OptimizerOptions::default())
+                    .expect("paper query answers")
+            });
+            println!("{name} scale={scale:<5} {t:>12?}");
+            entries.push(Entry {
+                name,
+                n: scale,
+                hashed_ns: t.as_nanos(),
+                baseline_ns: 0,
+            });
+        }
+    }
+
+    // machine-readable output
+    let mut out = String::from("[\n");
+    for (i, e) in entries.iter().enumerate() {
+        let _ = write!(
+            out,
+            "  {{\"name\": \"{}\", \"n\": {}, \"hashed_ns\": {}, \"baseline_ns\": {}, \"speedup\": {:.3}}}",
+            e.name,
+            e.n,
+            e.hashed_ns,
+            e.baseline_ns,
+            e.speedup()
+        );
+        out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    let path = std::env::var("YAT_SCALE_OUT").unwrap_or_else(|_| "BENCH_scale.json".to_string());
+    std::fs::write(&path, &out).expect("write scale results");
+    println!("\nwrote {path}");
+}

@@ -55,6 +55,29 @@ fn main() {
         yat_oql::oql::run(q, &store).expect("OQL evaluates")
     });
 
+    harness::group("micro/join");
+    // the hash-join kernel: key-column resolution happens once, probing
+    // allocates no per-row key strings (the regression this guards)
+    let mk = |seed: u64, n: usize| {
+        let doc = generate_works(&WorksSpec {
+            works: n,
+            impressionist_pct: 40,
+            optional_pct: 60,
+            giverny_pct: 30,
+            seed,
+        });
+        let f = parse_filter("works *work [ title: $t, artist: $a ]").expect("filter parses");
+        yat_algebra::Tab::from_binding_rows(
+            vec!["t".to_string(), "a".to_string()],
+            yat_model::match_filter(&doc, &f, MatchOptions::default()),
+        )
+    };
+    let (lt, rt) = (mk(5, 1000), mk(6, 1000));
+    let (lk, rk) = ([lt.col("a").unwrap()], [rt.col("a").unwrap()]);
+    harness::run("hash-join-pairs-1000x1000", || {
+        yat_algebra::keys::join_pairs(lt.raw_rows(), rt.raw_rows(), &lk, &rk)
+    });
+
     harness::group("micro/wais");
     let works = generate_works(&WorksSpec {
         works: 2000,

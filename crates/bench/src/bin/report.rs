@@ -18,6 +18,17 @@ use yat_yatl::{paper, translate};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `bench-diff <old.json> <new.json>` is a CI gate, not a figure:
+    // dispatch before the figure fan-out and exit with its verdict.
+    if args.first().map(String::as_str) == Some("bench-diff") {
+        match bench_diff(args.get(1), args.get(2)) {
+            Ok(()) => return,
+            Err(msg) => {
+                eprintln!("bench-diff: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
 
     if want("fig1") {
@@ -282,6 +293,82 @@ fn fig9() {
         sc.impressionist_pct = pct;
         let m = sc.mediator();
         run_levels(&m, paper::Q2, false, &format!("Q2 sel={pct:>2}%"));
+    }
+}
+
+/// Compares two `BENCH_scale.json` files (old baseline, new run) on the
+/// *speedup* column — hashed-vs-string ratios are machine-independent,
+/// so a checked-in baseline from one machine still gates CI on another.
+/// Fails when any matching entry's speedup regressed by more than 25%
+/// (new < old × 0.75). End-to-end entries (`baseline_ns: 0`) carry no
+/// ratio and are reported informationally only.
+fn bench_diff(old_path: Option<&String>, new_path: Option<&String>) -> Result<(), String> {
+    let (old_path, new_path) = match (old_path, new_path) {
+        (Some(o), Some(n)) => (o, n),
+        _ => return Err("usage: report bench-diff <old.json> <new.json>".into()),
+    };
+    let load = |path: &str| -> Result<Vec<(String, u64, f64, f64)>, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let json = yat_bench::json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        let arr = json
+            .as_arr()
+            .ok_or_else(|| format!("{path}: expected a top-level array"))?;
+        arr.iter()
+            .map(|e| {
+                let field = |k: &str| {
+                    e.get(k)
+                        .and_then(yat_bench::json::Json::as_f64)
+                        .ok_or_else(|| format!("{path}: entry missing numeric \"{k}\""))
+                };
+                Ok((
+                    e.get("name")
+                        .and_then(yat_bench::json::Json::as_str)
+                        .ok_or_else(|| format!("{path}: entry missing \"name\""))?
+                        .to_string(),
+                    field("n")? as u64,
+                    field("baseline_ns")?,
+                    field("speedup")?,
+                ))
+            })
+            .collect()
+    };
+    let old = load(old_path)?;
+    let new = load(new_path)?;
+
+    let mut regressions = Vec::new();
+    let mut compared = 0usize;
+    for (name, n, old_base, old_speedup) in &old {
+        let Some((_, _, _, new_speedup)) =
+            new.iter().find(|(nn, nnn, _, _)| nn == name && nnn == n)
+        else {
+            regressions.push(format!("{name} n={n}: missing from {new_path}"));
+            continue;
+        };
+        if *old_base == 0.0 {
+            println!("{name:<8} n={n:<6} end-to-end only, no ratio gate");
+            continue;
+        }
+        compared += 1;
+        let verdict = if *new_speedup < old_speedup * 0.75 {
+            regressions.push(format!(
+                "{name} n={n}: speedup {new_speedup:.2}x < 75% of baseline {old_speedup:.2}x"
+            ));
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "{name:<8} n={n:<6} speedup {old_speedup:>7.2}x -> {new_speedup:>7.2}x   {verdict}"
+        );
+    }
+    if compared == 0 {
+        return Err("no ratio-gated entries in common — wrong files?".into());
+    }
+    if regressions.is_empty() {
+        println!("bench-diff: {compared} ratio-gated entries, none regressed >25%");
+        Ok(())
+    } else {
+        Err(regressions.join("\n"))
     }
 }
 

@@ -46,3 +46,25 @@ pub fn run<T, F: FnMut() -> T>(label: &str, mut f: F) {
 pub fn group(name: &str) {
     println!("\n== {name} ==");
 }
+
+/// Measures `f` like [`run`] but returns the median wall time per
+/// iteration instead of printing — machine-readable benches
+/// (`fig_scale`) aggregate these into JSON.
+pub fn measure<T, F: FnMut() -> T>(mut f: F) -> Duration {
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    while warm_start.elapsed() < WARMUP || warm_iters == 0 {
+        std::hint::black_box(f());
+        warm_iters += 1;
+    }
+    let per = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+    let iters = ((WINDOW.as_secs_f64() / per).ceil() as u64).clamp(5, 100_000);
+    let mut samples: Vec<Duration> = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        samples.push(t.elapsed());
+    }
+    samples.sort();
+    samples[samples.len() / 2]
+}

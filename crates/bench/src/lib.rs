@@ -16,6 +16,8 @@
 //! * `src/bin/report.rs` — prints the plans, traffic and result
 //!   fingerprints per figure (the source of EXPERIMENTS.md).
 
+pub mod baseline;
 pub mod figures;
 pub mod harness;
+pub mod json;
 pub mod workload;

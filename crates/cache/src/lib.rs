@@ -33,7 +33,6 @@
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 use yat_algebra::{Alg, Tab};
-use yat_capability::plan_xml::plan_to_xml;
 use yat_capability::tab_xml::tab_to_xml;
 use yat_model::xml_convert::tree_to_xml;
 use yat_model::Tree;
@@ -64,14 +63,20 @@ fn fnv1a(h: u64, text: &str) -> u64 {
 pub struct Signature(u64);
 
 impl Signature {
-    /// Signature of a pushed fragment: source name + the fragment's
-    /// canonical wire serialization.
+    /// Signature of a pushed fragment: source name + a structural hash of
+    /// the plan AST (derived `Hash` over the stable FNV-1a hasher).
+    /// Structurally identical plans — including their inlined binding
+    /// atoms — share a signature without serializing the fragment to wire
+    /// text first; the serialization only happens for fragments that
+    /// actually miss and cross the wire.
     pub fn execute(source: &str, plan: &Alg) -> Signature {
-        let mut h = fnv1a(FNV_OFFSET, "execute\u{0}");
-        h = fnv1a(h, source);
-        h = fnv1a(h, "\u{0}");
-        h = fnv1a(h, &plan_to_xml(plan).to_xml());
-        Signature(h)
+        use std::hash::{Hash, Hasher};
+        let mut h = yat_model::hash::Fnv64::new();
+        h.write(b"execute\0");
+        h.write(source.as_bytes());
+        h.write_u8(0);
+        plan.hash(&mut h);
+        Signature(h.finish())
     }
 
     /// Signature of a whole-document fetch from `source`.

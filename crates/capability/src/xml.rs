@@ -457,7 +457,7 @@ pub fn pattern_from_xml(el: &Element) -> Result<Pattern, WireError> {
                 .attr("label")
                 .ok_or_else(|| err("<node> missing label"))?;
             Ok(Pattern::Node {
-                label: PLabel::Sym(label.to_string()),
+                label: PLabel::Sym(label.into()),
                 edges: edges(el)?,
             })
         }

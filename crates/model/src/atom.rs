@@ -2,6 +2,7 @@
 
 use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// The atomic types of the YAT/ODMG type hierarchy (Fig. 3: `Int`, `Bool`,
 /// `Float`, `String`).
@@ -140,6 +141,48 @@ impl Atom {
         }
     }
 
+    /// Grouping-key equality: like [`Atom::value_eq`] but total on floats —
+    /// the equality the canonical grouping keys (and their hashes) induce.
+    /// It differs from `value_eq` only on exotic floats: all NaNs are one
+    /// key, while `-0.0` and `0.0` stay distinct keys (their canonical
+    /// texts `-0`/`0` differ), exactly as the string keys always behaved.
+    pub fn key_eq(&self, other: &Atom) -> bool {
+        match (self, other) {
+            (Atom::Str(a), Atom::Str(b)) => a == b,
+            (Atom::Bool(a), Atom::Bool(b)) => a == b,
+            (Atom::Int(_) | Atom::Float(_), Atom::Int(_) | Atom::Float(_)) => {
+                let (a, b) = (self.as_f64().expect("num"), other.as_f64().expect("num"));
+                key_f64_bits(a) == key_f64_bits(b)
+            }
+            _ => false,
+        }
+    }
+
+    /// Writes this atom's grouping key into a hasher, with the same
+    /// coercions as the canonical string key (`Int(1)` and `Float(1.0)`
+    /// hash identically; kinds are tagged apart). [`Atom::key_eq`] is the
+    /// equality this hash is consistent with.
+    pub fn key_hash_into(&self, state: &mut impl Hasher) {
+        match self {
+            Atom::Int(i) => {
+                state.write_u8(b'n');
+                state.write_u64(key_f64_bits(*i as f64));
+            }
+            Atom::Float(f) => {
+                state.write_u8(b'n');
+                state.write_u64(key_f64_bits(*f));
+            }
+            Atom::Bool(b) => {
+                state.write_u8(b'b');
+                state.write_u8(*b as u8);
+            }
+            Atom::Str(s) => {
+                state.write_u8(b't');
+                crate::hash::write_len_str(state, s);
+            }
+        }
+    }
+
     /// Total comparison usable for `Sort`/`Group`: numerics (coerced)
     /// compare numerically, strings lexicographically; across kinds the
     /// order is Bool < numeric < Str (arbitrary but total and documented).
@@ -167,6 +210,44 @@ impl Atom {
 impl PartialEq for Atom {
     fn eq(&self, other: &Self) -> bool {
         self.value_eq(other)
+    }
+}
+
+/// Consistent with [`Atom::value_eq`] (the `PartialEq` impl): value-equal
+/// atoms hash identically, so atoms — and types embedding them, like plan
+/// ASTs — can key hashed maps and feed derived `Hash` impls. Numerics hash
+/// through their coerced `f64` with `-0.0` folded onto `0.0` (the two are
+/// `value_eq`); NaNs equal nothing, so their image is unconstrained.
+impl Hash for Atom {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Atom::Str(s) => {
+                state.write_u8(3);
+                s.hash(state);
+            }
+            Atom::Bool(b) => {
+                state.write_u8(2);
+                b.hash(state);
+            }
+            Atom::Int(_) | Atom::Float(_) => {
+                state.write_u8(1);
+                let f = self.as_f64().expect("num");
+                let f = if f == 0.0 { 0.0 } else { f };
+                state.write_u64(key_f64_bits(f));
+            }
+        }
+    }
+}
+
+/// Canonical bits of a float under grouping-key semantics: group keys
+/// compare Display strings, where every NaN prints `NaN` (one key) while
+/// `-0.0` prints `-0` (distinct from `0`); the shortest-roundtrip Display
+/// is otherwise injective, so raw bits are a faithful canonical image.
+fn key_f64_bits(f: f64) -> u64 {
+    if f.is_nan() {
+        f64::NAN.to_bits()
+    } else {
+        f.to_bits()
     }
 }
 

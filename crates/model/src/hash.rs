@@ -1,0 +1,100 @@
+//! A small, stable FNV-1a hasher for structural keys.
+//!
+//! The data plane keys dedup/group/join work on 64-bit structural hashes
+//! (see [`crate::Node::key_hash`]); the cache layer derives plan
+//! signatures with the same primitive. FNV-1a is the repo's stock scheme
+//! (also used for content-derived Skolem identifiers): byte-at-a-time,
+//! dependency-free, and stable across runs — unlike `std`'s randomized
+//! `DefaultHasher`, whose per-process seed would make hashes unusable as
+//! reproducible signatures.
+
+use std::hash::Hasher;
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An FNV-1a 64-bit [`Hasher`].
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+}
+
+impl Fnv64 {
+    /// A hasher at the offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Hasher for Fnv64 {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    // fixed-width integer writes use little-endian bytes so hashes do not
+    // depend on the host's native endianness
+    fn write_u8(&mut self, n: u8) {
+        self.write(&[n]);
+    }
+    fn write_u16(&mut self, n: u16) {
+        self.write(&n.to_le_bytes());
+    }
+    fn write_u32(&mut self, n: u32) {
+        self.write(&n.to_le_bytes());
+    }
+    fn write_u64(&mut self, n: u64) {
+        self.write(&n.to_le_bytes());
+    }
+    fn write_usize(&mut self, n: usize) {
+        self.write(&(n as u64).to_le_bytes());
+    }
+}
+
+/// Writes a length-prefixed string. The prefix closes the encoding:
+/// variable-length text followed by more fields cannot alias a different
+/// `(text, fields)` split — the concatenation ambiguity that motivated the
+/// separator bugfix in the old string keys.
+pub fn write_len_str(h: &mut impl Hasher, s: &str) {
+    h.write_u64(s.len() as u64);
+    h.write(s.as_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_fnv1a() {
+        // FNV-1a("a") is a published test vector
+        let mut h = Fnv64::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63dc4c8601ec8c);
+        let mut h = Fnv64::new();
+        h.write(b"foobar");
+        assert_eq!(h.finish(), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn len_prefix_prevents_concatenation_aliasing() {
+        let mut a = Fnv64::new();
+        write_len_str(&mut a, "ab");
+        write_len_str(&mut a, "c");
+        let mut b = Fnv64::new();
+        write_len_str(&mut b, "a");
+        write_len_str(&mut b, "bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

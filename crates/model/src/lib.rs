@@ -34,10 +34,12 @@
 
 pub mod atom;
 pub mod forest;
+pub mod hash;
 pub mod instantiate;
 pub mod matching;
 pub mod oid;
 pub mod pattern;
+pub mod symbol;
 pub mod tree;
 pub mod xml_convert;
 
@@ -46,4 +48,5 @@ pub use forest::Forest;
 pub use matching::{match_filter, Binding, BindingRow, MatchOptions};
 pub use oid::{Oid, OidGen};
 pub use pattern::{Edge, Filter, Model, Occ, PLabel, Pattern, PatternDef, StarBind};
+pub use symbol::Symbol;
 pub use tree::{Label, Node, Tree};

@@ -9,9 +9,11 @@
 //! (one row per matched element, Fig. 4).
 
 use crate::forest::Forest;
+use crate::hash::Fnv64;
 use crate::pattern::{Edge, Filter, Model, Occ, PLabel, Pattern, StarBind};
-use crate::tree::{Label, Tree};
-use std::collections::BTreeMap;
+use crate::tree::{Label, Node, Tree};
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hasher;
 
 /// A value bound to a variable by matching.
 #[derive(Debug, Clone, PartialEq)]
@@ -161,7 +163,7 @@ impl<'a> Matcher<'a> {
             (PLabel::Any, _) => Some(None),
             (PLabel::Sym(p), Label::Sym(s)) if p == s => Some(None),
             (PLabel::AnySym, Label::Sym(_)) => Some(None),
-            (PLabel::Var(v), Label::Sym(s)) => Some(Some((v.clone(), s.clone()))),
+            (PLabel::Var(v), Label::Sym(s)) => Some(Some((v.clone(), s.to_string()))),
             (PLabel::Const(c), Label::Atom(a)) if c.value_eq(a) => Some(None),
             (PLabel::Atom(t), Label::Atom(a)) if *t == a.atom_type() => Some(None),
             _ => None,
@@ -392,47 +394,77 @@ fn merge(a: &BindingRow, b: &BindingRow) -> Option<BindingRow> {
     Some(out)
 }
 
-fn dedup_rows(mut rows: Vec<BindingRow>) -> Vec<BindingRow> {
+fn dedup_rows(rows: Vec<BindingRow>) -> Vec<BindingRow> {
     // distinct embeddings may produce identical rows (e.g. wildcard
     // edges); keep first occurrences, preserving order. Keyed by a
-    // canonical string so dedup stays near-linear in the row count
-    // (pairwise structural comparison made large Binds quadratic).
+    // 64-bit structural hash (cached per tree node) so dedup stays
+    // near-linear in the row count; a hash hit is confirmed structurally
+    // before a row is dropped, so collisions can't lose rows.
     if rows.len() < 2 {
         return rows;
     }
-    let mut seen = std::collections::BTreeSet::new();
-    rows.retain(|r| seen.insert(row_key(r)));
-    rows
-}
-
-fn row_key(row: &BindingRow) -> String {
-    let mut out = String::new();
-    for (k, v) in row {
-        out.push_str(k);
-        out.push('\u{1}');
-        binding_key(v, &mut out);
-        out.push('\u{2}');
+    let mut seen: HashMap<u64, Vec<usize>> = HashMap::with_capacity(rows.len());
+    let mut out: Vec<BindingRow> = Vec::with_capacity(rows.len());
+    for row in rows {
+        let h = row_hash(&row);
+        let bucket = seen.entry(h).or_default();
+        if bucket.iter().any(|&i| row_key_eq(&out[i], &row)) {
+            continue;
+        }
+        bucket.push(out.len());
+        out.push(row);
     }
     out
 }
 
-fn binding_key(b: &Binding, out: &mut String) {
+/// Structural hash of a binding row under grouping-key semantics. Every
+/// variable-length field is length-prefixed, so distinct rows cannot
+/// collide by re-splitting concatenated text.
+fn row_hash(row: &BindingRow) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(row.len() as u64);
+    for (k, v) in row {
+        crate::hash::write_len_str(&mut h, k);
+        binding_hash(v, &mut h);
+    }
+    h.finish()
+}
+
+fn binding_hash(b: &Binding, h: &mut Fnv64) {
     match b {
         Binding::Tree(t) => {
-            out.push('T');
-            out.push_str(&crate::tree::Node::group_key(t));
+            h.write_u8(b'T');
+            h.write_u64(t.key_hash());
         }
         Binding::Label(l) => {
-            out.push('L');
-            out.push_str(l);
+            h.write_u8(b'L');
+            crate::hash::write_len_str(h, l);
         }
         Binding::Coll(c) => {
-            out.push('C');
+            h.write_u8(b'C');
+            h.write_u64(c.len() as u64);
             for t in c {
-                out.push_str(&crate::tree::Node::group_key(t));
-                out.push(';');
+                h.write_u64(t.key_hash());
             }
         }
+    }
+}
+
+fn row_key_eq(a: &BindingRow, b: &BindingRow) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b.iter())
+            .all(|((ka, va), (kb, vb))| ka == kb && binding_key_eq(va, vb))
+}
+
+fn binding_key_eq(a: &Binding, b: &Binding) -> bool {
+    match (a, b) {
+        (Binding::Tree(x), Binding::Tree(y)) => Node::key_eq(x, y),
+        (Binding::Label(x), Binding::Label(y)) => x == y,
+        (Binding::Coll(x), Binding::Coll(y)) => {
+            x.len() == y.len() && x.iter().zip(y).all(|(t, u)| Node::key_eq(t, u))
+        }
+        _ => false,
     }
 }
 

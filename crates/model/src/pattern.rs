@@ -8,14 +8,17 @@
 //! formalism and related by instantiation (see [`crate::instantiate`]).
 
 use crate::atom::{Atom, AtomType};
+use crate::symbol::Symbol;
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// The label part of a pattern node.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub enum PLabel {
-    /// A literal symbol: matches exactly that symbol (`title`).
-    Sym(String),
+    /// A literal symbol: matches exactly that symbol (`title`). Interned,
+    /// so matching it against a node's `Label::Sym` is a pointer
+    /// comparison.
+    Sym(Symbol),
     /// A literal atomic constant: matches a value-equal atom (`1897`,
     /// `"Giverny"` — used when a query inlines a constant in a filter).
     Const(Atom),
@@ -57,7 +60,7 @@ impl fmt::Display for PLabel {
 }
 
 /// Edge occurrence: one child or multiple (`*`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Occ {
     /// Exactly one occurrence.
     One,
@@ -69,7 +72,7 @@ pub enum Occ {
 }
 
 /// How a star edge binds in a filter.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StarBind {
     /// Iterate: one binding row per matching child
     /// (`owners *$o` — each owner yields a row).
@@ -81,7 +84,7 @@ pub enum StarBind {
 }
 
 /// An edge from a pattern node to a child pattern.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub struct Edge {
     /// Occurrence of the child.
     pub occ: Occ,
@@ -140,7 +143,7 @@ impl Edge {
 }
 
 /// A pattern (type) or filter (pattern with variables).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub enum Pattern {
     /// An interior node: label plus child edges.
     Node {
@@ -163,7 +166,7 @@ pub enum Pattern {
 
 impl Pattern {
     /// A node with a literal symbol label.
-    pub fn sym(name: impl Into<String>, edges: Vec<Edge>) -> Pattern {
+    pub fn sym(name: impl Into<Symbol>, edges: Vec<Edge>) -> Pattern {
         Pattern::Node {
             label: PLabel::Sym(name.into()),
             edges,
@@ -172,12 +175,12 @@ impl Pattern {
 
     /// `name[$var]` — the ubiquitous "element whose content binds to a
     /// variable" filter (`title: $t`).
-    pub fn elem_var(name: impl Into<String>, var: impl Into<String>) -> Pattern {
+    pub fn elem_var(name: impl Into<Symbol>, var: impl Into<String>) -> Pattern {
         Pattern::sym(name, vec![Edge::one(Pattern::TreeVar(var.into()))])
     }
 
     /// `name[c]` — element containing a constant (`cplace["Giverny"]`).
-    pub fn elem_const(name: impl Into<String>, value: impl Into<Atom>) -> Pattern {
+    pub fn elem_const(name: impl Into<Symbol>, value: impl Into<Atom>) -> Pattern {
         Pattern::sym(
             name,
             vec![Edge::one(Pattern::Node {
@@ -188,7 +191,7 @@ impl Pattern {
     }
 
     /// `name[T]` — element containing an atom of type `T` (`year[Int]`).
-    pub fn elem_typed(name: impl Into<String>, ty: AtomType) -> Pattern {
+    pub fn elem_typed(name: impl Into<Symbol>, ty: AtomType) -> Pattern {
         Pattern::sym(
             name,
             vec![Edge::one(Pattern::Node {

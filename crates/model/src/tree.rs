@@ -1,15 +1,20 @@
 //! YAT data trees: ordered, labeled, `Arc`-shared.
 
 use crate::atom::Atom;
+use crate::hash::Fnv64;
 use crate::oid::Oid;
+use crate::symbol::Symbol;
 use std::fmt;
-use std::sync::Arc;
+use std::hash::Hasher;
+use std::sync::{Arc, OnceLock};
 
 /// The label of a tree node.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Label {
     /// A symbol — an element tag or attribute name (`work`, `title`).
-    Sym(String),
+    /// Interned: comparing two symbol labels is a pointer comparison in
+    /// the `Bind` matching hot loop.
+    Sym(Symbol),
     /// An atomic value — always a leaf (`"Claude Monet"`, `1897`).
     Atom(Atom),
     /// An identifier naming this subtree (`a1`, or Skolem-minted
@@ -23,7 +28,7 @@ impl Label {
     /// The symbol text, if this is a symbol label.
     pub fn as_sym(&self) -> Option<&str> {
         match self {
-            Label::Sym(s) => Some(s),
+            Label::Sym(s) => Some(s.as_str()),
             _ => None,
         }
     }
@@ -53,56 +58,56 @@ impl fmt::Display for Label {
 /// [`Tree`] (`Arc<Node>`) so operators can alias subtrees without copying —
 /// `Bind` extracts subtrees into tables by reference; only the `Tree`
 /// operator allocates new structure (Section 3.1).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Clone)]
 pub struct Node {
     /// This node's label.
     pub label: Label,
     /// Ordered children (XML is ordered; the algebra's horizontal
     /// navigation relies on this order).
     pub children: Vec<Tree>,
+    /// Lazily computed structural grouping hash ([`Node::key_hash`]).
+    /// Computing a parent's hash fills the caches of every shared subtree,
+    /// so repeated keying of aliased subtrees is O(1).
+    khash: OnceLock<u64>,
 }
 
 /// A shared, immutable YAT tree.
 pub type Tree = Arc<Node>;
 
+fn make(label: Label, children: Vec<Tree>) -> Tree {
+    Arc::new(Node {
+        label,
+        children,
+        khash: OnceLock::new(),
+    })
+}
+
 impl Node {
     /// A symbol-labeled node with children.
-    pub fn sym(name: impl Into<String>, children: Vec<Tree>) -> Tree {
-        Arc::new(Node {
-            label: Label::Sym(name.into()),
-            children,
-        })
+    pub fn sym(name: impl Into<Symbol>, children: Vec<Tree>) -> Tree {
+        make(Label::Sym(name.into()), children)
     }
 
     /// A symbol-labeled leaf wrapping a single atom child:
     /// `title["Nympheas"]`. This is the shape XML elements with character
     /// data convert to.
-    pub fn elem(name: impl Into<String>, value: impl Into<Atom>) -> Tree {
+    pub fn elem(name: impl Into<Symbol>, value: impl Into<Atom>) -> Tree {
         Node::sym(name, vec![Node::atom(value)])
     }
 
     /// An atomic leaf.
     pub fn atom(value: impl Into<Atom>) -> Tree {
-        Arc::new(Node {
-            label: Label::Atom(value.into()),
-            children: Vec::new(),
-        })
+        make(Label::Atom(value.into()), Vec::new())
     }
 
     /// An identified node (`a1[...]`).
     pub fn oid(oid: Oid, children: Vec<Tree>) -> Tree {
-        Arc::new(Node {
-            label: Label::Oid(oid),
-            children,
-        })
+        make(Label::Oid(oid), children)
     }
 
     /// A reference leaf (`&p3`).
     pub fn reference(oid: Oid) -> Tree {
-        Arc::new(Node {
-            label: Label::Ref(oid),
-            children: Vec::new(),
-        })
+        make(Label::Ref(oid), Vec::new())
     }
 
     /// The first child, for the common `elem` shape.
@@ -153,16 +158,108 @@ impl Node {
         a == b
     }
 
-    /// A stable textual key for grouping/dedup, cheaper than keeping parsed
-    /// trees as map keys. Two trees have equal keys iff structurally
-    /// equal — except identified subtrees, which key on their identity
-    /// alone (ODMG object semantics: two objects are the same iff they
-    /// have the same identifier, and identity joins must not serialize
-    /// object state).
+    /// A stable textual key for grouping/dedup. Two trees have equal keys
+    /// iff structurally equal — except identified subtrees, which key on
+    /// their identity alone (ODMG object semantics: two objects are the
+    /// same iff they have the same identifier, and identity joins must not
+    /// serialize object state).
+    ///
+    /// This is the *reference* key: the hashed data plane keys the same
+    /// equivalence via [`Node::key_hash`] + [`Node::key_eq`] without
+    /// serializing anything. Kept for `Sort` tie-breaking, goldens, and as
+    /// the baseline the property tests compare the hash path against.
     pub fn group_key(tree: &Tree) -> String {
         let mut s = String::new();
         write_key(tree, &mut s);
         s
+    }
+
+    /// The 64-bit structural grouping hash of this subtree: equal
+    /// [`Node::group_key`]s hash equal; unequal keys collide only with
+    /// ordinary 64-bit hash probability (operators confirm matches with
+    /// [`Node::key_eq`]). The value is cached per node, so keying a shared
+    /// subtree twice — or keying a parent after its children — costs one
+    /// cache read per node instead of re-serializing the subtree.
+    pub fn key_hash(&self) -> u64 {
+        if let Some(h) = self.khash.get() {
+            return *h;
+        }
+        let h = self.compute_key_hash();
+        *self.khash.get_or_init(|| h)
+    }
+
+    fn compute_key_hash(&self) -> u64 {
+        let mut h = Fnv64::new();
+        match &self.label {
+            Label::Sym(s) => {
+                h.write_u8(b's');
+                crate::hash::write_len_str(&mut h, s.as_str());
+            }
+            Label::Atom(a) => {
+                h.write_u8(b'a');
+                a.key_hash_into(&mut h);
+            }
+            Label::Oid(o) => {
+                // identity, not state: stop here (mirrors group_key)
+                h.write_u8(b'o');
+                crate::hash::write_len_str(&mut h, o.as_str());
+                return h.finish();
+            }
+            Label::Ref(o) => {
+                h.write_u8(b'r');
+                crate::hash::write_len_str(&mut h, o.as_str());
+            }
+        }
+        h.write_u64(self.children.len() as u64);
+        for c in &self.children {
+            h.write_u64(c.key_hash());
+        }
+        h.finish()
+    }
+
+    /// Grouping-key equality — the equivalence [`Node::group_key`] strings
+    /// induce, decided structurally: identified subtrees compare by
+    /// identity alone, atoms by [`Atom::key_eq`] (numeric coercion), and
+    /// everything else recursively. The cached hashes give an O(1) reject
+    /// at every level, so confirming a hash match is cheap even on deep
+    /// trees.
+    pub fn key_eq(a: &Node, b: &Node) -> bool {
+        if std::ptr::eq(a, b) {
+            return true;
+        }
+        if a.key_hash() != b.key_hash() {
+            return false;
+        }
+        match (&a.label, &b.label) {
+            (Label::Oid(x), Label::Oid(y)) => return x == y,
+            (Label::Sym(x), Label::Sym(y)) if x == y => {}
+            (Label::Atom(x), Label::Atom(y)) if x.key_eq(y) => {}
+            (Label::Ref(x), Label::Ref(y)) if x == y => {}
+            _ => return false,
+        }
+        a.children.len() == b.children.len()
+            && a.children
+                .iter()
+                .zip(&b.children)
+                .all(|(c, d)| Node::key_eq(c, d))
+    }
+}
+
+/// Structural equality on label and children — the pre-existing semantics
+/// (identified nodes compare their children too, unlike the grouping keys).
+/// Manual only because the hash cache must not participate.
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.label == other.label && self.children == other.children
+    }
+}
+
+impl fmt::Debug for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Node")
+            .field("label", &self.label)
+            .field("children", &self.children)
+            .finish()
     }
 }
 
@@ -280,6 +377,56 @@ mod tests {
         // string "1897" differs from number 1897
         let d = Node::elem("year", "1897");
         assert_ne!(Node::group_key(&a), Node::group_key(&d));
+    }
+
+    #[test]
+    fn key_hash_agrees_with_group_key() {
+        let cases = vec![
+            Node::elem("year", 1897),
+            Node::elem("year", 1897.0),
+            Node::elem("year", 1898),
+            Node::elem("year", "1897"),
+            Node::atom(true),
+            Node::sym("w", vec![Node::elem("a", 1), Node::elem("b", 2)]),
+            Node::oid(Oid::new("a1"), vec![Node::elem("t", 1)]),
+            Node::oid(Oid::new("a1"), vec![Node::elem("t", 2)]),
+            Node::oid(Oid::new("a2"), vec![Node::elem("t", 1)]),
+            Node::reference(Oid::new("p1")),
+        ];
+        for x in &cases {
+            for y in &cases {
+                let keys_eq = Node::group_key(x) == Node::group_key(y);
+                assert_eq!(
+                    keys_eq,
+                    Node::key_eq(x, y),
+                    "key_eq must track group_key equality: {x} vs {y}"
+                );
+                if keys_eq {
+                    assert_eq!(x.key_hash(), y.key_hash(), "{x} vs {y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oid_keys_are_identity_not_state() {
+        // same id, different children: same key (and PartialEq differs)
+        let a = Node::oid(Oid::new("a1"), vec![Node::elem("t", 1)]);
+        let b = Node::oid(Oid::new("a1"), vec![Node::elem("t", 2)]);
+        assert!(Node::key_eq(&a, &b));
+        assert_eq!(a.key_hash(), b.key_hash());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn key_hash_is_cached_across_sharing() {
+        let shared = Node::elem("artist", "Monet");
+        let h = shared.key_hash();
+        let t1 = Node::sym("w1", vec![shared.clone()]);
+        let _ = t1.key_hash();
+        // same allocation, same cached hash
+        assert_eq!(t1.children[0].key_hash(), h);
+        assert!(Arc::ptr_eq(&t1.children[0], &shared));
     }
 
     #[test]

@@ -46,7 +46,7 @@ fn oracle(tree: &Tree, pat: &Pattern) -> Vec<BindingRow> {
                 let mut rows = rows;
                 if let Some((v, s)) = label_bind {
                     for r in &mut rows {
-                        r.insert(v.clone(), Binding::Label(s.clone()));
+                        r.insert(v.clone(), Binding::Label(s.to_string()));
                     }
                 }
                 Some(rows)
