@@ -1,0 +1,152 @@
+//! Serving-layer sweep: throughput and latency percentiles of a live
+//! `yat-server` on a loopback socket, versus worker count and admission
+//! queue depth.
+//!
+//! Each configuration starts a fresh server over the seeded scenario
+//! with a simulated 25 ms per-source round trip (so worker parallelism
+//! has wire time to overlap, exactly as in the paper's distributed
+//! deployment — without it, a single-core runner would show no scaling
+//! at all), then drives a closed-loop Q1/Q2 mix with 8 clients.
+//!
+//! Machine-readable output goes to `BENCH_serve.json` (override with
+//! `YAT_SERVE_OUT`), one entry per configuration:
+//!
+//! ```json
+//! {"workers": 4, "queue": 32, "clients": 8, "queries": 96,
+//!  "throughput_qps": ..., "p50_ms": ..., "p95_ms": ..., "p99_ms": ...,
+//!  "overloaded": 0, "speedup_vs_1_worker": ...}
+//! ```
+//!
+//! Absolute times are machine-dependent; the column worth watching is
+//! `speedup_vs_1_worker`, which should rise with the worker count until
+//! the two wrapper connections saturate.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+use yat_bench::workload::Scenario;
+use yat_mediator::Latency;
+use yat_server::{load, LoadMode, LoadSpec, Server, ServerConfig};
+use yat_yatl::paper;
+
+const SCALE: usize = 20;
+const CLIENTS: usize = 8;
+const QUERIES: usize = 96;
+const SOURCE_LATENCY: Duration = Duration::from_millis(25);
+
+struct Entry {
+    workers: usize,
+    queue: usize,
+    throughput_qps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    overloaded: u64,
+}
+
+/// One configuration: fresh server, fixed seeded load, torn down after.
+fn run_config(workers: usize, queue: usize) -> Entry {
+    let mediator = Scenario::at_scale(SCALE).mediator();
+    for source in ["o2artifact", "xmlartwork"] {
+        mediator
+            .connection(source)
+            .expect("scenario connects both sources")
+            .set_latency(Some(Latency::fixed(SOURCE_LATENCY)));
+    }
+    let handle = Server::spawn(
+        mediator,
+        ServerConfig {
+            workers,
+            queue_capacity: queue,
+            retry_after_ms: 5,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server binds a loopback port");
+    let report = load::run(
+        handle.addr(),
+        &LoadSpec {
+            clients: CLIENTS,
+            queries: QUERIES,
+            seed: 20260807,
+            mode: LoadMode::Closed,
+            deadline_ms: None,
+            mix: vec![paper::Q1.to_string(), paper::Q2.to_string()],
+            expected: None,
+        },
+    );
+    assert_eq!(
+        report.answered as usize, QUERIES,
+        "every query must be answered (overloads are retried): {report:?}"
+    );
+    assert!(report.clean(), "{report:?}");
+    handle.shutdown();
+    handle.join();
+    Entry {
+        workers,
+        queue,
+        throughput_qps: report.throughput_qps(),
+        p50_ms: report.p50_ms(),
+        p95_ms: report.p95_ms(),
+        p99_ms: report.p99_ms(),
+        overloaded: report.overloaded,
+    }
+}
+
+fn main() {
+    let mut entries: Vec<Entry> = Vec::new();
+
+    println!("\n== fig_serve/worker sweep (8 closed-loop clients, queue 32) ==");
+    for workers in [1usize, 2, 4, 8] {
+        let e = run_config(workers, 32);
+        println!(
+            "workers={workers:<2} queue=32  {:>7.1} q/s  p50 {:>7.2}ms  p95 {:>7.2}ms  p99 {:>7.2}ms",
+            e.throughput_qps, e.p50_ms, e.p95_ms, e.p99_ms
+        );
+        entries.push(e);
+    }
+
+    println!("\n== fig_serve/queue sweep (8 closed-loop clients, 2 workers) ==");
+    for queue in [1usize, 4, 32] {
+        let e = run_config(2, queue);
+        println!(
+            "workers=2  queue={queue:<3} {:>7.1} q/s  p50 {:>7.2}ms  p95 {:>7.2}ms  p99 {:>7.2}ms  shed-retries {}",
+            e.throughput_qps, e.p50_ms, e.p95_ms, e.p99_ms, e.overloaded
+        );
+        entries.push(e);
+    }
+
+    let base_qps = entries
+        .iter()
+        .find(|e| e.workers == 1 && e.queue == 32)
+        .map(|e| e.throughput_qps)
+        .unwrap_or(0.0);
+    let mut out = String::from("[\n");
+    for (i, e) in entries.iter().enumerate() {
+        let _ = write!(
+            out,
+            "  {{\"workers\": {}, \"queue\": {}, \"clients\": {CLIENTS}, \"queries\": {QUERIES}, \
+             \"throughput_qps\": {:.3}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \
+             \"overloaded\": {}, \"speedup_vs_1_worker\": {:.3}}}",
+            e.workers,
+            e.queue,
+            e.throughput_qps,
+            e.p50_ms,
+            e.p95_ms,
+            e.p99_ms,
+            e.overloaded,
+            if base_qps > 0.0 {
+                e.throughput_qps / base_qps
+            } else {
+                1.0
+            },
+        );
+        out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    // default to the workspace root, next to BENCH_scale.json, however
+    // cargo set the bench's working directory
+    let path = std::env::var("YAT_SERVE_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json").into());
+    std::fs::write(&path, &out).expect("write serve results");
+    println!("\nwrote {path}");
+}

@@ -178,13 +178,32 @@ impl CachePolicy {
 
     /// The policy selected by the `YAT_CACHE` environment variable
     /// (`off`, `bounded`, or `bounded:<bytes>[:<ttl>[:noneg]]` where
-    /// `<bytes>` accepts `k`/`m`/`g` suffixes); `Off` when unset or
-    /// unparseable.
+    /// `<bytes>` accepts `k`/`m`/`g` suffixes); `Off` when unset. An
+    /// *invalid* value also falls back to `Off`, but loudly: a warning
+    /// goes through [`yat_obs::warn`] naming the rejected value and the
+    /// accepted syntax.
     pub fn from_env() -> Self {
-        std::env::var("YAT_CACHE")
-            .ok()
-            .and_then(|v| Self::parse(&v))
-            .unwrap_or_default()
+        Self::from_env_value(std::env::var("YAT_CACHE").ok().as_deref())
+    }
+
+    /// [`CachePolicy::from_env`] on an explicit value (`None` = unset) —
+    /// split out so the warning path is testable without mutating the
+    /// process environment.
+    pub fn from_env_value(value: Option<&str>) -> Self {
+        let Some(value) = value else {
+            return CachePolicy::default();
+        };
+        match Self::parse(value) {
+            Some(policy) => policy,
+            None => {
+                yat_obs::warn(format!(
+                    "YAT_CACHE=`{value}` is not a valid cache policy; accepted values are \
+                     `off`, `bounded`, or `bounded:<bytes>[:<ttl>[:noneg]]` (`<bytes>` takes \
+                     k/m/g suffixes) — falling back to off"
+                ));
+                CachePolicy::default()
+            }
+        }
     }
 
     /// Parses the `YAT_CACHE` syntax.
@@ -797,6 +816,118 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.lookups, stats.hits + stats.misses);
         assert_eq!(stats.lookups, 100);
+    }
+
+    /// Satellite coverage for the serving layer: many threads hammer
+    /// hit/miss/insert/evict *and* epoch bumps at once — the exact
+    /// access pattern concurrent server sessions produce. Asserts two
+    /// invariants the single-threaded tests cannot: byte accounting
+    /// stays exact under interleaved insert/evict/invalidate, and a hit
+    /// never returns an answer recorded before the freshness window of
+    /// the epoch the reader observed (no stale epoch reads).
+    #[test]
+    fn concurrent_hammer_with_epoch_bumps_stays_consistent() {
+        use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+        // fixed-width labels so every answer has identical wire bytes
+        // and the byte-accounting invariant is a simple multiplication
+        let answer_at = |epoch: u64| answer(1, &format!("e{epoch:010}"));
+        let per_entry = answer_at(0).wire_bytes();
+        // budget for 6 of 16 possible signatures → constant eviction
+        let cache = AnswerCache::new(CachePolicy::Bounded {
+            max_bytes: per_entry * 6,
+            ttl_epochs: 2,
+            negative: true,
+        });
+        let epoch = AtomicU64::new(0);
+        let stale_seen = AtomicBool::new(false);
+
+        std::thread::scope(|s| {
+            // one invalidator thread keeps bumping the source epoch
+            s.spawn(|| {
+                for _ in 0..200 {
+                    epoch.fetch_add(1, Ordering::SeqCst);
+                    std::thread::yield_now();
+                }
+            });
+            for t in 0..8u64 {
+                let cache = &cache;
+                let epoch = &epoch;
+                let stale_seen = &stale_seen;
+                s.spawn(move || {
+                    for i in 0..300u64 {
+                        let sig = Signature::document("src", &format!("d{}", (t + i) % 16));
+                        // the epoch this thread observes *before* acting
+                        let seen = epoch.load(Ordering::SeqCst);
+                        if (t + i) % 3 == 0 {
+                            cache.insert(sig, "src", seen, answer_at(seen), None);
+                        } else if let Some(CachedAnswer::Result(tab)) =
+                            cache.lookup(sig, "src", seen, None)
+                        {
+                            // recover the insertion epoch from the payload
+                            // (labels are "e<epoch:010><row>", see answer_at)
+                            let row = tab.rows().next().expect("one row");
+                            let label = match &row[0] {
+                                yat_algebra::Value::Tree(tree) => {
+                                    tree.label.as_sym().expect("sym label").to_string()
+                                }
+                                other => panic!("{other:?}"),
+                            };
+                            let stored: u64 = label[1..11].parse().expect("epoch digits");
+                            // freshness contract: stored within ttl of
+                            // the epoch passed to the lookup
+                            if seen.saturating_sub(stored) >= 2 {
+                                stale_seen.store(true, Ordering::SeqCst);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+
+        assert!(!stale_seen.load(Ordering::SeqCst), "stale epoch read");
+        // byte accounting survived the interleavings exactly
+        assert_eq!(cache.stored_bytes(), cache.len() as u64 * per_entry);
+        assert!(
+            cache.len() <= 6,
+            "budget respected: {} entries",
+            cache.len()
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.lookups, stats.hits + stats.misses);
+        let per_src = &stats.per_source["src"];
+        assert_eq!(stats.hits, per_src.hits);
+        assert_eq!(stats.misses, per_src.misses);
+        assert_eq!(stats.bytes_saved, stats.hits * per_entry);
+    }
+
+    #[test]
+    fn invalid_cache_env_values_warn_and_fall_back() {
+        use std::sync::{Arc, Mutex as StdMutex};
+        let seen = Arc::new(StdMutex::new(Vec::<String>::new()));
+        let sink = seen.clone();
+        yat_obs::set_warn_sink(Some(Box::new(move |m| {
+            sink.lock().unwrap().push(m.to_string());
+        })));
+        assert_eq!(CachePolicy::from_env_value(None), CachePolicy::Off);
+        assert_eq!(
+            CachePolicy::from_env_value(Some("bounded")),
+            CachePolicy::bounded()
+        );
+        assert!(seen.lock().unwrap().is_empty(), "valid values are silent");
+        assert_eq!(
+            CachePolicy::from_env_value(Some("unbounded")),
+            CachePolicy::Off
+        );
+        yat_obs::set_warn_sink(None);
+        let warnings = seen.lock().unwrap();
+        assert_eq!(warnings.len(), 1);
+        assert!(
+            warnings[0].contains("YAT_CACHE")
+                && warnings[0].contains("unbounded")
+                && warnings[0].contains("bounded:<bytes>"),
+            "{warnings:?}"
+        );
     }
 
     #[test]

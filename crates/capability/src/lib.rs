@@ -23,9 +23,16 @@
 //!   templates and predicates: how the mediator ships pushed plans to
 //!   wrappers ("wrappers and mediators communicate data, structures and
 //!   operations in XML", Section 2).
+//! * [`protocol`] — the mediator↔wrapper verbs (`get-interface`,
+//!   `get-document`, `execute`) and the client↔server verbs (`query`,
+//!   `explain`, `stats`, `shutdown`) the serving layer speaks.
+//! * [`framing`] — length-prefixed frames carrying those messages over a
+//!   byte stream, with typed [`xml::WireError`]s for every way hostile
+//!   bytes can fail to decode.
 
 pub mod flags;
 pub mod fpattern;
+pub mod framing;
 pub mod interface;
 pub mod matcher;
 pub mod plan_xml;

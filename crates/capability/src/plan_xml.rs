@@ -13,7 +13,7 @@ use yat_model::{Atom, AtomType};
 use yat_xml::Element;
 
 fn err(msg: impl Into<String>) -> WireError {
-    WireError(msg.into())
+    WireError::Malformed(msg.into())
 }
 
 /// Serializes a plan.

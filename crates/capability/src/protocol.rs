@@ -16,7 +16,7 @@ use crate::plan_xml::{plan_from_xml, plan_to_xml};
 use crate::tab_xml::{tab_from_xml, tab_to_xml};
 use crate::xml::{interface_from_xml, interface_to_xml, WireError};
 use std::sync::Arc;
-use yat_algebra::{Alg, Tab};
+use yat_algebra::{Alg, EvalOut, Tab};
 use yat_model::xml_convert::{tree_from_xml, tree_to_xml};
 use yat_model::Tree;
 use yat_xml::Element;
@@ -68,19 +68,22 @@ impl Request {
             "get-document" => Ok(Request::GetDocument {
                 name: el
                     .attr("name")
-                    .ok_or_else(|| WireError("<get-document> missing name".into()))?
+                    .ok_or_else(|| WireError::Missing {
+                        element: "get-document".into(),
+                        what: "name".into(),
+                    })?
                     .to_string(),
             }),
             "execute" => {
-                let body = el
-                    .elements()
-                    .next()
-                    .ok_or_else(|| WireError("<execute> missing plan".into()))?;
+                let body = el.elements().next().ok_or_else(|| WireError::Missing {
+                    element: "execute".into(),
+                    what: "plan".into(),
+                })?;
                 Ok(Request::Execute {
                     plan: plan_from_xml(body)?,
                 })
             }
-            other => Err(WireError(format!("unknown request <{other}>"))),
+            other => Err(WireError::UnknownVerb(format!("unknown request <{other}>"))),
         }
     }
 }
@@ -121,29 +124,334 @@ impl Response {
         match el.name.as_str() {
             "interface" => Ok(Response::Interface(interface_from_xml(el)?)),
             "document" => {
-                let name = el
-                    .attr("name")
-                    .ok_or_else(|| WireError("<document> missing name".into()))?;
-                let body = el
-                    .elements()
-                    .next()
-                    .ok_or_else(|| WireError("<document> is empty".into()))?;
+                let name = el.attr("name").ok_or_else(|| WireError::Missing {
+                    element: "document".into(),
+                    what: "name".into(),
+                })?;
+                let body = el.elements().next().ok_or_else(|| WireError::Missing {
+                    element: "document".into(),
+                    what: "a document tree".into(),
+                })?;
                 Ok(Response::Document {
                     name: name.to_string(),
                     tree: tree_from_xml(body),
                 })
             }
             "result" => {
-                let body = el
-                    .elements()
-                    .next()
-                    .ok_or_else(|| WireError("<result> is empty".into()))?;
+                let body = el.elements().next().ok_or_else(|| WireError::Missing {
+                    element: "result".into(),
+                    what: "a result table".into(),
+                })?;
                 Ok(Response::Result(tab_from_xml(body)?))
             }
             "error" => Ok(Response::Error(
                 el.attr("message").unwrap_or("").to_string(),
             )),
-            other => Err(WireError(format!("unknown response <{other}>"))),
+            other => Err(WireError::UnknownVerb(format!(
+                "unknown response <{other}>"
+            ))),
+        }
+    }
+}
+
+// ------------------------------------------------------- client ↔ server
+//
+// The verbs above travel between the mediator and its wrappers. The
+// serving layer (`yat-server`) multiplexes many *clients* over one
+// mediator, and those sessions speak their own, disjoint verb set so a
+// wrapper can never be confused for a client or vice versa.
+
+/// A request from a client to a running `yat-server`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientRequest {
+    /// Plan → optimize → execute a YATL query, answering with the
+    /// serialized result.
+    Query {
+        /// The YATL query text.
+        text: String,
+        /// Optional per-request deadline: the server refuses to *start*
+        /// executing once this much time has passed since admission
+        /// (queue wait included), answering `Error` instead.
+        deadline_ms: Option<u64>,
+    },
+    /// Run the query as `EXPLAIN ANALYZE`, answering with the rendered
+    /// report (server-side timings appended).
+    Explain {
+        /// The YATL query text.
+        text: String,
+    },
+    /// Ask for the server's gauges and counters.
+    Stats,
+    /// Ask the server to drain in-flight queries and exit.
+    Shutdown,
+}
+
+impl ClientRequest {
+    /// The request's wire label — the XML element name it serializes to.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ClientRequest::Query { .. } => "query",
+            ClientRequest::Explain { .. } => "explain",
+            ClientRequest::Stats => "stats",
+            ClientRequest::Shutdown => "shutdown",
+        }
+    }
+
+    /// Serializes the request.
+    pub fn to_xml(&self) -> Element {
+        match self {
+            ClientRequest::Query { text, deadline_ms } => {
+                let el = Element::new(self.kind()).with_text(text.clone());
+                match deadline_ms {
+                    Some(ms) => el.with_attr("deadline-ms", ms.to_string()),
+                    None => el,
+                }
+            }
+            ClientRequest::Explain { text } => Element::new(self.kind()).with_text(text.clone()),
+            ClientRequest::Stats | ClientRequest::Shutdown => Element::new(self.kind()),
+        }
+    }
+
+    /// Parses a request.
+    pub fn from_xml(el: &Element) -> Result<ClientRequest, WireError> {
+        match el.name.as_str() {
+            "query" => {
+                let deadline_ms = match el.attr("deadline-ms") {
+                    Some(raw) => Some(raw.parse::<u64>().map_err(|_| {
+                        WireError::Malformed(format!(
+                            "<query> deadline-ms `{raw}` is not a non-negative integer"
+                        ))
+                    })?),
+                    None => None,
+                };
+                Ok(ClientRequest::Query {
+                    text: el.text(),
+                    deadline_ms,
+                })
+            }
+            "explain" => Ok(ClientRequest::Explain { text: el.text() }),
+            "stats" => Ok(ClientRequest::Stats),
+            "shutdown" => Ok(ClientRequest::Shutdown),
+            other => Err(WireError::UnknownVerb(format!(
+                "unknown client request <{other}>"
+            ))),
+        }
+    }
+}
+
+/// Per-source activity reported by [`ServerStats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SourceGauge {
+    /// The source's advertised name.
+    pub name: String,
+    /// Completed mediator↔wrapper round trips.
+    pub round_trips: u64,
+    /// Round trips currently on the wire (the connection-pool gauge).
+    pub in_flight: u64,
+}
+
+/// The gauges and counters a `Stats` request answers with.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Worker threads in the session pool.
+    pub workers: u64,
+    /// Admission-queue capacity.
+    pub queue_capacity: u64,
+    /// Queries waiting in the admission queue right now.
+    pub queue_depth: u64,
+    /// Queries executing on workers right now.
+    pub in_flight: u64,
+    /// Connections accepted since start.
+    pub connections: u64,
+    /// Queries admitted to the queue since start.
+    pub admitted: u64,
+    /// Queries answered successfully since start.
+    pub served: u64,
+    /// Queries refused with `Overloaded` because the queue was full.
+    pub shed: u64,
+    /// Queries that failed (execution errors, expired deadlines).
+    pub errors: u64,
+    /// Frames that failed to decode as a [`ClientRequest`].
+    pub protocol_errors: u64,
+    /// Whether the server is draining toward shutdown.
+    pub draining: bool,
+    /// Answer-cache hits across all sessions.
+    pub cache_hits: u64,
+    /// Answer-cache misses across all sessions.
+    pub cache_misses: u64,
+    /// Per-source wrapper-connection activity.
+    pub sources: Vec<SourceGauge>,
+}
+
+/// A `yat-server`'s reply to one [`ClientRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerReply {
+    /// A query's result (`Tab` for table-shaped plans, `Tree` for
+    /// constructed documents) — byte-identical, serialized, to what the
+    /// in-process `Mediator::query` would have produced.
+    Answer(EvalOut),
+    /// A rendered `EXPLAIN ANALYZE` report.
+    Explained {
+        /// The report text.
+        text: String,
+    },
+    /// The server's gauges and counters.
+    Stats(ServerStats),
+    /// The admission queue is full; retry after the hinted delay.
+    Overloaded {
+        /// Suggested client back-off.
+        retry_after_ms: u64,
+    },
+    /// The request failed (parse error, execution error, expired
+    /// deadline, draining server).
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+    /// Acknowledges `Shutdown` after every in-flight query drained.
+    Bye {
+        /// Queries that were drained (completed after the shutdown
+        /// request arrived).
+        drained: u64,
+    },
+}
+
+impl ServerReply {
+    /// The reply's wire label — the XML element name it serializes to.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServerReply::Answer(_) => "answer",
+            ServerReply::Explained { .. } => "explained",
+            ServerReply::Stats(_) => "server-stats",
+            ServerReply::Overloaded { .. } => "overloaded",
+            ServerReply::Error { .. } => "error",
+            ServerReply::Bye { .. } => "bye",
+        }
+    }
+
+    /// Serializes the reply.
+    pub fn to_xml(&self) -> Element {
+        match self {
+            ServerReply::Answer(out) => {
+                let body = match out {
+                    EvalOut::Tab(tab) => Element::new("result").with_child(tab_to_xml(tab)),
+                    EvalOut::Tree(tree) => tree_to_xml(tree),
+                };
+                Element::new(self.kind()).with_child(body)
+            }
+            ServerReply::Explained { text } => Element::new(self.kind()).with_text(text.clone()),
+            ServerReply::Stats(stats) => {
+                let mut el = Element::new(self.kind())
+                    .with_attr("workers", stats.workers.to_string())
+                    .with_attr("queue-capacity", stats.queue_capacity.to_string())
+                    .with_attr("queue-depth", stats.queue_depth.to_string())
+                    .with_attr("in-flight", stats.in_flight.to_string())
+                    .with_attr("connections", stats.connections.to_string())
+                    .with_attr("admitted", stats.admitted.to_string())
+                    .with_attr("served", stats.served.to_string())
+                    .with_attr("shed", stats.shed.to_string())
+                    .with_attr("errors", stats.errors.to_string())
+                    .with_attr("protocol-errors", stats.protocol_errors.to_string())
+                    .with_attr("draining", stats.draining.to_string())
+                    .with_attr("cache-hits", stats.cache_hits.to_string())
+                    .with_attr("cache-misses", stats.cache_misses.to_string());
+                for s in &stats.sources {
+                    el.push_element(
+                        Element::new("source")
+                            .with_attr("name", s.name.clone())
+                            .with_attr("round-trips", s.round_trips.to_string())
+                            .with_attr("in-flight", s.in_flight.to_string()),
+                    );
+                }
+                el
+            }
+            ServerReply::Overloaded { retry_after_ms } => {
+                Element::new(self.kind()).with_attr("retry-after-ms", retry_after_ms.to_string())
+            }
+            ServerReply::Error { message } => {
+                Element::new(self.kind()).with_attr("message", message.clone())
+            }
+            ServerReply::Bye { drained } => {
+                Element::new(self.kind()).with_attr("drained", drained.to_string())
+            }
+        }
+    }
+
+    /// Parses a reply.
+    pub fn from_xml(el: &Element) -> Result<ServerReply, WireError> {
+        let counter = |el: &Element, name: &str| -> Result<u64, WireError> {
+            let raw = el.attr(name).ok_or_else(|| WireError::Missing {
+                element: el.name.clone(),
+                what: name.to_string(),
+            })?;
+            raw.parse::<u64>().map_err(|_| {
+                WireError::Malformed(format!(
+                    "<{}> {name} `{raw}` is not a non-negative integer",
+                    el.name
+                ))
+            })
+        };
+        match el.name.as_str() {
+            "answer" => {
+                let body = el.elements().next().ok_or_else(|| WireError::Missing {
+                    element: "answer".into(),
+                    what: "a result or document body".into(),
+                })?;
+                if body.name == "result" {
+                    let inner = body.elements().next().ok_or_else(|| WireError::Missing {
+                        element: "result".into(),
+                        what: "a result table".into(),
+                    })?;
+                    Ok(ServerReply::Answer(EvalOut::Tab(tab_from_xml(inner)?)))
+                } else {
+                    Ok(ServerReply::Answer(EvalOut::Tree(tree_from_xml(body))))
+                }
+            }
+            "explained" => Ok(ServerReply::Explained { text: el.text() }),
+            "server-stats" => {
+                let mut stats = ServerStats {
+                    workers: counter(el, "workers")?,
+                    queue_capacity: counter(el, "queue-capacity")?,
+                    queue_depth: counter(el, "queue-depth")?,
+                    in_flight: counter(el, "in-flight")?,
+                    connections: counter(el, "connections")?,
+                    admitted: counter(el, "admitted")?,
+                    served: counter(el, "served")?,
+                    shed: counter(el, "shed")?,
+                    errors: counter(el, "errors")?,
+                    protocol_errors: counter(el, "protocol-errors")?,
+                    draining: el.attr("draining") == Some("true"),
+                    cache_hits: counter(el, "cache-hits")?,
+                    cache_misses: counter(el, "cache-misses")?,
+                    sources: Vec::new(),
+                };
+                for s in el.children_named("source") {
+                    stats.sources.push(SourceGauge {
+                        name: s
+                            .attr("name")
+                            .ok_or_else(|| WireError::Missing {
+                                element: "source".into(),
+                                what: "name".into(),
+                            })?
+                            .to_string(),
+                        round_trips: counter(s, "round-trips")?,
+                        in_flight: counter(s, "in-flight")?,
+                    });
+                }
+                Ok(ServerReply::Stats(stats))
+            }
+            "overloaded" => Ok(ServerReply::Overloaded {
+                retry_after_ms: counter(el, "retry-after-ms")?,
+            }),
+            "error" => Ok(ServerReply::Error {
+                message: el.attr("message").unwrap_or("").to_string(),
+            }),
+            "bye" => Ok(ServerReply::Bye {
+                drained: counter(el, "drained")?,
+            }),
+            other => Err(WireError::UnknownVerb(format!(
+                "unknown server reply <{other}>"
+            ))),
         }
     }
 }

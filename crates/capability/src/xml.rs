@@ -8,20 +8,77 @@ use std::fmt;
 use yat_model::{Atom, AtomType, Edge, Model, Occ, PLabel, Pattern, StarBind};
 use yat_xml::Element;
 
-/// A malformed interface/pattern document.
+/// A failure anywhere on the wire: a payload that does not decode, a
+/// frame that ends early, a verb no protocol knows, or the socket-level
+/// faults a networked deployment adds on top.
+///
+/// Typed so callers can distinguish "the bytes are garbage" from "the
+/// peer is slow" from "the peer crashed" — the serving layer maps these
+/// onto different client-visible responses — while every variant still
+/// renders a human-readable message.
 #[derive(Debug, Clone, PartialEq)]
-pub struct WireError(pub String);
+pub enum WireError {
+    /// Structurally invalid XML or an ill-formed payload inside it.
+    Malformed(String),
+    /// An element name that is not a verb of the protocol being parsed.
+    UnknownVerb(String),
+    /// A required attribute or child element is absent.
+    Missing {
+        /// The element that is incomplete (its wire tag).
+        element: String,
+        /// What was expected of it.
+        what: String,
+    },
+    /// A length-prefixed frame ended before its declared length.
+    Truncated {
+        /// Bytes the frame header promised.
+        expected: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// A frame header declared a length beyond the permitted maximum.
+    FrameTooLarge {
+        /// The declared payload length.
+        declared: u64,
+        /// The receiver's limit.
+        max: u64,
+    },
+    /// A socket- or stream-level I/O failure.
+    Io(String),
+    /// The round trip exceeded its deadline.
+    Timeout(String),
+    /// The remote side failed while handling the request (its panic was
+    /// contained and converted into this error).
+    Remote(String),
+}
 
 impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "wire format error: {}", self.0)
+        match self {
+            WireError::Malformed(m) => write!(f, "wire format error: {m}"),
+            WireError::UnknownVerb(m) => write!(f, "wire format error: {m}"),
+            WireError::Missing { element, what } => {
+                write!(f, "wire format error: <{element}> missing {what}")
+            }
+            WireError::Truncated { expected, got } => write!(
+                f,
+                "wire frame truncated: expected {expected} bytes, got {got}"
+            ),
+            WireError::FrameTooLarge { declared, max } => write!(
+                f,
+                "wire frame too large: declared {declared} bytes, limit {max}"
+            ),
+            WireError::Io(m) => write!(f, "wire i/o error: {m}"),
+            WireError::Timeout(m) => write!(f, "{m}"),
+            WireError::Remote(m) => write!(f, "{m}"),
+        }
     }
 }
 
 impl std::error::Error for WireError {}
 
 fn err(msg: impl Into<String>) -> WireError {
-    WireError(msg.into())
+    WireError::Malformed(msg.into())
 }
 
 // ---------------------------------------------------------------- interface

@@ -59,12 +59,31 @@ impl ExecMode {
 
     /// The mode selected by the `YAT_EXEC_MODE` environment variable
     /// (`sequential`/`seq`, `parallel`/`par`, or `parallel:<lanes>`);
-    /// sequential when unset or unparseable.
+    /// sequential when unset. An *invalid* value also falls back to
+    /// sequential, but loudly: a warning goes through [`yat_obs::warn`]
+    /// naming the rejected value and the accepted syntax.
     pub fn from_env() -> Self {
-        std::env::var("YAT_EXEC_MODE")
-            .ok()
-            .and_then(|v| Self::parse(&v))
-            .unwrap_or_default()
+        Self::from_env_value(std::env::var("YAT_EXEC_MODE").ok().as_deref())
+    }
+
+    /// [`ExecMode::from_env`] on an explicit value (`None` = unset) —
+    /// split out so the warning path is testable without mutating the
+    /// process environment.
+    pub fn from_env_value(value: Option<&str>) -> Self {
+        let Some(value) = value else {
+            return ExecMode::default();
+        };
+        match Self::parse(value) {
+            Some(mode) => mode,
+            None => {
+                yat_obs::warn(format!(
+                    "YAT_EXEC_MODE=`{value}` is not a valid execution mode; accepted values \
+                     are `sequential`/`seq`, `parallel`/`par`, or `parallel:<lanes>` — \
+                     falling back to sequential"
+                ));
+                ExecMode::default()
+            }
+        }
     }
 
     /// Parses the `YAT_EXEC_MODE` syntax.
@@ -840,6 +859,37 @@ mod tests {
         assert_eq!(ExecMode::parallel().to_string(), "parallel(8)");
         assert_eq!(ExecMode::Sequential.to_string(), "sequential");
         assert!(ExecMode::parallel().is_parallel() && !ExecMode::Sequential.is_parallel());
+    }
+
+    #[test]
+    fn invalid_exec_mode_env_values_warn_and_fall_back() {
+        use std::sync::{Arc, Mutex};
+        let seen = Arc::new(Mutex::new(Vec::<String>::new()));
+        let sink = seen.clone();
+        yat_obs::set_warn_sink(Some(Box::new(move |m| {
+            sink.lock().unwrap().push(m.to_string());
+        })));
+        // valid and unset values stay silent
+        assert_eq!(ExecMode::from_env_value(None), ExecMode::Sequential);
+        assert_eq!(
+            ExecMode::from_env_value(Some("parallel:3")),
+            ExecMode::Parallel { max_in_flight: 3 }
+        );
+        assert!(seen.lock().unwrap().is_empty());
+        // an invalid value falls back to sequential, loudly
+        assert_eq!(
+            ExecMode::from_env_value(Some("warp-speed")),
+            ExecMode::Sequential
+        );
+        yat_obs::set_warn_sink(None);
+        let warnings = seen.lock().unwrap();
+        assert_eq!(warnings.len(), 1);
+        assert!(
+            warnings[0].contains("YAT_EXEC_MODE")
+                && warnings[0].contains("warp-speed")
+                && warnings[0].contains("parallel:<lanes>"),
+            "{warnings:?}"
+        );
     }
 
     #[test]

@@ -178,6 +178,10 @@ pub struct Connection {
     /// the epoch an answer was produced at and refuses entries older
     /// than its freshness window.
     epoch: Arc<AtomicU64>,
+    /// Round trips currently on the wire. Parallel scatter lanes and
+    /// server worker threads share one `Connection`, so this gauge is
+    /// how the serving layer reports per-source load.
+    in_flight: AtomicU64,
     #[cfg(test)]
     fault: Mutex<Option<Fault>>,
 }
@@ -191,6 +195,7 @@ impl Connection {
             latency: Mutex::new(None),
             timeout: Mutex::new(None),
             epoch: Arc::new(AtomicU64::new(0)),
+            in_flight: AtomicU64::new(0),
             #[cfg(test)]
             fault: Mutex::new(None),
         }
@@ -209,6 +214,11 @@ impl Connection {
     /// The source's current data epoch.
     pub fn epoch(&self) -> u64 {
         self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Round trips currently on the wire to this source.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::SeqCst)
     }
 
     /// Declares the source's data changed: subsequent cache lookups see
@@ -272,7 +282,10 @@ impl Connection {
     ) -> Result<Response, WireError> {
         let mut span =
             obs.map(|c| c.span(kind::RPC, format!("{} @{}", request.kind(), self.name())));
-        match self.round_trip(request) {
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        let outcome = self.round_trip(request);
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        match outcome {
             Ok((response, sent, received, documents)) => {
                 if let Some(span) = span.as_mut() {
                     span.record_u64(attr::BYTES_SENT, sent);
@@ -314,7 +327,7 @@ impl Connection {
             match timeout {
                 Some(deadline) if delay > deadline => {
                     std::thread::sleep(deadline);
-                    return Err(WireError(format!(
+                    return Err(WireError::Timeout(format!(
                         "request to `{}` timed out after {deadline:?}",
                         self.name()
                     )));
@@ -325,7 +338,7 @@ impl Connection {
 
         // --- wrapper side -------------------------------------------------
         let parsed = yat_xml::parse_element(&request_text)
-            .map_err(|e| WireError(format!("request did not survive the wire: {e}")))?;
+            .map_err(|e| WireError::Malformed(format!("request did not survive the wire: {e}")))?;
         let request = Request::from_xml(&parsed)?;
         // A wrapper crash must surface as a wire error naming the source,
         // not take down the calling (possibly worker) thread.
@@ -336,7 +349,7 @@ impl Connection {
                     .map(|s| s.to_string())
                     .or_else(|| payload.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "unknown panic".into());
-                WireError(format!("wrapper `{}` panicked: {msg}", self.name()))
+                WireError::Remote(format!("wrapper `{}` panicked: {msg}", self.name()))
             })?;
         #[allow(unused_mut)]
         let mut response_text = response.to_xml().to_xml();
@@ -348,7 +361,7 @@ impl Connection {
         }
         let received = response_text.len() as u64;
         let parsed = yat_xml::parse_element(&response_text)
-            .map_err(|e| WireError(format!("response did not survive the wire: {e}")))?;
+            .map_err(|e| WireError::Malformed(format!("response did not survive the wire: {e}")))?;
         let response = Response::from_xml(&parsed)?;
         let documents = match &response {
             // a fetched collection counts its member documents — the unit
@@ -557,6 +570,35 @@ mod tests {
         // (its mutexes included) is still healthy
         assert_eq!(c.meter().snapshot(), MeterSnapshot::default());
         c.call(&get_works()).unwrap_err();
+    }
+
+    #[test]
+    fn in_flight_gauge_rises_during_a_trip_and_settles_back() {
+        let c = Arc::new(Connection::new(Box::new(Echo)));
+        assert_eq!(c.in_flight(), 0);
+        c.set_latency(Some(Latency::fixed(Duration::from_millis(30))));
+        let worker = {
+            let c = c.clone();
+            std::thread::spawn(move || c.call(&get_works()).unwrap())
+        };
+        // sample while the simulated delay holds the trip on the wire
+        let mut peak = 0;
+        for _ in 0..100 {
+            peak = peak.max(c.in_flight());
+            if peak > 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        worker.join().unwrap();
+        assert_eq!(peak, 1, "the trip was observable in flight");
+        assert_eq!(c.in_flight(), 0, "gauge settles back after the trip");
+
+        // failed trips settle back too
+        c.set_latency(None);
+        c.inject_fault(Fault::CorruptRequest);
+        c.call(&get_works()).unwrap_err();
+        assert_eq!(c.in_flight(), 0);
     }
 
     #[test]

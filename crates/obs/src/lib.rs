@@ -45,6 +45,9 @@ pub mod kind {
     /// Excluded from [`crate::profile::build`]: `EXPLAIN ANALYZE`
     /// reports cache activity in its own section, not as operator rows.
     pub const CACHE: &str = "cache";
+    /// A serving-layer phase of one client request (`accept`,
+    /// `queue-wait`, `execute`, `respond`), recorded by `yat-server`.
+    pub const SERVER: &str = "server";
 }
 
 /// Attribute names recorded by the built-in instrumentation sites (the
@@ -65,6 +68,37 @@ pub mod attr {
     /// Response bytes a cache hit kept off the wire (or an eviction
     /// freed).
     pub const BYTES_SAVED: &str = "bytes_saved";
+    /// Admission-queue depth observed when a server span was recorded.
+    pub const QUEUE_DEPTH: &str = "queue_depth";
+    /// Queries executing on worker threads when a server span was
+    /// recorded.
+    pub const IN_FLIGHT: &str = "in_flight";
+    /// Index of the server worker thread that executed a request.
+    pub const WORKER: &str = "worker";
+}
+
+/// A pluggable destination for [`warn`] messages.
+pub type WarnSink = Box<dyn Fn(&str) + Send + Sync>;
+
+/// Where warnings go: the installed sink, or stderr when none is set.
+static WARN_SINK: Mutex<Option<WarnSink>> = Mutex::new(None);
+
+/// Emits one out-of-band warning — configuration problems (an invalid
+/// `YAT_EXEC_MODE`/`YAT_CACHE` value, say) that have no span to hang off
+/// of. Goes to the sink installed by [`set_warn_sink`], or to stderr
+/// prefixed `[yat warn]` when none is installed.
+pub fn warn(message: impl AsRef<str>) {
+    let message = message.as_ref();
+    match &*WARN_SINK.lock().unwrap_or_else(|e| e.into_inner()) {
+        Some(sink) => sink(message),
+        None => eprintln!("[yat warn] {message}"),
+    }
+}
+
+/// Installs (or, with `None`, removes) the global warning sink. Tests
+/// capture warnings this way; embedders can forward them to a logger.
+pub fn set_warn_sink(sink: Option<WarnSink>) {
+    *WARN_SINK.lock().unwrap_or_else(|e| e.into_inner()) = sink;
 }
 
 /// An attribute value.
@@ -469,6 +503,20 @@ mod tests {
         let scatter = &profile[0];
         assert_eq!(scatter.label, "scatter");
         assert_eq!(scatter.children.len(), 2);
+    }
+
+    #[test]
+    fn warnings_reach_the_installed_sink() {
+        let seen = Arc::new(Mutex::new(Vec::<String>::new()));
+        let sink = seen.clone();
+        set_warn_sink(Some(Box::new(move |m| {
+            sink.lock().unwrap().push(m.to_string());
+        })));
+        warn("first");
+        warn(String::from("second"));
+        set_warn_sink(None);
+        warn("after removal this goes to stderr, not the sink");
+        assert_eq!(*seen.lock().unwrap(), ["first", "second"]);
     }
 
     #[test]

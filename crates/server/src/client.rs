@@ -1,0 +1,105 @@
+//! A blocking wire-protocol client for `yat-server`.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+use yat_capability::framing;
+use yat_capability::protocol::{ClientRequest, ServerReply, ServerStats};
+use yat_capability::xml::WireError;
+
+/// One client connection. Requests are answered in order on the same
+/// stream; a connection can carry any number of them.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, WireError> {
+        TcpStream::connect(addr)
+            .map(|stream| Client { stream })
+            .map_err(|e| WireError::Io(format!("connect failed: {e}")))
+    }
+
+    /// Connects, retrying for up to `patience` — for racing a server
+    /// that is still binding its port (the CI smoke test, `yat-load`
+    /// against a just-spawned `yat-server`).
+    pub fn connect_retry(
+        addr: impl ToSocketAddrs + Clone,
+        patience: Duration,
+    ) -> Result<Client, WireError> {
+        let start = Instant::now();
+        loop {
+            match TcpStream::connect(addr.clone()) {
+                Ok(stream) => return Ok(Client { stream }),
+                Err(e) if start.elapsed() >= patience => {
+                    return Err(WireError::Io(format!(
+                        "connect failed after {patience:?}: {e}"
+                    )))
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+    }
+
+    /// Sends one request and reads its reply.
+    pub fn roundtrip(&mut self, request: &ClientRequest) -> Result<ServerReply, WireError> {
+        framing::write_element(&mut self.stream, &request.to_xml())?;
+        match framing::read_element(&mut self.stream)? {
+            Some(el) => ServerReply::from_xml(&el),
+            None => Err(WireError::Io(
+                "server closed the connection before replying".into(),
+            )),
+        }
+    }
+
+    /// Runs a YATL query, returning whatever the server replied
+    /// (`Answer`, `Overloaded`, `Error`, …).
+    pub fn query(&mut self, text: impl Into<String>) -> Result<ServerReply, WireError> {
+        self.roundtrip(&ClientRequest::Query {
+            text: text.into(),
+            deadline_ms: None,
+        })
+    }
+
+    /// [`Client::query`] with a per-request deadline: the server refuses
+    /// to start executing once `deadline_ms` has passed since admission.
+    pub fn query_with_deadline(
+        &mut self,
+        text: impl Into<String>,
+        deadline_ms: u64,
+    ) -> Result<ServerReply, WireError> {
+        self.roundtrip(&ClientRequest::Query {
+            text: text.into(),
+            deadline_ms: Some(deadline_ms),
+        })
+    }
+
+    /// Runs a query as `EXPLAIN ANALYZE`, returning the rendered report
+    /// (server-side timings appended).
+    pub fn explain(&mut self, text: impl Into<String>) -> Result<ServerReply, WireError> {
+        self.roundtrip(&ClientRequest::Explain { text: text.into() })
+    }
+
+    /// Fetches the server's gauges and counters.
+    pub fn stats(&mut self) -> Result<ServerStats, WireError> {
+        match self.roundtrip(&ClientRequest::Stats)? {
+            ServerReply::Stats(stats) => Ok(stats),
+            other => Err(WireError::Remote(format!(
+                "expected server-stats, got <{}>",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Asks the server to drain and exit; returns how many queries were
+    /// still in flight when the drain began.
+    pub fn shutdown(&mut self) -> Result<u64, WireError> {
+        match self.roundtrip(&ClientRequest::Shutdown)? {
+            ServerReply::Bye { drained } => Ok(drained),
+            other => Err(WireError::Remote(format!(
+                "expected bye, got <{}>",
+                other.kind()
+            ))),
+        }
+    }
+}

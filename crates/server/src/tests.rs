@@ -1,0 +1,419 @@
+//! End-to-end tests: a real `yat-server` on a loopback socket, real
+//! clients, the paper's cultural-goods federation behind it.
+
+use crate::load::{LoadMode, LoadSpec};
+use crate::{load, Client, Server, ServerConfig};
+use std::collections::HashMap;
+use std::net::TcpStream;
+use std::time::Duration;
+use yat_capability::framing;
+use yat_capability::protocol::{ClientRequest, ServerReply};
+use yat_mediator::{Latency, Mediator, OptimizerOptions};
+use yat_obs::{attr, kind};
+use yat_oql::art::{art_store, ArtSpec};
+use yat_oql::O2Wrapper;
+use yat_wais::{generate_works, WaisSource, WaisWrapper, WorksSpec};
+use yat_yatl::paper;
+
+/// The Fig. 2 federation at a small scale: O2 artifacts + Wais works +
+/// view1, the same construction `yat-bench`'s `workload::Scenario` uses.
+fn federation(scale: usize) -> Mediator {
+    let mut m = Mediator::new();
+    m.connect(Box::new(O2Wrapper::new(
+        "o2artifact",
+        art_store(&ArtSpec {
+            artifacts: scale,
+            persons: (scale / 5).max(2),
+            seed: 42,
+        }),
+    )))
+    .expect("fresh mediator accepts the O2 wrapper");
+    m.connect(Box::new(WaisWrapper::new(
+        "xmlartwork",
+        WaisSource::new(
+            "works",
+            &generate_works(&WorksSpec {
+                works: scale,
+                impressionist_pct: 30,
+                optional_pct: 60,
+                giverny_pct: 30,
+                seed: 42,
+            }),
+        ),
+    )))
+    .expect("fresh mediator accepts the Wais wrapper");
+    m.load_program(paper::VIEW1).expect("view1 is well-formed");
+    m
+}
+
+/// Serialized reply bytes for an in-process answer — the byte-identity
+/// yardstick the wire must match.
+fn expected_answer(mediator: &Mediator, query: &str) -> String {
+    let out = mediator
+        .query(query, OptimizerOptions::default())
+        .expect("paper query answers in-process");
+    ServerReply::Answer(out).to_xml().to_xml()
+}
+
+#[test]
+fn socket_answers_are_byte_identical_to_in_process_answers() {
+    let reference = federation(12);
+    let handle = Server::spawn(federation(12), ServerConfig::default()).expect("server binds");
+    let mut client = Client::connect(handle.addr()).expect("client connects");
+    for query in [paper::Q1, paper::Q2] {
+        let reply = client.query(query).expect("query round-trips");
+        assert_eq!(
+            reply.to_xml().to_xml(),
+            expected_answer(&reference, query),
+            "wire answer must be byte-identical to the in-process answer"
+        );
+    }
+    let stats = handle.stats();
+    assert_eq!(stats.served, 2);
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.protocol_errors, 0);
+}
+
+#[test]
+fn eight_clients_two_hundred_seeded_queries_all_verified() {
+    let reference = federation(8);
+    let mut expected = HashMap::new();
+    for query in [paper::Q1, paper::Q2] {
+        expected.insert(query.to_string(), expected_answer(&reference, query));
+    }
+    let handle = Server::spawn(
+        federation(8),
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 64,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server binds");
+    let spec = LoadSpec {
+        expected: Some(expected),
+        ..LoadSpec::closed(vec![paper::Q1.to_string(), paper::Q2.to_string()])
+    };
+    assert_eq!((spec.clients, spec.queries), (8, 200));
+    let report = load::run(handle.addr(), &spec);
+    assert_eq!(report.answered, 200, "{report:?}");
+    assert_eq!(report.mismatches, 0, "every answer byte-identical");
+    assert!(report.clean(), "{report:?}");
+    let stats = handle.stats();
+    assert_eq!(stats.served, 200);
+    assert!(stats.connections >= 8);
+    assert_eq!(stats.queue_depth, 0, "queue empties when the run ends");
+    assert_eq!(stats.in_flight, 0);
+    assert!(
+        stats.sources.iter().any(|s| s.name == "o2artifact")
+            && stats.sources.iter().any(|s| s.name == "xmlartwork"),
+        "per-source gauges name both wrappers: {:?}",
+        stats.sources
+    );
+    assert!(stats.sources.iter().all(|s| s.in_flight == 0));
+    assert!(stats.sources.iter().any(|s| s.round_trips > 0));
+}
+
+#[test]
+fn overload_sheds_only_when_the_queue_is_saturated() {
+    let mediator = federation(6);
+    // slow both sources down so one query occupies the single worker
+    // long enough for the flood to pile up behind it
+    for source in ["o2artifact", "xmlartwork"] {
+        mediator
+            .connection(source)
+            .expect("source connected")
+            .set_latency(Some(Latency::fixed(Duration::from_millis(30))));
+    }
+    let handle = Server::spawn(
+        mediator,
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 1,
+            retry_after_ms: 5,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server binds");
+    let addr = handle.addr();
+
+    // unsaturated: a lone client never sees Overloaded
+    let mut solo = Client::connect(addr).expect("client connects");
+    for _ in 0..3 {
+        let reply = solo.query(paper::Q1).expect("query round-trips");
+        assert!(matches!(reply, ServerReply::Answer(_)), "{reply:?}");
+    }
+    assert_eq!(handle.stats().shed, 0, "no shedding without saturation");
+
+    // saturated: 6 concurrent clients against 1 worker + queue of 1
+    let outcomes: Vec<ServerReply> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("client connects");
+                    client.query(paper::Q1).expect("query round-trips")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let answered = outcomes
+        .iter()
+        .filter(|r| matches!(r, ServerReply::Answer(_)))
+        .count();
+    let overloaded = outcomes
+        .iter()
+        .filter(|r| matches!(r, ServerReply::Overloaded { retry_after_ms: 5 }))
+        .count();
+    assert_eq!(answered + overloaded, 6, "{outcomes:?}");
+    assert!(answered >= 1, "the worker kept serving under the flood");
+    assert!(overloaded >= 1, "a saturated queue sheds at the door");
+    assert_eq!(handle.stats().shed as usize, overloaded);
+}
+
+#[test]
+fn deadlines_expire_in_the_queue_without_executing() {
+    let mediator = federation(6);
+    for source in ["o2artifact", "xmlartwork"] {
+        mediator
+            .connection(source)
+            .expect("source connected")
+            .set_latency(Some(Latency::fixed(Duration::from_millis(40))));
+    }
+    let handle = Server::spawn(
+        mediator,
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 8,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server binds");
+    let addr = handle.addr();
+    std::thread::scope(|scope| {
+        // occupy the lone worker
+        let blocker = scope.spawn(move || {
+            let mut client = Client::connect(addr).expect("client connects");
+            client.query(paper::Q1).expect("query round-trips")
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        // this one's budget is gone before the worker frees up
+        let reply = Client::connect(addr)
+            .expect("client connects")
+            .query_with_deadline(paper::Q1, 1)
+            .expect("deadline refusal still round-trips");
+        match &reply {
+            ServerReply::Error { message } => {
+                assert!(message.contains("deadline expired"), "{message}")
+            }
+            other => panic!("expected a deadline error, got {other:?}"),
+        }
+        assert!(matches!(blocker.join().unwrap(), ServerReply::Answer(_)));
+    });
+    let stats = handle.stats();
+    assert!(stats.errors >= 1);
+}
+
+#[test]
+fn hostile_frames_leave_the_server_alive_and_the_connection_usable() {
+    let handle = Server::spawn(federation(6), ServerConfig::default()).expect("server binds");
+    let addr = handle.addr();
+
+    // a well-framed payload that is not XML: typed error, stream stays up
+    let mut stream = TcpStream::connect(addr).expect("raw connect");
+    framing::write_frame(&mut stream, "<unclosed").expect("frame writes");
+    match framing::read_element(&mut stream).expect("reply arrives") {
+        Some(el) => {
+            let reply = ServerReply::from_xml(&el).expect("reply parses");
+            assert!(matches!(reply, ServerReply::Error { .. }), "{reply:?}");
+        }
+        None => panic!("server hung up instead of answering the error"),
+    }
+    // a wrapper verb on the client port: rejected, stream still up
+    framing::write_frame(&mut stream, "<get-interface/>").expect("frame writes");
+    let el = framing::read_element(&mut stream)
+        .expect("reply arrives")
+        .expect("reply present");
+    match ServerReply::from_xml(&el).expect("reply parses") {
+        ServerReply::Error { message } => assert!(message.contains("unknown"), "{message}"),
+        other => panic!("{other:?}"),
+    }
+    // and the same connection still executes real queries afterwards
+    framing::write_element(
+        &mut stream,
+        &ClientRequest::Query {
+            text: paper::Q1.into(),
+            deadline_ms: None,
+        }
+        .to_xml(),
+    )
+    .expect("frame writes");
+    let el = framing::read_element(&mut stream)
+        .expect("reply arrives")
+        .expect("reply present");
+    assert!(matches!(
+        ServerReply::from_xml(&el).expect("reply parses"),
+        ServerReply::Answer(_)
+    ));
+
+    // an oversized header poisons only its own connection
+    let mut bomber = TcpStream::connect(addr).expect("raw connect");
+    {
+        use std::io::Write as _;
+        bomber
+            .write_all(&[0xff, 0xff, 0xff, 0xff])
+            .expect("header writes");
+    }
+    let el = framing::read_element(&mut bomber)
+        .expect("reply arrives")
+        .expect("reply present");
+    match ServerReply::from_xml(&el).expect("reply parses") {
+        ServerReply::Error { message } => assert!(message.contains("frame"), "{message}"),
+        other => panic!("{other:?}"),
+    }
+
+    // the server itself is untouched: fresh clients still get answers
+    let mut client = Client::connect(addr).expect("client connects");
+    assert!(matches!(
+        client.query(paper::Q1).expect("query round-trips"),
+        ServerReply::Answer(_)
+    ));
+    let stats = handle.stats();
+    assert!(stats.protocol_errors >= 3, "{stats:?}");
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_queries() {
+    let mediator = federation(6);
+    for source in ["o2artifact", "xmlartwork"] {
+        mediator
+            .connection(source)
+            .expect("source connected")
+            .set_latency(Some(Latency::fixed(Duration::from_millis(25))));
+    }
+    let handle = Server::spawn(
+        mediator,
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 16,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server binds");
+    let addr = handle.addr();
+    let (drained, outcomes) = std::thread::scope(|scope| {
+        let queriers: Vec<_> = (0..4)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("client connects");
+                    client.query(paper::Q2).expect("query round-trips")
+                })
+            })
+            .collect();
+        // let the queries reach the queue/workers, then pull the plug
+        std::thread::sleep(Duration::from_millis(15));
+        let drained = Client::connect(addr)
+            .expect("client connects")
+            .shutdown()
+            .expect("shutdown round-trips");
+        let outcomes: Vec<_> = queriers.into_iter().map(|h| h.join().unwrap()).collect();
+        (drained, outcomes)
+    });
+    assert!(drained >= 1, "shutdown found work to drain");
+    for reply in &outcomes {
+        assert!(
+            matches!(reply, ServerReply::Answer(_)),
+            "in-flight queries complete through the drain: {reply:?}"
+        );
+    }
+    let stats = handle.stats();
+    assert!(stats.draining);
+    assert_eq!(stats.queue_depth, 0);
+    assert_eq!(stats.in_flight, 0);
+    assert_eq!(stats.served, 4);
+    // the drain stops the accept loop and the pool; join returns
+    handle.join();
+}
+
+#[test]
+fn draining_server_refuses_new_queries() {
+    let handle = Server::spawn(federation(6), ServerConfig::default()).expect("server binds");
+    let mut client = Client::connect(handle.addr()).expect("client connects");
+    // one round trip first: `connect` only proves the kernel queued the
+    // connection, and a shutdown racing the accept loop may drop it
+    // unserved. An *established* session must get the polite refusal.
+    client.stats().expect("session is established");
+    assert_eq!(handle.shutdown(), 0, "idle server has nothing to drain");
+    match client.query(paper::Q1).expect("refusal round-trips") {
+        ServerReply::Error { message } => assert!(message.contains("draining"), "{message}"),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn explain_over_the_wire_carries_the_serving_section() {
+    let handle = Server::spawn(federation(8), ServerConfig::default()).expect("server binds");
+    let mut client = Client::connect(handle.addr()).expect("client connects");
+    match client.explain(paper::Q1).expect("explain round-trips") {
+        ServerReply::Explained { text } => {
+            assert!(text.contains("serving"), "{text}");
+            assert!(text.contains("worker "), "{text}");
+            assert!(text.contains("queue wait"), "{text}");
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn serving_spans_stitch_queue_wait_and_execute_under_one_request() {
+    let handle = Server::spawn(federation(6), ServerConfig::default()).expect("server binds");
+    let mut client = Client::connect(handle.addr()).expect("client connects");
+    client.query(paper::Q1).expect("query round-trips");
+    let spans = handle.spans();
+    let serve = spans
+        .iter()
+        .find(|s| s.kind == kind::SERVER && s.label == "serve query")
+        .expect("serve span recorded");
+    assert!(serve.attr(attr::QUEUE_DEPTH).is_some());
+    assert!(serve.attr(attr::IN_FLIGHT).is_some());
+    let children: Vec<_> = spans
+        .iter()
+        .filter(|s| s.parent == Some(serve.id))
+        .collect();
+    assert!(
+        children.iter().any(|s| s.label == "queue-wait"),
+        "{children:?}"
+    );
+    let execute = children
+        .iter()
+        .find(|s| s.label == "execute")
+        .expect("execute span stitched under the request across threads");
+    assert!(execute.attr(attr::WORKER).is_some());
+    assert!(spans
+        .iter()
+        .any(|s| s.kind == kind::SERVER && s.label == "accept"));
+    assert!(spans
+        .iter()
+        .any(|s| s.kind == kind::SERVER && s.label == "respond"));
+}
+
+#[test]
+fn open_loop_load_measures_from_the_schedule() {
+    let handle = Server::spawn(federation(6), ServerConfig::default()).expect("server binds");
+    let report = load::run(
+        handle.addr(),
+        &LoadSpec {
+            clients: 2,
+            queries: 10,
+            seed: 7,
+            mode: LoadMode::Open { offered_qps: 200.0 },
+            deadline_ms: None,
+            mix: vec![paper::Q1.to_string()],
+            expected: None,
+        },
+    );
+    assert_eq!(report.answered, 10, "{report:?}");
+    assert!(report.clean());
+    assert!(report.p50_ms() > 0.0);
+    assert!(report.p99_ms() >= report.p50_ms());
+}

@@ -15,6 +15,7 @@
 //! | [`yat_wais`] | full-text XML source + the xmlwais wrapper |
 //! | [`yat_cache`] | cross-query semantic answer cache |
 //! | [`yat_mediator`] | composition, the 3-round optimizer, execution |
+//! | [`yat_server`] | the mediator served over TCP: admission control, worker pool |
 
 pub use yat_algebra;
 pub use yat_cache;
@@ -22,6 +23,7 @@ pub use yat_capability;
 pub use yat_mediator;
 pub use yat_model;
 pub use yat_oql;
+pub use yat_server;
 pub use yat_wais;
 pub use yat_xml;
 pub use yat_yatl;
