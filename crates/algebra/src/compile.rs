@@ -1,0 +1,601 @@
+//! Lowering optimized plans into flat, stack-based programs.
+//!
+//! The recursive interpreter in [`crate::eval`] pays a control-plane tax
+//! on every row: AST dispatch, recursion through predicate trees, and —
+//! worst of all — per-row column-name resolution (`Tab::col` is a linear
+//! scan). This pass removes that tax ahead of time. [`compile`] walks a
+//! plan once in postorder and emits one *instruction* per operator; each
+//! `Select`/`Map` expression is itself flattened into a small bytecode
+//! with jump-based short-circuiting, referencing literals through a
+//! deduplicated constant pool and column/function names through a pool
+//! of interned [`Symbol`]s. Comparisons between simple operands —
+//! columns, outer bindings, constants — fuse into a single by-reference
+//! instruction ([`EOp::CmpRef`]) that clones nothing per row. The resulting [`Program`] is immutable and
+//! `Send + Sync`: compile once, execute many times — concurrently — with
+//! [`crate::vm::run`].
+//!
+//! The lowering is *semantics-free*: every instruction executes through
+//! the same shared kernels as the interpreter (see `crate::eval`), so a
+//! compiled plan is bit-for-bit answer-equivalent to its interpreted
+//! form. The `tests/differential.rs` harness holds the two engines to
+//! that contract over hundreds of seeded plans.
+//!
+//! # Example
+//!
+//! ```
+//! use yat_algebra::{compile, vm, Alg, CmpOp, Operand, Pred};
+//! use yat_algebra::{eval, EvalCtx, FnRegistry, SkolemRegistry};
+//! use yat_model::{Edge, Forest, Node, Pattern};
+//!
+//! // A document, a pattern binding `v`, and a filtering plan.
+//! let mut forest = Forest::new();
+//! forest.insert("doc", Node::sym("doc", vec![
+//!     Node::sym("v", vec![Node::atom(1i64)]),
+//!     Node::sym("v", vec![Node::atom(7i64)]),
+//! ]));
+//! let filter = Pattern::sym("doc", vec![Edge::star(Pattern::elem_var("v", "v"))]);
+//! let plan = Alg::select(
+//!     Alg::bind(Alg::source("doc"), filter),
+//!     Pred::cmp(CmpOp::Gt, Operand::var("v"), Operand::cst(3i64)),
+//! );
+//!
+//! // Compile once; the program is Send + Sync and reusable.
+//! let program = compile(&plan);
+//! assert!(program.op_count() >= 3); // SOURCE, BIND, SELECT
+//!
+//! let funcs = FnRegistry::with_builtins();
+//! let skolems = SkolemRegistry::new();
+//! let ctx = EvalCtx::local(&forest, &funcs, &skolems);
+//! let compiled = vm::run(&program, &ctx, &Default::default()).unwrap();
+//! let interpreted = eval(&plan, &ctx).unwrap();
+//! assert_eq!(compiled, interpreted); // the interpreter is the oracle
+//! ```
+
+use crate::expr::{Alg, CmpOp, Operand, Pred, SortDir};
+use crate::template::Template;
+use std::collections::HashMap;
+use std::sync::Arc;
+use yat_model::{Atom, Filter, Symbol};
+
+/// How many rows a batched instruction processes per batch (the unit the
+/// `batches` counter in `EXPLAIN ANALYZE` reports).
+pub const BATCH_ROWS: usize = 1024;
+
+/// A compiled plan: a flat postorder instruction list plus the constant
+/// and name pools its expression bytecode references.
+///
+/// Immutable and `Send + Sync` by construction — one `Arc<Program>` is
+/// shared across all `yat-server` workers and executed concurrently.
+/// Built by [`compile`], executed by [`crate::vm::run`].
+#[derive(Debug)]
+pub struct Program {
+    pub(crate) steps: Vec<Step>,
+    pub(crate) consts: Vec<Atom>,
+    pub(crate) names: Vec<Symbol>,
+    /// Total instruction count including `DJOIN` sub-programs (root
+    /// program only; sub-programs carry their local step count).
+    pub(crate) op_count: usize,
+}
+
+// One compiled program is shared across server workers; a compile error
+// here means an OpKind payload stopped being thread-safe.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Program>()
+};
+
+/// One instruction of a compiled program.
+#[derive(Debug)]
+pub(crate) struct Step {
+    /// Globally unique across the root program and all sub-programs.
+    pub(crate) id: usize,
+    /// The source operator's [`Alg::describe`] text (span label).
+    pub(crate) label: String,
+    pub(crate) kind: OpKind,
+}
+
+/// The operation an instruction performs. Data-plane payloads (filters,
+/// templates, join predicates, sort keys) are carried as-is and executed
+/// through the kernels shared with the interpreter; only `Select`/`Map`
+/// expressions are lowered further, into [`ExprProg`] bytecode.
+#[derive(Debug)]
+pub(crate) enum OpKind {
+    /// Push the named document as a tree.
+    Source {
+        source: Option<String>,
+        name: String,
+    },
+    /// Pop a tree, push the binding table of `filter` matches.
+    Bind { filter: Filter },
+    /// Pop a table, re-match `filter` inside column `col`, push the
+    /// extended table.
+    BindOver { col: String, filter: Filter },
+    /// Pop a table, push the tree `template` instantiates over it.
+    MakeTree { template: Template },
+    /// Pop a table, keep rows where the predicate bytecode yields true.
+    Select { pred: ExprProg },
+    /// Pop a table, push the projection.
+    Project { cols: Vec<(String, String)> },
+    /// Pop right then left tables, push their join.
+    Join { pred: Pred },
+    /// Pop the left table, run `sub` once per row under the extended
+    /// environment, splice the results.
+    DJoin { sub: Arc<Program> },
+    /// Pop right then left, push the set union.
+    Union,
+    /// Pop right then left, push the set intersection.
+    Intersect,
+    /// Pop right then left, push the set difference.
+    Diff,
+    /// Pop a table, push it grouped by `keys`.
+    Group { keys: Vec<String> },
+    /// Pop a table, push it sorted by `keys`.
+    Sort { keys: Vec<(String, SortDir)> },
+    /// Pop a table, append column `col` computed by the bytecode.
+    Map { col: String, expr: ExprProg },
+    /// Delegate the (uncompiled) subplan to the context's `PushHandler`
+    /// — the mediator ships it to a wrapper; the fragment must stay an
+    /// [`Alg`] so environment substitution and cache signatures see the
+    /// exact bytes the interpreter would ship.
+    Push { source: String, plan: Arc<Alg> },
+}
+
+/// Flattened expression bytecode for one `Select` predicate or `Map`
+/// expression: postorder with jump-based short-circuiting, evaluated on
+/// a reusable value stack of at most `max_stack` slots.
+#[derive(Debug)]
+pub(crate) struct ExprProg {
+    pub(crate) code: Vec<EOp>,
+    /// Upper bound of the value-stack depth (preallocation).
+    pub(crate) max_stack: usize,
+    /// Distinct name-pool ids this bytecode `Load`s: the VM resolves
+    /// exactly these against the input table once per execution.
+    pub(crate) used_names: Vec<usize>,
+}
+
+/// One expression-bytecode instruction.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum EOp {
+    /// Push constant-pool entry `.0`.
+    Const(usize),
+    /// Push the value of name-pool entry `.0` (column or outer binding),
+    /// or fail with `UnknownColumn` if unresolved.
+    Load(usize),
+    /// Pop `argc` arguments, call function `name`, push the result.
+    CallFn { name: usize, argc: usize },
+    /// Like [`EOp::CallFn`] but the result must be a boolean (predicate
+    /// position).
+    CallPred { name: usize, argc: usize },
+    /// Pop right then left, push the comparison result.
+    Cmp(CmpOp),
+    /// Fused compare: both operands are simple (column/binding or
+    /// constant), so they are read *by reference* — no value-stack
+    /// traffic, no per-row operand clones — and only the boolean result
+    /// is pushed. Emitted for every `Pred::Cmp` whose operands are not
+    /// calls; the interpreter materializes (clones) both operands on
+    /// every row, which is exactly the tax this instruction removes.
+    CmpRef {
+        /// Comparison operator.
+        op: CmpOp,
+        /// Left operand reference.
+        left: ORef,
+        /// Right operand reference.
+        right: ORef,
+    },
+    /// Pop a boolean, push its negation.
+    Not,
+    /// Short-circuit `AND`: if the top is false, jump to `.0` keeping
+    /// it; otherwise pop it and continue.
+    JumpIfFalse(usize),
+    /// Short-circuit `OR`: if the top is true, jump to `.0` keeping it;
+    /// otherwise pop it and continue.
+    JumpIfTrue(usize),
+}
+
+/// A fused-compare operand: where [`EOp::CmpRef`] finds each side
+/// without touching the value stack.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ORef {
+    /// Name-pool entry (column or outer binding), resolved through the
+    /// same per-execution slots as [`EOp::Load`].
+    Slot(usize),
+    /// Constant-pool entry.
+    Const(usize),
+}
+
+/// One row of [`Program::instructions`]: the EXPLAIN-facing view of an
+/// instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instr {
+    /// Globally unique instruction id (stable across runs of the same
+    /// program; `EXPLAIN ANALYZE` joins per-instruction counters on it).
+    pub id: usize,
+    /// Opcode mnemonic (`SELECT`, `DJOIN`, …).
+    pub opcode: &'static str,
+    /// The source operator's `describe()` text.
+    pub label: String,
+    /// Sub-program nesting depth (`0` for the root; the body of a
+    /// `DJOIN` is listed one level deeper).
+    pub depth: usize,
+}
+
+impl Program {
+    /// Total instruction count, including `DJOIN` sub-programs.
+    pub fn op_count(&self) -> usize {
+        self.op_count
+    }
+
+    /// The instruction listing in execution order, `DJOIN` sub-programs
+    /// inlined (indented by [`Instr::depth`]) after their `DJOIN` step.
+    pub fn instructions(&self) -> Vec<Instr> {
+        let mut out = Vec::with_capacity(self.op_count);
+        self.list_into(0, &mut out);
+        out
+    }
+
+    fn list_into(&self, depth: usize, out: &mut Vec<Instr>) {
+        for step in &self.steps {
+            out.push(Instr {
+                id: step.id,
+                opcode: step.kind.opcode(),
+                label: step.label.clone(),
+                depth,
+            });
+            if let OpKind::DJoin { sub } = &step.kind {
+                sub.list_into(depth + 1, out);
+            }
+        }
+    }
+
+    /// Number of pooled constants (deduplicated by exact variant and bit
+    /// pattern, so `-0.0` and `0.0` stay distinct entries).
+    pub fn const_pool_len(&self) -> usize {
+        self.consts.len()
+    }
+
+    /// Number of pooled interned names (columns and functions).
+    pub fn name_pool_len(&self) -> usize {
+        self.names.len()
+    }
+}
+
+impl OpKind {
+    pub(crate) fn opcode(&self) -> &'static str {
+        match self {
+            OpKind::Source { .. } => "SOURCE",
+            OpKind::Bind { .. } => "BIND",
+            OpKind::BindOver { .. } => "BIND_OVER",
+            OpKind::MakeTree { .. } => "TREE",
+            OpKind::Select { .. } => "SELECT",
+            OpKind::Project { .. } => "PROJECT",
+            OpKind::Join { .. } => "JOIN",
+            OpKind::DJoin { .. } => "DJOIN",
+            OpKind::Union => "UNION",
+            OpKind::Intersect => "INTERSECT",
+            OpKind::Diff => "DIFF",
+            OpKind::Group { .. } => "GROUP",
+            OpKind::Sort { .. } => "SORT",
+            OpKind::Map { .. } => "MAP",
+            OpKind::Push { .. } => "PUSH",
+        }
+    }
+}
+
+/// Compiles a plan into a [`Program`]. Total: every plan compiles; the
+/// VM defers to the interpreter's kernels for anything it does not lower
+/// (and to the `PushHandler` for `Push` fragments), so no plan shape is
+/// rejected here.
+pub fn compile(plan: &Alg) -> Program {
+    let mut ids = IdGen { next: 0 };
+    let mut program = compile_with(plan, &mut ids);
+    program.op_count = ids.next;
+    program
+}
+
+struct IdGen {
+    next: usize,
+}
+
+impl IdGen {
+    fn alloc(&mut self) -> usize {
+        let id = self.next;
+        self.next += 1;
+        id
+    }
+}
+
+fn compile_with(plan: &Alg, ids: &mut IdGen) -> Program {
+    let mut b = Builder {
+        steps: Vec::new(),
+        consts: Vec::new(),
+        const_ids: HashMap::new(),
+        names: Vec::new(),
+        name_ids: HashMap::new(),
+    };
+    b.emit(plan, ids);
+    Program {
+        steps: b.steps,
+        consts: b.consts,
+        names: b.names,
+        op_count: 0, // patched by `compile` on the root
+    }
+}
+
+struct Builder {
+    steps: Vec<Step>,
+    consts: Vec<Atom>,
+    const_ids: HashMap<ConstKey, usize>,
+    names: Vec<Symbol>,
+    name_ids: HashMap<Symbol, usize>,
+}
+
+/// Constant-pool identity: exact variant plus exact bit pattern. This is
+/// deliberately *not* `Atom`'s `PartialEq`/`Hash` — those implement query
+/// semantics (`Int(1) == Float(1.0)`, `-0.0 == 0.0`), which would merge
+/// constants that print differently or group differently under the
+/// grouping-key semantics of [`Atom::key_eq`].
+#[derive(PartialEq, Eq, Hash)]
+enum ConstKey {
+    Int(i64),
+    Float(u64),
+    Bool(bool),
+    Str(String),
+}
+
+fn const_key(a: &Atom) -> ConstKey {
+    match a {
+        Atom::Int(i) => ConstKey::Int(*i),
+        Atom::Float(f) => ConstKey::Float(f.to_bits()),
+        Atom::Bool(b) => ConstKey::Bool(*b),
+        Atom::Str(s) => ConstKey::Str(s.clone()),
+    }
+}
+
+impl Builder {
+    fn emit(&mut self, plan: &Alg, ids: &mut IdGen) {
+        let kind = match plan {
+            Alg::Source { source, name } => OpKind::Source {
+                source: source.clone(),
+                name: name.clone(),
+            },
+            Alg::Bind {
+                input,
+                filter,
+                over,
+            } => {
+                self.emit(input, ids);
+                match over {
+                    None => OpKind::Bind {
+                        filter: filter.clone(),
+                    },
+                    Some(col) => OpKind::BindOver {
+                        col: col.clone(),
+                        filter: filter.clone(),
+                    },
+                }
+            }
+            Alg::TreeOp { input, template } => {
+                self.emit(input, ids);
+                OpKind::MakeTree {
+                    template: template.clone(),
+                }
+            }
+            Alg::Select { input, pred } => {
+                self.emit(input, ids);
+                OpKind::Select {
+                    pred: self.compile_pred_prog(pred),
+                }
+            }
+            Alg::Project { input, cols } => {
+                self.emit(input, ids);
+                OpKind::Project { cols: cols.clone() }
+            }
+            Alg::Join { left, right, pred } => {
+                self.emit(left, ids);
+                self.emit(right, ids);
+                OpKind::Join { pred: pred.clone() }
+            }
+            Alg::DJoin { left, right } => {
+                self.emit(left, ids);
+                // the DJoin step numbers before its sub-program so the
+                // EXPLAIN listing (step, then indented body) stays in
+                // ascending id order
+                let id = ids.alloc();
+                let sub = Arc::new(compile_with(right, ids));
+                self.steps.push(Step {
+                    id,
+                    label: plan.describe(),
+                    kind: OpKind::DJoin { sub },
+                });
+                return;
+            }
+            Alg::Union { left, right } => {
+                self.emit(left, ids);
+                self.emit(right, ids);
+                OpKind::Union
+            }
+            Alg::Intersect { left, right } => {
+                self.emit(left, ids);
+                self.emit(right, ids);
+                OpKind::Intersect
+            }
+            Alg::Diff { left, right } => {
+                self.emit(left, ids);
+                self.emit(right, ids);
+                OpKind::Diff
+            }
+            Alg::Group { input, keys } => {
+                self.emit(input, ids);
+                OpKind::Group { keys: keys.clone() }
+            }
+            Alg::Sort { input, keys } => {
+                self.emit(input, ids);
+                OpKind::Sort { keys: keys.clone() }
+            }
+            Alg::Map { input, col, expr } => {
+                self.emit(input, ids);
+                OpKind::Map {
+                    col: col.clone(),
+                    expr: self.compile_operand_prog(expr),
+                }
+            }
+            Alg::Push { source, plan: sub } => OpKind::Push {
+                source: source.clone(),
+                plan: Arc::clone(sub),
+            },
+        };
+        self.steps.push(Step {
+            id: ids.alloc(),
+            label: plan.describe(),
+            kind,
+        });
+    }
+
+    fn const_id(&mut self, a: &Atom) -> usize {
+        let key = const_key(a);
+        if let Some(&i) = self.const_ids.get(&key) {
+            return i;
+        }
+        let i = self.consts.len();
+        self.consts.push(a.clone());
+        self.const_ids.insert(key, i);
+        i
+    }
+
+    fn name_id(&mut self, name: &str) -> usize {
+        let sym = Symbol::intern(name);
+        if let Some(&i) = self.name_ids.get(&sym) {
+            return i;
+        }
+        let i = self.names.len();
+        self.names.push(sym.clone());
+        self.name_ids.insert(sym, i);
+        i
+    }
+
+    fn compile_pred_prog(&mut self, pred: &Pred) -> ExprProg {
+        let mut code = Vec::new();
+        self.compile_pred(pred, &mut code);
+        finish_expr(code)
+    }
+
+    fn compile_operand_prog(&mut self, op: &Operand) -> ExprProg {
+        let mut code = Vec::new();
+        self.compile_operand(op, &mut code);
+        finish_expr(code)
+    }
+
+    fn compile_pred(&mut self, pred: &Pred, code: &mut Vec<EOp>) {
+        match pred {
+            Pred::True => code.push(EOp::Const(self.const_id(&Atom::Bool(true)))),
+            Pred::And(a, b) => {
+                self.compile_pred(a, code);
+                let patch = code.len();
+                code.push(EOp::JumpIfFalse(usize::MAX));
+                self.compile_pred(b, code);
+                code[patch] = EOp::JumpIfFalse(code.len());
+            }
+            Pred::Or(a, b) => {
+                self.compile_pred(a, code);
+                let patch = code.len();
+                code.push(EOp::JumpIfTrue(usize::MAX));
+                self.compile_pred(b, code);
+                code[patch] = EOp::JumpIfTrue(code.len());
+            }
+            Pred::Not(p) => {
+                self.compile_pred(p, code);
+                code.push(EOp::Not);
+            }
+            Pred::Cmp { op, left, right } => {
+                match (self.simple_ref(left), self.simple_ref(right)) {
+                    (Some(l), Some(r)) => code.push(EOp::CmpRef {
+                        op: *op,
+                        left: l,
+                        right: r,
+                    }),
+                    _ => {
+                        self.compile_operand(left, code);
+                        self.compile_operand(right, code);
+                        code.push(EOp::Cmp(*op));
+                    }
+                }
+            }
+            Pred::Call { name, args } => {
+                for a in args {
+                    self.compile_operand(a, code);
+                }
+                code.push(EOp::CallPred {
+                    name: self.name_id(name),
+                    argc: args.len(),
+                });
+            }
+        }
+    }
+
+    /// The by-reference form of an operand, when it has one (calls must
+    /// go through the stack).
+    fn simple_ref(&mut self, op: &Operand) -> Option<ORef> {
+        match op {
+            Operand::Var(v) => Some(ORef::Slot(self.name_id(v))),
+            Operand::Const(a) => Some(ORef::Const(self.const_id(a))),
+            Operand::Call { .. } => None,
+        }
+    }
+
+    fn compile_operand(&mut self, op: &Operand, code: &mut Vec<EOp>) {
+        match op {
+            Operand::Var(v) => code.push(EOp::Load(self.name_id(v))),
+            Operand::Const(a) => code.push(EOp::Const(self.const_id(a))),
+            Operand::Call { name, args } => {
+                for a in args {
+                    self.compile_operand(a, code);
+                }
+                code.push(EOp::CallFn {
+                    name: self.name_id(name),
+                    argc: args.len(),
+                });
+            }
+        }
+    }
+}
+
+/// Computes `max_stack` and `used_names` for finished bytecode. A linear
+/// pass suffices for depth: a short-circuit jump lands with the same
+/// stack depth the fall-through path rebuilds, so the running depth is
+/// exact at every instruction.
+fn finish_expr(code: Vec<EOp>) -> ExprProg {
+    let mut depth: usize = 0;
+    let mut max_stack = 0;
+    let mut used_names = Vec::new();
+    for op in &code {
+        match op {
+            EOp::Const(_) => depth += 1,
+            EOp::Load(i) => {
+                depth += 1;
+                if !used_names.contains(i) {
+                    used_names.push(*i);
+                }
+            }
+            EOp::CallFn { argc, .. } | EOp::CallPred { argc, .. } => depth = depth - argc + 1,
+            EOp::Cmp(_) => depth -= 1,
+            EOp::CmpRef { left, right, .. } => {
+                for r in [left, right] {
+                    if let ORef::Slot(i) = r {
+                        if !used_names.contains(i) {
+                            used_names.push(*i);
+                        }
+                    }
+                }
+                depth += 1;
+            }
+            EOp::Not => {}
+            EOp::JumpIfFalse(_) | EOp::JumpIfTrue(_) => depth -= 1,
+        }
+        max_stack = max_stack.max(depth);
+    }
+    ExprProg {
+        code,
+        max_stack,
+        used_names,
+    }
+}

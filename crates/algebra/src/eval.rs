@@ -102,21 +102,32 @@ pub enum EvalOut {
 impl EvalOut {
     /// The table, or a kind error mentioning `op`.
     pub fn tab(self, op: &Alg) -> Result<Tab, EvalError> {
+        self.tab_named(|| op.describe())
+    }
+
+    /// The tree, or a kind error mentioning `op`.
+    pub fn tree(self, op: &Alg) -> Result<Tree, EvalError> {
+        self.tree_named(|| op.describe())
+    }
+
+    /// Like [`EvalOut::tab`] but with a lazily-built operator description
+    /// (the VM carries pre-rendered labels instead of `Alg` nodes).
+    pub(crate) fn tab_named(self, op_desc: impl FnOnce() -> String) -> Result<Tab, EvalError> {
         match self {
             EvalOut::Tab(t) => Ok(t),
             EvalOut::Tree(_) => Err(EvalError::Kind {
-                op: op.describe(),
+                op: op_desc(),
                 expected: "Tab",
             }),
         }
     }
 
-    /// The tree, or a kind error mentioning `op`.
-    pub fn tree(self, op: &Alg) -> Result<Tree, EvalError> {
+    /// Like [`EvalOut::tree`] but with a lazily-built operator description.
+    pub(crate) fn tree_named(self, op_desc: impl FnOnce() -> String) -> Result<Tree, EvalError> {
         match self {
             EvalOut::Tree(t) => Ok(t),
             EvalOut::Tab(_) => Err(EvalError::Kind {
-                op: op.describe(),
+                op: op_desc(),
                 expected: "tree",
             }),
         }
@@ -185,86 +196,20 @@ fn eval_node(plan: &Alg, ctx: &EvalCtx<'_>, env: &Env) -> Result<EvalOut, EvalEr
             input,
             filter,
             over,
-        } => {
-            let opts = MatchOptions {
-                model: ctx.model,
-                forest: ctx.catalog.deref_forest(),
-                closed: false,
-            };
-            let fvars = filter.variables();
-            match over {
-                None => {
-                    let tree = eval_env(input, ctx, env)?.tree(plan)?;
-                    let rows = yat_model::match_filter(&tree, filter, opts);
-                    let mut tab = Tab::from_binding_rows(fvars, rows);
-                    constrain_env(&mut tab, env);
-                    Ok(EvalOut::Tab(tab))
-                }
-                Some(col) => {
-                    let tab = eval_env(input, ctx, env)?.tab(plan)?;
-                    let ci = tab
-                        .col(col)
-                        .ok_or_else(|| EvalError::UnknownColumn(col.clone()))?;
-                    // output columns: input columns + new filter vars
-                    let mut cols: Vec<String> = tab.columns().to_vec();
-                    let new_vars: Vec<String> = fvars
-                        .iter()
-                        .filter(|v| !cols.contains(v))
-                        .cloned()
-                        .collect();
-                    let shared: Vec<String> =
-                        fvars.iter().filter(|v| cols.contains(v)).cloned().collect();
-                    cols.extend(new_vars.iter().cloned());
-                    let mut out = Tab::new(cols);
-                    for row in tab.rows() {
-                        let targets: Vec<Tree> = match &row[ci] {
-                            Value::Tree(t) => vec![t.clone()],
-                            Value::Coll(c) => {
-                                c.iter().filter_map(|v| v.as_tree().cloned()).collect()
-                            }
-                            _ => vec![],
-                        };
-                        for target in targets {
-                            for brow in yat_model::match_filter(&target, filter, opts) {
-                                let mut vals: BTreeMap<String, Value> = brow
-                                    .into_iter()
-                                    .map(|(k, v)| (k, Value::from_binding(v)))
-                                    .collect();
-                                // shared variables act as equality constraints
-                                let consistent =
-                                    shared.iter().all(|v| match (vals.get(v), tab.col(v)) {
-                                        (Some(nv), Some(i)) => nv.query_eq(&row[i]),
-                                        _ => true,
-                                    });
-                                if !consistent {
-                                    continue;
-                                }
-                                let mut newrow: Vec<Value> = row.to_vec();
-                                for v in &new_vars {
-                                    newrow.push(vals.remove(v).unwrap_or(Value::Null));
-                                }
-                                out.push(newrow);
-                            }
-                        }
-                    }
-                    constrain_env(&mut out, env);
-                    Ok(EvalOut::Tab(out))
-                }
+        } => match over {
+            None => {
+                let tree = eval_env(input, ctx, env)?.tree(plan)?;
+                Ok(EvalOut::Tab(bind_tree(&tree, filter, env, ctx)))
             }
-        }
+            Some(col) => {
+                let tab = eval_env(input, ctx, env)?.tab(plan)?;
+                Ok(EvalOut::Tab(bind_over(&tab, col, filter, env, ctx)?))
+            }
+        },
 
         Alg::TreeOp { input, template } => {
             let tab = eval_env(input, ctx, env)?.tab(plan)?;
-            let all: Vec<usize> = (0..tab.len()).collect();
-            let trees = instantiate(template, &all, &tab, ctx);
-            // A template instantiation at the root yields exactly one tree
-            // for Sym roots; grouped roots may yield several, which we wrap
-            // under a collection node to keep the output a single tree.
-            let tree = match trees.len() {
-                1 => trees.into_iter().next().expect("len checked"),
-                _ => Node::sym("collection", trees),
-            };
-            Ok(EvalOut::Tree(tree))
+            Ok(EvalOut::Tree(construct_tree(&tab, template, ctx)))
         }
 
         Alg::Select { input, pred } => {
@@ -291,149 +236,37 @@ fn eval_node(plan: &Alg, ctx: &EvalCtx<'_>, env: &Env) -> Result<EvalOut, EvalEr
 
         Alg::DJoin { left, right } => {
             let lt = eval_env(left, ctx, env)?.tab(plan)?;
-            let mut out: Option<Tab> = None;
-            for row in lt.rows() {
-                let mut inner_env = env.clone();
-                for (i, c) in lt.columns().iter().enumerate() {
-                    inner_env.insert(c.clone(), row[i].clone());
-                }
-                let rt = eval_env(right, ctx, &inner_env)?.tab(plan)?;
-                let out = out.get_or_insert_with(|| {
-                    let mut cols = lt.columns().to_vec();
-                    for c in rt.columns() {
-                        if !cols.contains(c) {
-                            cols.push(c.clone());
-                        }
-                    }
-                    Tab::new(cols)
-                });
-                let new_cols: Vec<(usize, usize)> = out
-                    .columns()
-                    .iter()
-                    .enumerate()
-                    .skip(lt.columns().len())
-                    .filter_map(|(oi, c)| rt.col(c).map(|ri| (oi, ri)))
-                    .collect();
-                let width = out.columns().len();
-                for rrow in rt.rows() {
-                    let mut newrow = vec![Value::Null; width];
-                    newrow[..row.len()].clone_from_slice(row);
-                    for (oi, ri) in &new_cols {
-                        newrow[*oi] = rrow[*ri].clone();
-                    }
-                    out.push(newrow);
-                }
-            }
-            // no left rows: columns are the left's alone (right was never
-            // evaluated; its columns are unknowable without evaluation)
-            Ok(EvalOut::Tab(
-                out.unwrap_or_else(|| Tab::new(lt.columns().to_vec())),
-            ))
+            Ok(EvalOut::Tab(djoin_loop(&lt, env, |inner_env| {
+                eval_env(right, ctx, inner_env)?.tab(plan)
+            })?))
         }
 
         Alg::Union { left, right } => {
             let lt = eval_env(left, ctx, env)?.tab(plan)?;
             let rt = eval_env(right, ctx, env)?.tab(plan)?;
-            check_compat(plan, &lt, &rt)?;
-            let mut out = lt.clone();
-            for row in rt.rows() {
-                out.push(row.to_vec());
-            }
-            out.dedup();
-            Ok(EvalOut::Tab(out))
+            Ok(EvalOut::Tab(union_tabs(lt, &rt, || plan.describe())?))
         }
 
         Alg::Intersect { left, right } => {
             let lt = eval_env(left, ctx, env)?.tab(plan)?;
             let rt = eval_env(right, ctx, env)?.tab(plan)?;
-            check_compat(plan, &lt, &rt)?;
-            let member = row_set(&rt);
-            let mut out = Tab::new(lt.columns().to_vec());
-            for row in lt.rows() {
-                if member(row) {
-                    out.push(row.to_vec());
-                }
-            }
-            out.dedup();
-            Ok(EvalOut::Tab(out))
+            Ok(EvalOut::Tab(intersect_tabs(&lt, &rt, || plan.describe())?))
         }
 
         Alg::Diff { left, right } => {
             let lt = eval_env(left, ctx, env)?.tab(plan)?;
             let rt = eval_env(right, ctx, env)?.tab(plan)?;
-            check_compat(plan, &lt, &rt)?;
-            let member = row_set(&rt);
-            let mut out = Tab::new(lt.columns().to_vec());
-            for row in lt.rows() {
-                if !member(row) {
-                    out.push(row.to_vec());
-                }
-            }
-            out.dedup();
-            Ok(EvalOut::Tab(out))
+            Ok(EvalOut::Tab(diff_tabs(&lt, &rt, || plan.describe())?))
         }
 
         Alg::Group { input, keys } => {
             let tab = eval_env(input, ctx, env)?.tab(plan)?;
-            let kidx: Vec<usize> = keys
-                .iter()
-                .map(|k| {
-                    tab.col(k)
-                        .ok_or_else(|| EvalError::UnknownColumn(k.clone()))
-                })
-                .collect::<Result<_, _>>()?;
-            let rest: Vec<usize> = (0..tab.columns().len())
-                .filter(|i| !kidx.contains(i))
-                .collect();
-            let mut cols: Vec<String> = keys.clone();
-            cols.extend(rest.iter().map(|&i| tab.columns()[i].clone()));
-            // hashed grouping, first-occurrence order of groups (see
-            // crate::keys for the confirm-on-hash-hit discipline)
-            let groups = crate::keys::group_indices(tab.raw_rows(), &kidx);
-            let mut out = Tab::new(cols);
-            for members in &groups {
-                let first = tab.row(members[0]);
-                let mut row: Vec<Value> = kidx.iter().map(|&i| first[i].clone()).collect();
-                for &ci in &rest {
-                    row.push(Value::Coll(
-                        members.iter().map(|&ri| tab.row(ri)[ci].clone()).collect(),
-                    ));
-                }
-                out.push(row);
-            }
-            Ok(EvalOut::Tab(out))
+            Ok(EvalOut::Tab(group_tab(&tab, keys)?))
         }
 
         Alg::Sort { input, keys } => {
             let tab = eval_env(input, ctx, env)?.tab(plan)?;
-            let kidx: Vec<(usize, crate::expr::SortDir)> = keys
-                .iter()
-                .map(|(k, d)| {
-                    tab.col(k)
-                        .map(|i| (i, *d))
-                        .ok_or_else(|| EvalError::UnknownColumn(k.clone()))
-                })
-                .collect::<Result<_, _>>()?;
-            let cols = tab.columns().to_vec();
-            let mut rows = tab.into_rows();
-            rows.sort_by(|a, b| {
-                for (i, d) in &kidx {
-                    let ord = a[*i].total_cmp(&b[*i]);
-                    let ord = match d {
-                        crate::expr::SortDir::Asc => ord,
-                        crate::expr::SortDir::Desc => ord.reverse(),
-                    };
-                    if ord != std::cmp::Ordering::Equal {
-                        return ord;
-                    }
-                }
-                std::cmp::Ordering::Equal
-            });
-            let mut out = Tab::new(cols);
-            for r in rows {
-                out.push(r);
-            }
-            Ok(EvalOut::Tab(out))
+            Ok(EvalOut::Tab(sort_tab(tab, keys)?))
         }
 
         Alg::Map { input, col, expr } => {
@@ -457,6 +290,273 @@ fn eval_node(plan: &Alg, ctx: &EvalCtx<'_>, env: &Env) -> Result<EvalOut, EvalEr
             None => eval_env(sub, ctx, env),
         },
     }
+}
+
+// ---------------------------------------------------------------------
+// Shared operator kernels.
+//
+// Both engines — the recursive interpreter above and the bytecode VM in
+// `crate::vm` — execute operators through the helpers below, so they
+// cannot drift apart on data-plane semantics (row order, dedup
+// discipline, environment constraining). What the VM compiles away is
+// the *control* plane: AST dispatch, per-row column resolution, and
+// predicate/operand recursion.
+// ---------------------------------------------------------------------
+
+/// `MATCH` options induced by an evaluation context.
+pub(crate) fn match_opts<'a>(ctx: &EvalCtx<'a>) -> MatchOptions<'a> {
+    MatchOptions {
+        model: ctx.model,
+        forest: ctx.catalog.deref_forest(),
+        closed: false,
+    }
+}
+
+/// `Bind` over a tree: match the filter, constrain by outer bindings.
+pub(crate) fn bind_tree(
+    tree: &Tree,
+    filter: &yat_model::Filter,
+    env: &Env,
+    ctx: &EvalCtx<'_>,
+) -> Tab {
+    let rows = yat_model::match_filter(tree, filter, match_opts(ctx));
+    let mut tab = Tab::from_binding_rows(filter.variables(), rows);
+    constrain_env(&mut tab, env);
+    tab
+}
+
+/// `Bind … over col`: re-match the filter against the trees held in one
+/// column of an existing table, appending the newly bound variables.
+/// Variables shared with existing columns act as equality constraints.
+pub(crate) fn bind_over(
+    tab: &Tab,
+    col: &str,
+    filter: &yat_model::Filter,
+    env: &Env,
+    ctx: &EvalCtx<'_>,
+) -> Result<Tab, EvalError> {
+    let opts = match_opts(ctx);
+    let fvars = filter.variables();
+    let ci = tab
+        .col(col)
+        .ok_or_else(|| EvalError::UnknownColumn(col.to_string()))?;
+    // output columns: input columns + new filter vars
+    let mut cols: Vec<String> = tab.columns().to_vec();
+    let new_vars: Vec<String> = fvars
+        .iter()
+        .filter(|v| !cols.contains(v))
+        .cloned()
+        .collect();
+    let shared: Vec<String> = fvars.iter().filter(|v| cols.contains(v)).cloned().collect();
+    cols.extend(new_vars.iter().cloned());
+    let mut out = Tab::new(cols);
+    for row in tab.rows() {
+        let targets: Vec<Tree> = match &row[ci] {
+            Value::Tree(t) => vec![t.clone()],
+            Value::Coll(c) => c.iter().filter_map(|v| v.as_tree().cloned()).collect(),
+            _ => vec![],
+        };
+        for target in targets {
+            for brow in yat_model::match_filter(&target, filter, opts) {
+                let mut vals: BTreeMap<String, Value> = brow
+                    .into_iter()
+                    .map(|(k, v)| (k, Value::from_binding(v)))
+                    .collect();
+                // shared variables act as equality constraints
+                let consistent = shared.iter().all(|v| match (vals.get(v), tab.col(v)) {
+                    (Some(nv), Some(i)) => nv.query_eq(&row[i]),
+                    _ => true,
+                });
+                if !consistent {
+                    continue;
+                }
+                let mut newrow: Vec<Value> = row.to_vec();
+                for v in &new_vars {
+                    newrow.push(vals.remove(v).unwrap_or(Value::Null));
+                }
+                out.push(newrow);
+            }
+        }
+    }
+    constrain_env(&mut out, env);
+    Ok(out)
+}
+
+/// `Tree` construction: instantiate a template over all rows. A template
+/// instantiation at the root yields exactly one tree for Sym roots;
+/// grouped roots may yield several, which are wrapped under a
+/// `collection` node to keep the output a single tree.
+pub(crate) fn construct_tree(tab: &Tab, template: &Template, ctx: &EvalCtx<'_>) -> Tree {
+    let all: Vec<usize> = (0..tab.len()).collect();
+    let trees = instantiate(template, &all, tab, ctx);
+    match trees.len() {
+        1 => trees.into_iter().next().expect("len checked"),
+        _ => Node::sym("collection", trees),
+    }
+}
+
+/// The `DJoin` outer loop: for each left row, evaluate the right side
+/// under the extended environment (via `eval_right` — the interpreter
+/// recurses, the VM runs a compiled sub-program) and splice its new
+/// columns onto the left row.
+pub(crate) fn djoin_loop(
+    lt: &Tab,
+    env: &Env,
+    mut eval_right: impl FnMut(&Env) -> Result<Tab, EvalError>,
+) -> Result<Tab, EvalError> {
+    let mut out: Option<Tab> = None;
+    for row in lt.rows() {
+        let mut inner_env = env.clone();
+        for (i, c) in lt.columns().iter().enumerate() {
+            inner_env.insert(c.clone(), row[i].clone());
+        }
+        let rt = eval_right(&inner_env)?;
+        let out = out.get_or_insert_with(|| {
+            let mut cols = lt.columns().to_vec();
+            for c in rt.columns() {
+                if !cols.contains(c) {
+                    cols.push(c.clone());
+                }
+            }
+            Tab::new(cols)
+        });
+        let new_cols: Vec<(usize, usize)> = out
+            .columns()
+            .iter()
+            .enumerate()
+            .skip(lt.columns().len())
+            .filter_map(|(oi, c)| rt.col(c).map(|ri| (oi, ri)))
+            .collect();
+        let width = out.columns().len();
+        for rrow in rt.rows() {
+            let mut newrow = vec![Value::Null; width];
+            newrow[..row.len()].clone_from_slice(row);
+            for (oi, ri) in &new_cols {
+                newrow[*oi] = rrow[*ri].clone();
+            }
+            out.push(newrow);
+        }
+    }
+    // no left rows: columns are the left's alone (right was never
+    // evaluated; its columns are unknowable without evaluation)
+    Ok(out.unwrap_or_else(|| Tab::new(lt.columns().to_vec())))
+}
+
+/// Set union: compatible columns, concatenation, dedup.
+pub(crate) fn union_tabs(
+    lt: Tab,
+    rt: &Tab,
+    op_desc: impl FnOnce() -> String,
+) -> Result<Tab, EvalError> {
+    check_compat(&lt, rt, op_desc)?;
+    let mut out = lt;
+    for row in rt.rows() {
+        out.push(row.to_vec());
+    }
+    out.dedup();
+    Ok(out)
+}
+
+/// Set intersection via hashed membership, preserving left order.
+pub(crate) fn intersect_tabs(
+    lt: &Tab,
+    rt: &Tab,
+    op_desc: impl FnOnce() -> String,
+) -> Result<Tab, EvalError> {
+    check_compat(lt, rt, op_desc)?;
+    let member = row_set(rt);
+    let mut out = Tab::new(lt.columns().to_vec());
+    for row in lt.rows() {
+        if member(row) {
+            out.push(row.to_vec());
+        }
+    }
+    out.dedup();
+    Ok(out)
+}
+
+/// Set difference via hashed membership, preserving left order.
+pub(crate) fn diff_tabs(
+    lt: &Tab,
+    rt: &Tab,
+    op_desc: impl FnOnce() -> String,
+) -> Result<Tab, EvalError> {
+    check_compat(lt, rt, op_desc)?;
+    let member = row_set(rt);
+    let mut out = Tab::new(lt.columns().to_vec());
+    for row in lt.rows() {
+        if !member(row) {
+            out.push(row.to_vec());
+        }
+    }
+    out.dedup();
+    Ok(out)
+}
+
+/// `Group`: key columns first, remaining columns become collections,
+/// groups in first-occurrence order (see `crate::keys` for the
+/// confirm-on-hash-hit discipline).
+pub(crate) fn group_tab(tab: &Tab, keys: &[String]) -> Result<Tab, EvalError> {
+    let kidx: Vec<usize> = keys
+        .iter()
+        .map(|k| {
+            tab.col(k)
+                .ok_or_else(|| EvalError::UnknownColumn(k.clone()))
+        })
+        .collect::<Result<_, _>>()?;
+    let rest: Vec<usize> = (0..tab.columns().len())
+        .filter(|i| !kidx.contains(i))
+        .collect();
+    let mut cols: Vec<String> = keys.to_vec();
+    cols.extend(rest.iter().map(|&i| tab.columns()[i].clone()));
+    let groups = crate::keys::group_indices(tab.raw_rows(), &kidx);
+    let mut out = Tab::new(cols);
+    for members in &groups {
+        let first = tab.row(members[0]);
+        let mut row: Vec<Value> = kidx.iter().map(|&i| first[i].clone()).collect();
+        for &ci in &rest {
+            row.push(Value::Coll(
+                members.iter().map(|&ri| tab.row(ri)[ci].clone()).collect(),
+            ));
+        }
+        out.push(row);
+    }
+    Ok(out)
+}
+
+/// `Sort`: stable multi-key sort with [`Atom::total_cmp`] semantics.
+pub(crate) fn sort_tab(
+    tab: Tab,
+    keys: &[(String, crate::expr::SortDir)],
+) -> Result<Tab, EvalError> {
+    let kidx: Vec<(usize, crate::expr::SortDir)> = keys
+        .iter()
+        .map(|(k, d)| {
+            tab.col(k)
+                .map(|i| (i, *d))
+                .ok_or_else(|| EvalError::UnknownColumn(k.clone()))
+        })
+        .collect::<Result<_, _>>()?;
+    let cols = tab.columns().to_vec();
+    let mut rows = tab.into_rows();
+    rows.sort_by(|a, b| {
+        for (i, d) in &kidx {
+            let ord = a[*i].total_cmp(&b[*i]);
+            let ord = match d {
+                crate::expr::SortDir::Asc => ord,
+                crate::expr::SortDir::Desc => ord.reverse(),
+            };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    let mut out = Tab::new(cols);
+    for r in rows {
+        out.push(r);
+    }
+    Ok(out)
 }
 
 /// Keeps only rows consistent with outer bindings: a column that is also
@@ -504,10 +604,10 @@ fn row_set(tab: &Tab) -> impl Fn(&[Value]) -> bool + '_ {
     }
 }
 
-fn check_compat(op: &Alg, l: &Tab, r: &Tab) -> Result<(), EvalError> {
+fn check_compat(l: &Tab, r: &Tab, op_desc: impl FnOnce() -> String) -> Result<(), EvalError> {
     if l.columns() != r.columns() {
         return Err(EvalError::Incompatible {
-            op: op.describe(),
+            op: op_desc(),
             message: format!("column mismatch: {:?} vs {:?}", l.columns(), r.columns()),
         });
     }
@@ -565,23 +665,7 @@ pub fn eval_pred(
         Pred::Cmp { op, left, right } => {
             let l = eval_operand(left, tab, row, env, ctx)?;
             let r = eval_operand(right, tab, row, env, ctx)?;
-            Ok(match op {
-                CmpOp::Eq => l.query_eq(&r),
-                CmpOp::Ne => !l.query_eq(&r),
-                _ => match (l.atom(), r.atom()) {
-                    (Some(a), Some(b)) => {
-                        let ord = a.total_cmp(&b);
-                        match op {
-                            CmpOp::Lt => ord.is_lt(),
-                            CmpOp::Le => ord.is_le(),
-                            CmpOp::Gt => ord.is_gt(),
-                            CmpOp::Ge => ord.is_ge(),
-                            CmpOp::Eq | CmpOp::Ne => unreachable!(),
-                        }
-                    }
-                    _ => false,
-                },
-            })
+            Ok(cmp_values(*op, &l, &r))
         }
         Pred::Call { name, args } => {
             let vals: Vec<Value> = args
@@ -599,8 +683,40 @@ pub fn eval_pred(
     }
 }
 
+/// The comparison kernel both engines share: query equality for `=`/`!=`
+/// ([`Value::query_eq`]); ordered comparisons through the atom total
+/// order, with values lacking a numeric/string interpretation comparing
+/// `false` (three-valued logic collapsed to false, as in SQL). Borrows
+/// both operands — the VM's fused compare relies on that to skip operand
+/// materialization entirely.
+pub(crate) fn cmp_values(op: CmpOp, l: &Value, r: &Value) -> bool {
+    match op {
+        CmpOp::Eq => l.query_eq(r),
+        CmpOp::Ne => !l.query_eq(r),
+        _ => match (l.atom(), r.atom()) {
+            (Some(a), Some(b)) => {
+                let ord = a.total_cmp(&b);
+                match op {
+                    CmpOp::Lt => ord.is_lt(),
+                    CmpOp::Le => ord.is_le(),
+                    CmpOp::Gt => ord.is_gt(),
+                    CmpOp::Ge => ord.is_ge(),
+                    CmpOp::Eq | CmpOp::Ne => unreachable!(),
+                }
+            }
+            _ => false,
+        },
+    }
+}
+
 /// Hash join on equality conjuncts when possible, nested loops otherwise.
-fn join(lt: &Tab, rt: &Tab, pred: &Pred, env: &Env, ctx: &EvalCtx<'_>) -> Result<Tab, EvalError> {
+pub(crate) fn join(
+    lt: &Tab,
+    rt: &Tab,
+    pred: &Pred,
+    env: &Env,
+    ctx: &EvalCtx<'_>,
+) -> Result<Tab, EvalError> {
     let cols = Tab::joined_columns(lt, rt);
     let joined_tab_for_pred = Tab::new(cols.clone());
     let mut out = Tab::new(cols);

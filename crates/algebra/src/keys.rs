@@ -11,6 +11,33 @@
 //! hashes, and every consumer confirms candidates with
 //! [`Value::key_eq`] after a hash hit, so collisions cannot merge rows
 //! that differ.
+//!
+//! # Example
+//!
+//! ```
+//! use yat_algebra::{keys, Value};
+//! use yat_model::Atom;
+//!
+//! // Int(1) and Float(1.0) are key-equal (grouping-key coercion), so
+//! // rows 0 and 1 share a key on column 0 — their hashes agree, and
+//! // confirmation accepts the pair.
+//! let rows = vec![
+//!     vec![Value::Atom(Atom::Int(1)), Value::Atom(Atom::Str("a".into()))],
+//!     vec![Value::Atom(Atom::Float(1.0)), Value::Atom(Atom::Str("b".into()))],
+//!     vec![Value::Atom(Atom::Int(2)), Value::Atom(Atom::Str("c".into()))],
+//! ];
+//! assert_eq!(keys::cols_hash(&rows[0], &[0]), keys::cols_hash(&rows[1], &[0]));
+//! assert!(keys::cols_key_eq(&rows[0], &[0], &rows[1], &[0]));
+//!
+//! // The grouping kernel partitions in first-occurrence order …
+//! assert_eq!(keys::group_indices(&rows, &[0]), vec![vec![0, 1], vec![2]]);
+//!
+//! // … and the hash-join kernel emits key-equal index pairs, left-major.
+//! assert_eq!(
+//!     keys::join_pairs(&rows, &rows, &[0], &[0]),
+//!     vec![(0, 0), (0, 1), (1, 0), (1, 1), (2, 2)],
+//! );
+//! ```
 
 use crate::value::Value;
 use std::collections::HashMap;

@@ -33,6 +33,7 @@
 //! `yat-mediator` executes the same plans against remote wrappers by
 //! intercepting `Push` nodes.
 
+pub mod compile;
 pub mod error;
 pub mod eval;
 pub mod expr;
@@ -41,7 +42,9 @@ pub mod keys;
 pub mod tab;
 pub mod template;
 pub mod value;
+pub mod vm;
 
+pub use compile::{compile, Instr, Program};
 pub use error::EvalError;
 pub use eval::{eval, eval_env, Env, EvalCtx, EvalOut, PushHandler, SourceCatalog};
 pub use expr::{Alg, CmpOp, Operand, Pred, SortDir};

@@ -17,18 +17,31 @@
 //! {"name": "dedup", "n": 8000, "hashed_ns": ..., "baseline_ns": ..., "speedup": ...}
 //! ```
 //!
-//! End-to-end entries have no string-key counterpart (the tree no longer
-//! contains one); they carry `baseline_ns: 0, speedup: 1.0` and are
+//! A second family of entries compares the two *execution engines* on
+//! the expression kernels the compiler actually changes: `vm select` and
+//! `vm map` time the same plan under the bytecode VM (`hashed_ns`, the
+//! new path) and the recursive interpreter (`baseline_ns`, the
+//! reference), with the input table served by a `Push` handler so
+//! neither side pays for `Bind`. Those ratios are gated like the keying
+//! kernels. `q1/q2 e2e vm` repeat the end-to-end sweep with
+//! `ExecEngine::Vm` selected on the mediator.
+//!
+//! End-to-end entries have no reference counterpart timed in the same
+//! process; they carry `baseline_ns: 0, speedup: 1.0` and are
 //! tracked for wall-clock context only. CI compares the *speedup* column
 //! against the checked-in baseline via `report bench-diff` — ratios are
 //! machine-independent, absolute times are not.
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
-use yat_algebra::{keys, Tab, Value};
+use std::sync::Arc;
+use yat_algebra::{
+    compile, eval, keys, vm, Alg, CmpOp, EvalCtx, EvalError, FnRegistry, Operand, Pred,
+    PushHandler, SkolemRegistry, Tab, Value,
+};
 use yat_bench::{baseline, harness, workload::Scenario};
-use yat_mediator::OptimizerOptions;
-use yat_model::{match_filter, MatchOptions};
+use yat_mediator::{ExecEngine, OptimizerOptions};
+use yat_model::{match_filter, Atom, Forest, MatchOptions};
 use yat_wais::{generate_works, WorksSpec};
 use yat_yatl::parse_filter;
 
@@ -147,6 +160,80 @@ fn hashed_join(lt: &Tab, rt: &Tab, lkeys: &[usize], rkeys: &[usize]) -> Tab {
     out
 }
 
+/// Serves a precomputed table to `Push` nodes. `Push` fragments stay
+/// uncompiled on both engines and run through the same handler call, so
+/// plans rooted here cost both engines the identical table clone and the
+/// timed difference is the Select/Map control plane, not `Bind`.
+struct MemTab(Tab);
+
+impl PushHandler for MemTab {
+    fn execute_push(
+        &self,
+        _source: &str,
+        _plan: &Alg,
+        _env: &std::collections::BTreeMap<String, Value>,
+    ) -> Result<Tab, EvalError> {
+        Ok(self.0.clone())
+    }
+}
+
+/// A flat atom-valued works table (`id`, `size`, `price`, `style`,
+/// `floor`) for the engine kernels. Atom cells clone cheaply, so the
+/// per-row expression work — the thing the compiler changes — dominates
+/// the measurement instead of allocator traffic.
+fn atom_tab(n: usize) -> Tab {
+    let styles = ["Impressionist", "Baroque", "Cubist", "Realist"];
+    let mut tab = Tab::new(
+        ["id", "size", "price", "style", "floor"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for i in 0..n {
+        tab.push(vec![
+            Value::Atom(Atom::Int(i as i64)),
+            Value::Atom(Atom::Int((i * 37 % 900 + 20) as i64)),
+            Value::Atom(Atom::Float((i * 13 % 4000) as f64 + 0.5)),
+            Value::Atom(Atom::Str(styles[i % styles.len()].to_string())),
+            Value::Atom(Atom::Int(0)),
+        ]);
+    }
+    tab
+}
+
+/// A 16-term disjunctive filter over [`atom_tab`] columns that matches
+/// no row (`id`/`size`/`price` are non-negative and bounded, `floor` is
+/// zero): every term is evaluated for every row (`Or` short-circuits
+/// only on true) and the empty output makes the shared row-cloning cost
+/// zero on both sides, leaving per-row predicate evaluation as the
+/// measured work. All terms compare numbers, so the shared comparison
+/// kernel is allocation-free and the engines differ only in how they
+/// dispatch it: the interpreter recurses and clones both operands per
+/// term per row, the VM runs one fused by-reference compare each.
+fn engine_select_pred() -> Pred {
+    let int = |v: i64| Operand::cst(Atom::Int(v));
+    let num = |v: f64| Operand::cst(Atom::Float(v));
+    let mut terms = Vec::new();
+    for k in 0..4i64 {
+        terms.push(Pred::cmp(CmpOp::Lt, Operand::var("id"), int(-1 - k)));
+        terms.push(Pred::cmp(CmpOp::Gt, Operand::var("size"), int(100_000 + k)));
+        terms.push(Pred::cmp(
+            CmpOp::Lt,
+            Operand::var("price"),
+            num(-0.5 - k as f64),
+        ));
+        // var–var: `floor` is always zero, `size` at least 20
+        terms.push(Pred::cmp(
+            CmpOp::Gt,
+            Operand::var("floor"),
+            Operand::var("size"),
+        ));
+    }
+    terms
+        .into_iter()
+        .reduce(|a, b| Pred::Or(Box::new(a), Box::new(b)))
+        .expect("terms is non-empty")
+}
+
 fn main() {
     let mut entries: Vec<Entry> = Vec::new();
 
@@ -254,24 +341,74 @@ fn main() {
         });
     }
 
-    harness::group("fig_scale/document-size sweeps (end-to-end)");
-    for &scale in &[50usize, 200, 800] {
-        let m = Scenario::at_scale(scale).mediator();
-        for (name, query) in [
-            ("q1 e2e", yat_yatl::paper::Q1),
-            ("q2 e2e", yat_yatl::paper::Q2),
-        ] {
-            let t = harness::measure(|| {
-                m.query(query, OptimizerOptions::default())
-                    .expect("paper query answers")
+    harness::group("fig_scale/engine sweeps (compiled VM vs interpreter)");
+    let funcs = FnRegistry::with_builtins();
+    let skolems = SkolemRegistry::new();
+    let forest = Forest::new();
+    for &n in &[2000usize, 8000, 32000] {
+        let mem = MemTab(atom_tab(n));
+        let mut ctx = EvalCtx::local(&forest, &funcs, &skolems);
+        ctx.push = Some(&mem);
+        let input = Alg::push("mem", Alg::source("works"));
+        let select = Alg::select(input.clone(), engine_select_pred());
+        let map = Arc::new(Alg::Map {
+            input,
+            col: "text".to_string(),
+            expr: Operand::Call {
+                name: "textof".to_string(),
+                args: vec![Operand::var("style")],
+            },
+        });
+        for (name, plan) in [("vm select", &select), ("vm map", &map)] {
+            // compile once outside the window — the compile-once /
+            // execute-many lifecycle the engine is built around
+            let program = compile(plan);
+            let vm_t = harness::measure(|| {
+                vm::run(&program, &ctx, &Default::default()).expect("vm executes")
             });
-            println!("{name} scale={scale:<5} {t:>12?}");
+            let interp_t = harness::measure(|| eval(plan, &ctx).expect("interpreter executes"));
+            assert_eq!(
+                vm::run(&program, &ctx, &Default::default()).expect("vm executes"),
+                eval(plan, &ctx).expect("interpreter executes"),
+                "engines must agree"
+            );
+            println!(
+                "{name:<9} n={n:<6} vm     {vm_t:>12?}  interp {interp_t:>12?}  ({:.2}x)",
+                interp_t.as_nanos() as f64 / vm_t.as_nanos().max(1) as f64
+            );
             entries.push(Entry {
                 name,
-                n: scale,
-                hashed_ns: t.as_nanos(),
-                baseline_ns: 0,
+                n,
+                hashed_ns: vm_t.as_nanos(),
+                baseline_ns: interp_t.as_nanos(),
             });
+        }
+    }
+
+    harness::group("fig_scale/document-size sweeps (end-to-end)");
+    for &scale in &[50usize, 200, 800] {
+        for (engine, q1_name, q2_name) in [
+            (ExecEngine::Interp, "q1 e2e", "q2 e2e"),
+            (ExecEngine::Vm, "q1 e2e vm", "q2 e2e vm"),
+        ] {
+            let mut m = Scenario::at_scale(scale).mediator();
+            m.set_exec_engine(engine);
+            for (name, query) in [
+                (q1_name, yat_yatl::paper::Q1),
+                (q2_name, yat_yatl::paper::Q2),
+            ] {
+                let t = harness::measure(|| {
+                    m.query(query, OptimizerOptions::default())
+                        .expect("paper query answers")
+                });
+                println!("{name:<9} scale={scale:<5} {t:>12?}");
+                entries.push(Entry {
+                    name,
+                    n: scale,
+                    hashed_ns: t.as_nanos(),
+                    baseline_ns: 0,
+                });
+            }
         }
     }
 

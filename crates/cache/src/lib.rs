@@ -59,6 +59,23 @@ fn fnv1a(h: u64, text: &str) -> u64 {
 /// them — get equal signatures. Information-passing bindings are already
 /// inlined as constants by the time a fragment ships, so the binding
 /// values participate in the hash through the serialized plan itself.
+///
+/// # Example
+///
+/// ```
+/// use yat_algebra::Alg;
+/// use yat_cache::Signature;
+///
+/// let frag = Alg::source("works");
+/// // Structurally identical fragments share one cache entry …
+/// assert_eq!(
+///     Signature::execute("wais", &frag),
+///     Signature::execute("wais", &Alg::source("works")),
+/// );
+/// // … while the source name and the kind of work both discriminate.
+/// assert_ne!(Signature::execute("wais", &frag), Signature::execute("o2", &frag));
+/// assert_ne!(Signature::execute("wais", &frag), Signature::document("wais", "works"));
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Signature(u64);
 

@@ -110,6 +110,74 @@ impl std::fmt::Display for ExecMode {
     }
 }
 
+/// Which engine evaluates the local (mediator-side) part of a plan.
+///
+/// Orthogonal to [`ExecMode`]: the mode decides how *source* work is
+/// dispatched (sequential or scatter/gather), the engine decides how the
+/// local algebra in between is evaluated. The interpreter is the
+/// semantics oracle; the VM runs compiled programs and must match it
+/// bit-for-bit (`tests/differential.rs` enforces this over hundreds of
+/// seeded plans, on both axes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecEngine {
+    /// The recursive reference interpreter ([`yat_algebra::eval()`]).
+    #[default]
+    Interp,
+    /// Compiled execution: plans are lowered once into flat stack
+    /// programs ([`yat_algebra::compile()`]) and run batched
+    /// ([`yat_algebra::vm::run`]).
+    Vm,
+}
+
+impl ExecEngine {
+    /// The engine selected by the `YAT_EXEC_ENGINE` environment variable
+    /// (`interp`/`interpreter`, or `vm`/`compiled`); the interpreter
+    /// when unset. An *invalid* value also falls back to the
+    /// interpreter, but loudly: a warning goes through [`yat_obs::warn`]
+    /// naming the rejected value and the accepted syntax.
+    pub fn from_env() -> Self {
+        Self::from_env_value(std::env::var("YAT_EXEC_ENGINE").ok().as_deref())
+    }
+
+    /// [`ExecEngine::from_env`] on an explicit value (`None` = unset) —
+    /// split out so the warning path is testable without mutating the
+    /// process environment.
+    pub fn from_env_value(value: Option<&str>) -> Self {
+        let Some(value) = value else {
+            return ExecEngine::default();
+        };
+        match Self::parse(value) {
+            Some(engine) => engine,
+            None => {
+                yat_obs::warn(format!(
+                    "YAT_EXEC_ENGINE=`{value}` is not a valid execution engine; accepted \
+                     values are `interp`/`interpreter` or `vm`/`compiled` — falling back \
+                     to the interpreter"
+                ));
+                ExecEngine::default()
+            }
+        }
+    }
+
+    /// Parses the `YAT_EXEC_ENGINE` syntax.
+    pub fn parse(text: &str) -> Option<Self> {
+        match text.trim().to_ascii_lowercase().as_str() {
+            "interp" | "interpreter" => Some(ExecEngine::Interp),
+            "vm" | "compiled" => Some(ExecEngine::Vm),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ExecEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecEngine::Interp => write!(f, "interp"),
+            ExecEngine::Vm => write!(f, "vm"),
+        }
+    }
+}
+
 /// An execution failure.
 #[derive(Debug)]
 pub enum ExecError {
@@ -187,6 +255,8 @@ pub fn execute_traced(
         obs,
         ExecMode::Sequential,
         &AnswerCache::off(),
+        ExecEngine::Interp,
+        None,
     )
 }
 
@@ -201,6 +271,11 @@ pub fn execute_traced(
 /// long execution stops stale answers immediately) and inserted after a
 /// fully successful round trip. In parallel mode lookups happen at
 /// scheduling time: a hit removes the job from the lane schedule.
+///
+/// The local algebra between source round trips is evaluated by
+/// `engine`; under [`ExecEngine::Vm`] a pre-compiled `program` (the
+/// mediator's cross-query program cache) is used when supplied, or the
+/// plan is compiled on the spot.
 #[allow(clippy::too_many_arguments)]
 pub fn execute_mode(
     plan: &Alg,
@@ -211,6 +286,8 @@ pub fn execute_mode(
     obs: Option<&Collector>,
     mode: ExecMode,
     cache: &AnswerCache,
+    engine: ExecEngine,
+    program: Option<&yat_algebra::Program>,
 ) -> Result<EvalOut, ExecError> {
     // insertion order drives fetch order (plan-referenced documents
     // first); the set makes the reference-closure membership test O(log n)
@@ -260,7 +337,21 @@ pub fn execute_mode(
         push: Some(&pusher),
         obs,
     };
-    Ok(eval_env(plan, &ctx, &Env::new())?)
+    let env = Env::new();
+    match engine {
+        ExecEngine::Interp => Ok(eval_env(plan, &ctx, &env)?),
+        ExecEngine::Vm => {
+            let compiled;
+            let program = match program {
+                Some(p) => p,
+                None => {
+                    compiled = yat_algebra::compile(plan);
+                    &compiled
+                }
+            };
+            Ok(yat_algebra::vm::run(program, &ctx, &env)?)
+        }
+    }
 }
 
 /// The sequential prefetch loop: one `get-document` round trip at a
@@ -888,6 +979,46 @@ mod tests {
             warnings[0].contains("YAT_EXEC_MODE")
                 && warnings[0].contains("warp-speed")
                 && warnings[0].contains("parallel:<lanes>"),
+            "{warnings:?}"
+        );
+    }
+
+    #[test]
+    fn exec_engine_parses_the_env_syntax() {
+        assert_eq!(ExecEngine::parse("interp"), Some(ExecEngine::Interp));
+        assert_eq!(ExecEngine::parse(" INTERPRETER "), Some(ExecEngine::Interp));
+        assert_eq!(ExecEngine::parse("vm"), Some(ExecEngine::Vm));
+        assert_eq!(ExecEngine::parse("Compiled"), Some(ExecEngine::Vm));
+        assert_eq!(ExecEngine::parse("jit"), None);
+        assert_eq!(ExecEngine::Interp.to_string(), "interp");
+        assert_eq!(ExecEngine::Vm.to_string(), "vm");
+        assert_eq!(ExecEngine::default(), ExecEngine::Interp);
+    }
+
+    #[test]
+    fn invalid_exec_engine_env_values_warn_and_fall_back() {
+        use std::sync::{Arc, Mutex};
+        let seen = Arc::new(Mutex::new(Vec::<String>::new()));
+        let sink = seen.clone();
+        yat_obs::set_warn_sink(Some(Box::new(move |m| {
+            sink.lock().unwrap().push(m.to_string());
+        })));
+        // valid and unset values stay silent
+        assert_eq!(ExecEngine::from_env_value(None), ExecEngine::Interp);
+        assert_eq!(ExecEngine::from_env_value(Some("vm")), ExecEngine::Vm);
+        assert!(seen.lock().unwrap().is_empty());
+        // an invalid value falls back to the interpreter, loudly
+        assert_eq!(
+            ExecEngine::from_env_value(Some("turbo")),
+            ExecEngine::Interp
+        );
+        yat_obs::set_warn_sink(None);
+        let warnings = seen.lock().unwrap();
+        assert_eq!(warnings.len(), 1);
+        assert!(
+            warnings[0].contains("YAT_EXEC_ENGINE")
+                && warnings[0].contains("turbo")
+                && warnings[0].contains("`vm`/`compiled`"),
             "{warnings:?}"
         );
     }

@@ -39,8 +39,8 @@ pub mod rules;
 pub mod session;
 pub mod transport;
 
-pub use executor::{ExecError, ExecMode};
-pub use explain::{CacheLine, Explain, LaneJob};
+pub use executor::{ExecEngine, ExecError, ExecMode};
+pub use explain::{CacheLine, Explain, LaneJob, ProgramLine};
 pub use mediator::{Mediator, MediatorError};
 pub use optimizer::{optimize, OptimizerOptions, RuleFiring, Trace};
 pub use session::Session;

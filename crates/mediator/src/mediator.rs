@@ -2,13 +2,15 @@
 //! integration programs, answer queries.
 
 use crate::compose::{compose, qualify};
-use crate::executor::{execute_mode, ExecError, ExecMode};
+use crate::executor::{execute_mode, ExecEngine, ExecError, ExecMode};
 use crate::explain::{CacheLine, Explain, LaneJob};
 use crate::optimizer::{optimize, OptimizerOptions, Trace};
 use crate::transport::{Connection, MeterSnapshot};
-use std::collections::BTreeMap;
-use std::sync::Arc;
-use yat_algebra::{Alg, EvalOut, FnRegistry, SkolemRegistry};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
+use yat_algebra::{Alg, EvalOut, FnRegistry, Program, SkolemRegistry};
 use yat_cache::{AnswerCache, CachePolicy, CacheStats};
 use yat_capability::interface::Interface;
 use yat_capability::protocol::{Request, Response, WrapperServer};
@@ -66,19 +68,60 @@ pub struct Mediator {
     funcs: FnRegistry,
     skolems: SkolemRegistry,
     exec_mode: ExecMode,
+    exec_engine: ExecEngine,
     cache: AnswerCache,
+    programs: ProgramCache,
+}
+
+/// Compiled programs keyed by plan hash, confirmed against the stored
+/// plan on hit so hash collisions cannot serve the wrong program. The
+/// cache sits behind a `Mutex` so `&self` execution paths — including
+/// the shared-`Mediator` workers of yat-server — reuse one compilation
+/// of a hot plan instead of recompiling per query.
+#[derive(Default)]
+struct ProgramCache {
+    slots: Mutex<HashMap<u64, Vec<ProgramSlot>>>,
+    compiles: Mutex<u64>,
+}
+
+/// One compiled plan: the plan retained for collision confirmation, and
+/// its shared program.
+type ProgramSlot = (Arc<Alg>, Arc<Program>);
+
+impl ProgramCache {
+    fn get(&self, plan: &Alg) -> Arc<Program> {
+        let mut hasher = DefaultHasher::new();
+        plan.hash(&mut hasher);
+        let key = hasher.finish();
+        let mut slots = self.slots.lock().unwrap();
+        let bucket = slots.entry(key).or_default();
+        if let Some((_, program)) = bucket.iter().find(|(p, _)| p.as_ref() == plan) {
+            return program.clone();
+        }
+        let program = Arc::new(yat_algebra::compile(plan));
+        bucket.push((Arc::new(plan.clone()), program.clone()));
+        *self.compiles.lock().unwrap() += 1;
+        program
+    }
+
+    fn compiles(&self) -> u64 {
+        *self.compiles.lock().unwrap()
+    }
 }
 
 impl Mediator {
     /// A mediator with the built-in compensation functions registered
     /// (`contains` evaluates locally when it cannot be pushed). The
     /// execution mode defaults to whatever `YAT_EXEC_MODE` selects
-    /// (sequential when unset); the answer-cache policy to whatever
-    /// `YAT_CACHE` selects (off when unset).
+    /// (sequential when unset); the execution engine to whatever
+    /// `YAT_EXEC_ENGINE` selects (the interpreter when unset); the
+    /// answer-cache policy to whatever `YAT_CACHE` selects (off when
+    /// unset).
     pub fn new() -> Self {
         Mediator {
             funcs: FnRegistry::with_builtins(),
             exec_mode: ExecMode::from_env(),
+            exec_engine: ExecEngine::from_env(),
             cache: AnswerCache::new(CachePolicy::from_env()),
             ..Default::default()
         }
@@ -92,6 +135,24 @@ impl Mediator {
     /// Selects how [`Mediator::execute`] dispatches source work.
     pub fn set_exec_mode(&mut self, mode: ExecMode) {
         self.exec_mode = mode;
+    }
+
+    /// The current execution engine.
+    pub fn exec_engine(&self) -> ExecEngine {
+        self.exec_engine
+    }
+
+    /// Selects how [`Mediator::execute`] evaluates plans: the tree
+    /// interpreter, or compiled programs run on the VM.
+    pub fn set_exec_engine(&mut self, engine: ExecEngine) {
+        self.exec_engine = engine;
+    }
+
+    /// How many distinct plans have been compiled for the VM so far.
+    /// Stays flat while cached programs are being reused — the
+    /// compile-once / execute-many counter.
+    pub fn programs_compiled(&self) -> u64 {
+        self.programs.compiles()
     }
 
     /// The current answer-cache policy.
@@ -204,8 +265,10 @@ impl Mediator {
         optimize(plan, &self.interfaces, options)
     }
 
-    /// Executes a plan under the current [`ExecMode`] and cache policy.
+    /// Executes a plan under the current [`ExecMode`], [`ExecEngine`],
+    /// and cache policy.
     pub fn execute(&self, plan: &Alg) -> Result<EvalOut, MediatorError> {
+        let program = self.program_for(plan);
         Ok(execute_mode(
             plan,
             &self.connections,
@@ -215,7 +278,18 @@ impl Mediator {
             None,
             self.exec_mode,
             &self.cache,
+            self.exec_engine,
+            program.as_deref(),
         )?)
+    }
+
+    /// The cached compiled program for `plan` under the VM engine
+    /// (compiling on first sight); `None` under the interpreter.
+    fn program_for(&self, plan: &Alg) -> Option<Arc<Program>> {
+        match self.exec_engine {
+            ExecEngine::Interp => None,
+            ExecEngine::Vm => Some(self.programs.get(plan)),
+        }
     }
 
     /// Plan → optimize → execute, end to end.
@@ -243,6 +317,7 @@ impl Mediator {
         trace: Option<Trace>,
     ) -> Result<Explain, MediatorError> {
         let obs = yat_obs::Collector::new();
+        let program = self.program_for(plan);
         let output = execute_mode(
             plan,
             &self.connections,
@@ -252,6 +327,8 @@ impl Mediator {
             Some(&obs),
             self.exec_mode,
             &self.cache,
+            self.exec_engine,
+            program.as_deref(),
         )?;
         let rows = match &output {
             EvalOut::Tab(t) => t.len() as u64,
@@ -261,7 +338,19 @@ impl Mediator {
         let mut traffic: BTreeMap<String, MeterSnapshot> = BTreeMap::new();
         let mut lanes = Vec::new();
         let mut cache: BTreeMap<String, CacheLine> = BTreeMap::new();
+        let mut program_lines = Vec::new();
         for span in &spans {
+            // VM-instruction events carry the compiled-program listing
+            // with per-instruction batch/row counters (emission order is
+            // instruction order)
+            if span.kind == yat_obs::kind::VM {
+                let counter = |name| span.attr(name).and_then(|v| v.as_u64()).unwrap_or(0);
+                program_lines.push(crate::explain::ProgramLine {
+                    label: span.label.clone(),
+                    batches: counter(yat_obs::attr::BATCHES),
+                    rows: counter(yat_obs::attr::ROWS_OUT),
+                });
+            }
             // rpc spans are labeled "<request-kind> @<source>"; a span
             // carrying an error moved no meter, so it adds no traffic
             if span.kind == yat_obs::kind::RPC && span.attr(yat_obs::attr::ERROR).is_none() {
@@ -313,6 +402,8 @@ impl Mediator {
             profile: yat_obs::profile::build(&spans),
             traffic,
             mode: self.exec_mode,
+            engine: self.exec_engine,
+            program: program_lines,
             lanes,
             cache,
             cache_policy: self.cache.policy(),

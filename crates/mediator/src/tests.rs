@@ -2,7 +2,7 @@
 //! pipelines over real O2 and Wais wrappers, and naive-vs-optimized
 //! equivalence.
 
-use crate::executor::ExecMode;
+use crate::executor::{ExecEngine, ExecMode};
 use crate::mediator::Mediator;
 use crate::optimizer::OptimizerOptions;
 use crate::session::Session;
@@ -892,10 +892,13 @@ fn scrub_durations(text: &str) -> String {
 fn golden_explain_analyze_under_parallel_mode() {
     let mut m = fig1_mediator();
     m.set_exec_mode(ExecMode::Parallel { max_in_flight: 2 });
-    // the goldens pin exact byte counts per round trip; a YAT_CACHE
-    // environment override would remove trips (see the cached golden
-    // test for the enabled-cache rendering)
+    // the goldens pin exact byte counts per round trip and the
+    // `engine="interp"` attribute; a YAT_CACHE environment override
+    // would remove trips (see the cached golden test for the
+    // enabled-cache rendering) and a YAT_EXEC_ENGINE override would
+    // add the compiled-program section
     m.set_cache_policy(CachePolicy::Off);
+    m.set_exec_engine(ExecEngine::Interp);
     for (query, options, text_golden, xml_golden) in [
         (
             paper::Q1,
@@ -1247,6 +1250,9 @@ fn golden_explain_analyze_with_a_warm_cache() {
     let mut m = fig1_mediator();
     m.set_exec_mode(ExecMode::Parallel { max_in_flight: 2 });
     m.set_cache_policy(CachePolicy::bounded());
+    // the golden pins `engine="interp"`, so override any ambient
+    // YAT_EXEC_ENGINE default
+    m.set_exec_engine(ExecEngine::Interp);
     let plan = m.plan_query(paper::Q1).unwrap();
     let (opt, _) = m.optimize(&plan, OptimizerOptions::full());
     m.execute(&opt).unwrap(); // warm the cache
@@ -1265,4 +1271,139 @@ fn golden_explain_analyze_with_a_warm_cache() {
     let parsed = yat_xml::parse_element(&ex.to_xml().to_xml()).unwrap();
     let cache = parsed.child("cache").expect("cache element");
     assert_eq!(cache.attr("policy"), Some("bounded(67108864B, ttl 1)"));
+}
+
+// ---------------------------------------------------------------- VM engine
+
+#[test]
+fn vm_engine_matches_the_interpreter_end_to_end() {
+    for (query, options) in [
+        (paper::Q1, OptimizerOptions::naive()),
+        (paper::Q1, OptimizerOptions::default()),
+        (paper::Q1, OptimizerOptions::full()),
+        (paper::Q2, OptimizerOptions::default()),
+        (paper::Q2, OptimizerOptions::full()),
+    ] {
+        let mut m = fig1_mediator();
+        let plan = m.plan_query(query).unwrap();
+        let (opt, _) = m.optimize(&plan, options);
+
+        m.reset_traffic(); // drop the connect/import handshake traffic
+        let interp = m.execute(&opt);
+        let interp_traffic = m.traffic();
+        m.reset_traffic();
+
+        m.set_exec_engine(ExecEngine::Vm);
+        let vm = m.execute(&opt);
+        let vm_traffic = m.traffic();
+
+        match (interp, vm) {
+            (Ok(interp), Ok(vm)) => {
+                assert_eq!(
+                    result_fingerprint(&tree_of(interp)),
+                    result_fingerprint(&tree_of(vm)),
+                    "answers diverge on {query}"
+                );
+                assert_eq!(
+                    interp_traffic, vm_traffic,
+                    "wire traffic diverges on {query}"
+                );
+            }
+            // some (query, options) pairs ship a fragment the wrapper
+            // rejects — then both engines must reject it identically
+            (Err(interp), Err(vm)) => {
+                assert_eq!(interp.to_string(), vm.to_string(), "on {query}");
+            }
+            (interp, vm) => {
+                panic!("engines disagree on acceptance of {query}: {interp:?} vs {vm:?}")
+            }
+        }
+    }
+}
+
+#[test]
+fn vm_explain_lists_the_compiled_program() {
+    let mut m = fig1_mediator();
+    // pin the starting engine: the test drives the switch itself
+    m.set_exec_engine(ExecEngine::Interp);
+    let plan = m.plan_query(paper::Q1).unwrap();
+    let (opt, _) = m.optimize(&plan, OptimizerOptions::full());
+
+    // under the interpreter the section is absent
+    let interp = m.explain(&opt).unwrap();
+    assert_eq!(interp.engine, ExecEngine::Interp);
+    assert!(interp.program.is_empty());
+    assert!(!interp.render().contains("compiled program"));
+    assert!(interp.to_xml().child("program").is_none());
+
+    // under the VM every instruction appears with its counters, in id
+    // order, and the profile rows still mirror the interpreter's
+    m.set_exec_engine(ExecEngine::Vm);
+    let ex = m.explain(&opt).unwrap();
+    assert_eq!(ex.engine, ExecEngine::Vm);
+    assert!(!ex.program.is_empty());
+    assert!(ex.program.iter().any(|l| l.rows > 0), "counters recorded");
+    let text = ex.render();
+    assert!(
+        text.contains(&format!(
+            "compiled program: {} instructions",
+            ex.program.len()
+        )),
+        "{text}"
+    );
+    assert!(text.contains("#00 "), "instruction ids rendered: {text}");
+    assert!(text.contains("batches="), "{text}");
+    let xml = ex.to_xml();
+    assert_eq!(xml.attr("engine"), Some("vm"));
+    let program = xml.child("program").expect("program element");
+    assert_eq!(
+        program.children_named("instruction").count(),
+        ex.program.len()
+    );
+    assert_eq!(
+        result_fingerprint(&tree_of(ex.output.clone())),
+        result_fingerprint(&tree_of(interp.output.clone())),
+    );
+    assert_eq!(interp.traffic, ex.traffic, "explain traffic matches");
+}
+
+#[test]
+fn compiled_programs_are_reused_across_executions() {
+    let mut m = fig1_mediator();
+    m.set_exec_engine(ExecEngine::Vm);
+    assert_eq!(m.programs_compiled(), 0);
+    let plan = m.plan_query(paper::Q1).unwrap();
+    let (opt, _) = m.optimize(&plan, OptimizerOptions::full());
+    m.execute(&opt).unwrap();
+    assert_eq!(m.programs_compiled(), 1, "first execution compiles");
+    m.execute(&opt).unwrap();
+    m.explain(&opt).unwrap();
+    assert_eq!(m.programs_compiled(), 1, "later executions reuse");
+    // a structurally identical but distinct Arc still hits the cache
+    let (opt2, _) = m.optimize(&plan, OptimizerOptions::full());
+    assert!(!Arc::ptr_eq(&opt, &opt2));
+    m.execute(&opt2).unwrap();
+    assert_eq!(m.programs_compiled(), 1, "equal plans share a program");
+    // a different plan compiles its own program
+    let (naive, _) = m.optimize(&plan, OptimizerOptions::naive());
+    assert_ne!(*naive, *opt, "the naive plan is a different shape");
+    m.execute(&naive).unwrap();
+    assert_eq!(m.programs_compiled(), 2);
+    // the interpreter never compiles
+    m.set_exec_engine(ExecEngine::Interp);
+    m.execute(&opt).unwrap();
+    assert_eq!(m.programs_compiled(), 2);
+}
+
+#[test]
+fn session_logs_the_exec_engine() {
+    let mut s = Session::start();
+    s.connect("cosmos.inria.fr", Box::new(wais_fig1())).unwrap();
+    s.set_exec_engine(ExecEngine::Vm);
+    assert!(
+        s.transcript().contains("yat> set engine vm;"),
+        "{}",
+        s.transcript()
+    );
+    assert_eq!(s.mediator().exec_engine(), ExecEngine::Vm);
 }

@@ -48,6 +48,13 @@ pub mod kind {
     /// A serving-layer phase of one client request (`accept`,
     /// `queue-wait`, `execute`, `respond`), recorded by `yat-server`.
     pub const SERVER: &str = "server";
+    /// A compiled-program instruction report emitted by the bytecode VM
+    /// after a run (label = `#id OPCODE describe`, one event per
+    /// instruction, carrying [`crate::attr::BATCHES`] and
+    /// [`crate::attr::ROWS_OUT`] totals). Excluded from
+    /// [`crate::profile::build`]: `EXPLAIN ANALYZE` renders these in a
+    /// dedicated "compiled program" section, not as operator rows.
+    pub const VM: &str = "vm";
 }
 
 /// Attribute names recorded by the built-in instrumentation sites (the
@@ -75,6 +82,9 @@ pub mod attr {
     pub const IN_FLIGHT: &str = "in_flight";
     /// Index of the server worker thread that executed a request.
     pub const WORKER: &str = "worker";
+    /// Row batches a compiled-program instruction processed during one
+    /// VM run (`0` for an instruction that never executed).
+    pub const BATCHES: &str = "batches";
 }
 
 /// A pluggable destination for [`warn`] messages.

@@ -99,9 +99,10 @@ pub fn build(spans: &[SpanData]) -> Vec<ProfileNode> {
     let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
     let mut roots: Vec<usize> = Vec::new();
     for span in spans {
-        // cache events are bookkeeping, not plan work: EXPLAIN reports
-        // them in a dedicated cache section instead of as profile rows
-        if span.kind == kind::CACHE {
+        // cache and VM-instruction events are bookkeeping, not plan work:
+        // EXPLAIN reports them in dedicated sections instead of as
+        // profile rows
+        if span.kind == kind::CACHE || span.kind == kind::VM {
             continue;
         }
         match span.parent {

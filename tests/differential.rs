@@ -11,7 +11,7 @@
 //! and reports the master seed plus the smallest failing query.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use yat::yat_mediator::{CachePolicy, ExecMode, MediatorError, OptimizerOptions};
+use yat::yat_mediator::{CachePolicy, ExecEngine, ExecMode, MediatorError, OptimizerOptions};
 use yat_bench::workload::Scenario;
 use yat_prng::Rng;
 
@@ -234,11 +234,90 @@ impl Case {
         }
     }
 
+    /// Runs the case under both engines (interpreter vs compiled VM) in
+    /// both exec modes, on identically-seeded federations with the cache
+    /// pinned off: the engines must produce identical answers and move
+    /// identical per-source traffic — the compiled engine's semantics
+    /// oracle.
+    fn run_engine_axis(&self) -> Result<(), String> {
+        let q = self.query_text();
+        let mut sc = Scenario::at_scale(self.scale);
+        sc.seed = self.scenario_seed;
+
+        for mode in [
+            ExecMode::Sequential,
+            ExecMode::Parallel {
+                max_in_flight: self.lanes,
+            },
+        ] {
+            let mut interp = sc.mediator();
+            interp.set_exec_mode(mode);
+            interp.set_exec_engine(ExecEngine::Interp);
+            interp.set_cache_policy(CachePolicy::Off);
+            let mut vm = sc.mediator();
+            vm.set_exec_mode(mode);
+            vm.set_exec_engine(ExecEngine::Vm);
+            vm.set_cache_policy(CachePolicy::Off);
+            interp.reset_traffic();
+            vm.reset_traffic();
+
+            let ri = interp.query(&q, self.options());
+            let rv = vm.query(&q, self.options());
+            match (ri, rv) {
+                (Ok(a), Ok(b)) => {
+                    if a != b {
+                        return Err(format!(
+                            "engines diverge under {mode}:\n  interp: {a:?}\n  vm: {b:?}"
+                        ));
+                    }
+                    for src in ["o2artifact", "xmlartwork"] {
+                        let mi = interp.traffic_of(src).expect("source is connected");
+                        let mv = vm.traffic_of(src).expect("source is connected");
+                        if mi.round_trips != mv.round_trips
+                            || mi.documents_received != mv.documents_received
+                        {
+                            return Err(format!(
+                                "traffic diverges at `{src}` under {mode}: \
+                                 interp {} trips/{} docs, vm {} trips/{} docs",
+                                mi.round_trips,
+                                mi.documents_received,
+                                mv.round_trips,
+                                mv.documents_received
+                            ));
+                        }
+                    }
+                }
+                // both engines reject the query the same way: acceptable
+                (Err(MediatorError::Exec(_)), Err(MediatorError::Exec(_))) => {
+                    REJECTED.fetch_add(1, Ordering::Relaxed);
+                }
+                (Ok(a), Err(b)) => {
+                    return Err(format!("interp {a:?} but vm failed under {mode}: {b}"))
+                }
+                (Err(a), Ok(b)) => {
+                    return Err(format!("vm {b:?} but interp failed under {mode}: {a}"))
+                }
+                (Err(a), Err(b)) => {
+                    return Err(format!(
+                        "non-exec errors (generator bug?):\n  interp: {a}\n  vm: {b}"
+                    ))
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Runs the case under {cache off, cold, warm} in both exec modes on
     /// one federation each: all three must return identical answers, and
     /// the warm rerun must ship no more per-source traffic than the cold
     /// run did.
     fn run_cache_axis(&self) -> Result<(), String> {
+        self.run_cache_axis_with(ExecEngine::Interp)
+    }
+
+    /// [`Case::run_cache_axis`] under an explicit engine — the VM must
+    /// interact with the answer cache exactly as the interpreter does.
+    fn run_cache_axis_with(&self, engine: ExecEngine) -> Result<(), String> {
         let q = self.query_text();
         let mut sc = Scenario::at_scale(self.scale);
         sc.seed = self.scenario_seed;
@@ -251,9 +330,11 @@ impl Case {
         ] {
             let mut off = sc.mediator();
             off.set_exec_mode(mode);
+            off.set_exec_engine(engine);
             off.set_cache_policy(CachePolicy::Off);
             let mut cached = sc.mediator();
             cached.set_exec_mode(mode);
+            cached.set_exec_engine(engine);
             cached.set_cache_policy(CachePolicy::bounded());
             off.reset_traffic();
             cached.reset_traffic();
@@ -391,6 +472,80 @@ fn cache_off_cold_and_warm_agree_on_random_plans() {
             let minimal = case.shrink_by(&Case::run_cache_axis);
             panic!(
                 "cache differential case {i}/{cases} (YAT_DIFF_SEED={master}) failed: {msg}\n\
+                 query: {}\n\
+                 shrunk query: {}\n\
+                 knobs: {:?} lanes={} opt_level={} scale={} scenario_seed={}",
+                case.query_text(),
+                minimal.query_text(),
+                case.shape,
+                case.lanes,
+                case.opt_level,
+                case.scale,
+                case.scenario_seed
+            );
+        }
+    }
+}
+
+/// The engine axis of the sweep: the interpreter and the compiled VM
+/// must agree — identical answers, identical per-source traffic — on
+/// every seeded plan, under both exec modes. This is the differential
+/// oracle that gates the compiled engine.
+#[test]
+fn interpreter_and_vm_agree_on_random_plans() {
+    let master = std::env::var("YAT_DIFF_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
+    let mut rng = Rng::seed_from_u64(master);
+    REJECTED.store(0, Ordering::Relaxed);
+    for i in 0..CASES {
+        let case = Case::generate(&mut rng);
+        if let Err(msg) = case.run_engine_axis() {
+            let minimal = case.shrink_by(&Case::run_engine_axis);
+            panic!(
+                "engine differential case {i}/{CASES} (YAT_DIFF_SEED={master}) failed: {msg}\n\
+                 query: {}\n\
+                 shrunk query: {}\n\
+                 knobs: {:?} lanes={} opt_level={} scale={} scenario_seed={}",
+                case.query_text(),
+                minimal.query_text(),
+                case.shape,
+                case.lanes,
+                case.opt_level,
+                case.scale,
+                case.scenario_seed
+            );
+        }
+    }
+    let rejected = REJECTED.load(Ordering::Relaxed);
+    println!("engine differential sweep: {CASES} cases, {rejected} rejected by both engines");
+    assert!(
+        rejected < CASES,
+        "generator degenerated: {rejected}/{CASES} cases never produced an answer"
+    );
+}
+
+/// The cache axis under the compiled engine: {off, cold, warm} on both
+/// exec modes must agree on every answer with the VM evaluating the
+/// local algebra, and a warm cache never ships more than a cold one.
+#[test]
+fn vm_cache_off_cold_and_warm_agree_on_random_plans() {
+    let master = std::env::var("YAT_DIFF_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
+    // the same case stream as the interpreter cache sweep, so any
+    // divergence is attributable to the engine alone
+    let mut rng = Rng::seed_from_u64(master ^ 0xCAC4E);
+    let run = |case: &Case| case.run_cache_axis_with(ExecEngine::Vm);
+    let cases = CASES / 2;
+    for i in 0..cases {
+        let case = Case::generate(&mut rng);
+        if let Err(msg) = run(&case) {
+            let minimal = case.shrink_by(&run);
+            panic!(
+                "vm cache differential case {i}/{cases} (YAT_DIFF_SEED={master}) failed: {msg}\n\
                  query: {}\n\
                  shrunk query: {}\n\
                  knobs: {:?} lanes={} opt_level={} scale={} scenario_seed={}",
