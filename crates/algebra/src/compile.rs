@@ -1,6 +1,6 @@
 //! Lowering optimized plans into flat, stack-based programs.
 //!
-//! The recursive interpreter in [`crate::eval`] pays a control-plane tax
+//! The recursive interpreter in [`mod@crate::eval`] pays a control-plane tax
 //! on every row: AST dispatch, recursion through predicate trees, and —
 //! worst of all — per-row column-name resolution (`Tab::col` is a linear
 //! scan). This pass removes that tax ahead of time. [`compile`] walks a
@@ -10,7 +10,7 @@
 //! deduplicated constant pool and column/function names through a pool
 //! of interned [`Symbol`]s. Comparisons between simple operands —
 //! columns, outer bindings, constants — fuse into a single by-reference
-//! instruction ([`EOp::CmpRef`]) that clones nothing per row. The resulting [`Program`] is immutable and
+//! instruction (`EOp::CmpRef`) that clones nothing per row. The resulting [`Program`] is immutable and
 //! `Send + Sync`: compile once, execute many times — concurrently — with
 //! [`crate::vm::run`].
 //!

@@ -39,6 +39,9 @@ pub enum EvalError {
         /// Explanation.
         message: String,
     },
+    /// A streamed-answer sink refused or failed to accept a batch (the
+    /// consumer hung up mid-stream, a wire write failed, …).
+    Sink(String),
 }
 
 impl fmt::Display for EvalError {
@@ -63,6 +66,7 @@ impl fmt::Display for EvalError {
             }
             EvalError::Incomparable(m) => write!(f, "incomparable values: {m}"),
             EvalError::Incompatible { op, message } => write!(f, "{op}: {message}"),
+            EvalError::Sink(m) => write!(f, "answer sink failed: {m}"),
         }
     }
 }

@@ -39,6 +39,7 @@ pub mod eval;
 pub mod expr;
 pub mod funcs;
 pub mod keys;
+pub mod stream;
 pub mod tab;
 pub mod template;
 pub mod value;
@@ -49,6 +50,7 @@ pub use error::EvalError;
 pub use eval::{eval, eval_env, Env, EvalCtx, EvalOut, PushHandler, SourceCatalog};
 pub use expr::{Alg, CmpOp, Operand, Pred, SortDir};
 pub use funcs::{FnRegistry, SkolemRegistry};
+pub use stream::{BatchSink, CollectSink, Stage};
 pub use tab::Tab;
 pub use template::Template;
 pub use value::Value;

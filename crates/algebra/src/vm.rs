@@ -6,7 +6,7 @@
 //! Column names are resolved against the input table **once per
 //! instruction execution** (the interpreter re-resolves on every row,
 //! a linear scan per access); literals come from the program's constant
-//! pool; fused compares ([`crate::compile`]'s `CmpRef`) read both
+//! pool; fused compares ([`mod@crate::compile`]'s `CmpRef`) read both
 //! operands by reference, where the interpreter clones them on every
 //! row; short-circuit `AND`/`OR` are conditional jumps, so a
 //! short-circuited operand is never evaluated — exactly matching the

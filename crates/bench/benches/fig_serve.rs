@@ -8,6 +8,13 @@
 //! deployment — without it, a single-core runner would show no scaling
 //! at all), then drives a closed-loop Q1/Q2 mix with 8 clients.
 //!
+//! A second sweep drives one large answer (a full scan of a 50k-work
+//! collection) through the wire materialized and streamed, recording
+//! time-to-first-row percentiles and the process's peak live heap — the
+//! memory the answer path holds at its worst. Streaming should cut both:
+//! the first chunk leaves before the tail is serialized, and no hop ever
+//! holds the whole serialized answer.
+//!
 //! Machine-readable output goes to `BENCH_serve.json` (override with
 //! `YAT_SERVE_OUT`), one entry per configuration:
 //!
@@ -15,18 +22,64 @@
 //! {"workers": 4, "queue": 32, "clients": 8, "queries": 96,
 //!  "throughput_qps": ..., "p50_ms": ..., "p95_ms": ..., "p99_ms": ...,
 //!  "overloaded": 0, "speedup_vs_1_worker": ...}
+//! {"sweep": "large_answer", "stream": true, "rows": 50000,
+//!  "ttfr_p50_ms": ..., "ttfr_p99_ms": ..., "peak_heap_mb": ...}
 //! ```
 //!
-//! Absolute times are machine-dependent; the column worth watching is
+//! Absolute times are machine-dependent; the columns worth watching are
 //! `speedup_vs_1_worker`, which should rise with the worker count until
-//! the two wrapper connections saturate.
+//! the two wrapper connections saturate, and the streamed-vs-materialized
+//! deltas in `ttfr_p50_ms` and `peak_heap_mb`.
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
 use yat_bench::workload::Scenario;
-use yat_mediator::Latency;
+use yat_mediator::{Latency, StreamPolicy};
 use yat_server::{load, LoadMode, LoadSpec, Server, ServerConfig};
 use yat_yatl::paper;
+
+/// A counting wrapper around the system allocator: tracks live heap and
+/// its high-water mark, so the large-answer sweep can report peak memory
+/// per configuration without OS-specific RSS probes (`VmHWM` cannot be
+/// reset between configurations; this can).
+struct PeakAlloc {
+    live: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+unsafe impl GlobalAlloc for PeakAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            let live = self.live.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            self.peak.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        self.live.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+}
+
+#[global_allocator]
+static HEAP: PeakAlloc = PeakAlloc {
+    live: AtomicUsize::new(0),
+    peak: AtomicUsize::new(0),
+};
+
+/// Restarts the high-water mark at the current live size.
+fn reset_peak_heap() {
+    HEAP.peak
+        .store(HEAP.live.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+fn peak_heap_mb() -> f64 {
+    HEAP.peak.load(Ordering::Relaxed) as f64 / (1024.0 * 1024.0)
+}
 
 const SCALE: usize = 20;
 const CLIENTS: usize = 8;
@@ -70,6 +123,7 @@ fn run_config(workers: usize, queue: usize) -> Entry {
             seed: 20260807,
             mode: LoadMode::Closed,
             deadline_ms: None,
+            stream: false,
             mix: vec![paper::Q1.to_string(), paper::Q2.to_string()],
             expected: None,
         },
@@ -89,6 +143,76 @@ fn run_config(workers: usize, queue: usize) -> Entry {
         p95_ms: report.p95_ms(),
         p99_ms: report.p99_ms(),
         overloaded: report.overloaded,
+    }
+}
+
+/// How many works the large-answer sweep scans — every one becomes an
+/// answer subtree.
+const LARGE_ROWS: usize = 50_000;
+
+/// A full scan of the Wais works collection: a `LARGE_ROWS`-subtree
+/// answer.
+const WORKS_SCAN: &str = "MAKE out *($t2) := r [ $t2 ] MATCH works WITH works *work [ title: $t2 ]";
+
+struct LargeEntry {
+    stream: bool,
+    ttfr_p50_ms: f64,
+    ttfr_p99_ms: f64,
+    p50_ms: f64,
+    peak_heap_mb: f64,
+}
+
+/// One large-answer configuration: a works-heavy federation, 2 clients,
+/// 6 scans each, materialized or streamed.
+fn run_large(stream: bool) -> LargeEntry {
+    let mut mediator = Scenario {
+        artifacts: 50,
+        works: LARGE_ROWS,
+        ..Scenario::at_scale(50)
+    }
+    .mediator();
+    mediator.set_stream_policy(StreamPolicy::chunked());
+    for source in ["o2artifact", "xmlartwork"] {
+        mediator
+            .connection(source)
+            .expect("scenario connects both sources")
+            .set_latency(Some(Latency::fixed(SOURCE_LATENCY)));
+    }
+    let handle = Server::spawn(
+        mediator,
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 32,
+            retry_after_ms: 5,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server binds a loopback port");
+    reset_peak_heap();
+    let report = load::run(
+        handle.addr(),
+        &LoadSpec {
+            clients: 2,
+            queries: 12,
+            seed: 20260807,
+            mode: LoadMode::Closed,
+            deadline_ms: None,
+            stream,
+            mix: vec![WORKS_SCAN.to_string()],
+            expected: None,
+        },
+    );
+    let peak = peak_heap_mb();
+    assert_eq!(report.answered, 12, "{report:?}");
+    assert!(report.clean(), "{report:?}");
+    handle.shutdown();
+    handle.join();
+    LargeEntry {
+        stream,
+        ttfr_p50_ms: report.ttfr_percentile_ms(0.50),
+        ttfr_p99_ms: report.ttfr_percentile_ms(0.99),
+        p50_ms: report.p50_ms(),
+        peak_heap_mb: peak,
     }
 }
 
@@ -115,18 +239,33 @@ fn main() {
         entries.push(e);
     }
 
+    println!("\n== fig_serve/large-answer sweep ({LARGE_ROWS}-row scans, 2 clients) ==");
+    let mut large: Vec<LargeEntry> = Vec::new();
+    for stream in [false, true] {
+        let e = run_large(stream);
+        println!(
+            "{:<12} p50 {:>8.2}ms  ttfr-p50 {:>8.2}ms  ttfr-p99 {:>8.2}ms  peak heap {:>7.1} MiB",
+            if stream { "streamed" } else { "materialized" },
+            e.p50_ms,
+            e.ttfr_p50_ms,
+            e.ttfr_p99_ms,
+            e.peak_heap_mb
+        );
+        large.push(e);
+    }
+
     let base_qps = entries
         .iter()
         .find(|e| e.workers == 1 && e.queue == 32)
         .map(|e| e.throughput_qps)
         .unwrap_or(0.0);
     let mut out = String::from("[\n");
-    for (i, e) in entries.iter().enumerate() {
-        let _ = write!(
+    for e in entries.iter() {
+        let _ = writeln!(
             out,
             "  {{\"workers\": {}, \"queue\": {}, \"clients\": {CLIENTS}, \"queries\": {QUERIES}, \
              \"throughput_qps\": {:.3}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \
-             \"overloaded\": {}, \"speedup_vs_1_worker\": {:.3}}}",
+             \"overloaded\": {}, \"speedup_vs_1_worker\": {:.3}}},",
             e.workers,
             e.queue,
             e.throughput_qps,
@@ -140,7 +279,16 @@ fn main() {
                 1.0
             },
         );
-        out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    for (i, e) in large.iter().enumerate() {
+        let _ = write!(
+            out,
+            "  {{\"sweep\": \"large_answer\", \"stream\": {}, \"rows\": {LARGE_ROWS}, \
+             \"p50_ms\": {:.3}, \"ttfr_p50_ms\": {:.3}, \"ttfr_p99_ms\": {:.3}, \
+             \"peak_heap_mb\": {:.1}}}",
+            e.stream, e.p50_ms, e.ttfr_p50_ms, e.ttfr_p99_ms, e.peak_heap_mb,
+        );
+        out.push_str(if i + 1 < large.len() { ",\n" } else { "\n" });
     }
     out.push_str("]\n");
     // default to the workspace root, next to BENCH_scale.json, however

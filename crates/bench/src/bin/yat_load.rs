@@ -2,13 +2,13 @@
 //!
 //! ```text
 //! yat-load --addr HOST:PORT [--clients N] [--queries N] [--seed N]
-//!          [--mode closed|open:QPS] [--deadline-ms N]
+//!          [--mode closed|open:QPS] [--deadline-ms N] [--stream]
 //!          [--verify-scale N] [--p99-max-ms X] [--shutdown] [--json PATH]
 //! ```
 //!
 //! Drives the Q1/Q2 mix. With `--verify-scale N` it answers the same
 //! seeded scenario in-process first and compares every wire answer
-//! byte-for-byte. Exits nonzero on protocol errors, server errors,
+//! byte-for-byte (streamed answers are reassembled first). Exits nonzero on protocol errors, server errors,
 //! verification mismatches, or a p99 above `--p99-max-ms` — which is
 //! what lets CI use it as a gate. `--shutdown` sends the drain verb when
 //! the run completes; `--json` writes the report machine-readably.
@@ -24,7 +24,7 @@ use yat_yatl::paper;
 fn usage() -> ! {
     eprintln!(
         "usage: yat-load --addr HOST:PORT [--clients N] [--queries N] [--seed N] \
-         [--mode closed|open:QPS] [--deadline-ms N] [--verify-scale N] \
+         [--mode closed|open:QPS] [--deadline-ms N] [--stream] [--verify-scale N] \
          [--p99-max-ms X] [--shutdown] [--json PATH]"
     );
     std::process::exit(2);
@@ -73,6 +73,7 @@ fn main() {
             "--p99-max-ms" => {
                 p99_max_ms = Some(value("--p99-max-ms").parse().unwrap_or_else(|_| usage()))
             }
+            "--stream" => spec.stream = true,
             "--shutdown" => shutdown = true,
             "--json" => json_path = Some(value("--json").to_string()),
             _ => usage(),
@@ -117,12 +118,21 @@ fn main() {
         report.protocol_errors,
         report.mismatches,
     );
+    if spec.stream {
+        println!(
+            "yat-load: streamed — ttfr p50 {:.2}ms  p95 {:.2}ms  p99 {:.2}ms",
+            report.ttfr_percentile_ms(0.50),
+            report.ttfr_percentile_ms(0.95),
+            report.ttfr_percentile_ms(0.99),
+        );
+    }
 
     if let Some(path) = json_path {
         let json = format!(
             "{{\"answered\": {}, \"sent\": {}, \"elapsed_s\": {:.3}, \"throughput_qps\": {:.3}, \
              \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"overloaded\": {}, \
-             \"errors\": {}, \"protocol_errors\": {}, \"mismatches\": {}}}\n",
+             \"errors\": {}, \"protocol_errors\": {}, \"mismatches\": {}, \
+             \"stream\": {}, \"ttfr_p50_ms\": {:.3}, \"ttfr_p99_ms\": {:.3}}}\n",
             report.answered,
             report.sent,
             report.elapsed.as_secs_f64(),
@@ -134,6 +144,9 @@ fn main() {
             report.errors,
             report.protocol_errors,
             report.mismatches,
+            spec.stream,
+            report.ttfr_percentile_ms(0.50),
+            report.ttfr_percentile_ms(0.99),
         );
         if let Err(e) = std::fs::write(&path, json) {
             eprintln!("yat-load: cannot write {path}: {e}");

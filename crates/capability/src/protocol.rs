@@ -173,6 +173,14 @@ pub enum ClientRequest {
         /// executing once this much time has passed since admission
         /// (queue wait included), answering `Error` instead.
         deadline_ms: Option<u64>,
+        /// Client-negotiated chunked answer streaming (`stream="chunked"`
+        /// on the wire). When set, a successful answer arrives as
+        /// `answer-chunk*` + `answer-end` frames instead of one `answer`
+        /// frame; replies other than answers stay single-frame. A server
+        /// that predates the capability simply ignores the attribute and
+        /// answers single-frame — the client handles both, so old and new
+        /// peers interoperate in every combination.
+        stream: bool,
     },
     /// Run the query as `EXPLAIN ANALYZE`, answering with the rendered
     /// report (server-side timings appended).
@@ -200,12 +208,19 @@ impl ClientRequest {
     /// Serializes the request.
     pub fn to_xml(&self) -> Element {
         match self {
-            ClientRequest::Query { text, deadline_ms } => {
-                let el = Element::new(self.kind()).with_text(text.clone());
-                match deadline_ms {
-                    Some(ms) => el.with_attr("deadline-ms", ms.to_string()),
-                    None => el,
+            ClientRequest::Query {
+                text,
+                deadline_ms,
+                stream,
+            } => {
+                let mut el = Element::new(self.kind()).with_text(text.clone());
+                if let Some(ms) = deadline_ms {
+                    el = el.with_attr("deadline-ms", ms.to_string());
                 }
+                if *stream {
+                    el = el.with_attr("stream", "chunked");
+                }
+                el
             }
             ClientRequest::Explain { text } => Element::new(self.kind()).with_text(text.clone()),
             ClientRequest::Stats | ClientRequest::Shutdown => Element::new(self.kind()),
@@ -224,9 +239,20 @@ impl ClientRequest {
                     })?),
                     None => None,
                 };
+                let stream = match el.attr("stream") {
+                    None => false,
+                    Some("chunked") => true,
+                    Some(other) => {
+                        return Err(WireError::Malformed(format!(
+                            "<query> stream `{other}` is not a known streaming mode \
+                             (only `chunked`)"
+                        )))
+                    }
+                };
                 Ok(ClientRequest::Query {
                     text: el.text(),
                     deadline_ms,
+                    stream,
                 })
             }
             "explain" => Ok(ClientRequest::Explain { text: el.text() }),
@@ -451,6 +477,122 @@ impl ServerReply {
             }),
             other => Err(WireError::UnknownVerb(format!(
                 "unknown server reply <{other}>"
+            ))),
+        }
+    }
+}
+
+/// One frame of a chunked answer stream — what a `stream="chunked"`
+/// query's successful answer is delivered as. The stream is
+/// `Chunk{seq: 0}`, `Chunk{seq: 1}`, …, then exactly one terminal frame:
+/// `End` (whose counts let the consumer prove nothing was dropped) or
+/// `Abort` (the producer failed after chunks were already on the wire —
+/// too late for a plain `error` reply, which would leave the delivered
+/// prefix looking like a complete short answer).
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamFrame {
+    /// One batch of the answer. Table-shaped answers carry a `Tab`
+    /// holding this batch's rows (every chunk repeats the column
+    /// layout); tree-shaped answers carry a copy of the answer's root
+    /// holding this batch's top-level subtrees (every chunk repeats the
+    /// root, the receiver concatenates the children).
+    Chunk {
+        /// Zero-based position in the stream; a receiver must refuse
+        /// gaps and reordering.
+        seq: u64,
+        /// The batch.
+        payload: EvalOut,
+    },
+    /// Terminal frame of a successful stream.
+    End {
+        /// Chunks that were sent; must equal what arrived.
+        chunks: u64,
+        /// Total rows across all chunks (top-level subtrees for a
+        /// tree-shaped answer).
+        rows: u64,
+    },
+    /// Terminal frame of a failed stream.
+    Abort {
+        /// What went wrong on the producer side.
+        message: String,
+    },
+}
+
+impl StreamFrame {
+    /// The frame's wire label — the XML element name it serializes to.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            StreamFrame::Chunk { .. } => "answer-chunk",
+            StreamFrame::End { .. } => "answer-end",
+            StreamFrame::Abort { .. } => "stream-abort",
+        }
+    }
+
+    /// Serializes the frame. A chunk's body is exactly an `answer`
+    /// body (`<result><tab…/></result>` or a tree), so the reassembled
+    /// stream and the single-frame answer share one serialization.
+    pub fn to_xml(&self) -> Element {
+        match self {
+            StreamFrame::Chunk { seq, payload } => {
+                let body = match payload {
+                    EvalOut::Tab(tab) => Element::new("result").with_child(tab_to_xml(tab)),
+                    EvalOut::Tree(tree) => tree_to_xml(tree),
+                };
+                Element::new(self.kind())
+                    .with_attr("seq", seq.to_string())
+                    .with_child(body)
+            }
+            StreamFrame::End { chunks, rows } => Element::new(self.kind())
+                .with_attr("chunks", chunks.to_string())
+                .with_attr("rows", rows.to_string()),
+            StreamFrame::Abort { message } => {
+                Element::new(self.kind()).with_attr("message", message.clone())
+            }
+        }
+    }
+
+    /// Parses a stream frame; `Err` for anything that is not one (the
+    /// caller then falls back to [`ServerReply::from_xml`]).
+    pub fn from_xml(el: &Element) -> Result<StreamFrame, WireError> {
+        let counter = |name: &str| -> Result<u64, WireError> {
+            let raw = el.attr(name).ok_or_else(|| WireError::Missing {
+                element: el.name.clone(),
+                what: name.to_string(),
+            })?;
+            raw.parse::<u64>().map_err(|_| {
+                WireError::Malformed(format!(
+                    "<{}> {name} `{raw}` is not a non-negative integer",
+                    el.name
+                ))
+            })
+        };
+        match el.name.as_str() {
+            "answer-chunk" => {
+                let seq = counter("seq")?;
+                let body = el.elements().next().ok_or_else(|| WireError::Missing {
+                    element: "answer-chunk".into(),
+                    what: "a result or document body".into(),
+                })?;
+                let payload = if body.name == "result" {
+                    let inner = body.elements().next().ok_or_else(|| WireError::Missing {
+                        element: "result".into(),
+                        what: "a result table".into(),
+                    })?;
+                    EvalOut::Tab(tab_from_xml(inner)?)
+                } else {
+                    EvalOut::Tree(tree_from_xml(body))
+                };
+                Ok(StreamFrame::Chunk { seq, payload })
+            }
+            "answer-end" => Ok(StreamFrame::End {
+                chunks: counter("chunks")?,
+                rows: counter("rows")?,
+            }),
+            "stream-abort" => Ok(StreamFrame::Abort {
+                message: el.attr("message").unwrap_or("").to_string(),
+            }),
+            other => Err(WireError::UnknownVerb(format!(
+                "unknown stream frame <{other}>"
             ))),
         }
     }

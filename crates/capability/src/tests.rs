@@ -504,10 +504,12 @@ fn client_requests_roundtrip() {
         ClientRequest::Query {
             text: "q() <- works *$w;".into(),
             deadline_ms: Some(250),
+            stream: false,
         },
         ClientRequest::Query {
             text: "multi\nline \"quoted\" & <angled>".into(),
             deadline_ms: None,
+            stream: false,
         },
         ClientRequest::Explain {
             text: "q() <- works *$w;".into(),
@@ -531,6 +533,67 @@ fn client_requests_roundtrip() {
     );
     let bad = yat_xml::parse_element("<query deadline-ms=\"soon\">q</query>").unwrap();
     assert!(ClientRequest::from_xml(&bad).is_err(), "bad deadline");
+}
+
+#[test]
+fn streamed_queries_and_chunk_frames_roundtrip() {
+    use crate::protocol::{ClientRequest, StreamFrame};
+    use yat_algebra::EvalOut;
+    use yat_model::Node;
+
+    // the negotiation attribute survives a round trip
+    let req = ClientRequest::Query {
+        text: "q() <- works *$w;".into(),
+        deadline_ms: Some(100),
+        stream: true,
+    };
+    let text = req.to_xml().to_xml();
+    assert!(text.contains("stream=\"chunked\""), "{text}");
+    let el = yat_xml::parse_element(&text).unwrap();
+    assert_eq!(ClientRequest::from_xml(&el).unwrap(), req);
+    // an unknown streaming mode is refused, not silently materialized:
+    // silently dropping the attribute would make the client wait for
+    // chunk frames that never come
+    let bad = yat_xml::parse_element("<query stream=\"firehose\">q</query>").unwrap();
+    assert!(matches!(
+        ClientRequest::from_xml(&bad),
+        Err(crate::xml::WireError::Malformed(_))
+    ));
+
+    let mut tab = yat_algebra::Tab::new(vec!["t".into()]);
+    tab.push(vec![yat_algebra::Value::Tree(Node::elem(
+        "title", "Nympheas",
+    ))]);
+    let frames = vec![
+        StreamFrame::Chunk {
+            seq: 0,
+            payload: EvalOut::Tab(tab),
+        },
+        StreamFrame::Chunk {
+            seq: 1,
+            payload: EvalOut::Tree(Node::sym("works", vec![])),
+        },
+        StreamFrame::End { chunks: 2, rows: 2 },
+        StreamFrame::Abort {
+            message: "source hung up".into(),
+        },
+    ];
+    for f in frames {
+        let text = f.to_xml().to_xml();
+        let el = yat_xml::parse_element(&text).unwrap();
+        assert_eq!(StreamFrame::from_xml(&el).unwrap(), f, "{text}");
+        assert_eq!(f.to_xml().name, f.kind(), "kind() is the wire label");
+    }
+    // non-stream frames fall through so the reader can try ServerReply
+    let answer = yat_xml::parse_element("<answer><result/></answer>").unwrap();
+    assert!(matches!(
+        StreamFrame::from_xml(&answer),
+        Err(crate::xml::WireError::UnknownVerb(_))
+    ));
+    let bad = yat_xml::parse_element("<answer-chunk seq=\"x\"><result/></answer-chunk>").unwrap();
+    assert!(StreamFrame::from_xml(&bad).is_err(), "bad seq");
+    let bad = yat_xml::parse_element("<answer-end chunks=\"1\"/>").unwrap();
+    assert!(StreamFrame::from_xml(&bad).is_err(), "missing rows");
 }
 
 #[test]
@@ -640,6 +703,7 @@ fn corrupted_wire_bytes_never_panic_the_decoders() {
         ClientRequest::Query {
             text: "q() <- works *$w;".into(),
             deadline_ms: Some(100),
+            stream: false,
         }
         .to_xml()
         .to_xml(),

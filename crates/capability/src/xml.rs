@@ -50,6 +50,14 @@ pub enum WireError {
     /// The remote side failed while handling the request (its panic was
     /// contained and converted into this error).
     Remote(String),
+    /// A chunked answer stream violated its protocol: an out-of-order
+    /// chunk sequence number, a terminal frame whose counts disagree
+    /// with what arrived, a connection closed mid-stream, or a typed
+    /// `stream-abort` from the producer. Distinct from [`Self::Remote`]
+    /// so a consumer can tell "the answer failed" from "part of the
+    /// answer is missing" — a short stream must never read as a short
+    /// answer.
+    Stream(String),
 }
 
 impl fmt::Display for WireError {
@@ -71,6 +79,7 @@ impl fmt::Display for WireError {
             WireError::Io(m) => write!(f, "wire i/o error: {m}"),
             WireError::Timeout(m) => write!(f, "{m}"),
             WireError::Remote(m) => write!(f, "{m}"),
+            WireError::Stream(m) => write!(f, "answer stream error: {m}"),
         }
     }
 }

@@ -18,7 +18,8 @@
 use crate::compose::mediator_side_sources;
 use crate::transport::Connection;
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{mpsc, Arc};
 use yat_algebra::eval::{eval_env, Env, EvalCtx, PushHandler};
 use yat_algebra::{Alg, EvalError, EvalOut, FnRegistry, Operand, Pred, SkolemRegistry, Tab, Value};
 use yat_cache::{AnswerCache, CachedAnswer, Signature};
@@ -178,6 +179,118 @@ impl std::fmt::Display for ExecEngine {
     }
 }
 
+/// How answers leave the mediator: one materialized value, or a stream
+/// of row batches (`yat_algebra::stream`).
+///
+/// Orthogonal to both [`ExecMode`] and [`ExecEngine`]: the plan prefix
+/// is still evaluated by the chosen engine under the chosen dispatch
+/// mode; streaming changes only the *answer boundary* — the streamable
+/// operator chain on top of the plan runs batch-at-a-time and each batch
+/// is delivered as soon as it exists. The materialized path stays the
+/// semantics oracle: concatenating the delivered batches must reproduce
+/// it byte-for-byte (`tests/differential.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StreamPolicy {
+    /// Materialize the whole answer before returning it (the default).
+    #[default]
+    Off,
+    /// Deliver the answer as row batches.
+    Chunked {
+        /// Rows per delivered batch.
+        batch_rows: usize,
+        /// Upper bound on delivered-but-unconsumed batches a streaming
+        /// consumer (the server's wire writer) may buffer before the
+        /// producer blocks — the per-query memory budget.
+        max_pending: usize,
+    },
+}
+
+impl StreamPolicy {
+    /// Default rows per batch — the VM's internal batching granularity.
+    pub const DEFAULT_BATCH_ROWS: usize = yat_algebra::stream::DEFAULT_BATCH_ROWS;
+    /// Default bound on buffered, unconsumed batches.
+    pub const DEFAULT_MAX_PENDING: usize = 8;
+
+    /// Chunked delivery with the default batch size and pending bound.
+    pub fn chunked() -> Self {
+        StreamPolicy::Chunked {
+            batch_rows: Self::DEFAULT_BATCH_ROWS,
+            max_pending: Self::DEFAULT_MAX_PENDING,
+        }
+    }
+
+    /// True for any `Chunked` variant.
+    pub fn is_chunked(&self) -> bool {
+        matches!(self, StreamPolicy::Chunked { .. })
+    }
+
+    /// The policy selected by the `YAT_STREAM` environment variable
+    /// (`off`, `chunked`, `chunked:<rows>`, or
+    /// `chunked:<rows>:<pending>`); off when unset. An *invalid* value
+    /// also falls back to off, but loudly: a warning goes through
+    /// [`yat_obs::warn`] naming the rejected value and the accepted
+    /// syntax.
+    pub fn from_env() -> Self {
+        Self::from_env_value(std::env::var("YAT_STREAM").ok().as_deref())
+    }
+
+    /// [`StreamPolicy::from_env`] on an explicit value (`None` = unset)
+    /// — split out so the warning path is testable without mutating the
+    /// process environment.
+    pub fn from_env_value(value: Option<&str>) -> Self {
+        let Some(value) = value else {
+            return StreamPolicy::default();
+        };
+        match Self::parse(value) {
+            Some(policy) => policy,
+            None => {
+                yat_obs::warn(format!(
+                    "YAT_STREAM=`{value}` is not a valid stream policy; accepted values \
+                     are `off`, `chunked`, `chunked:<rows>`, or `chunked:<rows>:<pending>` \
+                     — falling back to off"
+                ));
+                StreamPolicy::default()
+            }
+        }
+    }
+
+    /// Parses the `YAT_STREAM` syntax.
+    pub fn parse(text: &str) -> Option<Self> {
+        let text = text.trim().to_ascii_lowercase();
+        match text.as_str() {
+            "off" | "materialized" => return Some(StreamPolicy::Off),
+            "chunked" | "on" => return Some(StreamPolicy::chunked()),
+            _ => {}
+        }
+        let rest = text.strip_prefix("chunked:")?;
+        let (rows, pending) = match rest.split_once(':') {
+            Some((rows, pending)) => (rows, Some(pending)),
+            None => (rest, None),
+        };
+        let batch_rows: usize = rows.parse().ok().filter(|&n| n > 0)?;
+        let max_pending = match pending {
+            Some(p) => p.parse().ok().filter(|&n| n > 0)?,
+            None => Self::DEFAULT_MAX_PENDING,
+        };
+        Some(StreamPolicy::Chunked {
+            batch_rows,
+            max_pending,
+        })
+    }
+}
+
+impl std::fmt::Display for StreamPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamPolicy::Off => write!(f, "off"),
+            StreamPolicy::Chunked {
+                batch_rows,
+                max_pending,
+            } => write!(f, "chunked({batch_rows} rows, {max_pending} pending)"),
+        }
+    }
+}
+
 /// An execution failure.
 #[derive(Debug)]
 pub enum ExecError {
@@ -289,6 +402,93 @@ pub fn execute_mode(
     engine: ExecEngine,
     program: Option<&yat_algebra::Program>,
 ) -> Result<EvalOut, ExecError> {
+    let (catalog, pusher) = prepare(plan, connections, interfaces, obs, mode, cache)?;
+    let ctx = EvalCtx {
+        catalog: &catalog,
+        model: None,
+        funcs,
+        skolems,
+        push: Some(&pusher),
+        obs,
+    };
+    let env = Env::new();
+    run_engine(plan, engine, program, &ctx, &env).map_err(ExecError::from)
+}
+
+/// [`execute_mode`] with a streamed answer boundary: `prefix` (the plan
+/// below its streamable top chain, see [`yat_algebra::stream::split`])
+/// is fetched-for and evaluated exactly as `execute_mode` would, then
+/// its result is cut into `batch_rows`-row batches, run through
+/// `stages`, and delivered to `sink` one batch at a time.
+///
+/// The supplied `program`, if any, must be compiled for **`prefix`**,
+/// not the full plan — the mediator's program cache is keyed
+/// accordingly. Source work is identical to the materialized path
+/// (stages contain no `Source` or `Push` nodes by construction), which
+/// is what makes the equal-traffic differential assertion meaningful.
+///
+/// Delivery runs under a `stream` span recording `batch_rows` and, on
+/// success, the chunk and row counts.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_stream_mode(
+    prefix: &Alg,
+    stages: &[yat_algebra::stream::Stage],
+    connections: &BTreeMap<String, Connection>,
+    interfaces: &BTreeMap<String, Interface>,
+    funcs: &FnRegistry,
+    skolems: &SkolemRegistry,
+    obs: Option<&Collector>,
+    mode: ExecMode,
+    cache: &AnswerCache,
+    engine: ExecEngine,
+    program: Option<&yat_algebra::Program>,
+    batch_rows: usize,
+    sink: &mut dyn yat_algebra::stream::BatchSink,
+) -> Result<yat_algebra::stream::DeliveryStats, ExecError> {
+    let (catalog, pusher) = prepare(prefix, connections, interfaces, obs, mode, cache)?;
+    let ctx = EvalCtx {
+        catalog: &catalog,
+        model: None,
+        funcs,
+        skolems,
+        push: Some(&pusher),
+        obs,
+    };
+    let env = Env::new();
+    let prefix_out = run_engine(prefix, engine, program, &ctx, &env)?;
+    let mut span = obs.map(|o| {
+        let mut s = o.span(kind::STREAM, "stream answer".to_string());
+        s.record_u64(attr::BATCH_ROWS, batch_rows as u64);
+        s
+    });
+    let stats = yat_algebra::stream::deliver(prefix_out, stages, batch_rows, &ctx, &env, sink);
+    match &stats {
+        Ok(stats) => {
+            if let Some(s) = span.as_mut() {
+                s.record_u64(attr::CHUNKS, stats.chunks);
+                s.record_u64(attr::ROWS_OUT, stats.rows);
+            }
+        }
+        Err(e) => {
+            if let Some(s) = span.as_mut() {
+                s.record_str(attr::ERROR, e.to_string());
+            }
+        }
+    }
+    Ok(stats?)
+}
+
+/// The shared front half of execution: dependency analysis, document
+/// prefetch (sequential or scatter/gather), and construction of the
+/// catalog + push handler local evaluation runs against.
+fn prepare<'a>(
+    plan: &Alg,
+    connections: &'a BTreeMap<String, Connection>,
+    interfaces: &BTreeMap<String, Interface>,
+    obs: Option<&'a Collector>,
+    mode: ExecMode,
+    cache: &'a AnswerCache,
+) -> Result<(RemoteCatalog, Pusher<'a>), ExecError> {
     // insertion order drives fetch order (plan-referenced documents
     // first); the set makes the reference-closure membership test O(log n)
     // instead of a linear rescan of everything fetched so far
@@ -322,24 +522,29 @@ pub fn execute_mode(
         }
     };
 
-    let catalog = RemoteCatalog { forest };
-    let pusher = Pusher {
-        connections,
-        obs,
-        cache,
-        pushed,
-    };
-    let ctx = EvalCtx {
-        catalog: &catalog,
-        model: None,
-        funcs,
-        skolems,
-        push: Some(&pusher),
-        obs,
-    };
-    let env = Env::new();
+    Ok((
+        RemoteCatalog { forest },
+        Pusher {
+            connections,
+            obs,
+            cache,
+            pushed,
+        },
+    ))
+}
+
+/// Evaluates `plan` with the chosen engine: the interpreter directly, or
+/// the VM on a pre-compiled `program` (compiling on the spot when the
+/// caller has none).
+fn run_engine(
+    plan: &Alg,
+    engine: ExecEngine,
+    program: Option<&yat_algebra::Program>,
+    ctx: &EvalCtx<'_>,
+    env: &Env,
+) -> Result<EvalOut, EvalError> {
     match engine {
-        ExecEngine::Interp => Ok(eval_env(plan, &ctx, &env)?),
+        ExecEngine::Interp => eval_env(plan, ctx, env),
         ExecEngine::Vm => {
             let compiled;
             let program = match program {
@@ -349,7 +554,7 @@ pub fn execute_mode(
                     &compiled
                 }
             };
-            Ok(yat_algebra::vm::run(program, &ctx, &env)?)
+            yat_algebra::vm::run(program, ctx, env)
         }
     }
 }
@@ -566,43 +771,78 @@ fn scatter_gather(
         return Ok((forest, pushed));
     }
 
-    let scatter = obs.map(|o| o.span(kind::PHASE, "scatter".to_string()));
+    let mut scatter = obs.map(|o| o.span(kind::PHASE, "scatter".to_string()));
     let scatter_id = scatter.as_ref().map(|s| s.id());
     let lanes = max_in_flight.max(1).min(jobs.len());
-    let results: Vec<Mutex<Option<Result<JobOut, ExecError>>>> =
-        jobs.iter().map(|_| Mutex::new(None)).collect();
+
+    // Bounded gather: lanes hand finished results to the calling thread
+    // through a channel whose capacity equals the lane count, so at most
+    // `lanes` completed-but-unconsumed results ever sit in memory — a
+    // lane that races ahead of the gatherer blocks in `send` instead of
+    // buffering unbounded output. The gather folds each result into the
+    // forest / push cache as it arrives (both are key-addressed, so
+    // arrival order does not matter), tracking channel occupancy so the
+    // bound is *observable*, not just structural.
+    let (tx, rx) = mpsc::sync_channel::<(usize, Result<JobOut, ExecError>)>(lanes);
+    let pending = AtomicI64::new(0);
+    let peak = AtomicI64::new(0);
+    // errors are reported in job order — whichever job *earliest in the
+    // plan* failed wins, matching the sequential path — so the gather
+    // drains everything rather than bailing on the first arrival
+    let mut first_err: Option<(usize, ExecError)> = None;
     std::thread::scope(|scope| {
         for lane in 0..lanes {
             let jobs = &jobs;
-            let results = &results;
+            let tx = tx.clone();
+            let (pending, peak) = (&pending, &peak);
             scope.spawn(move || {
                 let mut idx = lane;
                 while idx < jobs.len() {
                     let out = run_job(&jobs[idx], lane, connections, cache, obs, scatter_id);
-                    *results[idx].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+                    if tx.send((idx, out)).is_err() {
+                        return;
+                    }
+                    // counted after the buffered send and decremented
+                    // after receipt, so the gauge never exceeds the
+                    // channel capacity; a gather that drains the item
+                    // before this add lands can make the sum read 0,
+                    // but the send itself proves occupancy reached 1
+                    let now = (pending.fetch_add(1, Ordering::SeqCst) + 1).max(1);
+                    peak.fetch_max(now, Ordering::SeqCst);
                     idx += lanes;
                 }
             });
         }
-    });
-    drop(scatter);
-
-    for slot in results {
-        let out = slot
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .take()
-            .unwrap_or_else(|| Err(ExecError::Wire("scatter job was never executed".into())));
-        match out? {
-            JobOut::Docs(docs) => {
-                for (name, tree) in docs {
-                    forest.insert(name, tree);
+        drop(tx);
+        while let Ok((idx, out)) = rx.recv() {
+            pending.fetch_sub(1, Ordering::SeqCst);
+            match out {
+                Ok(JobOut::Docs(docs)) => {
+                    for (name, tree) in docs {
+                        forest.insert(name, tree);
+                    }
+                }
+                Ok(JobOut::Pushed { sig, tab }) => {
+                    pushed.insert(sig, tab);
+                }
+                Err(e) => {
+                    if first_err.as_ref().is_none_or(|(first, _)| idx < *first) {
+                        first_err = Some((idx, e));
+                    }
                 }
             }
-            JobOut::Pushed { sig, tab } => {
-                pushed.insert(sig, tab);
-            }
         }
+    });
+    if let Some(s) = scatter.as_mut() {
+        s.record_u64(
+            attr::PEAK_PENDING,
+            peak.load(Ordering::SeqCst).max(0) as u64,
+        );
+    }
+    drop(scatter);
+
+    if let Some((_, e)) = first_err {
+        return Err(e);
     }
     Ok((forest, pushed))
 }
@@ -1019,6 +1259,81 @@ mod tests {
             warnings[0].contains("YAT_EXEC_ENGINE")
                 && warnings[0].contains("turbo")
                 && warnings[0].contains("`vm`/`compiled`"),
+            "{warnings:?}"
+        );
+    }
+
+    #[test]
+    fn stream_policy_parses_the_env_syntax() {
+        assert_eq!(StreamPolicy::parse("off"), Some(StreamPolicy::Off));
+        assert_eq!(
+            StreamPolicy::parse(" Materialized "),
+            Some(StreamPolicy::Off)
+        );
+        assert_eq!(
+            StreamPolicy::parse("chunked"),
+            Some(StreamPolicy::chunked())
+        );
+        assert_eq!(StreamPolicy::parse("on"), Some(StreamPolicy::chunked()));
+        assert_eq!(
+            StreamPolicy::parse("chunked:256"),
+            Some(StreamPolicy::Chunked {
+                batch_rows: 256,
+                max_pending: StreamPolicy::DEFAULT_MAX_PENDING
+            })
+        );
+        assert_eq!(
+            StreamPolicy::parse("chunked:256:4"),
+            Some(StreamPolicy::Chunked {
+                batch_rows: 256,
+                max_pending: 4
+            })
+        );
+        assert_eq!(StreamPolicy::parse("chunked:0"), None, "zero rows rejected");
+        assert_eq!(
+            StreamPolicy::parse("chunked:64:0"),
+            None,
+            "zero pending rejected"
+        );
+        assert_eq!(StreamPolicy::parse("firehose"), None);
+        assert_eq!(
+            StreamPolicy::chunked().to_string(),
+            "chunked(1024 rows, 8 pending)"
+        );
+        assert_eq!(StreamPolicy::Off.to_string(), "off");
+        assert!(StreamPolicy::chunked().is_chunked() && !StreamPolicy::Off.is_chunked());
+    }
+
+    #[test]
+    fn invalid_stream_policy_env_values_warn_and_fall_back() {
+        use std::sync::{Arc, Mutex};
+        let seen = Arc::new(Mutex::new(Vec::<String>::new()));
+        let sink = seen.clone();
+        yat_obs::set_warn_sink(Some(Box::new(move |m| {
+            sink.lock().unwrap().push(m.to_string());
+        })));
+        // valid and unset values stay silent
+        assert_eq!(StreamPolicy::from_env_value(None), StreamPolicy::Off);
+        assert_eq!(
+            StreamPolicy::from_env_value(Some("chunked:512")),
+            StreamPolicy::Chunked {
+                batch_rows: 512,
+                max_pending: 8
+            }
+        );
+        assert!(seen.lock().unwrap().is_empty());
+        // an invalid value falls back to off, loudly
+        assert_eq!(
+            StreamPolicy::from_env_value(Some("firehose")),
+            StreamPolicy::Off
+        );
+        yat_obs::set_warn_sink(None);
+        let warnings = seen.lock().unwrap();
+        assert_eq!(warnings.len(), 1);
+        assert!(
+            warnings[0].contains("YAT_STREAM")
+                && warnings[0].contains("firehose")
+                && warnings[0].contains("chunked:<rows>:<pending>"),
             "{warnings:?}"
         );
     }

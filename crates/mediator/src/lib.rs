@@ -39,7 +39,7 @@ pub mod rules;
 pub mod session;
 pub mod transport;
 
-pub use executor::{ExecEngine, ExecError, ExecMode};
+pub use executor::{ExecEngine, ExecError, ExecMode, StreamPolicy};
 pub use explain::{CacheLine, Explain, LaneJob, ProgramLine};
 pub use mediator::{Mediator, MediatorError};
 pub use optimizer::{optimize, OptimizerOptions, RuleFiring, Trace};

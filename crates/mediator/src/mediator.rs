@@ -2,7 +2,9 @@
 //! integration programs, answer queries.
 
 use crate::compose::{compose, qualify};
-use crate::executor::{execute_mode, ExecEngine, ExecError, ExecMode};
+use crate::executor::{
+    execute_mode, execute_stream_mode, ExecEngine, ExecError, ExecMode, StreamPolicy,
+};
 use crate::explain::{CacheLine, Explain, LaneJob};
 use crate::optimizer::{optimize, OptimizerOptions, Trace};
 use crate::transport::{Connection, MeterSnapshot};
@@ -69,6 +71,7 @@ pub struct Mediator {
     skolems: SkolemRegistry,
     exec_mode: ExecMode,
     exec_engine: ExecEngine,
+    stream: StreamPolicy,
     cache: AnswerCache,
     programs: ProgramCache,
 }
@@ -116,12 +119,14 @@ impl Mediator {
     /// (sequential when unset); the execution engine to whatever
     /// `YAT_EXEC_ENGINE` selects (the interpreter when unset); the
     /// answer-cache policy to whatever `YAT_CACHE` selects (off when
-    /// unset).
+    /// unset); the stream policy to whatever `YAT_STREAM` selects (off —
+    /// materialized answers — when unset).
     pub fn new() -> Self {
         Mediator {
             funcs: FnRegistry::with_builtins(),
             exec_mode: ExecMode::from_env(),
             exec_engine: ExecEngine::from_env(),
+            stream: StreamPolicy::from_env(),
             cache: AnswerCache::new(CachePolicy::from_env()),
             ..Default::default()
         }
@@ -146,6 +151,20 @@ impl Mediator {
     /// interpreter, or compiled programs run on the VM.
     pub fn set_exec_engine(&mut self, engine: ExecEngine) {
         self.exec_engine = engine;
+    }
+
+    /// The current stream policy.
+    pub fn stream_policy(&self) -> StreamPolicy {
+        self.stream
+    }
+
+    /// Selects how answers leave the mediator: materialized whole, or
+    /// delivered as row batches. Under a `Chunked` policy
+    /// [`Mediator::execute`] routes through the streaming pipeline and
+    /// reassembles the batches, so the whole test suite exercises the
+    /// streamed dataflow when `YAT_STREAM=chunked` is set.
+    pub fn set_stream_policy(&mut self, policy: StreamPolicy) {
+        self.stream = policy;
     }
 
     /// How many distinct plans have been compiled for the VM so far.
@@ -266,8 +285,21 @@ impl Mediator {
     }
 
     /// Executes a plan under the current [`ExecMode`], [`ExecEngine`],
-    /// and cache policy.
+    /// cache policy, and [`StreamPolicy`]. Under a `Chunked` stream
+    /// policy the answer is produced by the streaming pipeline and
+    /// reassembled in process — byte-identical to the materialized
+    /// answer by construction (and by `tests/differential.rs`).
     pub fn execute(&self, plan: &Alg) -> Result<EvalOut, MediatorError> {
+        if self.stream.is_chunked() {
+            let plan = Arc::new(plan.clone());
+            let mut sink = yat_algebra::CollectSink::new();
+            self.execute_stream(&plan, &mut sink)?;
+            return sink.into_answer().ok_or_else(|| {
+                MediatorError::Exec(ExecError::Wire(
+                    "streamed execution delivered no answer".into(),
+                ))
+            });
+        }
         let program = self.program_for(plan);
         Ok(execute_mode(
             plan,
@@ -280,6 +312,58 @@ impl Mediator {
             &self.cache,
             self.exec_engine,
             program.as_deref(),
+        )?)
+    }
+
+    /// Executes a plan with a streamed answer boundary: the plan is
+    /// split into a prefix and its streamable top chain
+    /// ([`yat_algebra::stream::split`]), the prefix runs under the
+    /// current mode/engine/cache exactly like [`Mediator::execute`], and
+    /// the answer is delivered to `sink` in batches of the stream
+    /// policy's `batch_rows` (the default batch size when the policy is
+    /// `Off` — callers asking to stream get streaming).
+    ///
+    /// Compiled programs are cached per *prefix*, so a plan executes
+    /// through the same cached program whether it streams or not
+    /// whenever its streamable chain is empty.
+    pub fn execute_stream(
+        &self,
+        plan: &Arc<Alg>,
+        sink: &mut dyn yat_algebra::BatchSink,
+    ) -> Result<yat_algebra::stream::DeliveryStats, MediatorError> {
+        self.execute_stream_traced(plan, sink, None)
+    }
+
+    /// [`Mediator::execute_stream`] with an optional span collector: the
+    /// `stream` span records batch size, chunk and row counts; in
+    /// parallel mode the `scatter` span records the gather channel's
+    /// peak occupancy (`peak_pending`).
+    pub fn execute_stream_traced(
+        &self,
+        plan: &Arc<Alg>,
+        sink: &mut dyn yat_algebra::BatchSink,
+        obs: Option<&yat_obs::Collector>,
+    ) -> Result<yat_algebra::stream::DeliveryStats, MediatorError> {
+        let (prefix, stages) = yat_algebra::stream::split(plan);
+        let batch_rows = match self.stream {
+            StreamPolicy::Chunked { batch_rows, .. } => batch_rows,
+            StreamPolicy::Off => StreamPolicy::DEFAULT_BATCH_ROWS,
+        };
+        let program = self.program_for(&prefix);
+        Ok(execute_stream_mode(
+            &prefix,
+            &stages,
+            &self.connections,
+            &self.interfaces,
+            &self.funcs,
+            &self.skolems,
+            obs,
+            self.exec_mode,
+            &self.cache,
+            self.exec_engine,
+            program.as_deref(),
+            batch_rows,
+            sink,
         )?)
     }
 
@@ -297,6 +381,19 @@ impl Mediator {
         let plan = self.plan_query(src)?;
         let (optimized, _) = self.optimize(&plan, options);
         self.execute(&optimized)
+    }
+
+    /// Plan → optimize → streamed execution, end to end: the streaming
+    /// equivalent of [`Mediator::query`].
+    pub fn query_stream(
+        &self,
+        src: &str,
+        options: OptimizerOptions,
+        sink: &mut dyn yat_algebra::BatchSink,
+    ) -> Result<yat_algebra::stream::DeliveryStats, MediatorError> {
+        let plan = self.plan_query(src)?;
+        let (optimized, _) = self.optimize(&plan, options);
+        self.execute_stream(&optimized, sink)
     }
 
     /// `EXPLAIN ANALYZE`: executes `plan` with a span collector attached

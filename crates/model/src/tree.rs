@@ -88,6 +88,13 @@ impl Node {
         make(Label::Sym(name.into()), children)
     }
 
+    /// A node with an arbitrary label — for rebuilding a tree around an
+    /// existing root (answer streaming cuts a tree into chunks of
+    /// top-level subtrees under a copy of its root).
+    pub fn labeled(label: Label, children: Vec<Tree>) -> Tree {
+        make(label, children)
+    }
+
     /// A symbol-labeled leaf wrapping a single atom child:
     /// `title["Nympheas"]`. This is the shape XML elements with character
     /// data convert to.

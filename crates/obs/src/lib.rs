@@ -55,6 +55,13 @@ pub mod kind {
     /// [`crate::profile::build`]: `EXPLAIN ANALYZE` renders these in a
     /// dedicated "compiled program" section, not as operator rows.
     pub const VM: &str = "vm";
+    /// A streamed-answer delivery (label = `stream answer`), recorded by
+    /// the mediator's streaming executor around batch delivery. Carries
+    /// [`crate::attr::CHUNKS`], [`crate::attr::BATCH_ROWS`] and
+    /// [`crate::attr::ROWS_OUT`]; on the server side, the per-stream
+    /// write loop records one too. Excluded from
+    /// [`crate::profile::build`] like the other non-operator kinds.
+    pub const STREAM: &str = "stream";
 }
 
 /// Attribute names recorded by the built-in instrumentation sites (the
@@ -85,6 +92,15 @@ pub mod attr {
     /// Row batches a compiled-program instruction processed during one
     /// VM run (`0` for an instruction that never executed).
     pub const BATCHES: &str = "batches";
+    /// Answer chunks a streamed delivery emitted (`stream` spans).
+    pub const CHUNKS: &str = "chunks";
+    /// Rows per answer chunk a streamed delivery was configured with.
+    pub const BATCH_ROWS: &str = "batch_rows";
+    /// High-water mark of gathered-but-unconsumed results buffered at
+    /// once — the scatter/gather backpressure gauge (`phase` spans) and
+    /// the server's per-stream in-flight-chunk gauge (`stream` spans).
+    /// Bounded by the configured budget, never by answer size.
+    pub const PEAK_PENDING: &str = "peak_pending";
 }
 
 /// A pluggable destination for [`warn`] messages.

@@ -1,10 +1,13 @@
 //! A blocking wire-protocol client for `yat-server`.
 
+use std::io::Read;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
+use yat_algebra::EvalOut;
 use yat_capability::framing;
-use yat_capability::protocol::{ClientRequest, ServerReply, ServerStats};
+use yat_capability::protocol::{ClientRequest, ServerReply, ServerStats, StreamFrame};
 use yat_capability::xml::WireError;
+use yat_model::Node;
 
 /// One client connection. Requests are answered in order on the same
 /// stream; a connection can carry any number of them.
@@ -58,6 +61,7 @@ impl Client {
         self.roundtrip(&ClientRequest::Query {
             text: text.into(),
             deadline_ms: None,
+            stream: false,
         })
     }
 
@@ -71,7 +75,41 @@ impl Client {
         self.roundtrip(&ClientRequest::Query {
             text: text.into(),
             deadline_ms: Some(deadline_ms),
+            stream: false,
         })
+    }
+
+    /// Runs a YATL query with `stream="chunked"` negotiated: the answer
+    /// arrives as `answer-chunk` frames and is reassembled here —
+    /// byte-identical to what [`Client::query`] would have returned in
+    /// one frame. A server that does not stream (or a pre-stream
+    /// failure) answers with a single frame, which is returned as-is
+    /// with `chunks == 0`.
+    pub fn query_streamed(&mut self, text: impl Into<String>) -> Result<StreamedReply, WireError> {
+        self.stream_roundtrip(text.into(), None)
+    }
+
+    /// [`Client::query_streamed`] with a per-request deadline.
+    pub fn query_streamed_with_deadline(
+        &mut self,
+        text: impl Into<String>,
+        deadline_ms: u64,
+    ) -> Result<StreamedReply, WireError> {
+        self.stream_roundtrip(text.into(), Some(deadline_ms))
+    }
+
+    fn stream_roundtrip(
+        &mut self,
+        text: String,
+        deadline_ms: Option<u64>,
+    ) -> Result<StreamedReply, WireError> {
+        let request = ClientRequest::Query {
+            text,
+            deadline_ms,
+            stream: true,
+        };
+        framing::write_element(&mut self.stream, &request.to_xml())?;
+        read_streamed_reply(&mut self.stream)
     }
 
     /// Runs a query as `EXPLAIN ANALYZE`, returning the rendered report
@@ -101,5 +139,142 @@ impl Client {
                 other.kind()
             ))),
         }
+    }
+}
+
+/// A streamed reply, reassembled client-side.
+#[derive(Debug)]
+pub struct StreamedReply {
+    /// The reassembled reply: `Answer` when the stream completed, or
+    /// whatever single frame the server fell back to (`Error`,
+    /// `Overloaded`, …).
+    pub reply: ServerReply,
+    /// `answer-chunk` frames received (`0` for a single-frame reply).
+    pub chunks: u64,
+    /// Time from calling into the read to the first reply frame — the
+    /// time-to-first-row a streaming consumer experiences.
+    pub ttfr: Duration,
+}
+
+/// Reads one streamed reply off `reader` and reassembles it, enforcing
+/// the stream invariants: chunk sequence numbers must be gapless and in
+/// order, all chunks of one stream must share a shape (one column
+/// layout, or one tree root whose chunks concatenate their top-level
+/// subtrees), and the `answer-end` frame's declared
+/// chunk and row counts must equal what actually arrived. Every
+/// violation — including the connection closing mid-stream — is a typed
+/// [`WireError`]; a short stream can never silently read as a short
+/// answer.
+///
+/// A first frame that is not a stream frame is parsed as an ordinary
+/// [`ServerReply`] and returned with `chunks == 0` (the single-frame
+/// fallback path: errors, overload shedding, servers that predate
+/// streaming).
+///
+/// Generic over [`Read`] so the frame-corruption tests can drive it
+/// from in-memory byte streams.
+pub fn read_streamed_reply(reader: &mut impl Read) -> Result<StreamedReply, WireError> {
+    let start = Instant::now();
+    let first = framing::read_element(reader)?
+        .ok_or_else(|| WireError::Io("server closed the connection before replying".into()))?;
+    let ttfr = start.elapsed();
+    let mut frame = match StreamFrame::from_xml(&first) {
+        Ok(frame) => frame,
+        Err(WireError::UnknownVerb(_)) => {
+            return Ok(StreamedReply {
+                reply: ServerReply::from_xml(&first)?,
+                chunks: 0,
+                ttfr,
+            })
+        }
+        Err(e) => return Err(e),
+    };
+    let mut answer: Option<EvalOut> = None;
+    let mut chunks = 0u64;
+    loop {
+        match frame {
+            StreamFrame::Chunk { seq, payload } => {
+                if seq != chunks {
+                    return Err(WireError::Stream(format!(
+                        "answer-chunk seq {seq} arrived where {chunks} was expected"
+                    )));
+                }
+                match (&mut answer, payload) {
+                    (None, payload) => answer = Some(payload),
+                    (Some(EvalOut::Tab(acc)), EvalOut::Tab(batch)) => {
+                        if batch.columns() != acc.columns() {
+                            return Err(WireError::Stream(format!(
+                                "chunk columns {:?} differ from the stream's layout {:?}",
+                                batch.columns(),
+                                acc.columns()
+                            )));
+                        }
+                        for row in batch.into_rows() {
+                            acc.push(row);
+                        }
+                    }
+                    (Some(EvalOut::Tree(acc)), EvalOut::Tree(chunk)) => {
+                        if acc.label != chunk.label {
+                            return Err(WireError::Stream(format!(
+                                "tree chunk root `{}` differs from the stream's root `{}`",
+                                chunk.label, acc.label
+                            )));
+                        }
+                        let mut children = acc.children.clone();
+                        children.extend(chunk.children.iter().cloned());
+                        *acc = Node::labeled(acc.label.clone(), children);
+                    }
+                    (Some(_), _) => {
+                        return Err(WireError::Stream(
+                            "stream mixes tree and table chunks".into(),
+                        ))
+                    }
+                }
+                chunks += 1;
+            }
+            StreamFrame::End {
+                chunks: declared,
+                rows,
+            } => {
+                if declared != chunks {
+                    return Err(WireError::Stream(format!(
+                        "answer-end declares {declared} chunks but {chunks} arrived"
+                    )));
+                }
+                let out = answer.ok_or_else(|| {
+                    WireError::Stream("answer-end arrived before any answer-chunk".into())
+                })?;
+                let got_rows = match &out {
+                    EvalOut::Tab(t) => t.len() as u64,
+                    EvalOut::Tree(t) => t.children.len() as u64,
+                };
+                if rows != got_rows {
+                    return Err(WireError::Stream(format!(
+                        "answer-end declares {rows} rows but {got_rows} arrived"
+                    )));
+                }
+                return Ok(StreamedReply {
+                    reply: ServerReply::Answer(out),
+                    chunks,
+                    ttfr,
+                });
+            }
+            StreamFrame::Abort { message } => {
+                return Err(WireError::Stream(format!(
+                    "server aborted the stream after {chunks} chunks: {message}"
+                )))
+            }
+        }
+        let el = framing::read_element(reader)?.ok_or_else(|| {
+            WireError::Stream(format!(
+                "connection closed mid-stream after {chunks} chunks, before answer-end"
+            ))
+        })?;
+        frame = StreamFrame::from_xml(&el).map_err(|e| match e {
+            WireError::UnknownVerb(v) => {
+                WireError::Stream(format!("unexpected <{v}> frame mid-stream"))
+            }
+            other => other,
+        })?;
     }
 }

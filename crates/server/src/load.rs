@@ -17,6 +17,7 @@ use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 use yat_capability::protocol::ServerReply;
+use yat_capability::xml::WireError;
 use yat_prng::Rng;
 
 /// How the generator paces its requests.
@@ -47,6 +48,11 @@ pub struct LoadSpec {
     pub mode: LoadMode,
     /// Per-request deadline forwarded to the server, if any.
     pub deadline_ms: Option<u64>,
+    /// Negotiate `stream="chunked"` on every query: answers arrive as
+    /// chunk frames and are reassembled client-side (byte-verification
+    /// against `expected` still applies to the reassembled answer), and
+    /// time-to-first-row is recorded per answered query.
+    pub stream: bool,
     /// The query texts to draw from, uniformly.
     pub mix: Vec<String>,
     /// Expected serialized `<answer>` reply per query text; when set,
@@ -64,6 +70,7 @@ impl LoadSpec {
             seed: 20260807,
             mode: LoadMode::Closed,
             deadline_ms: None,
+            stream: false,
             mix,
             expected: None,
         }
@@ -89,6 +96,9 @@ pub struct LoadReport {
     pub elapsed: Duration,
     /// Answered-query latencies in milliseconds, sorted ascending.
     pub latencies_ms: Vec<f64>,
+    /// Time-to-first-row in milliseconds per answered streamed query,
+    /// sorted ascending; empty unless the spec streams.
+    pub ttfr_ms: Vec<f64>,
 }
 
 impl LoadReport {
@@ -104,12 +114,13 @@ impl LoadReport {
     /// The `q`-quantile latency in milliseconds (`q` in `[0, 1]`),
     /// nearest-rank over answered queries; zero when nothing answered.
     pub fn percentile_ms(&self, q: f64) -> f64 {
-        if self.latencies_ms.is_empty() {
-            return 0.0;
-        }
-        let n = self.latencies_ms.len();
-        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
-        self.latencies_ms[rank - 1]
+        nearest_rank(&self.latencies_ms, q)
+    }
+
+    /// The `q`-quantile time-to-first-row in milliseconds, nearest-rank
+    /// over answered streamed queries; zero when nothing streamed.
+    pub fn ttfr_percentile_ms(&self, q: f64) -> f64 {
+        nearest_rank(&self.ttfr_ms, q)
     }
 
     /// p50 latency in milliseconds.
@@ -141,7 +152,19 @@ impl LoadReport {
         self.protocol_errors += other.protocol_errors;
         self.mismatches += other.mismatches;
         self.latencies_ms.extend(other.latencies_ms);
+        self.ttfr_ms.extend(other.ttfr_ms);
     }
+}
+
+/// Nearest-rank quantile over an ascending-sorted slice; zero when
+/// empty.
+fn nearest_rank(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let n = sorted.len();
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
 }
 
 /// Runs the load against `addr`, one thread per client, and aggregates
@@ -167,6 +190,9 @@ pub fn run(addr: SocketAddr, spec: &LoadSpec) -> LoadReport {
     report.elapsed = start.elapsed();
     report
         .latencies_ms
+        .sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    report
+        .ttfr_ms
         .sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     report
 }
@@ -214,9 +240,31 @@ fn run_client(addr: SocketAddr, spec: &LoadSpec, index: usize) -> LoadReport {
         };
         report.sent += 1;
         loop {
-            let reply = match spec.deadline_ms {
-                Some(ms) => client.query_with_deadline(text.clone(), ms),
-                None => client.query(text.clone()),
+            // streamed queries reassemble chunk frames and record
+            // time-to-first-row; otherwise identical bookkeeping
+            let (reply, ttfr) = if spec.stream {
+                let streamed = match spec.deadline_ms {
+                    Some(ms) => client.query_streamed_with_deadline(text.clone(), ms),
+                    None => client.query_streamed(text.clone()),
+                };
+                match streamed {
+                    Ok(s) => (Ok(s.reply), Some(s.ttfr)),
+                    Err(WireError::Stream(_)) => {
+                        // a typed stream failure (abort, short stream):
+                        // the query failed server-side, the framing is
+                        // intact only for aborts — count it and stop
+                        // this connection to stay conservative
+                        report.errors += 1;
+                        return report;
+                    }
+                    Err(e) => (Err(e), None),
+                }
+            } else {
+                let reply = match spec.deadline_ms {
+                    Some(ms) => client.query_with_deadline(text.clone(), ms),
+                    None => client.query(text.clone()),
+                };
+                (reply, None)
             };
             match reply {
                 Ok(ServerReply::Answer(out)) => {
@@ -224,6 +272,9 @@ fn run_client(addr: SocketAddr, spec: &LoadSpec, index: usize) -> LoadReport {
                     report
                         .latencies_ms
                         .push(scheduled.elapsed().as_secs_f64() * 1e3);
+                    if let Some(t) = ttfr {
+                        report.ttfr_ms.push(t.as_secs_f64() * 1e3);
+                    }
                     if let Some(expected) = &spec.expected {
                         let got = ServerReply::Answer(out).to_xml().to_xml();
                         if expected.get(&text).map(String::as_str) != Some(got.as_str()) {

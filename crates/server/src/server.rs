@@ -35,10 +35,12 @@ use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use yat_algebra::{BatchSink, EvalError, EvalOut, Tab};
 use yat_capability::framing;
-use yat_capability::protocol::{ClientRequest, ServerReply, ServerStats, SourceGauge};
+use yat_capability::protocol::{ClientRequest, ServerReply, ServerStats, SourceGauge, StreamFrame};
 use yat_capability::xml::WireError;
-use yat_mediator::{Mediator, OptimizerOptions};
+use yat_mediator::{Mediator, OptimizerOptions, StreamPolicy};
+use yat_model::Tree;
 use yat_obs::{attr, kind, Collector, SpanData};
 
 // The worker pool shares one mediator by reference; this is the
@@ -88,6 +90,51 @@ struct Job {
     /// wait actually ended.
     started: SyncSender<()>,
     reply: SyncSender<ServerReply>,
+    /// Present when the client negotiated `stream="chunked"`: the worker
+    /// delivers frames through it instead of `reply`.
+    stream: Option<StreamJob>,
+}
+
+/// The streamed-reply half of a [`Job`].
+struct StreamJob {
+    /// Bounded frame channel (capacity = the stream policy's
+    /// `max_pending`): a worker that produces batches faster than the
+    /// connection thread can write them blocks in `send`, which
+    /// backpressures the mediator's delivery loop — per-query memory
+    /// stays bounded by `max_pending` serialized chunks.
+    events: SyncSender<StreamEvent>,
+    /// The worker blocks here after its terminal event until the
+    /// connection thread has written the final frame, so a drain can
+    /// never observe the query retired while its stream is still being
+    /// written.
+    done: Receiver<()>,
+}
+
+/// One message from a worker to the connection thread of a streamed
+/// query. Frames are pre-serialized on the worker so the connection
+/// thread only writes bytes.
+enum StreamEvent {
+    /// Fall back to one ordinary reply frame: errors before the first
+    /// chunk (including deadline refusals) look exactly like their
+    /// materialized counterparts.
+    Reply(ServerReply),
+    /// One `answer-chunk` frame.
+    Chunk(String),
+    /// The terminal frame: `answer-end`, or `stream-abort` after a
+    /// mid-stream failure.
+    End(String),
+}
+
+/// What [`admit`] hands back to the connection thread.
+enum Admitted {
+    /// One reply frame to write.
+    Reply(ServerReply),
+    /// A streamed answer: frames arrive on `events`; after writing the
+    /// terminal frame the connection thread acks on `done`.
+    Stream {
+        events: Receiver<StreamEvent>,
+        done: SyncSender<()>,
+    },
 }
 
 /// State shared by the accept loop, connection threads and workers.
@@ -349,20 +396,24 @@ fn serve_work(
     let depth = shared.queue_depth.load(Ordering::SeqCst);
     span.record_u64(attr::QUEUE_DEPTH, depth);
     span.record_u64(attr::IN_FLIGHT, shared.in_flight.load(Ordering::SeqCst));
-    let reply = admit(shared, request, span.id(), depth);
-    if let ServerReply::Error { message } = &reply {
-        span.record_str(attr::ERROR, message.clone());
+    match admit(shared, request, span.id(), depth) {
+        Admitted::Reply(reply) => {
+            if let ServerReply::Error { message } = &reply {
+                span.record_str(attr::ERROR, message.clone());
+            }
+            respond(shared, writer, &reply)
+        }
+        Admitted::Stream { events, done } => stream_reply(shared, writer, events, done),
     }
-    respond(shared, writer, &reply)
 }
 
 /// The admission decision for one query.
-fn admit(shared: &Shared, request: ClientRequest, parent_span: usize, depth: u64) -> ServerReply {
+fn admit(shared: &Shared, request: ClientRequest, parent_span: usize, depth: u64) -> Admitted {
     if shared.draining.load(Ordering::SeqCst) {
         shared.errors.fetch_add(1, Ordering::SeqCst);
-        return ServerReply::Error {
+        return Admitted::Reply(ServerReply::Error {
             message: "server is draining; no new queries admitted".into(),
-        };
+        });
     }
     let deadline = match &request {
         ClientRequest::Query { deadline_ms, .. } => deadline_ms
@@ -372,6 +423,26 @@ fn admit(shared: &Shared, request: ClientRequest, parent_span: usize, depth: u64
     };
     let (started_tx, started_rx) = sync_channel::<()>(1);
     let (reply_tx, reply_rx) = sync_channel::<ServerReply>(1);
+    // a negotiated stream gets its frame channel here, bounded by the
+    // stream policy's pending budget
+    let streamed = matches!(&request, ClientRequest::Query { stream: true, .. });
+    let (stream_job, stream_admitted) = if streamed {
+        let max_pending = match shared.mediator.stream_policy() {
+            StreamPolicy::Chunked { max_pending, .. } => max_pending,
+            StreamPolicy::Off => StreamPolicy::DEFAULT_MAX_PENDING,
+        };
+        let (events_tx, events_rx) = sync_channel::<StreamEvent>(max_pending.max(1));
+        let (done_tx, done_rx) = sync_channel::<()>(1);
+        (
+            Some(StreamJob {
+                events: events_tx,
+                done: done_rx,
+            }),
+            Some((events_rx, done_tx)),
+        )
+    } else {
+        (None, None)
+    };
     let job = Job {
         request,
         admitted_at: Instant::now(),
@@ -379,6 +450,7 @@ fn admit(shared: &Shared, request: ClientRequest, parent_span: usize, depth: u64
         parent_span,
         started: started_tx,
         reply: reply_tx,
+        stream: stream_job,
     };
     let sender = shared
         .sender
@@ -387,9 +459,9 @@ fn admit(shared: &Shared, request: ClientRequest, parent_span: usize, depth: u64
         .clone();
     let Some(sender) = sender else {
         shared.errors.fetch_add(1, Ordering::SeqCst);
-        return ServerReply::Error {
+        return Admitted::Reply(ServerReply::Error {
             message: "server is draining; no new queries admitted".into(),
-        };
+        });
     };
     match sender.try_send(job) {
         Ok(()) => {
@@ -402,13 +474,16 @@ fn admit(shared: &Shared, request: ClientRequest, parent_span: usize, depth: u64
                 // the job, which also closes the channel)
                 let _ = started_rx.recv();
             }
+            if let Some((events, done)) = stream_admitted {
+                return Admitted::Stream { events, done };
+            }
             match reply_rx.recv() {
-                Ok(reply) => reply,
+                Ok(reply) => Admitted::Reply(reply),
                 Err(_) => {
                     shared.errors.fetch_add(1, Ordering::SeqCst);
-                    ServerReply::Error {
+                    Admitted::Reply(ServerReply::Error {
                         message: "query was dropped mid-execution (worker died)".into(),
-                    }
+                    })
                 }
             }
         }
@@ -416,14 +491,73 @@ fn admit(shared: &Shared, request: ClientRequest, parent_span: usize, depth: u64
             // load shedding: the queue is saturated, so refuse at the
             // door with a hint instead of queueing unboundedly
             shared.shed.fetch_add(1, Ordering::SeqCst);
-            ServerReply::Overloaded {
+            Admitted::Reply(ServerReply::Overloaded {
                 retry_after_ms: shared.config.retry_after_ms,
-            }
+            })
         }
         Err(TrySendError::Disconnected(_)) => {
             shared.errors.fetch_add(1, Ordering::SeqCst);
-            ServerReply::Error {
+            Admitted::Reply(ServerReply::Error {
                 message: "server is draining; no new queries admitted".into(),
+            })
+        }
+    }
+}
+
+/// Writes a streamed reply: chunk frames as the worker produces them,
+/// then the terminal frame, then the done-ack that lets the worker
+/// retire the query. Returning early on a write failure drops both
+/// channel ends, which the worker observes as a refused sink (stops
+/// producing) and an instant done-ack (retires the query).
+fn stream_reply(
+    shared: &Shared,
+    writer: &mut TcpStream,
+    events: Receiver<StreamEvent>,
+    done: SyncSender<()>,
+) -> Result<(), WireError> {
+    let mut span = shared.obs.span(kind::SERVER, "respond stream");
+    let mut chunks = 0u64;
+    let mut bytes = 0u64;
+    loop {
+        match events.recv() {
+            Ok(StreamEvent::Reply(reply)) => {
+                // single-frame fallback: nothing was streamed
+                if let ServerReply::Error { message } = &reply {
+                    span.record_str(attr::ERROR, message.clone());
+                }
+                let result = respond(shared, writer, &reply);
+                let _ = done.send(());
+                return result;
+            }
+            Ok(StreamEvent::Chunk(frame)) => {
+                chunks += 1;
+                bytes += frame.len() as u64;
+                if let Err(e) = framing::write_frame(writer, &frame) {
+                    span.record_str(attr::ERROR, e.to_string());
+                    return Err(e);
+                }
+            }
+            Ok(StreamEvent::End(frame)) => {
+                bytes += frame.len() as u64;
+                span.record_u64(attr::CHUNKS, chunks);
+                span.record_u64(attr::BYTES_SENT, bytes);
+                let result = framing::write_frame(writer, &frame);
+                if let Err(e) = &result {
+                    span.record_str(attr::ERROR, e.to_string());
+                }
+                // the ack after the final write is the drain guarantee:
+                // the worker holds the query in flight until its stream
+                // is fully on the wire
+                let _ = done.send(());
+                return result;
+            }
+            Err(_) => {
+                shared.errors.fetch_add(1, Ordering::SeqCst);
+                let reply = ServerReply::Error {
+                    message: "query was dropped mid-execution (worker died)".into(),
+                };
+                span.record_str(attr::ERROR, "query was dropped mid-execution (worker died)");
+                return respond(shared, writer, &reply);
             }
         }
     }
@@ -456,16 +590,41 @@ fn worker_loop(index: usize, shared: &Shared, rx: &Mutex<Receiver<Job>>) {
         shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
         drop(job.started); // ends the client's queue-wait span
         let waited = job.admitted_at.elapsed();
-        let reply = if job.deadline.is_some_and(|d| waited > d) {
+        let expired = job.deadline.is_some_and(|d| waited > d);
+
+        if let Some(stream) = &job.stream {
+            let served = if expired {
+                let _ = stream
+                    .events
+                    .send(StreamEvent::Reply(deadline_error(waited, job.deadline)));
+                false
+            } else {
+                serve_streamed(
+                    shared,
+                    index,
+                    in_flight,
+                    &job.request,
+                    job.parent_span,
+                    stream,
+                )
+            };
+            // the done-ack is the drain guarantee: the query stays in
+            // flight until its stream is fully written (or the
+            // connection thread is gone, which closes the channel)
+            let _ = stream.done.recv();
+            shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+            if served {
+                shared.served.fetch_add(1, Ordering::SeqCst);
+            } else {
+                shared.errors.fetch_add(1, Ordering::SeqCst);
+            }
+            continue;
+        }
+
+        let reply = if expired {
             // refused before execution: the client's budget is already
             // spent, running the plan would serve nobody
-            ServerReply::Error {
-                message: format!(
-                    "deadline expired in the admission queue (waited {}, allowed {})",
-                    yat_obs::profile::fmt_duration(waited),
-                    yat_obs::profile::fmt_duration(job.deadline.unwrap_or_default()),
-                ),
-            }
+            deadline_error(waited, job.deadline)
         } else {
             let mut span = shared
                 .obs
@@ -479,11 +638,7 @@ fn worker_loop(index: usize, shared: &Shared, rx: &Mutex<Receiver<Job>>) {
                 Err(payload) => {
                     // panic containment: the worker survives to take the
                     // next job, the client learns what happened
-                    let msg = payload
-                        .downcast_ref::<&str>()
-                        .map(|s| s.to_string())
-                        .or_else(|| payload.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "unknown panic".into());
+                    let msg = panic_message(payload);
                     span.record_str(attr::ERROR, msg.clone());
                     ServerReply::Error {
                         message: format!("query panicked on worker {index}: {msg}"),
@@ -501,6 +656,141 @@ fn worker_loop(index: usize, shared: &Shared, rx: &Mutex<Receiver<Job>>) {
             }
         }
         let _ = job.reply.send(reply);
+    }
+}
+
+/// The refusal for a query whose deadline expired in the queue.
+fn deadline_error(waited: Duration, allowed: Option<Duration>) -> ServerReply {
+    ServerReply::Error {
+        message: format!(
+            "deadline expired in the admission queue (waited {}, allowed {})",
+            yat_obs::profile::fmt_duration(waited),
+            yat_obs::profile::fmt_duration(allowed.unwrap_or_default()),
+        ),
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "unknown panic".into())
+}
+
+/// Executes one streamed query on a worker: the mediator's delivery
+/// loop pushes each batch through [`WireSink`] as an `answer-chunk`
+/// frame, and the terminal event is decided here — `answer-end` on
+/// success, a plain error reply when nothing was streamed yet (so
+/// pre-stream failures look exactly like materialized ones), or
+/// `stream-abort` after the first chunk (delivered frames cannot be
+/// recalled, so the failure must be typed in-band). Returns whether the
+/// query counts as served.
+fn serve_streamed(
+    shared: &Shared,
+    index: usize,
+    in_flight: u64,
+    request: &ClientRequest,
+    parent_span: usize,
+    stream: &StreamJob,
+) -> bool {
+    let ClientRequest::Query { text, .. } = request else {
+        let _ = stream.events.send(StreamEvent::Reply(ServerReply::Error {
+            message: format!("verb `{}` is not streamable work", request.kind()),
+        }));
+        return false;
+    };
+    let mut span = shared
+        .obs
+        .span_under(Some(parent_span), kind::SERVER, "execute");
+    span.record_u64(attr::WORKER, index as u64);
+    span.record_u64(attr::IN_FLIGHT, in_flight);
+    let chunks_sent = AtomicU64::new(0);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut sink = WireSink {
+            events: &stream.events,
+            chunks: &chunks_sent,
+        };
+        shared
+            .mediator
+            .query_stream(text, OptimizerOptions::default(), &mut sink)
+    }));
+    let chunks = chunks_sent.load(Ordering::SeqCst);
+    span.record_u64(attr::CHUNKS, chunks);
+    let (event, served) = match outcome {
+        Ok(Ok(stats)) => (
+            StreamEvent::End(
+                StreamFrame::End {
+                    chunks: stats.chunks,
+                    rows: stats.rows,
+                }
+                .to_xml()
+                .to_xml(),
+            ),
+            true,
+        ),
+        Ok(Err(e)) => {
+            let message = e.to_string();
+            span.record_str(attr::ERROR, message.clone());
+            (stream_failure(chunks, message), false)
+        }
+        Err(payload) => {
+            let msg = panic_message(payload);
+            span.record_str(attr::ERROR, msg.clone());
+            let message = format!("query panicked on worker {index}: {msg}");
+            (stream_failure(chunks, message), false)
+        }
+    };
+    drop(span);
+    let _ = stream.events.send(event);
+    served
+}
+
+/// How a streamed query fails depends on whether frames already went
+/// out: before the first chunk the failure is an ordinary error reply;
+/// after it, a typed `stream-abort` terminal frame.
+fn stream_failure(chunks_sent: u64, message: String) -> StreamEvent {
+    if chunks_sent == 0 {
+        StreamEvent::Reply(ServerReply::Error { message })
+    } else {
+        StreamEvent::End(StreamFrame::Abort { message }.to_xml().to_xml())
+    }
+}
+
+/// The wire-side [`BatchSink`]: each batch becomes one pre-serialized
+/// `answer-chunk` frame pushed through the job's bounded event channel.
+/// A full channel blocks the producer (backpressure); a closed one (the
+/// client hung up, a write failed) surfaces as a sink refusal that stops
+/// the mediator's delivery loop instead of evaluating unwatched batches.
+struct WireSink<'a> {
+    events: &'a SyncSender<StreamEvent>,
+    chunks: &'a AtomicU64,
+}
+
+impl WireSink<'_> {
+    fn push(&mut self, payload: EvalOut) -> Result<(), EvalError> {
+        let seq = self.chunks.load(Ordering::SeqCst);
+        let frame = StreamFrame::Chunk { seq, payload }.to_xml().to_xml();
+        self.events
+            .send(StreamEvent::Chunk(frame))
+            .map_err(|_| EvalError::Sink("client connection closed mid-stream".into()))?;
+        self.chunks.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    }
+}
+
+impl BatchSink for WireSink<'_> {
+    fn on_columns(&mut self, _columns: &[String]) -> Result<(), EvalError> {
+        // every chunk repeats the layout inside its <tab> body
+        Ok(())
+    }
+
+    fn on_batch(&mut self, batch: Tab) -> Result<(), EvalError> {
+        self.push(EvalOut::Tab(batch))
+    }
+
+    fn on_tree(&mut self, tree: &Tree) -> Result<(), EvalError> {
+        self.push(EvalOut::Tree(tree.clone()))
     }
 }
 

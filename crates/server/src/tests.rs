@@ -1,17 +1,23 @@
 //! End-to-end tests: a real `yat-server` on a loopback socket, real
 //! clients, the paper's cultural-goods federation behind it.
 
+use crate::client::read_streamed_reply;
 use crate::load::{LoadMode, LoadSpec};
 use crate::{load, Client, Server, ServerConfig};
 use std::collections::HashMap;
+use std::io::Cursor;
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+use yat_algebra::{CollectSink, EvalOut, Tab, Value};
 use yat_capability::framing;
-use yat_capability::protocol::{ClientRequest, ServerReply};
-use yat_mediator::{Latency, Mediator, OptimizerOptions};
+use yat_capability::protocol::{ClientRequest, ServerReply, StreamFrame};
+use yat_capability::xml::WireError;
+use yat_mediator::{ExecMode, Latency, Mediator, OptimizerOptions, StreamPolicy};
+use yat_model::Node;
 use yat_obs::{attr, kind};
 use yat_oql::art::{art_store, ArtSpec};
 use yat_oql::O2Wrapper;
+use yat_prng::Rng;
 use yat_wais::{generate_works, WaisSource, WaisWrapper, WorksSpec};
 use yat_yatl::paper;
 
@@ -244,6 +250,7 @@ fn hostile_frames_leave_the_server_alive_and_the_connection_usable() {
         &ClientRequest::Query {
             text: paper::Q1.into(),
             deadline_ms: None,
+            stream: false,
         }
         .to_xml(),
     )
@@ -408,6 +415,7 @@ fn open_loop_load_measures_from_the_schedule() {
             seed: 7,
             mode: LoadMode::Open { offered_qps: 200.0 },
             deadline_ms: None,
+            stream: false,
             mix: vec![paper::Q1.to_string()],
             expected: None,
         },
@@ -416,6 +424,444 @@ fn open_loop_load_measures_from_the_schedule() {
     assert!(report.clean());
     assert!(report.p50_ms() > 0.0);
     assert!(report.p99_ms() >= report.p50_ms());
+}
+
+/// A federation like [`federation`], but with independently sized
+/// sources — the streaming tests want a `works` collection much larger
+/// than the artifacts extent.
+fn works_federation(works: usize, artifacts: usize) -> Mediator {
+    let mut m = Mediator::new();
+    m.connect(Box::new(O2Wrapper::new(
+        "o2artifact",
+        art_store(&ArtSpec {
+            artifacts,
+            persons: (artifacts / 5).max(2),
+            seed: 42,
+        }),
+    )))
+    .expect("fresh mediator accepts the O2 wrapper");
+    m.connect(Box::new(WaisWrapper::new(
+        "xmlartwork",
+        WaisSource::new(
+            "works",
+            &generate_works(&WorksSpec {
+                works,
+                impressionist_pct: 30,
+                optional_pct: 60,
+                giverny_pct: 30,
+                seed: 42,
+            }),
+        ),
+    )))
+    .expect("fresh mediator accepts the Wais wrapper");
+    m.load_program(paper::VIEW1).expect("view1 is well-formed");
+    m
+}
+
+/// A full scan of the Wais works collection — one answer subtree per
+/// work, so chunk counts are exact.
+const WORKS_SCAN: &str = "MAKE out *($t2) := r [ $t2 ] MATCH works WITH works *work [ title: $t2 ]";
+
+#[test]
+fn streamed_wire_answers_are_byte_identical_and_chunked() {
+    let reference = federation(12);
+    let mut mediator = federation(12);
+    mediator.set_stream_policy(StreamPolicy::Chunked {
+        batch_rows: 4,
+        max_pending: 4,
+    });
+    let handle = Server::spawn(mediator, ServerConfig::default()).expect("server binds");
+    let mut client = Client::connect(handle.addr()).expect("client connects");
+    // a client that does not negotiate streaming still gets single-frame
+    // answers, byte-identical to a non-streaming server's
+    for query in [paper::Q1, paper::Q2, WORKS_SCAN] {
+        let reply = client.query(query).expect("query round-trips");
+        assert_eq!(
+            reply.to_xml().to_xml(),
+            expected_answer(&reference, query),
+            "single-frame answer unchanged by the server's stream policy"
+        );
+    }
+    // the same queries streamed: the reassembled answer is byte-identical
+    for query in [paper::Q1, paper::Q2, WORKS_SCAN] {
+        let streamed = client.query_streamed(query).expect("stream round-trips");
+        assert_eq!(
+            streamed.reply.to_xml().to_xml(),
+            expected_answer(&reference, query),
+            "reassembled stream must be byte-identical to the single frame"
+        );
+        assert!(
+            streamed.chunks >= 1,
+            "an answer stream has at least one chunk"
+        );
+    }
+    // 12 works in 4-subtree chunks: exactly 3
+    let streamed = client
+        .query_streamed(WORKS_SCAN)
+        .expect("stream round-trips");
+    assert_eq!(streamed.chunks, 3, "12 subtrees / 4 per batch");
+    // the respond path records its chunk counters
+    let spans = handle.spans();
+    let respond = spans
+        .iter()
+        .find(|s| s.kind == kind::SERVER && s.label == "respond stream")
+        .expect("streamed responses get their own respond span");
+    assert!(respond.attr(attr::CHUNKS).is_some());
+    assert!(respond.attr(attr::BYTES_SENT).is_some());
+}
+
+#[test]
+fn corrupted_chunk_streams_yield_typed_errors_never_short_answers() {
+    fn batch(rows: &[i64]) -> EvalOut {
+        let mut tab = Tab::new(vec!["n".to_string()]);
+        for &n in rows {
+            tab.push(vec![Value::Atom(n.into())]);
+        }
+        EvalOut::Tab(tab)
+    }
+    fn frame_bytes(frame: &StreamFrame) -> Vec<u8> {
+        let mut buf = Vec::new();
+        framing::write_element(&mut buf, &frame.to_xml()).expect("frame writes");
+        buf
+    }
+    let frames = [
+        frame_bytes(&StreamFrame::Chunk {
+            seq: 0,
+            payload: batch(&[1, 2]),
+        }),
+        frame_bytes(&StreamFrame::Chunk {
+            seq: 1,
+            payload: batch(&[3, 4]),
+        }),
+        frame_bytes(&StreamFrame::Chunk {
+            seq: 2,
+            payload: batch(&[5]),
+        }),
+        frame_bytes(&StreamFrame::End { chunks: 3, rows: 5 }),
+    ];
+    let full: Vec<u8> = frames.concat();
+
+    // control: the intact stream reassembles completely
+    let ok = read_streamed_reply(&mut Cursor::new(full.clone())).expect("intact stream parses");
+    assert_eq!(ok.chunks, 3);
+    match &ok.reply {
+        ServerReply::Answer(EvalOut::Tab(t)) => assert_eq!(t.len(), 5),
+        other => panic!("expected a 5-row answer, got {other:?}"),
+    }
+
+    // seeded truncation sweep: cutting the byte stream anywhere —
+    // mid-header, mid-frame, between frames — must surface as an error,
+    // never as a silently shorter answer
+    let mut rng = Rng::seed_from_u64(0x0057_EA77);
+    for _ in 0..64 {
+        let cut = rng.gen_range(0..full.len());
+        let result = read_streamed_reply(&mut Cursor::new(full[..cut].to_vec()));
+        let reply = result.map(|r| r.reply);
+        assert!(
+            reply.is_err(),
+            "truncation at byte {cut} parsed as {reply:?}"
+        );
+    }
+
+    // every structural corruption is a typed stream error
+    let stream_err = |frames: &[&Vec<u8>]| -> WireError {
+        let bytes: Vec<u8> = frames.iter().flat_map(|f| f.iter().copied()).collect();
+        read_streamed_reply(&mut Cursor::new(bytes)).expect_err("corrupt stream must not parse")
+    };
+    // reordered chunks: the seq gap is refused at the first wrong frame
+    let err = stream_err(&[&frames[1], &frames[0], &frames[2], &frames[3]]);
+    assert!(
+        matches!(&err, WireError::Stream(m) if m.contains("seq")),
+        "{err}"
+    );
+    // a dropped chunk is a seq gap too
+    let err = stream_err(&[&frames[0], &frames[2], &frames[3]]);
+    assert!(
+        matches!(&err, WireError::Stream(m) if m.contains("seq")),
+        "{err}"
+    );
+    // answer-end declaring the wrong chunk count
+    let end = frame_bytes(&StreamFrame::End { chunks: 2, rows: 5 });
+    let err = stream_err(&[&frames[0], &frames[1], &frames[2], &end]);
+    assert!(
+        matches!(&err, WireError::Stream(m) if m.contains("chunks")),
+        "{err}"
+    );
+    // answer-end declaring the wrong row count
+    let end = frame_bytes(&StreamFrame::End { chunks: 3, rows: 4 });
+    let err = stream_err(&[&frames[0], &frames[1], &frames[2], &end]);
+    assert!(
+        matches!(&err, WireError::Stream(m) if m.contains("rows")),
+        "{err}"
+    );
+    // answer-end with no chunks at all
+    let end = frame_bytes(&StreamFrame::End { chunks: 0, rows: 0 });
+    let err = stream_err(&[&end]);
+    assert!(
+        matches!(&err, WireError::Stream(m) if m.contains("before any")),
+        "{err}"
+    );
+    // a mid-stream abort is surfaced as the typed abort error
+    let abort = frame_bytes(&StreamFrame::Abort {
+        message: "lane died".into(),
+    });
+    let err = stream_err(&[&frames[0], &abort]);
+    assert!(
+        matches!(&err, WireError::Stream(m) if m.contains("aborted")),
+        "{err}"
+    );
+    // a non-stream frame mid-stream is refused
+    let mut foreign = Vec::new();
+    framing::write_element(
+        &mut foreign,
+        &ServerReply::Error {
+            message: "surprise".into(),
+        }
+        .to_xml(),
+    )
+    .expect("frame writes");
+    let err = stream_err(&[&frames[0], &foreign]);
+    assert!(
+        matches!(&err, WireError::Stream(m) if m.contains("mid-stream")),
+        "{err}"
+    );
+    // chunks that change shape mid-stream are refused
+    let tree_chunk = frame_bytes(&StreamFrame::Chunk {
+        seq: 1,
+        payload: EvalOut::Tree(Node::sym("out", vec![Node::elem("r", "x")])),
+    });
+    let err = stream_err(&[&frames[0], &tree_chunk]);
+    assert!(
+        matches!(&err, WireError::Stream(m) if m.contains("mixes")),
+        "{err}"
+    );
+    // chunks that change column layout mid-stream are refused
+    let mut other_tab = Tab::new(vec!["m".to_string()]);
+    other_tab.push(vec![Value::Atom(9i64.into())]);
+    let odd = frame_bytes(&StreamFrame::Chunk {
+        seq: 1,
+        payload: EvalOut::Tab(other_tab),
+    });
+    let err = stream_err(&[&frames[0], &odd]);
+    assert!(
+        matches!(&err, WireError::Stream(m) if m.contains("columns")),
+        "{err}"
+    );
+    // an oversized declared frame length is the framing layer's problem
+    let bomb = vec![0xff, 0xff, 0xff, 0xff];
+    let err = stream_err(&[&frames[0], &bomb]);
+    assert!(matches!(err, WireError::FrameTooLarge { .. }), "{err}");
+}
+
+#[test]
+fn first_chunk_lands_before_the_materialized_answer_completes() {
+    // a large answer over slow sources: the streamed client must see its
+    // first chunk strictly before a materializing client would see any
+    // bytes at all (the single frame is serialized, shipped, and parsed
+    // whole). 25 ms of simulated source latency is paid identically by
+    // both paths, so the margin is the answer-size-proportional tail.
+    let mut mediator = works_federation(4000, 8);
+    mediator.set_cache_policy(yat_mediator::CachePolicy::Off);
+    mediator.set_stream_policy(StreamPolicy::Chunked {
+        batch_rows: 64,
+        max_pending: 8,
+    });
+    for source in ["o2artifact", "xmlartwork"] {
+        mediator
+            .connection(source)
+            .expect("source connected")
+            .set_latency(Some(Latency::fixed(Duration::from_millis(25))));
+    }
+    let handle = Server::spawn(mediator, ServerConfig::default()).expect("server binds");
+    let mut client = Client::connect(handle.addr()).expect("client connects");
+    // one unmeasured warmup so first-use costs bias neither run; the
+    // streamed run goes second-to-last so any residual warming favors
+    // the materialized side
+    client.query(WORKS_SCAN).expect("warmup round-trips");
+    let streamed = client
+        .query_streamed(WORKS_SCAN)
+        .expect("stream round-trips");
+    assert!(matches!(streamed.reply, ServerReply::Answer(_)));
+    assert!(streamed.chunks >= 2, "4000 subtrees / 64 per batch");
+    let start = Instant::now();
+    let reply = client.query(WORKS_SCAN).expect("query round-trips");
+    let materialized_total = start.elapsed();
+    assert!(matches!(reply, ServerReply::Answer(_)));
+    assert!(
+        streamed.ttfr < materialized_total,
+        "time-to-first-row {:?} must beat the materialized time-to-last-row {:?}",
+        streamed.ttfr,
+        materialized_total
+    );
+}
+
+#[test]
+fn graceful_shutdown_finishes_in_flight_streams_before_bye() {
+    let reference = federation(12);
+    let mut mediator = federation(12);
+    mediator.set_stream_policy(StreamPolicy::Chunked {
+        batch_rows: 2,
+        max_pending: 2,
+    });
+    for source in ["o2artifact", "xmlartwork"] {
+        mediator
+            .connection(source)
+            .expect("source connected")
+            .set_latency(Some(Latency::fixed(Duration::from_millis(25))));
+    }
+    let handle = Server::spawn(
+        mediator,
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 16,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server binds");
+    let addr = handle.addr();
+    let (drained, streamed) = std::thread::scope(|scope| {
+        let streamer = scope.spawn(move || {
+            let mut client = Client::connect(addr).expect("client connects");
+            client
+                .query_streamed(paper::Q2)
+                .expect("the in-flight stream survives the drain")
+        });
+        // let the streamed query reach a worker, then pull the plug
+        std::thread::sleep(Duration::from_millis(15));
+        let drained = Client::connect(addr)
+            .expect("client connects")
+            .shutdown()
+            .expect("shutdown round-trips");
+        (drained, streamer.join().unwrap())
+    });
+    assert!(
+        drained >= 1,
+        "the stream was in flight when the drain began"
+    );
+    assert!(
+        matches!(streamed.reply, ServerReply::Answer(_)),
+        "a partially streamed answer finishes through the drain: {:?}",
+        streamed.reply
+    );
+    assert_eq!(
+        streamed.reply.to_xml().to_xml(),
+        expected_answer(&reference, paper::Q2),
+        "the drained stream is complete, not a silent prefix"
+    );
+    assert!(streamed.chunks >= 1);
+    let stats = handle.stats();
+    assert!(stats.draining);
+    assert_eq!(stats.in_flight, 0);
+    handle.join();
+}
+
+#[test]
+fn hundred_thousand_row_answers_stream_with_bounded_gather() {
+    // the acceptance-criterion run: a >=100k-subtree answer, streamed
+    // under the parallel executor. The scatter gather may never buffer
+    // more than its lane budget (the bounded rendezvous channel,
+    // observed through the `peak_pending` gauge) and the answer boundary
+    // works in `DEFAULT_BATCH_ROWS`-subtree chunks.
+    let lanes = 4;
+    let mut mediator = works_federation(100_000, 8);
+    mediator.set_cache_policy(yat_mediator::CachePolicy::Off);
+    mediator.set_exec_mode(ExecMode::Parallel {
+        max_in_flight: lanes,
+    });
+    let plan = mediator.plan_query(WORKS_SCAN).expect("query plans");
+    let (optimized, _) = mediator.optimize(&plan, OptimizerOptions::default());
+
+    mediator.set_stream_policy(StreamPolicy::Off);
+    let expected = mediator.execute(&optimized).expect("materialized answer");
+
+    mediator.set_stream_policy(StreamPolicy::chunked());
+    let collector = yat_obs::Collector::new();
+    let mut sink = CollectSink::new();
+    let stats = mediator
+        .execute_stream_traced(&optimized, &mut sink, Some(&collector))
+        .expect("streamed answer");
+    assert!(stats.rows >= 100_000, "answer has {} rows", stats.rows);
+    assert_eq!(
+        stats.chunks,
+        stats.rows.div_ceil(StreamPolicy::DEFAULT_BATCH_ROWS as u64),
+        "chunks cut at the default batch budget"
+    );
+    let streamed = sink.into_answer().expect("stream delivered an answer");
+    assert_eq!(
+        ServerReply::Answer(streamed).to_xml().to_xml(),
+        ServerReply::Answer(expected).to_xml().to_xml(),
+        "100k-row streamed answer byte-identical to the materialized one"
+    );
+
+    let spans = collector.spans();
+    let stream_span = spans
+        .iter()
+        .find(|s| s.kind == kind::STREAM)
+        .expect("streamed delivery records its span");
+    assert_eq!(
+        stream_span.attr(attr::BATCH_ROWS).and_then(|v| v.as_u64()),
+        Some(StreamPolicy::DEFAULT_BATCH_ROWS as u64)
+    );
+    assert_eq!(
+        stream_span.attr(attr::CHUNKS).and_then(|v| v.as_u64()),
+        Some(stats.chunks)
+    );
+    let scatter = spans
+        .iter()
+        .find(|s| s.kind == kind::PHASE && s.label == "scatter")
+        .expect("parallel execution records the scatter phase");
+    let peak = scatter
+        .attr(attr::PEAK_PENDING)
+        .and_then(|v| v.as_u64())
+        .expect("the gather gauge is recorded");
+    assert!(
+        peak <= lanes as u64,
+        "gather buffered {peak} results against a budget of {lanes}"
+    );
+}
+
+#[test]
+fn gather_gauge_stays_within_the_lane_budget_on_multi_source_plans() {
+    // Q2 pushes work to both sources: two scatter jobs racing two lanes.
+    // The gauge must show the bounded channel held, and the streamed
+    // answer must still be byte-identical to the materialized one.
+    let lanes = 2;
+    let mut mediator = federation(12);
+    mediator.set_cache_policy(yat_mediator::CachePolicy::Off);
+    mediator.set_exec_mode(ExecMode::Parallel {
+        max_in_flight: lanes,
+    });
+    let plan = mediator.plan_query(paper::Q2).expect("query plans");
+    let (optimized, _) = mediator.optimize(&plan, OptimizerOptions::default());
+    let expected = mediator.execute(&optimized).expect("materialized answer");
+    mediator.set_stream_policy(StreamPolicy::Chunked {
+        batch_rows: 2,
+        max_pending: 2,
+    });
+    let collector = yat_obs::Collector::new();
+    let mut sink = CollectSink::new();
+    mediator
+        .execute_stream_traced(&optimized, &mut sink, Some(&collector))
+        .expect("streamed answer");
+    let streamed = sink.into_answer().expect("stream delivered an answer");
+    assert_eq!(
+        ServerReply::Answer(streamed).to_xml().to_xml(),
+        ServerReply::Answer(expected).to_xml().to_xml()
+    );
+    let spans = collector.spans();
+    let scatter = spans
+        .iter()
+        .find(|s| s.kind == kind::PHASE && s.label == "scatter")
+        .expect("parallel execution records the scatter phase");
+    let peak = scatter
+        .attr(attr::PEAK_PENDING)
+        .and_then(|v| v.as_u64())
+        .expect("the gather gauge is recorded");
+    assert!(peak >= 1, "two source jobs must flow through the gather");
+    assert!(
+        peak <= lanes as u64,
+        "gather buffered {peak} results against a budget of {lanes}"
+    );
 }
 
 #[test]

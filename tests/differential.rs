@@ -11,7 +11,11 @@
 //! and reports the master seed plus the smallest failing query.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use yat::yat_mediator::{CachePolicy, ExecEngine, ExecMode, MediatorError, OptimizerOptions};
+use yat::yat_algebra::CollectSink;
+use yat::yat_capability::protocol::ServerReply;
+use yat::yat_mediator::{
+    CachePolicy, ExecEngine, ExecMode, MediatorError, OptimizerOptions, StreamPolicy,
+};
 use yat_bench::workload::Scenario;
 use yat_prng::Rng;
 
@@ -307,6 +311,100 @@ impl Case {
         Ok(())
     }
 
+    /// Runs the case streamed and materialized in every
+    /// {Sequential, Parallel} × {Interp, Vm} combination, on
+    /// identically-seeded federations with the cache pinned off. The
+    /// streamed answer — reassembled from batches by [`CollectSink`] —
+    /// must serialize to exactly the bytes the materialized answer
+    /// serializes to, and both runs must move identical per-source
+    /// traffic: streaming changes *when* rows leave the mediator, never
+    /// *what* leaves or what the sources shipped. Error outcomes must
+    /// agree too (messages may differ between the paths).
+    fn run_stream_axis(&self) -> Result<(), String> {
+        let q = self.query_text();
+        let mut sc = Scenario::at_scale(self.scale);
+        sc.seed = self.scenario_seed;
+
+        for engine in [ExecEngine::Interp, ExecEngine::Vm] {
+            for mode in [
+                ExecMode::Sequential,
+                ExecMode::Parallel {
+                    max_in_flight: self.lanes,
+                },
+            ] {
+                // the materialized side pins streaming *off* explicitly,
+                // so the axis stays honest even when the suite itself
+                // runs under `YAT_STREAM=chunked`
+                let mut mat = sc.mediator();
+                mat.set_exec_mode(mode);
+                mat.set_exec_engine(engine);
+                mat.set_cache_policy(CachePolicy::Off);
+                mat.set_stream_policy(StreamPolicy::Off);
+                let mut st = sc.mediator();
+                st.set_exec_mode(mode);
+                st.set_exec_engine(engine);
+                st.set_cache_policy(CachePolicy::Off);
+                st.set_stream_policy(StreamPolicy::chunked());
+                mat.reset_traffic();
+                st.reset_traffic();
+
+                let rm = mat.query(&q, self.options());
+                let mut sink = CollectSink::new();
+                let rs = st.query_stream(&q, self.options(), &mut sink);
+                match (rm, rs) {
+                    (Ok(a), Ok(stats)) => {
+                        let b = sink.into_answer().ok_or_else(|| {
+                            format!("streamed run delivered no answer under {mode}/{engine}")
+                        })?;
+                        let mat_bytes = ServerReply::Answer(a).to_xml().to_xml();
+                        let st_bytes = ServerReply::Answer(b).to_xml().to_xml();
+                        if mat_bytes != st_bytes {
+                            return Err(format!(
+                                "streamed answer diverges from materialized under \
+                                 {mode}/{engine} ({} chunks, {} rows):\n  \
+                                 materialized: {mat_bytes}\n  streamed: {st_bytes}",
+                                stats.chunks, stats.rows
+                            ));
+                        }
+                        for src in ["o2artifact", "xmlartwork"] {
+                            let mm = mat.traffic_of(src).expect("source is connected");
+                            let ms = st.traffic_of(src).expect("source is connected");
+                            if mm.round_trips != ms.round_trips
+                                || mm.documents_received != ms.documents_received
+                            {
+                                return Err(format!(
+                                    "traffic diverges at `{src}` under {mode}/{engine}: \
+                                     materialized {} trips/{} docs, streamed {} trips/{} docs",
+                                    mm.round_trips,
+                                    mm.documents_received,
+                                    ms.round_trips,
+                                    ms.documents_received
+                                ));
+                            }
+                        }
+                    }
+                    // both paths reject the query: acceptable (messages
+                    // may differ — the streamed path reports through the
+                    // sink boundary)
+                    (Err(_), Err(_)) => {
+                        REJECTED.fetch_add(1, Ordering::Relaxed);
+                    }
+                    (Ok(a), Err(b)) => {
+                        return Err(format!(
+                            "materialized {a:?} but streamed failed under {mode}/{engine}: {b}"
+                        ))
+                    }
+                    (Err(a), Ok(_)) => {
+                        return Err(format!(
+                            "streamed answered but materialized failed under {mode}/{engine}: {a}"
+                        ))
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Runs the case under {cache off, cold, warm} in both exec modes on
     /// one federation each: all three must return identical answers, and
     /// the warm rerun must ship no more per-source traffic than the cold
@@ -522,6 +620,48 @@ fn interpreter_and_vm_agree_on_random_plans() {
     println!("engine differential sweep: {CASES} cases, {rejected} rejected by both engines");
     assert!(
         rejected < CASES,
+        "generator degenerated: {rejected}/{CASES} cases never produced an answer"
+    );
+}
+
+/// The streaming axis of the sweep: every seeded plan, streamed through
+/// the batch pipeline and reassembled, must serialize to byte-identical
+/// answer bytes and ship identical per-source traffic as the
+/// materialized run — under both exec modes and both engines. This is
+/// the oracle that gates the streaming dataflow: the materialized path
+/// defines the semantics, the streamed path must merely reproduce them
+/// incrementally.
+#[test]
+fn streamed_and_materialized_agree_on_random_plans() {
+    let master = std::env::var("YAT_DIFF_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
+    let mut rng = Rng::seed_from_u64(master);
+    REJECTED.store(0, Ordering::Relaxed);
+    for i in 0..CASES {
+        let case = Case::generate(&mut rng);
+        if let Err(msg) = case.run_stream_axis() {
+            let minimal = case.shrink_by(&Case::run_stream_axis);
+            panic!(
+                "stream differential case {i}/{CASES} (YAT_DIFF_SEED={master}) failed: {msg}\n\
+                 query: {}\n\
+                 shrunk query: {}\n\
+                 knobs: {:?} lanes={} opt_level={} scale={} scenario_seed={}",
+                case.query_text(),
+                minimal.query_text(),
+                case.shape,
+                case.lanes,
+                case.opt_level,
+                case.scale,
+                case.scenario_seed
+            );
+        }
+    }
+    let rejected = REJECTED.load(Ordering::Relaxed);
+    println!("stream differential sweep: {CASES} cases, {rejected} rejected by both paths");
+    assert!(
+        rejected < CASES / 2,
         "generator degenerated: {rejected}/{CASES} cases never produced an answer"
     );
 }
