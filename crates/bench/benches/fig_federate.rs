@@ -1,0 +1,337 @@
+//! Federation sweep: plan-time partition pruning, degraded answers and
+//! stat-fed scheduling over an N-member [`FedScenario`], N ∈ {2..32},
+//! with a simulated 25 ms per-member round trip.
+//!
+//! Three sweeps, all over the same seeded federation:
+//!
+//! * **prune** — Q2 (style = Impressionist) with and without
+//!   plan-time partition pruning. The pruned plan must contact *only*
+//!   the shards owning the Impressionist style; every round trip to an
+//!   excluded shard, and any answer divergence, counts as a
+//!   `violations` entry — the CI smoke gate requires zero.
+//! * **degrade** — one shard killed, `PartialFailure::Degrade`: Q1
+//!   still answers, provenance names exactly the dead member, and the
+//!   strict policy still fails fast.
+//! * **sched** — Q1 under cost-fed vs static scatter ordering with
+//!   skewed member latencies (answers must agree; wall times are
+//!   reported, not gated — they are machine-dependent).
+//!
+//! Machine-readable output goes to `BENCH_federate.json` (override with
+//! `YAT_FED_OUT`); `YAT_FED_SMOKE=1` shrinks the member sweep for CI.
+//!
+//! ```json
+//! {"sweep": "prune", "members": 8, "replicas": 4, "shards": 4,
+//!  "pruned_ms": ..., "unpruned_ms": ..., "pruned_bytes": ...,
+//!  "unpruned_bytes": ..., "shards_contacted_pruned": 1,
+//!  "shards_contacted_unpruned": 4, "violations": 0}
+//! ```
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+use yat_algebra::EvalOut;
+use yat_bench::figures::fingerprint;
+use yat_bench::workload::FedScenario;
+use yat_mediator::{ExecMode, Latency, Mediator, OptimizerOptions, PartialFailure, SchedPolicy};
+use yat_yatl::paper;
+
+const SCALE: usize = 40;
+const LATENCY: Duration = Duration::from_millis(25);
+
+fn set_latency(m: &Mediator, sc: &FedScenario, of: impl Fn(&str) -> Duration) {
+    for name in sc.member_names() {
+        m.connection(&name)
+            .expect("every member is connected")
+            .set_latency(Some(Latency::fixed(of(&name))));
+    }
+}
+
+fn answer_fp(out: &EvalOut) -> Vec<String> {
+    match out {
+        EvalOut::Tree(t) => fingerprint(t),
+        EvalOut::Tab(_) => panic!("paper queries answer trees"),
+    }
+}
+
+/// Per-shard round trips since the last `reset_traffic`.
+fn shard_trips(m: &Mediator, sc: &FedScenario) -> Vec<(String, u64)> {
+    sc.shard_names()
+        .into_iter()
+        .map(|name| {
+            let trips = m.traffic_of(&name).map(|t| t.round_trips).unwrap_or(0);
+            (name, trips)
+        })
+        .collect()
+}
+
+struct PruneEntry {
+    members: usize,
+    replicas: usize,
+    shards: usize,
+    pruned_ms: f64,
+    unpruned_ms: f64,
+    pruned_bytes: u64,
+    unpruned_bytes: u64,
+    contacted_pruned: usize,
+    contacted_unpruned: usize,
+    violations: usize,
+}
+
+fn run_prune(members: usize) -> PruneEntry {
+    let sc = FedScenario::new(members, SCALE);
+    let mut m = sc.mediator();
+    m.set_exec_mode(ExecMode::Parallel { max_in_flight: 4 });
+    set_latency(&m, &sc, |_| LATENCY);
+    let plan = m.plan_query(paper::Q2).expect("Q2 plans");
+
+    let unpruned_opts = OptimizerOptions {
+        prune_partitions: false,
+        ..OptimizerOptions::default()
+    };
+    let (unpruned_plan, _) = m.optimize(&plan, unpruned_opts);
+    m.reset_traffic();
+    let t0 = Instant::now();
+    let unpruned_out = m.execute(&unpruned_plan).expect("unpruned Q2 executes");
+    let unpruned_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let unpruned_trips = shard_trips(&m, &sc);
+    let unpruned_bytes: u64 = sc
+        .member_names()
+        .iter()
+        .filter_map(|n| m.traffic_of(n))
+        .map(|t| t.total_bytes())
+        .sum();
+
+    let (pruned_plan, _) = m.optimize(&plan, OptimizerOptions::default());
+    m.reset_traffic();
+    let t0 = Instant::now();
+    let pruned_out = m.execute(&pruned_plan).expect("pruned Q2 executes");
+    let pruned_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let pruned_trips = shard_trips(&m, &sc);
+    let pruned_bytes: u64 = sc
+        .member_names()
+        .iter()
+        .filter_map(|n| m.traffic_of(n))
+        .map(|t| t.total_bytes())
+        .sum();
+
+    // pruning-correctness: an excluded shard must never be contacted,
+    // and the pruned answer must equal the unpruned one
+    let owners = sc.shards_owning("Impressionist");
+    let mut violations = 0usize;
+    for (name, trips) in &pruned_trips {
+        if *trips > 0 && !owners.contains(name) {
+            eprintln!("violation: pruned Q2 contacted excluded shard {name} ({trips} trips)");
+            violations += 1;
+        }
+    }
+    if answer_fp(&pruned_out) != answer_fp(&unpruned_out) {
+        eprintln!("violation: pruned and unpruned Q2 answers diverge at N={members}");
+        violations += 1;
+    }
+    PruneEntry {
+        members,
+        replicas: sc.replica_count(),
+        shards: sc.shard_count(),
+        pruned_ms,
+        unpruned_ms,
+        pruned_bytes,
+        unpruned_bytes,
+        contacted_pruned: pruned_trips.iter().filter(|(_, t)| *t > 0).count(),
+        contacted_unpruned: unpruned_trips.iter().filter(|(_, t)| *t > 0).count(),
+        violations,
+    }
+}
+
+struct DegradeEntry {
+    members: usize,
+    killed: String,
+    degraded_ms: f64,
+    answered_by: usize,
+    missing: usize,
+}
+
+fn run_degrade(members: usize) -> DegradeEntry {
+    let mut sc = FedScenario::new(members, SCALE);
+    let killed = sc.shard_names().pop().expect("at least one shard");
+    sc.dead = vec![killed.clone()];
+    // strict (the default) fails fast, naming the dead member
+    let m = sc.mediator();
+    set_latency(&m, &sc, |_| LATENCY);
+    let err = m
+        .query(paper::Q1, OptimizerOptions::default())
+        .expect_err("strict mode must fail when a consulted shard is dead");
+    assert!(err.to_string().contains(&killed), "{err}");
+
+    let mut m = sc.mediator();
+    m.set_exec_mode(ExecMode::Parallel { max_in_flight: 4 });
+    m.set_partial_failure(PartialFailure::Degrade);
+    set_latency(&m, &sc, |_| LATENCY);
+    let plan = m.plan_query(paper::Q1).expect("Q1 plans");
+    let (opt, _) = m.optimize(&plan, OptimizerOptions::default());
+    let t0 = Instant::now();
+    let (_, prov) = m
+        .execute_federated(&opt)
+        .expect("degrade mode answers past the dead shard");
+    let degraded_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(prov.is_degraded(), "the dead shard must be missed");
+    assert_eq!(
+        prov.missing.keys().cloned().collect::<Vec<_>>(),
+        vec![killed.clone()],
+        "provenance must name exactly the killed shard"
+    );
+    DegradeEntry {
+        members,
+        killed,
+        degraded_ms,
+        answered_by: prov.answered_by.len(),
+        missing: prov.missing.len(),
+    }
+}
+
+struct SchedEntry {
+    members: usize,
+    cost_ms: f64,
+    static_ms: f64,
+}
+
+fn run_sched(members: usize) -> SchedEntry {
+    let sc = FedScenario::new(members, SCALE);
+    let mut m = sc.mediator();
+    m.set_exec_mode(ExecMode::Parallel { max_in_flight: 4 });
+    // skewed federation: even members answer fast, odd members slowly
+    let skew = |name: &str| {
+        let i: usize = name
+            .rsplit('-')
+            .next()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        if i.is_multiple_of(2) {
+            Duration::from_millis(5)
+        } else {
+            Duration::from_millis(50)
+        }
+    };
+    set_latency(&m, &sc, skew);
+    let plan = m.plan_query(paper::Q1).expect("Q1 plans");
+    let (opt, _) = m.optimize(&plan, OptimizerOptions::default());
+    // two warm runs feed the cost records before anything is measured
+    let baseline = answer_fp(&m.execute(&opt).expect("warm run 1"));
+    let _ = m.execute(&opt).expect("warm run 2");
+
+    let mut timed = |policy: SchedPolicy| {
+        m.set_sched_policy(policy);
+        let t0 = Instant::now();
+        let out = m.execute(&opt).expect("scheduled run executes");
+        let elapsed = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            answer_fp(&out),
+            baseline,
+            "scheduling must not change answers"
+        );
+        elapsed
+    };
+    let static_ms = timed(SchedPolicy::Static);
+    let cost_ms = timed(SchedPolicy::Cost);
+    SchedEntry {
+        members,
+        cost_ms,
+        static_ms,
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("YAT_FED_SMOKE").is_ok_and(|v| v == "1");
+    let member_counts: &[usize] = if smoke { &[2, 8] } else { &[2, 4, 8, 16, 32] };
+
+    println!("\n== fig_federate/prune sweep (Q2, 25 ms per member) ==");
+    let mut prunes: Vec<PruneEntry> = Vec::new();
+    for &n in member_counts {
+        let e = run_prune(n);
+        println!(
+            "N={n:<3} ({}R+{}S)  pruned {:>8.2}ms / {:>8}B over {} shard(s)   \
+             unpruned {:>8.2}ms / {:>8}B over {} shard(s)   violations={}",
+            e.replicas,
+            e.shards,
+            e.pruned_ms,
+            e.pruned_bytes,
+            e.contacted_pruned,
+            e.unpruned_ms,
+            e.unpruned_bytes,
+            e.contacted_unpruned,
+            e.violations
+        );
+        prunes.push(e);
+    }
+
+    println!("\n== fig_federate/degrade (kill one shard, Q1) ==");
+    let mut degrades: Vec<DegradeEntry> = Vec::new();
+    for &n in member_counts {
+        let e = run_degrade(n);
+        println!(
+            "N={n:<3} killed {:<9}  degraded answer in {:>8.2}ms  answered-by {} member(s), {} missing",
+            e.killed, e.degraded_ms, e.answered_by, e.missing
+        );
+        degrades.push(e);
+    }
+
+    println!("\n== fig_federate/sched (Q1, 5 ms / 50 ms skew) ==");
+    let mut scheds: Vec<SchedEntry> = Vec::new();
+    for &n in member_counts {
+        let e = run_sched(n);
+        println!(
+            "N={n:<3} static {:>8.2}ms   cost-fed {:>8.2}ms",
+            e.static_ms, e.cost_ms
+        );
+        scheds.push(e);
+    }
+
+    let mut out = String::from("[\n");
+    for e in &prunes {
+        let _ = writeln!(
+            out,
+            "  {{\"sweep\": \"prune\", \"members\": {}, \"replicas\": {}, \"shards\": {}, \
+             \"pruned_ms\": {:.3}, \"unpruned_ms\": {:.3}, \
+             \"pruned_bytes\": {}, \"unpruned_bytes\": {}, \
+             \"shards_contacted_pruned\": {}, \"shards_contacted_unpruned\": {}, \
+             \"violations\": {}}},",
+            e.members,
+            e.replicas,
+            e.shards,
+            e.pruned_ms,
+            e.unpruned_ms,
+            e.pruned_bytes,
+            e.unpruned_bytes,
+            e.contacted_pruned,
+            e.contacted_unpruned,
+            e.violations,
+        );
+    }
+    for e in &degrades {
+        let _ = writeln!(
+            out,
+            "  {{\"sweep\": \"degrade\", \"members\": {}, \"killed\": \"{}\", \
+             \"degraded_ms\": {:.3}, \"answered_by\": {}, \"missing\": {}}},",
+            e.members, e.killed, e.degraded_ms, e.answered_by, e.missing,
+        );
+    }
+    for (i, e) in scheds.iter().enumerate() {
+        let _ = write!(
+            out,
+            "  {{\"sweep\": \"sched\", \"members\": {}, \"cost_ms\": {:.3}, \"static_ms\": {:.3}}}",
+            e.members, e.cost_ms, e.static_ms,
+        );
+        out.push_str(if i + 1 < scheds.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    let path = std::env::var("YAT_FED_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_federate.json").into()
+    });
+    std::fs::write(&path, &out).expect("write federate results");
+    println!("\nwrote {path}");
+
+    let violations: usize = prunes.iter().map(|e| e.violations).sum();
+    if violations > 0 {
+        eprintln!("fig_federate: {violations} pruning-correctness violation(s)");
+        std::process::exit(1);
+    }
+    println!("fig_federate: zero pruning-correctness violations");
+}

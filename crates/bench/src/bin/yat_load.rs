@@ -97,7 +97,7 @@ fn main() {
             let out = reference
                 .query(query, OptimizerOptions::default())
                 .expect("reference query answers in-process");
-            expected.insert(query.clone(), ServerReply::Answer(out).to_xml().to_xml());
+            expected.insert(query.clone(), ServerReply::answer(out).to_xml().to_xml());
         }
         spec.expected = Some(expected);
     }

@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! yat-server [--port N] [--scale N] [--workers N] [--queue N] [--latency-ms N]
+//!            [--federate N]
 //! ```
 //!
 //! * `--port` — TCP port on 127.0.0.1 (default 0 = OS-assigned).
@@ -11,19 +12,23 @@
 //! * `--workers` — worker threads (default 4).
 //! * `--queue` — admission-queue capacity (default 64).
 //! * `--latency-ms` — simulated per-source round-trip delay (default 0).
+//! * `--federate` — serve an N-member federation registry instead of the
+//!   plain two-source scenario: `N/2` O2 replicas, the rest style
+//!   shards of the Wais collection. `YAT_PARTIAL` / `YAT_SCHED` select
+//!   the partial-failure and scheduling policies as everywhere else.
 //!
 //! Execution mode and cache policy come from `YAT_EXEC_MODE` / `YAT_CACHE`
 //! as everywhere else. Prints one `listening on <addr>` line once ready —
 //! the CI smoke job and `yat-load --shutdown` drive it from there.
 
 use std::time::Duration;
-use yat_bench::workload::Scenario;
+use yat_bench::workload::{FedScenario, Scenario};
 use yat_mediator::Latency;
 use yat_server::{Server, ServerConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: yat-server [--port N] [--scale N] [--workers N] [--queue N] [--latency-ms N]"
+        "usage: yat-server [--port N] [--scale N] [--workers N] [--queue N] [--latency-ms N] [--federate N]"
     );
     std::process::exit(2);
 }
@@ -33,6 +38,7 @@ fn main() {
     let mut scale: usize = 50;
     let mut config = ServerConfig::default();
     let mut latency_ms: u64 = 0;
+    let mut federate: usize = 0;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -56,13 +62,22 @@ fn main() {
             "--latency-ms" => {
                 latency_ms = value("--latency-ms").parse().unwrap_or_else(|_| usage())
             }
+            "--federate" => federate = value("--federate").parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
     }
 
-    let mediator = Scenario::at_scale(scale).mediator();
+    let (mediator, sources) = if federate > 0 {
+        let sc = FedScenario::new(federate, scale);
+        (sc.mediator(), sc.member_names())
+    } else {
+        (
+            Scenario::at_scale(scale).mediator(),
+            vec!["o2artifact".into(), "xmlartwork".into()],
+        )
+    };
     if latency_ms > 0 {
-        for source in ["o2artifact", "xmlartwork"] {
+        for source in &sources {
             if let Some(conn) = mediator.connection(source) {
                 conn.set_latency(Some(Latency::fixed(Duration::from_millis(latency_ms))));
             }
@@ -76,10 +91,11 @@ fn main() {
         }
     };
     println!(
-        "yat-server listening on {} ({} workers, queue {}, scale {scale})",
+        "yat-server listening on {} ({} workers, queue {}, scale {scale}, {} sources)",
         handle.addr(),
         config.workers.max(1),
         config.queue_capacity.max(1),
+        sources.len(),
     );
     // serves until a client's `shutdown` verb drains the pool
     handle.join();

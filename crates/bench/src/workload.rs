@@ -1,6 +1,9 @@
 //! Seeded scenario builders for the cultural-goods federation.
 
-use yat_mediator::Mediator;
+use std::collections::{BTreeSet, HashMap};
+use yat_capability::protocol::WrapperServer;
+use yat_mediator::{Dead, FetchOnly, Mediator, MemberRole};
+use yat_model::{Label, Node, Tree};
 use yat_oql::art::{art_store, fig1_store, ArtSpec};
 use yat_oql::O2Wrapper;
 use yat_wais::{fig1_works, generate_works, WaisSource, WaisWrapper, WorksSpec};
@@ -71,6 +74,241 @@ impl Scenario {
     }
 }
 
+/// The style vocabulary `generate_works` draws from — the partition
+/// field values of a federated works collection.
+pub const FED_STYLES: [&str; 5] = [
+    "Impressionist",
+    "Post-Impressionist",
+    "Realist",
+    "Cubist",
+    "Romantic",
+];
+
+/// An N-member federation over the cultural-goods data: the O2 database
+/// replicated across an `art` group, the Wais collection partitioned by
+/// `style` across a `wais` group.
+///
+/// Shard value sets must be disjoint (the registry enforces it), so
+/// shard `i` owns the styles `j ≡ i (mod S)` and S caps at the 5-style
+/// vocabulary — past that, extra members replicate the O2 database. A
+/// query constrained to one style needs only that style's owner — the
+/// pruning the `fig_federate` sweep measures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FedScenario {
+    /// Total member count: `members / 2` (min 1) replicas, the rest
+    /// shards.
+    pub members: usize,
+    /// Artifacts in the replicated O2 database (persons scale at 1/5).
+    pub artifacts: usize,
+    /// Works across the whole partitioned collection.
+    pub works: usize,
+    /// Percentage of Impressionist works (Q2 selectivity).
+    pub impressionist_pct: u8,
+    /// Every k-th shard joins fetch-only (0 = none): its documents are
+    /// pulled and evaluated mediator-side, never pushed to.
+    pub fetch_only_every: usize,
+    /// Member names wrapped in [`Dead`]: they connect, then fail every
+    /// data request.
+    pub dead: Vec<String>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl FedScenario {
+    /// `members` members over `scale` documents per collection, no
+    /// fetch-only members, everyone alive.
+    pub fn new(members: usize, scale: usize) -> Self {
+        FedScenario {
+            members,
+            artifacts: scale,
+            works: scale,
+            impressionist_pct: 30,
+            fetch_only_every: 0,
+            dead: Vec::new(),
+            seed: 42,
+        }
+    }
+
+    /// How many members partition the Wais collection: half the
+    /// federation, capped at the style vocabulary (value sets must be
+    /// disjoint).
+    pub fn shard_count(&self) -> usize {
+        self.members
+            .saturating_sub(self.members / 2)
+            .clamp(1, FED_STYLES.len())
+    }
+
+    /// How many members replicate the O2 database: everyone else.
+    pub fn replica_count(&self) -> usize {
+        self.members.saturating_sub(self.shard_count()).max(1)
+    }
+
+    /// Names of the `art` replicas.
+    pub fn replica_names(&self) -> Vec<String> {
+        (0..self.replica_count())
+            .map(|i| format!("art-{i}"))
+            .collect()
+    }
+
+    /// Names of the `wais` shards.
+    pub fn shard_names(&self) -> Vec<String> {
+        (0..self.shard_count())
+            .map(|i| format!("works-{i}"))
+            .collect()
+    }
+
+    /// All member names, replicas first.
+    pub fn member_names(&self) -> Vec<String> {
+        let mut names = self.replica_names();
+        names.extend(self.shard_names());
+        names
+    }
+
+    /// The styles shard `i` owns (disjoint across shards, covering the
+    /// whole vocabulary).
+    pub fn shard_styles(&self, i: usize) -> BTreeSet<String> {
+        let s = self.shard_count();
+        FED_STYLES
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| j % s == i)
+            .map(|(_, style)| style.to_string())
+            .collect()
+    }
+
+    /// The shards owning works of `style` — the only members a query
+    /// constrained to that style may contact.
+    pub fn shards_owning(&self, style: &str) -> Vec<String> {
+        (0..self.shard_count())
+            .filter(|&i| self.shard_styles(i).contains(style))
+            .map(|i| format!("works-{i}"))
+            .collect()
+    }
+
+    fn art_spec(&self) -> ArtSpec {
+        ArtSpec {
+            artifacts: self.artifacts,
+            persons: (self.artifacts / 5).max(2),
+            seed: self.seed,
+        }
+    }
+
+    /// The works document each shard serves, in shard order: each work
+    /// is dealt to one owner of its style, round-robin.
+    pub fn shard_docs(&self) -> Vec<Tree> {
+        let works = generate_works(&WorksSpec {
+            works: self.works,
+            impressionist_pct: self.impressionist_pct,
+            optional_pct: 60,
+            giverny_pct: 30,
+            seed: self.seed,
+        });
+        let s = self.shard_count();
+        let mut buckets: Vec<Vec<Tree>> = vec![Vec::new(); s];
+        let mut dealt: HashMap<String, usize> = HashMap::new();
+        for work in &works.children {
+            let style = style_of(work);
+            let owners: Vec<usize> = (0..s)
+                .filter(|&i| self.shard_styles(i).contains(&style))
+                .collect();
+            let owners = if owners.is_empty() { vec![0] } else { owners };
+            let turn = dealt.entry(style).or_insert(0);
+            buckets[owners[*turn % owners.len()]].push(work.clone());
+            *turn += 1;
+        }
+        buckets
+            .into_iter()
+            .map(|works_of_shard| Node::labeled(works.label.clone(), works_of_shard))
+            .collect()
+    }
+
+    /// A plain two-source mediator over the same data minus the works
+    /// held by the `killed` shards — the oracle a degraded federated
+    /// answer is checked against (killed *replicas* are lossless and
+    /// must not change the answer at all).
+    pub fn plain_twin(&self, killed: &[String]) -> Mediator {
+        let docs = self.shard_docs();
+        let mut surviving: Vec<Tree> = Vec::new();
+        let mut label = None;
+        for (name, doc) in self.shard_names().iter().zip(docs) {
+            label.get_or_insert(doc.label.clone());
+            if !killed.contains(name) {
+                surviving.extend(doc.children.iter().cloned());
+            }
+        }
+        let works = Node::labeled(label.expect("at least one shard"), surviving);
+        let mut m = Mediator::new();
+        m.connect(Box::new(O2Wrapper::new(
+            "o2artifact",
+            art_store(&self.art_spec()),
+        )))
+        .expect("fresh mediator accepts the O2 wrapper");
+        m.connect(Box::new(WaisWrapper::new(
+            "xmlartwork",
+            WaisSource::new("works", &works),
+        )))
+        .expect("fresh mediator accepts the Wais wrapper");
+        m.load_program(paper::VIEW1).expect("view1 is well-formed");
+        m
+    }
+
+    /// Builds the federation: replicas and shards connected as group
+    /// members, `view1` loaded.
+    pub fn mediator(&self) -> Mediator {
+        let spec = self.art_spec();
+        let docs = self.shard_docs();
+        let mut m = Mediator::new();
+        for name in &self.replica_names() {
+            let wrapper = O2Wrapper::new(name, art_store(&spec));
+            m.connect_member(
+                self.boxed(wrapper, self.dead.iter().any(|d| d == name), false),
+                "art",
+                MemberRole::Replica,
+            )
+            .expect("fresh mediator accepts every replica");
+        }
+        for ((i, name), doc) in self.shard_names().iter().enumerate().zip(&docs) {
+            let wrapper = WaisWrapper::new(name, WaisSource::new("works", doc));
+            let fetch_only = self.fetch_only_every > 0 && (i + 1) % self.fetch_only_every == 0;
+            m.connect_member(
+                self.boxed(wrapper, self.dead.iter().any(|d| d == name), fetch_only),
+                "wais",
+                MemberRole::Shard {
+                    field: "style".into(),
+                    values: self.shard_styles(i),
+                },
+            )
+            .expect("fresh mediator accepts every shard");
+        }
+        m.load_program(paper::VIEW1).expect("view1 is well-formed");
+        m
+    }
+
+    fn boxed<W: WrapperServer + 'static>(
+        &self,
+        wrapper: W,
+        dead: bool,
+        fetch_only: bool,
+    ) -> Box<dyn WrapperServer> {
+        match (dead, fetch_only) {
+            (true, true) => Box::new(Dead(FetchOnly(wrapper))),
+            (true, false) => Box::new(Dead(wrapper)),
+            (false, true) => Box::new(FetchOnly(wrapper)),
+            (false, false) => Box::new(wrapper),
+        }
+    }
+}
+
+/// The text of a work's `style` element (empty when absent).
+fn style_of(work: &Tree) -> String {
+    work.children
+        .iter()
+        .find(|c| matches!(&c.label, Label::Sym(s) if s.as_str() == "style"))
+        .and_then(|c| c.children.first())
+        .map(|v| format!("{}", v.label))
+        .unwrap_or_default()
+}
+
 /// The tiny Fig. 1 federation (two artifacts, two works, three persons).
 pub fn fig1_mediator() -> Mediator {
     let mut m = Mediator::new();
@@ -109,5 +347,60 @@ mod tests {
         let a = Scenario::at_scale(10);
         let b = Scenario::at_scale(10);
         assert_eq!(a.specs(), b.specs());
+    }
+
+    #[test]
+    fn fed_scenario_covers_every_style_disjointly() {
+        for members in [2usize, 4, 8, 16, 32] {
+            let sc = FedScenario::new(members, 20);
+            assert_eq!(
+                sc.replica_count() + sc.shard_count(),
+                members.max(2),
+                "members split exactly"
+            );
+            let mut seen = std::collections::BTreeMap::new();
+            for i in 0..sc.shard_count() {
+                for style in sc.shard_styles(i) {
+                    assert!(
+                        seen.insert(style.clone(), i).is_none(),
+                        "style {style} owned by two shards at S={}",
+                        sc.shard_count()
+                    );
+                }
+            }
+            for style in FED_STYLES {
+                assert!(seen.contains_key(style), "style {style} unowned");
+                assert!(!sc.shards_owning(style).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn fed_scenario_answers_match_the_plain_scenario() {
+        use yat_bench_figures_fp::fp;
+        let plain = Scenario::at_scale(16).mediator();
+        for members in [2usize, 5] {
+            let fed = FedScenario::new(members, 16).mediator();
+            for query in [paper::Q1, paper::Q2] {
+                assert_eq!(
+                    fp(&fed, query),
+                    fp(&plain, query),
+                    "members={members} {query}"
+                );
+            }
+        }
+    }
+
+    mod yat_bench_figures_fp {
+        use super::super::Mediator;
+        use crate::figures::fingerprint;
+        use yat_mediator::OptimizerOptions;
+
+        pub fn fp(m: &Mediator, query: &str) -> Vec<String> {
+            match m.query(query, OptimizerOptions::default()).unwrap() {
+                yat_algebra::EvalOut::Tree(t) => fingerprint(&t),
+                yat_algebra::EvalOut::Tab(_) => panic!("queries answer trees"),
+            }
+        }
     }
 }

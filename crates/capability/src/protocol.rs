@@ -274,6 +274,15 @@ pub struct SourceGauge {
     pub round_trips: u64,
     /// Round trips currently on the wire (the connection-pool gauge).
     pub in_flight: u64,
+    /// The federation group this source belongs to, when the mediator
+    /// registered it as a member; `None` for plain connections (the
+    /// gauge then serializes exactly as it did before federation).
+    pub group: Option<String>,
+    /// EWMA round-trip latency in microseconds, truncated to an
+    /// integer for the wire. `0` until the member has history.
+    pub ewma_latency_us: u64,
+    /// Failed round trips recorded against the member's cost record.
+    pub errors: u64,
 }
 
 /// The gauges and counters a `Stats` request answers with.
@@ -315,7 +324,18 @@ pub enum ServerReply {
     /// A query's result (`Tab` for table-shaped plans, `Tree` for
     /// constructed documents) — byte-identical, serialized, to what the
     /// in-process `Mediator::query` would have produced.
-    Answer(EvalOut),
+    Answer {
+        /// The result.
+        out: EvalOut,
+        /// `answered-by`: the sources that contributed. Set only on
+        /// *degraded* answers, so a complete answer stays byte-identical
+        /// to what a pre-federation server sent.
+        answered_by: Option<String>,
+        /// `missing-sources`: `name=reason` pairs for the sources that
+        /// failed out of a degraded answer. Set together with
+        /// `answered_by`.
+        missing: Option<String>,
+    },
     /// A rendered `EXPLAIN ANALYZE` report.
     Explained {
         /// The report text.
@@ -343,10 +363,19 @@ pub enum ServerReply {
 }
 
 impl ServerReply {
+    /// A complete answer (no provenance attributes on the wire).
+    pub fn answer(out: EvalOut) -> ServerReply {
+        ServerReply::Answer {
+            out,
+            answered_by: None,
+            missing: None,
+        }
+    }
+
     /// The reply's wire label — the XML element name it serializes to.
     pub fn kind(&self) -> &'static str {
         match self {
-            ServerReply::Answer(_) => "answer",
+            ServerReply::Answer { .. } => "answer",
             ServerReply::Explained { .. } => "explained",
             ServerReply::Stats(_) => "server-stats",
             ServerReply::Overloaded { .. } => "overloaded",
@@ -358,12 +387,23 @@ impl ServerReply {
     /// Serializes the reply.
     pub fn to_xml(&self) -> Element {
         match self {
-            ServerReply::Answer(out) => {
+            ServerReply::Answer {
+                out,
+                answered_by,
+                missing,
+            } => {
                 let body = match out {
                     EvalOut::Tab(tab) => Element::new("result").with_child(tab_to_xml(tab)),
                     EvalOut::Tree(tree) => tree_to_xml(tree),
                 };
-                Element::new(self.kind()).with_child(body)
+                let mut el = Element::new(self.kind());
+                if let Some(a) = answered_by {
+                    el.set_attr("answered-by", a.clone());
+                }
+                if let Some(m) = missing {
+                    el.set_attr("missing-sources", m.clone());
+                }
+                el.with_child(body)
             }
             ServerReply::Explained { text } => Element::new(self.kind()).with_text(text.clone()),
             ServerReply::Stats(stats) => {
@@ -382,12 +422,18 @@ impl ServerReply {
                     .with_attr("cache-hits", stats.cache_hits.to_string())
                     .with_attr("cache-misses", stats.cache_misses.to_string());
                 for s in &stats.sources {
-                    el.push_element(
-                        Element::new("source")
-                            .with_attr("name", s.name.clone())
-                            .with_attr("round-trips", s.round_trips.to_string())
-                            .with_attr("in-flight", s.in_flight.to_string()),
-                    );
+                    let mut gauge = Element::new("source")
+                        .with_attr("name", s.name.clone())
+                        .with_attr("round-trips", s.round_trips.to_string())
+                        .with_attr("in-flight", s.in_flight.to_string());
+                    // federation gauges ride along only for registered
+                    // members, so plain servers keep their old bytes
+                    if let Some(group) = &s.group {
+                        gauge.set_attr("group", group.clone());
+                        gauge.set_attr("ewma-latency-us", s.ewma_latency_us.to_string());
+                        gauge.set_attr("errors", s.errors.to_string());
+                    }
+                    el.push_element(gauge);
                 }
                 el
             }
@@ -423,15 +469,20 @@ impl ServerReply {
                     element: "answer".into(),
                     what: "a result or document body".into(),
                 })?;
-                if body.name == "result" {
+                let out = if body.name == "result" {
                     let inner = body.elements().next().ok_or_else(|| WireError::Missing {
                         element: "result".into(),
                         what: "a result table".into(),
                     })?;
-                    Ok(ServerReply::Answer(EvalOut::Tab(tab_from_xml(inner)?)))
+                    EvalOut::Tab(tab_from_xml(inner)?)
                 } else {
-                    Ok(ServerReply::Answer(EvalOut::Tree(tree_from_xml(body))))
-                }
+                    EvalOut::Tree(tree_from_xml(body))
+                };
+                Ok(ServerReply::Answer {
+                    out,
+                    answered_by: el.attr("answered-by").map(str::to_string),
+                    missing: el.attr("missing-sources").map(str::to_string),
+                })
             }
             "explained" => Ok(ServerReply::Explained { text: el.text() }),
             "server-stats" => {
@@ -462,6 +513,17 @@ impl ServerReply {
                             .to_string(),
                         round_trips: counter(s, "round-trips")?,
                         in_flight: counter(s, "in-flight")?,
+                        group: s.attr("group").map(str::to_string),
+                        ewma_latency_us: if s.attr("ewma-latency-us").is_some() {
+                            counter(s, "ewma-latency-us")?
+                        } else {
+                            0
+                        },
+                        errors: if s.attr("errors").is_some() {
+                            counter(s, "errors")?
+                        } else {
+                            0
+                        },
                     });
                 }
                 Ok(ServerReply::Stats(stats))
@@ -510,6 +572,11 @@ pub enum StreamFrame {
         /// Total rows across all chunks (top-level subtrees for a
         /// tree-shaped answer).
         rows: u64,
+        /// `answered-by`: set only when the streamed answer is degraded
+        /// (see [`ServerReply::Answer`]).
+        answered_by: Option<String>,
+        /// `missing-sources`: set together with `answered_by`.
+        missing: Option<String>,
     },
     /// Terminal frame of a failed stream.
     Abort {
@@ -542,9 +609,23 @@ impl StreamFrame {
                     .with_attr("seq", seq.to_string())
                     .with_child(body)
             }
-            StreamFrame::End { chunks, rows } => Element::new(self.kind())
-                .with_attr("chunks", chunks.to_string())
-                .with_attr("rows", rows.to_string()),
+            StreamFrame::End {
+                chunks,
+                rows,
+                answered_by,
+                missing,
+            } => {
+                let mut el = Element::new(self.kind())
+                    .with_attr("chunks", chunks.to_string())
+                    .with_attr("rows", rows.to_string());
+                if let Some(a) = answered_by {
+                    el.set_attr("answered-by", a.clone());
+                }
+                if let Some(m) = missing {
+                    el.set_attr("missing-sources", m.clone());
+                }
+                el
+            }
             StreamFrame::Abort { message } => {
                 Element::new(self.kind()).with_attr("message", message.clone())
             }
@@ -587,6 +668,8 @@ impl StreamFrame {
             "answer-end" => Ok(StreamFrame::End {
                 chunks: counter("chunks")?,
                 rows: counter("rows")?,
+                answered_by: el.attr("answered-by").map(str::to_string),
+                missing: el.attr("missing-sources").map(str::to_string),
             }),
             "stream-abort" => Ok(StreamFrame::Abort {
                 message: el.attr("message").unwrap_or("").to_string(),

@@ -573,7 +573,18 @@ fn streamed_queries_and_chunk_frames_roundtrip() {
             seq: 1,
             payload: EvalOut::Tree(Node::sym("works", vec![])),
         },
-        StreamFrame::End { chunks: 2, rows: 2 },
+        StreamFrame::End {
+            chunks: 2,
+            rows: 2,
+            answered_by: None,
+            missing: None,
+        },
+        StreamFrame::End {
+            chunks: 1,
+            rows: 0,
+            answered_by: Some("art1 art2".into()),
+            missing: Some("works-shard-b: timed out".into()),
+        },
         StreamFrame::Abort {
             message: "source hung up".into(),
         },
@@ -607,11 +618,16 @@ fn server_replies_roundtrip() {
         "title", "Nympheas",
     ))]);
     let replies = vec![
-        ServerReply::Answer(EvalOut::Tab(tab)),
-        ServerReply::Answer(EvalOut::Tree(Node::sym(
+        ServerReply::answer(EvalOut::Tab(tab)),
+        ServerReply::answer(EvalOut::Tree(Node::sym(
             "answers",
             vec![Node::elem("title", "Nympheas")],
         ))),
+        ServerReply::Answer {
+            out: EvalOut::Tree(Node::sym("answers", vec![])),
+            answered_by: Some("art1 works-shard-a".into()),
+            missing: Some("works-shard-b: connection reset".into()),
+        },
         ServerReply::Explained {
             text: "Q1\n  Bind works  1.2ms".into(),
         },
@@ -634,11 +650,17 @@ fn server_replies_roundtrip() {
                     name: "o2artifact".into(),
                     round_trips: 200,
                     in_flight: 2,
+                    group: None,
+                    ewma_latency_us: 0,
+                    errors: 0,
                 },
                 SourceGauge {
                     name: "xmlartwork".into(),
                     round_trips: 150,
                     in_flight: 0,
+                    group: Some("art".into()),
+                    ewma_latency_us: 1843,
+                    errors: 2,
                 },
             ],
         }),

@@ -1,0 +1,218 @@
+//! Per-member health and cost records.
+//!
+//! Every federation member carries a [`CostRecord`] fed by the layers
+//! that observe real work: the transport reports each round trip's
+//! latency, response bytes and outcome; the executor reports answer-cache
+//! hits and misses. Consumers read a consistent [`CostSnapshot`]: the
+//! scatter scheduler orders jobs by [`CostSnapshot::expected_cost`], and
+//! the optimizer's push-vs-pull choice looks at
+//! [`CostSnapshot::error_rate`].
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// EWMA smoothing factor: recent trips dominate, but one outlier does
+/// not erase history.
+const ALPHA: f64 = 0.3;
+
+/// Mutable cost/health state for one member (thread-safe; shared as
+/// `Arc<CostRecord>` between the registry and the member's connection).
+#[derive(Debug, Default)]
+pub struct CostRecord {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Inner {
+    ewma_latency_us: f64,
+    ewma_bytes: f64,
+    trips: u64,
+    errors: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+impl CostRecord {
+    /// A fresh record with no history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one round trip: its wall latency, the response bytes (0
+    /// for failures), and whether it succeeded.
+    pub fn observe(&self, latency: Duration, bytes: u64, ok: bool) {
+        let mut s = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let us = latency.as_secs_f64() * 1e6;
+        if s.trips == 0 {
+            s.ewma_latency_us = us;
+            s.ewma_bytes = bytes as f64;
+        } else {
+            s.ewma_latency_us = ALPHA * us + (1.0 - ALPHA) * s.ewma_latency_us;
+            s.ewma_bytes = ALPHA * bytes as f64 + (1.0 - ALPHA) * s.ewma_bytes;
+        }
+        s.trips += 1;
+        if !ok {
+            s.errors += 1;
+        }
+    }
+
+    /// Records one answer-cache lookup against this member.
+    pub fn observe_cache(&self, hit: bool) {
+        let mut s = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if hit {
+            s.cache_hits += 1;
+        } else {
+            s.cache_misses += 1;
+        }
+    }
+
+    /// A consistent copy of the current counters.
+    pub fn snapshot(&self) -> CostSnapshot {
+        let s = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        CostSnapshot {
+            ewma_latency_us: s.ewma_latency_us,
+            ewma_bytes: s.ewma_bytes,
+            trips: s.trips,
+            errors: s.errors,
+            cache_hits: s.cache_hits,
+            cache_misses: s.cache_misses,
+        }
+    }
+}
+
+/// A point-in-time copy of a member's cost counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CostSnapshot {
+    /// Exponentially weighted round-trip latency, microseconds.
+    pub ewma_latency_us: f64,
+    /// Exponentially weighted response size, bytes.
+    pub ewma_bytes: f64,
+    /// Total round trips attempted.
+    pub trips: u64,
+    /// Round trips that failed (wire errors, timeouts, wrapper errors).
+    pub errors: u64,
+    /// Answer-cache hits attributed to this member.
+    pub cache_hits: u64,
+    /// Answer-cache misses attributed to this member.
+    pub cache_misses: u64,
+}
+
+impl CostSnapshot {
+    /// Fraction of attempted trips that failed (0 when none attempted).
+    pub fn error_rate(&self) -> f64 {
+        if self.trips == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.trips as f64
+        }
+    }
+
+    /// Answer-cache hit rate (0 when no lookups).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        }
+    }
+
+    /// The scalar the scheduler sorts by: expected wall cost of one more
+    /// trip, discounted by how often this member answers from cache.
+    /// A member with no history costs 0, which keeps scheduling
+    /// identical to the static order until real observations arrive.
+    pub fn expected_cost(&self) -> f64 {
+        let wire = self.ewma_latency_us + self.ewma_bytes / 128.0;
+        wire * (1.0 - self.hit_rate())
+    }
+
+    /// Merges another snapshot into this one (group-level aggregation:
+    /// counters add, EWMAs average weighted by trip count).
+    pub fn merge(&self, other: &CostSnapshot) -> CostSnapshot {
+        let total = self.trips + other.trips;
+        let (lat, bytes) = if total == 0 {
+            (0.0, 0.0)
+        } else {
+            let w =
+                |a: f64, at: u64, b: f64, bt: u64| (a * at as f64 + b * bt as f64) / total as f64;
+            (
+                w(
+                    self.ewma_latency_us,
+                    self.trips,
+                    other.ewma_latency_us,
+                    other.trips,
+                ),
+                w(self.ewma_bytes, self.trips, other.ewma_bytes, other.trips),
+            )
+        };
+        CostSnapshot {
+            ewma_latency_us: lat,
+            ewma_bytes: bytes,
+            trips: total,
+            errors: self.errors + other.errors,
+            cache_hits: self.cache_hits + other.cache_hits,
+            cache_misses: self.cache_misses + other.cache_misses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_tracks_observations() {
+        let r = CostRecord::new();
+        assert_eq!(r.snapshot().expected_cost(), 0.0);
+        r.observe(Duration::from_millis(10), 1000, true);
+        let s1 = r.snapshot();
+        assert!((s1.ewma_latency_us - 10_000.0).abs() < 1.0, "{s1:?}");
+        r.observe(Duration::from_millis(30), 1000, true);
+        let s2 = r.snapshot();
+        // 0.3 * 30ms + 0.7 * 10ms = 16ms
+        assert!((s2.ewma_latency_us - 16_000.0).abs() < 1.0, "{s2:?}");
+        assert_eq!(s2.trips, 2);
+        assert_eq!(s2.errors, 0);
+    }
+
+    #[test]
+    fn errors_and_cache_rates() {
+        let r = CostRecord::new();
+        r.observe(Duration::from_millis(1), 0, false);
+        r.observe(Duration::from_millis(1), 100, true);
+        r.observe_cache(true);
+        r.observe_cache(true);
+        r.observe_cache(false);
+        let s = r.snapshot();
+        assert_eq!(s.error_rate(), 0.5);
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+        // cache hits discount the expected cost
+        let cold = CostSnapshot {
+            cache_hits: 0,
+            cache_misses: 3,
+            ..s
+        };
+        assert!(s.expected_cost() < cold.expected_cost());
+    }
+
+    #[test]
+    fn merge_weighs_by_trips() {
+        let a = CostSnapshot {
+            ewma_latency_us: 10.0,
+            trips: 3,
+            errors: 1,
+            ..Default::default()
+        };
+        let b = CostSnapshot {
+            ewma_latency_us: 40.0,
+            trips: 1,
+            ..Default::default()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.trips, 4);
+        assert_eq!(m.errors, 1);
+        assert!((m.ewma_latency_us - 17.5).abs() < 1e-9, "{m:?}");
+        let empty = CostSnapshot::default();
+        assert_eq!(empty.merge(&empty), empty);
+    }
+}

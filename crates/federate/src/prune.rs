@@ -1,0 +1,337 @@
+//! Conjunctive constraint extraction for partition pruning.
+//!
+//! [`constraints_of`] inspects a plan fragment and answers: *which field
+//! values must a document carry for this fragment to keep it?* Two kinds
+//! of evidence are collected, both strictly conjunctive (anything under
+//! `Or`/`Not` is ignored — pruning on a disjunct would be unsound):
+//!
+//! * equality constraints `$v = "c"` where the bind filters map `$v` to
+//!   a field label, and literal field constants inlined in filters
+//!   (`style: "Cubist"`), giving `field → {constants}`;
+//! * `contains(_, "needle")` predicates, giving a needle set. A needle
+//!   only prunes when it falls inside the partition group's declared
+//!   value vocabulary (see [`crate::SourceRegistry::prune`]).
+//!
+//! Evidence is harvested along the plan's *conjunctive spine*: a
+//! `Select` contributes to the constraints of everything above it, but a
+//! multi-child operator (`Union`, `Join`, `Diff`, …) only guarantees the
+//! **intersection** of its children's constraints — a document may reach
+//! the output through either branch, so only what every branch demands
+//! may prune. (A `Join`'s own predicate applies to every output row and
+//! stays conjunctive.)
+
+use std::collections::{BTreeMap, BTreeSet};
+use yat_algebra::{Alg, CmpOp, Operand, Pred};
+use yat_model::{Atom, PLabel, Pattern};
+
+/// The conjunctive constraints a fragment imposes on its documents.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Constraints {
+    /// Field label → constants the field must equal (conjunctively).
+    pub eq: BTreeMap<String, BTreeSet<String>>,
+    /// `contains` needles the whole document must carry.
+    pub needles: BTreeSet<String>,
+}
+
+impl Constraints {
+    /// True when nothing constrains the documents.
+    pub fn is_empty(&self) -> bool {
+        self.eq.is_empty() && self.needles.is_empty()
+    }
+}
+
+/// Extracts the conjunctive constraints of `plan` (see module docs).
+pub fn constraints_of(plan: &Alg) -> Constraints {
+    let mut vars: BTreeMap<String, FieldBinding> = BTreeMap::new();
+    let mut throwaway = Constraints::default();
+    collect_bindings(plan, &mut throwaway, &mut vars);
+    harvest(plan, &vars)
+}
+
+/// Merges `b` into `a` (conjunction: both sets of constraints hold).
+fn union_into(a: &mut Constraints, b: Constraints) {
+    for (f, vals) in b.eq {
+        a.eq.entry(f).or_default().extend(vals);
+    }
+    a.needles.extend(b.needles);
+}
+
+/// The constraints guaranteed by *both* `a` and `b` (a document may
+/// contribute through either side, so only the common demands prune).
+fn intersect(a: Constraints, b: Constraints) -> Constraints {
+    let mut eq = BTreeMap::new();
+    for (f, vals) in a.eq {
+        if let Some(other) = b.eq.get(&f) {
+            let common: BTreeSet<String> = vals.intersection(other).cloned().collect();
+            if !common.is_empty() {
+                eq.insert(f, common);
+            }
+        }
+    }
+    Constraints {
+        eq,
+        needles: a.needles.intersection(&b.needles).cloned().collect(),
+    }
+}
+
+/// Recursive conjunctive-spine harvest (see module docs).
+fn harvest(plan: &Alg, vars: &BTreeMap<String, FieldBinding>) -> Constraints {
+    let mut own = Constraints::default();
+    match plan {
+        Alg::Select { pred, .. } | Alg::Join { pred, .. } => harvest_pred(pred, vars, &mut own),
+        Alg::Bind { filter, .. } => {
+            // inline filter constants are conjunctive for the rows this
+            // bind produces; variable bindings were collected globally
+            let mut scratch = BTreeMap::new();
+            walk_pattern(filter, None, &mut own, &mut scratch);
+        }
+        _ => {}
+    }
+    let children = plan.children();
+    let inherited = match children.len() {
+        0 => Constraints::default(),
+        1 => harvest(children[0], vars),
+        _ => children
+            .iter()
+            .map(|c| harvest(c, vars))
+            .reduce(intersect)
+            .unwrap_or_default(),
+    };
+    union_into(&mut own, inherited);
+    own
+}
+
+/// What field a variable is bound to — `Ambiguous` once two different
+/// fields claim the same variable (shadowing), which disables pruning on
+/// that variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum FieldBinding {
+    Field(String),
+    Ambiguous,
+}
+
+fn collect_bindings(plan: &Alg, c: &mut Constraints, vars: &mut BTreeMap<String, FieldBinding>) {
+    if let Alg::Bind { filter, .. } = plan {
+        walk_pattern(filter, None, c, vars);
+    }
+    for child in plan.children() {
+        collect_bindings(child, c, vars);
+    }
+}
+
+/// Walks a filter pattern. `under` is the label of the enclosing node —
+/// when a `TreeVar` or literal constant appears directly below a labeled
+/// node, that label is the field it binds/constrains.
+fn walk_pattern(
+    p: &Pattern,
+    under: Option<&str>,
+    c: &mut Constraints,
+    vars: &mut BTreeMap<String, FieldBinding>,
+) {
+    match p {
+        Pattern::Node { label, edges } => {
+            let own = match label {
+                PLabel::Sym(s) => Some(s.as_str().to_string()),
+                PLabel::Const(Atom::Str(s)) => {
+                    // a literal string label directly under a field node
+                    // is an inline equality constraint
+                    if let Some(f) = under {
+                        c.eq.entry(f.to_string()).or_default().insert(s.clone());
+                    }
+                    None
+                }
+                _ => None,
+            };
+            for e in edges {
+                walk_pattern(&e.pattern, own.as_deref(), c, vars);
+            }
+        }
+        Pattern::Union(branches) => {
+            // disjunctive context: field constants in branches are not
+            // conjunctive, so only variable bindings are followed, and
+            // conservatively (they may bind in any branch)
+            for b in branches {
+                walk_pattern(b, under, &mut Constraints::default(), vars);
+            }
+        }
+        Pattern::TreeVar(v) => {
+            if let Some(f) = under {
+                match vars.get(v) {
+                    None => {
+                        vars.insert(v.clone(), FieldBinding::Field(f.to_string()));
+                    }
+                    Some(FieldBinding::Field(prev)) if prev == f => {}
+                    _ => {
+                        vars.insert(v.clone(), FieldBinding::Ambiguous);
+                    }
+                }
+            }
+        }
+        Pattern::Ref(_) | Pattern::Wildcard => {}
+    }
+}
+
+fn harvest_pred(pred: &Pred, vars: &BTreeMap<String, FieldBinding>, c: &mut Constraints) {
+    for conjunct in pred.conjuncts() {
+        match conjunct {
+            Pred::Cmp {
+                op: CmpOp::Eq,
+                left: Operand::Var(v),
+                right: Operand::Const(Atom::Str(s)),
+            }
+            | Pred::Cmp {
+                op: CmpOp::Eq,
+                left: Operand::Const(Atom::Str(s)),
+                right: Operand::Var(v),
+            } => {
+                if let Some(FieldBinding::Field(f)) = vars.get(v) {
+                    c.eq.entry(f.clone()).or_default().insert(s.clone());
+                }
+            }
+            Pred::Call { name, args } if name == "contains" => {
+                if let [_, Operand::Const(Atom::Str(needle))] = args.as_slice() {
+                    c.needles.insert(needle.clone());
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yat_yatl::parse_filter;
+
+    fn set(items: &[&str]) -> BTreeSet<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn eq_over_bound_var_maps_to_field() {
+        let plan = Alg::select(
+            Alg::bind(
+                Alg::source("works"),
+                parse_filter("works *work [ title: $t, style: $s ]").unwrap(),
+            ),
+            Pred::eq_const("s", "Cubist"),
+        );
+        let c = constraints_of(&plan);
+        assert_eq!(c.eq.get("style"), Some(&set(&["Cubist"])));
+        assert!(c.needles.is_empty());
+    }
+
+    #[test]
+    fn contains_needles_collected_conjunctively() {
+        let plan = Alg::select(
+            Alg::select(
+                Alg::bind(Alg::source("works"), parse_filter("works *$w").unwrap()),
+                Pred::Call {
+                    name: "contains".into(),
+                    args: vec![Operand::var("w"), Operand::cst("Impressionist")],
+                },
+            ),
+            Pred::Call {
+                name: "contains".into(),
+                args: vec![Operand::var("w"), Operand::cst("Giverny")],
+            },
+        );
+        let c = constraints_of(&plan);
+        assert_eq!(c.needles, set(&["Impressionist", "Giverny"]));
+    }
+
+    #[test]
+    fn disjunctions_and_negations_do_not_prune() {
+        let bind = Alg::bind(
+            Alg::source("works"),
+            parse_filter("works *work [ style: $s ]").unwrap(),
+        );
+        let or = Alg::select(
+            bind.clone(),
+            Pred::Or(
+                Box::new(Pred::eq_const("s", "Cubist")),
+                Box::new(Pred::eq_const("s", "Realist")),
+            ),
+        );
+        assert!(constraints_of(&or).is_empty());
+        let not = Alg::select(bind, Pred::Not(Box::new(Pred::eq_const("s", "Cubist"))));
+        assert!(constraints_of(&not).is_empty());
+    }
+
+    #[test]
+    fn inline_filter_constant_constrains_field() {
+        let plan = Alg::bind(
+            Alg::source("works"),
+            parse_filter("works *work [ style: \"Romantic\" ]").unwrap(),
+        );
+        let c = constraints_of(&plan);
+        assert_eq!(c.eq.get("style"), Some(&set(&["Romantic"])));
+    }
+
+    #[test]
+    fn ambiguous_variable_binding_disables_pruning() {
+        // $s is bound under both `style` and `size`: neither may prune
+        let plan = Alg::select(
+            std::sync::Arc::new(Alg::Union {
+                left: Alg::bind(
+                    Alg::source("works"),
+                    parse_filter("works *work [ style: $s ]").unwrap(),
+                ),
+                right: Alg::bind(
+                    Alg::source("works"),
+                    parse_filter("works *work [ size: $s ]").unwrap(),
+                ),
+            }),
+            Pred::eq_const("s", "Cubist"),
+        );
+        assert!(constraints_of(&plan).eq.is_empty());
+    }
+
+    #[test]
+    fn union_branches_intersect_their_constraints() {
+        let bind = Alg::bind(
+            Alg::source("works"),
+            parse_filter("works *work [ style: $s ]").unwrap(),
+        );
+        let cubist = Alg::select(bind.clone(), Pred::eq_const("s", "Cubist"));
+        // a Select inside only one branch must not prune: documents may
+        // reach the output through the unfiltered branch
+        let one_sided = std::sync::Arc::new(Alg::Union {
+            left: cubist.clone(),
+            right: bind.clone(),
+        });
+        assert!(constraints_of(&one_sided).is_empty());
+        // a demand both branches share survives the intersection
+        let both = std::sync::Arc::new(Alg::Union {
+            left: cubist.clone(),
+            right: Alg::select(bind, Pred::eq_const("s", "Cubist")),
+        });
+        assert_eq!(
+            constraints_of(&both).eq.get("style"),
+            Some(&set(&["Cubist"]))
+        );
+        // and a Select *above* the union is conjunctive again
+        let above = Alg::select(one_sided, Pred::eq_const("s", "Realist"));
+        assert_eq!(
+            constraints_of(&above).eq.get("style"),
+            Some(&set(&["Realist"]))
+        );
+    }
+
+    #[test]
+    fn join_conjuncts_count_but_var_to_var_does_not() {
+        let left = Alg::bind(
+            Alg::source("works"),
+            parse_filter("works *work [ title: $t, style: $s ]").unwrap(),
+        );
+        let right = Alg::bind(Alg::source("artifacts"), parse_filter("set *$a").unwrap());
+        let plan = Alg::join(
+            left,
+            right,
+            Pred::var_eq("t", "u").and(Pred::eq_const("s", "Realist")),
+        );
+        let c = constraints_of(&plan);
+        assert_eq!(c.eq.get("style"), Some(&set(&["Realist"])));
+        assert_eq!(c.eq.len(), 1);
+    }
+}

@@ -25,7 +25,8 @@ use yat_algebra::{Alg, EvalError, EvalOut, FnRegistry, Operand, Pred, SkolemRegi
 use yat_cache::{AnswerCache, CachedAnswer, Signature};
 use yat_capability::interface::Interface;
 use yat_capability::protocol::{Request, Response};
-use yat_model::{Forest, Pattern, Tree};
+use yat_federate::{GroupKind, PartialFailure, ProvLog, SourceRegistry};
+use yat_model::{Forest, Node, Pattern, Tree};
 use yat_obs::{attr, kind, Collector};
 
 /// How the executor dispatches independent source work.
@@ -267,9 +268,22 @@ impl StreamPolicy {
             Some((rows, pending)) => (rows, Some(pending)),
             None => (rest, None),
         };
-        let batch_rows: usize = rows.parse().ok().filter(|&n| n > 0)?;
+        // a zero is clamped to 1 rather than rejected: the caller asked
+        // for chunked delivery, and 1-row batches honor that while a
+        // rejection would silently disable streaming altogether
+        let clamp = |what: &str, n: usize| {
+            if n == 0 {
+                yat_obs::warn(format!(
+                    "YAT_STREAM: `{what}` must be at least 1; clamping 0 to 1"
+                ));
+                1
+            } else {
+                n
+            }
+        };
+        let batch_rows: usize = clamp("rows", rows.parse().ok()?);
         let max_pending = match pending {
-            Some(p) => p.parse().ok().filter(|&n| n > 0)?,
+            Some(p) => clamp("pending", p.parse().ok()?),
             None => Self::DEFAULT_MAX_PENDING,
         };
         Some(StreamPolicy::Chunked {
@@ -287,6 +301,172 @@ impl std::fmt::Display for StreamPolicy {
                 batch_rows,
                 max_pending,
             } => write!(f, "chunked({batch_rows} rows, {max_pending} pending)"),
+        }
+    }
+}
+
+/// How scatter jobs are ordered onto worker lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedPolicy {
+    /// Longest-expected-first: jobs are ordered by the registry's
+    /// observed cost records (EWMA latency + bytes, discounted by cache
+    /// hit rate) before lane assignment, so the most expensive round
+    /// trips start earliest and the critical path shrinks. With no
+    /// observations every job costs 0 and the order — and therefore the
+    /// whole execution — is identical to `Static`.
+    #[default]
+    Cost,
+    /// Plan order with static round-robin lanes — the pre-federation
+    /// behavior, kept as the benchmark baseline.
+    Static,
+}
+
+impl SchedPolicy {
+    /// The policy selected by the `YAT_SCHED` environment variable
+    /// (`cost` or `static`/`round-robin`); cost-ordered when unset. An
+    /// invalid value falls back to cost-ordered, loudly via
+    /// [`yat_obs::warn`].
+    pub fn from_env() -> Self {
+        Self::from_env_value(std::env::var("YAT_SCHED").ok().as_deref())
+    }
+
+    /// [`SchedPolicy::from_env`] on an explicit value (`None` = unset).
+    pub fn from_env_value(value: Option<&str>) -> Self {
+        let Some(value) = value else {
+            return SchedPolicy::default();
+        };
+        match Self::parse(value) {
+            Some(policy) => policy,
+            None => {
+                yat_obs::warn(format!(
+                    "YAT_SCHED=`{value}` is not a valid scheduling policy; accepted \
+                     values are `cost` or `static`/`round-robin` — falling back to cost"
+                ));
+                SchedPolicy::default()
+            }
+        }
+    }
+
+    /// Parses the `YAT_SCHED` syntax.
+    pub fn parse(text: &str) -> Option<Self> {
+        match text.trim().to_ascii_lowercase().as_str() {
+            "cost" => Some(SchedPolicy::Cost),
+            "static" | "round-robin" => Some(SchedPolicy::Static),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for SchedPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedPolicy::Cost => write!(f, "cost"),
+            SchedPolicy::Static => write!(f, "static"),
+        }
+    }
+}
+
+/// Everything one execution runs against: the connection/interface maps
+/// and registries of the mediator, the selected mode/engine/policies,
+/// and the optional observability and provenance collectors.
+///
+/// With an empty [`SourceRegistry`] and [`PartialFailure::Strict`] the
+/// executor behaves exactly as before federation existed: every source
+/// name resolves to its own connection and any failure fails the query.
+pub struct ExecSpec<'a> {
+    /// Connections by source (or member) name.
+    pub connections: &'a BTreeMap<String, Connection>,
+    /// Imported interfaces by source, member, and group name.
+    pub interfaces: &'a BTreeMap<String, Interface>,
+    /// External/compensation functions.
+    pub funcs: &'a FnRegistry,
+    /// The Skolem registry of the integrated view.
+    pub skolems: &'a SkolemRegistry,
+    /// Optional span collector (`EXPLAIN ANALYZE`).
+    pub obs: Option<&'a Collector>,
+    /// Source-work dispatch mode.
+    pub mode: ExecMode,
+    /// The cross-query answer cache.
+    pub cache: &'a AnswerCache,
+    /// Local evaluation engine.
+    pub engine: ExecEngine,
+    /// Pre-compiled program for the plan (VM engine only).
+    pub program: Option<&'a yat_algebra::Program>,
+    /// The federation registry (empty for plain mediators).
+    pub registry: &'a SourceRegistry,
+    /// What a per-source failure does to the query.
+    pub partial: PartialFailure,
+    /// How scatter jobs are ordered onto lanes.
+    pub sched: SchedPolicy,
+    /// Optional provenance accumulator (answered-by / missing-sources).
+    pub prov: Option<&'a ProvLog>,
+}
+
+impl<'a> ExecSpec<'a> {
+    /// The slice of the spec the fetch/push machinery carries around.
+    fn fed(&self) -> FedCtx<'a> {
+        FedCtx {
+            connections: self.connections,
+            registry: self.registry,
+            cache: self.cache,
+            partial: self.partial,
+            prov: self.prov,
+            obs: self.obs,
+        }
+    }
+}
+
+/// What source-side work (fetching, pushing, caching, failover) needs
+/// from an [`ExecSpec`] — a `Copy` bundle shared between the executor
+/// front half and the [`Pusher`] that lives on through local evaluation.
+#[derive(Clone, Copy)]
+struct FedCtx<'a> {
+    connections: &'a BTreeMap<String, Connection>,
+    registry: &'a SourceRegistry,
+    cache: &'a AnswerCache,
+    partial: PartialFailure,
+    prov: Option<&'a ProvLog>,
+    obs: Option<&'a Collector>,
+}
+
+impl<'a> FedCtx<'a> {
+    fn touch(&self, source: &str) {
+        if let Some(p) = self.prov {
+            p.touch(source);
+        }
+    }
+
+    fn miss(&self, source: &str, error: &str) {
+        if let Some(p) = self.prov {
+            p.miss(source, error);
+        }
+    }
+
+    fn degrade(&self) -> bool {
+        self.partial == PartialFailure::Degrade
+    }
+
+    /// The data epoch cached answers for `source` are validated against:
+    /// a group's epoch is the sum of its members' epochs, so bumping any
+    /// member retires group-keyed answers.
+    fn epoch_of(&self, source: &str) -> u64 {
+        if self.registry.is_group(source) {
+            self.registry
+                .members_of(source)
+                .iter()
+                .filter_map(|m| self.connections.get(&m.name))
+                .map(|c| c.epoch())
+                .sum()
+        } else {
+            self.connections.get(source).map(|c| c.epoch()).unwrap_or(0)
+        }
+    }
+
+    /// Feeds a cache lookup outcome into the registry's cost records
+    /// (only when the cache can actually serve answers).
+    fn observe_cache(&self, source: &str, hit: bool) {
+        if self.cache.policy().is_enabled() {
+            self.registry.observe_cache(source, hit);
         }
     }
 }
@@ -359,24 +539,33 @@ pub fn execute_traced(
     skolems: &SkolemRegistry,
     obs: Option<&Collector>,
 ) -> Result<EvalOut, ExecError> {
-    execute_mode(
-        plan,
+    let cache = AnswerCache::off();
+    let registry = SourceRegistry::new();
+    let spec = ExecSpec {
         connections,
         interfaces,
         funcs,
         skolems,
         obs,
-        ExecMode::Sequential,
-        &AnswerCache::off(),
-        ExecEngine::Interp,
-        None,
-    )
+        mode: ExecMode::Sequential,
+        cache: &cache,
+        engine: ExecEngine::Interp,
+        program: None,
+        registry: &registry,
+        partial: PartialFailure::Strict,
+        sched: SchedPolicy::Static,
+        prov: None,
+    };
+    execute_mode(plan, &spec)
 }
 
-/// [`execute_traced`] with an explicit [`ExecMode`] and answer cache. In
-/// `Parallel` mode the prefetch and every independent push fragment run
-/// as scatter jobs under a `scatter` phase span; each job span records
-/// the worker lane that executed it (`attr::LANE`).
+/// [`execute_traced`] generalized over an [`ExecSpec`]: explicit
+/// [`ExecMode`], answer cache, engine, federation registry, and
+/// partial-failure policy. In `Parallel` mode the prefetch and every
+/// independent push fragment run as scatter jobs under a `scatter` phase
+/// span; each job span records the worker lane that executed it
+/// (`attr::LANE`), and under [`SchedPolicy::Cost`] jobs are ordered
+/// longest-expected-first using the registry's cost records.
 ///
 /// When the cache is enabled, every unit of source work — a document
 /// fetch or a pushed fragment, dependent ones included — is looked up
@@ -385,34 +574,22 @@ pub fn execute_traced(
 /// fully successful round trip. In parallel mode lookups happen at
 /// scheduling time: a hit removes the job from the lane schedule.
 ///
-/// The local algebra between source round trips is evaluated by
-/// `engine`; under [`ExecEngine::Vm`] a pre-compiled `program` (the
+/// The local algebra between source round trips is evaluated by the
+/// spec's engine; under [`ExecEngine::Vm`] a pre-compiled program (the
 /// mediator's cross-query program cache) is used when supplied, or the
 /// plan is compiled on the spot.
-#[allow(clippy::too_many_arguments)]
-pub fn execute_mode(
-    plan: &Alg,
-    connections: &BTreeMap<String, Connection>,
-    interfaces: &BTreeMap<String, Interface>,
-    funcs: &FnRegistry,
-    skolems: &SkolemRegistry,
-    obs: Option<&Collector>,
-    mode: ExecMode,
-    cache: &AnswerCache,
-    engine: ExecEngine,
-    program: Option<&yat_algebra::Program>,
-) -> Result<EvalOut, ExecError> {
-    let (catalog, pusher) = prepare(plan, connections, interfaces, obs, mode, cache)?;
+pub fn execute_mode(plan: &Alg, spec: &ExecSpec<'_>) -> Result<EvalOut, ExecError> {
+    let (catalog, pusher) = prepare(plan, spec)?;
     let ctx = EvalCtx {
         catalog: &catalog,
         model: None,
-        funcs,
-        skolems,
+        funcs: spec.funcs,
+        skolems: spec.skolems,
         push: Some(&pusher),
-        obs,
+        obs: spec.obs,
     };
     let env = Env::new();
-    run_engine(plan, engine, program, &ctx, &env).map_err(ExecError::from)
+    run_engine(plan, spec.engine, spec.program, &ctx, &env).map_err(ExecError::from)
 }
 
 /// [`execute_mode`] with a streamed answer boundary: `prefix` (the plan
@@ -429,33 +606,25 @@ pub fn execute_mode(
 ///
 /// Delivery runs under a `stream` span recording `batch_rows` and, on
 /// success, the chunk and row counts.
-#[allow(clippy::too_many_arguments)]
 pub fn execute_stream_mode(
     prefix: &Alg,
     stages: &[yat_algebra::stream::Stage],
-    connections: &BTreeMap<String, Connection>,
-    interfaces: &BTreeMap<String, Interface>,
-    funcs: &FnRegistry,
-    skolems: &SkolemRegistry,
-    obs: Option<&Collector>,
-    mode: ExecMode,
-    cache: &AnswerCache,
-    engine: ExecEngine,
-    program: Option<&yat_algebra::Program>,
+    spec: &ExecSpec<'_>,
     batch_rows: usize,
     sink: &mut dyn yat_algebra::stream::BatchSink,
 ) -> Result<yat_algebra::stream::DeliveryStats, ExecError> {
-    let (catalog, pusher) = prepare(prefix, connections, interfaces, obs, mode, cache)?;
+    let (catalog, pusher) = prepare(prefix, spec)?;
     let ctx = EvalCtx {
         catalog: &catalog,
         model: None,
-        funcs,
-        skolems,
+        funcs: spec.funcs,
+        skolems: spec.skolems,
         push: Some(&pusher),
-        obs,
+        obs: spec.obs,
     };
     let env = Env::new();
-    let prefix_out = run_engine(prefix, engine, program, &ctx, &env)?;
+    let prefix_out = run_engine(prefix, spec.engine, spec.program, &ctx, &env)?;
+    let obs = spec.obs;
     let mut span = obs.map(|o| {
         let mut s = o.span(kind::STREAM, "stream answer".to_string());
         s.record_u64(attr::BATCH_ROWS, batch_rows as u64);
@@ -481,14 +650,7 @@ pub fn execute_stream_mode(
 /// The shared front half of execution: dependency analysis, document
 /// prefetch (sequential or scatter/gather), and construction of the
 /// catalog + push handler local evaluation runs against.
-fn prepare<'a>(
-    plan: &Alg,
-    connections: &'a BTreeMap<String, Connection>,
-    interfaces: &BTreeMap<String, Interface>,
-    obs: Option<&'a Collector>,
-    mode: ExecMode,
-    cache: &'a AnswerCache,
-) -> Result<(RemoteCatalog, Pusher<'a>), ExecError> {
+fn prepare<'a>(plan: &Alg, spec: &ExecSpec<'a>) -> Result<(RemoteCatalog, Pusher<'a>), ExecError> {
     // insertion order drives fetch order (plan-referenced documents
     // first); the set makes the reference-closure membership test O(log n)
     // instead of a linear rescan of everything fetched so far
@@ -502,7 +664,7 @@ fn prepare<'a>(
             wanted.push((src.clone(), name));
         }
         // reference closure: all other exports of the same source
-        if let Some(iface) = interfaces.get(&src) {
+        if let Some(iface) = spec.interfaces.get(&src) {
             for export in &iface.exports {
                 let key = (src.clone(), export.name.clone());
                 if seen.insert(key.clone()) {
@@ -512,25 +674,18 @@ fn prepare<'a>(
         }
     }
 
-    let (forest, pushed) = match mode {
-        ExecMode::Sequential => (
-            fetch_sequential(&wanted, connections, cache, obs)?,
-            BTreeMap::new(),
-        ),
+    let fed = spec.fed();
+    let (forest, by_member, pushed) = match spec.mode {
+        ExecMode::Sequential => {
+            let (forest, by_member) = fetch_sequential(&wanted, &fed)?;
+            (forest, by_member, BTreeMap::new())
+        }
         ExecMode::Parallel { max_in_flight } => {
-            scatter_gather(&wanted, plan, connections, cache, obs, max_in_flight)?
+            scatter_gather(&wanted, plan, &fed, max_in_flight, spec.sched)?
         }
     };
 
-    Ok((
-        RemoteCatalog { forest },
-        Pusher {
-            connections,
-            obs,
-            cache,
-            pushed,
-        },
-    ))
+    Ok((RemoteCatalog { forest, by_member }, Pusher { fed, pushed }))
 }
 
 /// Evaluates `plan` with the chosen engine: the interpreter directly, or
@@ -559,93 +714,233 @@ fn run_engine(
     }
 }
 
+/// Documents fetched for a specific member (a plan requalified to read
+/// one shard mediator-side), keyed member → document name.
+type MemberDocs = BTreeMap<String, BTreeMap<String, Tree>>;
+
+/// One resolved document fetch: `member` is set when the read was
+/// qualified to a single federation member and must not be served to
+/// reads of other members.
+struct FetchedDoc {
+    member: Option<String>,
+    name: String,
+    tree: Tree,
+}
+
+fn insert_doc(forest: &mut Forest, by_member: &mut MemberDocs, doc: FetchedDoc) {
+    match doc.member {
+        Some(member) => {
+            by_member
+                .entry(member)
+                .or_default()
+                .insert(doc.name, doc.tree);
+        }
+        None => forest.insert(doc.name, doc.tree),
+    }
+}
+
+/// `Some(src)` when `src` names a registered federation member (its
+/// documents are then member-scoped rather than shared by name).
+fn member_key(fed: &FedCtx<'_>, src: &str) -> Option<String> {
+    fed.registry.member(src).is_some().then(|| src.to_string())
+}
+
 /// The sequential prefetch loop: one `get-document` round trip at a
 /// time, in `wanted` order, under a single `prefetch documents` span.
 /// Each document is looked up in the answer cache first (against the
-/// source's live epoch) and only fetched on a miss.
+/// source's live epoch) and only fetched on a miss; group sources do
+/// their cache resolution per member inside [`fetch_batch`].
 fn fetch_sequential(
     wanted: &[(String, String)],
-    connections: &BTreeMap<String, Connection>,
-    cache: &AnswerCache,
-    obs: Option<&Collector>,
-) -> Result<Forest, ExecError> {
-    let prefetch = obs.map(|o| o.span(kind::PHASE, "prefetch documents".to_string()));
+    fed: &FedCtx<'_>,
+) -> Result<(Forest, MemberDocs), ExecError> {
+    let prefetch = fed
+        .obs
+        .map(|o| o.span(kind::PHASE, "prefetch documents".to_string()));
     let mut forest = Forest::new();
+    let mut by_member = MemberDocs::new();
     for (src, name) in wanted {
-        if let Some(tree) = cached_document(src, name, connections, cache, obs) {
-            forest.insert(name.clone(), tree);
-            continue;
+        if !fed.registry.is_group(src) {
+            if let Some(tree) = cached_document(src, name, fed) {
+                let member = member_key(fed, src);
+                insert_doc(
+                    &mut forest,
+                    &mut by_member,
+                    FetchedDoc {
+                        member,
+                        name: name.clone(),
+                        tree,
+                    },
+                );
+                continue;
+            }
         }
-        for (name, tree) in
-            fetch_documents(src, std::slice::from_ref(name), connections, cache, obs)?
-        {
-            forest.insert(name, tree);
+        for doc in fetch_batch(src, std::slice::from_ref(name), fed)? {
+            insert_doc(&mut forest, &mut by_member, doc);
         }
     }
     drop(prefetch);
-    Ok(forest)
+    Ok((forest, by_member))
 }
 
-/// Cache lookup for one document, keyed by its canonical signature and
-/// validated against the source's *live* epoch.
-fn cached_document(
-    src: &str,
-    name: &str,
-    connections: &BTreeMap<String, Connection>,
-    cache: &AnswerCache,
-    obs: Option<&Collector>,
-) -> Option<Tree> {
-    let conn = connections.get(src)?;
-    match cache.lookup(Signature::document(src, name), src, conn.epoch(), obs) {
-        Some(CachedAnswer::Document { tree, .. }) => Some(tree),
+/// Cache lookup for one document of a plain source or member, keyed by
+/// its canonical signature and validated against the source's *live*
+/// epoch. A hit counts as a contribution (provenance) and feeds the
+/// member's cost record.
+fn cached_document(src: &str, name: &str, fed: &FedCtx<'_>) -> Option<Tree> {
+    let conn = fed.connections.get(src)?;
+    match fed
+        .cache
+        .lookup(Signature::document(src, name), src, conn.epoch(), fed.obs)
+    {
+        Some(CachedAnswer::Document { tree, .. }) => {
+            fed.touch(src);
+            fed.observe_cache(src, true);
+            Some(tree)
+        }
         _ => None,
     }
 }
 
-/// Fetches `names` from `src` over the wire, in order. Every fully
-/// received document is inserted into the answer cache, tagged with the
-/// source epoch read *before* its round trip — data that changes
-/// mid-flight lands under the old epoch, which the next bump retires.
-fn fetch_documents(
+/// Whether an error is a *source* failure a degraded answer may absorb.
+/// An unknown source is a plan/configuration bug and stays fatal under
+/// every partial-failure policy.
+fn degradable(e: &ExecError) -> bool {
+    matches!(e, ExecError::Wire(_) | ExecError::Wrapper { .. })
+}
+
+/// Resolves a batch of document fetches against one source name, in
+/// order: a replica group fails over to the cheapest live copy, a
+/// partition group unites its shards' contributions, a member or plain
+/// source is fetched directly. Under [`PartialFailure::Degrade`] a
+/// failed contribution becomes an empty document recorded as missing.
+fn fetch_batch(
     src: &str,
     names: &[String],
-    connections: &BTreeMap<String, Connection>,
-    cache: &AnswerCache,
-    obs: Option<&Collector>,
-) -> Result<Vec<(String, Tree)>, ExecError> {
+    fed: &FedCtx<'_>,
+) -> Result<Vec<FetchedDoc>, ExecError> {
     let mut docs = Vec::with_capacity(names.len());
     for name in names {
-        let conn = connections
-            .get(src)
-            .ok_or_else(|| ExecError::UnknownSource(format!("{name}@{src}")))?;
-        let epoch = conn.epoch();
-        let response = conn
-            .call_traced(&Request::GetDocument { name: name.clone() }, obs)
-            .map_err(|e| ExecError::Wire(format!("fetching `{name}` from `{src}`: {e}")))?;
-        match response {
-            Response::Document { tree, .. } => {
-                cache.insert(
-                    Signature::document(src, name),
-                    src,
-                    epoch,
-                    CachedAnswer::Document {
-                        name: name.clone(),
-                        tree: tree.clone(),
-                    },
-                    obs,
-                );
-                docs.push((name.clone(), tree));
-            }
-            Response::Error(m) => {
-                return Err(ExecError::Wrapper {
-                    source: src.to_string(),
-                    message: m,
-                })
-            }
-            other => return Err(ExecError::Wire(format!("unexpected response {other:?}"))),
-        }
+        let tree = match fed.registry.group_kind(src) {
+            Some(GroupKind::Replicated) => replica_fetch(src, name, fed)?,
+            Some(GroupKind::Partitioned) => partition_fetch(src, name, fed)?,
+            None => match wire_fetch(src, name, fed) {
+                Ok(tree) => tree,
+                Err(e) if fed.degrade() && degradable(&e) => {
+                    fed.miss(src, &e.to_string());
+                    Node::sym(name.as_str(), vec![])
+                }
+                Err(e) => return Err(e),
+            },
+        };
+        docs.push(FetchedDoc {
+            member: member_key(fed, src),
+            name: name.clone(),
+            tree,
+        });
     }
     Ok(docs)
+}
+
+/// Fetches one document of `src` over the wire. The fully received
+/// document is inserted into the answer cache, tagged with the source
+/// epoch read *before* the round trip — data that changes mid-flight
+/// lands under the old epoch, which the next bump retires.
+fn wire_fetch(src: &str, name: &str, fed: &FedCtx<'_>) -> Result<Tree, ExecError> {
+    let conn = fed
+        .connections
+        .get(src)
+        .ok_or_else(|| ExecError::UnknownSource(format!("{name}@{src}")))?;
+    fed.observe_cache(src, false);
+    let epoch = conn.epoch();
+    let response = conn
+        .call_traced(
+            &Request::GetDocument {
+                name: name.to_string(),
+            },
+            fed.obs,
+        )
+        .map_err(|e| ExecError::Wire(format!("fetching `{name}` from `{src}`: {e}")))?;
+    match response {
+        Response::Document { tree, .. } => {
+            fed.cache.insert(
+                Signature::document(src, name),
+                src,
+                epoch,
+                CachedAnswer::Document {
+                    name: name.to_string(),
+                    tree: tree.clone(),
+                },
+                fed.obs,
+            );
+            fed.touch(src);
+            Ok(tree)
+        }
+        Response::Error(m) => Err(ExecError::Wrapper {
+            source: src.to_string(),
+            message: m,
+        }),
+        other => Err(ExecError::Wire(format!("unexpected response {other:?}"))),
+    }
+}
+
+/// Fetches one document of a replica group: any member's cached copy
+/// serves (replicas are interchangeable), then the wire in cost order
+/// with failover — losing k of N replicas is lossless as long as one
+/// still answers, so failover alone never degrades the answer. Only when
+/// *every* replica fails does `Degrade` substitute an empty document.
+fn replica_fetch(group: &str, name: &str, fed: &FedCtx<'_>) -> Result<Tree, ExecError> {
+    for m in fed.registry.members_of(group) {
+        if let Some(tree) = cached_document(&m.name, name, fed) {
+            return Ok(tree);
+        }
+    }
+    let mut failures: Vec<(String, ExecError)> = Vec::new();
+    for member in fed.registry.replicas_in_cost_order(group, false) {
+        match wire_fetch(&member, name, fed) {
+            Ok(tree) => return Ok(tree),
+            Err(e) if degradable(&e) => failures.push((member, e)),
+            Err(e) => return Err(e),
+        }
+    }
+    if fed.degrade() && !failures.is_empty() {
+        for (member, e) in &failures {
+            fed.miss(member, &e.to_string());
+        }
+        return Ok(Node::sym(name, vec![]));
+    }
+    match failures.into_iter().next() {
+        Some((_, e)) => Err(e),
+        None => Err(ExecError::UnknownSource(format!("{name}@{group}"))),
+    }
+}
+
+/// Fetches one document of a partition group: every shard contributes
+/// its copy (cache first, then wire) and the shards' top-level entries
+/// unite under one root, in member name order. Under
+/// [`PartialFailure::Degrade`] a failing shard is skipped and recorded
+/// as missing; under `Strict` it fails the query.
+fn partition_fetch(group: &str, name: &str, fed: &FedCtx<'_>) -> Result<Tree, ExecError> {
+    let mut root: Option<Tree> = None;
+    let mut children: Vec<Tree> = Vec::new();
+    for m in fed.registry.members_of(group) {
+        let fetched = match cached_document(&m.name, name, fed) {
+            Some(tree) => Ok(tree),
+            None => wire_fetch(&m.name, name, fed),
+        };
+        match fetched {
+            Ok(tree) => {
+                children.extend(tree.children.iter().cloned());
+                root.get_or_insert(tree);
+            }
+            Err(e) if fed.degrade() && degradable(&e) => fed.miss(&m.name, &e.to_string()),
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(match root {
+        Some(r) => Node::labeled(r.label.clone(), children),
+        None => Node::sym(name, vec![]),
+    })
 }
 
 /// One unit of independent source work, runnable on any worker lane.
@@ -680,7 +975,7 @@ impl Job {
 
 /// What a completed job hands back to the gather step.
 enum JobOut {
-    Docs(Vec<(String, Tree)>),
+    Docs(Vec<FetchedDoc>),
     Pushed {
         /// Memo key: the fragment's canonical signature.
         sig: Signature,
@@ -709,30 +1004,46 @@ fn independent_pushes<'p>(plan: &'p Alg, out: &mut Vec<(String, &'p Arc<Alg>)>) 
 /// over at most `max_in_flight` worker lanes, gather the prefetched
 /// forest and the push-result cache.
 ///
-/// Lane assignment is static round-robin (lane `l` runs jobs `l`,
-/// `l + lanes`, `l + 2·lanes`, …), so which lane executes which job —
-/// and therefore the recorded span tree — is deterministic. Errors are
-/// reported in job order: whichever job *earliest in the plan* failed
-/// wins, matching what the sequential path would have surfaced first.
+/// Lane assignment is static round-robin over the *schedule* (lane `l`
+/// runs schedule positions `l`, `l + lanes`, `l + 2·lanes`, …), so which
+/// lane executes which job — and therefore the recorded span tree — is
+/// deterministic. Under [`SchedPolicy::Cost`] the schedule orders jobs
+/// longest-expected-first from the registry's cost records (plan order
+/// with no history); under [`SchedPolicy::Static`] it *is* plan order.
+/// Errors are reported in plan-job order either way: whichever job
+/// earliest in the plan failed wins, matching what the sequential path
+/// would have surfaced first.
 fn scatter_gather(
     wanted: &[(String, String)],
     plan: &Alg,
-    connections: &BTreeMap<String, Connection>,
-    cache: &AnswerCache,
-    obs: Option<&Collector>,
+    fed: &FedCtx<'_>,
     max_in_flight: usize,
-) -> Result<(Forest, BTreeMap<Signature, Tab>), ExecError> {
+    sched: SchedPolicy,
+) -> Result<(Forest, MemberDocs, BTreeMap<Signature, Tab>), ExecError> {
     // answer-cache hits are resolved at scheduling time and never enter
     // the lane schedule at all
     let mut forest = Forest::new();
+    let mut by_member = MemberDocs::new();
     let mut pushed: BTreeMap<Signature, Tab> = BTreeMap::new();
 
     let mut jobs: Vec<Job> = Vec::new();
     // group the prefetch per source, preserving first-appearance order
     for (src, name) in wanted {
-        if let Some(tree) = cached_document(src, name, connections, cache, obs) {
-            forest.insert(name.clone(), tree);
-            continue;
+        // group fetches resolve their caching per member inside the job
+        if !fed.registry.is_group(src) {
+            if let Some(tree) = cached_document(src, name, fed) {
+                let member = member_key(fed, src);
+                insert_doc(
+                    &mut forest,
+                    &mut by_member,
+                    FetchedDoc {
+                        member,
+                        name: name.clone(),
+                        tree,
+                    },
+                );
+                continue;
+            }
         }
         match jobs.iter_mut().find_map(|j| match j {
             Job::Fetch { source, names } if source == src => Some(names),
@@ -754,11 +1065,17 @@ fn scatter_gather(
             continue;
         }
         let sig = Signature::execute(&source, inner);
-        if let Some(conn) = connections.get(&source) {
-            if let Some(CachedAnswer::Result(tab)) = cache.lookup(sig, &source, conn.epoch(), obs) {
+        match fed
+            .cache
+            .lookup(sig, &source, fed.epoch_of(&source), fed.obs)
+        {
+            Some(CachedAnswer::Result(tab)) => {
+                fed.touch(&source);
+                fed.observe_cache(&source, true);
                 pushed.insert(sig, tab);
                 continue;
             }
+            _ => fed.observe_cache(&source, false),
         }
         jobs.push(Job::Push {
             source,
@@ -768,10 +1085,31 @@ fn scatter_gather(
     }
 
     if jobs.is_empty() {
-        return Ok((forest, pushed));
+        return Ok((forest, by_member, pushed));
     }
 
-    let mut scatter = obs.map(|o| o.span(kind::PHASE, "scatter".to_string()));
+    // cost-ordered scheduling: start the longest-expected jobs first so
+    // the critical path shrinks (classic LPT). Ties — and the whole
+    // schedule when no cost history exists — stay in plan order, which
+    // makes a cold `Cost` schedule identical to `Static`.
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    if sched == SchedPolicy::Cost {
+        let expected = |job: &Job| match job {
+            Job::Fetch { source, names } => {
+                fed.registry.cost(source).expected_cost() * names.len() as f64
+            }
+            Job::Push { source, .. } => fed.registry.cost(source).expected_cost(),
+        };
+        let costs: Vec<f64> = jobs.iter().map(expected).collect();
+        order.sort_by(|&a, &b| {
+            costs[b]
+                .partial_cmp(&costs[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+    }
+
+    let mut scatter = fed.obs.map(|o| o.span(kind::PHASE, "scatter".to_string()));
     let scatter_id = scatter.as_ref().map(|s| s.id());
     let lanes = max_in_flight.max(1).min(jobs.len());
 
@@ -792,13 +1130,15 @@ fn scatter_gather(
     let mut first_err: Option<(usize, ExecError)> = None;
     std::thread::scope(|scope| {
         for lane in 0..lanes {
-            let jobs = &jobs;
+            let (jobs, order) = (&jobs, &order);
             let tx = tx.clone();
             let (pending, peak) = (&pending, &peak);
+            let fed = *fed;
             scope.spawn(move || {
-                let mut idx = lane;
-                while idx < jobs.len() {
-                    let out = run_job(&jobs[idx], lane, connections, cache, obs, scatter_id);
+                let mut pos = lane;
+                while pos < order.len() {
+                    let idx = order[pos];
+                    let out = run_job(&jobs[idx], lane, &fed, scatter_id);
                     if tx.send((idx, out)).is_err() {
                         return;
                     }
@@ -809,7 +1149,7 @@ fn scatter_gather(
                     // but the send itself proves occupancy reached 1
                     let now = (pending.fetch_add(1, Ordering::SeqCst) + 1).max(1);
                     peak.fetch_max(now, Ordering::SeqCst);
-                    idx += lanes;
+                    pos += lanes;
                 }
             });
         }
@@ -818,8 +1158,8 @@ fn scatter_gather(
             pending.fetch_sub(1, Ordering::SeqCst);
             match out {
                 Ok(JobOut::Docs(docs)) => {
-                    for (name, tree) in docs {
-                        forest.insert(name, tree);
+                    for doc in docs {
+                        insert_doc(&mut forest, &mut by_member, doc);
                     }
                 }
                 Ok(JobOut::Pushed { sig, tab }) => {
@@ -844,7 +1184,7 @@ fn scatter_gather(
     if let Some((_, e)) = first_err {
         return Err(e);
     }
-    Ok((forest, pushed))
+    Ok((forest, by_member, pushed))
 }
 
 /// Runs one scatter job on worker lane `lane`, under its own `phase`
@@ -852,25 +1192,31 @@ fn scatter_gather(
 fn run_job(
     job: &Job,
     lane: usize,
-    connections: &BTreeMap<String, Connection>,
-    cache: &AnswerCache,
-    obs: Option<&Collector>,
+    fed: &FedCtx<'_>,
     scatter_id: Option<usize>,
 ) -> Result<JobOut, ExecError> {
-    let mut span = obs.map(|o| {
+    let mut span = fed.obs.map(|o| {
         let mut s = o.span_under(scatter_id, kind::PHASE, job.label());
         s.record_u64(attr::LANE, lane as u64);
         s
     });
     let out = match job {
-        Job::Fetch { source, names } => {
-            fetch_documents(source, names, connections, cache, obs).map(JobOut::Docs)
-        }
+        Job::Fetch { source, names } => fetch_batch(source, names, fed).map(JobOut::Docs),
         Job::Push { source, plan, sig } => {
-            let epoch = connections.get(source).map(|c| c.epoch()).unwrap_or(0);
-            push_fragment(source, plan, connections, obs)
-                .map(|tab| {
-                    cache.insert(*sig, source, epoch, CachedAnswer::Result(tab.clone()), obs);
+            let epoch = fed.epoch_of(source);
+            push_resolved(source, plan, fed)
+                .map(|(tab, complete)| {
+                    // a degraded (incomplete) result must never be served
+                    // to later queries as if it were the real answer
+                    if complete {
+                        fed.cache.insert(
+                            *sig,
+                            source,
+                            epoch,
+                            CachedAnswer::Result(tab.clone()),
+                            fed.obs,
+                        );
+                    }
                     JobOut::Pushed { sig: *sig, tab }
                 })
                 .map_err(|e| match e {
@@ -888,27 +1234,140 @@ fn run_job(
     out
 }
 
-/// Ships one already-substituted fragment to its source.
-fn push_fragment(
+/// Ships one already-substituted fragment to the source it names,
+/// resolving federation groups: a replica group fails over across its
+/// executing members in cost order, a partition group fans out to every
+/// member and unites the results (the algebra's `Union` semantics).
+/// Returns the table and whether it is *complete* — an answer missing a
+/// degraded member's contribution must not enter the cross-query cache.
+fn push_resolved(
     source: &str,
     plan: &Arc<Alg>,
-    connections: &BTreeMap<String, Connection>,
-    obs: Option<&Collector>,
-) -> Result<Tab, EvalError> {
-    let conn = connections
+    fed: &FedCtx<'_>,
+) -> Result<(Tab, bool), EvalError> {
+    match fed.registry.group_kind(source) {
+        None => match push_fragment(source, plan, fed) {
+            Ok(tab) => Ok((tab, true)),
+            Err(e) if fed.degrade() && !matches!(e, EvalError::UnknownSource { .. }) => {
+                match plan.out_vars() {
+                    Some(cols) => {
+                        fed.miss(source, &e.to_string());
+                        Ok((Tab::new(cols), false))
+                    }
+                    None => Err(e),
+                }
+            }
+            Err(e) => Err(e),
+        },
+        Some(GroupKind::Replicated) => {
+            let members = fed.registry.replicas_in_cost_order(source, true);
+            if members.is_empty() {
+                return Err(EvalError::Function {
+                    name: source.to_string(),
+                    message: "no executable replica in group".into(),
+                });
+            }
+            let mut first_err: Option<EvalError> = None;
+            let mut failed: Vec<(String, String)> = Vec::new();
+            for member in members {
+                match push_fragment(&member, plan, fed) {
+                    Ok(tab) => return Ok((tab, true)),
+                    Err(e) => {
+                        failed.push((member, e.to_string()));
+                        first_err.get_or_insert(e);
+                    }
+                }
+            }
+            if fed.degrade() {
+                if let Some(cols) = plan.out_vars() {
+                    for (member, e) in &failed {
+                        fed.miss(member, e);
+                    }
+                    return Ok((Tab::new(cols), false));
+                }
+            }
+            Err(first_err.expect("replica list was non-empty"))
+        }
+        Some(GroupKind::Partitioned) => {
+            let mut merged: Option<Tab> = None;
+            let mut parts = 0usize;
+            let mut complete = true;
+            for m in fed.registry.members_of(source) {
+                match push_fragment(&m.name, plan, fed) {
+                    Ok(tab) => {
+                        parts += 1;
+                        match merged.as_mut() {
+                            None => merged = Some(tab),
+                            Some(acc) => merge_union(acc, &tab, source)?,
+                        }
+                    }
+                    Err(e) if fed.degrade() && !matches!(e, EvalError::UnknownSource { .. }) => {
+                        fed.miss(&m.name, &e.to_string());
+                        complete = false;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            match merged {
+                Some(mut tab) => {
+                    // set semantics across shards, like the algebra's
+                    // Union; a single contribution is already a set
+                    if parts > 1 {
+                        tab.dedup();
+                    }
+                    Ok((tab, complete))
+                }
+                None => match plan.out_vars() {
+                    Some(cols) => Ok((Tab::new(cols), complete)),
+                    None => Err(EvalError::Function {
+                        name: source.to_string(),
+                        message: "no partition member answered".into(),
+                    }),
+                },
+            }
+        }
+    }
+}
+
+/// Unites two partition contributions: columns must agree, rows
+/// concatenate (the caller dedups once at the end).
+fn merge_union(acc: &mut Tab, tab: &Tab, group: &str) -> Result<(), EvalError> {
+    if acc.columns() != tab.columns() {
+        return Err(EvalError::Function {
+            name: group.to_string(),
+            message: format!(
+                "partition members returned incompatible columns {:?} vs {:?}",
+                acc.columns(),
+                tab.columns()
+            ),
+        });
+    }
+    for row in tab.rows() {
+        acc.push(row.to_vec());
+    }
+    Ok(())
+}
+
+/// Ships one already-substituted fragment to one concrete wrapper.
+fn push_fragment(source: &str, plan: &Arc<Alg>, fed: &FedCtx<'_>) -> Result<Tab, EvalError> {
+    let conn = fed
+        .connections
         .get(source)
         .ok_or_else(|| EvalError::UnknownSource {
             source: Some(source.to_string()),
             name: "<push>".into(),
         })?;
     let response = conn
-        .call_traced(&Request::Execute { plan: plan.clone() }, obs)
+        .call_traced(&Request::Execute { plan: plan.clone() }, fed.obs)
         .map_err(|e| EvalError::Function {
             name: source.to_string(),
             message: e.to_string(),
         })?;
     match response {
-        Response::Result(tab) => Ok(tab),
+        Response::Result(tab) => {
+            fed.touch(source);
+            Ok(tab)
+        }
         Response::Error(m) => Err(EvalError::Function {
             name: source.to_string(),
             message: m,
@@ -920,15 +1379,23 @@ fn push_fragment(
     }
 }
 
-/// Documents fetched for this execution, addressed by name regardless of
-/// which wrapper they came from (exported names are globally unique in a
-/// YAT federation, as in the paper's example).
+/// Documents fetched for this execution: a shared forest addressed by
+/// name (exported names are globally unique in a YAT federation, as in
+/// the paper's example), plus member-scoped documents for plans
+/// requalified to read one federation member — checked first so a member
+/// read never sees another shard's data.
 struct RemoteCatalog {
     forest: Forest,
+    by_member: MemberDocs,
 }
 
 impl yat_algebra::SourceCatalog for RemoteCatalog {
-    fn document(&self, _source: Option<&str>, name: &str) -> Option<Tree> {
+    fn document(&self, source: Option<&str>, name: &str) -> Option<Tree> {
+        if let Some(src) = source {
+            if let Some(tree) = self.by_member.get(src).and_then(|docs| docs.get(name)) {
+                return Some(tree.clone());
+            }
+        }
         self.forest.get(name).cloned()
     }
 
@@ -938,11 +1405,7 @@ impl yat_algebra::SourceCatalog for RemoteCatalog {
 }
 
 struct Pusher<'a> {
-    connections: &'a BTreeMap<String, Connection>,
-    obs: Option<&'a Collector>,
-    /// The cross-query answer cache (disabled unless the mediator's
-    /// policy enables it).
-    cache: &'a AnswerCache,
+    fed: FedCtx<'a>,
     /// Results of independent fragments already shipped by the scatter
     /// step, keyed by the fragment's canonical [`Signature`] — the same
     /// scheme the cross-query cache uses, so one canonicalization serves
@@ -957,11 +1420,12 @@ impl<'a> PushHandler for Pusher<'a> {
         plan: &Alg,
         env: &BTreeMap<String, Value>,
     ) -> Result<Tab, EvalError> {
+        let fed = &self.fed;
         // information passing first: bindings inline as constants, so the
         // shipped form (which the signature hashes) carries their values
         let plan = substitute_env(&Arc::new(plan.clone()), env);
         // signatures cost a serialization — skip when no consumer exists
-        let sig = (self.cache.policy().is_enabled() || !self.pushed.is_empty())
+        let sig = (fed.cache.policy().is_enabled() || !self.pushed.is_empty())
             .then(|| Signature::execute(source, &plan));
         if let Some(sig) = sig {
             // an independent fragment (no information passing) may
@@ -971,25 +1435,29 @@ impl<'a> PushHandler for Pusher<'a> {
                     return Ok(tab.clone());
                 }
             }
-            // then the cross-query cache, against the live source epoch
-            if let Some(conn) = self.connections.get(source) {
-                if let Some(CachedAnswer::Result(tab)) =
-                    self.cache.lookup(sig, source, conn.epoch(), self.obs)
-                {
+            // then the cross-query cache, against the live epoch (a
+            // group's epoch aggregates over its members)
+            match fed.cache.lookup(sig, source, fed.epoch_of(source), fed.obs) {
+                Some(CachedAnswer::Result(tab)) => {
+                    fed.touch(source);
+                    fed.observe_cache(source, true);
                     return Ok(tab);
                 }
+                _ => fed.observe_cache(source, false),
             }
         }
-        let epoch = self.connections.get(source).map(|c| c.epoch()).unwrap_or(0);
-        let tab = push_fragment(source, &plan, self.connections, self.obs)?;
-        if let Some(sig) = sig {
-            self.cache.insert(
-                sig,
-                source,
-                epoch,
-                CachedAnswer::Result(tab.clone()),
-                self.obs,
-            );
+        let epoch = fed.epoch_of(source);
+        let (tab, complete) = push_resolved(source, &plan, fed)?;
+        if complete {
+            if let Some(sig) = sig {
+                fed.cache.insert(
+                    sig,
+                    source,
+                    epoch,
+                    CachedAnswer::Result(tab.clone()),
+                    fed.obs,
+                );
+            }
         }
         Ok(tab)
     }
@@ -1289,12 +1757,6 @@ mod tests {
                 max_pending: 4
             })
         );
-        assert_eq!(StreamPolicy::parse("chunked:0"), None, "zero rows rejected");
-        assert_eq!(
-            StreamPolicy::parse("chunked:64:0"),
-            None,
-            "zero pending rejected"
-        );
         assert_eq!(StreamPolicy::parse("firehose"), None);
         assert_eq!(
             StreamPolicy::chunked().to_string(),
@@ -1302,6 +1764,56 @@ mod tests {
         );
         assert_eq!(StreamPolicy::Off.to_string(), "off");
         assert!(StreamPolicy::chunked().is_chunked() && !StreamPolicy::Off.is_chunked());
+    }
+
+    #[test]
+    fn stream_policy_clamps_zero_to_one_with_a_warning() {
+        use std::sync::{Arc, Mutex};
+        let seen = Arc::new(Mutex::new(Vec::<String>::new()));
+        let sink = seen.clone();
+        yat_obs::set_warn_sink(Some(Box::new(move |m| {
+            sink.lock().unwrap().push(m.to_string());
+        })));
+        assert_eq!(
+            StreamPolicy::parse("chunked:0"),
+            Some(StreamPolicy::Chunked {
+                batch_rows: 1,
+                max_pending: StreamPolicy::DEFAULT_MAX_PENDING
+            }),
+            "zero rows clamp to 1 instead of disabling streaming"
+        );
+        assert_eq!(
+            StreamPolicy::parse("chunked:64:0"),
+            Some(StreamPolicy::Chunked {
+                batch_rows: 64,
+                max_pending: 1
+            }),
+            "zero pending clamps to 1"
+        );
+        yat_obs::set_warn_sink(None);
+        let warnings = seen.lock().unwrap();
+        assert_eq!(warnings.len(), 2, "{warnings:?}");
+        assert!(
+            warnings[0].contains("YAT_STREAM") && warnings[0].contains("clamping 0 to 1"),
+            "{warnings:?}"
+        );
+    }
+
+    #[test]
+    fn stream_policy_rejects_overflow_and_garbage_suffixes() {
+        // a count that overflows usize is invalid, not silently truncated
+        assert_eq!(StreamPolicy::parse("chunked:99999999999999999999"), None);
+        assert_eq!(StreamPolicy::parse("chunked:64:99999999999999999999"), None);
+        // trailing garbage after the number is invalid
+        assert_eq!(StreamPolicy::parse("chunked:64k"), None);
+        assert_eq!(StreamPolicy::parse("chunked:64:8mb"), None);
+        assert_eq!(StreamPolicy::parse("chunked:"), None);
+        assert_eq!(StreamPolicy::parse("chunked:64:"), None);
+        // and the invalid forms warn through the from_env path
+        assert_eq!(
+            StreamPolicy::from_env_value(Some("chunked:64k")),
+            StreamPolicy::Off
+        );
     }
 
     #[test]

@@ -16,6 +16,7 @@ use std::sync::Arc;
 use std::time::Duration;
 use yat_algebra::{Alg, EvalOut};
 use yat_cache::CachePolicy;
+use yat_federate::{CostSnapshot, Provenance};
 use yat_obs::profile::{fmt_duration, ProfileNode};
 use yat_xml::Element;
 
@@ -59,6 +60,22 @@ pub struct CacheLine {
     pub bytes_saved: u64,
 }
 
+/// One federation member as `EXPLAIN ANALYZE` reports it: its group,
+/// role, capability, and live cost record at explain time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FederationLine {
+    /// Member (connection) name.
+    pub name: String,
+    /// Group the member belongs to.
+    pub group: String,
+    /// Rendered role, `replica` or `shard(<field> ∈ {…})`.
+    pub role: String,
+    /// Whether the member accepts pushed operations.
+    pub execute: bool,
+    /// The member's cost record at explain time.
+    pub cost: CostSnapshot,
+}
+
 /// The result of [`crate::Mediator::explain`]: the executed plan, its
 /// output, the aggregated per-operator profile and the per-source wire
 /// traffic the execution caused.
@@ -92,6 +109,12 @@ pub struct Explain {
     pub cache: BTreeMap<String, CacheLine>,
     /// The answer-cache policy the execution ran under.
     pub cache_policy: CachePolicy,
+    /// The federation members the registry knows about (empty for a
+    /// plain, unfederated mediator).
+    pub federation: Vec<FederationLine>,
+    /// Which sources answered and which went missing — degraded answers
+    /// carry entries in [`Provenance::missing`].
+    pub provenance: Provenance,
     /// The optimizer trace, when the caller passed one through.
     pub trace: Option<Trace>,
 }
@@ -210,10 +233,44 @@ impl Explain {
                 }
             }
         }
+        if !self.federation.is_empty() {
+            out.push_str(&format!("federation: {} members\n", self.federation.len()));
+            for m in &self.federation {
+                out.push_str(&format!(
+                    "  {} [{} {}{}]: {} trips, {:.0}us ewma, {:.0}% errors, {:.0}% cache hits, cost {:.0}\n",
+                    m.name,
+                    m.group,
+                    m.role,
+                    if m.execute { "" } else { " fetch-only" },
+                    m.cost.trips,
+                    m.cost.ewma_latency_us,
+                    m.cost.error_rate() * 100.0,
+                    m.cost.hit_rate() * 100.0,
+                    m.cost.expected_cost(),
+                ));
+            }
+        }
+        let show_prov = self.provenance.is_degraded()
+            || (!self.federation.is_empty() && !self.provenance.answered_by.is_empty());
+        if show_prov {
+            out.push_str(&format!(
+                "answered by: {}\n",
+                self.provenance.answered_by_attr()
+            ));
+            if self.provenance.is_degraded() {
+                out.push_str("missing sources:\n");
+                for (source, why) in &self.provenance.missing {
+                    out.push_str(&format!("  {source}: {why}\n"));
+                }
+            }
+        }
         if let Some(trace) = &self.trace {
             out.push_str(&format!("optimizer: {} rule firings\n", trace.steps.len()));
             for (round, rule) in &trace.steps {
                 out.push_str(&format!("  round {round}: {rule}\n"));
+            }
+            for note in &trace.notes {
+                out.push_str(&format!("  note: {note}\n"));
             }
         }
         out
@@ -287,6 +344,30 @@ impl Explain {
             }
             el.push_element(scatter);
         }
+        if !self.federation.is_empty() {
+            let mut fed = Element::new("federation");
+            for m in &self.federation {
+                fed.push_element(
+                    Element::new("member")
+                        .with_attr("name", m.name.clone())
+                        .with_attr("group", m.group.clone())
+                        .with_attr("role", m.role.clone())
+                        .with_attr("execute", m.execute.to_string())
+                        .with_attr("trips", m.cost.trips.to_string())
+                        .with_attr("errors", m.cost.errors.to_string())
+                        .with_attr("expected-cost", format!("{:.0}", m.cost.expected_cost())),
+                );
+            }
+            el.push_element(fed);
+        }
+        let show_prov = self.provenance.is_degraded()
+            || (!self.federation.is_empty() && !self.provenance.answered_by.is_empty());
+        if show_prov {
+            el.set_attr("answered-by", self.provenance.answered_by_attr());
+            if self.provenance.is_degraded() {
+                el.set_attr("missing-sources", self.provenance.missing_attr());
+            }
+        }
         if let Some(trace) = &self.trace {
             let mut derivation = Element::new("derivation");
             for f in &trace.firings {
@@ -297,6 +378,9 @@ impl Explain {
                         .with_attr("nodes-before", f.nodes_before.to_string())
                         .with_attr("nodes-after", f.nodes_after.to_string()),
                 );
+            }
+            for note in &trace.notes {
+                derivation.push_element(Element::new("note").with_attr("text", note.clone()));
             }
             el.push_element(derivation);
         }

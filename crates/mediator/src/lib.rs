@@ -39,13 +39,17 @@ pub mod rules;
 pub mod session;
 pub mod transport;
 
-pub use executor::{ExecEngine, ExecError, ExecMode, StreamPolicy};
-pub use explain::{CacheLine, Explain, LaneJob, ProgramLine};
+pub use executor::{ExecEngine, ExecError, ExecMode, SchedPolicy, StreamPolicy};
+pub use explain::{CacheLine, Explain, FederationLine, LaneJob, ProgramLine};
 pub use mediator::{Mediator, MediatorError};
-pub use optimizer::{optimize, OptimizerOptions, RuleFiring, Trace};
+pub use optimizer::{optimize, optimize_with_registry, OptimizerOptions, RuleFiring, Trace};
 pub use session::Session;
 pub use transport::{Connection, Latency, Meter, MeterSnapshot};
 pub use yat_cache::{AnswerCache, CachePolicy, CacheStats, CachedAnswer, Signature, SourceStats};
+pub use yat_federate::{
+    CostRecord, CostSnapshot, Dead, FetchOnly, GroupKind, Member, MemberRole, PartialFailure,
+    Provenance, SourceRegistry,
+};
 
 #[cfg(test)]
 mod tests;

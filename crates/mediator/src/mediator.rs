@@ -3,10 +3,11 @@
 
 use crate::compose::{compose, qualify};
 use crate::executor::{
-    execute_mode, execute_stream_mode, ExecEngine, ExecError, ExecMode, StreamPolicy,
+    execute_mode, execute_stream_mode, ExecEngine, ExecError, ExecMode, ExecSpec, SchedPolicy,
+    StreamPolicy,
 };
 use crate::explain::{CacheLine, Explain, LaneJob};
-use crate::optimizer::{optimize, OptimizerOptions, Trace};
+use crate::optimizer::{optimize_with_registry, OptimizerOptions, Trace};
 use crate::transport::{Connection, MeterSnapshot};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap};
@@ -16,6 +17,7 @@ use yat_algebra::{Alg, EvalOut, FnRegistry, Program, SkolemRegistry};
 use yat_cache::{AnswerCache, CachePolicy, CacheStats};
 use yat_capability::interface::Interface;
 use yat_capability::protocol::{Request, Response, WrapperServer};
+use yat_federate::{Member, MemberRole, PartialFailure, ProvLog, Provenance, SourceRegistry};
 use yat_yatl::{parse_program, parse_rule, translate, Rule};
 
 /// A mediator-level failure.
@@ -74,6 +76,9 @@ pub struct Mediator {
     stream: StreamPolicy,
     cache: AnswerCache,
     programs: ProgramCache,
+    registry: SourceRegistry,
+    partial: PartialFailure,
+    sched: SchedPolicy,
 }
 
 /// Compiled programs keyed by plan hash, confirmed against the stored
@@ -128,6 +133,8 @@ impl Mediator {
             exec_engine: ExecEngine::from_env(),
             stream: StreamPolicy::from_env(),
             cache: AnswerCache::new(CachePolicy::from_env()),
+            partial: PartialFailure::from_env(),
+            sched: SchedPolicy::from_env(),
             ..Default::default()
         }
     }
@@ -200,7 +207,46 @@ impl Mediator {
     /// policy's `ttl_epochs` window). Returns the new epoch, or `None`
     /// for an unknown source.
     pub fn bump_source_epoch(&self, source: &str) -> Option<u64> {
+        if self.registry.is_group(source) {
+            // a group's data changed: every member's epoch bumps, and the
+            // aggregate (sum) epoch group-keyed answers validate against
+            // moves with them
+            let mut last = None;
+            for m in self.registry.members_of(source) {
+                if let Some(c) = self.connections.get(&m.name) {
+                    last = Some(c.bump_epoch());
+                }
+            }
+            return last;
+        }
         self.connections.get(source).map(|c| c.bump_epoch())
+    }
+
+    /// The federation registry: groups, members, their capabilities and
+    /// live cost records.
+    pub fn registry(&self) -> &SourceRegistry {
+        &self.registry
+    }
+
+    /// The current partial-failure policy.
+    pub fn partial_failure(&self) -> PartialFailure {
+        self.partial
+    }
+
+    /// Selects what a per-source failure does to a query: fail it
+    /// (`Strict`, the default) or degrade the answer with provenance.
+    pub fn set_partial_failure(&mut self, policy: PartialFailure) {
+        self.partial = policy;
+    }
+
+    /// The current scatter scheduling policy.
+    pub fn sched_policy(&self) -> SchedPolicy {
+        self.sched
+    }
+
+    /// Selects how scatter jobs are ordered onto worker lanes.
+    pub fn set_sched_policy(&mut self, policy: SchedPolicy) {
+        self.sched = policy;
     }
 
     /// The connection to a source, e.g. to configure simulated
@@ -231,6 +277,11 @@ impl Mediator {
                 "source `{id}` already connected"
             )));
         }
+        if self.registry.is_group(&id) || self.registry.member(&id).is_some() {
+            return Err(MediatorError::Name(format!(
+                "`{id}` is already a federation name"
+            )));
+        }
         for export in &iface.exports {
             if let Some(prev) = self.source_of_doc.insert(export.name.clone(), id.clone()) {
                 return Err(MediatorError::Name(format!(
@@ -240,6 +291,89 @@ impl Mediator {
             }
         }
         self.interfaces.insert(id.clone(), iface);
+        self.connections.insert(id.clone(), conn);
+        Ok(id)
+    }
+
+    /// Connects a wrapper as a *federation member* of `group` with the
+    /// given [`MemberRole`]. The wrapper's interface name identifies the
+    /// member; its exported documents resolve to the **group** name, so
+    /// plans address the group and the executor picks the members. A
+    /// wrapper advertising no operations joins fetch-only: its documents
+    /// are pulled and evaluated mediator-side, never pushed to. The
+    /// member's cost record is attached to the connection, so every round
+    /// trip feeds the scheduler from then on.
+    pub fn connect_member(
+        &mut self,
+        server: Box<dyn WrapperServer>,
+        group: &str,
+        role: MemberRole,
+    ) -> Result<String, MediatorError> {
+        let conn = Connection::new(server);
+        let response = conn
+            .call(&Request::GetInterface)
+            .map_err(|e| MediatorError::Connect(e.to_string()))?;
+        let iface = match response {
+            Response::Interface(i) => i,
+            Response::Error(m) => return Err(MediatorError::Connect(m)),
+            other => {
+                return Err(MediatorError::Connect(format!(
+                    "unexpected response {other:?}"
+                )))
+            }
+        };
+        let id = iface.name.clone();
+        if self.connections.contains_key(&id) {
+            return Err(MediatorError::Name(format!(
+                "source `{id}` already connected"
+            )));
+        }
+        if self.connections.contains_key(group) {
+            return Err(MediatorError::Name(format!(
+                "group `{group}` collides with a connected source"
+            )));
+        }
+        // documents resolve to the group; members of the same group may
+        // (and for replicas, will) export the same names
+        for export in &iface.exports {
+            if let Some(prev) = self.source_of_doc.get(&export.name) {
+                if prev != group {
+                    return Err(MediatorError::Name(format!(
+                        "document `{}` exported by both `{prev}` and `{group}`",
+                        export.name
+                    )));
+                }
+            }
+        }
+        let mut member = match role {
+            MemberRole::Replica => Member::replica(id.clone(), group),
+            MemberRole::Shard { field, values } => Member::shard(id.clone(), group, field, values),
+        };
+        if iface.operations.is_empty() {
+            member = member.fetch_only();
+        }
+        let cost = member.cost.clone();
+        self.registry
+            .register(member)
+            .map_err(MediatorError::Name)?;
+        for export in &iface.exports {
+            self.source_of_doc
+                .insert(export.name.clone(), group.to_string());
+        }
+        // the group's interface is what the optimizer sees when a plan
+        // addresses the group: the most capable member's operation set
+        // (execution only pushes to members that can execute)
+        let upgrade = match self.interfaces.get(group) {
+            Some(existing) => existing.operations.len() < iface.operations.len(),
+            None => true,
+        };
+        if upgrade {
+            let mut group_iface = iface.clone();
+            group_iface.name = group.to_string();
+            self.interfaces.insert(group.to_string(), group_iface);
+        }
+        self.interfaces.insert(id.clone(), iface);
+        conn.set_cost_record(Some(cost));
         self.connections.insert(id.clone(), conn);
         Ok(id)
     }
@@ -279,9 +413,11 @@ impl Mediator {
         Ok(self.plan_rule(&parse_rule(src)?))
     }
 
-    /// Optimizes a plan against the imported capabilities.
+    /// Optimizes a plan against the imported capabilities and the
+    /// federation registry (partition pruning, member routing, cost-fed
+    /// push-vs-pull).
     pub fn optimize(&self, plan: &Arc<Alg>, options: OptimizerOptions) -> (Arc<Alg>, Trace) {
-        optimize(plan, &self.interfaces, options)
+        optimize_with_registry(plan, &self.interfaces, options, Some(&self.registry))
     }
 
     /// Executes a plan under the current [`ExecMode`], [`ExecEngine`],
@@ -290,10 +426,29 @@ impl Mediator {
     /// reassembled in process — byte-identical to the materialized
     /// answer by construction (and by `tests/differential.rs`).
     pub fn execute(&self, plan: &Alg) -> Result<EvalOut, MediatorError> {
+        self.execute_with_prov(plan, None)
+    }
+
+    /// [`Mediator::execute`] under the `Degrade` partial-failure policy,
+    /// additionally returning the answer's [`Provenance`]: which sources
+    /// contributed, and which were missing (with the error that sidelined
+    /// them). Under `Strict` the provenance of a successful answer simply
+    /// lists every consulted source with nothing missing.
+    pub fn execute_federated(&self, plan: &Alg) -> Result<(EvalOut, Provenance), MediatorError> {
+        let prov = ProvLog::new();
+        let out = self.execute_with_prov(plan, Some(&prov))?;
+        Ok((out, prov.snapshot()))
+    }
+
+    fn execute_with_prov(
+        &self,
+        plan: &Alg,
+        prov: Option<&ProvLog>,
+    ) -> Result<EvalOut, MediatorError> {
         if self.stream.is_chunked() {
             let plan = Arc::new(plan.clone());
             let mut sink = yat_algebra::CollectSink::new();
-            self.execute_stream(&plan, &mut sink)?;
+            self.execute_stream_inner(&plan, &mut sink, None, prov)?;
             return sink.into_answer().ok_or_else(|| {
                 MediatorError::Exec(ExecError::Wire(
                     "streamed execution delivered no answer".into(),
@@ -301,18 +456,32 @@ impl Mediator {
             });
         }
         let program = self.program_for(plan);
-        Ok(execute_mode(
-            plan,
-            &self.connections,
-            &self.interfaces,
-            &self.funcs,
-            &self.skolems,
-            None,
-            self.exec_mode,
-            &self.cache,
-            self.exec_engine,
-            program.as_deref(),
-        )?)
+        let spec = self.exec_spec(None, program.as_deref(), prov);
+        Ok(execute_mode(plan, &spec)?)
+    }
+
+    /// The execution spec for this mediator's current configuration.
+    fn exec_spec<'a>(
+        &'a self,
+        obs: Option<&'a yat_obs::Collector>,
+        program: Option<&'a Program>,
+        prov: Option<&'a ProvLog>,
+    ) -> ExecSpec<'a> {
+        ExecSpec {
+            connections: &self.connections,
+            interfaces: &self.interfaces,
+            funcs: &self.funcs,
+            skolems: &self.skolems,
+            obs,
+            mode: self.exec_mode,
+            cache: &self.cache,
+            engine: self.exec_engine,
+            program,
+            registry: &self.registry,
+            partial: self.partial,
+            sched: self.sched,
+            prov,
+        }
     }
 
     /// Executes a plan with a streamed answer boundary: the plan is
@@ -344,26 +513,38 @@ impl Mediator {
         sink: &mut dyn yat_algebra::BatchSink,
         obs: Option<&yat_obs::Collector>,
     ) -> Result<yat_algebra::stream::DeliveryStats, MediatorError> {
+        self.execute_stream_inner(plan, sink, obs, None)
+    }
+
+    /// [`Mediator::execute_stream`] under the `Degrade` policy with a
+    /// [`Provenance`] attached — the streaming twin of
+    /// [`Mediator::execute_federated`].
+    pub fn execute_stream_federated(
+        &self,
+        plan: &Arc<Alg>,
+        sink: &mut dyn yat_algebra::BatchSink,
+    ) -> Result<(yat_algebra::stream::DeliveryStats, Provenance), MediatorError> {
+        let prov = ProvLog::new();
+        let stats = self.execute_stream_inner(plan, sink, None, Some(&prov))?;
+        Ok((stats, prov.snapshot()))
+    }
+
+    fn execute_stream_inner(
+        &self,
+        plan: &Arc<Alg>,
+        sink: &mut dyn yat_algebra::BatchSink,
+        obs: Option<&yat_obs::Collector>,
+        prov: Option<&ProvLog>,
+    ) -> Result<yat_algebra::stream::DeliveryStats, MediatorError> {
         let (prefix, stages) = yat_algebra::stream::split(plan);
         let batch_rows = match self.stream {
             StreamPolicy::Chunked { batch_rows, .. } => batch_rows,
             StreamPolicy::Off => StreamPolicy::DEFAULT_BATCH_ROWS,
         };
         let program = self.program_for(&prefix);
+        let spec = self.exec_spec(obs, program.as_deref(), prov);
         Ok(execute_stream_mode(
-            &prefix,
-            &stages,
-            &self.connections,
-            &self.interfaces,
-            &self.funcs,
-            &self.skolems,
-            obs,
-            self.exec_mode,
-            &self.cache,
-            self.exec_engine,
-            program.as_deref(),
-            batch_rows,
-            sink,
+            &prefix, &stages, &spec, batch_rows, sink,
         )?)
     }
 
@@ -383,6 +564,20 @@ impl Mediator {
         self.execute(&optimized)
     }
 
+    /// [`Mediator::query`], also returning the answer's [`Provenance`]:
+    /// which federation members answered, and which were skipped under
+    /// [`PartialFailure::Degrade`]. For an unfederated mediator the
+    /// provenance is empty and this is exactly `query`.
+    pub fn query_federated(
+        &self,
+        src: &str,
+        options: OptimizerOptions,
+    ) -> Result<(EvalOut, Provenance), MediatorError> {
+        let plan = self.plan_query(src)?;
+        let (optimized, _) = self.optimize(&plan, options);
+        self.execute_federated(&optimized)
+    }
+
     /// Plan → optimize → streamed execution, end to end: the streaming
     /// equivalent of [`Mediator::query`].
     pub fn query_stream(
@@ -394,6 +589,20 @@ impl Mediator {
         let plan = self.plan_query(src)?;
         let (optimized, _) = self.optimize(&plan, options);
         self.execute_stream(&optimized, sink)
+    }
+
+    /// [`Mediator::query_stream`], also returning the [`Provenance`] so
+    /// the server can stamp degraded-answer attributes on the terminal
+    /// `answer-end` frame.
+    pub fn query_stream_federated(
+        &self,
+        src: &str,
+        options: OptimizerOptions,
+        sink: &mut dyn yat_algebra::BatchSink,
+    ) -> Result<(yat_algebra::stream::DeliveryStats, Provenance), MediatorError> {
+        let plan = self.plan_query(src)?;
+        let (optimized, _) = self.optimize(&plan, options);
+        self.execute_stream_federated(&optimized, sink)
     }
 
     /// `EXPLAIN ANALYZE`: executes `plan` with a span collector attached
@@ -415,18 +624,11 @@ impl Mediator {
     ) -> Result<Explain, MediatorError> {
         let obs = yat_obs::Collector::new();
         let program = self.program_for(plan);
-        let output = execute_mode(
-            plan,
-            &self.connections,
-            &self.interfaces,
-            &self.funcs,
-            &self.skolems,
-            Some(&obs),
-            self.exec_mode,
-            &self.cache,
-            self.exec_engine,
-            program.as_deref(),
-        )?;
+        let prov = ProvLog::new();
+        let output = {
+            let spec = self.exec_spec(Some(&obs), program.as_deref(), Some(&prov));
+            execute_mode(plan, &spec)?
+        };
         let rows = match &output {
             EvalOut::Tab(t) => t.len() as u64,
             EvalOut::Tree(_) => 1,
@@ -492,6 +694,25 @@ impl Mediator {
             }
         }
         lanes.sort_by(|a, b| (a.lane, &a.label).cmp(&(b.lane, &b.label)));
+        let federation = self
+            .registry
+            .member_names()
+            .iter()
+            .filter_map(|n| self.registry.member(n))
+            .map(|m| crate::explain::FederationLine {
+                name: m.name.clone(),
+                group: m.group.clone(),
+                role: match &m.role {
+                    MemberRole::Replica => "replica".to_string(),
+                    MemberRole::Shard { field, values } => {
+                        let vals: Vec<&str> = values.iter().map(String::as_str).collect();
+                        format!("shard({field} in {{{}}})", vals.join(", "))
+                    }
+                },
+                execute: m.execute,
+                cost: m.cost.snapshot(),
+            })
+            .collect();
         Ok(Explain {
             plan: plan.clone(),
             output,
@@ -504,6 +725,8 @@ impl Mediator {
             lanes,
             cache,
             cache_policy: self.cache.policy(),
+            federation,
+            provenance: prov.snapshot(),
             trace,
         })
     }

@@ -16,14 +16,16 @@
 
 use crate::rules::bind_tree::BindTreeElim;
 use crate::rules::capability::{CapabilitySplit, ContainsIntroduction, PushFragments};
+use crate::rules::federate::FederateRoute;
 use crate::rules::info_passing::JoinToDJoin;
 use crate::rules::prune::{prune, PruneOptions};
 use crate::rules::pushdown::{SelectMerge, SelectPushdown};
-use crate::rules::{apply_once, RewriteRule, RuleCtx};
-use std::collections::BTreeMap;
+use crate::rules::{apply_once, FederationCtx, RewriteRule, RuleCtx};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use yat_algebra::Alg;
 use yat_capability::interface::Interface;
+use yat_federate::SourceRegistry;
 
 /// What the optimizer is allowed to do. All techniques default on except
 /// the Fig. 8 containment assumption, which changes semantics unless the
@@ -41,6 +43,9 @@ pub struct OptimizerOptions {
     pub capability_pushdown: bool,
     /// Round 3: information passing.
     pub info_passing: bool,
+    /// Round 4: prune partition-group shards a fragment's constraints
+    /// exclude (only meaningful with a federation registry).
+    pub prune_partitions: bool,
     /// Fixpoint iteration cap per round.
     pub max_steps: usize,
 }
@@ -53,6 +58,7 @@ impl Default for OptimizerOptions {
             assume_containment: false,
             capability_pushdown: true,
             info_passing: true,
+            prune_partitions: true,
             max_steps: 128,
         }
     }
@@ -67,6 +73,7 @@ impl OptimizerOptions {
             assume_containment: false,
             capability_pushdown: false,
             info_passing: false,
+            prune_partitions: false,
             max_steps: 0,
         }
     }
@@ -107,6 +114,9 @@ pub struct Trace {
     /// The same firings with before/after plan snapshots — the derivation
     /// `EXPLAIN` and `examples/optimizer_explain.rs` print.
     pub firings: Vec<RuleFiring>,
+    /// Free-form decisions that are not plan rewrites — e.g. why a
+    /// source's fragments were kept mediator-side.
+    pub notes: Vec<String>,
 }
 
 impl Trace {
@@ -127,11 +137,12 @@ impl Trace {
         self.steps.iter().filter(|(_, r)| *r == rule).count()
     }
 
-    /// All firings, rendered one line each.
+    /// All firings, rendered one line each, followed by the notes.
     pub fn render(&self) -> String {
         self.steps
             .iter()
             .map(|(round, rule)| format!("round {round}: {rule}"))
+            .chain(self.notes.iter().map(|n| format!("note: {n}")))
             .collect::<Vec<_>>()
             .join("\n")
     }
@@ -172,11 +183,43 @@ pub fn optimize(
     interfaces: &BTreeMap<String, Interface>,
     options: OptimizerOptions,
 ) -> (Arc<Alg>, Trace) {
+    optimize_with_registry(plan, interfaces, options, None)
+}
+
+/// [`optimize`] with a federation registry: partition-group pushes are
+/// routed (and pruned) per member in round 4, and members whose cost
+/// records show a majority of failed trips are quarantined — their
+/// fragments stay mediator-side, with the decision recorded in the
+/// trace's notes.
+pub fn optimize_with_registry(
+    plan: &Arc<Alg>,
+    interfaces: &BTreeMap<String, Interface>,
+    options: OptimizerOptions,
+    registry: Option<&SourceRegistry>,
+) -> (Arc<Alg>, Trace) {
+    let mut trace = Trace::default();
+    // quarantine: enough history to judge, and most trips failing
+    let mut quarantined = BTreeSet::new();
+    if let Some(reg) = registry {
+        for name in reg.member_names() {
+            let c = reg.cost(name);
+            if c.trips >= 4 && c.error_rate() > 0.5 {
+                trace.notes.push(format!(
+                    "push-vs-pull: keeping `{name}` mediator-side (error rate {:.0}%)",
+                    c.error_rate() * 100.0
+                ));
+                quarantined.insert(name.to_string());
+            }
+        }
+    }
     let ctx = RuleCtx {
         interfaces,
         options: &options,
+        federation: registry.map(|r| FederationCtx {
+            registry: r,
+            quarantined: &quarantined,
+        }),
     };
-    let mut trace = Trace::default();
     let mut plan = plan.clone();
 
     // ---- round 1: composition and simplification ----------------------
@@ -210,6 +253,12 @@ pub fn optimize(
     if options.info_passing {
         let rules: Vec<&dyn RewriteRule> = vec![&JoinToDJoin];
         plan = fixpoint(plan, &rules, &ctx, options.max_steps, 3, &mut trace);
+    }
+
+    // ---- round 4: federation routing -----------------------------------
+    if options.capability_pushdown && registry.is_some_and(|r| !r.is_empty()) {
+        let rules: Vec<&dyn RewriteRule> = vec![&FederateRoute];
+        plan = fixpoint(plan, &rules, &ctx, options.max_steps, 4, &mut trace);
     }
 
     (plan, trace)

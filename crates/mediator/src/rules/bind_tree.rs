@@ -319,6 +319,7 @@ mod tests {
         let ctx = RuleCtx {
             interfaces: &ifaces,
             options: &options,
+            federation: None,
         };
         super::super::apply_once(plan, &BindTreeElim, &ctx).expect("rule should fire")
     }
@@ -419,6 +420,7 @@ mod tests {
         let ctx = RuleCtx {
             interfaces: &ifaces,
             options: &options,
+            federation: None,
         };
         // binding a whole constructed subtree
         let qfilter = parse_filter("doc *$w").unwrap();

@@ -214,6 +214,13 @@ impl RewriteRule for PushFragments {
             return None;
         }
         let source = single_source(plan)?;
+        // push-vs-pull: a quarantined member's fragments stay
+        // mediator-side, its documents are pulled instead
+        if let Some(fed) = &ctx.federation {
+            if fed.quarantined.contains(&source) {
+                return None;
+            }
+        }
         let iface = ctx.interfaces.get(&source)?;
         let localized = localize(plan, &source);
         pushable(iface, &localized).ok()?;
@@ -347,6 +354,7 @@ mod tests {
         let ctx = RuleCtx {
             interfaces: &ifaces,
             options: &options,
+            federation: None,
         };
         super::super::apply_once(plan, rule, &ctx)
     }

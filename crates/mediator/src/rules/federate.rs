@@ -1,0 +1,92 @@
+//! Federation routing (round 4): plan-time source selection.
+//!
+//! [`FederateRoute`] rewrites a `Push` addressed to a *partition group*
+//! into per-member arms united left-deep:
+//!
+//! * shards the fragment's conjunctive constraints exclude are pruned —
+//!   they never appear in the plan, so they are never contacted;
+//! * members that can execute the fragment get their own `Push`;
+//! * fetch-only (or quarantined) members get the fragment requalified to
+//!   read their documents directly, evaluated mediator-side.
+//!
+//! Replica groups are not routed here: picking a replica at plan time
+//! would bake one member into the plan, losing runtime failover. The
+//! executor resolves replica pushes cheapest-first with failover instead.
+
+use super::{RewriteRule, RuleCtx};
+use std::sync::Arc;
+use yat_algebra::Alg;
+use yat_capability::matcher::pushable;
+use yat_federate::{constraints_of, GroupKind};
+
+/// Round 4: route partition-group pushes to their concrete members.
+pub struct FederateRoute;
+
+impl RewriteRule for FederateRoute {
+    fn name(&self) -> &'static str {
+        "federate-route"
+    }
+
+    fn apply(&self, plan: &Arc<Alg>, ctx: &RuleCtx<'_>) -> Option<Arc<Alg>> {
+        let fed = ctx.federation.as_ref()?;
+        let Alg::Push { source, plan: frag } = plan.as_ref() else {
+            return None;
+        };
+        if fed.registry.group_kind(source) != Some(GroupKind::Partitioned) {
+            return None;
+        }
+        let selected = if ctx.options.prune_partitions {
+            fed.registry.prune(source, &constraints_of(frag))
+        } else {
+            fed.registry
+                .members_of(source)
+                .iter()
+                .map(|m| m.name.clone())
+                .collect()
+        };
+        let takes_push = |name: &str| {
+            !fed.quarantined.contains(name)
+                && fed.registry.member(name).is_some_and(|m| m.execute)
+                && ctx
+                    .interfaces
+                    .get(name)
+                    .is_some_and(|i| pushable(i, frag).is_ok())
+        };
+        // fire only when routing changes something: a shard was pruned,
+        // or a member cannot take the push as-is
+        let all = fed.registry.members_of(source).len();
+        if selected.len() == all && selected.iter().all(|n| takes_push(n)) {
+            return None;
+        }
+        let mut arms = selected.iter().map(|name| {
+            if takes_push(name) {
+                Alg::push(name.clone(), frag.clone())
+            } else {
+                requalify(frag, name)
+            }
+        });
+        let first = arms.next()?;
+        Some(arms.fold(first, |acc, arm| {
+            Arc::new(Alg::Union {
+                left: acc,
+                right: arm,
+            })
+        }))
+    }
+}
+
+/// Rewrites wrapper-local `Source{None, n}` to `Source{Some(member), n}`
+/// so a mediator-side arm reads exactly its member's documents.
+fn requalify(plan: &Arc<Alg>, member: &str) -> Arc<Alg> {
+    match plan.as_ref() {
+        Alg::Source { source: None, name } => Alg::source_at(member, name.clone()),
+        _ => {
+            let kids = plan
+                .children()
+                .into_iter()
+                .map(|c| requalify(c, member))
+                .collect();
+            Arc::new(plan.with_children(kids))
+        }
+    }
+}

@@ -12,14 +12,16 @@
 pub mod bind_split;
 pub mod bind_tree;
 pub mod capability;
+pub mod federate;
 pub mod info_passing;
 pub mod prune;
 pub mod pushdown;
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use yat_algebra::Alg;
 use yat_capability::interface::Interface;
+use yat_federate::SourceRegistry;
 
 /// Context available to rules: the imported interfaces (capabilities and
 /// structural models) and the optimizer options.
@@ -28,6 +30,20 @@ pub struct RuleCtx<'a> {
     pub interfaces: &'a BTreeMap<String, Interface>,
     /// Optimizer options.
     pub options: &'a crate::optimizer::OptimizerOptions,
+    /// Federation context for registry-aware rules (`None` when
+    /// optimizing for a plain, unfederated mediator).
+    pub federation: Option<FederationCtx<'a>>,
+}
+
+/// What registry-aware rules see: the source registry and the members
+/// whose cost records disqualify them from receiving pushed work.
+#[derive(Clone, Copy)]
+pub struct FederationCtx<'a> {
+    /// The federation registry.
+    pub registry: &'a SourceRegistry,
+    /// Members quarantined by their error rate: fragments are kept
+    /// mediator-side rather than pushed to them.
+    pub quarantined: &'a BTreeSet<String>,
 }
 
 /// A rewriting rule.

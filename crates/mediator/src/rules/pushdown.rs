@@ -200,6 +200,7 @@ mod tests {
         let ctx = RuleCtx {
             interfaces: &ifaces,
             options: &options,
+            federation: None,
         };
         super::super::apply_once(plan, rule, &ctx)
     }

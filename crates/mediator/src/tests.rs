@@ -1407,3 +1407,456 @@ fn session_logs_the_exec_engine() {
     );
     assert_eq!(s.mediator().exec_engine(), ExecEngine::Vm);
 }
+
+// ---------------------------------------------------------- federation
+
+use yat_federate::{Dead, MemberRole, PartialFailure};
+use yat_model::Node;
+
+/// The generated-works spec every federation test shares: a style mix
+/// (so the partition has non-trivial shards) with plenty of optional
+/// fields (so Q1 has matches in several styles).
+fn fed_works_spec(seed: u64) -> WorksSpec {
+    WorksSpec {
+        works: 24,
+        impressionist_pct: 40,
+        optional_pct: 60,
+        giverny_pct: 40,
+        seed,
+    }
+}
+
+fn style_of(work: &Tree) -> Option<String> {
+    work.children.iter().find_map(|c| match &c.label {
+        Label::Sym(s) if s.as_str() == "style" => c.children.first().and_then(|v| match &v.label {
+            Label::Atom(a) => Some(a.to_string()),
+            _ => None,
+        }),
+        _ => None,
+    })
+}
+
+/// The sub-collection of `works` whose style satisfies `keep` — one
+/// shard of a style-partitioned federation.
+fn works_with_styles(works: &Tree, keep: impl Fn(&str) -> bool) -> Tree {
+    Node::labeled(
+        works.label.clone(),
+        works
+            .children
+            .iter()
+            .filter(|w| style_of(w).is_some_and(|s| keep(&s)))
+            .cloned()
+            .collect(),
+    )
+}
+
+/// Every non-Impressionist style the works generator emits — the value
+/// set of the second shard.
+const REST_STYLES: [&str; 4] = ["Post-Impressionist", "Realist", "Cubist", "Romantic"];
+
+fn shard_role(values: &[&str]) -> MemberRole {
+    MemberRole::Shard {
+        field: "style".into(),
+        values: values.iter().map(|s| s.to_string()).collect(),
+    }
+}
+
+fn connect_fed<W: WrapperServer + 'static>(
+    m: &mut Mediator,
+    dead: &[&str],
+    server: W,
+    group: &str,
+    role: MemberRole,
+) {
+    if dead.contains(&server.name()) {
+        m.connect_member(Box::new(Dead(server)), group, role)
+            .unwrap();
+    } else {
+        m.connect_member(Box::new(server), group, role).unwrap();
+    }
+}
+
+/// The federated twin of [`generated_mediator`]: the same art data
+/// behind a two-replica `art` group and the same works split across a
+/// style-partitioned `wais` group, so every federated answer can be
+/// checked against the plain two-source mediator over identical data.
+/// Members named in `dead` connect but fail every data request.
+fn federated_mediator(seed: u64, dead: &[&str]) -> Mediator {
+    let works = generate_works(&fed_works_spec(seed));
+    let imp = works_with_styles(&works, |s| s == "Impressionist");
+    let rest = works_with_styles(&works, |s| s != "Impressionist");
+    let store = || {
+        art_store(&ArtSpec {
+            artifacts: 12,
+            persons: 10,
+            seed,
+        })
+    };
+    let mut m = Mediator::new();
+    connect_fed(
+        &mut m,
+        dead,
+        O2Wrapper::new("o2art-a", store()),
+        "art",
+        MemberRole::Replica,
+    );
+    connect_fed(
+        &mut m,
+        dead,
+        O2Wrapper::new("o2art-b", store()),
+        "art",
+        MemberRole::Replica,
+    );
+    connect_fed(
+        &mut m,
+        dead,
+        WaisWrapper::new("wais-imp", WaisSource::new("works", &imp)),
+        "wais",
+        shard_role(&["Impressionist"]),
+    );
+    connect_fed(
+        &mut m,
+        dead,
+        WaisWrapper::new("wais-rest", WaisSource::new("works", &rest)),
+        "wais",
+        shard_role(&REST_STYLES),
+    );
+    m.load_program(paper::VIEW1).unwrap();
+    m
+}
+
+/// The plain two-source mediator over the same data, optionally with
+/// part of the works collection removed — the oracle degraded federated
+/// answers are checked against.
+fn plain_twin(seed: u64, keep: impl Fn(&str) -> bool) -> Mediator {
+    let works = works_with_styles(&generate_works(&fed_works_spec(seed)), keep);
+    let mut m = Mediator::new();
+    m.connect(Box::new(O2Wrapper::new(
+        "o2artifact",
+        art_store(&ArtSpec {
+            artifacts: 12,
+            persons: 10,
+            seed,
+        }),
+    )))
+    .unwrap();
+    m.connect(Box::new(WaisWrapper::new(
+        "xmlartwork",
+        WaisSource::new("works", &works),
+    )))
+    .unwrap();
+    m.load_program(paper::VIEW1).unwrap();
+    m
+}
+
+fn fingerprint_of(m: &Mediator, query: &str, options: OptimizerOptions) -> Vec<String> {
+    let plan = m.plan_query(query).unwrap();
+    let (opt, _) = m.optimize(&plan, options);
+    result_fingerprint(&tree_of(m.execute(&opt).unwrap()))
+}
+
+#[test]
+fn connect_member_builds_groups_and_rejects_collisions() {
+    let m = federated_mediator(7, &[]);
+    let r = m.registry();
+    assert!(r.is_group("art") && r.is_group("wais"));
+    assert_eq!(
+        r.group_kind("art"),
+        Some(yat_federate::GroupKind::Replicated)
+    );
+    assert_eq!(
+        r.group_kind("wais"),
+        Some(yat_federate::GroupKind::Partitioned)
+    );
+    assert_eq!(r.members_of("wais").len(), 2);
+    assert_eq!(r.partition_field("wais").as_deref(), Some("style"));
+    // documents resolve to the group, not the member
+    assert_eq!(m.source_of("artifacts"), Some("art"));
+    assert_eq!(m.source_of("works"), Some("wais"));
+    // both the group and each member have an imported interface
+    assert!(m.interfaces().contains_key("wais"));
+    assert!(m.interfaces().contains_key("wais-imp"));
+
+    // a plain wrapper may not take a federation name
+    let mut m = federated_mediator(7, &[]);
+    let err = m
+        .connect(Box::new(WaisWrapper::new(
+            "wais-imp",
+            WaisSource::new("other", &fig1_works()),
+        )))
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("wais-imp"), "{err}");
+    // a member may not export a document another group already owns
+    let err = m
+        .connect_member(
+            Box::new(WaisWrapper::new(
+                "late",
+                WaisSource::new("works", &fig1_works()),
+            )),
+            "other-group",
+            MemberRole::Replica,
+        )
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("works"), "{err}");
+}
+
+#[test]
+fn federated_answers_match_the_plain_mediator() {
+    let seed = 11;
+    let plain = plain_twin(seed, |_| true);
+    for options in [OptimizerOptions::naive(), OptimizerOptions::default()] {
+        let q1 = fingerprint_of(&plain, paper::Q1, options);
+        let q2 = fingerprint_of(&plain, paper::Q2, options);
+        for engine in [ExecEngine::Interp, ExecEngine::Vm] {
+            for mode in [ExecMode::Sequential, ExecMode::parallel()] {
+                let mut fed = federated_mediator(seed, &[]);
+                fed.set_exec_engine(engine);
+                fed.set_exec_mode(mode);
+                assert_eq!(
+                    fingerprint_of(&fed, paper::Q1, options),
+                    q1,
+                    "Q1 {options:?} {engine:?} {mode:?}"
+                );
+                assert_eq!(
+                    fingerprint_of(&fed, paper::Q2, options),
+                    q2,
+                    "Q2 {options:?} {engine:?} {mode:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn partition_pruning_never_contacts_excluded_shards() {
+    let m = federated_mediator(13, &[]);
+    let plan = m.plan_query(paper::Q2).unwrap();
+    let (opt, trace) = m.optimize(&plan, OptimizerOptions::default());
+    assert!(
+        trace.firings.iter().any(|f| f.rule == "federate-route"),
+        "routing must fire: {}",
+        trace.render()
+    );
+    let rest_before = m.traffic_of("wais-rest").unwrap();
+    let out = m.execute(&opt).unwrap();
+    assert_eq!(
+        m.traffic_of("wais-rest").unwrap(),
+        rest_before,
+        "Q2 pins style = Impressionist: the other shard is never contacted"
+    );
+
+    // pruning must not change the answer: the unpruned plan agrees
+    let (unpruned, _) = m.optimize(
+        &plan,
+        OptimizerOptions {
+            prune_partitions: false,
+            ..OptimizerOptions::default()
+        },
+    );
+    assert_eq!(
+        result_fingerprint(&tree_of(out)),
+        result_fingerprint(&tree_of(m.execute(&unpruned).unwrap())),
+    );
+}
+
+#[test]
+fn degraded_answer_subtracts_the_dead_shard() {
+    let seed = 17;
+    let mut m = federated_mediator(seed, &["wais-rest"]);
+    let plan = m.plan_query(paper::Q1).unwrap();
+    let (opt, _) = m.optimize(&plan, OptimizerOptions::default());
+
+    // strict (the default) preserves fail-fast
+    assert_eq!(m.partial_failure(), PartialFailure::Strict);
+    let err = m.execute(&opt).unwrap_err().to_string();
+    assert!(err.contains("wais-rest"), "{err}");
+
+    m.set_partial_failure(PartialFailure::Degrade);
+    let (out, prov) = m.execute_federated(&opt).unwrap();
+    assert!(prov.is_degraded());
+    assert!(prov.missing.contains_key("wais-rest"), "{prov:?}");
+    assert!(prov.answered_by.contains("wais-imp"), "{prov:?}");
+    // the degraded answer is exactly the full answer minus the dead
+    // shard's contribution
+    let oracle = plain_twin(seed, |s| s == "Impressionist");
+    assert_eq!(
+        result_fingerprint(&tree_of(out)),
+        fingerprint_of(&oracle, paper::Q1, OptimizerOptions::default()),
+    );
+}
+
+#[test]
+fn replica_failover_is_lossless_even_under_strict() {
+    let seed = 19;
+    let m = federated_mediator(seed, &["o2art-a"]);
+    let plan = m.plan_query(paper::Q1).unwrap();
+    let (opt, _) = m.optimize(&plan, OptimizerOptions::default());
+    // one replica still answers, so strict mode sees no failure at all
+    let (out, prov) = m.execute_federated(&opt).unwrap();
+    assert!(!prov.is_degraded(), "failover is not degradation: {prov:?}");
+    assert!(prov.answered_by.contains("o2art-b"), "{prov:?}");
+    let oracle = plain_twin(seed, |_| true);
+    assert_eq!(
+        result_fingerprint(&tree_of(out)),
+        fingerprint_of(&oracle, paper::Q1, OptimizerOptions::default()),
+    );
+}
+
+#[test]
+fn quarantined_member_is_kept_mediator_side() {
+    let seed = 23;
+    let m = federated_mediator(seed, &[]);
+    // drive one shard's cost record into quarantine territory: enough
+    // trips, most of them failures
+    let cost = m.registry().member("wais-imp").unwrap().cost.clone();
+    for _ in 0..5 {
+        cost.observe(Duration::from_millis(5), 100, false);
+    }
+    let plan = m.plan_query(paper::Q2).unwrap();
+    let (opt, trace) = m.optimize(&plan, OptimizerOptions::default());
+    assert!(
+        trace.notes.iter().any(|n| n.contains("wais-imp")),
+        "push-vs-pull must be traced: {}",
+        trace.render()
+    );
+    // the quarantined member's documents are read mediator-side instead
+    // of pushing a fragment it keeps failing
+    fn has_push_to(plan: &Alg, name: &str) -> bool {
+        if let Alg::Push { source, .. } = plan {
+            if source == name {
+                return true;
+            }
+        }
+        plan.children().iter().any(|c| has_push_to(c, name))
+    }
+    assert!(!has_push_to(&opt, "wais-imp"), "{opt:?}");
+    // and the answer still matches the plain mediator's
+    let oracle = plain_twin(seed, |_| true);
+    assert_eq!(
+        result_fingerprint(&tree_of(m.execute(&opt).unwrap())),
+        fingerprint_of(&oracle, paper::Q2, OptimizerOptions::default()),
+    );
+}
+
+#[test]
+fn member_epoch_bump_only_stales_that_member() {
+    let seed = 29;
+    let mut m = federated_mediator(seed, &[]);
+    m.set_cache_policy(CachePolicy::Bounded {
+        max_bytes: 1 << 20,
+        ttl_epochs: 1,
+        negative: false,
+    });
+    m.set_exec_mode(ExecMode::parallel());
+    let plan = m.plan_query(paper::Q1).unwrap();
+    let (opt, _) = m.optimize(&plan, OptimizerOptions::naive());
+    let first = m.execute(&opt).unwrap();
+    // warm: a second run is served from the cache
+    let warm_before: Vec<_> = ["o2art-a", "o2art-b", "wais-imp", "wais-rest"]
+        .iter()
+        .map(|s| m.traffic_of(s).unwrap())
+        .collect();
+    assert_eq!(m.execute(&opt).unwrap(), first);
+    for (i, s) in ["o2art-a", "o2art-b", "wais-imp", "wais-rest"]
+        .iter()
+        .enumerate()
+    {
+        assert_eq!(
+            m.traffic_of(s).unwrap(),
+            warm_before[i],
+            "warm run must not touch {s}"
+        );
+    }
+
+    // bump ONE member's epoch and re-execute from several threads at
+    // once: only that member is re-fetched, every other member's cache
+    // entries stay valid through the concurrent runs
+    m.bump_source_epoch("wais-imp").unwrap();
+    let before: Vec<_> = ["o2art-a", "o2art-b", "wais-rest"]
+        .iter()
+        .map(|s| m.traffic_of(s).unwrap())
+        .collect();
+    let imp_before = m.traffic_of("wais-imp").unwrap();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let (m, opt, first) = (&m, &opt, &first);
+                scope.spawn(move || {
+                    assert_eq!(&m.execute(opt).unwrap(), first);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+    assert!(
+        m.traffic_of("wais-imp").unwrap().round_trips > imp_before.round_trips,
+        "the bumped member must be re-fetched"
+    );
+    for (i, s) in ["o2art-a", "o2art-b", "wais-rest"].iter().enumerate() {
+        assert_eq!(
+            m.traffic_of(s).unwrap(),
+            before[i],
+            "epoch bump of wais-imp must not stale {s}"
+        );
+    }
+}
+
+#[test]
+fn sched_policy_parses_and_warns() {
+    use crate::executor::SchedPolicy;
+    assert_eq!(SchedPolicy::parse("cost"), Some(SchedPolicy::Cost));
+    assert_eq!(SchedPolicy::parse(" Static "), Some(SchedPolicy::Static));
+    assert_eq!(SchedPolicy::parse("round-robin"), Some(SchedPolicy::Static));
+    assert_eq!(SchedPolicy::parse("lifo"), None);
+    assert_eq!(SchedPolicy::from_env_value(None), SchedPolicy::Cost);
+    let (tx, rx) = std::sync::mpsc::channel();
+    yat_obs::set_warn_sink(Some(Box::new(move |m| {
+        let _ = tx.send(m.to_string());
+    })));
+    assert_eq!(SchedPolicy::from_env_value(Some("lifo")), SchedPolicy::Cost);
+    let msg = rx.recv().unwrap();
+    assert!(msg.contains("YAT_SCHED") && msg.contains("lifo"), "{msg}");
+    yat_obs::set_warn_sink(None);
+}
+
+#[test]
+fn cost_and_static_scheduling_agree_on_answers() {
+    let seed = 31;
+    let mut m = federated_mediator(seed, &[]);
+    m.set_exec_mode(ExecMode::parallel());
+    assert_eq!(m.sched_policy(), crate::executor::SchedPolicy::Cost);
+    let cost = fingerprint_of(&m, paper::Q2, OptimizerOptions::default());
+    // executions fed the cost records: the members now have history
+    assert!(m.registry().cost("wais-imp").trips > 0);
+    m.set_sched_policy(crate::executor::SchedPolicy::Static);
+    assert_eq!(
+        fingerprint_of(&m, paper::Q2, OptimizerOptions::default()),
+        cost
+    );
+}
+
+#[test]
+fn explain_shows_federation_members_and_provenance() {
+    let seed = 37;
+    let mut m = federated_mediator(seed, &["wais-rest"]);
+    m.set_partial_failure(PartialFailure::Degrade);
+    let plan = m.plan_query(paper::Q1).unwrap();
+    let (opt, trace) = m.optimize(&plan, OptimizerOptions::default());
+    let ex = m.explain_with_trace(&opt, Some(trace)).unwrap();
+    assert_eq!(ex.federation.len(), 4, "{:?}", ex.federation);
+    let text = ex.render();
+    assert!(text.contains("federation"), "{text}");
+    assert!(
+        text.contains("wais-imp") && text.contains("shard(style"),
+        "{text}"
+    );
+    assert!(text.contains("replica"), "{text}");
+    assert!(text.contains("missing sources"), "{text}");
+    assert!(text.contains("wais-rest: "), "{text}");
+    let xml = ex.to_xml().to_xml();
+    assert!(xml.contains("missing-sources"), "{xml}");
+}

@@ -182,6 +182,10 @@ pub struct Connection {
     /// server worker threads share one `Connection`, so this gauge is
     /// how the serving layer reports per-source load.
     in_flight: AtomicU64,
+    /// The federation cost record this connection feeds, if it belongs
+    /// to a registered member: every round trip observes its latency,
+    /// bytes, and outcome.
+    cost: Mutex<Option<Arc<yat_federate::CostRecord>>>,
     #[cfg(test)]
     fault: Mutex<Option<Fault>>,
 }
@@ -196,9 +200,16 @@ impl Connection {
             timeout: Mutex::new(None),
             epoch: Arc::new(AtomicU64::new(0)),
             in_flight: AtomicU64::new(0),
+            cost: Mutex::new(None),
             #[cfg(test)]
             fault: Mutex::new(None),
         }
+    }
+
+    /// Attaches the federation cost record this connection feeds (set by
+    /// the mediator when the source is registered as a group member).
+    pub fn set_cost_record(&self, record: Option<Arc<yat_federate::CostRecord>>) {
+        *self.cost.lock().unwrap_or_else(|e| e.into_inner()) = record;
     }
 
     /// The wrapper's advertised name.
@@ -283,8 +294,15 @@ impl Connection {
         let mut span =
             obs.map(|c| c.span(kind::RPC, format!("{} @{}", request.kind(), self.name())));
         self.in_flight.fetch_add(1, Ordering::SeqCst);
+        let started = std::time::Instant::now();
         let outcome = self.round_trip(request);
+        let elapsed = started.elapsed();
         self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        let observe = |bytes: u64, ok: bool| {
+            if let Some(cost) = &*self.cost.lock().unwrap_or_else(|e| e.into_inner()) {
+                cost.observe(elapsed, bytes, ok);
+            }
+        };
         match outcome {
             Ok((response, sent, received, documents)) => {
                 if let Some(span) = span.as_mut() {
@@ -293,12 +311,19 @@ impl Connection {
                     span.record_u64(attr::DOCUMENTS, documents);
                 }
                 self.meter.record(sent, received, documents);
+                // A well-formed `Response::Error` is a successful round
+                // trip on the wire but a failure of the source: the cost
+                // record must see it, or a member that answers every data
+                // request with an error would never trip quarantine.
+                let ok = !matches!(response, Response::Error(_));
+                observe(sent + received, ok);
                 Ok(response)
             }
             Err(e) => {
                 if let Some(span) = span.as_mut() {
                     span.record_str(attr::ERROR, e.to_string());
                 }
+                observe(0, false);
                 Err(e)
             }
         }

@@ -26,11 +26,26 @@ impl Client {
     /// Connects, retrying for up to `patience` — for racing a server
     /// that is still binding its port (the CI smoke test, `yat-load`
     /// against a just-spawned `yat-server`).
+    ///
+    /// Retries back off exponentially with seeded jitter (see
+    /// [`backoff_delay`]) so a fleet of clients racing the same
+    /// just-spawned server doesn't hammer the listen queue in lockstep.
     pub fn connect_retry(
         addr: impl ToSocketAddrs + Clone,
         patience: Duration,
     ) -> Result<Client, WireError> {
         let start = Instant::now();
+        // Seed from the thread id so concurrent clients jitter
+        // differently, yet a replay on the same thread layout is
+        // deterministic.
+        let seed = {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::hash::DefaultHasher::new();
+            std::thread::current().id().hash(&mut h);
+            h.finish()
+        };
+        let mut rng = yat_prng::Rng::seed_from_u64(seed);
+        let mut attempt = 0u32;
         loop {
             match TcpStream::connect(addr.clone()) {
                 Ok(stream) => return Ok(Client { stream }),
@@ -39,7 +54,13 @@ impl Client {
                         "connect failed after {patience:?}: {e}"
                     )))
                 }
-                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                Err(_) => {
+                    let delay = backoff_delay(attempt, rng.gen_f64());
+                    attempt = attempt.saturating_add(1);
+                    // Never sleep past the patience window.
+                    let left = patience.saturating_sub(start.elapsed());
+                    std::thread::sleep(delay.min(left));
+                }
             }
         }
     }
@@ -142,6 +163,23 @@ impl Client {
     }
 }
 
+/// The delay before retry number `attempt` (0-based) of
+/// [`Client::connect_retry`]: exponential from a 5 ms base, doubling per
+/// attempt, capped at 200 ms, with ±50 % uniform jitter drawn from
+/// `unit` (a value in `[0, 1)`).
+///
+/// Pure so the schedule is testable without sleeping: the curve is
+/// `base * 2^attempt`, and jitter scales the capped value into
+/// `[0.5x, 1.5x)`.
+pub fn backoff_delay(attempt: u32, unit: f64) -> Duration {
+    const BASE_MS: f64 = 5.0;
+    const CAP_MS: f64 = 200.0;
+    let exp = BASE_MS * f64::powi(2.0, attempt.min(16) as i32);
+    let capped = exp.min(CAP_MS);
+    let jittered = capped * (0.5 + unit.clamp(0.0, 1.0));
+    Duration::from_micros((jittered * 1000.0) as u64)
+}
+
 /// A streamed reply, reassembled client-side.
 #[derive(Debug)]
 pub struct StreamedReply {
@@ -235,6 +273,8 @@ pub fn read_streamed_reply(reader: &mut impl Read) -> Result<StreamedReply, Wire
             StreamFrame::End {
                 chunks: declared,
                 rows,
+                answered_by,
+                missing,
             } => {
                 if declared != chunks {
                     return Err(WireError::Stream(format!(
@@ -254,7 +294,11 @@ pub fn read_streamed_reply(reader: &mut impl Read) -> Result<StreamedReply, Wire
                     )));
                 }
                 return Ok(StreamedReply {
-                    reply: ServerReply::Answer(out),
+                    reply: ServerReply::Answer {
+                        out,
+                        answered_by,
+                        missing,
+                    },
                     chunks,
                     ttfr,
                 });

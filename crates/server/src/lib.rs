@@ -30,7 +30,7 @@ mod client;
 pub mod load;
 mod server;
 
-pub use client::{read_streamed_reply, Client, StreamedReply};
+pub use client::{backoff_delay, read_streamed_reply, Client, StreamedReply};
 pub use load::{LoadMode, LoadReport, LoadSpec};
 pub use server::{Server, ServerConfig, ServerHandle};
 

@@ -267,7 +267,7 @@ fn run_client(addr: SocketAddr, spec: &LoadSpec, index: usize) -> LoadReport {
                 (reply, None)
             };
             match reply {
-                Ok(ServerReply::Answer(out)) => {
+                Ok(ServerReply::Answer { out, .. }) => {
                     report.answered += 1;
                     report
                         .latencies_ms
@@ -276,7 +276,7 @@ fn run_client(addr: SocketAddr, spec: &LoadSpec, index: usize) -> LoadReport {
                         report.ttfr_ms.push(t.as_secs_f64() * 1e3);
                     }
                     if let Some(expected) = &spec.expected {
-                        let got = ServerReply::Answer(out).to_xml().to_xml();
+                        let got = ServerReply::answer(out).to_xml().to_xml();
                         if expected.get(&text).map(String::as_str) != Some(got.as_str()) {
                             report.mismatches += 1;
                         }

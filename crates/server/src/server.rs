@@ -648,7 +648,7 @@ fn worker_loop(index: usize, shared: &Shared, rx: &Mutex<Receiver<Job>>) {
         };
         shared.in_flight.fetch_sub(1, Ordering::SeqCst);
         match &reply {
-            ServerReply::Answer(_) | ServerReply::Explained { .. } => {
+            ServerReply::Answer { .. } | ServerReply::Explained { .. } => {
                 shared.served.fetch_add(1, Ordering::SeqCst);
             }
             _ => {
@@ -713,22 +713,27 @@ fn serve_streamed(
         };
         shared
             .mediator
-            .query_stream(text, OptimizerOptions::default(), &mut sink)
+            .query_stream_federated(text, OptimizerOptions::default(), &mut sink)
     }));
     let chunks = chunks_sent.load(Ordering::SeqCst);
     span.record_u64(attr::CHUNKS, chunks);
     let (event, served) = match outcome {
-        Ok(Ok(stats)) => (
-            StreamEvent::End(
-                StreamFrame::End {
-                    chunks: stats.chunks,
-                    rows: stats.rows,
-                }
-                .to_xml()
-                .to_xml(),
-            ),
-            true,
-        ),
+        Ok(Ok((stats, prov))) => {
+            let (answered_by, missing) = wire_prov(&prov);
+            (
+                StreamEvent::End(
+                    StreamFrame::End {
+                        chunks: stats.chunks,
+                        rows: stats.rows,
+                        answered_by,
+                        missing,
+                    }
+                    .to_xml()
+                    .to_xml(),
+                ),
+                true,
+            )
+        }
         Ok(Err(e)) => {
             let message = e.to_string();
             span.record_str(attr::ERROR, message.clone());
@@ -803,8 +808,18 @@ fn execute(
 ) -> ServerReply {
     match request {
         ClientRequest::Query { text, .. } => {
-            match shared.mediator.query(text, OptimizerOptions::default()) {
-                Ok(out) => ServerReply::Answer(out),
+            match shared
+                .mediator
+                .query_federated(text, OptimizerOptions::default())
+            {
+                Ok((out, prov)) => {
+                    let (answered_by, missing) = wire_prov(&prov);
+                    ServerReply::Answer {
+                        out,
+                        answered_by,
+                        missing,
+                    }
+                }
                 Err(e) => ServerReply::Error {
                     message: e.to_string(),
                 },
@@ -844,17 +859,37 @@ fn execute(
     }
 }
 
+/// Renders an answer's provenance as wire attributes: `None`/`None` for
+/// a complete answer (the frame stays byte-identical to the pre-
+/// federation wire), both attributes when sources were skipped under
+/// `PartialFailure::Degrade`.
+fn wire_prov(prov: &yat_mediator::Provenance) -> (Option<String>, Option<String>) {
+    if prov.is_degraded() {
+        (Some(prov.answered_by_attr()), Some(prov.missing_attr()))
+    } else {
+        (None, None)
+    }
+}
+
 fn build_stats(shared: &Shared) -> ServerStats {
     let cache = shared.mediator.cache_stats();
+    let registry = shared.mediator.registry();
     let sources = shared
         .mediator
         .interfaces()
         .keys()
         .filter_map(|name| {
-            shared.mediator.connection(name).map(|conn| SourceGauge {
-                name: name.clone(),
-                round_trips: conn.meter().snapshot().round_trips,
-                in_flight: conn.in_flight(),
+            shared.mediator.connection(name).map(|conn| {
+                let member = registry.member(name);
+                let cost = member.map(|m| m.cost.snapshot());
+                SourceGauge {
+                    name: name.clone(),
+                    round_trips: conn.meter().snapshot().round_trips,
+                    in_flight: conn.in_flight(),
+                    group: member.map(|m| m.group.clone()),
+                    ewma_latency_us: cost.as_ref().map_or(0, |c| c.ewma_latency_us as u64),
+                    errors: cost.as_ref().map_or(0, |c| c.errors),
+                }
             })
         })
         .collect();

@@ -58,7 +58,7 @@ fn expected_answer(mediator: &Mediator, query: &str) -> String {
     let out = mediator
         .query(query, OptimizerOptions::default())
         .expect("paper query answers in-process");
-    ServerReply::Answer(out).to_xml().to_xml()
+    ServerReply::answer(out).to_xml().to_xml()
 }
 
 #[test]
@@ -147,7 +147,7 @@ fn overload_sheds_only_when_the_queue_is_saturated() {
     let mut solo = Client::connect(addr).expect("client connects");
     for _ in 0..3 {
         let reply = solo.query(paper::Q1).expect("query round-trips");
-        assert!(matches!(reply, ServerReply::Answer(_)), "{reply:?}");
+        assert!(matches!(reply, ServerReply::Answer { .. }), "{reply:?}");
     }
     assert_eq!(handle.stats().shed, 0, "no shedding without saturation");
 
@@ -165,7 +165,7 @@ fn overload_sheds_only_when_the_queue_is_saturated() {
     });
     let answered = outcomes
         .iter()
-        .filter(|r| matches!(r, ServerReply::Answer(_)))
+        .filter(|r| matches!(r, ServerReply::Answer { .. }))
         .count();
     let overloaded = outcomes
         .iter()
@@ -214,7 +214,10 @@ fn deadlines_expire_in_the_queue_without_executing() {
             }
             other => panic!("expected a deadline error, got {other:?}"),
         }
-        assert!(matches!(blocker.join().unwrap(), ServerReply::Answer(_)));
+        assert!(matches!(
+            blocker.join().unwrap(),
+            ServerReply::Answer { .. }
+        ));
     });
     let stats = handle.stats();
     assert!(stats.errors >= 1);
@@ -260,7 +263,7 @@ fn hostile_frames_leave_the_server_alive_and_the_connection_usable() {
         .expect("reply present");
     assert!(matches!(
         ServerReply::from_xml(&el).expect("reply parses"),
-        ServerReply::Answer(_)
+        ServerReply::Answer { .. }
     ));
 
     // an oversized header poisons only its own connection
@@ -283,7 +286,7 @@ fn hostile_frames_leave_the_server_alive_and_the_connection_usable() {
     let mut client = Client::connect(addr).expect("client connects");
     assert!(matches!(
         client.query(paper::Q1).expect("query round-trips"),
-        ServerReply::Answer(_)
+        ServerReply::Answer { .. }
     ));
     let stats = handle.stats();
     assert!(stats.protocol_errors >= 3, "{stats:?}");
@@ -329,7 +332,7 @@ fn graceful_shutdown_drains_in_flight_queries() {
     assert!(drained >= 1, "shutdown found work to drain");
     for reply in &outcomes {
         assert!(
-            matches!(reply, ServerReply::Answer(_)),
+            matches!(reply, ServerReply::Answer { .. }),
             "in-flight queries complete through the drain: {reply:?}"
         );
     }
@@ -537,7 +540,12 @@ fn corrupted_chunk_streams_yield_typed_errors_never_short_answers() {
             seq: 2,
             payload: batch(&[5]),
         }),
-        frame_bytes(&StreamFrame::End { chunks: 3, rows: 5 }),
+        frame_bytes(&StreamFrame::End {
+            chunks: 3,
+            rows: 5,
+            answered_by: None,
+            missing: None,
+        }),
     ];
     let full: Vec<u8> = frames.concat();
 
@@ -545,7 +553,10 @@ fn corrupted_chunk_streams_yield_typed_errors_never_short_answers() {
     let ok = read_streamed_reply(&mut Cursor::new(full.clone())).expect("intact stream parses");
     assert_eq!(ok.chunks, 3);
     match &ok.reply {
-        ServerReply::Answer(EvalOut::Tab(t)) => assert_eq!(t.len(), 5),
+        ServerReply::Answer {
+            out: EvalOut::Tab(t),
+            ..
+        } => assert_eq!(t.len(), 5),
         other => panic!("expected a 5-row answer, got {other:?}"),
     }
 
@@ -581,21 +592,36 @@ fn corrupted_chunk_streams_yield_typed_errors_never_short_answers() {
         "{err}"
     );
     // answer-end declaring the wrong chunk count
-    let end = frame_bytes(&StreamFrame::End { chunks: 2, rows: 5 });
+    let end = frame_bytes(&StreamFrame::End {
+        chunks: 2,
+        rows: 5,
+        answered_by: None,
+        missing: None,
+    });
     let err = stream_err(&[&frames[0], &frames[1], &frames[2], &end]);
     assert!(
         matches!(&err, WireError::Stream(m) if m.contains("chunks")),
         "{err}"
     );
     // answer-end declaring the wrong row count
-    let end = frame_bytes(&StreamFrame::End { chunks: 3, rows: 4 });
+    let end = frame_bytes(&StreamFrame::End {
+        chunks: 3,
+        rows: 4,
+        answered_by: None,
+        missing: None,
+    });
     let err = stream_err(&[&frames[0], &frames[1], &frames[2], &end]);
     assert!(
         matches!(&err, WireError::Stream(m) if m.contains("rows")),
         "{err}"
     );
     // answer-end with no chunks at all
-    let end = frame_bytes(&StreamFrame::End { chunks: 0, rows: 0 });
+    let end = frame_bytes(&StreamFrame::End {
+        chunks: 0,
+        rows: 0,
+        answered_by: None,
+        missing: None,
+    });
     let err = stream_err(&[&end]);
     assert!(
         matches!(&err, WireError::Stream(m) if m.contains("before any")),
@@ -681,12 +707,12 @@ fn first_chunk_lands_before_the_materialized_answer_completes() {
     let streamed = client
         .query_streamed(WORKS_SCAN)
         .expect("stream round-trips");
-    assert!(matches!(streamed.reply, ServerReply::Answer(_)));
+    assert!(matches!(streamed.reply, ServerReply::Answer { .. }));
     assert!(streamed.chunks >= 2, "4000 subtrees / 64 per batch");
     let start = Instant::now();
     let reply = client.query(WORKS_SCAN).expect("query round-trips");
     let materialized_total = start.elapsed();
-    assert!(matches!(reply, ServerReply::Answer(_)));
+    assert!(matches!(reply, ServerReply::Answer { .. }));
     assert!(
         streamed.ttfr < materialized_total,
         "time-to-first-row {:?} must beat the materialized time-to-last-row {:?}",
@@ -739,7 +765,7 @@ fn graceful_shutdown_finishes_in_flight_streams_before_bye() {
         "the stream was in flight when the drain began"
     );
     assert!(
-        matches!(streamed.reply, ServerReply::Answer(_)),
+        matches!(streamed.reply, ServerReply::Answer { .. }),
         "a partially streamed answer finishes through the drain: {:?}",
         streamed.reply
     );
@@ -788,8 +814,8 @@ fn hundred_thousand_row_answers_stream_with_bounded_gather() {
     );
     let streamed = sink.into_answer().expect("stream delivered an answer");
     assert_eq!(
-        ServerReply::Answer(streamed).to_xml().to_xml(),
-        ServerReply::Answer(expected).to_xml().to_xml(),
+        ServerReply::answer(streamed).to_xml().to_xml(),
+        ServerReply::answer(expected).to_xml().to_xml(),
         "100k-row streamed answer byte-identical to the materialized one"
     );
 
@@ -845,8 +871,8 @@ fn gather_gauge_stays_within_the_lane_budget_on_multi_source_plans() {
         .expect("streamed answer");
     let streamed = sink.into_answer().expect("stream delivered an answer");
     assert_eq!(
-        ServerReply::Answer(streamed).to_xml().to_xml(),
-        ServerReply::Answer(expected).to_xml().to_xml()
+        ServerReply::answer(streamed).to_xml().to_xml(),
+        ServerReply::answer(expected).to_xml().to_xml()
     );
     let spans = collector.spans();
     let scatter = spans
@@ -907,4 +933,211 @@ fn workers_share_one_compiled_program_per_plan() {
     );
     handle.shutdown();
     handle.join();
+}
+
+// ---------------------------------------------------------- federation
+
+/// [`federation`] with the works collection split into a two-shard
+/// partition group; the shard named in `dead` connects but fails every
+/// data request.
+fn sharded_federation(scale: usize, dead: &[&str]) -> Mediator {
+    use yat_mediator::{Dead, MemberRole};
+    let works = generate_works(&WorksSpec {
+        works: scale,
+        impressionist_pct: 30,
+        optional_pct: 60,
+        giverny_pct: 30,
+        seed: 42,
+    });
+    let style_of = |w: &yat_model::Tree| -> String {
+        w.children
+            .iter()
+            .find(|c| matches!(&c.label, yat_model::Label::Sym(s) if s.as_str() == "style"))
+            .and_then(|c| c.children.first())
+            .map(|v| format!("{}", v.label))
+            .unwrap_or_default()
+    };
+    let split = |keep: &dyn Fn(&str) -> bool| {
+        Node::labeled(
+            works.label.clone(),
+            works
+                .children
+                .iter()
+                .filter(|w| keep(&style_of(w)))
+                .cloned()
+                .collect(),
+        )
+    };
+    let imp = split(&|s| s.contains("Impressionist") && !s.contains("Post"));
+    let rest = split(&|s| !s.contains("Impressionist") || s.contains("Post"));
+    let shard = |values: &[&str]| MemberRole::Shard {
+        field: "style".into(),
+        values: values.iter().map(|s| s.to_string()).collect(),
+    };
+    let mut m = Mediator::new();
+    m.connect(Box::new(O2Wrapper::new(
+        "o2artifact",
+        art_store(&ArtSpec {
+            artifacts: scale,
+            persons: (scale / 5).max(2),
+            seed: 42,
+        }),
+    )))
+    .unwrap();
+    let imp_wrapper = WaisWrapper::new("wais-imp", WaisSource::new("works", &imp));
+    if dead.contains(&"wais-imp") {
+        m.connect_member(
+            Box::new(Dead(imp_wrapper)),
+            "wais",
+            shard(&["Impressionist"]),
+        )
+        .unwrap();
+    } else {
+        m.connect_member(Box::new(imp_wrapper), "wais", shard(&["Impressionist"]))
+            .unwrap();
+    }
+    let rest_wrapper = WaisWrapper::new("wais-rest", WaisSource::new("works", &rest));
+    let rest_values = ["Post-Impressionist", "Realist", "Cubist", "Romantic"];
+    if dead.contains(&"wais-rest") {
+        m.connect_member(Box::new(Dead(rest_wrapper)), "wais", shard(&rest_values))
+            .unwrap();
+    } else {
+        m.connect_member(Box::new(rest_wrapper), "wais", shard(&rest_values))
+            .unwrap();
+    }
+    m.load_program(paper::VIEW1).unwrap();
+    m
+}
+
+#[test]
+fn degraded_answers_carry_provenance_on_the_wire() {
+    let mut m = sharded_federation(12, &["wais-rest"]);
+    m.set_partial_failure(yat_mediator::PartialFailure::Degrade);
+    let handle = Server::spawn(m, ServerConfig::default()).expect("server binds");
+    let mut client = Client::connect(handle.addr()).expect("client connects");
+
+    // materialized: the <answer> element carries the attributes
+    let reply = client.query(paper::Q1).expect("query round-trips");
+    let ServerReply::Answer {
+        answered_by: Some(answered),
+        missing: Some(missing),
+        ..
+    } = &reply
+    else {
+        panic!("expected a degraded answer, got {reply:?}");
+    };
+    assert!(answered.contains("wais-imp"), "{answered}");
+    assert_eq!(missing, "wais-rest");
+    let text = reply.to_xml().to_xml();
+    assert!(text.contains("answered-by="), "{text}");
+    assert!(text.contains("missing-sources=\"wais-rest\""), "{text}");
+
+    // streamed: the answer-end frame carries them, and the client
+    // propagates them into the reassembled Answer
+    let streamed = client
+        .query_streamed(paper::Q1)
+        .expect("stream round-trips");
+    let ServerReply::Answer {
+        answered_by: Some(answered),
+        missing: Some(missing),
+        ..
+    } = &streamed.reply
+    else {
+        panic!(
+            "expected a degraded streamed answer, got {:?}",
+            streamed.reply
+        );
+    };
+    assert!(answered.contains("wais-imp"), "{answered}");
+    assert_eq!(missing, "wais-rest");
+
+    // stats: member gauges carry their group and cost counters
+    let stats = client.stats().expect("stats round-trips");
+    let gauge = |name: &str| {
+        stats
+            .sources
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("no gauge for {name}: {:?}", stats.sources))
+            .clone()
+    };
+    assert_eq!(gauge("wais-imp").group.as_deref(), Some("wais"));
+    assert!(
+        gauge("wais-imp").ewma_latency_us > 0,
+        "{:?}",
+        gauge("wais-imp")
+    );
+    assert!(gauge("wais-rest").errors > 0, "{:?}", gauge("wais-rest"));
+    assert_eq!(gauge("o2artifact").group, None, "plain sources stay plain");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn complete_federated_answers_stay_byte_identical_to_plain_wire() {
+    // a healthy federation must not leak provenance attributes: the
+    // reply bytes match a plain two-source mediator's exactly
+    let reference = federation(12);
+    let handle =
+        Server::spawn(sharded_federation(12, &[]), ServerConfig::default()).expect("server binds");
+    let mut client = Client::connect(handle.addr()).expect("client connects");
+    for query in [paper::Q1, paper::Q2] {
+        let reply = client.query(query).expect("query round-trips");
+        assert_eq!(
+            reply.to_xml().to_xml(),
+            expected_answer(&reference, query),
+            "federated wire answer must match the plain mediator's bytes"
+        );
+    }
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn backoff_schedule_is_exponential_jittered_and_capped() {
+    use crate::client::backoff_delay;
+    // midpoint jitter reproduces the bare exponential curve
+    assert_eq!(backoff_delay(0, 0.5), Duration::from_millis(5));
+    assert_eq!(backoff_delay(1, 0.5), Duration::from_millis(10));
+    assert_eq!(backoff_delay(2, 0.5), Duration::from_millis(20));
+    // the curve caps at 200ms before jitter
+    assert_eq!(backoff_delay(12, 0.5), Duration::from_millis(200));
+    assert_eq!(backoff_delay(63, 0.5), Duration::from_millis(200));
+    // jitter spans [0.5x, 1.5x)
+    assert_eq!(backoff_delay(0, 0.0), Duration::from_micros(2500));
+    assert_eq!(backoff_delay(3, 1.0), Duration::from_millis(60));
+    // distinct jitter draws de-synchronize a client fleet
+    let mut rng = Rng::seed_from_u64(7);
+    let delays: Vec<Duration> = (0..8).map(|_| backoff_delay(4, rng.gen_f64())).collect();
+    let distinct: std::collections::HashSet<_> = delays.iter().collect();
+    assert!(distinct.len() > 1, "{delays:?}");
+    for d in &delays {
+        assert!(
+            *d >= Duration::from_millis(40) && *d < Duration::from_millis(120),
+            "{d:?}"
+        );
+    }
+}
+
+#[test]
+fn connect_retry_still_reaches_a_late_binding_server() {
+    // the jittered schedule must not break the original contract: a
+    // client that starts before the server still connects within patience
+    let handle = Server::spawn(federation(6), ServerConfig::default()).expect("server binds");
+    let addr = handle.addr();
+    let mut client = Client::connect_retry(addr, Duration::from_secs(2)).expect("retry connects");
+    assert!(matches!(
+        client.query(paper::Q1).expect("query round-trips"),
+        ServerReply::Answer { .. }
+    ));
+    // and a dead address still errors out after patience
+    drop(client);
+    handle.shutdown();
+    handle.join();
+    let err = match Client::connect_retry(addr, Duration::from_millis(120)) {
+        Err(e) => e,
+        Ok(_) => panic!("connect to a dead address must fail"),
+    };
+    assert!(err.to_string().contains("connect failed"), "{err}");
 }

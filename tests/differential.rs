@@ -356,8 +356,8 @@ impl Case {
                         let b = sink.into_answer().ok_or_else(|| {
                             format!("streamed run delivered no answer under {mode}/{engine}")
                         })?;
-                        let mat_bytes = ServerReply::Answer(a).to_xml().to_xml();
-                        let st_bytes = ServerReply::Answer(b).to_xml().to_xml();
+                        let mat_bytes = ServerReply::answer(a).to_xml().to_xml();
+                        let st_bytes = ServerReply::answer(b).to_xml().to_xml();
                         if mat_bytes != st_bytes {
                             return Err(format!(
                                 "streamed answer diverges from materialized under \

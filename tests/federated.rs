@@ -1,0 +1,204 @@
+//! Differential harness for the federation layer: seeded kill-k-of-N
+//! sweeps over [`FedScenario`] federations. A degraded answer must equal
+//! the full answer minus exactly the works held by the killed partition
+//! shards (killed replicas are lossless via failover), its provenance
+//! must name exactly the killed members that were actually consulted,
+//! and all of it must hold identically across
+//! {Sequential, Parallel} × {Interp, Vm} × streamed/materialized.
+//!
+//! Deterministic by construction: the master seed is fixed (override
+//! with `YAT_DIFF_SEED=<u64>`) and the kill sets are drawn from it.
+
+use yat::yat_algebra::{CollectSink, EvalOut};
+use yat::yat_capability::protocol::ServerReply;
+use yat::yat_mediator::{
+    CachePolicy, ExecEngine, ExecMode, Mediator, OptimizerOptions, PartialFailure, StreamPolicy,
+};
+use yat_bench::figures::fingerprint;
+use yat_bench::workload::FedScenario;
+use yat_prng::Rng;
+
+const DEFAULT_SEED: u64 = 0xFED_2026;
+const SCALE: usize = 18;
+
+fn master_seed() -> u64 {
+    std::env::var("YAT_DIFF_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED)
+}
+
+fn answer_fp(out: &EvalOut) -> Vec<String> {
+    match out {
+        EvalOut::Tree(t) => fingerprint(t),
+        EvalOut::Tab(_) => panic!("paper queries answer trees"),
+    }
+}
+
+fn oracle_fp(m: &Mediator, query: &str) -> Vec<String> {
+    answer_fp(
+        &m.query(query, OptimizerOptions::default())
+            .expect("the oracle mediator answers"),
+    )
+}
+
+/// Every {mode, engine} × {materialized, streamed} combination.
+fn combos() -> Vec<(ExecMode, ExecEngine)> {
+    let mut v = Vec::new();
+    for engine in [ExecEngine::Interp, ExecEngine::Vm] {
+        for mode in [
+            ExecMode::Sequential,
+            ExecMode::Parallel { max_in_flight: 4 },
+        ] {
+            v.push((mode, engine));
+        }
+    }
+    v
+}
+
+fn degrade_mediator(sc: &FedScenario, mode: ExecMode, engine: ExecEngine) -> Mediator {
+    let mut m = sc.mediator();
+    m.set_exec_mode(mode);
+    m.set_exec_engine(engine);
+    m.set_cache_policy(CachePolicy::Off);
+    m.set_partial_failure(PartialFailure::Degrade);
+    m
+}
+
+/// Runs one kill set through every combination, checking answer and
+/// provenance against the oracle. `expect_missing` is the sorted list of
+/// members that must appear in the provenance (killed ∩ consulted).
+fn check_kill_set(sc: &FedScenario, query: &str, want: &[String], expect_missing: &[String]) {
+    let ctx = || format!("members={} dead={:?} query={query}", sc.members, sc.dead);
+    // the materialized degraded answer must be byte-identical across
+    // every combination; the streamed reassembly must match it
+    let mut wire: Option<String> = None;
+    for (mode, engine) in combos() {
+        let m = degrade_mediator(sc, mode, engine);
+        let plan = m.plan_query(query).expect("query plans");
+        let (opt, _) = m.optimize(&plan, OptimizerOptions::default());
+        let (out, prov) = m
+            .execute_federated(&opt)
+            .unwrap_or_else(|e| panic!("degrade mode must answer ({}): {e}", ctx()));
+        assert_eq!(answer_fp(&out), want, "degraded answer oracle ({})", ctx());
+        let missing: Vec<String> = prov.missing.keys().cloned().collect();
+        assert_eq!(missing, expect_missing, "provenance ({})", ctx());
+        let bytes = ServerReply::answer(out).to_xml().to_xml();
+        match &wire {
+            None => wire = Some(bytes),
+            Some(w) => assert_eq!(
+                &bytes,
+                w,
+                "answer bytes diverge under {mode:?}/{engine:?} ({})",
+                ctx()
+            ),
+        }
+
+        let mut st = degrade_mediator(sc, mode, engine);
+        st.set_stream_policy(StreamPolicy::chunked());
+        let mut sink = CollectSink::new();
+        let (_, prov) = st
+            .query_stream_federated(query, OptimizerOptions::default(), &mut sink)
+            .unwrap_or_else(|e| panic!("streamed degrade must answer ({}): {e}", ctx()));
+        let out = sink.into_answer().expect("streamed run delivers an answer");
+        let missing: Vec<String> = prov.missing.keys().cloned().collect();
+        assert_eq!(missing, expect_missing, "streamed provenance ({})", ctx());
+        let bytes = ServerReply::answer(out).to_xml().to_xml();
+        assert_eq!(
+            Some(bytes),
+            wire,
+            "streamed answer diverges from materialized ({})",
+            ctx()
+        );
+    }
+}
+
+#[test]
+fn killing_k_shards_subtracts_exactly_their_works() {
+    let mut rng = Rng::seed_from_u64(master_seed());
+    for members in [4usize, 9] {
+        for _case in 0..3 {
+            let mut sc = FedScenario::new(members, SCALE);
+            let shards = sc.shard_names();
+            let k = (1 + rng.gen_range(0..2) as usize).min(shards.len());
+            let mut killed: Vec<String> = Vec::new();
+            while killed.len() < k {
+                let pick = shards[rng.gen_range(0..shards.len() as u64) as usize].clone();
+                if !killed.contains(&pick) {
+                    killed.push(pick);
+                }
+            }
+            killed.sort();
+            sc.dead = killed.clone();
+            // Q1 has no style constraint: every shard is consulted, so
+            // the provenance must name exactly the kill set
+            let want = oracle_fp(&sc.plain_twin(&killed), yat::yat_yatl::paper::Q1);
+            check_kill_set(&sc, yat::yat_yatl::paper::Q1, &want, &killed);
+        }
+    }
+}
+
+#[test]
+fn killing_replicas_is_lossless_until_the_last() {
+    let mut rng = Rng::seed_from_u64(master_seed() ^ 0xA5A5);
+    for members in [4usize, 8] {
+        let mut sc = FedScenario::new(members, SCALE);
+        let replicas = sc.replica_names();
+        // kill all but one replica, chosen at random
+        let keep = rng.gen_range(0..replicas.len() as u64) as usize;
+        sc.dead = replicas
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != keep)
+            .map(|(_, n)| n.clone())
+            .collect();
+        let want = oracle_fp(&sc.plain_twin(&[]), yat::yat_yatl::paper::Q1);
+        // no shard died, so failover must keep the answer complete and
+        // the provenance empty — even under strict
+        check_kill_set(&sc, yat::yat_yatl::paper::Q1, &want, &[]);
+        let mut m = sc.mediator();
+        m.set_cache_policy(CachePolicy::Off);
+        let strict = m
+            .query(yat::yat_yatl::paper::Q1, OptimizerOptions::default())
+            .expect("strict mode survives replica failover");
+        assert_eq!(answer_fp(&strict), want);
+    }
+}
+
+#[test]
+fn pruned_dead_shards_are_never_consulted_so_never_missed() {
+    // Q2 is constrained to Impressionist: a dead shard that owns no
+    // Impressionist works is pruned at plan time, so the answer is
+    // complete and the provenance stays empty
+    let mut sc = FedScenario::new(8, SCALE);
+    let victim = sc
+        .shard_names()
+        .into_iter()
+        .enumerate()
+        .find(|(i, _)| !sc.shard_styles(*i).contains("Impressionist"))
+        .map(|(_, n)| n)
+        .expect("some shard owns no Impressionist works");
+    sc.dead = vec![victim];
+    let want = oracle_fp(&sc.plain_twin(&[]), yat::yat_yatl::paper::Q2);
+    check_kill_set(&sc, yat::yat_yatl::paper::Q2, &want, &[]);
+}
+
+#[test]
+fn strict_mode_fails_fast_when_a_killed_shard_is_consulted() {
+    let mut sc = FedScenario::new(6, SCALE);
+    let killed = sc.shard_names().remove(0);
+    sc.dead = vec![killed.clone()];
+    for (mode, engine) in combos() {
+        let mut m = sc.mediator();
+        m.set_exec_mode(mode);
+        m.set_exec_engine(engine);
+        m.set_cache_policy(CachePolicy::Off);
+        let err = m
+            .query(yat::yat_yatl::paper::Q1, OptimizerOptions::default())
+            .expect_err("strict mode must fail when a consulted shard is dead");
+        assert!(
+            err.to_string().contains(&killed),
+            "error must name the dead member under {mode:?}/{engine:?}: {err}"
+        );
+    }
+}
