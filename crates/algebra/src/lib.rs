@@ -33,6 +33,7 @@
 //! `yat-mediator` executes the same plans against remote wrappers by
 //! intercepting `Push` nodes.
 
+pub mod bindex;
 pub mod compile;
 pub mod error;
 pub mod eval;
@@ -45,6 +46,7 @@ pub mod template;
 pub mod value;
 pub mod vm;
 
+pub use bindex::BindIndexCache;
 pub use compile::{compile, Instr, Program};
 pub use error::EvalError;
 pub use eval::{eval, eval_env, Env, EvalCtx, EvalOut, PushHandler, SourceCatalog};

@@ -27,10 +27,12 @@
 //! `ExecEngine::Vm` selected on the mediator.
 //!
 //! End-to-end entries have no reference counterpart timed in the same
-//! process; they carry `baseline_ns: 0, speedup: 1.0` and are
+//! process; they carry `baseline_ns: 0` and *no* `speedup` key (a
+//! placeholder 1.0 ratio would read as a measured result) and are
 //! tracked for wall-clock context only. CI compares the *speedup* column
 //! against the checked-in baseline via `report bench-diff` — ratios are
-//! machine-independent, absolute times are not.
+//! machine-independent, absolute times are not — and skips the
+//! ratio-less rows.
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -53,12 +55,10 @@ struct Entry {
 }
 
 impl Entry {
-    fn speedup(&self) -> f64 {
-        if self.baseline_ns == 0 {
-            1.0
-        } else {
-            self.baseline_ns as f64 / self.hashed_ns.max(1) as f64
-        }
+    /// The baseline/hashed ratio — `None` when no baseline was timed
+    /// (end-to-end entries), so the JSON never carries a fake 1.0.
+    fn speedup(&self) -> Option<f64> {
+        (self.baseline_ns != 0).then(|| self.baseline_ns as f64 / self.hashed_ns.max(1) as f64)
     }
 }
 
@@ -417,13 +417,13 @@ fn main() {
     for (i, e) in entries.iter().enumerate() {
         let _ = write!(
             out,
-            "  {{\"name\": \"{}\", \"n\": {}, \"hashed_ns\": {}, \"baseline_ns\": {}, \"speedup\": {:.3}}}",
-            e.name,
-            e.n,
-            e.hashed_ns,
-            e.baseline_ns,
-            e.speedup()
+            "  {{\"name\": \"{}\", \"n\": {}, \"hashed_ns\": {}, \"baseline_ns\": {}",
+            e.name, e.n, e.hashed_ns, e.baseline_ns,
         );
+        if let Some(s) = e.speedup() {
+            let _ = write!(out, ", \"speedup\": {s:.3}");
+        }
+        out.push('}');
         out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
     }
     out.push_str("]\n");

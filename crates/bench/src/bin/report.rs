@@ -300,14 +300,17 @@ fn fig9() {
 /// *speedup* column — hashed-vs-string ratios are machine-independent,
 /// so a checked-in baseline from one machine still gates CI on another.
 /// Fails when any matching entry's speedup regressed by more than 25%
-/// (new < old × 0.75). End-to-end entries (`baseline_ns: 0`) carry no
-/// ratio and are reported informationally only.
+/// (new < old × 0.75). End-to-end entries carry no ratio — no `speedup`
+/// key (older baselines wrote `baseline_ns: 0` with a placeholder 1.0;
+/// both spellings are skipped) — and are reported informationally only.
 fn bench_diff(old_path: Option<&String>, new_path: Option<&String>) -> Result<(), String> {
     let (old_path, new_path) = match (old_path, new_path) {
         (Some(o), Some(n)) => (o, n),
         _ => return Err("usage: report bench-diff <old.json> <new.json>".into()),
     };
-    let load = |path: &str| -> Result<Vec<(String, u64, f64, f64)>, String> {
+    // rows are (name, n, baseline_ns, speedup-if-ratio-gated)
+    type Row = (String, u64, f64, Option<f64>);
+    let load = |path: &str| -> Result<Vec<Row>, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         let json = yat_bench::json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
         let arr = json
@@ -320,14 +323,22 @@ fn bench_diff(old_path: Option<&String>, new_path: Option<&String>) -> Result<()
                         .and_then(yat_bench::json::Json::as_f64)
                         .ok_or_else(|| format!("{path}: entry missing numeric \"{k}\""))
                 };
+                let base = field("baseline_ns")?;
+                // a baseline-less row's ratio is meaningless whether or
+                // not an old writer stamped a placeholder there
+                let speedup = if base == 0.0 {
+                    None
+                } else {
+                    e.get("speedup").and_then(yat_bench::json::Json::as_f64)
+                };
                 Ok((
                     e.get("name")
                         .and_then(yat_bench::json::Json::as_str)
                         .ok_or_else(|| format!("{path}: entry missing \"name\""))?
                         .to_string(),
                     field("n")? as u64,
-                    field("baseline_ns")?,
-                    field("speedup")?,
+                    base,
+                    speedup,
                 ))
             })
             .collect()
@@ -337,17 +348,23 @@ fn bench_diff(old_path: Option<&String>, new_path: Option<&String>) -> Result<()
 
     let mut regressions = Vec::new();
     let mut compared = 0usize;
-    for (name, n, old_base, old_speedup) in &old {
+    for (name, n, _, old_speedup) in &old {
         let Some((_, _, _, new_speedup)) =
             new.iter().find(|(nn, nnn, _, _)| nn == name && nnn == n)
         else {
             regressions.push(format!("{name} n={n}: missing from {new_path}"));
             continue;
         };
-        if *old_base == 0.0 {
+        let Some(old_speedup) = old_speedup else {
             println!("{name:<8} n={n:<6} end-to-end only, no ratio gate");
             continue;
-        }
+        };
+        let Some(new_speedup) = new_speedup else {
+            regressions.push(format!(
+                "{name} n={n}: baseline has a ratio but the new run carries none"
+            ));
+            continue;
+        };
         compared += 1;
         let verdict = if *new_speedup < old_speedup * 0.75 {
             regressions.push(format!(

@@ -2,6 +2,7 @@
 
 use std::collections::{BTreeSet, HashMap};
 use yat_capability::protocol::WrapperServer;
+use yat_capability::IndexPolicy;
 use yat_mediator::{Dead, FetchOnly, Mediator, MemberRole};
 use yat_model::{Label, Node, Tree};
 use yat_oql::art::{art_store, fig1_store, ArtSpec};
@@ -24,6 +25,10 @@ pub struct Scenario {
     pub giverny_pct: u8,
     /// RNG seed.
     pub seed: u64,
+    /// Index policy pinned on the mediator and both sources (defaults
+    /// to `YAT_INDEX`). The differential's index axis sets it per
+    /// instance so indexed and scan federations coexist in one process.
+    pub index: IndexPolicy,
 }
 
 impl Scenario {
@@ -37,6 +42,7 @@ impl Scenario {
             optional_pct: 60,
             giverny_pct: 30,
             seed: 42,
+            index: IndexPolicy::from_env(),
         }
     }
 
@@ -62,11 +68,15 @@ impl Scenario {
     pub fn mediator(&self) -> Mediator {
         let (art, works) = self.specs();
         let mut m = Mediator::new();
-        m.connect(Box::new(O2Wrapper::new("o2artifact", art_store(&art))))
-            .expect("fresh mediator accepts the O2 wrapper");
+        m.set_index_policy(self.index);
+        m.connect(Box::new(O2Wrapper::new(
+            "o2artifact",
+            art_store(&art).with_index_policy(self.index),
+        )))
+        .expect("fresh mediator accepts the O2 wrapper");
         m.connect(Box::new(WaisWrapper::new(
             "xmlartwork",
-            WaisSource::new("works", &generate_works(&works)),
+            WaisSource::new("works", &generate_works(&works)).with_index_policy(self.index),
         )))
         .expect("fresh mediator accepts the Wais wrapper");
         m.load_program(paper::VIEW1).expect("view1 is well-formed");

@@ -33,6 +33,7 @@
 pub mod flags;
 pub mod fpattern;
 pub mod framing;
+pub mod index;
 pub mod interface;
 pub mod matcher;
 pub mod plan_xml;
@@ -42,6 +43,7 @@ pub mod xml;
 
 pub use flags::{BindFlag, InstFlag};
 pub use fpattern::{FEdge, FLabel, FOcc, FPattern, Fmodel};
+pub use index::{IndexPolicy, IndexReport};
 pub use interface::{Equivalence, ExportDecl, Interface, OpKind, OperationDecl, SigItem};
 pub use matcher::{accepts_filter, pushable, Rejection};
 

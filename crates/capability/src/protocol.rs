@@ -692,6 +692,21 @@ pub trait WrapperServer: Send + Sync {
 
     /// Handles one request.
     fn handle(&self, request: &Request) -> Response;
+
+    /// Takes the index accounting of the most recent `Execute`, if the
+    /// wrapper recorded one ([`crate::IndexReport`]). Observational
+    /// only: the transport layer collects it *next to* the wire (never
+    /// on it) and feeds the `EXPLAIN ANALYZE` index section, so answers
+    /// and traffic stay byte-identical whether anyone asks or not.
+    fn take_index_report(&self) -> Option<crate::IndexReport> {
+        None
+    }
+
+    /// Registers a mediator-side epoch cell the wrapper must bump when
+    /// its underlying store mutates (documents added/removed), so the
+    /// answer cache can never serve pre-mutation results. Default:
+    /// ignore (immutable sources).
+    fn register_epoch(&self, _epoch: std::sync::Arc<std::sync::atomic::AtomicU64>) {}
 }
 
 #[cfg(test)]

@@ -400,6 +400,9 @@ pub struct ExecSpec<'a> {
     pub sched: SchedPolicy,
     /// Optional provenance accumulator (answered-by / missing-sources).
     pub prov: Option<&'a ProvLog>,
+    /// Structural-index cache for mediator-local `Bind`s (`None` = scan;
+    /// the mediator passes its cache only when its index policy is on).
+    pub bind_index: Option<&'a yat_algebra::BindIndexCache>,
 }
 
 impl<'a> ExecSpec<'a> {
@@ -555,6 +558,7 @@ pub fn execute_traced(
         partial: PartialFailure::Strict,
         sched: SchedPolicy::Static,
         prov: None,
+        bind_index: None,
     };
     execute_mode(plan, &spec)
 }
@@ -587,6 +591,7 @@ pub fn execute_mode(plan: &Alg, spec: &ExecSpec<'_>) -> Result<EvalOut, ExecErro
         skolems: spec.skolems,
         push: Some(&pusher),
         obs: spec.obs,
+        bind_index: spec.bind_index,
     };
     let env = Env::new();
     run_engine(plan, spec.engine, spec.program, &ctx, &env).map_err(ExecError::from)
@@ -621,6 +626,7 @@ pub fn execute_stream_mode(
         skolems: spec.skolems,
         push: Some(&pusher),
         obs: spec.obs,
+        bind_index: spec.bind_index,
     };
     let env = Env::new();
     let prefix_out = run_engine(prefix, spec.engine, spec.program, &ctx, &env)?;

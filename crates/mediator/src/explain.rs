@@ -60,6 +60,26 @@ pub struct CacheLine {
     pub bytes_saved: u64,
 }
 
+/// Per-target index activity of one execution, aggregated from the
+/// `index` events the transport and the local bind path emitted. Keys
+/// are the event labels: `<collection> @<source>` for pushed work,
+/// `bind <root> @local` for mediator-local matching.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexLine {
+    /// Evaluations answered through an index (they issued probes).
+    pub indexed: u64,
+    /// Evaluations that fell back to a scan.
+    pub scans: u64,
+    /// Index probes issued.
+    pub probes: u64,
+    /// Candidates the probes seeded, before re-checking predicates.
+    pub candidates: u64,
+    /// Documents/objects/nodes actually examined.
+    pub scanned: u64,
+    /// Collection/extent size addressed (summed over evaluations).
+    pub collection: u64,
+}
+
 /// One federation member as `EXPLAIN ANALYZE` reports it: its group,
 /// role, capability, and live cost record at explain time.
 #[derive(Debug, Clone, PartialEq)]
@@ -107,6 +127,11 @@ pub struct Explain {
     /// Per-source answer-cache activity (empty when the cache is off or
     /// stayed silent).
     pub cache: BTreeMap<String, CacheLine>,
+    /// Per-target index activity: which evaluations were answered
+    /// through an index, how many candidates the probes seeded, and how
+    /// much of each collection was actually examined (empty when nothing
+    /// reported).
+    pub index: BTreeMap<String, IndexLine>,
     /// The answer-cache policy the execution ran under.
     pub cache_policy: CachePolicy,
     /// The federation members the registry knows about (empty for a
@@ -136,6 +161,20 @@ impl Explain {
                 misses: a.misses + b.misses,
                 evictions: a.evictions + b.evictions,
                 bytes_saved: a.bytes_saved + b.bytes_saved,
+            })
+    }
+
+    /// Total index activity across all targets.
+    pub fn index_totals(&self) -> IndexLine {
+        self.index
+            .values()
+            .fold(IndexLine::default(), |a, b| IndexLine {
+                indexed: a.indexed + b.indexed,
+                scans: a.scans + b.scans,
+                probes: a.probes + b.probes,
+                candidates: a.candidates + b.candidates,
+                scanned: a.scanned + b.scanned,
+                collection: a.collection + b.collection,
             })
     }
 
@@ -190,6 +229,21 @@ impl Explain {
                 out.push_str(&format!(
                     "  {source}: {} hits, {} misses, {} evictions, {}B saved\n",
                     line.hits, line.misses, line.evictions, line.bytes_saved
+                ));
+            }
+        }
+        if !self.index.is_empty() {
+            out.push_str("index:\n");
+            for (target, line) in &self.index {
+                out.push_str(&format!(
+                    "  {target}: {} indexed / {} scans, {} probes, {} candidates, \
+                     {} of {} examined\n",
+                    line.indexed,
+                    line.scans,
+                    line.probes,
+                    line.candidates,
+                    line.scanned,
+                    line.collection
                 ));
             }
         }
@@ -315,6 +369,22 @@ impl Explain {
                 );
             }
             el.push_element(cache);
+        }
+        if !self.index.is_empty() {
+            let mut index = Element::new("index");
+            for (target, line) in &self.index {
+                index.push_element(
+                    Element::new("target")
+                        .with_attr("name", target.clone())
+                        .with_attr("indexed", line.indexed.to_string())
+                        .with_attr("scans", line.scans.to_string())
+                        .with_attr("probes", line.probes.to_string())
+                        .with_attr("candidates", line.candidates.to_string())
+                        .with_attr("scanned", line.scanned.to_string())
+                        .with_attr("collection", line.collection.to_string()),
+                );
+            }
+            el.push_element(index);
         }
         if self.engine == ExecEngine::Vm {
             let mut program =

@@ -6,17 +6,18 @@ use crate::executor::{
     execute_mode, execute_stream_mode, ExecEngine, ExecError, ExecMode, ExecSpec, SchedPolicy,
     StreamPolicy,
 };
-use crate::explain::{CacheLine, Explain, LaneJob};
+use crate::explain::{CacheLine, Explain, IndexLine, LaneJob};
 use crate::optimizer::{optimize_with_registry, OptimizerOptions, Trace};
 use crate::transport::{Connection, MeterSnapshot};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex};
-use yat_algebra::{Alg, EvalOut, FnRegistry, Program, SkolemRegistry};
+use yat_algebra::{Alg, BindIndexCache, EvalOut, FnRegistry, Program, SkolemRegistry};
 use yat_cache::{AnswerCache, CachePolicy, CacheStats};
 use yat_capability::interface::Interface;
 use yat_capability::protocol::{Request, Response, WrapperServer};
+use yat_capability::IndexPolicy;
 use yat_federate::{Member, MemberRole, PartialFailure, ProvLog, Provenance, SourceRegistry};
 use yat_yatl::{parse_program, parse_rule, translate, Rule};
 
@@ -79,6 +80,12 @@ pub struct Mediator {
     registry: SourceRegistry,
     partial: PartialFailure,
     sched: SchedPolicy,
+    index_policy: IndexPolicy,
+    /// Structural indexes for mediator-local `Bind`s, built lazily per
+    /// collection tree and keyed by tree identity (see
+    /// [`yat_algebra::BindIndexCache`]). Consulted only when
+    /// `index_policy` is on.
+    bind_index: BindIndexCache,
 }
 
 /// Compiled programs keyed by plan hash, confirmed against the stored
@@ -135,8 +142,23 @@ impl Mediator {
             cache: AnswerCache::new(CachePolicy::from_env()),
             partial: PartialFailure::from_env(),
             sched: SchedPolicy::from_env(),
+            index_policy: IndexPolicy::from_env(),
             ..Default::default()
         }
+    }
+
+    /// The current index policy.
+    pub fn index_policy(&self) -> IndexPolicy {
+        self.index_policy
+    }
+
+    /// Selects whether mediator-local `Bind`s consult structural indexes
+    /// (`On`) or always walk (`Off`, the scan oracle). Wrapper-side
+    /// indexes are governed by each source's own policy; both default to
+    /// `YAT_INDEX`. Either way, answers and wire traffic are identical —
+    /// only evaluation strategy changes.
+    pub fn set_index_policy(&mut self, policy: IndexPolicy) {
+        self.index_policy = policy;
     }
 
     /// The current execution mode.
@@ -481,6 +503,7 @@ impl Mediator {
             partial: self.partial,
             sched: self.sched,
             prov,
+            bind_index: self.index_policy.is_on().then_some(&self.bind_index),
         }
     }
 
@@ -637,6 +660,7 @@ impl Mediator {
         let mut traffic: BTreeMap<String, MeterSnapshot> = BTreeMap::new();
         let mut lanes = Vec::new();
         let mut cache: BTreeMap<String, CacheLine> = BTreeMap::new();
+        let mut index: BTreeMap<String, IndexLine> = BTreeMap::new();
         let mut program_lines = Vec::new();
         for span in &spans {
             // VM-instruction events carry the compiled-program listing
@@ -692,6 +716,23 @@ impl Mediator {
                     _ => {}
                 }
             }
+            // index events are labeled "<collection> @<source>" (pushed)
+            // or "bind <root> @local"; probes > 0 means the evaluation
+            // was answered through an index
+            if span.kind == yat_obs::kind::INDEX {
+                let counter = |name| span.attr(name).and_then(|v| v.as_u64()).unwrap_or(0);
+                let line = index.entry(span.label.clone()).or_default();
+                let probes = counter(yat_obs::attr::PROBES);
+                if probes > 0 {
+                    line.indexed += 1;
+                } else {
+                    line.scans += 1;
+                }
+                line.probes += probes;
+                line.candidates += counter(yat_obs::attr::CANDIDATES);
+                line.scanned += counter(yat_obs::attr::SCANNED);
+                line.collection += counter(yat_obs::attr::COLLECTION_SIZE);
+            }
         }
         lanes.sort_by(|a, b| (a.lane, &a.label).cmp(&(b.lane, &b.label)));
         let federation = self
@@ -724,6 +765,7 @@ impl Mediator {
             program: program_lines,
             lanes,
             cache,
+            index,
             cache_policy: self.cache.policy(),
             federation,
             provenance: prov.snapshot(),

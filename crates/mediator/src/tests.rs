@@ -889,6 +889,48 @@ fn scrub_durations(text: &str) -> String {
 }
 
 #[test]
+#[ignore = "regenerates the explain goldens; run by hand"]
+fn regen_explain_goldens() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/src/testdata");
+    let mut m = fig1_mediator();
+    m.set_exec_mode(ExecMode::Parallel { max_in_flight: 2 });
+    m.set_cache_policy(CachePolicy::Off);
+    m.set_exec_engine(ExecEngine::Interp);
+    for (query, options, stem) in [
+        (paper::Q1, OptimizerOptions::full(), "q1_parallel"),
+        (paper::Q2, OptimizerOptions::default(), "q2_parallel"),
+    ] {
+        let plan = m.plan_query(query).unwrap();
+        let (opt, _) = m.optimize(&plan, options);
+        let ex = m.explain(&opt).unwrap();
+        std::fs::write(format!("{dir}/{stem}.txt"), scrub_durations(&ex.render())).unwrap();
+        std::fs::write(
+            format!("{dir}/{stem}.xml"),
+            scrub_durations(&ex.to_xml().to_pretty_xml()),
+        )
+        .unwrap();
+    }
+    let mut m = fig1_mediator();
+    m.set_exec_mode(ExecMode::Parallel { max_in_flight: 2 });
+    m.set_cache_policy(CachePolicy::bounded());
+    m.set_exec_engine(ExecEngine::Interp);
+    let plan = m.plan_query(paper::Q1).unwrap();
+    let (opt, _) = m.optimize(&plan, OptimizerOptions::full());
+    m.execute(&opt).unwrap();
+    let ex = m.explain(&opt).unwrap();
+    std::fs::write(
+        format!("{dir}/q1_cached.txt"),
+        scrub_durations(&ex.render()),
+    )
+    .unwrap();
+    std::fs::write(
+        format!("{dir}/q1_cached.xml"),
+        scrub_durations(&ex.to_xml().to_pretty_xml()),
+    )
+    .unwrap();
+}
+
+#[test]
 fn golden_explain_analyze_under_parallel_mode() {
     let mut m = fig1_mediator();
     m.set_exec_mode(ExecMode::Parallel { max_in_flight: 2 });

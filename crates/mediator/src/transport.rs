@@ -18,7 +18,7 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 use yat_capability::protocol::{Request, Response, WrapperServer};
 use yat_capability::xml::WireError;
-use yat_obs::{attr, kind, Collector};
+use yat_obs::{attr, kind, AttrValue, Collector};
 
 /// Cumulative traffic statistics for one connection.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -191,14 +191,19 @@ pub struct Connection {
 }
 
 impl Connection {
-    /// Connects to an in-process wrapper.
+    /// Connects to an in-process wrapper. The connection's epoch cell is
+    /// handed to the wrapper, so servers over mutable stores bump it on
+    /// every data change — cached answers stale out without anyone
+    /// calling [`Connection::bump_epoch`] by hand.
     pub fn new(server: Box<dyn WrapperServer>) -> Self {
+        let epoch = Arc::new(AtomicU64::new(0));
+        server.register_epoch(epoch.clone());
         Connection {
             server,
             meter: Meter::new(),
             latency: Mutex::new(None),
             timeout: Mutex::new(None),
-            epoch: Arc::new(AtomicU64::new(0)),
+            epoch,
             in_flight: AtomicU64::new(0),
             cost: Mutex::new(None),
             #[cfg(test)]
@@ -316,6 +321,28 @@ impl Connection {
                 // record must see it, or a member that answers every data
                 // request with an error would never trip quarantine.
                 let ok = !matches!(response, Response::Error(_));
+                // Index accounting travels out-of-band: the wrapper keeps
+                // a report per Execute and the transport drains it every
+                // round trip (even untraced, so a stale report never
+                // attaches to a later query).
+                let report = self.server.take_index_report();
+                if ok && matches!(request, Request::Execute { .. }) {
+                    if let (Some(obs), Some(r)) = (obs, report) {
+                        // `probes > 0` ⇔ the wrapper answered off its
+                        // index; a scan records zero probes.
+                        obs.event(
+                            kind::INDEX,
+                            format!("{} @{}", r.collection, self.name()),
+                            vec![
+                                (attr::PROBES, AttrValue::Uint(r.probes)),
+                                (attr::CANDIDATES, AttrValue::Uint(r.candidates)),
+                                (attr::SCANNED, AttrValue::Uint(r.scanned)),
+                                (attr::COLLECTION_SIZE, AttrValue::Uint(r.collection_size)),
+                                (attr::ROWS_OUT, AttrValue::Uint(r.rows)),
+                            ],
+                        );
+                    }
+                }
                 observe(sent + received, ok);
                 Ok(response)
             }

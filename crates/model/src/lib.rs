@@ -35,6 +35,7 @@
 pub mod atom;
 pub mod forest;
 pub mod hash;
+pub mod index;
 pub mod instantiate;
 pub mod matching;
 pub mod oid;
@@ -45,7 +46,10 @@ pub mod xml_convert;
 
 pub use atom::{Atom, AtomType};
 pub use forest::Forest;
-pub use matching::{match_filter, Binding, BindingRow, MatchOptions};
+pub use index::TreeIndex;
+pub use matching::{
+    match_filter, match_filter_indexed, Binding, BindingRow, IndexStats, MatchOptions,
+};
 pub use oid::{Oid, OidGen};
 pub use pattern::{Edge, Filter, Model, Occ, PLabel, Pattern, PatternDef, StarBind};
 pub use symbol::Symbol;

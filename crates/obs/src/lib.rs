@@ -62,6 +62,15 @@ pub mod kind {
     /// write loop records one too. Excluded from
     /// [`crate::profile::build`] like the other non-operator kinds.
     pub const STREAM: &str = "stream";
+    /// An index-plane event: one per index-consulting evaluation — a
+    /// wrapper-side pushed plan (label = `<collection> @<source>`) or a
+    /// covered mediator-local `Bind` (label = `bind <root> @local`).
+    /// Carries [`crate::attr::PROBES`], [`crate::attr::CANDIDATES`],
+    /// [`crate::attr::SCANNED`], [`crate::attr::COLLECTION_SIZE`] and
+    /// [`crate::attr::ROWS_OUT`]. Excluded from [`crate::profile::build`]
+    /// like the other non-operator kinds: `EXPLAIN ANALYZE` reports
+    /// index activity in its own section.
+    pub const INDEX: &str = "index";
 }
 
 /// Attribute names recorded by the built-in instrumentation sites (the
@@ -101,6 +110,17 @@ pub mod attr {
     /// the server's per-stream in-flight-chunk gauge (`stream` spans).
     /// Bounded by the configured budget, never by answer size.
     pub const PEAK_PENDING: &str = "peak_pending";
+    /// Index lookups one index-driven evaluation performed (`index`
+    /// events): posting-list, path-hash or field-index probes.
+    pub const PROBES: &str = "probes";
+    /// Candidates (documents, objects or nodes) those probes seeded.
+    pub const CANDIDATES: &str = "candidates";
+    /// Documents/objects actually examined to produce the answer. Equal
+    /// to [`COLLECTION_SIZE`] on the scan path; ideally much smaller on
+    /// the indexed path.
+    pub const SCANNED: &str = "scanned";
+    /// Total size of the collection/extent the evaluation addressed.
+    pub const COLLECTION_SIZE: &str = "collection_size";
 }
 
 /// A pluggable destination for [`warn`] messages.

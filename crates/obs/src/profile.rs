@@ -102,7 +102,11 @@ pub fn build(spans: &[SpanData]) -> Vec<ProfileNode> {
         // cache and VM-instruction events are bookkeeping, not plan work:
         // EXPLAIN reports them in dedicated sections instead of as
         // profile rows
-        if span.kind == kind::CACHE || span.kind == kind::VM || span.kind == kind::STREAM {
+        if span.kind == kind::CACHE
+            || span.kind == kind::VM
+            || span.kind == kind::STREAM
+            || span.kind == kind::INDEX
+        {
             continue;
         }
         match span.parent {

@@ -1,0 +1,264 @@
+//! Per-extent field indexes: hash postings for `=` probes, B-tree
+//! postings for range probes.
+//!
+//! Postings carry the extent *insertion sequence* of each object, so a
+//! probe returns candidates already in extent order — the evaluator can
+//! iterate them directly and produce rows byte-identical to the scan,
+//! without touching the rest of the extent.
+//!
+//! Two key wrappers reconcile [`Atom`]'s partial equality with map keys:
+//!
+//! * `EqKey` hashes atoms under the coercing equality of
+//!   [`Atom::value_eq`] (`1 = 1.0`, `-0.0 = 0.0`); distinct values that
+//!   collide after coercion share a posting list, which only ever widens
+//!   a candidate set — the evaluator re-checks the full predicate.
+//! * `OrdAtom` orders atoms by [`Atom::total_cmp`], the exact ordering
+//!   the scan's comparisons use, so range probes match the scan verbatim.
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
+use yat_model::{Atom, Oid};
+
+/// A posting: `(extent insertion sequence, object)`. Lists are kept
+/// ascending by sequence, i.e. in extent order.
+pub type Entry = (u64, Oid);
+
+/// A hash key whose equality contains [`Atom::value_eq`]: numerics
+/// coerce through `f64` (merging `1`/`1.0` and `-0.0`/`0.0`, and — more
+/// than `value_eq` — all NaNs), so an `=` probe never misses a document
+/// the scan would keep.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum EqKey {
+    Bool(bool),
+    /// Canonicalized `f64` bits: `-0.0` folds to `0.0`, NaNs fold to one
+    /// bit pattern.
+    Num(u64),
+    Str(String),
+}
+
+impl EqKey {
+    fn of(a: &Atom) -> EqKey {
+        match a {
+            Atom::Bool(b) => EqKey::Bool(*b),
+            Atom::Str(s) => EqKey::Str(s.clone()),
+            other => {
+                let f = other.as_f64().expect("numeric atom");
+                let canon = if f == 0.0 {
+                    0.0f64
+                } else if f.is_nan() {
+                    f64::NAN
+                } else {
+                    f
+                };
+                EqKey::Num(canon.to_bits())
+            }
+        }
+    }
+}
+
+/// An [`Atom`] ordered by [`Atom::total_cmp`] — a total order usable as
+/// a B-tree key, and exactly the order the evaluator's `<`/`<=`/`>`/`>=`
+/// comparisons decide by.
+#[derive(Debug, Clone)]
+pub struct OrdAtom(pub Atom);
+
+impl PartialEq for OrdAtom {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == Ordering::Equal
+    }
+}
+
+impl Eq for OrdAtom {}
+
+impl PartialOrd for OrdAtom {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdAtom {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+// `Hash` is deliberately absent: total_cmp-equality merges values whose
+// derived hashes would differ (1 and 1.0); hash probes go through EqKey.
+
+/// The index over one `(extent, field)` pair.
+#[derive(Debug, Default, Clone)]
+pub struct FieldIndex {
+    eq: HashMap<EqKey, Vec<Entry>>,
+    range: BTreeMap<OrdAtom, Vec<Entry>>,
+    entries: usize,
+}
+
+impl FieldIndex {
+    /// Indexes one `(field value, object)` pair at extent sequence `seq`.
+    /// Sequences are handed out monotonically, so appends keep every
+    /// posting list ascending.
+    pub fn add(&mut self, seq: u64, value: &Atom, oid: &Oid) {
+        self.eq
+            .entry(EqKey::of(value))
+            .or_default()
+            .push((seq, oid.clone()));
+        self.range
+            .entry(OrdAtom(value.clone()))
+            .or_default()
+            .push((seq, oid.clone()));
+        self.entries += 1;
+    }
+
+    /// Unindexes the lowest-sequence posting of `oid` under `value`
+    /// (the inverse of [`FieldIndex::add`] for the same pair), dropping
+    /// emptied keys.
+    pub fn remove(&mut self, value: &Atom, oid: &Oid) {
+        let mut removed = false;
+        if let Some(list) = self.eq.get_mut(&EqKey::of(value)) {
+            if let Some(pos) = list.iter().position(|(_, o)| o == oid) {
+                list.remove(pos);
+                removed = true;
+            }
+            if list.is_empty() {
+                self.eq.remove(&EqKey::of(value));
+            }
+        }
+        let key = OrdAtom(value.clone());
+        if let Some(list) = self.range.get_mut(&key) {
+            if let Some(pos) = list.iter().position(|(_, o)| o == oid) {
+                list.remove(pos);
+            }
+            if list.is_empty() {
+                self.range.remove(&key);
+            }
+        }
+        if removed {
+            self.entries -= 1;
+        }
+    }
+
+    /// Number of postings — equals the number of indexed objects when
+    /// every extent member contributed exactly one value.
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// Candidates for `field = value`, in extent order. A superset of
+    /// the true matches (hash coercion may merge keys); never misses one.
+    pub fn eq_candidates(&self, value: &Atom) -> Vec<Entry> {
+        self.eq.get(&EqKey::of(value)).cloned().unwrap_or_default()
+    }
+
+    /// Candidates in the half-open/closed interval `(lo, hi)` of the
+    /// [`Atom::total_cmp`] order, merged into extent order.
+    pub fn range_candidates(&self, lo: Bound<&Atom>, hi: Bound<&Atom>) -> Vec<Entry> {
+        let own = |b: Bound<&Atom>| match b {
+            Bound::Included(a) => Bound::Included(OrdAtom(a.clone())),
+            Bound::Excluded(a) => Bound::Excluded(OrdAtom(a.clone())),
+            Bound::Unbounded => Bound::Unbounded,
+        };
+        let mut out: Vec<Entry> = self
+            .range
+            .range((own(lo), own(hi)))
+            .flat_map(|(_, list)| list.iter().cloned())
+            .collect();
+        out.sort_unstable_by_key(|(seq, _)| *seq);
+        out
+    }
+}
+
+/// Merges two extent-ordered candidate lists into their intersection
+/// (by sequence) — the conjunction combinator.
+pub fn intersect_entries(a: &[Entry], b: &[Entry]) -> Vec<Entry> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            Ordering::Less => i += 1,
+            Ordering::Greater => j += 1,
+            Ordering::Equal => {
+                out.push(a[i].clone());
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oid(s: &str) -> Oid {
+        Oid::new(s)
+    }
+
+    fn index() -> FieldIndex {
+        let mut ix = FieldIndex::default();
+        ix.add(0, &Atom::Int(1800), &oid("a"));
+        ix.add(1, &Atom::Int(1900), &oid("b"));
+        ix.add(2, &Atom::Float(1800.0), &oid("c"));
+        ix.add(3, &Atom::Str("x".into()), &oid("d"));
+        ix
+    }
+
+    fn oids(es: &[Entry]) -> Vec<String> {
+        es.iter().map(|(_, o)| o.to_string()).collect()
+    }
+
+    #[test]
+    fn eq_probes_coerce_like_value_eq() {
+        let ix = index();
+        // 1800 and 1800.0 share a key, in extent order
+        assert_eq!(oids(&ix.eq_candidates(&Atom::Int(1800))), ["&a", "&c"]);
+        assert_eq!(oids(&ix.eq_candidates(&Atom::Float(1800.0))), ["&a", "&c"]);
+        assert_eq!(oids(&ix.eq_candidates(&Atom::Str("x".into()))), ["&d"]);
+        assert!(ix.eq_candidates(&Atom::Int(7)).is_empty());
+        // signed zeros are one key
+        let mut z = FieldIndex::default();
+        z.add(0, &Atom::Float(-0.0), &oid("n"));
+        assert_eq!(oids(&z.eq_candidates(&Atom::Float(0.0))), ["&n"]);
+        assert_eq!(oids(&z.eq_candidates(&Atom::Int(0))), ["&n"]);
+    }
+
+    #[test]
+    fn range_probes_follow_total_cmp() {
+        let ix = index();
+        let gt = ix.range_candidates(Bound::Excluded(&Atom::Int(1800)), Bound::Unbounded);
+        // strings rank above numbers in total_cmp, so "x" is > 1800
+        assert_eq!(oids(&gt), ["&b", "&d"]);
+        let le = ix.range_candidates(Bound::Unbounded, Bound::Included(&Atom::Int(1800)));
+        assert_eq!(oids(&le), ["&a", "&c"]);
+        let mid = ix.range_candidates(
+            Bound::Included(&Atom::Int(1800)),
+            Bound::Excluded(&Atom::Int(1900)),
+        );
+        assert_eq!(oids(&mid), ["&a", "&c"]);
+    }
+
+    #[test]
+    fn remove_patches_both_sides() {
+        let mut ix = index();
+        ix.remove(&Atom::Int(1800), &oid("a"));
+        assert_eq!(ix.entries(), 3);
+        assert_eq!(oids(&ix.eq_candidates(&Atom::Int(1800))), ["&c"]);
+        let le = ix.range_candidates(Bound::Unbounded, Bound::Included(&Atom::Int(1800)));
+        assert_eq!(oids(&le), ["&c"]);
+        // removing the last posting under a key drops the key
+        ix.remove(&Atom::Float(1800.0), &oid("c"));
+        assert!(ix.eq_candidates(&Atom::Int(1800)).is_empty());
+        assert!(ix
+            .range_candidates(Bound::Unbounded, Bound::Included(&Atom::Int(1800)))
+            .is_empty());
+    }
+
+    #[test]
+    fn intersection_merges_on_sequence() {
+        let a = vec![(0, oid("a")), (2, oid("c")), (5, oid("f"))];
+        let b = vec![(2, oid("c")), (3, oid("d")), (5, oid("f"))];
+        assert_eq!(oids(&intersect_entries(&a, &b)), ["&c", "&f"]);
+        assert!(intersect_entries(&a, &[]).is_empty());
+    }
+}

@@ -23,6 +23,7 @@
 
 pub mod art;
 pub mod export;
+pub mod findex;
 pub mod oql;
 pub mod store;
 pub mod translate;
@@ -30,6 +31,7 @@ pub mod types;
 pub mod value;
 pub mod wrapper;
 
+pub use findex::FieldIndex;
 pub use store::Store;
 pub use types::{ClassDef, Schema, Type};
 pub use value::OVal;

@@ -13,11 +13,13 @@
 //! and method calls (`A.current_price`) are supported. Keywords are
 //! case-insensitive, as in OQL.
 
+use crate::findex::{intersect_entries, Entry};
 use crate::store::{Object, OqlError, Store};
 use crate::value::OVal;
 use std::collections::BTreeMap;
 use std::fmt;
-use yat_model::Atom;
+use std::ops::Bound;
+use yat_model::{Atom, Oid};
 
 /// A path expression: `A.owners.name`.
 #[derive(Debug, Clone, PartialEq)]
@@ -410,12 +412,34 @@ fn is_kw(t: &str) -> bool {
 /// A result row: projection name → value.
 pub type Row = BTreeMap<String, OVal>;
 
+/// Index accounting for one query evaluation — observational only,
+/// never part of the answer.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Whether any extent range was pruned through a field index.
+    pub indexed: bool,
+    /// Field-index probes issued.
+    pub probes: u64,
+    /// Candidates the probes returned (before the full condition is
+    /// re-checked on each).
+    pub candidates: u64,
+    /// Objects iterated over extent ranges: candidates when pruned,
+    /// the whole extent when scanned.
+    pub scanned: u64,
+}
+
 /// Evaluates a query against a store, returning a bag of rows.
 pub fn eval(q: &Query, store: &Store) -> Result<Vec<Row>, OqlError> {
+    Ok(eval_stats(q, store)?.0)
+}
+
+/// Like [`eval`], also returning the index accounting.
+pub fn eval_stats(q: &Query, store: &Store) -> Result<(Vec<Row>, QueryStats), OqlError> {
     let mut rows = Vec::new();
     let mut env: BTreeMap<String, OVal> = BTreeMap::new();
-    eval_ranges(q, store, 0, &mut env, &mut rows)?;
-    Ok(rows)
+    let mut stats = QueryStats::default();
+    eval_ranges(q, store, 0, &mut env, &mut rows, &mut stats)?;
+    Ok((rows, stats))
 }
 
 fn eval_ranges(
@@ -424,6 +448,7 @@ fn eval_ranges(
     depth: usize,
     env: &mut BTreeMap<String, OVal>,
     rows: &mut Vec<Row>,
+    stats: &mut QueryStats,
 ) -> Result<(), OqlError> {
     if depth == q.ranges.len() {
         if let Some(c) = &q.cond {
@@ -439,6 +464,26 @@ fn eval_ranges(
         return Ok(());
     }
     let (var, path) = &q.ranges[depth];
+    // An extent range may be pruned through the store's field indexes:
+    // probe the conjuncts on `var`, then iterate only the candidates
+    // (already in extent order, so rows come out exactly as a scan
+    // produces them). The full condition is still checked on every
+    // combination, so a candidate superset never widens the answer.
+    if path.0.len() == 1 && !env.contains_key(&path.0[0]) {
+        if let Some(members) = store.extent(&path.0[0]) {
+            let elements: Vec<OVal> = match extent_candidates(q, store, var, &path.0[0], stats) {
+                Some(cands) => cands.into_iter().map(OVal::Ref).collect(),
+                None => members.iter().map(|o| OVal::Ref(o.clone())).collect(),
+            };
+            stats.scanned += elements.len() as u64;
+            for e in elements {
+                env.insert(var.clone(), e);
+                eval_ranges(q, store, depth + 1, env, rows, stats)?;
+            }
+            env.remove(var);
+            return Ok(());
+        }
+    }
     let source = eval_range_source(path, store, env)?;
     let elements = match &source {
         OVal::Coll(_, es) => es.clone(),
@@ -450,10 +495,101 @@ fn eval_ranges(
     };
     for e in elements {
         env.insert(var.clone(), e);
-        eval_ranges(q, store, depth + 1, env, rows)?;
+        eval_ranges(q, store, depth + 1, env, rows, stats)?;
     }
     env.remove(var);
     Ok(())
+}
+
+/// Candidates for `var in extent` under the pushed condition, or `None`
+/// when no conjunct can be probed (policy off, no usable `var.field op
+/// const` conjunct, or an index that cannot prove it saw every member).
+///
+/// A probe is sound only when (a) the `(extent, field)` index holds one
+/// posting per extent member — so no member hides the field, stores a
+/// non-atomic value there, or would make the scan error out — and (b)
+/// the field name cannot resolve to a method, which navigation prefers
+/// over stored state.
+fn extent_candidates(
+    q: &Query,
+    store: &Store,
+    var: &str,
+    extent: &str,
+    stats: &mut QueryStats,
+) -> Option<Vec<Oid>> {
+    if !store.index_policy().is_on() {
+        return None;
+    }
+    let members = store.extent(extent)?;
+    let mut conjuncts = Vec::new();
+    collect_conjuncts(q.cond.as_ref()?, &mut conjuncts);
+    let mut result: Option<Vec<Entry>> = None;
+    for c in conjuncts {
+        let Cond::Cmp(op, l, r) = c else { continue };
+        let (op, field, value) = match (l, r) {
+            (Expr::Path(p), Expr::Const(a)) => match p.0.as_slice() {
+                [v, f] if v == var => (*op, f, a),
+                _ => continue,
+            },
+            (Expr::Const(a), Expr::Path(p)) => match p.0.as_slice() {
+                [v, f] if v == var => (flip(*op), f, a),
+                _ => continue,
+            },
+            _ => continue,
+        };
+        if op == Op::Ne || store.has_method(field) {
+            continue;
+        }
+        let Some(ix) = store.field_index(extent, field) else {
+            continue;
+        };
+        if ix.entries() != members.len() {
+            continue;
+        }
+        let hits = match op {
+            Op::Eq => ix.eq_candidates(value),
+            Op::Lt => ix.range_candidates(Bound::Unbounded, Bound::Excluded(value)),
+            Op::Le => ix.range_candidates(Bound::Unbounded, Bound::Included(value)),
+            Op::Gt => ix.range_candidates(Bound::Excluded(value), Bound::Unbounded),
+            Op::Ge => ix.range_candidates(Bound::Included(value), Bound::Unbounded),
+            Op::Ne => unreachable!("filtered above"),
+        };
+        stats.probes += 1;
+        result = Some(match result {
+            None => hits,
+            Some(prev) => intersect_entries(&prev, &hits),
+        });
+        if result.as_ref().is_some_and(Vec::is_empty) {
+            break;
+        }
+    }
+    let result = result?;
+    stats.indexed = true;
+    stats.candidates += result.len() as u64;
+    Some(result.into_iter().map(|(_, o)| o).collect())
+}
+
+/// Flattens nested `and`s; `or`/`not` subtrees stay opaque (only
+/// top-level conjuncts may prune).
+fn collect_conjuncts<'a>(c: &'a Cond, out: &mut Vec<&'a Cond>) {
+    match c {
+        Cond::And(a, b) => {
+            collect_conjuncts(a, out);
+            collect_conjuncts(b, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// Mirrors a comparison around `=`: `c op x` becomes `x (flip op) c`.
+fn flip(op: Op) -> Op {
+    match op {
+        Op::Lt => Op::Gt,
+        Op::Le => Op::Ge,
+        Op::Gt => Op::Lt,
+        Op::Ge => Op::Le,
+        other => other,
+    }
 }
 
 /// The head of a range path is an extent name or a bound variable.
@@ -557,4 +693,98 @@ fn eval_cond(c: &Cond, store: &Store, env: &BTreeMap<String, OVal>) -> Result<bo
 /// Convenience: parse then evaluate.
 pub fn run(src: &str, store: &Store) -> Result<Vec<Row>, OqlError> {
     eval(&parse(src)?, store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::art::{art_store, ArtSpec};
+    use yat_capability::IndexPolicy;
+
+    // eq probes, range probes, conjunctions, flipped comparisons,
+    // dependent ranges, un-probeable shapes (`!=`, `or`, methods)
+    const QUERIES: &[&str] = &[
+        "select t: A.title from A in artifacts where A.year > 1800",
+        "select t: A.title, y: A.year from A in artifacts \
+         where A.year > 1800 and A.creator = 'Claude Monet'",
+        "select t: A.title from A in artifacts where A.title = 'Composition No. 7'",
+        "select t: A.title from A in artifacts where 1850 <= A.year and A.price < 100000.0",
+        "select n: O.name from A in artifacts, O in A.owners \
+         where A.year > 1800 and O.auction >= 500000.0",
+        "select t: A.title from A in artifacts where A.year != 1850",
+        "select t: A.title from A in artifacts where (A.year > 1800 or A.price < 60000.0)",
+        "select p: A.current_price from A in artifacts where A.year >= 1900",
+        "select t: A.title from A in artifacts where A.year = 1999",
+    ];
+
+    #[test]
+    fn indexed_evaluation_equals_scan() {
+        let indexed = art_store(&ArtSpec::default());
+        let scan = art_store(&ArtSpec::default()).with_index_policy(IndexPolicy::Off);
+        for src in QUERIES {
+            let q = parse(src).unwrap();
+            let (a, _) = eval_stats(&q, &indexed).unwrap();
+            let (b, sb) = eval_stats(&q, &scan).unwrap();
+            assert_eq!(a, b, "indexed and scan answers diverge on `{src}`");
+            assert!(!sb.indexed, "policy Off must never probe (`{src}`)");
+            assert_eq!(sb.probes, 0);
+        }
+    }
+
+    #[test]
+    fn selective_probe_touches_only_candidates() {
+        let store = art_store(&ArtSpec::default());
+        let q = parse("select t: A.title from A in artifacts where A.title = 'Composition No. 7'")
+            .unwrap();
+        let (rows, stats) = eval_stats(&q, &store).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert!(stats.indexed);
+        assert_eq!(stats.probes, 1);
+        assert_eq!(stats.candidates, 1, "the title is unique");
+        assert_eq!(stats.scanned, 1, "only the candidate was iterated");
+
+        let scan = art_store(&ArtSpec::default()).with_index_policy(IndexPolicy::Off);
+        let (rows2, s2) = eval_stats(&q, &scan).unwrap();
+        assert_eq!(rows, rows2);
+        assert_eq!(s2.scanned, 50, "the scan iterated the whole extent");
+    }
+
+    #[test]
+    fn conjunctions_intersect_postings() {
+        let store = art_store(&ArtSpec::default());
+        let q = parse(
+            "select t: A.title from A in artifacts \
+             where A.creator = 'Claude Monet' and A.year >= 1850",
+        )
+        .unwrap();
+        let (rows, stats) = eval_stats(&q, &store).unwrap();
+        assert!(stats.indexed);
+        assert_eq!(stats.probes, 2, "both conjuncts probed");
+        assert!(stats.candidates < 50, "intersection pruned the extent");
+        assert_eq!(rows.len() as u64, stats.candidates, "exact candidates");
+    }
+
+    #[test]
+    fn unsafe_shapes_fall_back_to_the_scan() {
+        let store = art_store(&ArtSpec::default());
+        // `!=` keeps nearly everything: never probed
+        let q = parse("select t: A.title from A in artifacts where A.year != 1850").unwrap();
+        let (_, s) = eval_stats(&q, &store).unwrap();
+        assert!(!s.indexed);
+        assert_eq!(s.scanned, 50);
+        // `current_price` is a method — navigation would shadow a field
+        // of the same name, so it must not be probed
+        let q = parse("select t: A.title from A in artifacts where A.current_price > 100000.0")
+            .unwrap();
+        let (_, s) = eval_stats(&q, &store).unwrap();
+        assert!(!s.indexed);
+        // a disjunction is opaque
+        let q = parse(
+            "select t: A.title from A in artifacts \
+             where (A.year > 1800 or A.price < 60000.0)",
+        )
+        .unwrap();
+        let (_, s) = eval_stats(&q, &store).unwrap();
+        assert!(!s.indexed);
+    }
 }

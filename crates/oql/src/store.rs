@@ -1,11 +1,14 @@
 //! The object store: schema, objects with identity, named extents, and
 //! the method registry.
 
+use crate::findex::FieldIndex;
 use crate::types::Schema;
 use crate::value::OVal;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use yat_capability::IndexPolicy;
 use yat_model::Oid;
 
 /// A stored object: identity + class + value.
@@ -35,12 +38,28 @@ impl std::error::Error for OqlError {}
 pub type MethodImpl = dyn Fn(&Store, &Object) -> Result<OVal, OqlError> + Send + Sync;
 
 /// The in-memory object database.
+///
+/// Besides objects and extents, the store maintains a [`FieldIndex`]
+/// per `(extent, top-level atomic field)` pair: a hash side for `=`
+/// probes and a B-tree side for range probes, patched incrementally on
+/// [`Store::insert`] and [`Store::remove`]. The evaluator consults them
+/// when the [`IndexPolicy`] is `On`; under `Off` it scans — same
+/// answers either way.
 pub struct Store {
     /// The schema.
     pub schema: Schema,
     objects: BTreeMap<Oid, Object>,
     extents: BTreeMap<String, Vec<Oid>>,
     methods: BTreeMap<String, Arc<MethodImpl>>,
+    /// `(extent, field)` → postings over that field's atomic values.
+    indexes: BTreeMap<(String, String), FieldIndex>,
+    /// Monotone insertion counter; postings carry it so candidates come
+    /// back in extent order.
+    seq: u64,
+    index_policy: IndexPolicy,
+    /// Cache-epoch cells registered by connected mediators; every
+    /// mutation bumps them all, invalidating cached answers.
+    epochs: Vec<Arc<AtomicU64>>,
 }
 
 impl Store {
@@ -51,10 +70,15 @@ impl Store {
             objects: BTreeMap::new(),
             extents: BTreeMap::new(),
             methods: BTreeMap::new(),
+            indexes: BTreeMap::new(),
+            seq: 0,
+            index_policy: IndexPolicy::from_env(),
+            epochs: Vec::new(),
         }
     }
 
-    /// Creates an object, adding it to its class extent (if declared).
+    /// Creates an object, adding it to its class extent (if declared)
+    /// and indexing its top-level atomic fields.
     pub fn insert(&mut self, oid: Oid, class: &str, value: OVal) -> Result<(), OqlError> {
         let cls = self
             .schema
@@ -65,6 +89,18 @@ impl Store {
                 .entry(extent.clone())
                 .or_default()
                 .push(oid.clone());
+            let seq = self.seq;
+            self.seq += 1;
+            if let OVal::Tuple(fields) = &value {
+                for (field, v) in fields {
+                    if let OVal::Atom(a) = v {
+                        self.indexes
+                            .entry((extent.clone(), field.clone()))
+                            .or_default()
+                            .add(seq, a, &oid);
+                    }
+                }
+            }
         }
         self.objects.insert(
             oid.clone(),
@@ -74,7 +110,65 @@ impl Store {
                 value,
             },
         );
+        self.bump_epochs();
         Ok(())
+    }
+
+    /// Deletes an object: drops it from its class extent and unindexes
+    /// its fields. Returns the removed object, or `None` if unknown.
+    pub fn remove(&mut self, oid: &Oid) -> Option<Object> {
+        let obj = self.objects.remove(oid)?;
+        if let Some(extent) = self.schema.class(&obj.class).and_then(|c| c.extent.clone()) {
+            if let Some(members) = self.extents.get_mut(&extent) {
+                if let Some(pos) = members.iter().position(|o| o == oid) {
+                    members.remove(pos);
+                }
+            }
+            if let OVal::Tuple(fields) = &obj.value {
+                for (field, v) in fields {
+                    if let OVal::Atom(a) = v {
+                        if let Some(ix) = self.indexes.get_mut(&(extent.clone(), field.clone())) {
+                            ix.remove(a, oid);
+                        }
+                    }
+                }
+            }
+        }
+        self.bump_epochs();
+        Some(obj)
+    }
+
+    /// The index over `(extent, field)`, if any object contributed an
+    /// atomic value there.
+    pub fn field_index(&self, extent: &str, field: &str) -> Option<&FieldIndex> {
+        self.indexes.get(&(extent.to_string(), field.to_string()))
+    }
+
+    /// The index policy the evaluator honours.
+    pub fn index_policy(&self) -> IndexPolicy {
+        self.index_policy
+    }
+
+    /// Sets the index policy.
+    pub fn set_index_policy(&mut self, policy: IndexPolicy) {
+        self.index_policy = policy;
+    }
+
+    /// Builder form of [`Store::set_index_policy`].
+    pub fn with_index_policy(mut self, policy: IndexPolicy) -> Self {
+        self.index_policy = policy;
+        self
+    }
+
+    /// Registers a cache-epoch cell to bump on every mutation.
+    pub fn register_epoch(&mut self, cell: Arc<AtomicU64>) {
+        self.epochs.push(cell);
+    }
+
+    fn bump_epochs(&self) {
+        for cell in &self.epochs {
+            cell.fetch_add(1, Ordering::SeqCst);
+        }
     }
 
     /// Installs a method body.
@@ -188,5 +282,59 @@ mod tests {
         let o = s.object(&Oid::new("p1")).unwrap().clone();
         assert_eq!(s.call_method("shout", &o).unwrap(), OVal::str("X"));
         assert!(s.call_method("whisper", &o).is_err());
+    }
+
+    #[test]
+    fn insert_indexes_atomic_fields() {
+        let mut s = Store::new(schema());
+        for (i, n) in ["A", "B", "A"].iter().enumerate() {
+            s.insert(
+                Oid::new(format!("p{i}")),
+                "Person",
+                OVal::tuple(vec![("name", OVal::str(*n))]),
+            )
+            .unwrap();
+        }
+        let ix = s.field_index("persons", "name").unwrap();
+        assert_eq!(ix.entries(), 3);
+        let hits = ix.eq_candidates(&yat_model::Atom::Str("A".into()));
+        assert_eq!(hits.len(), 2);
+        // extent order, not oid order
+        assert_eq!(hits[0].1, Oid::new("p0"));
+        assert_eq!(hits[1].1, Oid::new("p2"));
+        assert!(s.field_index("persons", "zzz").is_none());
+    }
+
+    #[test]
+    fn remove_unindexes_and_bumps_epochs() {
+        let mut s = Store::new(schema());
+        s.insert(
+            Oid::new("p1"),
+            "Person",
+            OVal::tuple(vec![("name", OVal::str("X"))]),
+        )
+        .unwrap();
+        let cell = Arc::new(AtomicU64::new(0));
+        s.register_epoch(cell.clone());
+        let gone = s.remove(&Oid::new("p1")).unwrap();
+        assert_eq!(gone.class, "Person");
+        assert_eq!(cell.load(Ordering::SeqCst), 1, "mutation bumped the epoch");
+        assert!(s.is_empty());
+        assert!(s.extent("persons").unwrap().is_empty());
+        assert_eq!(
+            s.field_index("persons", "name").unwrap().entries(),
+            0,
+            "postings were patched"
+        );
+        assert!(s.remove(&Oid::new("p1")).is_none(), "second remove no-ops");
+        assert_eq!(cell.load(Ordering::SeqCst), 1);
+        // and inserts bump too
+        s.insert(
+            Oid::new("p2"),
+            "Person",
+            OVal::tuple(vec![("name", OVal::str("Y"))]),
+        )
+        .unwrap();
+        assert_eq!(cell.load(Ordering::SeqCst), 2);
     }
 }

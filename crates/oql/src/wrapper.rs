@@ -7,32 +7,55 @@ use crate::oql;
 use crate::store::Store;
 use crate::translate::plan_to_oql;
 use crate::value::OVal;
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
 use yat_algebra::{Tab, Value};
 use yat_capability::fpattern::o2_fmodel;
 use yat_capability::interface::{ExportDecl, Interface, OpKind, OperationDecl, SigItem};
 use yat_capability::protocol::{Request, Response, WrapperServer};
+use yat_capability::IndexReport;
 
 /// The O2 wrapper: a [`WrapperServer`] over an object [`Store`].
+///
+/// The store sits behind an `RwLock` so holders of a shared handle
+/// ([`O2Wrapper::shared`]) can mutate it while the wrapper is connected
+/// — mutations bump the epoch cell the mediator registered,
+/// invalidating cached answers.
 pub struct O2Wrapper {
     name: String,
-    store: Store,
+    store: Arc<RwLock<Store>>,
     model_name: String,
+    /// Index accounting of the most recent `Execute`, taken by the
+    /// transport for `EXPLAIN ANALYZE` (never on the wire).
+    report: Mutex<Option<IndexReport>>,
 }
 
 impl O2Wrapper {
     /// Wraps a store under the interface name `name` (the paper uses
     /// `o2artifact`).
     pub fn new(name: impl Into<String>, store: Store) -> Self {
+        Self::new_shared(name, Arc::new(RwLock::new(store)))
+    }
+
+    /// Wraps an already-shared store — the caller keeps a handle to
+    /// mutate it after connecting.
+    pub fn new_shared(name: impl Into<String>, store: Arc<RwLock<Store>>) -> Self {
         O2Wrapper {
             name: name.into(),
             store,
             model_name: "art".into(),
+            report: Mutex::new(None),
         }
     }
 
-    /// Direct access to the wrapped store (tests, benches).
-    pub fn store(&self) -> &Store {
-        &self.store
+    /// Read access to the wrapped store (tests, benches).
+    pub fn store(&self) -> RwLockReadGuard<'_, Store> {
+        self.store.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// A shared handle to the store, for mutating it while connected.
+    pub fn shared(&self) -> Arc<RwLock<Store>> {
+        self.store.clone()
     }
 
     /// Builds the exported interface: the Fig. 6 Fmodel and operations,
@@ -41,10 +64,11 @@ impl O2Wrapper {
     /// performed automatically by the O2 wrapper with the help of the O2
     /// schema manager", Section 4).
     pub fn interface(&self) -> Interface {
+        let store = self.store();
         let mut i = Interface::new(self.name.clone());
-        i.models.push(schema_model(&self.store, &self.model_name));
+        i.models.push(schema_model(&store, &self.model_name));
         i.fmodels.push(o2_fmodel());
-        for class in self.store.schema.classes() {
+        for class in store.schema.classes() {
             if let Some(extent) = &class.extent {
                 let mut pattern = extent.clone();
                 if let Some(first) = pattern.get_mut(0..1) {
@@ -79,7 +103,7 @@ impl O2Wrapper {
         i.operations.push(OperationDecl::algebra("project"));
         i.operations.push(OperationDecl::algebra("map"));
         i.operations.push(OperationDecl::boolean("eq"));
-        for class in self.store.schema.classes() {
+        for class in store.schema.classes() {
             for m in &class.methods {
                 let ret = match &m.returns {
                     crate::types::Type::Atom(t) => SigItem::Leaf(*t),
@@ -103,11 +127,16 @@ impl O2Wrapper {
     }
 
     fn execute(&self, plan: &yat_algebra::Alg) -> Response {
+        let store = self.store();
         let translated = match plan_to_oql(plan) {
             Ok(t) => t,
             Err(e) => return Response::Error(format!("cannot translate plan: {e}")),
         };
-        let rows = match oql::run(&translated.oql, &self.store) {
+        let query = match oql::parse(&translated.oql) {
+            Ok(q) => q,
+            Err(e) => return Response::Error(format!("OQL evaluation failed: {e}")),
+        };
+        let (rows, stats) = match oql::eval_stats(&query, &store) {
             Ok(r) => r,
             Err(e) => return Response::Error(format!("OQL evaluation failed: {e}")),
         };
@@ -120,21 +149,36 @@ impl O2Wrapper {
                     // sanitized name used in the OQL text
                     let safe = c.replace('\'', "_prime");
                     row.get(&safe)
-                        .map(|v| self.to_value(v))
+                        .map(|v| self.to_value(&store, v))
                         .unwrap_or(Value::Null)
                 })
                 .collect();
             tab.push(values);
         }
+        let extent = query
+            .ranges
+            .first()
+            .map(|(_, p)| p.0[0].clone())
+            .unwrap_or_default();
+        let collection_size = store.extent(&extent).map(<[_]>::len).unwrap_or(0) as u64;
+        *self.report.lock().unwrap_or_else(|e| e.into_inner()) = Some(IndexReport {
+            collection: extent,
+            indexed: stats.indexed,
+            probes: stats.probes,
+            candidates: stats.candidates,
+            scanned: stats.scanned,
+            collection_size,
+            rows: tab.len() as u64,
+        });
         Response::Result(tab)
     }
 
     /// Converts an OQL result value into a `Tab` cell, exporting objects
     /// as full YAT trees.
-    fn to_value(&self, v: &OVal) -> Value {
+    fn to_value(&self, store: &Store, v: &OVal) -> Value {
         match v {
             OVal::Atom(a) => Value::Atom(a.clone()),
-            OVal::Ref(oid) => match object_tree(&self.store, oid) {
+            OVal::Ref(oid) => match object_tree(store, oid) {
                 Some(t) => Value::Tree(t),
                 None => Value::Null,
             },
@@ -152,7 +196,7 @@ impl WrapperServer for O2Wrapper {
     fn handle(&self, request: &Request) -> Response {
         match request {
             Request::GetInterface => Response::Interface(self.interface()),
-            Request::GetDocument { name } => match extent_tree(&self.store, name) {
+            Request::GetDocument { name } => match extent_tree(&self.store(), name) {
                 Some(tree) => Response::Document {
                     name: name.clone(),
                     tree,
@@ -161,6 +205,17 @@ impl WrapperServer for O2Wrapper {
             },
             Request::Execute { plan } => self.execute(plan),
         }
+    }
+
+    fn take_index_report(&self) -> Option<IndexReport> {
+        self.report.lock().unwrap_or_else(|e| e.into_inner()).take()
+    }
+
+    fn register_epoch(&self, cell: Arc<AtomicU64>) {
+        self.store
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .register_epoch(cell);
     }
 }
 
@@ -248,6 +303,80 @@ mod tests {
                 let t = v.as_tree().expect("objects export as trees");
                 assert!(matches!(&t.label, yat_model::Label::Oid(_)));
             }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    fn fig5_plan() -> std::sync::Arc<Alg> {
+        let filter = parse_filter(
+            "set *class: artifact: tuple [ title: $t, year: $y, creator: $c, price: $p, \
+             owners: list *class: person: tuple [ name: $o, auction: $au ] ]",
+        )
+        .unwrap();
+        Alg::select(
+            Alg::bind(Alg::source("artifacts"), filter),
+            Pred::cmp(CmpOp::Gt, Operand::var("y"), Operand::cst(1800)),
+        )
+    }
+
+    #[test]
+    fn execute_records_an_index_report() {
+        let w = wrapper();
+        assert!(w.take_index_report().is_none(), "nothing executed yet");
+        w.handle(&Request::Execute { plan: fig5_plan() });
+        let r = w.take_index_report().unwrap();
+        assert!(r.indexed, "the year predicate probed the field index");
+        assert_eq!(r.collection, "artifacts");
+        assert_eq!(r.probes, 1);
+        assert_eq!(r.candidates, 2, "both artifacts are post-1800");
+        assert_eq!(r.collection_size, 2);
+        assert_eq!(r.rows, 4);
+        assert!(w.take_index_report().is_none(), "a report is taken once");
+    }
+
+    #[test]
+    fn scan_policy_answers_identically() {
+        use yat_capability::IndexPolicy;
+        let scan = O2Wrapper::new(
+            "o2artifact",
+            fig1_store().with_index_policy(IndexPolicy::Off),
+        );
+        let indexed = wrapper();
+        let a = indexed.handle(&Request::Execute { plan: fig5_plan() });
+        let b = scan.handle(&Request::Execute { plan: fig5_plan() });
+        match (a, b) {
+            (Response::Result(x), Response::Result(y)) => assert_eq!(x, y),
+            other => panic!("{other:?}"),
+        }
+        let r = scan.take_index_report().unwrap();
+        assert!(!r.indexed);
+        assert_eq!(r.scanned, 2, "the scan path touched every artifact");
+    }
+
+    #[test]
+    fn shared_store_mutations_bump_registered_epochs() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::{Arc, RwLock};
+        let shared = Arc::new(RwLock::new(fig1_store()));
+        let w = O2Wrapper::new_shared("o2artifact", shared.clone());
+        let cell = Arc::new(AtomicU64::new(0));
+        w.register_epoch(cell.clone());
+
+        shared
+            .write()
+            .unwrap()
+            .remove(&yat_model::Oid::new("a2"))
+            .expect("a2 exists");
+        assert_eq!(cell.load(Ordering::SeqCst), 1, "mutation bumped the epoch");
+        match w.handle(&Request::GetDocument {
+            name: "artifacts".into(),
+        }) {
+            Response::Document { tree, .. } => assert_eq!(tree.children.len(), 1),
+            other => panic!("{other:?}"),
+        }
+        // and pushed plans see the post-mutation state
+        match w.handle(&Request::Execute { plan: fig5_plan() }) {
+            Response::Result(tab) => assert_eq!(tab.len(), 3, "only Nympheas' three owners"),
             other => panic!("{other:?}"),
         }
     }

@@ -1,9 +1,10 @@
 //! The inverted index: Wais attribute/value textual queries.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 use yat_model::{Label, Tree};
 
-/// A document id within the collection.
+/// A document id within the collection. Ids are slot positions and stay
+/// stable across removals (removed slots are tombstoned, never reused).
 pub type DocId = usize;
 
 /// A per-field inverted index over a document collection.
@@ -11,10 +12,15 @@ pub type DocId = usize;
 /// Z39.50 queries are attribute/value pairs: `field = word`. The pseudo
 /// field `""` (empty) indexes the full text of each document, which is
 /// what the bare `contains(doc, word)` predicate searches.
+///
+/// Posting lists are ascending, deduplicated `Vec<DocId>`s; multi-token
+/// and multi-predicate queries resolve by merging sorted lists
+/// ([`intersect_sorted`]), so a conjunction's cost is bounded by its
+/// most selective conjunct, not by collection size.
 #[derive(Debug, Default, Clone)]
 pub struct InvertedIndex {
-    /// field → token → documents.
-    postings: BTreeMap<String, BTreeMap<String, BTreeSet<DocId>>>,
+    /// field → token → documents (ascending, deduplicated).
+    postings: BTreeMap<String, BTreeMap<String, Vec<DocId>>>,
     size: usize,
 }
 
@@ -25,47 +31,70 @@ impl InvertedIndex {
         for (id, doc) in docs.iter().enumerate() {
             idx.add(id, doc);
         }
-        idx.size = docs.len();
         idx
     }
 
-    fn add(&mut self, id: DocId, doc: &Tree) {
-        // full-text: every token anywhere in the document
-        index_tree(doc, id, "", &mut self.postings);
-        // per-field: every descendant element indexes its subtree under
-        // its own tag (Z39.50 attributes address nested structure too —
-        // `technique` lives inside `history` in Fig. 1)
-        fn fields(t: &Tree, id: DocId, postings: &mut Postings) {
-            for child in &t.children {
-                if let Label::Sym(field) = &child.label {
-                    index_tree(child, id, field, postings);
-                    fields(child, id, postings);
+    /// Indexes one document under `id`, patching every posting list the
+    /// document's tokens touch.
+    pub fn add(&mut self, id: DocId, doc: &Tree) {
+        let postings = &mut self.postings;
+        visit(doc, |field, token| {
+            let list = postings
+                .entry(field.to_string())
+                .or_default()
+                .entry(token)
+                .or_default();
+            insert_sorted(list, id);
+        });
+        self.size += 1;
+    }
+
+    /// Unindexes one document: removes `id` from every posting list its
+    /// tokens touch (the inverse of [`InvertedIndex::add`] for the same
+    /// document), dropping emptied postings.
+    pub fn remove(&mut self, id: DocId, doc: &Tree) {
+        let postings = &mut self.postings;
+        visit(doc, |field, token| {
+            if let Some(fields) = postings.get_mut(field) {
+                if let Some(list) = fields.get_mut(&token) {
+                    if let Ok(pos) = list.binary_search(&id) {
+                        list.remove(pos);
+                    }
+                    if list.is_empty() {
+                        fields.remove(&token);
+                    }
+                }
+                if fields.is_empty() {
+                    postings.remove(field);
                 }
             }
-        }
-        fields(doc, id, &mut self.postings);
+        });
+        self.size = self.size.saturating_sub(1);
     }
 
     /// Documents whose full text contains `word` (case-insensitive,
-    /// token-level).
-    pub fn contains(&self, word: &str) -> BTreeSet<DocId> {
+    /// token-level). Ascending.
+    pub fn contains(&self, word: &str) -> Vec<DocId> {
         self.lookup("", word)
     }
 
-    /// Documents whose `field` contains `word`.
-    pub fn lookup(&self, field: &str, word: &str) -> BTreeSet<DocId> {
-        let mut result: Option<BTreeSet<DocId>> = None;
+    /// Documents whose `field` contains `word`. Ascending.
+    pub fn lookup(&self, field: &str, word: &str) -> Vec<DocId> {
+        let mut result: Option<Vec<DocId>> = None;
         for token in tokenize(word) {
-            let hits = self
+            let hits: &[DocId] = self
                 .postings
                 .get(field)
                 .and_then(|p| p.get(&token))
-                .cloned()
-                .unwrap_or_default();
+                .map(Vec::as_slice)
+                .unwrap_or(&[]);
             result = Some(match result {
-                None => hits,
-                Some(prev) => prev.intersection(&hits).copied().collect(),
+                None => hits.to_vec(),
+                Some(prev) => intersect_sorted(&prev, hits),
             });
+            if result.as_ref().is_some_and(Vec::is_empty) {
+                break;
+            }
         }
         result.unwrap_or_default()
     }
@@ -87,21 +116,67 @@ impl InvertedIndex {
     }
 }
 
-type Postings = BTreeMap<String, BTreeMap<String, BTreeSet<DocId>>>;
+/// Merges two ascending posting lists into their intersection — the
+/// conjunction combinator for pushed predicates.
+pub fn intersect_sorted(a: &[DocId], b: &[DocId]) -> Vec<DocId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
 
-fn index_tree(t: &Tree, id: DocId, field: &str, postings: &mut Postings) {
+fn insert_sorted(list: &mut Vec<DocId>, id: DocId) {
+    match list.last() {
+        // the common case: builds and adds index ascending ids
+        Some(&last) if last < id => list.push(id),
+        Some(&last) if last == id => {}
+        None => list.push(id),
+        _ => {
+            if let Err(pos) = list.binary_search(&id) {
+                list.insert(pos, id);
+            }
+        }
+    }
+}
+
+/// Walks every (field, token) pair one document contributes: the full
+/// text under the pseudo field `""`, plus each descendant element's
+/// subtree under its own tag (Z39.50 attributes address nested structure
+/// too — `technique` lives inside `history` in Fig. 1). [`InvertedIndex::add`]
+/// and [`InvertedIndex::remove`] share this walk, so unindexing visits
+/// exactly the postings indexing touched.
+fn visit<F: FnMut(&str, String)>(doc: &Tree, mut f: F) {
+    atoms(doc, "", &mut f);
+    fields(doc, &mut f);
+}
+
+fn atoms<F: FnMut(&str, String)>(t: &Tree, field: &str, f: &mut F) {
     if let Label::Atom(a) = &t.label {
         for token in tokenize(&a.to_string()) {
-            postings
-                .entry(field.to_string())
-                .or_default()
-                .entry(token)
-                .or_default()
-                .insert(id);
+            f(field, token);
         }
     }
     for c in &t.children {
-        index_tree(c, id, field, postings);
+        atoms(c, field, f);
+    }
+}
+
+fn fields<F: FnMut(&str, String)>(t: &Tree, f: &mut F) {
+    for child in &t.children {
+        if let Label::Sym(field) = &child.label {
+            atoms(child, field, f);
+            fields(child, f);
+        }
     }
 }
 
@@ -132,13 +207,9 @@ mod tests {
         // case-insensitive
         assert_eq!(idx.contains("impressionist").len(), 2);
         // only the first was painted at Giverny
-        let hits = idx.contains("Giverny");
-        assert_eq!(hits.into_iter().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(idx.contains("Giverny"), vec![0]);
         // tokens inside mixed content are found
-        assert_eq!(
-            idx.contains("canvas").into_iter().collect::<Vec<_>>(),
-            vec![1]
-        );
+        assert_eq!(idx.contains("canvas"), vec![1]);
         assert!(idx.contains("cubist").is_empty());
     }
 
@@ -177,5 +248,33 @@ mod tests {
     fn posting_count_positive() {
         assert!(index().posting_count() > 10);
         assert!(InvertedIndex::default().is_empty());
+    }
+
+    #[test]
+    fn intersect_sorted_merges() {
+        assert_eq!(
+            intersect_sorted(&[1, 3, 5, 9], &[0, 3, 4, 5, 10]),
+            vec![3, 5]
+        );
+        assert!(intersect_sorted(&[1, 2], &[3, 4]).is_empty());
+        assert!(intersect_sorted(&[], &[1]).is_empty());
+    }
+
+    #[test]
+    fn remove_patches_postings() {
+        let works = fig1_works();
+        let mut idx = InvertedIndex::build(&works.children);
+        assert_eq!(idx.contains("Impressionist"), vec![0, 1]);
+        idx.remove(0, &works.children[0]);
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.contains("Impressionist"), vec![1]);
+        assert!(
+            idx.contains("Giverny").is_empty(),
+            "doc 0's tokens are gone"
+        );
+        // re-adding restores the exact postings
+        idx.add(0, &works.children[0]);
+        assert_eq!(idx.contains("Impressionist"), vec![0, 1]);
+        assert_eq!(idx.contains("Giverny"), vec![0]);
     }
 }

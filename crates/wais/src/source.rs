@@ -1,8 +1,11 @@
 //! The Wais retrieval engine: documents + index + field policy.
 
-use crate::index::{DocId, InvertedIndex};
+use crate::index::{tokenize, DocId, InvertedIndex};
 use std::collections::BTreeSet;
-use yat_model::{Node, Tree};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use yat_capability::IndexPolicy;
+use yat_model::{Label, Node, Tree};
 
 /// The Z39.50-style field policy: "a clear separation between what you
 /// may retrieve and what you may query" (Section 4.2). `None` means
@@ -41,26 +44,48 @@ impl FieldPolicy {
 }
 
 /// The full-text source: a document collection with its inverted index.
+///
+/// Search dispatches on the source's [`IndexPolicy`] (defaulting to
+/// `YAT_INDEX`): `On` resolves queries through the inverted index, `Off`
+/// scans every live document with identical token semantics — the oracle
+/// the differential tests hold the index to. Either way the answer is
+/// the same ascending id list.
+///
+/// Documents occupy stable slots: [`WaisSource::remove_document`]
+/// tombstones a slot (ids never shift or get reused) and patches the
+/// affected posting lists; both mutations bump every epoch cell
+/// registered via [`WaisSource::register_epoch`], so mediator answer
+/// caches stop serving pre-mutation results.
 #[derive(Debug, Clone)]
 pub struct WaisSource {
     /// The collection name (`works`).
     pub collection: String,
-    docs: Vec<Tree>,
+    docs: Vec<Option<Tree>>,
+    live: usize,
     index: InvertedIndex,
     policy: FieldPolicy,
+    index_policy: IndexPolicy,
+    /// Epoch cells to bump on mutation (clones share them).
+    epochs: Vec<Arc<AtomicU64>>,
 }
 
 impl WaisSource {
     /// Indexes a `works[work..]` document under the given collection
     /// name.
     pub fn new(collection: impl Into<String>, root: &Tree) -> Self {
-        let docs: Vec<Tree> = root.children.to_vec();
-        let index = InvertedIndex::build(&docs);
+        let docs: Vec<Option<Tree>> = root.children.iter().cloned().map(Some).collect();
+        let mut index = InvertedIndex::default();
+        for (id, doc) in docs.iter().enumerate() {
+            index.add(id, doc.as_ref().expect("fresh slots are live"));
+        }
         WaisSource {
             collection: collection.into(),
+            live: docs.len(),
             docs,
             index,
             policy: FieldPolicy::open(),
+            index_policy: IndexPolicy::from_env(),
+            epochs: Vec::new(),
         }
     }
 
@@ -70,14 +95,72 @@ impl WaisSource {
         self
     }
 
-    /// Number of documents.
+    /// Selects index-driven or scanning evaluation (builder style).
+    pub fn with_index_policy(mut self, policy: IndexPolicy) -> Self {
+        self.index_policy = policy;
+        self
+    }
+
+    /// The current index policy.
+    pub fn index_policy(&self) -> IndexPolicy {
+        self.index_policy
+    }
+
+    /// Selects whether searches consult the inverted index or scan.
+    pub fn set_index_policy(&mut self, policy: IndexPolicy) {
+        self.index_policy = policy;
+    }
+
+    /// Registers an epoch cell to bump whenever the collection mutates
+    /// (the mediator hands over its connection's cell at connect time).
+    pub fn register_epoch(&mut self, cell: Arc<AtomicU64>) {
+        self.epochs.push(cell);
+    }
+
+    /// Adds a document to the collection: indexes it, bumps registered
+    /// epochs, returns its id.
+    pub fn add_document(&mut self, doc: Tree) -> DocId {
+        let id = self.docs.len();
+        self.index.add(id, &doc);
+        self.docs.push(Some(doc));
+        self.live += 1;
+        self.bump_epochs();
+        id
+    }
+
+    /// Removes a document by id: tombstones its slot (ids stay stable),
+    /// patches the posting lists its tokens touched, bumps registered
+    /// epochs. Returns the removed document, or `None` for an unknown or
+    /// already-removed id.
+    pub fn remove_document(&mut self, id: DocId) -> Option<Tree> {
+        let doc = self.docs.get_mut(id)?.take()?;
+        self.index.remove(id, &doc);
+        self.live -= 1;
+        self.bump_epochs();
+        Some(doc)
+    }
+
+    fn bump_epochs(&self) {
+        for cell in &self.epochs {
+            cell.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Number of live documents.
     pub fn len(&self) -> usize {
-        self.docs.len()
+        self.live
     }
 
     /// True when the collection is empty.
     pub fn is_empty(&self) -> bool {
-        self.docs.is_empty()
+        self.live == 0
+    }
+
+    /// Ids of all live documents, ascending.
+    pub fn ids(&self) -> Vec<DocId> {
+        (0..self.docs.len())
+            .filter(|&i| self.docs[i].is_some())
+            .collect()
     }
 
     /// The whole collection as one tree, with the retrieval policy
@@ -91,7 +174,7 @@ impl WaisSource {
 
     /// One document by id, policy applied.
     pub fn fetch(&self, id: DocId) -> Option<Tree> {
-        let doc = self.docs.get(id)?;
+        let doc = self.docs.get(id)?.as_ref()?;
         match &self.policy.retrievable {
             None => Some(doc.clone()),
             Some(allowed) => Some(Node::sym(
@@ -110,33 +193,88 @@ impl WaisSource {
         }
     }
 
-    /// Full-text search: ids of documents containing `needle`.
+    /// Full-text search: ids of documents containing `needle`, ascending.
     /// Returns an error when the policy restricts queries to fields and
     /// full-text search is therefore unavailable.
-    pub fn contains(&self, needle: &str) -> Result<BTreeSet<DocId>, String> {
+    pub fn contains(&self, needle: &str) -> Result<Vec<DocId>, String> {
         if self.policy.queryable.is_some() {
             return Err(format!(
                 "collection `{}` only supports field-scoped queries",
                 self.collection
             ));
         }
-        Ok(self.index.contains(needle))
+        Ok(self.eval("", needle))
     }
 
     /// Field-scoped search, honouring the queryable policy.
-    pub fn search_field(&self, field: &str, needle: &str) -> Result<BTreeSet<DocId>, String> {
+    pub fn search_field(&self, field: &str, needle: &str) -> Result<Vec<DocId>, String> {
         if let Some(allowed) = &self.policy.queryable {
             if !allowed.contains(field) {
                 return Err(format!("field `{field}` is not queryable"));
             }
         }
-        Ok(self.index.lookup(field, needle))
+        Ok(self.eval(field, needle))
+    }
+
+    /// Index-or-scan dispatch; both paths produce the same ascending ids.
+    fn eval(&self, field: &str, needle: &str) -> Vec<DocId> {
+        if self.index_policy.is_on() {
+            self.index.lookup(field, needle)
+        } else {
+            self.scan(field, needle)
+        }
+    }
+
+    /// The scan oracle: token-for-token the index's semantics — every
+    /// needle token must occur in the document (under a `field`-labeled
+    /// element for field-scoped queries), case-insensitively — evaluated
+    /// by walking every live document.
+    fn scan(&self, field: &str, needle: &str) -> Vec<DocId> {
+        let tokens = tokenize(needle);
+        if tokens.is_empty() {
+            return Vec::new();
+        }
+        (0..self.docs.len())
+            .filter(|&id| {
+                self.docs[id]
+                    .as_ref()
+                    .is_some_and(|doc| tokens.iter().all(|t| doc_has_token(doc, field, t)))
+            })
+            .collect()
     }
 
     /// Index statistics (for reports).
     pub fn posting_count(&self) -> usize {
         self.index.posting_count()
     }
+}
+
+/// Whether `token` occurs in `doc` — anywhere for the full-text pseudo
+/// field, under a descendant element tagged `field` otherwise. Mirrors
+/// the index builder's traversal exactly (per-field indexing only
+/// descends through element-labeled children).
+fn doc_has_token(doc: &Tree, field: &str, token: &str) -> bool {
+    if field.is_empty() {
+        return subtree_has_token(doc, token);
+    }
+    fn in_fields(t: &Tree, field: &str, token: &str) -> bool {
+        t.children.iter().any(|child| match child.label.as_sym() {
+            Some(tag) => {
+                (tag == field && subtree_has_token(child, token)) || in_fields(child, field, token)
+            }
+            None => false,
+        })
+    }
+    in_fields(doc, field, token)
+}
+
+fn subtree_has_token(t: &Tree, token: &str) -> bool {
+    if let Label::Atom(a) = &t.label {
+        if tokenize(&a.to_string()).iter().any(|x| x == token) {
+            return true;
+        }
+    }
+    t.children.iter().any(|c| subtree_has_token(c, token))
 }
 
 #[cfg(test)]
@@ -169,5 +307,70 @@ mod tests {
         assert!(s.contains("Giverny").is_err());
         assert_eq!(s.search_field("cplace", "Giverny").unwrap().len(), 1);
         assert!(s.search_field("artist", "Monet").is_err());
+    }
+
+    #[test]
+    fn scan_path_equals_index_path() {
+        let indexed = WaisSource::new("works", &fig1_works());
+        let scanning = indexed.clone().with_index_policy(IndexPolicy::Off);
+        for needle in [
+            "Giverny",
+            "Impressionist",
+            "Monet Giverny",
+            "Claude Monet",
+            "canvas",
+            "cubist",
+            "",
+        ] {
+            assert_eq!(
+                indexed.contains(needle).unwrap(),
+                scanning.contains(needle).unwrap(),
+                "contains({needle:?}) diverges"
+            );
+        }
+        for (field, needle) in [
+            ("artist", "Monet"),
+            ("title", "Monet"),
+            ("title", "Waterloo"),
+            ("cplace", "Giverny"),
+            ("technique", "canvas"),
+            ("history", "canvas"),
+            ("nosuchfield", "x"),
+        ] {
+            assert_eq!(
+                indexed.search_field(field, needle).unwrap(),
+                scanning.search_field(field, needle).unwrap(),
+                "lookup({field}, {needle:?}) diverges"
+            );
+        }
+    }
+
+    #[test]
+    fn mutations_keep_ids_stable_and_bump_epochs() {
+        let mut s = WaisSource::new("works", &fig1_works());
+        let epoch = Arc::new(AtomicU64::new(0));
+        s.register_epoch(epoch.clone());
+
+        let removed = s.remove_document(0).unwrap();
+        assert_eq!(epoch.load(Ordering::SeqCst), 1);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.ids(), vec![1], "slot 1 keeps its id");
+        assert!(s.contains("Giverny").unwrap().is_empty());
+        assert!(s.fetch(0).is_none());
+        assert!(s.remove_document(0).is_none(), "double remove is a no-op");
+        assert_eq!(epoch.load(Ordering::SeqCst), 1);
+
+        let id = s.add_document(removed);
+        assert_eq!(id, 2, "tombstoned slots are never reused");
+        assert_eq!(epoch.load(Ordering::SeqCst), 2);
+        assert_eq!(s.contains("Giverny").unwrap(), vec![2]);
+        assert_eq!(s.document().children.len(), 2);
+
+        // the scan oracle agrees after mutations too
+        let scanning = s.clone().with_index_policy(IndexPolicy::Off);
+        assert_eq!(
+            s.contains("Impressionist").unwrap(),
+            scanning.contains("Impressionist").unwrap()
+        );
     }
 }

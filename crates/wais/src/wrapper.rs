@@ -2,35 +2,58 @@
 //! interface of Section 4.2 and evaluates pushed plans against the
 //! full-text index.
 
+use crate::index::{intersect_sorted, tokenize, DocId};
 use crate::source::WaisSource;
-use std::collections::BTreeSet;
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
 use yat_algebra::{Alg, Operand, Pred, Tab, Value};
 use yat_capability::fpattern::wais_fmodel;
 use yat_capability::interface::{
     Equivalence, ExportDecl, Interface, OpKind, OperationDecl, SigItem,
 };
 use yat_capability::protocol::{Request, Response, WrapperServer};
+use yat_capability::IndexReport;
 use yat_model::{AtomType, Edge, Model, Occ, PLabel, Pattern, StarBind};
 
 /// The xmlwais wrapper: a [`WrapperServer`] over a [`WaisSource`].
+///
+/// The source sits behind an `RwLock` so holders of a shared handle
+/// ([`WaisWrapper::shared`]) can mutate the collection while the wrapper
+/// is connected — mutations bump the epoch cell the mediator registered,
+/// invalidating cached answers.
 pub struct WaisWrapper {
     name: String,
-    source: WaisSource,
+    source: Arc<RwLock<WaisSource>>,
+    /// Index accounting of the most recent `Execute`, taken by the
+    /// transport for `EXPLAIN ANALYZE` (never on the wire).
+    report: Mutex<Option<IndexReport>>,
 }
 
 impl WaisWrapper {
     /// Wraps a source under the interface name `name` (the paper uses
     /// `xmlartwork`).
     pub fn new(name: impl Into<String>, source: WaisSource) -> Self {
+        Self::new_shared(name, Arc::new(RwLock::new(source)))
+    }
+
+    /// Wraps an already-shared source — the caller keeps a handle to
+    /// mutate the collection after connecting.
+    pub fn new_shared(name: impl Into<String>, source: Arc<RwLock<WaisSource>>) -> Self {
         WaisWrapper {
             name: name.into(),
             source,
+            report: Mutex::new(None),
         }
     }
 
-    /// Access to the underlying source (tests, benches).
-    pub fn source(&self) -> &WaisSource {
-        &self.source
+    /// Read access to the underlying source (tests, benches).
+    pub fn source(&self) -> RwLockReadGuard<'_, WaisSource> {
+        self.source.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// A shared handle to the source, for mutating it while connected.
+    pub fn shared(&self) -> Arc<RwLock<WaisSource>> {
+        self.source.clone()
     }
 
     /// The exported structural metadata: the `Artworks_Structure` of
@@ -58,7 +81,7 @@ impl WaisWrapper {
             .with(
                 "Works",
                 Pattern::sym(
-                    self.source.collection.clone(),
+                    self.source().collection.clone(),
                     vec![Edge::star(Pattern::Ref("Work".into()))],
                 ),
             )
@@ -72,7 +95,7 @@ impl WaisWrapper {
         i.models.push(self.structure());
         i.fmodels.push(wais_fmodel());
         i.exports.push(ExportDecl {
-            name: self.source.collection.clone(),
+            name: self.source().collection.clone(),
             model: "Artworks_Structure".into(),
             pattern: "Works".into(),
         });
@@ -114,8 +137,13 @@ impl WaisWrapper {
     }
 
     /// Evaluates a pushed plan: `Select*(Bind(Source))` where every
-    /// selection predicate is a `contains($w, "…")` conjunct.
+    /// selection predicate is a `contains($w, "…")` conjunct. Under an
+    /// `On` index policy the conjunction resolves by intersecting sorted
+    /// posting lists, so only matching documents are touched; under
+    /// `Off` each conjunct scans the collection — identical answers, and
+    /// the accounting lands in an [`IndexReport`] either way.
     fn execute(&self, plan: &Alg) -> Response {
+        let source = self.source();
         let mut needles: Vec<String> = Vec::new();
         let doc_var: String;
         let mut cursor = plan;
@@ -154,10 +182,10 @@ impl WaisWrapper {
                     let Alg::Source { name, .. } = input.as_ref() else {
                         return Response::Error("Bind must read the works collection".into());
                     };
-                    if *name != self.source.collection {
+                    if *name != source.collection {
                         return Response::Error(format!("no collection `{name}`"));
                     }
-                    match doc_binding_var(filter, &self.source.collection) {
+                    match doc_binding_var(filter, &source.collection) {
                         Some(v) => doc_var = v,
                         None => {
                             return Response::Error(format!(
@@ -177,29 +205,44 @@ impl WaisWrapper {
         }
         let var = doc_var;
 
-        // resolve candidates through the index
-        let mut ids: Option<BTreeSet<usize>> = None;
+        // resolve candidates: posting-list intersection (or the scan
+        // oracle, per the source's index policy) per conjunct
+        let mut probes = 0u64;
+        let mut ids: Option<Vec<DocId>> = None;
         for needle in &needles {
-            let hits = match self.source.contains(needle) {
+            probes += tokenize(needle).len() as u64;
+            let hits = match source.contains(needle) {
                 Ok(h) => h,
                 Err(e) => return Response::Error(e),
             };
             ids = Some(match ids {
                 None => hits,
-                Some(prev) => prev.intersection(&hits).copied().collect(),
+                Some(prev) => intersect_sorted(&prev, &hits),
             });
         }
-        let ids: Vec<usize> = match ids {
-            Some(set) => set.into_iter().collect(),
-            None => (0..self.source.len()).collect(),
+        let indexed = source.index_policy().is_on() && !needles.is_empty();
+        let ids: Vec<DocId> = match ids {
+            Some(set) => set,
+            None => source.ids(),
         };
+        let candidates = ids.len() as u64;
+        let collection_size = source.len() as u64;
 
         let mut tab = Tab::new(vec![var]);
         for id in ids {
-            if let Some(doc) = self.source.fetch(id) {
+            if let Some(doc) = source.fetch(id) {
                 tab.push(vec![Value::Tree(doc)]);
             }
         }
+        *self.report.lock().unwrap_or_else(|e| e.into_inner()) = Some(IndexReport {
+            collection: source.collection.clone(),
+            indexed,
+            probes: if indexed { probes } else { 0 },
+            candidates,
+            scanned: if indexed { candidates } else { collection_size },
+            collection_size,
+            rows: tab.len() as u64,
+        });
         Response::Result(tab)
     }
 }
@@ -245,10 +288,11 @@ impl WrapperServer for WaisWrapper {
         match request {
             Request::GetInterface => Response::Interface(self.interface()),
             Request::GetDocument { name } => {
-                if *name == self.source.collection {
+                let source = self.source();
+                if *name == source.collection {
                     Response::Document {
                         name: name.clone(),
-                        tree: self.source.document(),
+                        tree: source.document(),
                     }
                 } else {
                     Response::Error(format!("no collection `{name}`"))
@@ -256,6 +300,17 @@ impl WrapperServer for WaisWrapper {
             }
             Request::Execute { plan } => self.execute(plan),
         }
+    }
+
+    fn take_index_report(&self) -> Option<IndexReport> {
+        self.report.lock().unwrap_or_else(|e| e.into_inner()).take()
+    }
+
+    fn register_epoch(&self, cell: Arc<AtomicU64>) {
+        self.source
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .register_epoch(cell);
     }
 }
 
@@ -380,6 +435,74 @@ mod tests {
             w.handle(&Request::Execute { plan }),
             Response::Error(_)
         ));
+    }
+
+    #[test]
+    fn execute_records_an_index_report() {
+        let w = wrapper();
+        let plan = Alg::select(
+            Alg::bind(Alg::source("works"), parse_filter("works *$w").unwrap()),
+            Pred::Call {
+                name: "contains".into(),
+                args: vec![Operand::var("w"), Operand::cst("Giverny")],
+            },
+        );
+        assert!(w.take_index_report().is_none(), "nothing executed yet");
+        w.handle(&Request::Execute { plan });
+        let r = w.take_index_report().unwrap();
+        assert!(r.indexed);
+        assert_eq!(r.collection, "works");
+        assert_eq!(r.probes, 1);
+        assert_eq!(r.candidates, 1);
+        assert_eq!(r.scanned, 1, "only the posting-list hit was touched");
+        assert_eq!(r.collection_size, 2);
+        assert_eq!(r.rows, 1);
+        assert!(w.take_index_report().is_none(), "a report is taken once");
+    }
+
+    #[test]
+    fn scan_policy_answers_identically() {
+        use yat_capability::IndexPolicy;
+        let scan = WaisWrapper::new(
+            "xmlartwork",
+            WaisSource::new("works", &fig1_works()).with_index_policy(IndexPolicy::Off),
+        );
+        let indexed = wrapper();
+        let plan = Alg::select(
+            Alg::bind(Alg::source("works"), parse_filter("works *$w").unwrap()),
+            Pred::Call {
+                name: "contains".into(),
+                args: vec![Operand::var("w"), Operand::cst("Impressionist")],
+            },
+        );
+        let a = indexed.handle(&Request::Execute { plan: plan.clone() });
+        let b = scan.handle(&Request::Execute { plan });
+        match (a, b) {
+            (Response::Result(x), Response::Result(y)) => assert_eq!(x, y),
+            other => panic!("{other:?}"),
+        }
+        let r = scan.take_index_report().unwrap();
+        assert!(!r.indexed);
+        assert_eq!(r.scanned, 2, "the scan path touched every document");
+    }
+
+    #[test]
+    fn shared_source_mutations_bump_registered_epochs() {
+        use std::sync::atomic::Ordering;
+        let shared = Arc::new(RwLock::new(WaisSource::new("works", &fig1_works())));
+        let w = WaisWrapper::new_shared("xmlartwork", shared.clone());
+        let cell = Arc::new(AtomicU64::new(0));
+        w.register_epoch(cell.clone());
+
+        let extra = fig1_works().children[0].clone();
+        shared.write().unwrap().add_document(extra);
+        assert_eq!(cell.load(Ordering::SeqCst), 1, "mutation bumped the epoch");
+        match w.handle(&Request::GetDocument {
+            name: "works".into(),
+        }) {
+            Response::Document { tree, .. } => assert_eq!(tree.children.len(), 3),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Regression tests for cache-epoch invalidation wired to *store
+//! mutations*: a mutation through a shared source handle must be
+//! visible to the very next mediator query under a bounded cache — no
+//! manual [`Mediator::bump_source_epoch`] call, no stale answer. The
+//! wrappers register their epoch cells with the connection at
+//! `connect` time; `WaisSource::add_document` / `Store::remove` bump
+//! those cells, and the cache refuses entries from the old epoch.
+
+use std::sync::{Arc, RwLock};
+use yat::yat_cache::CachePolicy;
+use yat::yat_mediator::{Mediator, OptimizerOptions};
+use yat::yat_model::{Node, Oid, Tree};
+use yat::yat_oql::{art::fig1_store, O2Wrapper, Store};
+use yat::yat_wais::{fig1_works, WaisSource, WaisWrapper};
+use yat::yat_yatl::paper;
+
+fn shared_mediator() -> (Mediator, Arc<RwLock<Store>>, Arc<RwLock<WaisSource>>) {
+    let o2 = Arc::new(RwLock::new(fig1_store()));
+    let wais = Arc::new(RwLock::new(WaisSource::new("works", &fig1_works())));
+    let mut m = Mediator::new();
+    m.connect(Box::new(O2Wrapper::new_shared("o2artifact", o2.clone())))
+        .expect("fresh mediator accepts the O2 wrapper");
+    m.connect(Box::new(WaisWrapper::new_shared(
+        "xmlartwork",
+        wais.clone(),
+    )))
+    .expect("fresh mediator accepts the Wais wrapper");
+    m.load_program(paper::VIEW1).expect("view1 is well-formed");
+    m.set_cache_policy(CachePolicy::bounded());
+    (m, o2, wais)
+}
+
+fn tree_of(out: yat::yat_algebra::EvalOut) -> Tree {
+    match out {
+        yat::yat_algebra::EvalOut::Tree(t) => t,
+        other => panic!("queries answer trees, got {other:?}"),
+    }
+}
+
+/// Adding a document to the full-text source is visible to the next
+/// query: the cached empty answer for "Atlantis" is not served stale.
+#[test]
+fn wais_mutation_invalidates_cached_answers() {
+    let (m, _o2, wais) = shared_mediator();
+    let atlantis = r#"
+MAKE $t
+MATCH artworks WITH doc.work.[ title.$t, more.cplace.$cl ]
+WHERE $cl = "Atlantis"
+"#;
+    let plan = m.plan_query(atlantis).unwrap();
+    let (opt, _) = m.optimize(&plan, OptimizerOptions::full());
+
+    // cold: nothing was created at Atlantis
+    let cold = tree_of(m.execute(&opt).unwrap());
+    assert!(
+        !cold.to_string().contains("Nympheas"),
+        "no work was painted at Atlantis yet: {cold}"
+    );
+
+    // warm: the empty answer is served from the cache
+    let before = m.traffic();
+    m.execute(&opt).unwrap();
+    assert_eq!(
+        (m.traffic() - before).round_trips,
+        0,
+        "warm before mutation"
+    );
+
+    // a new Nympheas study painted at Atlantis arrives in the source
+    wais.write().unwrap().add_document(Node::sym(
+        "work",
+        vec![
+            Node::elem("artist", "Claude Monet"),
+            Node::elem("title", "Nympheas"),
+            Node::elem("style", "Impressionist"),
+            Node::elem("size", "20 x 60"),
+            Node::elem("cplace", "Atlantis"),
+        ],
+    ));
+
+    // the next query must re-ship and see the new document
+    let before = m.traffic();
+    let fresh = tree_of(m.execute(&opt).unwrap());
+    assert!(
+        (m.traffic() - before).round_trips > 0,
+        "the mutation must force a re-ship, not a cache hit"
+    );
+    assert!(
+        fresh.to_string().contains("Nympheas"),
+        "the new work answers the query: {fresh}"
+    );
+
+    // and the fresh answer caches under the new epoch
+    let before = m.traffic();
+    m.execute(&opt).unwrap();
+    assert_eq!((m.traffic() - before).round_trips, 0, "warm after mutation");
+}
+
+/// Removing an object from the O2 store is visible to the next query:
+/// Q2's cached rows for the removed artifact are not served stale.
+#[test]
+fn store_mutation_invalidates_cached_answers() {
+    let (m, o2, _wais) = shared_mediator();
+    let plan = m.plan_query(paper::Q2).unwrap();
+    let (opt, _) = m.optimize(&plan, OptimizerOptions::default());
+
+    let cold = tree_of(m.execute(&opt).unwrap());
+    assert!(
+        cold.to_string().contains("Nympheas"),
+        "Q2 answers the affordable impressionist: {cold}"
+    );
+    let before = m.traffic();
+    m.execute(&opt).unwrap();
+    assert_eq!(
+        (m.traffic() - before).round_trips,
+        0,
+        "warm before mutation"
+    );
+
+    // the museum deaccessions a1 (Nympheas)
+    assert!(o2.write().unwrap().remove(&Oid::new("a1")).is_some());
+
+    let before = m.traffic();
+    let fresh = tree_of(m.execute(&opt).unwrap());
+    assert!(
+        (m.traffic() - before).round_trips > 0,
+        "the removal must force a re-ship, not a cache hit"
+    );
+    assert!(
+        !fresh.to_string().contains("Nympheas"),
+        "the removed artifact must vanish from the answer: {fresh}"
+    );
+}

@@ -13,6 +13,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use yat::yat_algebra::CollectSink;
 use yat::yat_capability::protocol::ServerReply;
+use yat::yat_capability::IndexPolicy;
 use yat::yat_mediator::{
     CachePolicy, ExecEngine, ExecMode, MediatorError, OptimizerOptions, StreamPolicy,
 };
@@ -405,6 +406,100 @@ impl Case {
         Ok(())
     }
 
+    /// Runs the case indexed (`YAT_INDEX=on` pinned per instance) against
+    /// the scan oracle (`off`) in every {Sequential, Parallel} × {Interp,
+    /// Vm} combination, on identically-seeded federations with the cache
+    /// pinned off. The index plane switches *evaluation strategy only*:
+    /// the two answers must serialize to byte-identical wire bytes and
+    /// the two runs must move identical per-source traffic. Error
+    /// outcomes must agree too — indexes never change plan acceptance.
+    fn run_index_axis(&self) -> Result<(), String> {
+        let q = self.query_text();
+        let mut ix_sc = Scenario::at_scale(self.scale);
+        ix_sc.seed = self.scenario_seed;
+        ix_sc.index = IndexPolicy::On;
+        let mut scan_sc = ix_sc;
+        scan_sc.index = IndexPolicy::Off;
+
+        for engine in [ExecEngine::Interp, ExecEngine::Vm] {
+            for mode in [
+                ExecMode::Sequential,
+                ExecMode::Parallel {
+                    max_in_flight: self.lanes,
+                },
+            ] {
+                let mut ix = ix_sc.mediator();
+                ix.set_exec_mode(mode);
+                ix.set_exec_engine(engine);
+                ix.set_cache_policy(CachePolicy::Off);
+                let mut scan = scan_sc.mediator();
+                scan.set_exec_mode(mode);
+                scan.set_exec_engine(engine);
+                scan.set_cache_policy(CachePolicy::Off);
+                ix.reset_traffic();
+                scan.reset_traffic();
+
+                let ri = ix.query(&q, self.options());
+                let rs = scan.query(&q, self.options());
+                match (ri, rs) {
+                    (Ok(a), Ok(b)) => {
+                        let ix_bytes = ServerReply::answer(a).to_xml().to_xml();
+                        let scan_bytes = ServerReply::answer(b).to_xml().to_xml();
+                        if ix_bytes != scan_bytes {
+                            return Err(format!(
+                                "indexed answer diverges from the scan oracle under \
+                                 {mode}/{engine}:\n  indexed: {ix_bytes}\n  scan: {scan_bytes}"
+                            ));
+                        }
+                        for src in ["o2artifact", "xmlartwork"] {
+                            let mi = ix.traffic_of(src).expect("source is connected");
+                            let ms = scan.traffic_of(src).expect("source is connected");
+                            if mi.round_trips != ms.round_trips
+                                || mi.documents_received != ms.documents_received
+                                || mi.bytes_sent != ms.bytes_sent
+                                || mi.bytes_received != ms.bytes_received
+                            {
+                                return Err(format!(
+                                    "traffic diverges at `{src}` under {mode}/{engine}: \
+                                     indexed {} trips/{} docs/{}+{} bytes, \
+                                     scan {} trips/{} docs/{}+{} bytes",
+                                    mi.round_trips,
+                                    mi.documents_received,
+                                    mi.bytes_sent,
+                                    mi.bytes_received,
+                                    ms.round_trips,
+                                    ms.documents_received,
+                                    ms.bytes_sent,
+                                    ms.bytes_received
+                                ));
+                            }
+                        }
+                    }
+                    // both settings reject the query alike: acceptable
+                    (Err(MediatorError::Exec(_)), Err(MediatorError::Exec(_))) => {
+                        REJECTED.fetch_add(1, Ordering::Relaxed);
+                    }
+                    (Ok(a), Err(b)) => {
+                        return Err(format!(
+                            "indexed {a:?} but scan failed under {mode}/{engine}: {b}"
+                        ))
+                    }
+                    (Err(a), Ok(b)) => {
+                        return Err(format!(
+                            "scan {b:?} but indexed failed under {mode}/{engine}: {a}"
+                        ))
+                    }
+                    (Err(a), Err(b)) => {
+                        return Err(format!(
+                            "non-exec errors (generator bug?):\n  indexed: {a}\n  scan: {b}"
+                        ))
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Runs the case under {cache off, cold, warm} in both exec modes on
     /// one federation each: all three must return identical answers, and
     /// the warm rerun must ship no more per-source traffic than the cold
@@ -660,6 +755,46 @@ fn streamed_and_materialized_agree_on_random_plans() {
     }
     let rejected = REJECTED.load(Ordering::Relaxed);
     println!("stream differential sweep: {CASES} cases, {rejected} rejected by both paths");
+    assert!(
+        rejected < CASES / 2,
+        "generator degenerated: {rejected}/{CASES} cases never produced an answer"
+    );
+}
+
+/// The index axis of the sweep: every seeded plan answered with the
+/// index plane on must serialize to byte-identical wire bytes and move
+/// identical per-source traffic as the scan oracle — under both exec
+/// modes and both engines. `YAT_INDEX` switches evaluation strategy
+/// only; this is the oracle that gates the whole index plane.
+#[test]
+fn indexed_and_scan_agree_on_random_plans() {
+    let master = std::env::var("YAT_DIFF_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
+    let mut rng = Rng::seed_from_u64(master);
+    REJECTED.store(0, Ordering::Relaxed);
+    for i in 0..CASES {
+        let case = Case::generate(&mut rng);
+        if let Err(msg) = case.run_index_axis() {
+            let minimal = case.shrink_by(&Case::run_index_axis);
+            panic!(
+                "index differential case {i}/{CASES} (YAT_DIFF_SEED={master}) failed: {msg}\n\
+                 query: {}\n\
+                 shrunk query: {}\n\
+                 knobs: {:?} lanes={} opt_level={} scale={} scenario_seed={}",
+                case.query_text(),
+                minimal.query_text(),
+                case.shape,
+                case.lanes,
+                case.opt_level,
+                case.scale,
+                case.scenario_seed
+            );
+        }
+    }
+    let rejected = REJECTED.load(Ordering::Relaxed);
+    println!("index differential sweep: {CASES} cases, {rejected} rejected by both settings");
     assert!(
         rejected < CASES / 2,
         "generator degenerated: {rejected}/{CASES} cases never produced an answer"
