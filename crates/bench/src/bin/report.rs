@@ -346,6 +346,22 @@ fn bench_diff(old_path: Option<&String>, new_path: Option<&String>) -> Result<()
     let old = load(old_path)?;
     let new = load(new_path)?;
 
+    // Disjoint name sets are not a regression — the two files measure
+    // different benchmarks (a baseline from before a bench was added, or
+    // a bench that was renamed). Note it and exit clean; the gate only
+    // judges rows both files share.
+    if !old.is_empty()
+        && !new.is_empty()
+        && old
+            .iter()
+            .all(|(name, n, _, _)| !new.iter().any(|(nn, nnn, _, _)| nn == name && nnn == n))
+    {
+        println!(
+            "bench-diff: no comparable rows — {old_path} and {new_path} share no (name, n) entries"
+        );
+        return Ok(());
+    }
+
     let mut regressions = Vec::new();
     let mut compared = 0usize;
     for (name, n, _, old_speedup) in &old {
@@ -412,4 +428,56 @@ fn profile_report() {
     let ex = m.explain(&opt).expect("Q1 explains");
     println!("\n-- Q1 optimized profile as XML --");
     println!("{}", ex.to_xml().to_pretty_xml());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::bench_diff;
+
+    fn write(name: &str, body: &str) -> String {
+        let path =
+            std::env::temp_dir().join(format!("yat-bench-diff-{}-{name}", std::process::id()));
+        std::fs::write(&path, body).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    /// Two files that share no (name, n) rows compare nothing: the diff
+    /// notes it and exits zero instead of reporting every row missing.
+    #[test]
+    fn disjoint_name_sets_are_not_a_regression() {
+        let old = write(
+            "old.json",
+            r#"[{"name": "fig8", "n": 100, "baseline_ns": 10, "speedup": 2.0}]"#,
+        );
+        let new = write(
+            "new.json",
+            r#"[{"name": "fig9", "n": 100, "baseline_ns": 10, "speedup": 2.0}]"#,
+        );
+        bench_diff(Some(&old), Some(&new)).expect("disjoint sets exit clean");
+        let _ = std::fs::remove_file(&old);
+        let _ = std::fs::remove_file(&new);
+    }
+
+    /// Overlapping files still gate: a shared row that regressed past the
+    /// 25% envelope fails, and a row missing from the new run is named.
+    #[test]
+    fn overlapping_sets_still_gate_regressions() {
+        let old = write(
+            "old-gate.json",
+            r#"[{"name": "fig8", "n": 100, "baseline_ns": 10, "speedup": 2.0},
+                {"name": "fig8", "n": 200, "baseline_ns": 10, "speedup": 2.0}]"#,
+        );
+        let new = write(
+            "new-gate.json",
+            r#"[{"name": "fig8", "n": 100, "baseline_ns": 10, "speedup": 1.0}]"#,
+        );
+        let err = bench_diff(Some(&old), Some(&new)).expect_err("a 2x->1x fall regresses");
+        assert!(err.contains("fig8 n=100"), "the fallen row is named: {err}");
+        assert!(
+            err.contains("fig8 n=200") && err.contains("missing"),
+            "the missing row is named: {err}"
+        );
+        let _ = std::fs::remove_file(&old);
+        let _ = std::fs::remove_file(&new);
+    }
 }

@@ -1,14 +1,37 @@
 //! Seeded scenario builders for the cultural-goods federation.
 
 use std::collections::{BTreeSet, HashMap};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use yat_capability::protocol::WrapperServer;
-use yat_capability::IndexPolicy;
+use yat_capability::{IndexPolicy, StorePolicy};
 use yat_mediator::{Dead, FetchOnly, Mediator, MemberRole};
 use yat_model::{Label, Node, Tree};
-use yat_oql::art::{art_store, fig1_store, ArtSpec};
+use yat_oql::art::{art_store, art_store_at, fig1_store, ArtSpec};
 use yat_oql::O2Wrapper;
+use yat_store::{StoreError, StoreOptions};
 use yat_wais::{fig1_works, generate_works, WaisSource, WaisWrapper, WorksSpec};
 use yat_yatl::paper;
+
+/// Process-wide counter giving every store-backed scenario its own
+/// subdirectory, so concurrent tests under one `YAT_STORE` root never
+/// collide.
+static STORE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh, unique store root under `path` for one scenario mount.
+fn unique_store_root(path: &str, tag: &str) -> PathBuf {
+    let n = STORE_SEQ.fetch_add(1, Ordering::SeqCst);
+    Path::new(path).join(format!("{tag}-{}-{n}", std::process::id()))
+}
+
+/// [`StoreOptions`] for a `YAT_STORE` budget (default options when
+/// unset).
+fn store_opts(budget: Option<u64>) -> StoreOptions {
+    match budget {
+        Some(b) => StoreOptions::with_budget(b),
+        None => StoreOptions::default(),
+    }
+}
 
 /// One end-to-end scenario configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -65,7 +88,34 @@ impl Scenario {
     }
 
     /// Builds the full federation: O2 wrapper + Wais wrapper + view1.
+    ///
+    /// Honors `YAT_STORE`: under a `dir:` policy both sources mount
+    /// persistent stores in a unique subdirectory of the given root
+    /// (answers stay byte-identical to the in-memory build); a mount
+    /// failure warns and falls back to in-memory, like `YAT_INDEX`.
     pub fn mediator(&self) -> Mediator {
+        match StorePolicy::from_env() {
+            StorePolicy::Off => self.mediator_mem(),
+            StorePolicy::Dir { path, budget } => {
+                let root = unique_store_root(&path, "scenario");
+                match self.mediator_store(&root, store_opts(budget)) {
+                    Ok(m) => m,
+                    Err(e) => {
+                        yat_obs::warn(format!(
+                            "YAT_STORE mount under `{}` failed ({e}); \
+                             falling back to in-memory sources",
+                            root.display()
+                        ));
+                        self.mediator_mem()
+                    }
+                }
+            }
+        }
+    }
+
+    /// The in-memory federation — the oracle every store-backed build is
+    /// held to.
+    pub fn mediator_mem(&self) -> Mediator {
         let (art, works) = self.specs();
         let mut m = Mediator::new();
         m.set_index_policy(self.index);
@@ -81,6 +131,34 @@ impl Scenario {
         .expect("fresh mediator accepts the Wais wrapper");
         m.load_program(paper::VIEW1).expect("view1 is well-formed");
         m
+    }
+
+    /// The same federation with both sources mounted from persistent
+    /// stores under `root` (one subdirectory per source), creating and
+    /// populating them when fresh — a second call over the same root
+    /// remounts instead of regenerating.
+    pub fn mediator_store(&self, root: &Path, opts: StoreOptions) -> Result<Mediator, StoreError> {
+        let (art, works) = self.specs();
+        let mut m = Mediator::new();
+        m.set_index_policy(self.index);
+        m.connect(Box::new(O2Wrapper::new(
+            "o2artifact",
+            art_store_at(&art, &root.join("o2artifact"), opts)?.with_index_policy(self.index),
+        )))
+        .expect("fresh mediator accepts the O2 wrapper");
+        m.connect(Box::new(WaisWrapper::new(
+            "xmlartwork",
+            WaisSource::open_store(
+                "works",
+                &generate_works(&works),
+                &root.join("xmlartwork"),
+                opts,
+            )?
+            .with_index_policy(self.index),
+        )))
+        .expect("fresh mediator accepts the Wais wrapper");
+        m.load_program(paper::VIEW1).expect("view1 is well-formed");
+        Ok(m)
     }
 }
 
@@ -350,6 +428,53 @@ mod tests {
             yat_algebra::EvalOut::Tree(t) => assert_eq!(t.label.as_sym(), Some("answers")),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn store_backed_scenario_matches_the_in_memory_oracle() {
+        use yat_bench_figures_fp::fp;
+        let sc = Scenario::at_scale(20);
+        let root = std::env::temp_dir().join(format!("yat-scenario-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let mem = sc.mediator_mem();
+        let disk = sc.mediator_store(&root, StoreOptions::default()).unwrap();
+        for query in [paper::Q1, paper::Q2] {
+            assert_eq!(fp(&disk, query), fp(&mem, query), "{query}");
+        }
+        // a remount answers identically too
+        drop(disk);
+        let remounted = sc.mediator_store(&root, StoreOptions::default()).unwrap();
+        for query in [paper::Q1, paper::Q2] {
+            assert_eq!(fp(&remounted, query), fp(&mem, query), "remount {query}");
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn store_backed_explain_reports_the_storage_section() {
+        let sc = Scenario::at_scale(20);
+        let root =
+            std::env::temp_dir().join(format!("yat-scenario-explain-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let disk = sc.mediator_store(&root, StoreOptions::default()).unwrap();
+        let plan = disk.plan_query(paper::Q2).unwrap();
+        let explain = disk.explain(&plan).unwrap();
+        assert!(
+            !explain.storage.is_empty(),
+            "a store-backed execution reports storage lines"
+        );
+        let rendered = explain.render();
+        assert!(rendered.contains("storage:"), "{rendered}");
+        let xml = explain.to_xml().to_xml();
+        assert!(xml.contains("<storage"), "{xml}");
+
+        // the in-memory oracle executes the same plan with no storage section
+        let mem = sc.mediator_mem();
+        let plan = mem.plan_query(paper::Q2).unwrap();
+        let explain = mem.explain(&plan).unwrap();
+        assert!(explain.storage.is_empty(), "in-memory has no storage");
+        assert!(!explain.render().contains("storage:"));
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

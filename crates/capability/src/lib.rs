@@ -38,6 +38,7 @@ pub mod interface;
 pub mod matcher;
 pub mod plan_xml;
 pub mod protocol;
+pub mod store;
 pub mod tab_xml;
 pub mod xml;
 
@@ -46,6 +47,7 @@ pub use fpattern::{FEdge, FLabel, FOcc, FPattern, Fmodel};
 pub use index::{IndexPolicy, IndexReport};
 pub use interface::{Equivalence, ExportDecl, Interface, OpKind, OperationDecl, SigItem};
 pub use matcher::{accepts_filter, pushable, Rejection};
+pub use store::{StorageReport, StorePolicy};
 
 #[cfg(test)]
 mod tests;

@@ -702,6 +702,15 @@ pub trait WrapperServer: Send + Sync {
         None
     }
 
+    /// Takes the storage accounting of the most recent `Execute`, if
+    /// the wrapper runs store-backed and recorded one
+    /// ([`crate::StorageReport`]). Observational only, collected next
+    /// to the wire exactly like [`WrapperServer::take_index_report`];
+    /// in-memory wrappers return `None`.
+    fn take_storage_report(&self) -> Option<crate::StorageReport> {
+        None
+    }
+
     /// Registers a mediator-side epoch cell the wrapper must bump when
     /// its underlying store mutates (documents added/removed), so the
     /// answer cache can never serve pre-mutation results. Default:

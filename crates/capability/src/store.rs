@@ -1,0 +1,190 @@
+//! The storage plane's control surface: the `YAT_STORE` switch and the
+//! per-execution storage accounting wrappers report for
+//! `EXPLAIN ANALYZE`.
+//!
+//! Like `YAT_INDEX`, the policy gates *where collections live only*. A
+//! store-backed source accepts and rejects exactly the same plans,
+//! produces byte-identical answers and moves identical wire traffic as
+//! the in-memory source — in-memory mode stays the oracle the
+//! differential harness holds the store-backed paths to.
+
+use std::fmt;
+
+/// Where sources keep their collections: in RAM (the reference
+/// behavior) or mounted from a persistent segmented store directory.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum StorePolicy {
+    /// Collections live in RAM — the differential oracle.
+    #[default]
+    Off,
+    /// Collections mount from a store under the given directory, with
+    /// an optional residency byte budget.
+    Dir {
+        /// Root directory holding one store per source.
+        path: String,
+        /// Residency byte budget (`None` = the store default).
+        budget: Option<u64>,
+    },
+}
+
+impl StorePolicy {
+    /// The policy selected by the `YAT_STORE` environment variable
+    /// (`off` or `dir:<path>[:<budget-bytes>]`); off when unset. An
+    /// invalid value falls back to off, loudly via [`yat_obs::warn`].
+    pub fn from_env() -> Self {
+        Self::from_env_value(std::env::var("YAT_STORE").ok().as_deref())
+    }
+
+    /// [`StorePolicy::from_env`] on an explicit value (`None` = unset).
+    pub fn from_env_value(value: Option<&str>) -> Self {
+        let Some(value) = value else {
+            return StorePolicy::default();
+        };
+        match Self::parse(value) {
+            Some(policy) => policy,
+            None => {
+                yat_obs::warn(format!(
+                    "YAT_STORE=`{value}` is not a valid store policy; accepted \
+                     values are `off` or `dir:<path>[:<budget-bytes>]` — \
+                     falling back to off (in-memory)"
+                ));
+                StorePolicy::default()
+            }
+        }
+    }
+
+    /// Parses the `YAT_STORE` syntax.
+    pub fn parse(text: &str) -> Option<Self> {
+        let text = text.trim();
+        if text.eq_ignore_ascii_case("off") || text.eq_ignore_ascii_case("mem") {
+            return Some(StorePolicy::Off);
+        }
+        let rest = text.strip_prefix("dir:")?;
+        if rest.is_empty() {
+            return None;
+        }
+        // The budget is the suffix after the *last* colon, when numeric —
+        // paths may themselves contain colons.
+        if let Some((path, tail)) = rest.rsplit_once(':') {
+            if let Ok(budget) = tail.parse::<u64>() {
+                if path.is_empty() {
+                    return None;
+                }
+                return Some(StorePolicy::Dir {
+                    path: path.to_string(),
+                    budget: Some(budget),
+                });
+            }
+        }
+        Some(StorePolicy::Dir {
+            path: rest.to_string(),
+            budget: None,
+        })
+    }
+
+    /// Whether sources should mount persistent stores.
+    pub fn is_on(&self) -> bool {
+        !matches!(self, StorePolicy::Off)
+    }
+}
+
+impl fmt::Display for StorePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorePolicy::Off => write!(f, "off"),
+            StorePolicy::Dir { path, budget: None } => write!(f, "dir:{path}"),
+            StorePolicy::Dir {
+                path,
+                budget: Some(b),
+            } => write!(f, "dir:{path}:{b}"),
+        }
+    }
+}
+
+/// What one pushed-plan execution did against a source's persistent
+/// store: segments resident and loaded, evictions, bytes read. Purely
+/// observational — reported out-of-band next to the wire protocol,
+/// aggregated into the `EXPLAIN ANALYZE` storage section. In-memory
+/// sources never produce one.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StorageReport {
+    /// The collection/extent the plan ran over.
+    pub collection: String,
+    /// Live segments in the source's store.
+    pub segments: u64,
+    /// Segments resident in the LRU after the execution.
+    pub resident: u64,
+    /// Segment loads from disk during the execution.
+    pub loads: u64,
+    /// Segment evictions during the execution.
+    pub evictions: u64,
+    /// Bytes read from disk during the execution.
+    pub bytes_read: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_default() {
+        assert_eq!(StorePolicy::parse("off"), Some(StorePolicy::Off));
+        assert_eq!(StorePolicy::parse(" MEM "), Some(StorePolicy::Off));
+        assert_eq!(
+            StorePolicy::parse("dir:/tmp/stores"),
+            Some(StorePolicy::Dir {
+                path: "/tmp/stores".into(),
+                budget: None
+            })
+        );
+        assert_eq!(
+            StorePolicy::parse("dir:/tmp/stores:1048576"),
+            Some(StorePolicy::Dir {
+                path: "/tmp/stores".into(),
+                budget: Some(1_048_576)
+            })
+        );
+        // a colon in the path with no numeric suffix is part of the path
+        assert_eq!(
+            StorePolicy::parse("dir:/tmp/a:b"),
+            Some(StorePolicy::Dir {
+                path: "/tmp/a:b".into(),
+                budget: None
+            })
+        );
+        assert_eq!(StorePolicy::parse("dir:"), None);
+        assert_eq!(StorePolicy::parse("disk"), None);
+        assert_eq!(StorePolicy::from_env_value(None), StorePolicy::Off);
+        // invalid value: warn + fall back to off
+        let warnings = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let sink = warnings.clone();
+        yat_obs::set_warn_sink(Some(Box::new(move |msg| {
+            sink.lock().unwrap().push(msg.to_string());
+        })));
+        assert_eq!(
+            StorePolicy::from_env_value(Some("banana")),
+            StorePolicy::Off
+        );
+        yat_obs::set_warn_sink(None);
+        let got = warnings.lock().unwrap();
+        assert_eq!(got.len(), 1);
+        assert!(got[0].contains("YAT_STORE"), "{}", got[0]);
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for p in [
+            StorePolicy::Off,
+            StorePolicy::Dir {
+                path: "/x".into(),
+                budget: None,
+            },
+            StorePolicy::Dir {
+                path: "/x".into(),
+                budget: Some(4096),
+            },
+        ] {
+            assert_eq!(StorePolicy::parse(&p.to_string()), Some(p));
+        }
+    }
+}

@@ -80,6 +80,25 @@ pub struct IndexLine {
     pub collection: u64,
 }
 
+/// Per-source persistent-store activity of one execution, aggregated
+/// from the `storage` events the transport emitted. Keys are the event
+/// labels, `<collection> @<source>`. Only store-backed sources ever
+/// contribute a line — an all-in-memory federation has no storage
+/// section at all.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StorageLine {
+    /// Live segments in the source's store (last report wins).
+    pub segments: u64,
+    /// Segments resident after the execution (last report wins).
+    pub resident: u64,
+    /// Segment loads from disk during the execution.
+    pub loads: u64,
+    /// Segment evictions during the execution.
+    pub evictions: u64,
+    /// Bytes read from disk during the execution.
+    pub bytes_read: u64,
+}
+
 /// One federation member as `EXPLAIN ANALYZE` reports it: its group,
 /// role, capability, and live cost record at explain time.
 #[derive(Debug, Clone, PartialEq)]
@@ -132,6 +151,9 @@ pub struct Explain {
     /// much of each collection was actually examined (empty when nothing
     /// reported).
     pub index: BTreeMap<String, IndexLine>,
+    /// Per-source persistent-store activity (empty when every source is
+    /// in-memory).
+    pub storage: BTreeMap<String, StorageLine>,
     /// The answer-cache policy the execution ran under.
     pub cache_policy: CachePolicy,
     /// The federation members the registry knows about (empty for a
@@ -175,6 +197,19 @@ impl Explain {
                 candidates: a.candidates + b.candidates,
                 scanned: a.scanned + b.scanned,
                 collection: a.collection + b.collection,
+            })
+    }
+
+    /// Total persistent-store activity across all sources.
+    pub fn storage_totals(&self) -> StorageLine {
+        self.storage
+            .values()
+            .fold(StorageLine::default(), |a, b| StorageLine {
+                segments: a.segments + b.segments,
+                resident: a.resident + b.resident,
+                loads: a.loads + b.loads,
+                evictions: a.evictions + b.evictions,
+                bytes_read: a.bytes_read + b.bytes_read,
             })
     }
 
@@ -244,6 +279,16 @@ impl Explain {
                     line.candidates,
                     line.scanned,
                     line.collection
+                ));
+            }
+        }
+        if !self.storage.is_empty() {
+            out.push_str("storage:\n");
+            for (target, line) in &self.storage {
+                out.push_str(&format!(
+                    "  {target}: {} segments ({} resident), {} loads, {} evictions, \
+                     {}B read\n",
+                    line.segments, line.resident, line.loads, line.evictions, line.bytes_read
                 ));
             }
         }
@@ -385,6 +430,21 @@ impl Explain {
                 );
             }
             el.push_element(index);
+        }
+        if !self.storage.is_empty() {
+            let mut storage = Element::new("storage");
+            for (target, line) in &self.storage {
+                storage.push_element(
+                    Element::new("target")
+                        .with_attr("name", target.clone())
+                        .with_attr("segments", line.segments.to_string())
+                        .with_attr("resident", line.resident.to_string())
+                        .with_attr("loads", line.loads.to_string())
+                        .with_attr("evictions", line.evictions.to_string())
+                        .with_attr("bytes-read", line.bytes_read.to_string()),
+                );
+            }
+            el.push_element(storage);
         }
         if self.engine == ExecEngine::Vm {
             let mut program =

@@ -40,7 +40,7 @@ pub mod session;
 pub mod transport;
 
 pub use executor::{ExecEngine, ExecError, ExecMode, SchedPolicy, StreamPolicy};
-pub use explain::{CacheLine, Explain, FederationLine, LaneJob, ProgramLine};
+pub use explain::{CacheLine, Explain, FederationLine, LaneJob, ProgramLine, StorageLine};
 pub use mediator::{Mediator, MediatorError};
 pub use optimizer::{optimize, optimize_with_registry, OptimizerOptions, RuleFiring, Trace};
 pub use session::Session;

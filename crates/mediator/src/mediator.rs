@@ -6,7 +6,7 @@ use crate::executor::{
     execute_mode, execute_stream_mode, ExecEngine, ExecError, ExecMode, ExecSpec, SchedPolicy,
     StreamPolicy,
 };
-use crate::explain::{CacheLine, Explain, IndexLine, LaneJob};
+use crate::explain::{CacheLine, Explain, IndexLine, LaneJob, StorageLine};
 use crate::optimizer::{optimize_with_registry, OptimizerOptions, Trace};
 use crate::transport::{Connection, MeterSnapshot};
 use std::collections::hash_map::DefaultHasher;
@@ -275,6 +275,19 @@ impl Mediator {
     /// [`crate::Latency`] or read its meter directly.
     pub fn connection(&self, source: &str) -> Option<&Connection> {
         self.connections.get(source)
+    }
+
+    /// Re-hands every connection's epoch cell to its wrapper. Call after
+    /// replacing a wrapper's underlying source in place — e.g. remounting
+    /// it from its persistent store following a source restart: the
+    /// remounted source learns the cell again (so future mutations keep
+    /// invalidating) and raises it to its persisted epoch, so answers
+    /// cached before the restart can never validate against the
+    /// remounted data.
+    pub fn resync_sources(&self) {
+        for conn in self.connections.values() {
+            conn.resync_epoch();
+        }
     }
 
     /// Connects a wrapper and imports its interface
@@ -661,6 +674,7 @@ impl Mediator {
         let mut lanes = Vec::new();
         let mut cache: BTreeMap<String, CacheLine> = BTreeMap::new();
         let mut index: BTreeMap<String, IndexLine> = BTreeMap::new();
+        let mut storage: BTreeMap<String, StorageLine> = BTreeMap::new();
         let mut program_lines = Vec::new();
         for span in &spans {
             // VM-instruction events carry the compiled-program listing
@@ -733,6 +747,18 @@ impl Mediator {
                 line.scanned += counter(yat_obs::attr::SCANNED);
                 line.collection += counter(yat_obs::attr::COLLECTION_SIZE);
             }
+            // storage events are labeled "<collection> @<source>"; only
+            // store-backed sources emit them. Gauges (segments, resident)
+            // take the latest value, activity counters accumulate.
+            if span.kind == yat_obs::kind::STORAGE {
+                let counter = |name| span.attr(name).and_then(|v| v.as_u64()).unwrap_or(0);
+                let line = storage.entry(span.label.clone()).or_default();
+                line.segments = counter(yat_obs::attr::SEGMENTS);
+                line.resident = counter(yat_obs::attr::RESIDENT);
+                line.loads += counter(yat_obs::attr::SEGMENT_LOADS);
+                line.evictions += counter(yat_obs::attr::EVICTIONS);
+                line.bytes_read += counter(yat_obs::attr::BYTES_READ);
+            }
         }
         lanes.sort_by(|a, b| (a.lane, &a.label).cmp(&(b.lane, &b.label)));
         let federation = self
@@ -766,6 +792,7 @@ impl Mediator {
             lanes,
             cache,
             index,
+            storage,
             cache_policy: self.cache.policy(),
             federation,
             provenance: prov.snapshot(),

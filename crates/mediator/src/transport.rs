@@ -251,6 +251,16 @@ impl Connection {
         self.epoch.clone()
     }
 
+    /// Re-hands the epoch cell to the wrapper. After the underlying
+    /// source is replaced in place — typically remounted from its
+    /// persistent store following a restart — the replacement must both
+    /// learn the cell (so future mutations keep invalidating) and raise
+    /// it to its persisted epoch (so answers cached before the restart
+    /// can never validate again).
+    pub fn resync_epoch(&self) {
+        self.server.register_epoch(self.epoch.clone());
+    }
+
     /// Installs (or clears) the simulated network delay for this
     /// connection.
     pub fn set_latency(&self, latency: Option<Latency>) {
@@ -326,6 +336,7 @@ impl Connection {
                 // round trip (even untraced, so a stale report never
                 // attaches to a later query).
                 let report = self.server.take_index_report();
+                let storage = self.server.take_storage_report();
                 if ok && matches!(request, Request::Execute { .. }) {
                     if let (Some(obs), Some(r)) = (obs, report) {
                         // `probes > 0` ⇔ the wrapper answered off its
@@ -339,6 +350,29 @@ impl Connection {
                                 (attr::SCANNED, AttrValue::Uint(r.scanned)),
                                 (attr::COLLECTION_SIZE, AttrValue::Uint(r.collection_size)),
                                 (attr::ROWS_OUT, AttrValue::Uint(r.rows)),
+                            ],
+                        );
+                    }
+                }
+                // Storage accounting travels the same way, for document
+                // fetches as well as pushed plans: only store-backed
+                // sources ever produce a report.
+                if ok
+                    && matches!(
+                        request,
+                        Request::Execute { .. } | Request::GetDocument { .. }
+                    )
+                {
+                    if let (Some(obs), Some(r)) = (obs, storage) {
+                        obs.event(
+                            kind::STORAGE,
+                            format!("{} @{}", r.collection, self.name()),
+                            vec![
+                                (attr::SEGMENTS, AttrValue::Uint(r.segments)),
+                                (attr::RESIDENT, AttrValue::Uint(r.resident)),
+                                (attr::SEGMENT_LOADS, AttrValue::Uint(r.loads)),
+                                (attr::EVICTIONS, AttrValue::Uint(r.evictions)),
+                                (attr::BYTES_READ, AttrValue::Uint(r.bytes_read)),
                             ],
                         );
                     }

@@ -33,6 +33,7 @@
 //!   everything as XML (Section 2).
 
 pub mod atom;
+pub mod codec;
 pub mod forest;
 pub mod hash;
 pub mod index;
@@ -45,6 +46,7 @@ pub mod tree;
 pub mod xml_convert;
 
 pub use atom::{Atom, AtomType};
+pub use codec::{decode_tree, encode_tree};
 pub use forest::Forest;
 pub use index::TreeIndex;
 pub use matching::{

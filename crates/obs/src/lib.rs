@@ -71,6 +71,14 @@ pub mod kind {
     /// like the other non-operator kinds: `EXPLAIN ANALYZE` reports
     /// index activity in its own section.
     pub const INDEX: &str = "index";
+    /// A storage-plane event: one per pushed-plan execution against a
+    /// store-backed source (label = `<collection> @<source>`). Carries
+    /// [`crate::attr::SEGMENTS`], [`crate::attr::RESIDENT`],
+    /// [`crate::attr::SEGMENT_LOADS`], [`crate::attr::EVICTIONS`] and
+    /// [`crate::attr::BYTES_READ`]. Excluded from
+    /// [`crate::profile::build`] like the other non-operator kinds:
+    /// `EXPLAIN ANALYZE` reports storage activity in its own section.
+    pub const STORAGE: &str = "storage";
 }
 
 /// Attribute names recorded by the built-in instrumentation sites (the
@@ -121,6 +129,16 @@ pub mod attr {
     pub const SCANNED: &str = "scanned";
     /// Total size of the collection/extent the evaluation addressed.
     pub const COLLECTION_SIZE: &str = "collection_size";
+    /// Live segments in a source's persistent store (`storage` events).
+    pub const SEGMENTS: &str = "segments";
+    /// Segments resident in the store's LRU after the execution.
+    pub const RESIDENT: &str = "resident";
+    /// Segment loads from disk during the execution.
+    pub const SEGMENT_LOADS: &str = "segment_loads";
+    /// Segment evictions during the execution.
+    pub const EVICTIONS: &str = "evictions";
+    /// Bytes read from disk during the execution.
+    pub const BYTES_READ: &str = "bytes_read";
 }
 
 /// A pluggable destination for [`warn`] messages.

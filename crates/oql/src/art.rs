@@ -94,6 +94,36 @@ pub fn year_of(i: usize, rng: &mut Rng) -> i64 {
 /// Builds and populates the `art` database.
 pub fn art_store(spec: &ArtSpec) -> Store {
     let mut store = Store::new(art_schema());
+    populate(&mut store, spec);
+    install_current_price(&mut store);
+    store
+}
+
+/// Store-backed variant of [`art_store`]: mounts the `art` database at
+/// `dir`, creating and bulk-populating it (one durable commit) when the
+/// directory is fresh. A remount replays the persisted objects instead
+/// of regenerating them, so the spec only matters the first time.
+/// Method bodies are code, not data — they are re-installed either way.
+pub fn art_store_at(
+    spec: &ArtSpec,
+    dir: &std::path::Path,
+    opts: yat_store::StoreOptions,
+) -> Result<Store, yat_store::StoreError> {
+    let mut store = Store::open_store(art_schema(), dir, opts)?;
+    if store.is_empty() {
+        store.begin_bulk();
+        populate(&mut store, spec);
+        store
+            .end_bulk()
+            .map_err(|e| yat_store::StoreError::Manifest {
+                detail: e.to_string(),
+            })?;
+    }
+    install_current_price(&mut store);
+    Ok(store)
+}
+
+fn populate(store: &mut Store, spec: &ArtSpec) {
     let mut rng = Rng::seed_from_u64(spec.seed);
 
     for p in 0..spec.persons {
@@ -137,9 +167,11 @@ pub fn art_store(spec: &ArtSpec) -> Store {
             )
             .expect("Artifact is in the schema");
     }
+}
 
-    // current_price: the asking price marked up by 5% — a deterministic
-    // stand-in for the O2 method the paper wraps
+/// `current_price`: the asking price marked up by 5% — a deterministic
+/// stand-in for the O2 method the paper wraps.
+fn install_current_price(store: &mut Store) {
     store.install_method("current_price", |_, obj| {
         let p = obj
             .value
@@ -149,8 +181,6 @@ pub fn art_store(spec: &ArtSpec) -> Store {
             .unwrap_or(0.0);
         Ok(OVal::float(p * 1.05))
     });
-
-    store
 }
 
 /// The tiny Fig. 1 database: Nympheas (a1) owned by p1–p3.
@@ -201,15 +231,7 @@ pub fn fig1_store() -> Store {
             ]),
         )
         .expect("schema has Artifact");
-    store.install_method("current_price", |_, obj| {
-        let p = obj
-            .value
-            .field("price")
-            .and_then(|v| v.atom())
-            .and_then(|a| a.as_f64())
-            .unwrap_or(0.0);
-        Ok(OVal::float(p * 1.05))
-    });
+    install_current_price(&mut store);
     store
 }
 
@@ -263,6 +285,63 @@ mod tests {
         .unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0]["cp"], OVal::float(157_500.0));
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("yat-art-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn store_backed_art_is_byte_identical_and_survives_remount() {
+        let spec = ArtSpec {
+            artifacts: 24,
+            persons: 8,
+            seed: 11,
+        };
+        let dir = temp_dir("oracle");
+        let oracle = art_store(&spec);
+        let q = "select t: A.title, cp: A.current_price, n: O.name \
+                 from A in artifacts, O in A.owners where A.year > 1800";
+
+        // populate + query, then remount with a tiny budget + query again
+        let disk = art_store_at(&spec, &dir, yat_store::StoreOptions::default()).unwrap();
+        assert_eq!(disk.len(), oracle.len());
+        assert_eq!(run(q, &disk).unwrap(), run(q, &oracle).unwrap());
+        drop(disk);
+
+        let remounted =
+            art_store_at(&spec, &dir, yat_store::StoreOptions::with_budget(1024)).unwrap();
+        assert_eq!(run(q, &remounted).unwrap(), run(q, &oracle).unwrap());
+        let st = remounted.backing_store().unwrap().stats();
+        assert!(st.resident_bytes <= 4096 + 1024, "budget held: {st:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_backed_mutations_persist_epochs() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let spec = ArtSpec {
+            artifacts: 4,
+            persons: 2,
+            seed: 3,
+        };
+        let dir = temp_dir("epochs");
+        {
+            let mut s = art_store_at(&spec, &dir, yat_store::StoreOptions::default()).unwrap();
+            s.remove(&Oid::new("a0")).unwrap();
+            assert_eq!(s.len(), 5);
+        }
+        // a remounted database raises fresh mediator cells to its
+        // persisted epoch, so pre-restart cache entries cannot validate
+        let mut s = art_store_at(&spec, &dir, yat_store::StoreOptions::default()).unwrap();
+        assert_eq!(s.len(), 5, "tombstone survived the remount");
+        let cell = Arc::new(AtomicU64::new(0));
+        s.register_epoch(cell.clone());
+        assert!(cell.load(Ordering::SeqCst) >= 1, "cell raised at register");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,238 @@
+//! A lossless binary codec for stored O2 objects.
+//!
+//! yat-store payloads are opaque bytes; this codec maps an object's
+//! `(seq, class, value)` triple onto them. `seq` is the store's
+//! insertion sequence — extents and field indexes are rebuilt at mount
+//! by replaying objects in `seq` order, so a store-backed [`crate::Store`]
+//! iterates identically to the in-memory oracle.
+//!
+//! Encoding (integers little-endian):
+//!
+//! ```text
+//! object := seq:u64 class:str value
+//! value  := 0 Int i64 | 1 Float f64-bits | 2 Bool u8 | 3 Str str
+//!         | 4 Tuple count:u32 (name:str value)*
+//!         | 5 Coll kind:u8 count:u32 value*
+//!         | 6 Ref str | 7 Nil
+//! str    := len:u32 utf8-bytes
+//! ```
+
+use crate::types::CollKind;
+use crate::value::OVal;
+use yat_model::{Atom, Oid};
+
+const TAG_INT: u8 = 0;
+const TAG_FLOAT: u8 = 1;
+const TAG_BOOL: u8 = 2;
+const TAG_STR: u8 = 3;
+const TAG_TUPLE: u8 = 4;
+const TAG_COLL: u8 = 5;
+const TAG_REF: u8 = 6;
+const TAG_NIL: u8 = 7;
+
+fn kind_code(k: CollKind) -> u8 {
+    match k {
+        CollKind::Set => 0,
+        CollKind::Bag => 1,
+        CollKind::List => 2,
+        CollKind::Array => 3,
+    }
+}
+
+fn kind_from(code: u8) -> Result<CollKind, String> {
+    Ok(match code {
+        0 => CollKind::Set,
+        1 => CollKind::Bag,
+        2 => CollKind::List,
+        3 => CollKind::Array,
+        other => return Err(format!("unknown collection kind {other}")),
+    })
+}
+
+/// Serializes an object's sequence number, class and value.
+pub fn encode_obj(seq: u64, class: &str, value: &OVal) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    out.extend_from_slice(&seq.to_le_bytes());
+    encode_str(class, &mut out);
+    encode_val(value, &mut out);
+    out
+}
+
+/// Deserializes an object, requiring the bytes to be consumed exactly.
+pub fn decode_obj(bytes: &[u8]) -> Result<(u64, String, OVal), String> {
+    let mut at = 0usize;
+    let seq = u64::from_le_bytes(take(bytes, &mut at, 8)?.try_into().expect("8 bytes"));
+    let class = take_str(bytes, &mut at)?;
+    let value = decode_val(bytes, &mut at)?;
+    if at != bytes.len() {
+        return Err(format!(
+            "{} trailing bytes after the encoded object",
+            bytes.len() - at
+        ));
+    }
+    Ok((seq, class, value))
+}
+
+fn encode_str(s: &str, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn encode_val(v: &OVal, out: &mut Vec<u8>) {
+    match v {
+        OVal::Atom(Atom::Int(i)) => {
+            out.push(TAG_INT);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        OVal::Atom(Atom::Float(f)) => {
+            out.push(TAG_FLOAT);
+            out.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        OVal::Atom(Atom::Bool(b)) => {
+            out.push(TAG_BOOL);
+            out.push(*b as u8);
+        }
+        OVal::Atom(Atom::Str(s)) => {
+            out.push(TAG_STR);
+            encode_str(s, out);
+        }
+        OVal::Tuple(fields) => {
+            out.push(TAG_TUPLE);
+            out.extend_from_slice(&(fields.len() as u32).to_le_bytes());
+            for (name, val) in fields {
+                encode_str(name, out);
+                encode_val(val, out);
+            }
+        }
+        OVal::Coll(kind, elems) => {
+            out.push(TAG_COLL);
+            out.push(kind_code(*kind));
+            out.extend_from_slice(&(elems.len() as u32).to_le_bytes());
+            for e in elems {
+                encode_val(e, out);
+            }
+        }
+        OVal::Ref(oid) => {
+            out.push(TAG_REF);
+            encode_str(oid.as_str(), out);
+        }
+        OVal::Nil => out.push(TAG_NIL),
+    }
+}
+
+fn take<'a>(bytes: &'a [u8], at: &mut usize, n: usize) -> Result<&'a [u8], String> {
+    let end = at
+        .checked_add(n)
+        .filter(|&e| e <= bytes.len())
+        .ok_or_else(|| format!("truncated object encoding at byte {at}"))?;
+    let slice = &bytes[*at..end];
+    *at = end;
+    Ok(slice)
+}
+
+fn take_u32(bytes: &[u8], at: &mut usize) -> Result<u32, String> {
+    Ok(u32::from_le_bytes(
+        take(bytes, at, 4)?.try_into().expect("4 bytes"),
+    ))
+}
+
+fn take_str(bytes: &[u8], at: &mut usize) -> Result<String, String> {
+    let len = take_u32(bytes, at)? as usize;
+    let raw = take(bytes, at, len)?;
+    String::from_utf8(raw.to_vec()).map_err(|e| format!("invalid utf-8: {e}"))
+}
+
+fn decode_val(bytes: &[u8], at: &mut usize) -> Result<OVal, String> {
+    let tag = take(bytes, at, 1)?[0];
+    Ok(match tag {
+        TAG_INT => OVal::Atom(Atom::Int(i64::from_le_bytes(
+            take(bytes, at, 8)?.try_into().expect("8 bytes"),
+        ))),
+        TAG_FLOAT => OVal::Atom(Atom::Float(f64::from_bits(u64::from_le_bytes(
+            take(bytes, at, 8)?.try_into().expect("8 bytes"),
+        )))),
+        TAG_BOOL => OVal::Atom(Atom::Bool(take(bytes, at, 1)?[0] != 0)),
+        TAG_STR => OVal::Atom(Atom::Str(take_str(bytes, at)?)),
+        TAG_TUPLE => {
+            let count = take_u32(bytes, at)? as usize;
+            if count > (bytes.len() - *at) / 5 + 1 {
+                return Err(format!("implausible field count {count} at byte {at}"));
+            }
+            let mut fields = Vec::with_capacity(count);
+            for _ in 0..count {
+                let name = take_str(bytes, at)?;
+                let val = decode_val(bytes, at)?;
+                fields.push((name, val));
+            }
+            OVal::Tuple(fields)
+        }
+        TAG_COLL => {
+            let kind = kind_from(take(bytes, at, 1)?[0])?;
+            let count = take_u32(bytes, at)? as usize;
+            if count > bytes.len() - *at + 1 {
+                return Err(format!("implausible element count {count} at byte {at}"));
+            }
+            let mut elems = Vec::with_capacity(count);
+            for _ in 0..count {
+                elems.push(decode_val(bytes, at)?);
+            }
+            OVal::Coll(kind, elems)
+        }
+        TAG_REF => OVal::Ref(Oid::new(take_str(bytes, at)?)),
+        TAG_NIL => OVal::Nil,
+        other => return Err(format!("unknown value tag {other} at byte {at}")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> OVal {
+        OVal::tuple(vec![
+            ("name", OVal::str("Doctor X")),
+            ("born", OVal::int(1857)),
+            ("auction", OVal::float(1_500_000.5)),
+            ("sold", OVal::Atom(Atom::Bool(true))),
+            ("works", OVal::ref_list(&["a1", "a2"])),
+            ("spouse", OVal::Nil),
+            (
+                "tags",
+                OVal::Coll(CollKind::Set, vec![OVal::str("impressionist")]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn round_trips() {
+        let v = sample();
+        let bytes = encode_obj(42, "Person", &v);
+        let (seq, class, back) = decode_obj(&bytes).unwrap();
+        assert_eq!(seq, 42);
+        assert_eq!(class, "Person");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn preserves_collection_kinds() {
+        for kind in [
+            CollKind::Set,
+            CollKind::Bag,
+            CollKind::List,
+            CollKind::Array,
+        ] {
+            let v = OVal::Coll(kind, vec![OVal::int(1)]);
+            let (_, _, back) = decode_obj(&encode_obj(0, "C", &v)).unwrap();
+            assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn rejects_damage() {
+        let bytes = encode_obj(1, "Person", &sample());
+        assert!(decode_obj(&bytes[..bytes.len() - 2]).is_err());
+        let mut extra = bytes.clone();
+        extra.push(9);
+        assert!(decode_obj(&extra).is_err());
+    }
+}

@@ -22,6 +22,7 @@
 //!   and answers the XML wrapper protocol.
 
 pub mod art;
+pub mod codec;
 pub mod export;
 pub mod findex;
 pub mod oql;

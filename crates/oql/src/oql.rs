@@ -635,11 +635,11 @@ fn navigate(mut v: OVal, steps: &[String], store: &Store) -> Result<OVal, OqlErr
                 .object(oid)
                 .ok_or_else(|| OqlError(format!("dangling reference {oid}")))?;
             // method call?
-            if obj_has_method(store, obj, step) {
-                v = store.call_method(step, obj)?;
+            if obj_has_method(store, &obj, step) {
+                v = store.call_method(step, &obj)?;
                 continue;
             }
-            v = obj.value.clone();
+            v = obj.value;
         }
         v = match v.field(step) {
             Some(x) => x.clone(),

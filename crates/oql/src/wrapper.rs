@@ -13,7 +13,7 @@ use yat_algebra::{Tab, Value};
 use yat_capability::fpattern::o2_fmodel;
 use yat_capability::interface::{ExportDecl, Interface, OpKind, OperationDecl, SigItem};
 use yat_capability::protocol::{Request, Response, WrapperServer};
-use yat_capability::IndexReport;
+use yat_capability::{IndexReport, StorageReport};
 
 /// The O2 wrapper: a [`WrapperServer`] over an object [`Store`].
 ///
@@ -28,6 +28,9 @@ pub struct O2Wrapper {
     /// Index accounting of the most recent `Execute`, taken by the
     /// transport for `EXPLAIN ANALYZE` (never on the wire).
     report: Mutex<Option<IndexReport>>,
+    /// Storage accounting of the most recent `Execute` or `GetDocument`
+    /// (store-backed databases only), taken the same way.
+    storage: Mutex<Option<StorageReport>>,
 }
 
 impl O2Wrapper {
@@ -45,6 +48,7 @@ impl O2Wrapper {
             store,
             model_name: "art".into(),
             report: Mutex::new(None),
+            storage: Mutex::new(None),
         }
     }
 
@@ -128,6 +132,7 @@ impl O2Wrapper {
 
     fn execute(&self, plan: &yat_algebra::Alg) -> Response {
         let store = self.store();
+        let storage_before = store.backing_store().map(|s| s.stats());
         let translated = match plan_to_oql(plan) {
             Ok(t) => t,
             Err(e) => return Response::Error(format!("cannot translate plan: {e}")),
@@ -161,6 +166,7 @@ impl O2Wrapper {
             .map(|(_, p)| p.0[0].clone())
             .unwrap_or_default();
         let collection_size = store.extent(&extent).map(<[_]>::len).unwrap_or(0) as u64;
+        let extent_name = extent.clone();
         *self.report.lock().unwrap_or_else(|e| e.into_inner()) = Some(IndexReport {
             collection: extent,
             indexed: stats.indexed,
@@ -170,7 +176,30 @@ impl O2Wrapper {
             collection_size,
             rows: tab.len() as u64,
         });
+        self.record_storage(&extent_name, storage_before, &store);
         Response::Result(tab)
+    }
+
+    /// Files a [`StorageReport`] for work that just touched the store,
+    /// when it is store-backed: `before` is the counter snapshot taken
+    /// before the work, so the deltas cover exactly this request.
+    fn record_storage(
+        &self,
+        collection: &str,
+        before: Option<yat_store::StoreStats>,
+        store: &Store,
+    ) {
+        if let (Some(before), Some(backing)) = (before, store.backing_store()) {
+            let after = backing.stats();
+            *self.storage.lock().unwrap_or_else(|e| e.into_inner()) = Some(StorageReport {
+                collection: collection.to_string(),
+                segments: after.segments,
+                resident: after.resident,
+                loads: after.loads - before.loads,
+                evictions: after.evictions - before.evictions,
+                bytes_read: after.bytes_read - before.bytes_read,
+            });
+        }
     }
 
     /// Converts an OQL result value into a `Tab` cell, exporting objects
@@ -196,19 +225,32 @@ impl WrapperServer for O2Wrapper {
     fn handle(&self, request: &Request) -> Response {
         match request {
             Request::GetInterface => Response::Interface(self.interface()),
-            Request::GetDocument { name } => match extent_tree(&self.store(), name) {
-                Some(tree) => Response::Document {
-                    name: name.clone(),
-                    tree,
-                },
-                None => Response::Error(format!("no extent `{name}`")),
-            },
+            Request::GetDocument { name } => {
+                let store = self.store();
+                let before = store.backing_store().map(|s| s.stats());
+                let out = extent_tree(&store, name);
+                self.record_storage(name, before, &store);
+                match out {
+                    Some(tree) => Response::Document {
+                        name: name.clone(),
+                        tree,
+                    },
+                    None => Response::Error(format!("no extent `{name}`")),
+                }
+            }
             Request::Execute { plan } => self.execute(plan),
         }
     }
 
     fn take_index_report(&self) -> Option<IndexReport> {
         self.report.lock().unwrap_or_else(|e| e.into_inner()).take()
+    }
+
+    fn take_storage_report(&self) -> Option<StorageReport> {
+        self.storage
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
     }
 
     fn register_epoch(&self, cell: Arc<AtomicU64>) {
@@ -379,6 +421,35 @@ mod tests {
             Response::Result(tab) => assert_eq!(tab.len(), 3, "only Nympheas' three owners"),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn store_backed_wrapper_reports_storage_and_matches_oracle() {
+        use crate::art::{art_store, art_store_at, ArtSpec};
+        let dir = std::env::temp_dir().join(format!("yat-o2wrap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = ArtSpec::default();
+        let disk = O2Wrapper::new(
+            "o2artifact",
+            art_store_at(&spec, &dir, yat_store::StoreOptions::default()).unwrap(),
+        );
+        let oracle = O2Wrapper::new("o2artifact", art_store(&spec));
+        assert!(disk.take_storage_report().is_none(), "nothing executed yet");
+        let a = disk.handle(&Request::Execute { plan: fig5_plan() });
+        let b = oracle.handle(&Request::Execute { plan: fig5_plan() });
+        match (a, b) {
+            (Response::Result(x), Response::Result(y)) => assert_eq!(x, y),
+            other => panic!("{other:?}"),
+        }
+        let r = disk.take_storage_report().unwrap();
+        assert_eq!(r.collection, "artifacts");
+        assert!(r.segments >= 1);
+        assert!(disk.take_storage_report().is_none(), "taken once");
+        assert!(
+            oracle.take_storage_report().is_none(),
+            "in-memory databases never report storage"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

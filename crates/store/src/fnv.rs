@@ -1,0 +1,78 @@
+//! FNV-1a 64-bit — the per-record and per-manifest checksum.
+//!
+//! Not cryptographic: the store defends against torn writes, truncation
+//! and bit rot, not against an adversary editing files and recomputing
+//! checksums.
+
+/// FNV-1a 64 offset basis.
+const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64 prime.
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hashes one byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// An incremental FNV-1a hasher for streaming validation.
+#[derive(Debug, Clone)]
+pub struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv(OFFSET)
+    }
+}
+
+impl Fnv {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(PRIME);
+        }
+    }
+
+    /// The current digest.
+    pub fn digest(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // standard FNV-1a 64 test vectors
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut f = Fnv::new();
+        f.update(b"foo");
+        f.update(b"bar");
+        assert_eq!(f.digest(), fnv1a(b"foobar"));
+    }
+
+    #[test]
+    fn single_bit_flip_changes_digest() {
+        let a = fnv1a(b"hello world");
+        let b = fnv1a(b"hello worle");
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,97 @@
+//! # yat-store — a crash-safe segmented on-disk document store
+//!
+//! The storage half of "million-document sources": sources mount a
+//! [`DocStore`] instead of materializing their collection in RAM. The
+//! design is deliberately minimal and dependency-free:
+//!
+//! * **Append-only segments** ([`segment`]) — fixed-header files of
+//!   length-prefixed records, each carrying an FNV-1a checksum. Records
+//!   either add a keyed document or tombstone one; nothing is ever
+//!   rewritten in place.
+//! * **An atomically-committed manifest** ([`manifest`]) — the single
+//!   source of truth for which segments are live and how many bytes of
+//!   each are committed. Commits write a temporary file, fsync it and
+//!   `rename(2)` over `MANIFEST`, so a crash leaves either the old or
+//!   the new manifest, never a torn one. The manifest also carries the
+//!   source's **persisted epoch**, so mediator answer caches survive a
+//!   source restart without serving stale answers.
+//! * **Byte-budgeted residency** ([`DocStore`]) — segments load lazily
+//!   and live in an LRU bounded by a configurable byte budget; the
+//!   directory of key → record locations is the only per-document RAM
+//!   the mount keeps.
+//! * **Typed corruption errors** ([`StoreError`]) — a damaged store
+//!   names the segment and byte offset that failed validation; bytes
+//!   past the committed length of the open segment (a torn write) are
+//!   discarded, recovering to the last committed manifest.
+//! * **Sidecar snapshots** ([`sidecar`]) — generation-tagged blobs next
+//!   to the store (index snapshots); a stale or damaged sidecar is
+//!   silently ignored, which turns "load the index" into
+//!   "rebuild the index".
+
+pub mod docstore;
+pub mod fnv;
+pub mod manifest;
+pub mod segment;
+pub mod sidecar;
+
+pub use docstore::{DocStore, StoreOptions, StoreStats};
+pub use manifest::Manifest;
+pub use sidecar::{load_sidecar, save_sidecar};
+
+use std::fmt;
+
+/// A typed storage error. Corruption names the segment and byte offset
+/// that failed validation — the contract the crash-safety fuzz holds
+/// mounts to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// An OS-level I/O failure.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying error text.
+        detail: String,
+    },
+    /// A segment failed validation.
+    Corrupt {
+        /// The damaged segment's id.
+        segment: u64,
+        /// Byte offset within the segment file where validation failed.
+        offset: u64,
+        /// What failed.
+        detail: String,
+    },
+    /// The manifest is missing or failed validation.
+    Manifest {
+        /// What failed.
+        detail: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, detail } => write!(f, "store I/O error at {path}: {detail}"),
+            StoreError::Corrupt {
+                segment,
+                offset,
+                detail,
+            } => write!(
+                f,
+                "store corruption in segment {segment} at offset {offset}: {detail}"
+            ),
+            StoreError::Manifest { detail } => write!(f, "store manifest error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl StoreError {
+    pub(crate) fn io(path: &std::path::Path, e: std::io::Error) -> Self {
+        StoreError::Io {
+            path: path.display().to_string(),
+            detail: e.to_string(),
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! The store manifest: the single source of truth for what is durable.
+//!
+//! A manifest is a small text file:
+//!
+//! ```text
+//! yatmanifest 1
+//! generation 12
+//! epoch 3
+//! segment 0 40976
+//! segment 1 20480
+//! meta collection persons
+//! checksum 1a2b3c4d5e6f7788
+//! ```
+//!
+//! `segment <id> <committed_len>` lists each live segment and how many
+//! bytes of it are durable — a crash mid-append leaves extra bytes past
+//! `committed_len`, which mount discards. `epoch` is the source's
+//! persisted mutation epoch, so mediator caches invalidate across
+//! restarts. The trailing `checksum` is FNV-1a over every prior line;
+//! commits write `MANIFEST.tmp`, fsync, then rename over `MANIFEST`, so
+//! readers observe either the old or the new manifest in full.
+
+use crate::fnv::fnv1a;
+use crate::StoreError;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// The manifest file name inside a store directory.
+pub const FILE_NAME: &str = "MANIFEST";
+/// Manifest format version.
+pub const VERSION: u32 = 1;
+
+/// A decoded manifest.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Manifest {
+    /// Monotone commit counter; bumps on every commit.
+    pub generation: u64,
+    /// The source's persisted mutation epoch.
+    pub epoch: u64,
+    /// Live segments: id → committed byte length (including header).
+    pub segments: BTreeMap<u64, u64>,
+    /// Free-form metadata (collection name, payload codec, …).
+    pub meta: BTreeMap<String, String>,
+}
+
+impl Manifest {
+    /// Serializes to the line format, checksum included.
+    pub fn encode(&self) -> String {
+        let mut body = String::new();
+        body.push_str(&format!("yatmanifest {VERSION}\n"));
+        body.push_str(&format!("generation {}\n", self.generation));
+        body.push_str(&format!("epoch {}\n", self.epoch));
+        for (id, len) in &self.segments {
+            body.push_str(&format!("segment {id} {len}\n"));
+        }
+        for (k, v) in &self.meta {
+            body.push_str(&format!("meta {k} {v}\n"));
+        }
+        let sum = fnv1a(body.as_bytes());
+        format!("{body}checksum {sum:016x}\n")
+    }
+
+    /// Parses the line format, validating the checksum.
+    pub fn decode(text: &str) -> Result<Manifest, StoreError> {
+        let bad = |detail: String| StoreError::Manifest { detail };
+        let Some(sum_at) = text.rfind("checksum ") else {
+            return Err(bad("missing checksum line".into()));
+        };
+        let body = &text[..sum_at];
+        let sum_line = text[sum_at..].trim_end();
+        let stored = sum_line
+            .strip_prefix("checksum ")
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+            .ok_or_else(|| bad(format!("malformed checksum line {sum_line:?}")))?;
+        if fnv1a(body.as_bytes()) != stored {
+            return Err(bad("manifest checksum mismatch".into()));
+        }
+        let mut lines = body.lines();
+        match lines.next() {
+            Some(l) if l == format!("yatmanifest {VERSION}") => {}
+            other => return Err(bad(format!("bad manifest header {other:?}"))),
+        }
+        let mut m = Manifest::default();
+        for line in lines {
+            let mut parts = line.splitn(3, ' ');
+            let word = parts.next().unwrap_or_default();
+            match word {
+                "generation" => {
+                    m.generation = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| bad(format!("malformed line {line:?}")))?;
+                }
+                "epoch" => {
+                    m.epoch = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| bad(format!("malformed line {line:?}")))?;
+                }
+                "segment" => {
+                    let id: u64 = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| bad(format!("malformed line {line:?}")))?;
+                    let len: u64 = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| bad(format!("malformed line {line:?}")))?;
+                    m.segments.insert(id, len);
+                }
+                "meta" => {
+                    let k = parts
+                        .next()
+                        .ok_or_else(|| bad(format!("malformed line {line:?}")))?;
+                    let v = parts.next().unwrap_or_default();
+                    m.meta.insert(k.to_string(), v.to_string());
+                }
+                _ => return Err(bad(format!("unknown manifest line {line:?}"))),
+            }
+        }
+        Ok(m)
+    }
+
+    /// Loads and validates `dir/MANIFEST`.
+    pub fn load(dir: &Path) -> Result<Manifest, StoreError> {
+        let path = dir.join(FILE_NAME);
+        let text = fs::read_to_string(&path).map_err(|e| StoreError::Manifest {
+            detail: format!("cannot read {}: {e}", path.display()),
+        })?;
+        Manifest::decode(&text)
+    }
+
+    /// Commits this manifest atomically: write `MANIFEST.tmp`, fsync,
+    /// rename over `MANIFEST`. Bumps `generation` first.
+    pub fn commit(&mut self, dir: &Path) -> Result<(), StoreError> {
+        self.generation += 1;
+        let tmp = dir.join(format!("{FILE_NAME}.tmp"));
+        let encoded = self.encode();
+        let mut f = fs::File::create(&tmp).map_err(|e| StoreError::io(&tmp, e))?;
+        f.write_all(encoded.as_bytes())
+            .map_err(|e| StoreError::io(&tmp, e))?;
+        f.sync_all().map_err(|e| StoreError::io(&tmp, e))?;
+        drop(f);
+        let dst = dir.join(FILE_NAME);
+        fs::rename(&tmp, &dst).map_err(|e| StoreError::io(&dst, e))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        let mut m = Manifest {
+            generation: 12,
+            epoch: 3,
+            ..Default::default()
+        };
+        m.segments.insert(0, 40976);
+        m.segments.insert(1, 20480);
+        m.meta.insert("collection".into(), "persons".into());
+        m
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let m = sample();
+        assert_eq!(Manifest::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn checksum_damage_is_rejected() {
+        let text = sample().encode();
+        let flipped = text.replace("generation 12", "generation 13");
+        let err = Manifest::decode(&flipped).unwrap_err();
+        assert!(matches!(err, StoreError::Manifest { .. }), "{err}");
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn missing_checksum_is_rejected() {
+        let text = sample().encode();
+        let truncated = &text[..text.rfind("checksum").unwrap()];
+        assert!(Manifest::decode(truncated).is_err());
+    }
+
+    #[test]
+    fn commit_is_atomic_rename() {
+        let dir = std::env::temp_dir().join(format!("yat-manifest-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let mut m = sample();
+        m.commit(&dir).unwrap();
+        assert_eq!(m.generation, 13);
+        let loaded = Manifest::load(&dir).unwrap();
+        assert_eq!(loaded, m);
+        assert!(!dir.join("MANIFEST.tmp").exists(), "tmp renamed away");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_missing_is_manifest_error() {
+        let dir = std::env::temp_dir().join("yat-manifest-test-none");
+        let err = Manifest::load(&dir).unwrap_err();
+        assert!(matches!(err, StoreError::Manifest { .. }), "{err}");
+    }
+}

@@ -1,0 +1,256 @@
+//! The append-only segment file format.
+//!
+//! ```text
+//! +--------------------------------------------------+
+//! | header (20 bytes)                                |
+//! |   magic   "YATSEG01"            8 bytes          |
+//! |   version u32 LE                4 bytes          |
+//! |   id      u64 LE                8 bytes          |
+//! +--------------------------------------------------+
+//! | record*                                          |
+//! |   body_len  u32 LE              4 bytes          |
+//! |   body                          body_len bytes   |
+//! |     kind     u8   (0=add, 1=tombstone)           |
+//! |     key_len  u32 LE                              |
+//! |     key      key_len bytes                       |
+//! |     payload  rest of body                        |
+//! |   checksum  u64 LE = fnv1a(body)                 |
+//! +--------------------------------------------------+
+//! ```
+//!
+//! Records are only ever appended; a document update appends a new `add`
+//! under the same key and a delete appends a `tombstone`. The manifest's
+//! committed length tells readers where durable data ends — anything
+//! after it is a torn write and is discarded at mount.
+
+use crate::fnv::fnv1a;
+
+/// Segment file magic.
+pub const MAGIC: [u8; 8] = *b"YATSEG01";
+/// Segment format version.
+pub const VERSION: u32 = 1;
+/// Header length in bytes.
+pub const HEADER_LEN: u64 = 20;
+
+/// Record kind: a keyed document.
+pub const KIND_ADD: u8 = 0;
+/// Record kind: a key's tombstone.
+pub const KIND_TOMBSTONE: u8 = 1;
+
+/// The file name of segment `id` (fixed-width so listings sort).
+pub fn file_name(id: u64) -> String {
+    format!("seg-{id:08}.yat")
+}
+
+/// Encodes a segment header.
+pub fn header(id: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN as usize);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&id.to_le_bytes());
+    out
+}
+
+/// A validation failure at a byte offset (the caller adds the segment
+/// id and converts to [`crate::StoreError::Corrupt`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Damage {
+    /// Byte offset of the failure within the file.
+    pub offset: u64,
+    /// What failed.
+    pub detail: String,
+}
+
+/// Checks a segment header against the expected id.
+pub fn check_header(bytes: &[u8], expected_id: u64) -> Result<(), Damage> {
+    if bytes.len() < HEADER_LEN as usize {
+        return Err(Damage {
+            offset: bytes.len() as u64,
+            detail: format!("file is {} bytes, shorter than the header", bytes.len()),
+        });
+    }
+    if bytes[..8] != MAGIC {
+        return Err(Damage {
+            offset: 0,
+            detail: "bad magic".into(),
+        });
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(Damage {
+            offset: 8,
+            detail: format!("unsupported format version {version}"),
+        });
+    }
+    let id = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+    if id != expected_id {
+        return Err(Damage {
+            offset: 12,
+            detail: format!("header names segment {id}, manifest expected {expected_id}"),
+        });
+    }
+    Ok(())
+}
+
+/// Encodes one record (length prefix + body + checksum).
+pub fn encode_record(kind: u8, key: &[u8], payload: &[u8]) -> Vec<u8> {
+    let body_len = 1 + 4 + key.len() + payload.len();
+    let mut out = Vec::with_capacity(4 + body_len + 8);
+    out.extend_from_slice(&(body_len as u32).to_le_bytes());
+    out.push(kind);
+    out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    out.extend_from_slice(key);
+    out.extend_from_slice(payload);
+    let body = &out[4..];
+    out.extend_from_slice(&fnv1a(body).to_le_bytes());
+    out
+}
+
+/// A decoded record, borrowing the segment bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record<'a> {
+    /// [`KIND_ADD`] or [`KIND_TOMBSTONE`].
+    pub kind: u8,
+    /// The document key.
+    pub key: &'a [u8],
+    /// The document payload (empty for tombstones).
+    pub payload: &'a [u8],
+    /// Offset of the record's length prefix within the file.
+    pub offset: u64,
+    /// Total encoded length (prefix + body + checksum).
+    pub len: u64,
+}
+
+/// Decodes the record starting at `offset`, validating its checksum.
+/// `limit` is the committed length — a record must fit entirely below
+/// it. Returns `None` at exactly `limit`.
+pub fn decode_record(bytes: &[u8], offset: u64, limit: u64) -> Result<Option<Record<'_>>, Damage> {
+    if offset == limit {
+        return Ok(None);
+    }
+    let damage = |detail: String| Damage { offset, detail };
+    if offset + 4 > limit {
+        return Err(damage(format!(
+            "{} trailing bytes cannot hold a record length",
+            limit - offset
+        )));
+    }
+    let at = offset as usize;
+    let body_len = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes")) as u64;
+    let total = 4 + body_len + 8;
+    if body_len < 5 || offset + total > limit {
+        return Err(damage(format!(
+            "record length {body_len} exceeds the committed region (committed {limit})"
+        )));
+    }
+    let body = &bytes[at + 4..at + 4 + body_len as usize];
+    let stored = u64::from_le_bytes(
+        bytes[at + 4 + body_len as usize..at + total as usize]
+            .try_into()
+            .expect("8 bytes"),
+    );
+    if fnv1a(body) != stored {
+        return Err(damage("record checksum mismatch".into()));
+    }
+    let kind = body[0];
+    if kind != KIND_ADD && kind != KIND_TOMBSTONE {
+        return Err(damage(format!("unknown record kind {kind}")));
+    }
+    let key_len = u32::from_le_bytes(body[1..5].try_into().expect("4 bytes")) as usize;
+    if 5 + key_len > body.len() {
+        return Err(damage(format!(
+            "key length {key_len} exceeds the record body"
+        )));
+    }
+    Ok(Some(Record {
+        kind,
+        key: &body[5..5 + key_len],
+        payload: &body[5 + key_len..],
+        offset,
+        len: total,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn segment_with(records: &[(u8, &[u8], &[u8])]) -> Vec<u8> {
+        let mut bytes = header(7);
+        for (kind, key, payload) in records {
+            bytes.extend_from_slice(&encode_record(*kind, key, payload));
+        }
+        bytes
+    }
+
+    #[test]
+    fn header_round_trips() {
+        let h = header(7);
+        assert_eq!(h.len() as u64, HEADER_LEN);
+        check_header(&h, 7).unwrap();
+        assert!(check_header(&h, 8).is_err(), "wrong id is rejected");
+        assert!(check_header(&h[..10], 7).is_err(), "short header");
+        let mut bad = h.clone();
+        bad[0] ^= 0xFF;
+        assert!(check_header(&bad, 7).is_err(), "bad magic");
+    }
+
+    #[test]
+    fn records_round_trip() {
+        let bytes = segment_with(&[
+            (KIND_ADD, b"k1", b"hello"),
+            (KIND_TOMBSTONE, b"k1", b""),
+            (KIND_ADD, b"k2", b"world"),
+        ]);
+        let limit = bytes.len() as u64;
+        let mut offset = HEADER_LEN;
+        let mut seen = Vec::new();
+        while let Some(r) = decode_record(&bytes, offset, limit).unwrap() {
+            seen.push((r.kind, r.key.to_vec(), r.payload.to_vec()));
+            offset = r.offset + r.len;
+        }
+        assert_eq!(
+            seen,
+            vec![
+                (KIND_ADD, b"k1".to_vec(), b"hello".to_vec()),
+                (KIND_TOMBSTONE, b"k1".to_vec(), b"".to_vec()),
+                (KIND_ADD, b"k2".to_vec(), b"world".to_vec()),
+            ]
+        );
+    }
+
+    #[test]
+    fn bit_flip_is_named_by_offset() {
+        let mut bytes = segment_with(&[(KIND_ADD, b"k1", b"hello")]);
+        let limit = bytes.len() as u64;
+        // flip a payload bit
+        let n = bytes.len();
+        bytes[n - 10] ^= 0x01;
+        let err = decode_record(&bytes, HEADER_LEN, limit).unwrap_err();
+        assert_eq!(err.offset, HEADER_LEN);
+        assert!(err.detail.contains("checksum"), "{}", err.detail);
+    }
+
+    #[test]
+    fn truncation_within_committed_region_is_damage() {
+        let bytes = segment_with(&[(KIND_ADD, b"k1", b"hello")]);
+        let limit = bytes.len() as u64;
+        // the committed region claims 3 bytes past the last record —
+        // too short to hold another record's length prefix
+        let err = decode_record(&bytes, limit, limit + 3).unwrap_err();
+        assert!(err.detail.contains("trailing"), "{}", err.detail);
+        // a short tail that cannot hold a length prefix
+        let err = decode_record(&bytes, limit - 2, limit).unwrap_err();
+        assert!(err.detail.contains("record length"), "{}", err.detail);
+    }
+
+    #[test]
+    fn exactly_at_limit_is_end() {
+        let bytes = segment_with(&[(KIND_ADD, b"k", b"v")]);
+        let limit = bytes.len() as u64;
+        let r = decode_record(&bytes, HEADER_LEN, limit).unwrap().unwrap();
+        assert!(decode_record(&bytes, r.offset + r.len, limit)
+            .unwrap()
+            .is_none());
+    }
+}

@@ -1,0 +1,111 @@
+//! Generation-tagged sidecar blobs: index snapshots saved next to the
+//! store so a remount can load instead of rebuild.
+//!
+//! Format: magic `"YATSIDE1"`, u64 LE generation, u64 LE FNV-1a of the
+//! payload, payload. A sidecar whose generation does not match the
+//! manifest's — or whose checksum fails — is simply ignored, which
+//! turns "load the index" into "rebuild the index". Sidecars are an
+//! optimization, never a source of truth.
+
+use crate::fnv::fnv1a;
+use crate::StoreError;
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+const MAGIC: [u8; 8] = *b"YATSIDE1";
+
+/// Saves `payload` as `dir/<name>.sidecar`, stamped with `generation`.
+/// Written via tmp + rename so a crash never leaves a torn sidecar.
+pub fn save_sidecar(
+    dir: &Path,
+    name: &str,
+    generation: u64,
+    payload: &[u8],
+) -> Result<(), StoreError> {
+    let mut bytes = Vec::with_capacity(24 + payload.len());
+    bytes.extend_from_slice(&MAGIC);
+    bytes.extend_from_slice(&generation.to_le_bytes());
+    bytes.extend_from_slice(&fnv1a(payload).to_le_bytes());
+    bytes.extend_from_slice(payload);
+    let tmp = dir.join(format!("{name}.sidecar.tmp"));
+    let dst = dir.join(format!("{name}.sidecar"));
+    let mut f = fs::File::create(&tmp).map_err(|e| StoreError::io(&tmp, e))?;
+    f.write_all(&bytes).map_err(|e| StoreError::io(&tmp, e))?;
+    f.sync_all().map_err(|e| StoreError::io(&tmp, e))?;
+    drop(f);
+    fs::rename(&tmp, &dst).map_err(|e| StoreError::io(&dst, e))?;
+    Ok(())
+}
+
+/// Loads `dir/<name>.sidecar` if it exists, is intact and was stamped
+/// with exactly `generation`. Any mismatch returns `None` — the caller
+/// rebuilds.
+pub fn load_sidecar(dir: &Path, name: &str, generation: u64) -> Option<Vec<u8>> {
+    let path = dir.join(format!("{name}.sidecar"));
+    let bytes = fs::read(path).ok()?;
+    if bytes.len() < 24 || bytes[..8] != MAGIC {
+        return None;
+    }
+    let stamped = u64::from_le_bytes(bytes[8..16].try_into().ok()?);
+    if stamped != generation {
+        return None;
+    }
+    let sum = u64::from_le_bytes(bytes[16..24].try_into().ok()?);
+    let payload = &bytes[24..];
+    if fnv1a(payload) != sum {
+        return None;
+    }
+    Some(payload.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("yat-sidecar-{tag}-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn round_trip_on_matching_generation() {
+        let dir = temp_dir("rt");
+        save_sidecar(&dir, "wais.index", 7, b"snapshot bytes").unwrap();
+        assert_eq!(
+            load_sidecar(&dir, "wais.index", 7).as_deref(),
+            Some(&b"snapshot bytes"[..])
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_generation_is_ignored() {
+        let dir = temp_dir("stale");
+        save_sidecar(&dir, "idx", 7, b"old").unwrap();
+        assert_eq!(load_sidecar(&dir, "idx", 8), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn damage_is_ignored() {
+        let dir = temp_dir("dmg");
+        save_sidecar(&dir, "idx", 1, b"precious").unwrap();
+        let path = dir.join("idx.sidecar");
+        let mut bytes = fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(load_sidecar(&dir, "idx", 1), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_is_none() {
+        let dir = temp_dir("none");
+        assert_eq!(load_sidecar(&dir, "nope", 0), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

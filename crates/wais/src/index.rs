@@ -114,6 +114,80 @@ impl InvertedIndex {
     pub fn posting_count(&self) -> usize {
         self.postings.values().map(|p| p.len()).sum()
     }
+
+    /// Serializes the index for a store sidecar snapshot (all integers
+    /// little-endian): `size:u64 field_count:u32 (field:str
+    /// token_count:u32 (token:str len:u32 id:u64*)*)*`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        fn put_str(s: &str, out: &mut Vec<u8>) {
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.size as u64).to_le_bytes());
+        out.extend_from_slice(&(self.postings.len() as u32).to_le_bytes());
+        for (field, tokens) in &self.postings {
+            put_str(field, &mut out);
+            out.extend_from_slice(&(tokens.len() as u32).to_le_bytes());
+            for (token, list) in tokens {
+                put_str(token, &mut out);
+                out.extend_from_slice(&(list.len() as u32).to_le_bytes());
+                for &id in list {
+                    out.extend_from_slice(&(id as u64).to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Deserializes a [`InvertedIndex::to_bytes`] snapshot. Any damage
+    /// returns `None` — the caller rebuilds from the documents (the
+    /// snapshot is an optimization, never a source of truth).
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        fn take<'a>(bytes: &'a [u8], at: &mut usize, n: usize) -> Option<&'a [u8]> {
+            let end = at.checked_add(n).filter(|&e| e <= bytes.len())?;
+            let s = &bytes[*at..end];
+            *at = end;
+            Some(s)
+        }
+        fn take_u32(bytes: &[u8], at: &mut usize) -> Option<u32> {
+            Some(u32::from_le_bytes(take(bytes, at, 4)?.try_into().ok()?))
+        }
+        fn take_str(bytes: &[u8], at: &mut usize) -> Option<String> {
+            let len = take_u32(bytes, at)? as usize;
+            String::from_utf8(take(bytes, at, len)?.to_vec()).ok()
+        }
+        let mut at = 0usize;
+        let size = u64::from_le_bytes(take(bytes, &mut at, 8)?.try_into().ok()?) as usize;
+        let field_count = take_u32(bytes, &mut at)? as usize;
+        let mut postings: BTreeMap<String, BTreeMap<String, Vec<DocId>>> = BTreeMap::new();
+        for _ in 0..field_count {
+            let field = take_str(bytes, &mut at)?;
+            let token_count = take_u32(bytes, &mut at)? as usize;
+            let mut tokens: BTreeMap<String, Vec<DocId>> = BTreeMap::new();
+            for _ in 0..token_count {
+                let token = take_str(bytes, &mut at)?;
+                let len = take_u32(bytes, &mut at)? as usize;
+                if len > (bytes.len() - at) / 8 {
+                    return None;
+                }
+                let mut list = Vec::with_capacity(len);
+                for _ in 0..len {
+                    let id = u64::from_le_bytes(take(bytes, &mut at, 8)?.try_into().ok()?) as DocId;
+                    if list.last().is_some_and(|&last| last >= id) {
+                        return None; // posting lists are strictly ascending
+                    }
+                    list.push(id);
+                }
+                tokens.insert(token, list);
+            }
+            postings.insert(field, tokens);
+        }
+        if at != bytes.len() {
+            return None;
+        }
+        Some(InvertedIndex { postings, size })
+    }
 }
 
 /// Merges two ascending posting lists into their intersection — the
@@ -258,6 +332,25 @@ mod tests {
         );
         assert!(intersect_sorted(&[1, 2], &[3, 4]).is_empty());
         assert!(intersect_sorted(&[], &[1]).is_empty());
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let idx = index();
+        let bytes = idx.to_bytes();
+        let back = InvertedIndex::from_bytes(&bytes).unwrap();
+        assert_eq!(back.len(), idx.len());
+        assert_eq!(back.posting_count(), idx.posting_count());
+        assert_eq!(back.contains("Giverny"), idx.contains("Giverny"));
+        assert_eq!(
+            back.lookup("artist", "Monet"),
+            idx.lookup("artist", "Monet")
+        );
+        // damage returns None rather than a wrong index
+        assert!(InvertedIndex::from_bytes(&bytes[..bytes.len() - 3]).is_none());
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(InvertedIndex::from_bytes(&extra).is_none());
     }
 
     #[test]

@@ -2,10 +2,12 @@
 
 use crate::index::{tokenize, DocId, InvertedIndex};
 use std::collections::BTreeSet;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use yat_capability::IndexPolicy;
-use yat_model::{Label, Node, Tree};
+use yat_model::{decode_tree, encode_tree, Label, Node, Tree};
+use yat_store::{load_sidecar, save_sidecar, DocStore, StoreError, StoreOptions};
 
 /// The Z39.50-style field policy: "a clear separation between what you
 /// may retrieve and what you may query" (Section 4.2). `None` means
@@ -60,14 +62,47 @@ impl FieldPolicy {
 pub struct WaisSource {
     /// The collection name (`works`).
     pub collection: String,
-    docs: Vec<Option<Tree>>,
-    live: usize,
+    bank: DocBank,
     index: InvertedIndex,
     policy: FieldPolicy,
     index_policy: IndexPolicy,
     /// Epoch cells to bump on mutation (clones share them).
     epochs: Vec<Arc<AtomicU64>>,
 }
+
+/// Where the documents live: RAM slots (the oracle) or a mounted
+/// persistent store keyed by big-endian doc id.
+#[derive(Debug, Clone)]
+enum DocBank {
+    Mem {
+        docs: Vec<Option<Tree>>,
+        live: usize,
+    },
+    Disk {
+        store: Arc<DocStore>,
+        /// Next id to assign (tombstoned slots are never reused, so this
+        /// is persisted in the manifest's `slots` meta, not derived from
+        /// the live keys).
+        slots: u64,
+        /// The persisted mutation epoch (mirrors the manifest).
+        epoch: u64,
+    },
+}
+
+/// The store key of a document id — big-endian so the store's key order
+/// is ascending id order.
+fn id_key(id: DocId) -> [u8; 8] {
+    (id as u64).to_be_bytes()
+}
+
+fn key_id(key: &[u8]) -> DocId {
+    let mut raw = [0u8; 8];
+    raw[8 - key.len().min(8)..].copy_from_slice(&key[..key.len().min(8)]);
+    u64::from_be_bytes(raw) as DocId
+}
+
+/// The sidecar name of the persisted inverted-index snapshot.
+const INDEX_SIDECAR: &str = "wais.index";
 
 impl WaisSource {
     /// Indexes a `works[work..]` document under the given collection
@@ -80,12 +115,90 @@ impl WaisSource {
         }
         WaisSource {
             collection: collection.into(),
-            live: docs.len(),
-            docs,
+            bank: DocBank::Mem {
+                live: docs.len(),
+                docs,
+            },
             index,
             policy: FieldPolicy::open(),
             index_policy: IndexPolicy::from_env(),
             epochs: Vec::new(),
+        }
+    }
+
+    /// A store-backed source at `dir`. A fresh directory is populated
+    /// from `root` (one bulk commit, index snapshot saved as a sidecar);
+    /// an existing store mounts instead and `root` is ignored — the
+    /// durable documents win. Mounting validates every committed byte
+    /// and loads the index sidecar when its generation matches,
+    /// rebuilding it from the documents otherwise.
+    pub fn open_store(
+        collection: impl Into<String>,
+        root: &Tree,
+        dir: &Path,
+        opts: StoreOptions,
+    ) -> Result<Self, StoreError> {
+        let collection = collection.into();
+        let store = DocStore::open_or_create(dir, opts)?;
+        let mut index = InvertedIndex::default();
+        let (slots, epoch);
+        if store.meta("slots").is_none() {
+            // fresh store: bulk-load the documents, one commit
+            for (id, doc) in root.children.iter().enumerate() {
+                store.put(&id_key(id), &encode_tree(doc))?;
+                index.add(id, doc);
+            }
+            store.set_meta("slots", &root.children.len().to_string());
+            store.set_meta("collection", &collection);
+            store.commit(0)?;
+            slots = root.children.len() as u64;
+            epoch = 0;
+            let _ = save_sidecar(dir, INDEX_SIDECAR, store.generation(), &index.to_bytes());
+        } else {
+            slots = store
+                .meta("slots")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(store.len() as u64);
+            epoch = store.epoch();
+            index = match load_sidecar(dir, INDEX_SIDECAR, store.generation())
+                .and_then(|bytes| InvertedIndex::from_bytes(&bytes))
+            {
+                Some(snapshot) => snapshot,
+                None => {
+                    // stale or damaged sidecar: rebuild from the documents
+                    let mut rebuilt = InvertedIndex::default();
+                    store.scan(|key, payload| {
+                        let doc = decode_tree(payload).map_err(|e| StoreError::Manifest {
+                            detail: format!("undecodable document {:?}: {e}", key_id(key)),
+                        })?;
+                        rebuilt.add(key_id(key), &doc);
+                        Ok(())
+                    })?;
+                    let _ =
+                        save_sidecar(dir, INDEX_SIDECAR, store.generation(), &rebuilt.to_bytes());
+                    rebuilt
+                }
+            };
+        }
+        Ok(WaisSource {
+            collection,
+            bank: DocBank::Disk {
+                store: Arc::new(store),
+                slots,
+                epoch,
+            },
+            index,
+            policy: FieldPolicy::open(),
+            index_policy: IndexPolicy::from_env(),
+            epochs: Vec::new(),
+        })
+    }
+
+    /// The persistent store backing this source, if store-backed.
+    pub fn store(&self) -> Option<&Arc<DocStore>> {
+        match &self.bank {
+            DocBank::Mem { .. } => None,
+            DocBank::Disk { store, .. } => Some(store),
         }
     }
 
@@ -113,29 +226,79 @@ impl WaisSource {
 
     /// Registers an epoch cell to bump whenever the collection mutates
     /// (the mediator hands over its connection's cell at connect time).
+    /// A store-backed source first raises the cell to its *persisted*
+    /// epoch, so cache entries recorded before a restart-with-mutations
+    /// can never validate against a remounted source.
     pub fn register_epoch(&mut self, cell: Arc<AtomicU64>) {
+        if let DocBank::Disk { epoch, .. } = &self.bank {
+            cell.fetch_max(*epoch, Ordering::SeqCst);
+        }
         self.epochs.push(cell);
     }
 
     /// Adds a document to the collection: indexes it, bumps registered
-    /// epochs, returns its id.
+    /// epochs (store-backed sources also commit, persisting the new
+    /// epoch), returns its id.
     pub fn add_document(&mut self, doc: Tree) -> DocId {
-        let id = self.docs.len();
+        let id = match &mut self.bank {
+            DocBank::Mem { docs, live } => {
+                let id = docs.len();
+                docs.push(Some(doc.clone()));
+                *live += 1;
+                id
+            }
+            DocBank::Disk {
+                store,
+                slots,
+                epoch,
+            } => {
+                let id = *slots as DocId;
+                *slots += 1;
+                *epoch += 1;
+                store
+                    .put(&id_key(id), &encode_tree(&doc))
+                    .unwrap_or_else(|e| panic!("wais store write failed: {e}"));
+                store.set_meta("slots", &slots.to_string());
+                store
+                    .commit(*epoch)
+                    .unwrap_or_else(|e| panic!("wais store commit failed: {e}"));
+                id
+            }
+        };
         self.index.add(id, &doc);
-        self.docs.push(Some(doc));
-        self.live += 1;
         self.bump_epochs();
         id
     }
 
     /// Removes a document by id: tombstones its slot (ids stay stable),
     /// patches the posting lists its tokens touched, bumps registered
-    /// epochs. Returns the removed document, or `None` for an unknown or
+    /// epochs (store-backed sources also commit, persisting the new
+    /// epoch). Returns the removed document, or `None` for an unknown or
     /// already-removed id.
     pub fn remove_document(&mut self, id: DocId) -> Option<Tree> {
-        let doc = self.docs.get_mut(id)?.take()?;
+        let doc = match &mut self.bank {
+            DocBank::Mem { docs, live } => {
+                let doc = docs.get_mut(id)?.take()?;
+                *live -= 1;
+                doc
+            }
+            DocBank::Disk { store, epoch, .. } => {
+                let payload = store
+                    .get(&id_key(id))
+                    .unwrap_or_else(|e| panic!("wais store read failed: {e}"))?;
+                let doc = decode_tree(&payload)
+                    .unwrap_or_else(|e| panic!("wais store payload undecodable: {e}"));
+                *epoch += 1;
+                store
+                    .remove(&id_key(id))
+                    .unwrap_or_else(|e| panic!("wais store write failed: {e}"));
+                store
+                    .commit(*epoch)
+                    .unwrap_or_else(|e| panic!("wais store commit failed: {e}"));
+                doc
+            }
+        };
         self.index.remove(id, &doc);
-        self.live -= 1;
         self.bump_epochs();
         Some(doc)
     }
@@ -148,19 +311,43 @@ impl WaisSource {
 
     /// Number of live documents.
     pub fn len(&self) -> usize {
-        self.live
+        match &self.bank {
+            DocBank::Mem { live, .. } => *live,
+            DocBank::Disk { store, .. } => store.len(),
+        }
     }
 
     /// True when the collection is empty.
     pub fn is_empty(&self) -> bool {
-        self.live == 0
+        self.len() == 0
     }
 
     /// Ids of all live documents, ascending.
     pub fn ids(&self) -> Vec<DocId> {
-        (0..self.docs.len())
-            .filter(|&i| self.docs[i].is_some())
-            .collect()
+        match &self.bank {
+            DocBank::Mem { docs, .. } => (0..docs.len()).filter(|&i| docs[i].is_some()).collect(),
+            DocBank::Disk { store, .. } => {
+                let mut ids: Vec<DocId> = store.keys().iter().map(|k| key_id(k)).collect();
+                ids.sort_unstable();
+                ids
+            }
+        }
+    }
+
+    /// One live document, straight from the bank (no retrieval policy).
+    fn doc(&self, id: DocId) -> Option<Tree> {
+        match &self.bank {
+            DocBank::Mem { docs, .. } => docs.get(id)?.clone(),
+            DocBank::Disk { store, .. } => {
+                let payload = store
+                    .get(&id_key(id))
+                    .unwrap_or_else(|e| panic!("wais store read failed: {e}"))?;
+                Some(
+                    decode_tree(&payload)
+                        .unwrap_or_else(|e| panic!("wais store payload undecodable: {e}")),
+                )
+            }
+        }
     }
 
     /// The whole collection as one tree, with the retrieval policy
@@ -168,15 +355,18 @@ impl WaisSource {
     pub fn document(&self) -> Tree {
         Node::sym(
             self.collection.clone(),
-            (0..self.docs.len()).filter_map(|i| self.fetch(i)).collect(),
+            self.ids()
+                .into_iter()
+                .filter_map(|i| self.fetch(i))
+                .collect(),
         )
     }
 
     /// One document by id, policy applied.
     pub fn fetch(&self, id: DocId) -> Option<Tree> {
-        let doc = self.docs.get(id)?.as_ref()?;
+        let doc = self.doc(id)?;
         match &self.policy.retrievable {
-            None => Some(doc.clone()),
+            None => Some(doc),
             Some(allowed) => Some(Node::sym(
                 doc.label.as_sym().unwrap_or("work").to_string(),
                 doc.children
@@ -234,11 +424,11 @@ impl WaisSource {
         if tokens.is_empty() {
             return Vec::new();
         }
-        (0..self.docs.len())
+        self.ids()
+            .into_iter()
             .filter(|&id| {
-                self.docs[id]
-                    .as_ref()
-                    .is_some_and(|doc| tokens.iter().all(|t| doc_has_token(doc, field, t)))
+                self.doc(id)
+                    .is_some_and(|doc| tokens.iter().all(|t| doc_has_token(&doc, field, t)))
             })
             .collect()
     }
@@ -343,6 +533,69 @@ mod tests {
                 "lookup({field}, {needle:?}) diverges"
             );
         }
+    }
+
+    #[test]
+    fn store_backed_source_is_byte_identical_and_survives_remount() {
+        let dir = std::env::temp_dir().join(format!("yat-wais-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let works = fig1_works();
+        let mem = WaisSource::new("works", &works);
+        let disk = WaisSource::open_store("works", &works, &dir, StoreOptions::default()).unwrap();
+        assert_eq!(disk.len(), mem.len());
+        assert_eq!(disk.document(), mem.document());
+        assert_eq!(
+            disk.contains("Giverny").unwrap(),
+            mem.contains("Giverny").unwrap()
+        );
+        // scan oracle agrees with the index on the store-backed path too
+        let disk_scan = disk.clone().with_index_policy(IndexPolicy::Off);
+        assert_eq!(
+            disk.contains("Impressionist").unwrap(),
+            disk_scan.contains("Impressionist").unwrap()
+        );
+        drop(disk);
+        drop(disk_scan);
+
+        // remount: root is ignored, the durable documents win
+        let empty = Node::sym("works", vec![]);
+        let remounted =
+            WaisSource::open_store("works", &empty, &dir, StoreOptions::default()).unwrap();
+        assert_eq!(remounted.document(), mem.document());
+        assert_eq!(
+            remounted.contains("Giverny").unwrap(),
+            mem.contains("Giverny").unwrap()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn store_backed_mutations_persist_epochs() {
+        let dir = std::env::temp_dir().join(format!("yat-wais-epoch-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let works = fig1_works();
+        let mut s = WaisSource::open_store("works", &works, &dir, StoreOptions::default()).unwrap();
+        let cell = Arc::new(AtomicU64::new(0));
+        s.register_epoch(cell.clone());
+        assert_eq!(cell.load(Ordering::SeqCst), 0, "fresh store: epoch 0");
+
+        let removed = s.remove_document(0).unwrap();
+        assert_eq!(cell.load(Ordering::SeqCst), 1);
+        let id = s.add_document(removed);
+        assert_eq!(id, 2, "tombstoned slots are never reused across the store");
+        drop(s);
+
+        // a remount sees the persisted epoch...
+        let empty = Node::sym("works", vec![]);
+        let mut s2 =
+            WaisSource::open_store("works", &empty, &dir, StoreOptions::default()).unwrap();
+        assert_eq!(s2.ids(), vec![1, 2]);
+        // ...and raises a freshly registered cell to it
+        let fresh = Arc::new(AtomicU64::new(0));
+        s2.register_epoch(fresh.clone());
+        assert_eq!(fresh.load(Ordering::SeqCst), 2);
+        assert_eq!(s2.contains("Giverny").unwrap(), vec![2]);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

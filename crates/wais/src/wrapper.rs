@@ -12,7 +12,7 @@ use yat_capability::interface::{
     Equivalence, ExportDecl, Interface, OpKind, OperationDecl, SigItem,
 };
 use yat_capability::protocol::{Request, Response, WrapperServer};
-use yat_capability::IndexReport;
+use yat_capability::{IndexReport, StorageReport};
 use yat_model::{AtomType, Edge, Model, Occ, PLabel, Pattern, StarBind};
 
 /// The xmlwais wrapper: a [`WrapperServer`] over a [`WaisSource`].
@@ -27,6 +27,9 @@ pub struct WaisWrapper {
     /// Index accounting of the most recent `Execute`, taken by the
     /// transport for `EXPLAIN ANALYZE` (never on the wire).
     report: Mutex<Option<IndexReport>>,
+    /// Storage accounting of the most recent `Execute` or `GetDocument`
+    /// (store-backed sources only), taken the same way.
+    storage: Mutex<Option<StorageReport>>,
 }
 
 impl WaisWrapper {
@@ -43,6 +46,7 @@ impl WaisWrapper {
             name: name.into(),
             source,
             report: Mutex::new(None),
+            storage: Mutex::new(None),
         }
     }
 
@@ -144,6 +148,7 @@ impl WaisWrapper {
     /// the accounting lands in an [`IndexReport`] either way.
     fn execute(&self, plan: &Alg) -> Response {
         let source = self.source();
+        let storage_before = source.store().map(|s| s.stats());
         let mut needles: Vec<String> = Vec::new();
         let doc_var: String;
         let mut cursor = plan;
@@ -243,7 +248,25 @@ impl WaisWrapper {
             collection_size,
             rows: tab.len() as u64,
         });
+        self.record_storage(&source, storage_before);
         Response::Result(tab)
+    }
+
+    /// Files a [`StorageReport`] for work that just touched the source,
+    /// when it is store-backed: `before` is the counter snapshot taken
+    /// before the work, so the deltas cover exactly this request.
+    fn record_storage(&self, source: &WaisSource, before: Option<yat_store::StoreStats>) {
+        if let (Some(before), Some(store)) = (before, source.store()) {
+            let after = store.stats();
+            *self.storage.lock().unwrap_or_else(|e| e.into_inner()) = Some(StorageReport {
+                collection: source.collection.clone(),
+                segments: after.segments,
+                resident: after.resident,
+                loads: after.loads - before.loads,
+                evictions: after.evictions - before.evictions,
+                bytes_read: after.bytes_read - before.bytes_read,
+            });
+        }
     }
 }
 
@@ -290,9 +313,12 @@ impl WrapperServer for WaisWrapper {
             Request::GetDocument { name } => {
                 let source = self.source();
                 if *name == source.collection {
+                    let before = source.store().map(|s| s.stats());
+                    let tree = source.document();
+                    self.record_storage(&source, before);
                     Response::Document {
                         name: name.clone(),
-                        tree: source.document(),
+                        tree,
                     }
                 } else {
                     Response::Error(format!("no collection `{name}`"))
@@ -304,6 +330,13 @@ impl WrapperServer for WaisWrapper {
 
     fn take_index_report(&self) -> Option<IndexReport> {
         self.report.lock().unwrap_or_else(|e| e.into_inner()).take()
+    }
+
+    fn take_storage_report(&self) -> Option<StorageReport> {
+        self.storage
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
     }
 
     fn register_epoch(&self, cell: Arc<AtomicU64>) {
@@ -503,6 +536,46 @@ mod tests {
             Response::Document { tree, .. } => assert_eq!(tree.children.len(), 3),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn store_backed_wrapper_reports_storage_and_matches_oracle() {
+        let dir = std::env::temp_dir().join(format!("yat-waiswrap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let disk = WaisWrapper::new(
+            "xmlartwork",
+            WaisSource::open_store(
+                "works",
+                &fig1_works(),
+                &dir,
+                yat_store::StoreOptions::default(),
+            )
+            .unwrap(),
+        );
+        let oracle = wrapper();
+        let plan = Alg::select(
+            Alg::bind(Alg::source("works"), parse_filter("works *$w").unwrap()),
+            Pred::Call {
+                name: "contains".into(),
+                args: vec![Operand::var("w"), Operand::cst("Giverny")],
+            },
+        );
+        assert!(disk.take_storage_report().is_none(), "nothing executed yet");
+        let a = disk.handle(&Request::Execute { plan: plan.clone() });
+        let b = oracle.handle(&Request::Execute { plan });
+        match (a, b) {
+            (Response::Result(x), Response::Result(y)) => assert_eq!(x, y),
+            other => panic!("{other:?}"),
+        }
+        let r = disk.take_storage_report().unwrap();
+        assert_eq!(r.collection, "works");
+        assert!(r.segments >= 1);
+        assert!(disk.take_storage_report().is_none(), "taken once");
+        assert!(
+            oracle.take_storage_report().is_none(),
+            "in-memory sources never report storage"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

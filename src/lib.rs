@@ -14,6 +14,7 @@
 //! | [`yat_oql`] | ODMG object store + OQL + the O2 wrapper |
 //! | [`yat_wais`] | full-text XML source + the xmlwais wrapper |
 //! | [`yat_cache`] | cross-query semantic answer cache |
+//! | [`yat_store`] | persistent segmented document store |
 //! | [`yat_mediator`] | composition, the 3-round optimizer, execution |
 //! | [`yat_server`] | the mediator served over TCP: admission control, worker pool |
 
@@ -24,6 +25,7 @@ pub use yat_mediator;
 pub use yat_model;
 pub use yat_oql;
 pub use yat_server;
+pub use yat_store;
 pub use yat_wais;
 pub use yat_xml;
 pub use yat_yatl;

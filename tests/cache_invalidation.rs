@@ -96,6 +96,89 @@ WHERE $cl = "Atlantis"
     assert_eq!((m.traffic() - before).round_trips, 0, "warm after mutation");
 }
 
+/// A source restart must not resurrect cached answers: a store-backed
+/// source is mutated *offline* (through an independent mount the
+/// mediator never saw), remounted, and re-synced — the remount raises
+/// the connection's epoch cell to the store's persisted epoch, so the
+/// bounded cache refuses the pre-restart entry and the next query
+/// re-ships fresh data.
+#[test]
+fn remounted_store_invalidates_cached_answers() {
+    use yat::yat_store::StoreOptions;
+    let dir = std::env::temp_dir().join(format!("yat-remount-inval-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let wais = Arc::new(RwLock::new(
+        WaisSource::open_store("works", &fig1_works(), &dir, StoreOptions::default())
+            .expect("fresh store populates"),
+    ));
+    let o2 = Arc::new(RwLock::new(fig1_store()));
+    let mut m = Mediator::new();
+    m.connect(Box::new(O2Wrapper::new_shared("o2artifact", o2)))
+        .expect("fresh mediator accepts the O2 wrapper");
+    m.connect(Box::new(WaisWrapper::new_shared(
+        "xmlartwork",
+        wais.clone(),
+    )))
+    .expect("fresh mediator accepts the Wais wrapper");
+    m.load_program(paper::VIEW1).expect("view1 is well-formed");
+    m.set_cache_policy(CachePolicy::bounded());
+
+    let atlantis = r#"
+MAKE $t
+MATCH artworks WITH doc.work.[ title.$t, more.cplace.$cl ]
+WHERE $cl = "Atlantis"
+"#;
+    let plan = m.plan_query(atlantis).unwrap();
+    let (opt, _) = m.optimize(&plan, OptimizerOptions::full());
+
+    // cold, then warm from the cache
+    let cold = tree_of(m.execute(&opt).unwrap());
+    assert!(!cold.to_string().contains("Nympheas"), "{cold}");
+    let before = m.traffic();
+    m.execute(&opt).unwrap();
+    assert_eq!((m.traffic() - before).round_trips, 0, "warm before restart");
+
+    // the source "goes down": release the mount, then mutate the store
+    // through an independent mount the mediator's epoch cell never saw
+    *wais.write().unwrap() = WaisSource::new("works", &Node::sym("works", vec![]));
+    {
+        let mut offline =
+            WaisSource::open_store("works", &fig1_works(), &dir, StoreOptions::default())
+                .expect("existing store mounts");
+        offline.add_document(Node::sym(
+            "work",
+            vec![
+                Node::elem("artist", "Claude Monet"),
+                Node::elem("title", "Nympheas"),
+                Node::elem("style", "Impressionist"),
+                Node::elem("size", "20 x 60"),
+                Node::elem("cplace", "Atlantis"),
+            ],
+        ));
+    }
+
+    // the source comes back: remount and re-sync the epoch cells — the
+    // persisted epoch in the manifest raises the connection's cell
+    *wais.write().unwrap() =
+        WaisSource::open_store("works", &fig1_works(), &dir, StoreOptions::default())
+            .expect("existing store remounts");
+    m.resync_sources();
+
+    // the next query must re-ship and see the offline mutation
+    let before = m.traffic();
+    let fresh = tree_of(m.execute(&opt).unwrap());
+    assert!(
+        (m.traffic() - before).round_trips > 0,
+        "the remount must force a re-ship, not a stale cache hit"
+    );
+    assert!(
+        fresh.to_string().contains("Nympheas"),
+        "the offline-added work answers the query: {fresh}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Removing an object from the O2 store is visible to the next query:
 /// Q2's cached rows for the removed artifact are not served stale.
 #[test]

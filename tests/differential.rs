@@ -581,6 +581,118 @@ impl Case {
         Ok(())
     }
 
+    /// Runs the case store-backed (sources mounted from persistent
+    /// segmented stores) against the in-memory oracle in every
+    /// {Sequential, Parallel} × {Interp, Vm} combination, with the index
+    /// plane both off and on, on identically-seeded federations with the
+    /// cache pinned off. One store root serves all combinations — the
+    /// first build populates it, later builds remount the committed
+    /// state. The store changes *where documents live*, never what a
+    /// query answers or ships: wire bytes and per-source traffic must be
+    /// identical. Error outcomes must agree too.
+    fn run_store_axis(&self) -> Result<(), String> {
+        static STORE_AXIS_SEQ: AtomicUsize = AtomicUsize::new(0);
+        let root = std::env::temp_dir().join(format!(
+            "yat-diff-store-{}-{}",
+            std::process::id(),
+            STORE_AXIS_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let result = self.run_store_axis_at(&root);
+        let _ = std::fs::remove_dir_all(&root);
+        result
+    }
+
+    fn run_store_axis_at(&self, root: &std::path::Path) -> Result<(), String> {
+        let q = self.query_text();
+        for index in [IndexPolicy::Off, IndexPolicy::On] {
+            let mut sc = Scenario::at_scale(self.scale);
+            sc.seed = self.scenario_seed;
+            sc.index = index;
+            for engine in [ExecEngine::Interp, ExecEngine::Vm] {
+                for mode in [
+                    ExecMode::Sequential,
+                    ExecMode::Parallel {
+                        max_in_flight: self.lanes,
+                    },
+                ] {
+                    let mut mem = sc.mediator_mem();
+                    mem.set_exec_mode(mode);
+                    mem.set_exec_engine(engine);
+                    mem.set_cache_policy(CachePolicy::Off);
+                    let mut disk = sc
+                        .mediator_store(root, yat::yat_store::StoreOptions::default())
+                        .map_err(|e| format!("store mount failed under {index:?}: {e}"))?;
+                    disk.set_exec_mode(mode);
+                    disk.set_exec_engine(engine);
+                    disk.set_cache_policy(CachePolicy::Off);
+                    mem.reset_traffic();
+                    disk.reset_traffic();
+
+                    let rm = mem.query(&q, self.options());
+                    let rd = disk.query(&q, self.options());
+                    match (rm, rd) {
+                        (Ok(a), Ok(b)) => {
+                            let mem_bytes = ServerReply::answer(a).to_xml().to_xml();
+                            let disk_bytes = ServerReply::answer(b).to_xml().to_xml();
+                            if mem_bytes != disk_bytes {
+                                return Err(format!(
+                                    "store-backed answer diverges from the in-memory \
+                                     oracle under {mode}/{engine}/{index:?}:\n  \
+                                     memory: {mem_bytes}\n  store: {disk_bytes}"
+                                ));
+                            }
+                            for src in ["o2artifact", "xmlartwork"] {
+                                let mm = mem.traffic_of(src).expect("source is connected");
+                                let md = disk.traffic_of(src).expect("source is connected");
+                                if mm.round_trips != md.round_trips
+                                    || mm.documents_received != md.documents_received
+                                    || mm.bytes_sent != md.bytes_sent
+                                    || mm.bytes_received != md.bytes_received
+                                {
+                                    return Err(format!(
+                                        "traffic diverges at `{src}` under \
+                                         {mode}/{engine}/{index:?}: \
+                                         memory {} trips/{} docs/{}+{} bytes, \
+                                         store {} trips/{} docs/{}+{} bytes",
+                                        mm.round_trips,
+                                        mm.documents_received,
+                                        mm.bytes_sent,
+                                        mm.bytes_received,
+                                        md.round_trips,
+                                        md.documents_received,
+                                        md.bytes_sent,
+                                        md.bytes_received
+                                    ));
+                                }
+                            }
+                        }
+                        // both substrates reject the query alike: acceptable
+                        (Err(MediatorError::Exec(_)), Err(MediatorError::Exec(_))) => {
+                            REJECTED.fetch_add(1, Ordering::Relaxed);
+                        }
+                        (Ok(a), Err(b)) => {
+                            return Err(format!(
+                                "memory {a:?} but store failed under {mode}/{engine}/{index:?}: {b}"
+                            ))
+                        }
+                        (Err(a), Ok(b)) => {
+                            return Err(format!(
+                                "store {b:?} but memory failed under {mode}/{engine}/{index:?}: {a}"
+                            ))
+                        }
+                        (Err(a), Err(b)) => {
+                            return Err(format!(
+                                "non-exec errors (generator bug?):\n  memory: {a}\n  store: {b}"
+                            ))
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Halves the predicate list while the case keeps failing under
     /// `run`, returning the smallest failing variant.
     fn shrink_by(&self, run: &dyn Fn(&Case) -> Result<(), String>) -> Case {
@@ -798,6 +910,47 @@ fn indexed_and_scan_agree_on_random_plans() {
     assert!(
         rejected < CASES / 2,
         "generator degenerated: {rejected}/{CASES} cases never produced an answer"
+    );
+}
+
+/// The store axis of the sweep: every seeded plan answered by sources
+/// mounted from persistent segmented stores must serialize to
+/// byte-identical wire bytes and move identical per-source traffic as
+/// the in-memory oracle — under both exec modes, both engines, and with
+/// the index plane off and on. The store is a data plane only; this is
+/// the oracle that gates it.
+#[test]
+fn store_backed_and_in_memory_agree_on_random_plans() {
+    let master = std::env::var("YAT_DIFF_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
+    let mut rng = Rng::seed_from_u64(master);
+    REJECTED.store(0, Ordering::Relaxed);
+    for i in 0..CASES {
+        let case = Case::generate(&mut rng);
+        if let Err(msg) = case.run_store_axis() {
+            let minimal = case.shrink_by(&Case::run_store_axis);
+            panic!(
+                "store differential case {i}/{CASES} (YAT_DIFF_SEED={master}) failed: {msg}\n\
+                 query: {}\n\
+                 shrunk query: {}\n\
+                 knobs: {:?} lanes={} opt_level={} scale={} scenario_seed={}",
+                case.query_text(),
+                minimal.query_text(),
+                case.shape,
+                case.lanes,
+                case.opt_level,
+                case.scale,
+                case.scenario_seed
+            );
+        }
+    }
+    let rejected = REJECTED.load(Ordering::Relaxed);
+    println!("store differential sweep: {CASES} cases, {rejected} rejected by both substrates");
+    assert!(
+        rejected < CASES * 4,
+        "generator degenerated: {rejected} rejections across {CASES} cases never answered"
     );
 }
 

@@ -1,0 +1,267 @@
+//! Seeded crash-safety fuzz for the persistent store: torn writes,
+//! truncations, and bit flips against a committed store directory.
+//!
+//! The durability contract under attack:
+//!
+//! - Damage *within* the committed region (a bit flip, a truncation that
+//!   eats committed bytes, a deleted segment) must fail the mount with a
+//!   typed [`StoreError`] naming the segment — never a panic, never a
+//!   mount that silently serves a partial collection.
+//! - Bytes *past* the committed region (a torn append from a crash
+//!   mid-write) must be truncated away: the mount succeeds and serves
+//!   exactly the last committed state.
+//!
+//! The damage schedule is driven by a seeded PRNG; override the seed
+//! with `YAT_STORE_FUZZ_SEED` to explore (failures print the seed and
+//! trial, so any run reproduces exactly).
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use yat::yat_store::{DocStore, StoreError, StoreOptions};
+use yat_prng::Rng;
+
+const TRIALS: usize = 60;
+
+fn seed() -> u64 {
+    std::env::var("YAT_STORE_FUZZ_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xFACE)
+}
+
+/// Builds the victim store: enough documents over a small segment
+/// target to span several sealed segments plus an open one, with a few
+/// tombstones, all committed — and a torn tail of uncommitted writes.
+fn build_victim(dir: &Path) -> BTreeMap<Vec<u8>, Vec<u8>> {
+    let opts = StoreOptions {
+        budget: u64::MAX,
+        segment_target: 512,
+    };
+    let store = DocStore::create(dir, opts).expect("fresh directory");
+    for i in 0..120u32 {
+        let key = format!("doc-{i:04}");
+        let payload = format!("payload {i} {}", "x".repeat(i as usize % 40));
+        store.put(key.as_bytes(), payload.as_bytes()).unwrap();
+    }
+    for i in (0..120u32).step_by(17) {
+        store.remove(format!("doc-{i:04}").as_bytes()).unwrap();
+    }
+    store.commit(1).expect("commit succeeds");
+    // a torn tail: uncommitted writes a crash will lose
+    store.put(b"uncommitted-a", b"lost").unwrap();
+    store.put(b"uncommitted-b", b"also lost").unwrap();
+
+    let mut committed = BTreeMap::new();
+    store
+        .scan(|key, payload| {
+            // the scan sees the uncommitted puts too; the committed
+            // oracle excludes them
+            if !key.starts_with(b"uncommitted") {
+                committed.insert(key.to_vec(), payload.to_vec());
+            }
+            Ok(())
+        })
+        .unwrap();
+    committed
+}
+
+fn copy_dir(from: &Path, to: &Path) {
+    fs::create_dir_all(to).unwrap();
+    for entry in fs::read_dir(from).unwrap() {
+        let entry = entry.unwrap();
+        fs::copy(entry.path(), to.join(entry.file_name())).unwrap();
+    }
+}
+
+fn store_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    files.sort();
+    files
+}
+
+#[derive(Debug)]
+#[allow(dead_code)] // fields feed the Debug output in failure messages
+enum Damage {
+    Truncate { file: PathBuf, len: u64 },
+    BitFlip { file: PathBuf, offset: u64 },
+    TornAppend { file: PathBuf, garbage: Vec<u8> },
+    Delete { file: PathBuf },
+}
+
+fn inflict(rng: &mut Rng, dir: &Path) -> Damage {
+    let files = store_files(dir);
+    let file = files[rng.gen_range(0..files.len())].clone();
+    let len = fs::metadata(&file).unwrap().len();
+    match rng.gen_range(0..4u32) {
+        0 => {
+            let keep = rng.gen_range(0..len.max(1));
+            let bytes = fs::read(&file).unwrap();
+            fs::write(&file, &bytes[..keep as usize]).unwrap();
+            Damage::Truncate { file, len: keep }
+        }
+        1 => {
+            let offset = rng.gen_range(0..len.max(1));
+            let mut bytes = fs::read(&file).unwrap();
+            if !bytes.is_empty() {
+                bytes[offset as usize] ^= 1 << rng.gen_range(0..8u32);
+            }
+            fs::write(&file, &bytes).unwrap();
+            Damage::BitFlip { file, offset }
+        }
+        2 => {
+            let garbage: Vec<u8> = (0..rng.gen_range(1..64usize))
+                .map(|_| rng.gen_range(0..256usize) as u8)
+                .collect();
+            let mut bytes = fs::read(&file).unwrap();
+            bytes.extend_from_slice(&garbage);
+            fs::write(&file, &bytes).unwrap();
+            Damage::TornAppend { file, garbage }
+        }
+        _ => {
+            fs::remove_file(&file).unwrap();
+            Damage::Delete { file }
+        }
+    }
+}
+
+/// Mounts the damaged copy and checks the contract. Returns a label of
+/// what happened for the failure message.
+fn check(dir: &Path, committed: &BTreeMap<Vec<u8>, Vec<u8>>, damage: &Damage) -> String {
+    let mounted = DocStore::mount(
+        dir,
+        StoreOptions {
+            budget: u64::MAX,
+            segment_target: 512,
+        },
+    );
+    match mounted {
+        Ok(store) => {
+            // a successful mount must serve exactly the committed state
+            let mut seen = BTreeMap::new();
+            store
+                .scan(|key, payload| {
+                    seen.insert(key.to_vec(), payload.to_vec());
+                    Ok(())
+                })
+                .expect("a mounted store scans");
+            assert_eq!(
+                &seen, committed,
+                "mount after {damage:?} served a state that is not the last commit"
+            );
+            "recovered to last commit".to_string()
+        }
+        Err(e) => {
+            // typed, and a corruption names the segment and offset
+            match &e {
+                StoreError::Corrupt {
+                    segment, detail, ..
+                } => {
+                    assert!(
+                        !detail.is_empty(),
+                        "Corrupt after {damage:?} carries no detail"
+                    );
+                    format!("rejected: corrupt segment {segment}")
+                }
+                StoreError::Manifest { detail } => {
+                    assert!(
+                        !detail.is_empty(),
+                        "Manifest error after {damage:?} carries no detail"
+                    );
+                    "rejected: manifest".to_string()
+                }
+                StoreError::Io { path, .. } => format!("rejected: io on {path}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn damaged_stores_reject_or_recover_never_panic() {
+    let seed = seed();
+    let root = std::env::temp_dir().join(format!("yat-store-fuzz-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    let victim = root.join("victim");
+    let committed = build_victim(&victim);
+    assert!(committed.len() > 100, "the victim holds real data");
+
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut outcomes: BTreeMap<String, usize> = BTreeMap::new();
+    for trial in 0..TRIALS {
+        let scratch = root.join(format!("trial-{trial}"));
+        let _ = fs::remove_dir_all(&scratch);
+        copy_dir(&victim, &scratch);
+        let damage = inflict(&mut rng, &scratch);
+        let outcome = std::panic::catch_unwind(|| check(&scratch, &committed, &damage))
+            .unwrap_or_else(|_| {
+                panic!("seed={seed:#x} trial={trial}: mount PANICKED after {damage:?}")
+            });
+        *outcomes.entry(outcome).or_default() += 1;
+        let _ = fs::remove_dir_all(&scratch);
+    }
+    // the schedule must exercise both sides of the contract
+    let recovered = outcomes
+        .get("recovered to last commit")
+        .copied()
+        .unwrap_or(0);
+    let rejected: usize = outcomes
+        .iter()
+        .filter(|(k, _)| k.starts_with("rejected"))
+        .map(|(_, n)| n)
+        .sum();
+    println!("seed={seed:#x}: {outcomes:?}");
+    assert!(recovered > 0, "no trial recovered: {outcomes:?}");
+    assert!(rejected > 0, "no trial rejected: {outcomes:?}");
+    let _ = fs::remove_dir_all(&root);
+}
+
+/// The pinpoint contract on a surgically damaged store: a bit flip in
+/// the middle of a committed segment names that segment and an offset
+/// within it.
+#[test]
+fn corruption_error_names_segment_and_offset() {
+    let root = std::env::temp_dir().join(format!("yat-store-pinpoint-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    let opts = StoreOptions::default();
+    {
+        let store = DocStore::create(&root, opts).unwrap();
+        for i in 0..20u32 {
+            store
+                .put(format!("k{i}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+        store.commit(1).unwrap();
+    }
+    let seg = store_files(&root)
+        .into_iter()
+        .find(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("seg-"))
+        })
+        .expect("a segment exists");
+    let mut bytes = fs::read(&seg).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    fs::write(&seg, &bytes).unwrap();
+
+    match DocStore::mount(&root, opts) {
+        Err(StoreError::Corrupt {
+            segment, offset, ..
+        }) => {
+            assert!(
+                seg.to_string_lossy().contains(&format!("{segment:08}")),
+                "error names segment {segment}, damaged file is {seg:?}"
+            );
+            assert!(
+                (offset as usize) <= bytes.len(),
+                "offset {offset} lies within the segment"
+            );
+        }
+        other => panic!("a flipped committed byte must be Corrupt, got {other:?}"),
+    }
+    let _ = fs::remove_dir_all(&root);
+}
